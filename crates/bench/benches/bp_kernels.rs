@@ -1,0 +1,83 @@
+//! Criterion microbenchmarks for the BP math kernels and one engine
+//! iteration per paradigm.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use credo::engines::{SeqEdgeEngine, SeqNodeEngine};
+use credo::{BpEngine, BpOptions};
+use credo_graph::generators::{synthetic, GenOptions};
+use credo_graph::{Belief, JointMatrix};
+use std::hint::black_box;
+
+fn bench_message(c: &mut Criterion) {
+    let mut group = c.benchmark_group("message");
+    for &k in &[2usize, 3, 8, 32] {
+        let m = JointMatrix::smoothing(k, 0.2);
+        let b = Belief::uniform(k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |bench, _| {
+            bench.iter(|| black_box(m.message(black_box(&b))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_combine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("combine_incoming");
+    for &deg in &[4usize, 32, 256] {
+        let prior = Belief::uniform(3);
+        let msgs: Vec<Belief> = (0..deg)
+            .map(|i| Belief::from_slice(&[0.5, 0.3 + (i % 3) as f32 * 0.05, 0.2]))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(deg), &deg, |bench, _| {
+            bench.iter(|| {
+                black_box(credo_core::combine_incoming(
+                    black_box(&prior),
+                    msgs.iter().copied(),
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_engine_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_run_5k_20k");
+    group.sample_size(10);
+    let opts = BpOptions::default().with_max_iterations(10);
+    let base = synthetic(5_000, 20_000, &GenOptions::new(2).with_seed(1));
+    for (name, engine) in [
+        ("c_edge", Box::new(SeqEdgeEngine) as Box<dyn BpEngine>),
+        ("c_node", Box::new(SeqNodeEngine) as Box<dyn BpEngine>),
+    ] {
+        group.bench_function(name, |bench| {
+            bench.iter_batched(
+                || base.clone(),
+                |mut g| {
+                    engine.run(&mut g, &opts).unwrap();
+                    g
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_normalize(c: &mut Criterion) {
+    c.bench_function("belief_normalize_32", |bench| {
+        let b = Belief::from_slice(&[0.03125; 32]);
+        bench.iter(|| {
+            let mut x = black_box(b);
+            x.normalize();
+            black_box(x)
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_message,
+    bench_combine,
+    bench_engine_run,
+    bench_normalize
+);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion benchmarks for classifier training and inference at the
+//! dataset scale the paper uses (~100 samples × 5 features).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use credo_ml::{Classifier, DecisionTree, RandomForest};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn dataset(n: usize) -> (Vec<Vec<f64>>, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut x = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for _ in 0..n {
+        let nodes: f64 = rng.gen_range(10.0..2_000_000.0);
+        let ratio: f64 = rng.gen_range(0.02..1.0);
+        let beliefs: f64 = [2.0, 3.0, 32.0][rng.gen_range(0..3)];
+        let imbalance: f64 = rng.gen_range(0.5..4.0);
+        let skew: f64 = rng.gen_range(0.01..1.0);
+        let label = usize::from(nodes > 100_000.0) * 2 + usize::from(ratio < 0.2);
+        x.push(vec![nodes, ratio, beliefs, imbalance, skew]);
+        y.push(label);
+    }
+    (x, y)
+}
+
+fn bench_forest_fit(c: &mut Criterion) {
+    let (x, y) = dataset(100);
+    c.bench_function("random_forest_fit_100x5", |b| {
+        b.iter(|| {
+            let mut f = RandomForest::paper_tuned();
+            f.fit(black_box(&x), black_box(&y));
+            black_box(f)
+        });
+    });
+}
+
+fn bench_tree_fit(c: &mut Criterion) {
+    let (x, y) = dataset(100);
+    c.bench_function("decision_tree_fit_100x5", |b| {
+        b.iter(|| {
+            let mut t = DecisionTree::new(6);
+            t.fit(black_box(&x), black_box(&y));
+            black_box(t)
+        });
+    });
+}
+
+fn bench_forest_predict(c: &mut Criterion) {
+    let (x, y) = dataset(100);
+    let mut f = RandomForest::paper_tuned();
+    f.fit(&x, &y);
+    let row = x[0].clone();
+    c.bench_function("random_forest_predict", |b| {
+        b.iter(|| black_box(f.predict(black_box(&row))));
+    });
+}
+
+criterion_group!(benches, bench_forest_fit, bench_tree_fit, bench_forest_predict);
+criterion_main!(benches);

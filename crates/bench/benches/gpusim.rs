@@ -1,0 +1,55 @@
+//! Criterion benchmarks for the GPU simulator's host-side costs: how
+//! expensive is *simulating* a kernel (not the simulated time itself).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use credo_gpusim::{Device, DeviceBuffer, LaunchConfig, PASCAL_GTX1070};
+use std::hint::black_box;
+
+fn bench_launch_overhead(c: &mut Criterion) {
+    let device = Device::new(PASCAL_GTX1070);
+    c.bench_function("sim_empty_kernel_1k_threads", |b| {
+        b.iter(|| {
+            black_box(device.launch(LaunchConfig::for_items(1024, 1024), |ctx, _| ctx.flops(1)))
+        });
+    });
+}
+
+fn bench_functional_kernel(c: &mut Criterion) {
+    let device = Device::new(PASCAL_GTX1070);
+    let data: Vec<f32> = (0..1 << 16).map(|i| i as f32).collect();
+    c.bench_function("sim_kernel_64k_threads_compute", |b| {
+        b.iter(|| {
+            black_box(device.launch(LaunchConfig::for_items(data.len(), 1024), |ctx, tid| {
+                ctx.flops(8);
+                ctx.global_read(4, true);
+                black_box(data[tid % data.len()]);
+            }))
+        });
+    });
+}
+
+fn bench_reduce(c: &mut Criterion) {
+    let device = Device::new(PASCAL_GTX1070);
+    let xs: Vec<f32> = (0..100_000).map(|i| (i % 17) as f32 * 0.01).collect();
+    c.bench_function("sim_reduce_sum_100k", |b| {
+        b.iter(|| black_box(device.reduce_sum(black_box(&xs))));
+    });
+}
+
+fn bench_transfers(c: &mut Criterion) {
+    let device = Device::new(PASCAL_GTX1070);
+    let host: Vec<f32> = vec![1.0; 1 << 18];
+    let mut buf = DeviceBuffer::from_host(&device, &host).unwrap();
+    c.bench_function("sim_h2d_1mb", |b| {
+        b.iter(|| buf.upload(black_box(&host)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_launch_overhead,
+    bench_functional_kernel,
+    bench_reduce,
+    bench_transfers
+);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion benchmarks for the three input formats (§3.2.1's comparison
+//! as a repeatable microbenchmark).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use credo_graph::generators::{family_out, random_tree, GenOptions, PotentialKind};
+use std::hint::black_box;
+
+fn bench_family_out(c: &mut Criterion) {
+    let g = family_out();
+    let mut bif = Vec::new();
+    credo_io::bif::write(&g, &mut bif).unwrap();
+    let mut xml = Vec::new();
+    credo_io::xmlbif::write(&g, &mut xml).unwrap();
+    let mut nodes = Vec::new();
+    let mut edges = Vec::new();
+    credo_io::mtx::write(&g, &mut nodes, &mut edges).unwrap();
+
+    let mut group = c.benchmark_group("parse_family_out");
+    group.bench_function("bif", |b| {
+        b.iter(|| black_box(credo_io::bif::read(black_box(&bif[..])).unwrap()))
+    });
+    group.bench_function("xmlbif", |b| {
+        b.iter(|| black_box(credo_io::xmlbif::read(black_box(&xml[..])).unwrap()))
+    });
+    group.bench_function("mtx", |b| {
+        b.iter(|| {
+            black_box(credo_io::mtx::read(black_box(&nodes[..]), black_box(&edges[..])).unwrap())
+        })
+    });
+    group.finish();
+}
+
+fn bench_1k_network(c: &mut Criterion) {
+    let g = random_tree(
+        1000,
+        &GenOptions::new(2).with_potentials(PotentialKind::PerEdgeRandom),
+    );
+    let mut bif = Vec::new();
+    credo_io::bif::write(&g, &mut bif).unwrap();
+    let mut xml = Vec::new();
+    credo_io::xmlbif::write(&g, &mut xml).unwrap();
+    let mut nodes = Vec::new();
+    let mut edges = Vec::new();
+    credo_io::mtx::write(&g, &mut nodes, &mut edges).unwrap();
+
+    let mut group = c.benchmark_group("parse_1k_network");
+    group.sample_size(20);
+    group.bench_function("bif", |b| {
+        b.iter(|| black_box(credo_io::bif::read(black_box(&bif[..])).unwrap()))
+    });
+    group.bench_function("xmlbif", |b| {
+        b.iter(|| black_box(credo_io::xmlbif::read(black_box(&xml[..])).unwrap()))
+    });
+    group.bench_function("mtx", |b| {
+        b.iter(|| {
+            black_box(credo_io::mtx::read(black_box(&nodes[..]), black_box(&edges[..])).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_family_out, bench_1k_network);
+criterion_main!(benches);

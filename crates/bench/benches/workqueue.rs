@@ -1,0 +1,49 @@
+//! Criterion benchmarks for the §3.5 work queue: repopulation cost and
+//! the queued-vs-full-sweep engine tradeoff on a straggler-heavy graph.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use credo::engines::SeqNodeEngine;
+use credo::{BpEngine, BpOptions};
+use credo_core::WorkQueue;
+use credo_graph::generators::{preferential_attachment, GenOptions};
+use std::hint::black_box;
+
+fn bench_queue_cycle(c: &mut Criterion) {
+    let n = 100_000usize;
+    c.bench_function("queue_push_advance_100k", |b| {
+        let mut q = WorkQueue::new(n, |_| true);
+        q.advance(); // start empty
+        b.iter(|| {
+            for v in (0..n as u32).step_by(17) {
+                q.push_next(v);
+            }
+            q.advance();
+            black_box(q.len())
+        });
+    });
+}
+
+fn bench_queued_vs_plain(c: &mut Criterion) {
+    let base = preferential_attachment(3_000, 4, &GenOptions::new(2).with_seed(3));
+    let mut group = c.benchmark_group("node_engine_queue");
+    group.sample_size(10);
+    for (name, opts) in [
+        ("plain", BpOptions::default()),
+        ("queued", BpOptions::with_work_queue()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || base.clone(),
+                |mut g| {
+                    SeqNodeEngine.run(&mut g, &opts).unwrap();
+                    g
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queue_cycle, bench_queued_vs_plain);
+criterion_main!(benches);

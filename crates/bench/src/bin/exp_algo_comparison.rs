@@ -1,0 +1,100 @@
+//! §2.1.1 — traditional (non-loopy) BP vs. loopy by-edge / by-node.
+//!
+//! Paper: on the synthetic graphs, single-threaded, "the non-loopy BP
+//! implementation is 1032x slower than the by-edge version and 44x slower
+//! than the by-node [at] 10kx40k", widening to 11427x / 379x at 2Mx8M,
+//! averaging ~1014x / ~300x. The gap comes from the baseline's unindexed
+//! (edge-list-scanning) structure discovery; see
+//! `credo_core::seq::NaiveTreeEngine`.
+
+use credo::engines::{NaiveTreeEngine, SeqEdgeEngine, SeqNodeEngine};
+use credo::BpOptions;
+use credo_bench::report::{fmt_secs, fmt_speedup, save_json, Table};
+use credo_bench::runner::run_clean;
+use credo_bench::suite::{synthetic_subset, Scale};
+use credo_bench::scale_from_args;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    graph: String,
+    nodes: usize,
+    edges: usize,
+    nonloopy_secs: f64,
+    edge_secs: f64,
+    node_secs: f64,
+    slowdown_vs_edge: f64,
+    slowdown_vs_node: f64,
+}
+
+fn main() {
+    let scale = scale_from_args();
+    println!("§2.1.1: non-loopy vs loopy BP, single-threaded (scale: {scale:?})\n");
+    let opts = credo_bench::apply_max_iters(BpOptions::default());
+
+    // The naive baseline is O(V·E); cap its input like the paper's own
+    // runtime constraints would.
+    let budget: u128 = match scale {
+        Scale::Quick => 200_000_000,
+        Scale::Default => 8_000_000_000,
+        Scale::Full => u128::MAX,
+    };
+
+    let mut table = Table::new(&[
+        "Graph", "nodes", "edges", "non-loopy", "by-edge", "by-node", "vs edge", "vs node",
+    ]);
+    let mut rows = Vec::new();
+    let (mut geo_edge, mut geo_node, mut count) = (0.0f64, 0.0f64, 0u32);
+    for spec in synthetic_subset() {
+        let n = spec.scaled_nodes(scale) as u128;
+        let arcs = 2 * spec.scaled_edges(scale) as u128;
+        if n * arcs > budget {
+            println!(
+                "  (skipping {} at this scale: naive baseline is O(V*E) = {:.1e} ops)",
+                spec.abbrev,
+                (n * arcs) as f64
+            );
+            continue;
+        }
+        let mut g = spec.generate(scale, 2);
+        let tree = run_clean(&NaiveTreeEngine, &mut g, &opts).unwrap();
+        let edge = run_clean(&SeqEdgeEngine, &mut g, &opts).unwrap();
+        let node = run_clean(&SeqNodeEngine, &mut g, &opts).unwrap();
+        let vs_edge = tree.reported_time.as_secs_f64() / edge.reported_time.as_secs_f64();
+        let vs_node = tree.reported_time.as_secs_f64() / node.reported_time.as_secs_f64();
+        table.row(&[
+            spec.abbrev.to_string(),
+            g.num_nodes().to_string(),
+            g.num_edges().to_string(),
+            fmt_secs(tree.reported_time.as_secs_f64()),
+            fmt_secs(edge.reported_time.as_secs_f64()),
+            fmt_secs(node.reported_time.as_secs_f64()),
+            fmt_speedup(vs_edge),
+            fmt_speedup(vs_node),
+        ]);
+        rows.push(Row {
+            graph: spec.abbrev.to_string(),
+            nodes: g.num_nodes(),
+            edges: g.num_edges(),
+            nonloopy_secs: tree.reported_time.as_secs_f64(),
+            edge_secs: edge.reported_time.as_secs_f64(),
+            node_secs: node.reported_time.as_secs_f64(),
+            slowdown_vs_edge: vs_edge,
+            slowdown_vs_node: vs_node,
+        });
+        geo_edge += vs_edge.ln();
+        geo_node += vs_node.ln();
+        count += 1;
+    }
+    table.print();
+    if count > 0 {
+        println!(
+            "\nGeomean slowdown of non-loopy: {} vs by-edge, {} vs by-node (paper: ~1014x / ~300x)",
+            fmt_speedup((geo_edge / count as f64).exp()),
+            fmt_speedup((geo_node / count as f64).exp()),
+        );
+    }
+    if let Ok(p) = save_json("algo_comparison", &rows) {
+        println!("JSON: {}", p.display());
+    }
+}

@@ -1,0 +1,145 @@
+//! §3.7 / Figures 4–6 — the classifier's features and structure.
+//!
+//! * Figure 4: correlations among the five features and the label.
+//! * Figure 5: random-forest feature importances.
+//! * Figure 6: a depth-2 decision tree on {num_nodes, nodes_to_edges}
+//!   reaching ≥89% F1.
+//! * §3.7's PCA note: preprocessing with PCA *worsens* the F1 score.
+
+use credo::BpOptions;
+use credo_bench::dataset::{load_or_build, to_paradigm_dataset};
+use credo_bench::report::save_json;
+use credo_bench::scale_from_args;
+use credo_gpusim::PASCAL_GTX1070;
+use credo_graph::FEATURE_NAMES;
+use credo_ml::{
+    correlation_matrix, f1_macro, k_fold_indices, Classifier, Dataset, DecisionTree, Pca,
+    RandomForest, StandardScaler,
+};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Output {
+    correlations: Vec<Vec<f64>>,
+    forest_importances: Vec<f64>,
+    forest_f1: f64,
+    depth2_tree_f1: f64,
+    depth2_tree: String,
+    pca_f1: f64,
+}
+
+fn main() {
+    let scale = scale_from_args();
+    println!("§3.7 / Fig 4–6: classifier features (scale: {scale:?})");
+    println!("Benchmarking all implementations to label the dataset…\n");
+    let opts = credo_bench::apply_max_iters(BpOptions::default());
+    let records = load_or_build(scale, PASCAL_GTX1070, &opts, 3, true);
+    // §3.7 labels paradigms: "a label of Node for when the a Node
+    // implementation is best … and a label of Edge otherwise."
+    let data = to_paradigm_dataset(&records);
+    println!(
+        "\nDataset: {} configurations, {} Node / {} Edge labels\n",
+        data.len(),
+        data.y.iter().filter(|&&y| y == 1).count(),
+        data.y.iter().filter(|&&y| y == 0).count()
+    );
+
+    // Figure 4: correlation heat map over features + label.
+    let mut columns: Vec<Vec<f64>> = (0..FEATURE_NAMES.len())
+        .map(|f| data.x.iter().map(|r| r[f]).collect())
+        .collect();
+    columns.push(data.y.iter().map(|&y| y as f64).collect());
+    let corr = correlation_matrix(&columns);
+    let mut names: Vec<&str> = FEATURE_NAMES.to_vec();
+    names.push("label");
+    println!("Figure 4 — feature/label correlations:");
+    print!("{:>18}", "");
+    for n in &names {
+        print!("{n:>18}");
+    }
+    println!();
+    for (i, row) in corr.iter().enumerate() {
+        print!("{:>18}", names[i]);
+        for v in row {
+            print!("{v:>18.3}");
+        }
+        println!();
+    }
+
+    // With only a handful of Edge labels, a single split is a coin toss;
+    // report 3-fold cross-validated F1 (the paper's Fig 10 methodology).
+    let cv_f1 = |fit: &mut dyn FnMut(&Dataset) -> Box<dyn Classifier>| -> f64 {
+        let folds = k_fold_indices(data.len(), 3, 0xC3ED0);
+        let mut scores = Vec::new();
+        for (tr, te) in folds {
+            let train = data.subset(&tr);
+            let test = data.subset(&te);
+            let model = fit(&train);
+            scores.push(f1_macro(&test.y, &model.predict_batch(&test.x)));
+        }
+        scores.iter().sum::<f64>() / scores.len() as f64
+    };
+
+    // Figure 5: random-forest importances (paper-tuned forest).
+    let mut forest = RandomForest::paper_tuned();
+    forest.fit(&data.x, &data.y);
+    let forest_f1 = cv_f1(&mut |train| {
+        let mut f = RandomForest::paper_tuned();
+        f.fit(&train.x, &train.y);
+        Box::new(f)
+    });
+    println!("\nFigure 5 — random forest feature importances (F1 {forest_f1:.3}):");
+    for (name, imp) in FEATURE_NAMES.iter().zip(forest.feature_importances()) {
+        println!("  {name:>18}: {:>5.1}%", imp * 100.0);
+    }
+
+    // Figure 6: depth-2 tree on num_nodes + nodes_to_edges only.
+    let mut tree = DecisionTree::new(2).with_feature_subset(vec![0, 1]);
+    tree.fit(&data.x, &data.y);
+    let tree_f1 = cv_f1(&mut |train| {
+        let mut t = DecisionTree::new(2).with_feature_subset(vec![0, 1]);
+        t.fit(&train.x, &train.y);
+        Box::new(t)
+    });
+    let rendered = tree.root().expect("fitted").render(&FEATURE_NAMES);
+    println!("\nFigure 6 — depth-2 decision tree on (num_nodes, nodes_to_edges), F1 {tree_f1:.3}:");
+    println!("{rendered}");
+    println!("(paper: 89.5% F1 for the depth-2 tree, 94.7% for the tuned forest)");
+
+    // §3.7: PCA preprocessing hurts.
+    let pca_f1 = cv_f1(&mut |train| {
+        let scaler = StandardScaler::fit(&train.x);
+        let pca = Pca::fit(&scaler.transform(&train.x), FEATURE_NAMES.len());
+        struct PcaForest {
+            scaler: StandardScaler,
+            pca: Pca,
+            forest: RandomForest,
+        }
+        impl Classifier for PcaForest {
+            fn fit(&mut self, _: &[Vec<f64>], _: &[usize]) {}
+            fn predict(&self, row: &[f64]) -> usize {
+                self.forest
+                    .predict(&self.pca.transform_row(&self.scaler.transform_row(row)))
+            }
+        }
+        let mut forest = RandomForest::paper_tuned();
+        forest.fit(&pca.transform(&scaler.transform(&train.x)), &train.y);
+        Box::new(PcaForest { scaler, pca, forest })
+    });
+    println!("\nPCA-preprocessed forest F1: {pca_f1:.3} (raw features: {forest_f1:.3}; paper: PCA is worse)");
+
+    let out = Output {
+        correlations: corr,
+        forest_importances: forest.feature_importances().to_vec(),
+        forest_f1,
+        depth2_tree_f1: tree_f1,
+        depth2_tree: rendered,
+        pca_f1,
+    };
+    if let Ok(p) = save_json("classifier_features", &out) {
+        println!("JSON: {}", p.display());
+    }
+    if let Ok(p) = save_json("classifier_dataset", &records) {
+        println!("Dataset cached: {}", p.display());
+    }
+}

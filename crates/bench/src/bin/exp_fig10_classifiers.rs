@@ -1,0 +1,124 @@
+//! Figure 10 — classifier F1 scores with varying training-data sizes,
+//! with three-fold cross-validation error bars.
+//!
+//! Paper: the tree-based classifiers reach ≥80% F1 from about 40 samples
+//! and dominate; SVM, Gaussian-assumption models (NB), k-NN, gradient
+//! boosting and the MLP trail for the reasons discussed in §4.3.
+
+use credo::BpOptions;
+use credo_bench::dataset::{load_or_build, to_paradigm_dataset};
+use credo_bench::report::{save_json, Table};
+use credo_bench::scale_from_args;
+use credo_gpusim::PASCAL_GTX1070;
+use credo_ml::{
+    f1_macro, k_fold_indices, train_test_split, Classifier, Dataset, DecisionTree,
+    GaussianNaiveBayes, GradientBoosting, KNearestNeighbors, LinearSvm, MlpClassifier,
+    RandomForest, StandardScaler,
+};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    classifier: &'static str,
+    train_size: usize,
+    f1_mean: f64,
+    f1_std: f64,
+}
+
+fn make(name: &'static str, seed: u64) -> Box<dyn Classifier> {
+    match name {
+        "DecisionTree(2)" => Box::new(DecisionTree::new(2)),
+        "RandomForest(6,14)" => Box::new(RandomForest::new(14, 6, seed)),
+        "GaussianNB" => Box::new(GaussianNaiveBayes::default()),
+        "kNN(5)" => Box::new(KNearestNeighbors::new(5)),
+        "LinearSVM" => Box::new(LinearSvm::new(seed)),
+        "MLP(16)" => Box::new(MlpClassifier::new(16, seed)),
+        "GradientBoosting" => Box::new(GradientBoosting::new(25, 2)),
+        other => panic!("unknown classifier {other}"),
+    }
+}
+
+const CLASSIFIERS: [&str; 7] = [
+    "DecisionTree(2)",
+    "RandomForest(6,14)",
+    "GaussianNB",
+    "kNN(5)",
+    "LinearSVM",
+    "MLP(16)",
+    "GradientBoosting",
+];
+
+/// Standardized features help the non-tree models, as scikit-learn's docs
+/// recommend; trees are scale-invariant so this is harmless for them.
+fn cv_f1(name: &'static str, data: &Dataset, folds: usize, seed: u64) -> (f64, f64) {
+    let scores: Vec<f64> = k_fold_indices(data.len(), folds, seed)
+        .into_iter()
+        .enumerate()
+        .map(|(i, (train_idx, test_idx))| {
+            let train = data.subset(&train_idx);
+            let test = data.subset(&test_idx);
+            let scaler = StandardScaler::fit(&train.x);
+            let mut model = make(name, seed ^ i as u64);
+            model.fit(&scaler.transform(&train.x), &train.y);
+            f1_macro(&test.y, &model.predict_batch(&scaler.transform(&test.x)))
+        })
+        .collect();
+    let mean = scores.iter().sum::<f64>() / scores.len() as f64;
+    let var =
+        scores.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / scores.len() as f64;
+    (mean, var.sqrt())
+}
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Fig 10: classifier F1 vs training-set size (scale: {scale:?})");
+    println!("Benchmarking to label the dataset…\n");
+    let opts = credo_bench::apply_max_iters(BpOptions::default());
+    let records = load_or_build(scale, PASCAL_GTX1070, &opts, 3, false);
+    // Figure 10 scores the paper's binary Node/Edge problem.
+    let full = to_paradigm_dataset(&records).shuffled(0xF16);
+    println!("Dataset: {} labelled configurations\n", full.len());
+
+    let sizes: Vec<usize> = [20usize, 40, 60, 80, full.len()]
+        .into_iter()
+        .filter(|&s| s <= full.len())
+        .collect();
+
+    let mut header: Vec<String> = vec!["classifier".into()];
+    for &s in &sizes {
+        header.push(format!("n={s}"));
+    }
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new(&header_refs);
+    let mut points = Vec::new();
+    for name in CLASSIFIERS {
+        let mut cells = vec![name.to_string()];
+        for &s in &sizes {
+            let idx: Vec<usize> = (0..s).collect();
+            let subset = full.subset(&idx);
+            let folds = 3.min(s / 4).max(2);
+            let (mean, std) = cv_f1(name, &subset, folds, 0xABCD);
+            cells.push(format!("{mean:.2}±{std:.2}"));
+            points.push(Point {
+                classifier: name,
+                train_size: s,
+                f1_mean: mean,
+                f1_std: std,
+            });
+        }
+        table.row(&cells);
+    }
+    table.print();
+
+    // The headline numbers: 60-40 split on the full dataset.
+    let (train, test) = train_test_split(&full, 0.4, 0x60_40);
+    for (name, paper) in [("DecisionTree(2)", "89.5%"), ("RandomForest(6,14)", "94.7%")] {
+        let mut model = make(name, 7);
+        model.fit(&train.x, &train.y);
+        let f1 = f1_macro(&test.y, &model.predict_batch(&test.x));
+        println!("\n{name} on a 60-40 split: F1 {f1:.3} (paper: {paper})");
+    }
+    if let Ok(p) = save_json("fig10_classifiers", &points) {
+        println!("JSON: {}", p.display());
+    }
+}

@@ -1,0 +1,89 @@
+//! Figure 11 — execution time of Credo (classifier-driven selection) vs
+//! the naive baseline of always running C Edge, "with all execution
+//! overheads included".
+//!
+//! Paper: no improvement for very small graphs, the Node paradigm starts
+//! paying off around 1,000 nodes, and from 100,000 nodes the CUDA
+//! implementations win consistently, with the exact crossover set by the
+//! belief count.
+
+use credo::{BpOptions, Credo, Selector};
+use credo_bench::dataset::{labels, load_or_build};
+use credo_bench::report::{fmt_secs, fmt_speedup, save_json, Table};
+use credo_bench::runner::run_clean;
+use credo_bench::scale_from_args;
+use credo_bench::suite::{BELIEF_CONFIGS, TABLE1};
+use credo_gpusim::PASCAL_GTX1070;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    graph: String,
+    nodes: usize,
+    beliefs: usize,
+    chosen: String,
+    credo_secs: f64,
+    c_edge_secs: f64,
+    speedup: f64,
+}
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Fig 11: Credo vs always-C-Edge (scale: {scale:?})");
+    println!("Benchmarking to train the selector…\n");
+    let opts = credo_bench::apply_max_iters(BpOptions::default());
+    let records = load_or_build(scale, PASCAL_GTX1070, &opts, 3, false);
+    let features: Vec<_> = records.iter().map(|r| r.features).collect();
+    let selector = Selector::train(&features, &labels(&records));
+    let credo = Credo::new(PASCAL_GTX1070).with_selector(selector);
+
+    let mut table = Table::new(&["Graph", "nodes", "k", "chosen", "Credo", "C Edge", "speedup"]);
+    let mut rows: Vec<Row> = Vec::new();
+    let mut sorted: Vec<_> = TABLE1.to_vec();
+    sorted.sort_by_key(|s| s.nodes);
+    for spec in &sorted {
+        for &k in &BELIEF_CONFIGS {
+            let mut g = spec.generate(scale, k);
+            g.reset_beliefs();
+            let (chosen, stats) = credo.run(&mut g, &opts).expect("credo run");
+            credo.device().reset_clock();
+            let baseline = run_clean(&credo::engines::SeqEdgeEngine, &mut g, &opts).unwrap();
+            let speedup =
+                baseline.reported_time.as_secs_f64() / stats.reported_time.as_secs_f64();
+            table.row(&[
+                spec.abbrev.to_string(),
+                g.num_nodes().to_string(),
+                k.to_string(),
+                chosen.to_string(),
+                fmt_secs(stats.reported_time.as_secs_f64()),
+                fmt_secs(baseline.reported_time.as_secs_f64()),
+                fmt_speedup(speedup),
+            ]);
+            rows.push(Row {
+                graph: spec.abbrev.to_string(),
+                nodes: g.num_nodes(),
+                beliefs: k,
+                chosen: chosen.to_string(),
+                credo_secs: stats.reported_time.as_secs_f64(),
+                c_edge_secs: baseline.reported_time.as_secs_f64(),
+                speedup,
+            });
+        }
+    }
+    table.print();
+
+    let total_credo: f64 = rows.iter().map(|r| r.credo_secs).sum();
+    let total_edge: f64 = rows.iter().map(|r| r.c_edge_secs).sum();
+    let never_slower = rows.iter().filter(|r| r.speedup >= 0.95).count();
+    println!(
+        "\nSuite totals: Credo {} vs C Edge {} ({} overall); within 5% of C Edge or better on {}/{} configs",
+        fmt_secs(total_credo),
+        fmt_secs(total_edge),
+        fmt_speedup(total_edge / total_credo),
+        never_slower,
+        rows.len()
+    );
+    if let Ok(p) = save_json("fig11_credo", &rows) {
+        println!("JSON: {}", p.display());
+    }
+}

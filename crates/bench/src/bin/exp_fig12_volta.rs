@@ -1,0 +1,162 @@
+//! §4.4 / Figure 12 — portability of the classifier to Volta (V100).
+//!
+//! Paper: the random forest trained on GTX 1070 labels scores 72.2% F1 on
+//! the V100; CUDA Edge overtakes CUDA Node in 8.3% more cases (cheaper
+//! atomics, 1.5x bandwidth); average CUDA Node/Edge times ≈0.27s/0.30s;
+//! the CUDA engines run 3.8x/3.2x faster than on Pascal, pushing the CUDA
+//! Node speedup vs C Node to ~183x.
+
+use credo::{BpOptions, Credo, Implementation, Selector};
+use credo_bench::dataset::{build_full, labels, to_ml_dataset};
+use credo_bench::report::{fmt_secs, fmt_speedup, save_json};
+use credo_bench::scale_from_args;
+use credo_gpusim::{PASCAL_GTX1070, VOLTA_V100};
+use credo_ml::f1_macro;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Output {
+    portability_f1: f64,
+    pascal_f1: f64,
+    edge_wins_pascal_pct: f64,
+    edge_wins_volta_pct: f64,
+    avg_cuda_node_secs_volta: f64,
+    avg_cuda_edge_secs_volta: f64,
+    volta_vs_pascal_edge: f64,
+    volta_vs_pascal_node: f64,
+    best_cuda_node_speedup_vs_c: f64,
+}
+
+fn secs_of(rec: &credo_bench::dataset::LabeledConfig, name: &str) -> Option<f64> {
+    rec.times.iter().find(|(n, _)| n == name).map(|&(_, s)| s)
+}
+
+fn main() {
+    let scale = scale_from_args();
+    println!("§4.4 / Fig 12: Volta portability (scale: {scale:?})\n");
+    let opts = credo_bench::apply_max_iters(BpOptions::default());
+
+    println!("Benchmarking on the GTX 1070 profile…");
+    let pascal = build_full(scale, PASCAL_GTX1070, &opts, 2, false);
+    println!("Benchmarking on the V100 profile…");
+    let volta = build_full(scale, VOLTA_V100, &opts, 2, false);
+
+    // Train the forest on Pascal labels; score it on both environments.
+    let features: Vec<_> = pascal.iter().map(|r| r.features).collect();
+    let selector = Selector::train(&features, &labels(&pascal));
+    let predict = |recs: &[credo_bench::dataset::LabeledConfig]| -> Vec<usize> {
+        let meta_rows = to_ml_dataset(recs);
+        meta_rows
+            .x
+            .iter()
+            .map(|row| match &selector {
+                Selector::Forest(f) => credo_ml::Classifier::predict(f.as_ref(), row),
+                _ => unreachable!(),
+            })
+            .collect()
+    };
+    let pascal_truth: Vec<usize> = pascal.iter().map(|r| r.label).collect();
+    let volta_truth: Vec<usize> = volta.iter().map(|r| r.label).collect();
+    let pascal_f1 = f1_macro(&pascal_truth, &predict(&pascal));
+    let portability_f1 = f1_macro(&volta_truth, &predict(&volta));
+    // The paper's F1 is over the binary Node/Edge labelling (§3.7).
+    let to_paradigm = |ys: &[usize]| -> Vec<usize> {
+        ys.iter().map(|&y| usize::from(y == 1 || y == 3)).collect()
+    };
+    let pascal_f1_bin = f1_macro(&to_paradigm(&pascal_truth), &to_paradigm(&predict(&pascal)));
+    let portability_f1_bin = f1_macro(&to_paradigm(&volta_truth), &to_paradigm(&predict(&volta)));
+    println!("\nForest trained on Pascal labels:");
+    println!("  4-way F1 on Pascal: {pascal_f1:.3}   binary Node/Edge: {pascal_f1_bin:.3}");
+    println!("  4-way F1 on Volta:  {portability_f1:.3}   binary Node/Edge: {portability_f1_bin:.3}   (paper: 72.2%)");
+
+    // How often CUDA Edge beats CUDA Node on each architecture.
+    let edge_wins = |recs: &[credo_bench::dataset::LabeledConfig]| -> f64 {
+        let mut wins = 0usize;
+        let mut total = 0usize;
+        for r in recs {
+            if let (Some(e), Some(n)) = (secs_of(r, "CUDA Edge"), secs_of(r, "CUDA Node")) {
+                total += 1;
+                if e < n {
+                    wins += 1;
+                }
+            }
+        }
+        100.0 * wins as f64 / total.max(1) as f64
+    };
+    let (wp, wv) = (edge_wins(&pascal), edge_wins(&volta));
+    println!("\nCUDA Edge beats CUDA Node: Pascal {wp:.1}% of cases, Volta {wv:.1}% (+{:.1} points; paper: +8.3)", wv - wp);
+
+    // Average CUDA times and the cross-architecture speedups.
+    let avg = |recs: &[credo_bench::dataset::LabeledConfig], name: &str| -> f64 {
+        let v: Vec<f64> = recs.iter().filter_map(|r| secs_of(r, name)).collect();
+        v.iter().sum::<f64>() / v.len().max(1) as f64
+    };
+    let (ve, vn) = (avg(&volta, "CUDA Edge"), avg(&volta, "CUDA Node"));
+    let (pe, pn) = (avg(&pascal, "CUDA Edge"), avg(&pascal, "CUDA Node"));
+    println!(
+        "\nAverage CUDA times on Volta: Node {} / Edge {} (paper: 0.27s / 0.30s at full scale)",
+        fmt_secs(vn),
+        fmt_secs(ve)
+    );
+    println!(
+        "Volta vs Pascal: Edge {} faster, Node {} faster (paper: 3.2x / 3.8x)",
+        fmt_speedup(pe / ve),
+        fmt_speedup(pn / vn)
+    );
+
+    // Best CUDA Node speedup vs C Node on Volta (paper: ~183x).
+    let best = volta
+        .iter()
+        .filter_map(|r| {
+            let c = secs_of(r, "C Node")?;
+            let g = secs_of(r, "CUDA Node")?;
+            Some((r.graph.clone(), c / g))
+        })
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    if let Some((graph, speedup)) = &best {
+        println!(
+            "Best CUDA Node speedup vs C Node on Volta: {} on {graph} (paper: ~183x)",
+            fmt_speedup(*speedup)
+        );
+    }
+
+    // Fig 12: Credo (Pascal-trained) vs always-C-Edge on the Volta device.
+    println!("\nCredo (Pascal-trained selector) on the V100 vs always-C-Edge:");
+    let credo = Credo::new(VOLTA_V100).with_selector(selector);
+    let mut better = 0usize;
+    let mut total = 0usize;
+    for r in &volta {
+        let (Some(ce), Some(best_secs)) = (
+            secs_of(r, "C Edge"),
+            r.times.iter().map(|&(_, s)| s).min_by(|a, b| a.partial_cmp(b).unwrap()),
+        ) else {
+            continue;
+        };
+        let predicted = Implementation::from_class_id(match &credo.selector() {
+            Selector::Forest(f) => credo_ml::Classifier::predict(f.as_ref(), &r.features.to_vec()),
+            _ => unreachable!(),
+        });
+        let chosen_secs = secs_of(r, &predicted.to_string()).unwrap_or(ce);
+        total += 1;
+        if chosen_secs <= ce * 1.02 {
+            better += 1;
+        }
+        let _ = best_secs;
+    }
+    println!("  matches or beats C Edge on {better}/{total} configurations");
+
+    let out = Output {
+        portability_f1,
+        pascal_f1,
+        edge_wins_pascal_pct: wp,
+        edge_wins_volta_pct: wv,
+        avg_cuda_node_secs_volta: vn,
+        avg_cuda_edge_secs_volta: ve,
+        volta_vs_pascal_edge: pe / ve,
+        volta_vs_pascal_node: pn / vn,
+        best_cuda_node_speedup_vs_c: best.map(|(_, s)| s).unwrap_or(f64::NAN),
+    };
+    if let Ok(p) = save_json("fig12_volta", &out) {
+        println!("JSON: {}", p.display());
+    }
+}

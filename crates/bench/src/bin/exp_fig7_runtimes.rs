@@ -1,0 +1,84 @@
+//! Figure 7 — runtimes of the C and CUDA implementations (binary beliefs,
+//! work queues on), plus the AVG row over the whole suite.
+//!
+//! Paper: CUDA wins above ~100k nodes; below that the GPU overheads
+//! (allocation, transfer, launch) dominate — 99.8% of execution time on
+//! the smallest benchmark. Best CUDA Edge speedup ≈3.4x (2Mx8M, 3
+//! beliefs); CUDA Node reaches ≈120x there and >40x on K21/LJ/PO.
+
+use credo::{ALL_IMPLEMENTATIONS, BpOptions};
+use credo_bench::report::{fmt_secs, save_json, Table};
+use credo_bench::runner::{run_all_implementations, RunRecord};
+use credo_bench::scale_from_args;
+use credo_bench::suite::{bold_subset, TABLE1};
+use credo_bench::flag_present;
+use credo_gpusim::PASCAL_GTX1070;
+
+fn main() {
+    let scale = scale_from_args();
+    let full_suite = flag_present("--all-graphs");
+    println!("Fig 7: C vs CUDA runtimes, work queues on (scale: {scale:?}, beliefs: 2)\n");
+    let opts = credo_bench::apply_max_iters(BpOptions::with_work_queue());
+    let specs = if full_suite {
+        TABLE1.to_vec()
+    } else {
+        bold_subset()
+    };
+
+    let mut table = Table::new(&["Graph", "C Edge", "C Node", "CUDA Edge", "CUDA Node"]);
+    let mut records: Vec<RunRecord> = Vec::new();
+    let mut sums = [0.0f64; 4];
+    let mut counts = [0u32; 4];
+    for spec in &specs {
+        let mut g = spec.generate(scale, 2);
+        let results = run_all_implementations(&mut g, &opts, PASCAL_GTX1070);
+        let mut cells = vec![spec.abbrev.to_string()];
+        for which in ALL_IMPLEMENTATIONS {
+            match results.iter().find(|(i, _)| *i == which) {
+                Some((_, stats)) => {
+                    let secs = stats.reported_time.as_secs_f64();
+                    cells.push(fmt_secs(secs));
+                    sums[which.class_id()] += secs;
+                    counts[which.class_id()] += 1;
+                    records.push(RunRecord::new(spec.abbrev, 2, stats));
+                }
+                None => cells.push("OOM".to_string()),
+            }
+        }
+        table.row(&cells);
+    }
+    let mut avg = vec!["AVG".to_string()];
+    for i in 0..4 {
+        avg.push(if counts[i] > 0 {
+            fmt_secs(sums[i] / counts[i] as f64)
+        } else {
+            "-".to_string()
+        });
+    }
+    table.row(&avg);
+    table.print();
+
+    // Speedups of each CUDA paradigm vs its C control.
+    println!("\nSpeedups (CUDA vs matching C control):");
+    for spec in &specs {
+        let of = |name: &str| {
+            records
+                .iter()
+                .find(|r| r.graph == spec.abbrev && r.engine == name)
+                .map(|r| r.seconds)
+        };
+        if let (Some(ce), Some(cn), Some(ge), Some(gn)) =
+            (of("C Edge"), of("C Node"), of("CUDA Edge"), of("CUDA Node"))
+        {
+            println!(
+                "  {:>12}: Edge {:>8.2}x   Node {:>8.2}x",
+                spec.abbrev,
+                ce / ge,
+                cn / gn
+            );
+        }
+    }
+    if let Ok(p) = save_json("fig7_runtimes", &records) {
+        println!("JSON: {}", p.display());
+    }
+}

@@ -1,0 +1,111 @@
+//! Figure 9 / §4.2 — impact of the work queues (32 beliefs, TW/OR
+//! excluded as VRAM-exceeders).
+//!
+//! Paper: C Edge loses ~2% with the queue on; CUDA Edge gains ~1.3x
+//! (thanks to batching); the Node paradigm gains ~87x (C) and ~82x (CUDA)
+//! because most nodes converge after a few iterations and the queue skips
+//! them, while the edge queue stays large (one unconverged hub keeps all
+//! of its incoming arcs active).
+
+use credo::{ALL_IMPLEMENTATIONS, BpOptions};
+use credo_bench::report::{fmt_speedup, save_json, Table};
+use credo_bench::runner::{engine_for, run_clean};
+use credo_bench::scale_from_args;
+use credo_bench::suite::{bold_subset, TABLE1};
+use credo_bench::flag_present;
+use credo_cuda::device_bytes_required;
+use credo_gpusim::PASCAL_GTX1070;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    graph: String,
+    engine: String,
+    secs_plain: f64,
+    secs_queue: f64,
+    speedup: f64,
+    iters_plain: u32,
+    iters_queue: u32,
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let beliefs = 32usize;
+    println!("Fig 9: work-queue impact (scale: {scale:?}, beliefs: {beliefs})\n");
+    let plain = credo_bench::apply_max_iters(BpOptions::default());
+    let queued = credo_bench::apply_max_iters(BpOptions::with_work_queue());
+    let specs = if flag_present("--all-graphs") {
+        TABLE1.to_vec()
+    } else {
+        bold_subset()
+    };
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut table = Table::new(&["Graph", "engine", "plain", "queued", "speedup", "iters"]);
+    for spec in &specs {
+        // §4.2 excludes graphs whose 32-belief footprint exceeds the GTX
+        // 1070's VRAM at full scale (TW and OR) — apply the same check.
+        let full_bytes = device_bytes_required(
+            spec.nodes as u64,
+            2 * spec.edges as u64,
+            beliefs as u64,
+            0,
+        );
+        if full_bytes > PASCAL_GTX1070.vram_bytes {
+            println!(
+                "  (excluding {}: {:.1} GB > 8 GB VRAM at full scale, as in the paper)",
+                spec.abbrev,
+                full_bytes as f64 / 1e9
+            );
+            continue;
+        }
+        let mut g = spec.generate(scale, beliefs);
+        for which in ALL_IMPLEMENTATIONS {
+            let e1 = engine_for(which, PASCAL_GTX1070);
+            let Ok(s_plain) = run_clean(e1.as_ref(), &mut g, &plain) else {
+                continue;
+            };
+            let e2 = engine_for(which, PASCAL_GTX1070);
+            let Ok(s_queue) = run_clean(e2.as_ref(), &mut g, &queued) else {
+                continue;
+            };
+            let speedup =
+                s_plain.reported_time.as_secs_f64() / s_queue.reported_time.as_secs_f64();
+            table.row(&[
+                spec.abbrev.to_string(),
+                which.to_string(),
+                credo_bench::report::fmt_secs(s_plain.reported_time.as_secs_f64()),
+                credo_bench::report::fmt_secs(s_queue.reported_time.as_secs_f64()),
+                fmt_speedup(speedup),
+                format!("{} -> {}", s_plain.iterations, s_queue.iterations),
+            ]);
+            rows.push(Row {
+                graph: spec.abbrev.to_string(),
+                engine: which.to_string(),
+                secs_plain: s_plain.reported_time.as_secs_f64(),
+                secs_queue: s_queue.reported_time.as_secs_f64(),
+                speedup,
+                iters_plain: s_plain.iterations,
+                iters_queue: s_queue.iterations,
+            });
+        }
+    }
+    table.print();
+
+    println!("\nGeomean work-queue speedup per implementation:");
+    for which in ALL_IMPLEMENTATIONS {
+        let v: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.engine == which.to_string())
+            .map(|r| r.speedup.ln())
+            .collect();
+        if !v.is_empty() {
+            let geo = (v.iter().sum::<f64>() / v.len() as f64).exp();
+            println!("  {:>10}: {}", which.to_string(), fmt_speedup(geo));
+        }
+    }
+    println!("(paper: C Edge ~0.98x, CUDA Edge ~1.3x, C Node ~87x, CUDA Node ~82x)");
+    if let Ok(p) = save_json("fig9_workqueue", &rows) {
+        println!("JSON: {}", p.display());
+    }
+}

@@ -1,0 +1,84 @@
+//! §2.4 — the OpenACC parallelization attempt.
+//!
+//! Paper: "At best, OpenACC offers a 1.25x increase in performance for the
+//! K21 graph with the Edge paradigm"; results only become acceptable after
+//! overriding the default scheduler to keep data resident and batch the
+//! convergence transfer.
+
+use credo::engines::{OpenAccEngine, SeqEdgeEngine, SeqNodeEngine};
+use credo::{BpEngine, BpOptions, Paradigm};
+use credo_bench::report::{fmt_secs, fmt_speedup, save_json, Table};
+use credo_bench::runner::run_clean;
+use credo_bench::scale_from_args;
+use credo_bench::suite::bold_subset;
+use credo_gpusim::{Device, PASCAL_GTX1070};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    graph: String,
+    paradigm: String,
+    c_secs: f64,
+    openacc_naive_secs: f64,
+    openacc_tuned_secs: f64,
+    tuned_speedup_vs_c: f64,
+}
+
+fn main() {
+    let scale = scale_from_args();
+    println!("§2.4: OpenACC-analogue engines vs sequential C (scale: {scale:?}, beliefs: 2)\n");
+    let opts = credo_bench::apply_max_iters(BpOptions::default());
+
+    let mut table = Table::new(&["Graph", "paradigm", "C", "OpenACC", "OpenACC tuned", "tuned vs C"]);
+    let mut rows = Vec::new();
+    for spec in bold_subset() {
+        for paradigm in [Paradigm::Edge, Paradigm::Node] {
+            let mut g = spec.generate(scale, 2);
+            let seq: Box<dyn BpEngine> = match paradigm {
+                Paradigm::Edge => Box::new(SeqEdgeEngine),
+                _ => Box::new(SeqNodeEngine),
+            };
+            let base = run_clean(seq.as_ref(), &mut g, &opts).unwrap();
+            let naive = OpenAccEngine::new(Device::new(PASCAL_GTX1070), paradigm);
+            let naive_stats = match run_clean(&naive, &mut g, &opts) {
+                Ok(s) => s,
+                Err(_) => continue, // exceeds VRAM
+            };
+            let tuned = OpenAccEngine::new(Device::new(PASCAL_GTX1070), paradigm).tuned();
+            let tuned_stats = run_clean(&tuned, &mut g, &opts).unwrap();
+            let speedup =
+                base.reported_time.as_secs_f64() / tuned_stats.reported_time.as_secs_f64();
+            table.row(&[
+                spec.abbrev.to_string(),
+                paradigm.to_string(),
+                fmt_secs(base.reported_time.as_secs_f64()),
+                fmt_secs(naive_stats.reported_time.as_secs_f64()),
+                fmt_secs(tuned_stats.reported_time.as_secs_f64()),
+                fmt_speedup(speedup),
+            ]);
+            rows.push(Row {
+                graph: spec.abbrev.to_string(),
+                paradigm: paradigm.to_string(),
+                c_secs: base.reported_time.as_secs_f64(),
+                openacc_naive_secs: naive_stats.reported_time.as_secs_f64(),
+                openacc_tuned_secs: tuned_stats.reported_time.as_secs_f64(),
+                tuned_speedup_vs_c: speedup,
+            });
+        }
+    }
+    table.print();
+    if let Some(best) = rows
+        .iter()
+        .max_by(|a, b| a.tuned_speedup_vs_c.partial_cmp(&b.tuned_speedup_vs_c).unwrap())
+    {
+        println!(
+            "\nBest OpenACC (tuned) speedup vs C: {} on {} ({}) — paper: 1.25x on K21 Edge",
+            fmt_speedup(best.tuned_speedup_vs_c),
+            best.graph,
+            best.paradigm
+        );
+    }
+    if let Ok(p) = save_json("openacc", &rows) {
+        println!("JSON: {}", p.display());
+    }
+}

@@ -1,0 +1,95 @@
+//! §2.4 — the OpenMP parallelization attempt.
+//!
+//! Paper: "the performance actually decreases for 131 of the 132 benchmark
+//! graphs with the average performance penalty for running with 2 core
+//! case [at] circa 1.17x, with 4 cores [at] 1.65x and with all 8 cores
+//! [at] 4.03x" — per-region fork/join overhead swamps sub-millisecond
+//! loops. The analogue engines spawn OS threads per parallel region, so
+//! the same effect shows up wherever per-iteration work is small.
+
+use credo::engines::{OpenMpEdgeEngine, OpenMpNodeEngine, SeqEdgeEngine, SeqNodeEngine};
+use credo::{BpEngine, BpOptions, Paradigm};
+use credo_bench::report::{fmt_secs, save_json, Table};
+use credo_bench::runner::run_clean;
+use credo_bench::scale_from_args;
+use credo_bench::suite::{bold_subset, BELIEF_CONFIGS};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    graph: String,
+    beliefs: usize,
+    paradigm: String,
+    seq_secs: f64,
+    /// Per thread count (2, 4, 8): parallel seconds.
+    omp_secs: Vec<(usize, f64)>,
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let threads = [2usize, 4, 8];
+    println!("§2.4: OpenMP-analogue engines vs sequential C (scale: {scale:?})\n");
+    let opts = credo_bench::apply_max_iters(BpOptions::default());
+
+    let mut table = Table::new(&["Graph", "k", "paradigm", "C", "2T", "4T", "8T"]);
+    let mut rows: Vec<Row> = Vec::new();
+    for spec in bold_subset() {
+        for &k in &BELIEF_CONFIGS {
+            for paradigm in [Paradigm::Edge, Paradigm::Node] {
+                let mut g = spec.generate(scale, k);
+                let seq: Box<dyn BpEngine> = match paradigm {
+                    Paradigm::Edge => Box::new(SeqEdgeEngine),
+                    _ => Box::new(SeqNodeEngine),
+                };
+                let base = run_clean(seq.as_ref(), &mut g, &opts).unwrap();
+                let mut omp_secs = Vec::new();
+                let mut cells = vec![
+                    spec.abbrev.to_string(),
+                    k.to_string(),
+                    paradigm.to_string(),
+                    fmt_secs(base.reported_time.as_secs_f64()),
+                ];
+                for &t in &threads {
+                    let topts = credo_bench::apply_max_iters(BpOptions::default()).with_threads(t);
+                    let par: Box<dyn BpEngine> = match paradigm {
+                        Paradigm::Edge => Box::new(OpenMpEdgeEngine),
+                        _ => Box::new(OpenMpNodeEngine),
+                    };
+                    let stats = run_clean(par.as_ref(), &mut g, &topts).unwrap();
+                    let secs = stats.reported_time.as_secs_f64();
+                    let ratio = secs / base.reported_time.as_secs_f64();
+                    cells.push(format!("{} ({ratio:.2}x)", fmt_secs(secs)));
+                    omp_secs.push((t, secs));
+                }
+                table.row(&cells);
+                rows.push(Row {
+                    graph: spec.abbrev.to_string(),
+                    beliefs: k,
+                    paradigm: paradigm.to_string(),
+                    seq_secs: base.reported_time.as_secs_f64(),
+                    omp_secs,
+                });
+            }
+        }
+    }
+    table.print();
+
+    // Aggregate penalty per thread count (ratio > 1 means OpenMP slower).
+    println!();
+    for (i, &t) in threads.iter().enumerate() {
+        let ratios: Vec<f64> = rows
+            .iter()
+            .map(|r| r.omp_secs[i].1 / r.seq_secs)
+            .collect();
+        let slower = ratios.iter().filter(|&&r| r > 1.0).count();
+        let geo = (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp();
+        println!(
+            "{t} threads: geomean ratio {geo:.2}x vs sequential; slower on {slower}/{} configs",
+            ratios.len()
+        );
+    }
+    println!("(paper: 1.17x / 1.65x / 4.03x average penalty; slower on 131/132)");
+    if let Ok(p) = save_json("openmp", &rows) {
+        println!("JSON: {}", p.display());
+    }
+}

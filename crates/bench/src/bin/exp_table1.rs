@@ -1,0 +1,68 @@
+//! Table 1: the benchmark graph suite. Prints every graph's full-scale
+//! counts, the counts at the selected scale, and the metadata the
+//! classifier consumes from each generated stand-in.
+
+use credo_bench::report::{save_json, Table};
+use credo_bench::suite::TABLE1;
+use credo_bench::{flag_present, scale_from_args};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    name: &'static str,
+    abbrev: &'static str,
+    nodes_full: usize,
+    edges_full: usize,
+    nodes_scaled: usize,
+    edges_scaled: usize,
+    skew: f64,
+    degree_imbalance: f64,
+    bold: bool,
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let generate = !flag_present("--no-generate");
+    println!("Table 1: benchmark graphs (scale: {scale:?})\n");
+
+    let mut table = Table::new(&[
+        "Name", "Abbrev", "#Nodes", "#Edges", "#Nodes(s)", "#Edges(s)", "skew", "imbalance", "fig",
+    ]);
+    let mut rows = Vec::new();
+    for spec in &TABLE1 {
+        let (skew, imbalance) = if generate {
+            let g = spec.generate(scale, 2);
+            let m = g.metadata();
+            (m.skew(), m.degree_imbalance())
+        } else {
+            (f64::NAN, f64::NAN)
+        };
+        table.row(&[
+            spec.name.to_string(),
+            spec.abbrev.to_string(),
+            spec.nodes.to_string(),
+            spec.edges.to_string(),
+            spec.scaled_nodes(scale).to_string(),
+            spec.scaled_edges(scale).to_string(),
+            format!("{skew:.3}"),
+            format!("{imbalance:.2}"),
+            if spec.bold { "*" } else { "" }.to_string(),
+        ]);
+        rows.push(Row {
+            name: spec.name,
+            abbrev: spec.abbrev,
+            nodes_full: spec.nodes,
+            edges_full: spec.edges,
+            nodes_scaled: spec.scaled_nodes(scale),
+            edges_scaled: spec.scaled_edges(scale),
+            skew,
+            degree_imbalance: imbalance,
+            bold: spec.bold,
+        });
+    }
+    table.print();
+    println!("\n* = member of the bold figure subset");
+    if let Ok(p) = save_json("table1", &rows) {
+        println!("JSON: {}", p.display());
+    }
+}

@@ -1,0 +1,203 @@
+//! Building the classifier dataset (§4.3): benchmark every implementation
+//! on every (graph, beliefs) configuration, label each with the fastest,
+//! and keep the five §3.7 metadata features.
+
+use crate::runner::run_all_implementations;
+use crate::suite::{GraphSpec, Scale, BELIEF_CONFIGS, TABLE1};
+use credo::{BpOptions, Implementation};
+use credo_gpusim::ArchProfile;
+use credo_ml::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// One labelled benchmark configuration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LabeledConfig {
+    /// Graph abbreviation.
+    pub graph: String,
+    /// Belief cardinality.
+    pub beliefs: usize,
+    /// The five §3.7 features.
+    pub features: [f64; 5],
+    /// Class id of the fastest implementation (see
+    /// [`credo::ALL_IMPLEMENTATIONS`]).
+    pub label: usize,
+    /// The paper's §3.7 binary label: 1 when a Node implementation is
+    /// fastest, 0 when an Edge one is ("we then simply assign a label of
+    /// Node … and a label of Edge otherwise").
+    pub paradigm_label: usize,
+    /// Reported (median-of-repetitions) seconds per implementation name.
+    pub times: Vec<(String, f64)>,
+}
+
+impl LabeledConfig {
+    /// The fastest implementation.
+    pub fn best(&self) -> Implementation {
+        Implementation::from_class_id(self.label)
+    }
+}
+
+/// Benchmarks the given specs × belief configurations and labels each with
+/// its fastest implementation. Configurations where no CUDA engine fits in
+/// VRAM still get labels from the implementations that completed — the
+/// paper's dataset is likewise "graphs … that can fit into our GPU's VRAM"
+/// plus CPU results.
+pub fn build(
+    specs: &[GraphSpec],
+    beliefs: &[usize],
+    scale: Scale,
+    profile: ArchProfile,
+    opts: &BpOptions,
+    reps: usize,
+    verbose: bool,
+) -> Vec<LabeledConfig> {
+    let reps = reps.max(1);
+    let mut out = Vec::with_capacity(specs.len() * beliefs.len());
+    for spec in specs {
+        for &k in beliefs {
+            let mut graph = spec.generate(scale, k);
+            let features = graph.metadata().features();
+            // Median over repetitions stabilizes labels for the tiny
+            // graphs whose runtimes are microseconds.
+            let mut runs: Vec<Vec<(Implementation, credo::BpStats)>> = (0..reps)
+                .map(|_| run_all_implementations(&mut graph, opts, profile))
+                .collect();
+            let results: Vec<(Implementation, credo::BpStats)> = {
+                let first = runs[0].clone();
+                first
+                    .into_iter()
+                    .map(|(which, mut stats)| {
+                        let mut secs: Vec<f64> = runs
+                            .iter_mut()
+                            .filter_map(|r| {
+                                r.iter()
+                                    .find(|(i, _)| *i == which)
+                                    .map(|(_, s)| s.reported_time.as_secs_f64())
+                            })
+                            .collect();
+                        secs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                        stats.reported_time =
+                            std::time::Duration::from_secs_f64(secs[secs.len() / 2]);
+                        (which, stats)
+                    })
+                    .collect()
+            };
+            let best = crate::runner::best_of(&results);
+            if verbose {
+                eprintln!(
+                    "  {:>12} k={:<2} -> {} ({} impls ran)",
+                    spec.abbrev,
+                    k,
+                    best,
+                    results.len()
+                );
+            }
+            let paradigm_label = usize::from(matches!(
+                best,
+                Implementation::CNode | Implementation::CudaNode
+            ));
+            out.push(LabeledConfig {
+                graph: spec.abbrev.to_string(),
+                beliefs: k,
+                features,
+                label: best.class_id(),
+                paradigm_label,
+                times: results
+                    .iter()
+                    .map(|(i, s)| (i.to_string(), s.reported_time.as_secs_f64()))
+                    .collect(),
+            });
+        }
+    }
+    out
+}
+
+/// Builds the full Table 1 × {2, 3, 32} dataset.
+pub fn build_full(
+    scale: Scale,
+    profile: ArchProfile,
+    opts: &BpOptions,
+    reps: usize,
+    verbose: bool,
+) -> Vec<LabeledConfig> {
+    build(&TABLE1, &BELIEF_CONFIGS, scale, profile, opts, reps, verbose)
+}
+
+/// The binary §3.7 Node/Edge dataset (features + paradigm labels).
+pub fn to_paradigm_dataset(records: &[LabeledConfig]) -> Dataset {
+    Dataset::new(
+        records.iter().map(|r| r.features.to_vec()).collect(),
+        records.iter().map(|r| r.paradigm_label).collect(),
+    )
+}
+
+/// Loads the dataset cached by `exp_classifier` if present, else builds
+/// it. Keeps the classifier experiments consistent and avoids re-running
+/// the full benchmark sweep.
+pub fn load_or_build(
+    scale: Scale,
+    profile: ArchProfile,
+    opts: &BpOptions,
+    reps: usize,
+    verbose: bool,
+) -> Vec<LabeledConfig> {
+    if !crate::flag_present("--rebuild") {
+        let dir = std::path::PathBuf::from(
+            std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string()),
+        );
+        let path = dir.join("experiments/classifier_dataset.json");
+        if let Ok(records) = load_json(&path) {
+            eprintln!("(reusing cached dataset {}; pass --rebuild to refresh)", path.display());
+            return records;
+        }
+    }
+    build_full(scale, profile, opts, reps, verbose)
+}
+
+/// Converts labelled configurations into an ML dataset.
+pub fn to_ml_dataset(records: &[LabeledConfig]) -> Dataset {
+    Dataset::new(
+        records.iter().map(|r| r.features.to_vec()).collect(),
+        records.iter().map(|r| r.label).collect(),
+    )
+}
+
+/// The implementation labels of a record set.
+pub fn labels(records: &[LabeledConfig]) -> Vec<Implementation> {
+    records
+        .iter()
+        .map(|r| Implementation::from_class_id(r.label))
+        .collect()
+}
+
+/// Loads a previously saved dataset JSON (written by an experiment binary
+/// via [`crate::report::save_json`]); lets the classifier experiments
+/// reuse benchmark runs.
+pub fn load_json(path: &std::path::Path) -> std::io::Result<Vec<LabeledConfig>> {
+    let body = std::fs::read_to_string(path)?;
+    serde_json::from_str(&body)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use credo_gpusim::PASCAL_GTX1070;
+
+    #[test]
+    fn builds_labelled_configs() {
+        let specs = &TABLE1[..3];
+        let opts = BpOptions::default().with_max_iterations(20);
+        let records = build(specs, &[2], Scale::Quick, PASCAL_GTX1070, &opts, 1, false);
+        assert_eq!(records.len(), 3);
+        for r in &records {
+            assert!(r.label < 4);
+            assert!(r.paradigm_label < 2);
+            assert_eq!(r.best().class_id(), r.label);
+            assert_eq!(r.times.len(), 4);
+            assert!(r.features[0] >= 10.0);
+        }
+        let ds = to_ml_dataset(&records);
+        assert_eq!(ds.len(), 3);
+        assert_eq!(labels(&records).len(), 3);
+    }
+}

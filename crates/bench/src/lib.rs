@@ -1,0 +1,64 @@
+//! # credo-bench
+//!
+//! The experiment harness: one binary per table/figure of the paper (see
+//! DESIGN.md's per-experiment index) plus criterion micro-benchmarks.
+//!
+//! Run an experiment with e.g.
+//!
+//! ```text
+//! cargo run --release -p credo-bench --bin exp_fig7_runtimes -- --scale quick
+//! ```
+//!
+//! Scales: `quick` (seconds), `default` (a few minutes), `full` (the
+//! paper's graph sizes — hours, and the largest graphs need tens of GB).
+//! Every binary prints a human table and writes machine-readable JSON to
+//! `target/experiments/`.
+
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod report;
+pub mod runner;
+pub mod suite;
+
+/// Parses `--scale <quick|default|full>` and `--beliefs <n>` style flags
+/// from `std::env::args`. Unknown flags are ignored so binaries can layer
+/// their own.
+pub fn flag_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// True when a bare flag is present.
+pub fn flag_present(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+/// Applies `--max-iters <n>` and `--threshold <x>` (if present) to a base
+/// options value. The paper caps at 200 iterations with a 0.001
+/// convergence threshold; sweeps over the whole suite can lower the cap to
+/// bound wall time, and scaled-down graphs may need a proportionally
+/// tighter threshold (the global L1 sum shrinks with node count).
+pub fn apply_max_iters(mut opts: credo::BpOptions) -> credo::BpOptions {
+    if let Some(v) = flag_value("--max-iters") {
+        opts.max_iterations = v.parse().expect("--max-iters takes an integer");
+    }
+    if let Some(v) = flag_value("--threshold") {
+        let t: f32 = v.parse().expect("--threshold takes a float");
+        opts.threshold = t;
+        opts.queue_threshold = t;
+    }
+    opts
+}
+
+/// The scale requested on the command line (default: [`suite::Scale::Default`]).
+pub fn scale_from_args() -> suite::Scale {
+    match flag_value("--scale").as_deref() {
+        Some("quick") => suite::Scale::Quick,
+        Some("full") => suite::Scale::Full,
+        Some("default") | None => suite::Scale::Default,
+        Some(other) => panic!("unknown scale '{other}' (quick|default|full)"),
+    }
+}

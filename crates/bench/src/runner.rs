@@ -1,0 +1,123 @@
+//! Engine construction and measured runs.
+
+use credo::engines::{CudaEdgeEngine, CudaNodeEngine, SeqEdgeEngine, SeqNodeEngine};
+use credo::{BpEngine, BpOptions, BpStats, EngineError, Implementation};
+use credo_gpusim::{ArchProfile, Device};
+use credo_graph::BeliefGraph;
+use serde::Serialize;
+
+/// One measured run, ready for the report writer.
+#[derive(Clone, Debug, Serialize)]
+pub struct RunRecord {
+    /// Graph abbreviation.
+    pub graph: String,
+    /// Belief cardinality.
+    pub beliefs: usize,
+    /// Engine display name.
+    pub engine: String,
+    /// Reported (simulated for CUDA) seconds.
+    pub seconds: f64,
+    /// Iterations executed.
+    pub iterations: u32,
+    /// Whether convergence (not the cap) ended the run.
+    pub converged: bool,
+    /// Node updates performed.
+    pub node_updates: u64,
+    /// Messages computed.
+    pub message_updates: u64,
+}
+
+impl RunRecord {
+    /// Builds a record from engine stats.
+    pub fn new(graph: &str, beliefs: usize, stats: &BpStats) -> Self {
+        RunRecord {
+            graph: graph.to_string(),
+            beliefs,
+            engine: stats.engine.to_string(),
+            seconds: stats.reported_time.as_secs_f64(),
+            iterations: stats.iterations,
+            converged: stats.converged,
+            node_updates: stats.node_updates,
+            message_updates: stats.message_updates,
+        }
+    }
+}
+
+/// Instantiates one of Credo's four implementations on a fresh device of
+/// the given architecture.
+pub fn engine_for(which: Implementation, profile: ArchProfile) -> Box<dyn BpEngine> {
+    match which {
+        Implementation::CEdge => Box::new(SeqEdgeEngine),
+        Implementation::CNode => Box::new(SeqNodeEngine),
+        Implementation::CudaEdge => Box::new(CudaEdgeEngine::new(Device::new(profile))),
+        Implementation::CudaNode => Box::new(CudaNodeEngine::new(Device::new(profile))),
+    }
+}
+
+/// Runs an engine from a clean prior state and returns its stats.
+pub fn run_clean(
+    engine: &dyn BpEngine,
+    graph: &mut BeliefGraph,
+    opts: &BpOptions,
+) -> Result<BpStats, EngineError> {
+    credo_core::run_fresh(engine, graph, opts)
+}
+
+/// Runs all four Credo implementations on a graph, returning
+/// `(implementation, stats)` for those that completed (VRAM-exceeding CUDA
+/// runs are skipped, mirroring §4.2).
+pub fn run_all_implementations(
+    graph: &mut BeliefGraph,
+    opts: &BpOptions,
+    profile: ArchProfile,
+) -> Vec<(Implementation, BpStats)> {
+    let mut out = Vec::with_capacity(4);
+    for which in credo::ALL_IMPLEMENTATIONS {
+        let engine = engine_for(which, profile);
+        match run_clean(engine.as_ref(), graph, opts) {
+            Ok(stats) => out.push((which, stats)),
+            Err(EngineError::OutOfDeviceMemory { .. }) => {}
+            Err(e) => panic!("engine {which} failed: {e}"),
+        }
+    }
+    out
+}
+
+/// The fastest implementation in a result set (by reported time).
+pub fn best_of(results: &[(Implementation, BpStats)]) -> Implementation {
+    results
+        .iter()
+        .min_by(|a, b| {
+            a.1.reported_time
+                .partial_cmp(&b.1.reported_time)
+                .expect("finite durations")
+        })
+        .map(|(i, _)| *i)
+        .expect("at least one implementation completed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use credo_gpusim::PASCAL_GTX1070;
+    use credo_graph::generators::{synthetic, GenOptions};
+
+    #[test]
+    fn all_four_run_and_agree() {
+        let mut g = synthetic(200, 800, &GenOptions::new(2).with_seed(99));
+        let results = run_all_implementations(&mut g, &BpOptions::default(), PASCAL_GTX1070);
+        assert_eq!(results.len(), 4);
+        let best = best_of(&results);
+        assert!(credo::ALL_IMPLEMENTATIONS.contains(&best));
+    }
+
+    #[test]
+    fn record_captures_stats() {
+        let mut g = synthetic(50, 200, &GenOptions::new(2));
+        let stats = run_clean(&SeqEdgeEngine, &mut g, &BpOptions::default()).unwrap();
+        let rec = RunRecord::new("10x40", 2, &stats);
+        assert_eq!(rec.engine, "C Edge");
+        assert!(rec.seconds >= 0.0);
+        assert!(rec.iterations > 0);
+    }
+}

@@ -1,0 +1,232 @@
+//! The Table 1 benchmark suite — the paper's 34 graphs, with synthetic
+//! stand-ins for the networkrepository downloads (see DESIGN.md's
+//! substitution notes) and a scale knob that shrinks every graph by a
+//! constant divisor while preserving its degree-distribution shape.
+
+use credo_graph::generators::{
+    kronecker, preferential_attachment, synthetic, GenOptions, PotentialKind,
+};
+use credo_graph::BeliefGraph;
+
+/// How a stand-in is generated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GraphKind {
+    /// Uniform-random synthetic graph (the paper's own synthetic family).
+    Synthetic,
+    /// R-MAT Kronecker (`kron-g500-lognN`).
+    Kronecker {
+        /// log₂ of the node count.
+        log_n: u32,
+    },
+    /// Preferential-attachment stand-in for social/web graphs.
+    PowerLaw,
+}
+
+/// One Table 1 row.
+#[derive(Clone, Copy, Debug)]
+pub struct GraphSpec {
+    /// Full name from Table 1.
+    pub name: &'static str,
+    /// Abbreviation from Table 1.
+    pub abbrev: &'static str,
+    /// Generator family.
+    pub kind: GraphKind,
+    /// Node count at full scale.
+    pub nodes: usize,
+    /// Edge count at full scale.
+    pub edges: usize,
+    /// Member of the bold figure subset.
+    pub bold: bool,
+}
+
+/// Experiment scale: a constant divisor on node counts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// ÷1024 — smoke-test sizes, seconds end to end.
+    Quick,
+    /// ÷128 — minutes end to end; the default.
+    Default,
+    /// ÷1 — the paper's sizes.
+    Full,
+}
+
+impl Scale {
+    /// The node-count divisor.
+    pub fn divisor(self) -> usize {
+        match self {
+            Scale::Quick => 1024,
+            Scale::Default => 128,
+            Scale::Full => 1,
+        }
+    }
+}
+
+macro_rules! spec {
+    ($name:literal, $abbrev:literal, $kind:expr, $nodes:expr, $edges:expr, $bold:expr) => {
+        GraphSpec {
+            name: $name,
+            abbrev: $abbrev,
+            kind: $kind,
+            nodes: $nodes,
+            edges: $edges,
+            bold: $bold,
+        }
+    };
+}
+
+/// The full Table 1 suite (34 graphs), in ascending node order within each
+/// column of the paper's table.
+pub const TABLE1: [GraphSpec; 34] = [
+    spec!("10_nodes_40_edges", "10x40", GraphKind::Synthetic, 10, 40, true),
+    spec!("100_nodes_400_edges", "100x400", GraphKind::Synthetic, 100, 400, false),
+    spec!("1000_nodes_4000_edges", "1k4k", GraphKind::Synthetic, 1_000, 4_000, true),
+    spec!("10000_nodes_40000_edges", "10kx40k", GraphKind::Synthetic, 10_000, 40_000, false),
+    spec!("kron-g500-logn16", "K16", GraphKind::Kronecker { log_n: 16 }, 55_321, 2_456_398, false),
+    spec!("hollywood-2009", "HO", GraphKind::PowerLaw, 83_832, 549_038, false),
+    spec!("100000_nodes_400000_edges", "100kx400k", GraphKind::Synthetic, 100_000, 400_000, true),
+    spec!("kron-g500-logn17", "K17", GraphKind::Kronecker { log_n: 17 }, 131_071, 5_114_375, false),
+    spec!("loc-gowalla", "GO", GraphKind::PowerLaw, 196_591, 1_900_654, true),
+    spec!("200000_nodes_800000_edges", "200kx800k", GraphKind::Synthetic, 200_000, 800_000, false),
+    spec!("soc-google-plus", "GP", GraphKind::PowerLaw, 211_187, 1_506_896, false),
+    spec!("kron-g500-logn18", "K18", GraphKind::Kronecker { log_n: 18 }, 262_144, 10_583_222, false),
+    spec!("web-Stanford", "ST", GraphKind::PowerLaw, 281_903, 2_312_497, true),
+    spec!("400000_nodes_1600000_edges", "400kx1600k", GraphKind::Synthetic, 400_000, 1_600_000, false),
+    spec!("kron-g500-logn19", "K19", GraphKind::Kronecker { log_n: 19 }, 409_175, 21_781_478, false),
+    spec!("soc-twitter-follows-mun", "TF", GraphKind::PowerLaw, 465_017, 835_423, false),
+    spec!("web-it-2004", "IT", GraphKind::PowerLaw, 509_338, 7_178_413, false),
+    spec!("soc-delicious", "DE", GraphKind::PowerLaw, 536_108, 1_365_961, false),
+    spec!("600000_nodes_1200000_edges", "600kx1200k", GraphKind::Synthetic, 600_000, 1_200_000, true),
+    spec!("kron-g500-logn20", "K20", GraphKind::Kronecker { log_n: 20 }, 795_241, 44_620_272, false),
+    spec!("800000_nodes_3200000_edges", "800kx3200k", GraphKind::Synthetic, 800_000, 3_200_000, true),
+    spec!("1000000_nodes_4000000_edges", "1Mx4M", GraphKind::Synthetic, 1_000_000, 4_000_000, false),
+    spec!("com-youtube", "YO", GraphKind::PowerLaw, 1_134_890, 2_987_624, true),
+    spec!("kron-g500-logn21", "K21", GraphKind::Kronecker { log_n: 21 }, 1_544_087, 91_042_010, true),
+    spec!("soc-pokec-relationships", "PO", GraphKind::PowerLaw, 1_632_803, 30_622_564, true),
+    spec!("web-wiki-ch-internal", "WW", GraphKind::PowerLaw, 1_930_275, 9_359_108, false),
+    spec!("2000000_nodes_8000000_edges", "2Mx8M", GraphKind::Synthetic, 2_000_000, 8_000_000, true),
+    spec!("wiki-Talk", "WT", GraphKind::PowerLaw, 2_394_385, 5_021_410, false),
+    spec!("soc-orkut", "OR", GraphKind::PowerLaw, 2_997_166, 106_349_209, true),
+    spec!("wikipedia-link-en", "WL", GraphKind::PowerLaw, 3_371_716, 31_956_268, false),
+    spec!("soc-LiveJournal1", "LJ", GraphKind::PowerLaw, 4_846_609, 68_475_391, true),
+    spec!("tech-p2p", "TP", GraphKind::PowerLaw, 5_792_297, 8_105_822, false),
+    spec!("friendster", "FR", GraphKind::PowerLaw, 8_658_744, 55_170_227, true),
+    spec!("soc-twitter-2010", "TW", GraphKind::PowerLaw, 21_297_772, 265_025_809, true),
+];
+
+/// The paper's three use cases (§4): binary beliefs, virus propagation,
+/// 32-bit image correction.
+pub const BELIEF_CONFIGS: [usize; 3] = [2, 3, 32];
+
+impl GraphSpec {
+    /// Node count at the given scale (never below 10).
+    pub fn scaled_nodes(&self, scale: Scale) -> usize {
+        (self.nodes / scale.divisor()).max(10)
+    }
+
+    /// Edge count at the given scale, preserving the edge/node ratio.
+    pub fn scaled_edges(&self, scale: Scale) -> usize {
+        let n = self.scaled_nodes(scale);
+        ((self.edges as f64 / self.nodes as f64) * n as f64).round().max(1.0) as usize
+    }
+
+    /// Generates the stand-in graph at `scale` with `beliefs` states per
+    /// node and a shared smoothing potential (the §2.2 large-graph mode).
+    pub fn generate(&self, scale: Scale, beliefs: usize) -> BeliefGraph {
+        let opts = GenOptions::new(beliefs)
+            .with_seed(fxhash(self.abbrev) ^ beliefs as u64)
+            .with_potentials(PotentialKind::SharedSmoothing(0.2));
+        let n = self.scaled_nodes(scale);
+        let e = self.scaled_edges(scale);
+        match self.kind {
+            GraphKind::Synthetic => synthetic(n, e, &opts),
+            GraphKind::Kronecker { .. } => {
+                let log_n = (n as f64).log2().round().max(3.0) as u32;
+                let nn = 1usize << log_n;
+                let factor = (e / nn).max(1);
+                kronecker(log_n, factor, &opts)
+            }
+            GraphKind::PowerLaw => {
+                let m = (e / n).clamp(1, 64);
+                preferential_attachment(n.max(m + 1), m, &opts)
+            }
+        }
+    }
+}
+
+/// Deterministic string hash for per-graph seeds.
+fn fxhash(s: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// The bold figure subset.
+pub fn bold_subset() -> Vec<GraphSpec> {
+    TABLE1.iter().copied().filter(|s| s.bold).collect()
+}
+
+/// Synthetic-only subset (the §2.1.1 algorithm-comparison workload).
+pub fn synthetic_subset() -> Vec<GraphSpec> {
+    TABLE1
+        .iter()
+        .copied()
+        .filter(|s| s.kind == GraphKind::Synthetic)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_34_graphs() {
+        assert_eq!(TABLE1.len(), 34);
+        let bolds = bold_subset().len();
+        assert!(bolds >= 10, "figure subset should be substantial: {bolds}");
+    }
+
+    #[test]
+    fn full_scale_counts_match_table1() {
+        let tw = TABLE1.iter().find(|s| s.abbrev == "TW").unwrap();
+        assert_eq!(tw.nodes, 21_297_772);
+        assert_eq!(tw.edges, 265_025_809);
+        assert_eq!(tw.scaled_nodes(Scale::Full), tw.nodes);
+    }
+
+    #[test]
+    fn scaling_preserves_density() {
+        let spec = TABLE1.iter().find(|s| s.abbrev == "2Mx8M").unwrap();
+        let n = spec.scaled_nodes(Scale::Default);
+        let e = spec.scaled_edges(Scale::Default);
+        let ratio = e as f64 / n as f64;
+        assert!((ratio - 4.0).abs() < 0.1, "ratio {ratio}");
+    }
+
+    #[test]
+    fn quick_scale_generates_quickly_and_validly() {
+        for spec in TABLE1.iter().take(8) {
+            let g = spec.generate(Scale::Quick, 2);
+            g.validate().unwrap();
+            assert!(g.num_nodes() >= 10);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = &TABLE1[2];
+        let a = spec.generate(Scale::Quick, 3);
+        let b = spec.generate(Scale::Quick, 3);
+        assert_eq!(a.num_arcs(), b.num_arcs());
+        assert_eq!(a.arcs()[0], b.arcs()[0]);
+    }
+
+    #[test]
+    fn kronecker_standins_are_heavy_tailed() {
+        let k = TABLE1.iter().find(|s| s.abbrev == "K18").unwrap();
+        let g = k.generate(Scale::Default, 2);
+        assert!(g.metadata().skew() < 0.2);
+    }
+}

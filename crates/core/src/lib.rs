@@ -1,0 +1,44 @@
+//! # credo-core
+//!
+//! The belief-propagation engines at the heart of Credo.
+//!
+//! Two processing paradigms (§3.3) are provided in sequential form —
+//! [`seq::SeqNodeEngine`] ("C Node") and [`seq::SeqEdgeEngine`] ("C Edge")
+//! — plus the traditional non-loopy two-pass algorithm (§2.1,
+//! [`seq::TreeEngine`] and its deliberately unindexed
+//! [`seq::NaiveTreeEngine`] baseline) and the OpenMP-analogue CPU-parallel
+//! engines (§2.4, [`openmp`]).
+//!
+//! All loopy engines implement Algorithm 1 with double-buffered (Jacobi)
+//! updates, so they agree on results up to `f32` associativity; the
+//! integration suite enforces agreement within 1e-3 L∞.
+
+#![warn(missing_docs)]
+
+mod convergence;
+mod engine;
+mod math;
+mod opts;
+mod queue;
+mod stats;
+
+pub mod openmp;
+pub mod seq;
+
+pub use convergence::ConvergenceTracker;
+pub use engine::{BpEngine, EngineError, Paradigm, Platform};
+pub use math::{combine_incoming, node_update};
+pub use opts::BpOptions;
+pub use queue::WorkQueue;
+pub use stats::BpStats;
+
+/// Resets the graph's beliefs to its priors, then runs `engine` — the
+/// normal way to execute BP from a clean state.
+pub fn run_fresh(
+    engine: &dyn BpEngine,
+    graph: &mut credo_graph::BeliefGraph,
+    opts: &BpOptions,
+) -> Result<BpStats, EngineError> {
+    graph.reset_beliefs();
+    engine.run(graph, opts)
+}

@@ -1,0 +1,102 @@
+//! The BP mathematics shared by every loopy engine (Algorithm 1, lines
+//! 6–11).
+
+use credo_graph::{Belief, BeliefGraph, NodeId};
+
+/// Combines a node's prior with a sequence of incoming messages and
+/// marginalizes — `combine_updates` + `marginalize` of Algorithm 1.
+///
+/// Messages are max-scaled by [`credo_graph::JointMatrix::message`], and the
+/// running product is re-scaled every few factors so hub nodes with
+/// thousands of parents cannot underflow `f32`.
+#[inline]
+pub fn combine_incoming<'a>(
+    prior: &Belief,
+    messages: impl Iterator<Item = Belief> + 'a,
+) -> Belief {
+    let mut acc = *prior;
+    for (i, m) in messages.enumerate() {
+        acc.mul_assign(&m);
+        if i % 8 == 7 {
+            acc.scale_max_to_one();
+        }
+    }
+    acc.normalize();
+    acc
+}
+
+/// Computes node `v`'s new belief from the previous-iteration beliefs
+/// `prev` (Jacobi / synchronous update): prior × the product of one message
+/// per incoming arc. Returns the new belief and the number of messages
+/// computed.
+#[inline]
+pub fn node_update(graph: &BeliefGraph, v: NodeId, prev: &[Belief]) -> (Belief, u64) {
+    let in_arcs = graph.in_arcs(v);
+    let prior = &graph.priors()[v as usize];
+    let new = combine_incoming(
+        prior,
+        in_arcs.iter().map(|&a| {
+            let src = graph.arc(a).src as usize;
+            graph.potential(a).message(&prev[src])
+        }),
+    );
+    (new, in_arcs.len() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use credo_graph::{GraphBuilder, JointMatrix};
+
+    #[test]
+    fn combine_with_no_messages_returns_normalized_prior() {
+        let prior = Belief::from_slice(&[2.0, 2.0]);
+        let out = combine_incoming(&prior, std::iter::empty());
+        assert_eq!(out.as_slice(), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn combine_is_a_normalized_product() {
+        let prior = Belief::from_slice(&[0.5, 0.5]);
+        let msgs = vec![
+            Belief::from_slice(&[0.9, 0.1]),
+            Belief::from_slice(&[0.8, 0.2]),
+        ];
+        let out = combine_incoming(&prior, msgs.into_iter());
+        // product: [0.36, 0.01] -> normalized
+        let z = 0.36 + 0.01;
+        assert!((out.get(0) - 0.36 / z).abs() < 1e-5);
+        assert!((out.get(1) - 0.01 / z).abs() < 1e-5);
+    }
+
+    #[test]
+    fn long_products_do_not_underflow() {
+        let prior = Belief::uniform(2);
+        // 10_000 identical biased messages would underflow f32 without the
+        // periodic rescale; the result must remain a valid distribution.
+        let msgs = (0..10_000).map(|_| Belief::from_slice(&[0.6, 0.4]));
+        let out = combine_incoming(&prior, msgs);
+        assert!(out.is_valid());
+        assert!(out.is_normalized(1e-4));
+        assert!(out.get(0) > 0.99, "heavily biased evidence should dominate");
+    }
+
+    #[test]
+    fn node_update_counts_messages() {
+        let mut b = GraphBuilder::new();
+        let n0 = b.add_node(Belief::from_slice(&[0.9, 0.1]));
+        let n1 = b.add_node(Belief::from_slice(&[0.1, 0.9]));
+        let n2 = b.add_node(Belief::uniform(2));
+        b.shared_potential(JointMatrix::smoothing(2, 0.2));
+        b.add_undirected_edge(n0, n2);
+        b.add_undirected_edge(n1, n2);
+        let g = b.build().unwrap();
+
+        let prev = g.beliefs().to_vec();
+        let (new, msgs) = node_update(&g, n2, &prev);
+        assert_eq!(msgs, 2);
+        assert!(new.is_normalized(1e-5));
+        // Conflicting neighbours with symmetric strength: stays near uniform.
+        assert!((new.get(0) - 0.5).abs() < 0.05);
+    }
+}

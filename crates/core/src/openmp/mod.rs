@@ -1,0 +1,172 @@
+//! OpenMP-analogue CPU-parallel engines (§2.4).
+//!
+//! The paper parallelizes its optimized C loops with `#pragma omp parallel
+//! for` regions and finds the fork/join overhead of those regions swamps
+//! the available work ("there is simply not enough work per thread to
+//! justify the overhead of spinning and shutting down threads"). These
+//! engines reproduce that execution model honestly: every parallel region
+//! spawns OS threads and joins them, paying the same per-region costs, and
+//! the edge paradigm combines messages with the same CAS-loop atomics a
+//! `#pragma omp atomic` would lower to.
+
+mod edge;
+mod node;
+
+pub use edge::OpenMpEdgeEngine;
+pub use node::OpenMpNodeEngine;
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Resolves the thread count: `opts.threads`, or all available cores.
+pub(crate) fn thread_count(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// A shareable mutable slice for scatter-writes to *disjoint* indices from
+/// multiple threads (the `omp parallel for` write pattern over an output
+/// array).
+pub(crate) struct SharedSlice<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: std::marker::PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: writes go to disjoint indices by caller contract; the raw pointer
+// itself is safe to send/share.
+unsafe impl<T: Send> Send for SharedSlice<'_, T> {}
+unsafe impl<T: Send> Sync for SharedSlice<'_, T> {}
+
+impl<'a, T> SharedSlice<'a, T> {
+    pub(crate) fn new(slice: &'a mut [T]) -> Self {
+        SharedSlice {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Writes `value` at `index`.
+    ///
+    /// # Safety
+    /// No two threads may write the same index during one parallel region,
+    /// and nothing may read the index concurrently.
+    #[inline]
+    pub(crate) unsafe fn write(&self, index: usize, value: T) {
+        debug_assert!(index < self.len);
+        // SAFETY: caller guarantees disjointness; bounds asserted above.
+        unsafe { self.ptr.add(index).write(value) };
+    }
+
+    /// Raw pointer to `index`, for a read-then-overwrite by the same owning
+    /// thread.
+    ///
+    /// # Safety
+    /// Same contract as [`SharedSlice::write`]: the index must be owned by
+    /// exactly one thread for the duration of the region.
+    #[inline]
+    pub(crate) unsafe fn ptr_at(&self, index: usize) -> *mut T {
+        debug_assert!(index < self.len);
+        // SAFETY: bounds asserted; aliasing is the caller's contract.
+        unsafe { self.ptr.add(index) }
+    }
+}
+
+/// Atomic multiply of an `f32` stored in an [`AtomicU32`] — the CAS loop a
+/// GPU `atomicCAS`-based float multiply (or an `omp atomic` update on a
+/// float product) performs. Returns the number of CAS retries.
+#[inline]
+pub(crate) fn atomic_mul_f32(cell: &AtomicU32, factor: f32) -> u32 {
+    let mut retries = 0;
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let new = (f32::from_bits(cur) * factor).to_bits();
+        match cell.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return retries,
+            Err(observed) => {
+                cur = observed;
+                retries += 1;
+            }
+        }
+    }
+}
+
+/// Splits `items` into at most `threads` contiguous chunks of near-equal
+/// size (empty input yields no chunks).
+pub(crate) fn chunks_for<T>(items: &[T], threads: usize) -> impl Iterator<Item = &[T]> {
+    let per = items.len().div_ceil(threads.max(1)).max(1);
+    items.chunks(per)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn atomic_mul_is_a_multiply() {
+        let cell = AtomicU32::new(2.0f32.to_bits());
+        atomic_mul_f32(&cell, 3.5);
+        assert_eq!(f32::from_bits(cell.load(Ordering::Relaxed)), 7.0);
+    }
+
+    #[test]
+    fn atomic_mul_under_contention_is_correct() {
+        // 8 threads × 1000 multiplies by x then 1/x nets out to ~1.
+        let cell = AtomicU32::new(1.0f32.to_bits());
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let cell = &cell;
+                s.spawn(move || {
+                    let f = 1.0 + (t as f32 + 1.0) * 1e-3;
+                    for _ in 0..500 {
+                        atomic_mul_f32(cell, f);
+                        atomic_mul_f32(cell, 1.0 / f);
+                    }
+                });
+            }
+        });
+        let v = f32::from_bits(cell.load(Ordering::Relaxed));
+        assert!((v - 1.0).abs() < 1e-2, "got {v}");
+    }
+
+    #[test]
+    fn shared_slice_disjoint_writes() {
+        let mut data = vec![0u32; 64];
+        let shared = SharedSlice::new(&mut data);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let shared = &shared;
+                s.spawn(move || {
+                    for i in (t..64).step_by(4) {
+                        // SAFETY: each thread owns indices ≡ t (mod 4).
+                        unsafe { shared.write(i, i as u32) };
+                    }
+                });
+            }
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i as u32);
+        }
+    }
+
+    #[test]
+    fn chunking_covers_everything() {
+        let items: Vec<u32> = (0..10).collect();
+        let collected: Vec<u32> = chunks_for(&items, 3).flatten().copied().collect();
+        assert_eq!(collected, items);
+        assert!(chunks_for(&items, 3).count() <= 4);
+        assert_eq!(chunks_for(&items, 100).count(), 10);
+    }
+
+    #[test]
+    fn thread_count_resolution() {
+        assert_eq!(thread_count(4), 4);
+        assert!(thread_count(0) >= 1);
+    }
+}

@@ -1,0 +1,96 @@
+//! Engine configuration.
+
+/// Options shared by every BP engine.
+///
+/// Defaults match the paper's evaluation setup (§4): "We execute each of
+/// the benchmarks until they achieve a convergence within 0.001 before
+/// cutting off at a maximum of 200 iterations."
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BpOptions {
+    /// Global convergence threshold: iteration stops once the summed L1
+    /// belief change (Algorithm 1's `sum`) falls below this.
+    pub threshold: f32,
+    /// Per-element threshold used by the work queue (§3.5): a node (or an
+    /// edge, via its destination node) whose last L1 change is below this
+    /// drops out of the queue until a neighbour wakes it.
+    pub queue_threshold: f32,
+    /// Hard iteration cap.
+    pub max_iterations: u32,
+    /// Enables the §3.5 work queues.
+    pub work_queue: bool,
+    /// When a node's belief changes by at least `queue_threshold`, re-enqueue
+    /// its out-neighbours (keeps queue-mode results equal to full sweeps).
+    /// Disabling this reproduces a freeze-once-converged queue.
+    pub wake_neighbors: bool,
+    /// Thread count for the CPU-parallel engines (ignored by sequential
+    /// ones). `0` means "all available cores".
+    pub threads: usize,
+}
+
+impl Default for BpOptions {
+    fn default() -> Self {
+        BpOptions {
+            threshold: 1e-3,
+            queue_threshold: 1e-3,
+            max_iterations: 200,
+            work_queue: false,
+            wake_neighbors: true,
+            threads: 0,
+        }
+    }
+}
+
+impl BpOptions {
+    /// Default options with the work queue enabled.
+    pub fn with_work_queue() -> Self {
+        BpOptions {
+            work_queue: true,
+            ..Default::default()
+        }
+    }
+
+    /// Sets the global and per-element thresholds together.
+    pub fn with_threshold(mut self, t: f32) -> Self {
+        self.threshold = t;
+        self.queue_threshold = t;
+        self
+    }
+
+    /// Sets the iteration cap.
+    pub fn with_max_iterations(mut self, n: u32) -> Self {
+        self.max_iterations = n;
+        self
+    }
+
+    /// Sets the CPU-parallel thread count.
+    pub fn with_threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let o = BpOptions::default();
+        assert_eq!(o.threshold, 1e-3);
+        assert_eq!(o.max_iterations, 200);
+        assert!(!o.work_queue);
+        assert!(o.wake_neighbors);
+    }
+
+    #[test]
+    fn builder_methods_compose() {
+        let o = BpOptions::with_work_queue()
+            .with_threshold(1e-4)
+            .with_max_iterations(50)
+            .with_threads(4);
+        assert!(o.work_queue);
+        assert_eq!(o.queue_threshold, 1e-4);
+        assert_eq!(o.max_iterations, 50);
+        assert_eq!(o.threads, 4);
+    }
+}

@@ -1,0 +1,176 @@
+//! Work queues of unconverged elements (§3.5).
+//!
+//! "Instead of operating on a full list of node or edge indices … the
+//! queues merely consist of the indices of unconverged nodes or edges.
+//! However, after every iteration, the queue clears itself and populates
+//! atomically with the indices of elements which have yet to converge."
+//!
+//! The queue here is node-granular; edge paradigms derive their active arc
+//! set as "arcs whose destination is queued", which is what makes the Fig 9
+//! asymmetry possible: one straggler hub keeps a single entry in the node
+//! queue but keeps *all* of its incoming arcs active in the edge queue.
+
+/// A double-buffered queue of active node indices.
+#[derive(Clone, Debug)]
+pub struct WorkQueue {
+    active: Vec<u32>,
+    next: Vec<u32>,
+    queued_next: Vec<bool>,
+    eligible: Vec<bool>,
+}
+
+impl WorkQueue {
+    /// Builds a queue over `num_nodes` nodes, initially containing every
+    /// node for which `eligible` returns true (engines pass
+    /// `!observed[v]`).
+    pub fn new(num_nodes: usize, eligible: impl Fn(usize) -> bool) -> Self {
+        let eligible: Vec<bool> = (0..num_nodes).map(eligible).collect();
+        let active: Vec<u32> = (0..num_nodes as u32)
+            .filter(|&v| eligible[v as usize])
+            .collect();
+        WorkQueue {
+            active,
+            next: Vec::with_capacity(num_nodes),
+            queued_next: vec![false; num_nodes],
+            eligible,
+        }
+    }
+
+    /// The node indices to process this iteration.
+    #[inline]
+    pub fn active(&self) -> &[u32] {
+        &self.active
+    }
+
+    /// True when nothing is left to process.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.active.is_empty()
+    }
+
+    /// Current queue length.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Enqueues `v` for the next iteration (deduplicated; ineligible nodes
+    /// are ignored).
+    #[inline]
+    pub fn push_next(&mut self, v: u32) {
+        let i = v as usize;
+        if self.eligible[i] && !self.queued_next[i] {
+            self.queued_next[i] = true;
+            self.next.push(v);
+        }
+    }
+
+    /// Bulk-enqueues from a parallel repopulation: `flags[v]` was set
+    /// atomically during the iteration. Merges with anything already pushed
+    /// via [`WorkQueue::push_next`].
+    pub fn push_next_from_flags(&mut self, flags: &[std::sync::atomic::AtomicBool]) {
+        use std::sync::atomic::Ordering;
+        debug_assert_eq!(flags.len(), self.queued_next.len());
+        for (v, f) in flags.iter().enumerate() {
+            if f.swap(false, Ordering::Relaxed) {
+                self.push_next(v as u32);
+            }
+        }
+    }
+
+    /// Finishes an iteration: the nodes pushed for "next" become the active
+    /// set. Keeps ascending order so engine sweeps stay cache-friendly.
+    pub fn advance(&mut self) {
+        for &v in &self.next {
+            self.queued_next[v as usize] = false;
+        }
+        self.next.sort_unstable();
+        std::mem::swap(&mut self.active, &mut self.next);
+        self.next.clear();
+    }
+
+    /// Resets to "everything eligible is active".
+    pub fn reset(&mut self) {
+        self.active.clear();
+        self.active.extend(
+            (0..self.eligible.len() as u32).filter(|&v| self.eligible[v as usize]),
+        );
+        self.next.clear();
+        self.queued_next.fill(false);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    #[test]
+    fn starts_with_all_eligible() {
+        let q = WorkQueue::new(5, |v| v != 2);
+        assert_eq!(q.active(), &[0, 1, 3, 4]);
+        assert_eq!(q.len(), 4);
+    }
+
+    #[test]
+    fn push_dedups_and_filters_ineligible() {
+        let mut q = WorkQueue::new(4, |v| v != 3);
+        q.push_next(1);
+        q.push_next(1);
+        q.push_next(3); // ineligible (observed)
+        q.push_next(0);
+        q.advance();
+        assert_eq!(q.active(), &[0, 1]);
+    }
+
+    #[test]
+    fn advance_sorts_ascending() {
+        let mut q = WorkQueue::new(10, |_| true);
+        for v in [7, 2, 9, 2, 0] {
+            q.push_next(v);
+        }
+        q.advance();
+        assert_eq!(q.active(), &[0, 2, 7, 9]);
+    }
+
+    #[test]
+    fn drains_to_empty() {
+        let mut q = WorkQueue::new(3, |_| true);
+        q.advance();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut q = WorkQueue::new(3, |_| true);
+        q.advance(); // empty
+        q.reset();
+        assert_eq!(q.active(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn atomic_flag_merge() {
+        let mut q = WorkQueue::new(4, |_| true);
+        let flags: Vec<AtomicBool> = (0..4).map(|_| AtomicBool::new(false)).collect();
+        flags[1].store(true, Ordering::Relaxed);
+        flags[3].store(true, Ordering::Relaxed);
+        q.push_next(3); // overlap with flags
+        q.push_next_from_flags(&flags);
+        q.advance();
+        assert_eq!(q.active(), &[1, 3]);
+        // flags were consumed
+        assert!(!flags[1].load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn reuse_across_iterations() {
+        let mut q = WorkQueue::new(3, |_| true);
+        q.push_next(2);
+        q.advance();
+        assert_eq!(q.active(), &[2]);
+        q.push_next(2);
+        q.push_next(0);
+        q.advance();
+        assert_eq!(q.active(), &[0, 2]);
+    }
+}

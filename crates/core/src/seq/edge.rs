@@ -1,0 +1,251 @@
+//! The sequential per-edge engine — the paper's "C Edge" implementation.
+//!
+//! §3.3: "each edge pulls the current state of the parent node and combines
+//! it with the joint probability matrix along the edge and the child node's
+//! state to produce the new state of the child node." The engine streams
+//! the arc list linearly (excellent locality on edge data), accumulating
+//! message products into per-node accumulators that a second pass
+//! marginalizes. Sequentially no atomics are needed; the parallel variants
+//! of this paradigm must combine atomically.
+
+use crate::convergence::ConvergenceTracker;
+use crate::engine::{BpEngine, EngineError, Paradigm, Platform};
+use crate::opts::BpOptions;
+use crate::queue::WorkQueue;
+use crate::stats::BpStats;
+use credo_graph::{Belief, BeliefGraph};
+use std::time::Instant;
+
+/// Sequential per-edge loopy BP.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SeqEdgeEngine;
+
+impl BpEngine for SeqEdgeEngine {
+    fn name(&self) -> &'static str {
+        "C Edge"
+    }
+
+    fn paradigm(&self) -> Paradigm {
+        Paradigm::Edge
+    }
+
+    fn platform(&self) -> Platform {
+        Platform::CpuSequential
+    }
+
+    fn run(&self, graph: &mut BeliefGraph, opts: &BpOptions) -> Result<BpStats, EngineError> {
+        let start = Instant::now();
+        let n = graph.num_nodes();
+        let mut acc: Vec<Belief> = graph.priors().to_vec();
+        let mut tracker = ConvergenceTracker::new(opts);
+        let mut node_updates = 0u64;
+        let mut message_updates = 0u64;
+
+        let full_nodes: Vec<u32> = (0..n as u32)
+            .filter(|&v| !graph.observed()[v as usize])
+            .collect();
+        // Full arc sweep skips arcs into observed nodes once, up front.
+        let full_arcs: Vec<u32> = (0..graph.num_arcs() as u32)
+            .filter(|&a| !graph.observed()[graph.arc(a).dst as usize])
+            .collect();
+
+        let mut queue = opts
+            .work_queue
+            .then(|| WorkQueue::new(n, |v| !graph.observed()[v]));
+        let mut arc_queue: Vec<u32> = Vec::new();
+        let mut changed: Vec<u32> = Vec::new();
+
+        loop {
+            let (active_nodes, active_arcs): (&[u32], &[u32]) = match &queue {
+                Some(q) => {
+                    // §3.5: the edge queue holds "the indices of unconverged
+                    // edges" — every arc whose destination is still queued.
+                    arc_queue.clear();
+                    for &v in q.active() {
+                        arc_queue.extend_from_slice(graph.in_arcs(v));
+                    }
+                    (q.active(), &arc_queue)
+                }
+                None => (&full_nodes, &full_arcs),
+            };
+            if active_nodes.is_empty() {
+                tracker.mark_converged();
+                break;
+            }
+
+            // Phase 1: reset accumulators to priors for the nodes being
+            // recomputed.
+            for &v in active_nodes {
+                acc[v as usize] = graph.priors()[v as usize];
+            }
+
+            // Phase 2: stream the active arcs, combining each message into
+            // its destination's accumulator.
+            {
+                let prev = graph.beliefs();
+                for &a in active_arcs {
+                    let arc = graph.arc(a);
+                    let msg = graph.potential(a).message(&prev[arc.src as usize]);
+                    acc[arc.dst as usize].mul_assign_rescaling(&msg);
+                }
+            }
+            message_updates += active_arcs.len() as u64;
+
+            // Phase 3: marginalize and measure convergence.
+            let mut sum = 0.0f32;
+            changed.clear();
+            {
+                let beliefs = graph.beliefs_mut();
+                for &v in active_nodes {
+                    let mut new = acc[v as usize];
+                    new.normalize();
+                    let diff = new.l1_diff(&beliefs[v as usize]);
+                    sum += diff;
+                    beliefs[v as usize] = new;
+                    if diff >= opts.queue_threshold {
+                        changed.push(v);
+                    }
+                }
+            }
+            node_updates += active_nodes.len() as u64;
+
+            if let Some(q) = &mut queue {
+                for &v in &changed {
+                    q.push_next(v);
+                    if opts.wake_neighbors {
+                        for &a in graph.out_arcs(v) {
+                            q.push_next(graph.arc(a).dst);
+                        }
+                    }
+                }
+                q.advance();
+            }
+
+            if !tracker.record(sum) {
+                break;
+            }
+        }
+
+        let elapsed = start.elapsed();
+        Ok(BpStats {
+            engine: self.name(),
+            iterations: tracker.iterations(),
+            converged: tracker.converged(),
+            final_delta: if tracker.last_sum().is_finite() {
+                tracker.last_sum()
+            } else {
+                0.0
+            },
+            node_updates,
+            message_updates,
+            reported_time: elapsed,
+            host_time: elapsed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::SeqNodeEngine;
+    use credo_graph::generators::{
+        kronecker, preferential_attachment, synthetic, GenOptions, PotentialKind,
+    };
+    use credo_graph::{GraphBuilder, JointMatrix};
+
+    #[test]
+    fn edge_and_node_engines_agree() {
+        for seed in [1u64, 2, 3] {
+            let opts = GenOptions::new(3).with_seed(seed);
+            let mut g1 = synthetic(150, 600, &opts);
+            let mut g2 = g1.clone();
+            let run = BpOptions::default();
+            SeqNodeEngine.run(&mut g1, &run).unwrap();
+            SeqEdgeEngine.run(&mut g2, &run).unwrap();
+            for (a, b) in g1.beliefs().iter().zip(g2.beliefs()) {
+                assert!(
+                    a.linf_diff(b) < 1e-4,
+                    "paradigms must compute the same fixed point (seed {seed})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn agree_on_heavy_tailed_graphs() {
+        let mut g1 = kronecker(8, 8, &GenOptions::new(2).with_seed(11));
+        let mut g2 = g1.clone();
+        SeqNodeEngine.run(&mut g1, &BpOptions::default()).unwrap();
+        SeqEdgeEngine.run(&mut g2, &BpOptions::default()).unwrap();
+        for (a, b) in g1.beliefs().iter().zip(g2.beliefs()) {
+            assert!(a.linf_diff(b) < 1e-3);
+        }
+    }
+
+    #[test]
+    fn agree_with_per_edge_potentials() {
+        let opts = GenOptions::new(2)
+            .with_seed(4)
+            .with_potentials(PotentialKind::PerEdgeRandom);
+        let mut g1 = synthetic(80, 240, &opts);
+        let mut g2 = g1.clone();
+        SeqNodeEngine.run(&mut g1, &BpOptions::default()).unwrap();
+        SeqEdgeEngine.run(&mut g2, &BpOptions::default()).unwrap();
+        for (a, b) in g1.beliefs().iter().zip(g2.beliefs()) {
+            assert!(a.linf_diff(b) < 1e-3);
+        }
+    }
+
+    #[test]
+    fn queue_mode_matches_full_sweeps() {
+        let mut g1 = preferential_attachment(300, 3, &GenOptions::new(2).with_seed(6));
+        let mut g2 = g1.clone();
+        SeqEdgeEngine.run(&mut g1, &BpOptions::default()).unwrap();
+        let stats = SeqEdgeEngine
+            .run(&mut g2, &BpOptions::with_work_queue())
+            .unwrap();
+        for (a, b) in g1.beliefs().iter().zip(g2.beliefs()) {
+            assert!(a.linf_diff(b) < 5e-3);
+        }
+        assert!(stats.iterations > 0);
+    }
+
+    #[test]
+    fn hub_keeps_edge_queue_large() {
+        // Star: hub 0 with 60 leaves. Once the leaves converge, a single
+        // unconverged hub keeps 60 incoming arcs active (the §4.2/Fig 9
+        // asymmetry between node- and edge-granular queues).
+        let mut b = GraphBuilder::new();
+        let hub = b.add_node(Belief::uniform(2));
+        b.shared_potential(JointMatrix::smoothing(2, 0.05));
+        for i in 0..60 {
+            let leaf = b.add_node(Belief::from_slice(&[0.4 + 0.003 * i as f32, 0.0]));
+            b.add_undirected_edge(hub, leaf);
+        }
+        let mut g = b.build().unwrap();
+        for v in g.beliefs_mut() {
+            v.normalize();
+        }
+        let stats = SeqEdgeEngine
+            .run(&mut g, &BpOptions::with_work_queue())
+            .unwrap();
+        // More message updates per node update than the node count would
+        // suggest: hub arcs dominate late iterations.
+        assert!(stats.message_updates > stats.node_updates);
+    }
+
+    #[test]
+    fn arcs_into_observed_nodes_are_skipped() {
+        let mut b = GraphBuilder::new();
+        let n0 = b.add_node(Belief::uniform(2));
+        let n1 = b.add_node(Belief::uniform(2));
+        b.shared_potential(JointMatrix::smoothing(2, 0.2));
+        b.add_undirected_edge(n0, n1);
+        let mut g = b.build().unwrap();
+        g.observe(1, 0);
+        let stats = SeqEdgeEngine.run(&mut g, &BpOptions::default()).unwrap();
+        assert_eq!(g.beliefs()[1].as_slice(), &[1.0, 0.0]);
+        // Only the arc 1 -> 0 is ever processed.
+        assert_eq!(stats.message_updates, stats.iterations as u64);
+    }
+}

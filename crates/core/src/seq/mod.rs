@@ -1,0 +1,12 @@
+//! Single-threaded engines — the paper's optimized "C" control
+//! implementations plus the traditional two-pass baseline.
+
+mod edge;
+mod naive_tree;
+mod node;
+mod tree;
+
+pub use edge::SeqEdgeEngine;
+pub use naive_tree::NaiveTreeEngine;
+pub use node::SeqNodeEngine;
+pub use tree::TreeEngine;

@@ -1,0 +1,391 @@
+//! The traditional (non-loopy) two-pass BP algorithm (§2.1).
+//!
+//! "The φ-value emissions must start from the root nodes and work their way
+//! down the tree. Likewise, the ψ-value emissions must start from the
+//! terminal nodes [and] work their way up the tree to the roots."
+//!
+//! On trees this engine is *exact* sum-product (verified against brute
+//! force in the tests). On cyclic inputs it follows the only sensible
+//! interpretation of running a tree algorithm on a general graph: it
+//! computes a BFS spanning forest, determines levels, and runs the two
+//! sweeps over the forest — the "determining the levels of a graph and
+//! processing the graph by-level" overhead the paper measures in §2.1.1.
+
+use crate::engine::{BpEngine, EngineError, Paradigm, Platform};
+use crate::opts::BpOptions;
+use crate::stats::BpStats;
+use credo_graph::{Belief, BeliefGraph};
+use std::time::Instant;
+
+/// Per-node spanning-forest record.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct TreeSlot {
+    /// Arc realizing the edge to the BFS parent, if any.
+    pub parent_arc: Option<(u32, bool)>, // (arc id, oriented parent -> node)
+    /// Parent node id (meaningful when `parent_arc` is Some).
+    pub parent: u32,
+    /// BFS level (0 for roots). Carried for diagnostics and invariant
+    /// checks; the sweeps themselves use the grouped `levels` lists.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub level: u32,
+}
+
+/// Computes a BFS spanning forest over the graph's arcs (treated as
+/// undirected), returning per-node slots and nodes grouped by level.
+pub(crate) fn spanning_forest(graph: &BeliefGraph) -> (Vec<TreeSlot>, Vec<Vec<u32>>) {
+    let n = graph.num_nodes();
+    let mut slots = vec![
+        TreeSlot {
+            parent_arc: None,
+            parent: u32::MAX,
+            level: 0
+        };
+        n
+    ];
+    let mut visited = vec![false; n];
+    let mut levels: Vec<Vec<u32>> = Vec::new();
+    let mut frontier: Vec<u32> = Vec::new();
+    let mut next: Vec<u32> = Vec::new();
+
+    for start in 0..n as u32 {
+        if visited[start as usize] {
+            continue;
+        }
+        visited[start as usize] = true;
+        frontier.clear();
+        frontier.push(start);
+        let mut level = 0u32;
+        while !frontier.is_empty() {
+            if levels.len() <= level as usize {
+                levels.push(Vec::new());
+            }
+            levels[level as usize].extend_from_slice(&frontier);
+            next.clear();
+            for &u in &frontier {
+                // Out-arcs: u -> w, forward orientation for w's parent edge.
+                for &a in graph.out_arcs(u) {
+                    let w = graph.arc(a).dst;
+                    if !visited[w as usize] {
+                        visited[w as usize] = true;
+                        slots[w as usize] = TreeSlot {
+                            parent_arc: Some((a, true)),
+                            parent: u,
+                            level: level + 1,
+                        };
+                        next.push(w);
+                    }
+                }
+                // In-arcs: w -> u, reverse orientation for w's parent edge.
+                for &a in graph.in_arcs(u) {
+                    let w = graph.arc(a).src;
+                    if !visited[w as usize] {
+                        visited[w as usize] = true;
+                        slots[w as usize] = TreeSlot {
+                            parent_arc: Some((a, false)),
+                            parent: u,
+                            level: level + 1,
+                        };
+                        next.push(w);
+                    }
+                }
+            }
+            std::mem::swap(&mut frontier, &mut next);
+            level += 1;
+        }
+    }
+    (slots, levels)
+}
+
+/// Runs exact two-pass sum-product over a spanning forest described by
+/// `slots`/`levels`, writing beliefs into the graph. Returns
+/// (node updates, message updates).
+pub(crate) fn two_pass(
+    graph: &mut BeliefGraph,
+    slots: &[TreeSlot],
+    levels: &[Vec<u32>],
+    children: &[Vec<u32>],
+) -> (u64, u64) {
+    let n = graph.num_nodes();
+    let card = |v: u32| graph.cardinality(v);
+    // up[v]: message from v to its parent; down[v]: message parent -> v.
+    let mut up: Vec<Belief> = (0..n as u32).map(|v| Belief::uniform(card(v))).collect();
+    let mut down: Vec<Belief> = up.clone();
+    let mut messages = 0u64;
+
+    // Upward (ψ) sweep: deepest level first.
+    for level_nodes in levels.iter().rev() {
+        for &v in level_nodes {
+            let Some((arc, fwd)) = slots[v as usize].parent_arc else {
+                continue;
+            };
+            let mut beta = graph.priors()[v as usize];
+            for &c in &children[v as usize] {
+                beta.mul_assign(&up[c as usize]);
+                beta.scale_max_to_one();
+            }
+            let pot = graph.potential(arc);
+            up[v as usize] = if fwd {
+                pot.message_reverse(&beta)
+            } else {
+                pot.message(&beta)
+            };
+            messages += 1;
+        }
+    }
+
+    // Downward (φ) sweep: roots first. Uses prefix/suffix products over the
+    // parent's children so each child's own upward message is excluded.
+    let mut prefix: Vec<Belief> = Vec::new();
+    for level_nodes in levels {
+        for &p in level_nodes {
+            let kids = &children[p as usize];
+            if kids.is_empty() {
+                continue;
+            }
+            let mut alpha_base = graph.priors()[p as usize];
+            if slots[p as usize].parent_arc.is_some() {
+                alpha_base.mul_assign(&down[p as usize]);
+                alpha_base.scale_max_to_one();
+            }
+            // prefix[i] = alpha_base * up[kids[0]] * ... * up[kids[i-1]]
+            prefix.clear();
+            prefix.push(alpha_base);
+            for &c in kids {
+                let mut next = prefix[prefix.len() - 1];
+                next.mul_assign(&up[c as usize]);
+                next.scale_max_to_one();
+                prefix.push(next);
+            }
+            // Walk suffixes backwards.
+            let mut suffix = Belief::uniform(card(p));
+            suffix.as_mut_slice().fill(1.0);
+            for i in (0..kids.len()).rev() {
+                let c = kids[i];
+                let mut alpha = prefix[i];
+                alpha.mul_assign(&suffix);
+                alpha.scale_max_to_one();
+                let (arc, fwd) = slots[c as usize]
+                    .parent_arc
+                    .expect("child has a parent arc by construction");
+                let pot = graph.potential(arc);
+                down[c as usize] = if fwd {
+                    pot.message(&alpha)
+                } else {
+                    pot.message_reverse(&alpha)
+                };
+                messages += 1;
+                suffix.mul_assign(&up[c as usize]);
+                suffix.scale_max_to_one();
+            }
+        }
+    }
+
+    // Beliefs: prior × down message × children's up messages.
+    let observed = graph.observed().to_vec();
+    for v in 0..n as u32 {
+        if observed[v as usize] {
+            continue;
+        }
+        let mut b = graph.priors()[v as usize];
+        if slots[v as usize].parent_arc.is_some() {
+            b.mul_assign(&down[v as usize]);
+            b.scale_max_to_one();
+        }
+        for &c in &children[v as usize] {
+            b.mul_assign(&up[c as usize]);
+            b.scale_max_to_one();
+        }
+        b.normalize();
+        graph.beliefs_mut()[v as usize] = b;
+    }
+    (n as u64, messages)
+}
+
+/// Builds children lists from the spanning-forest parent pointers.
+pub(crate) fn children_lists(slots: &[TreeSlot]) -> Vec<Vec<u32>> {
+    let mut children = vec![Vec::new(); slots.len()];
+    for (v, slot) in slots.iter().enumerate() {
+        if slot.parent_arc.is_some() {
+            children[slot.parent as usize].push(v as u32);
+        }
+    }
+    children
+}
+
+/// The optimized traditional two-pass engine.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TreeEngine;
+
+impl BpEngine for TreeEngine {
+    fn name(&self) -> &'static str {
+        "Tree (two-pass)"
+    }
+
+    fn paradigm(&self) -> Paradigm {
+        Paradigm::Tree
+    }
+
+    fn platform(&self) -> Platform {
+        Platform::CpuSequential
+    }
+
+    fn run(&self, graph: &mut BeliefGraph, opts: &BpOptions) -> Result<BpStats, EngineError> {
+        let start = Instant::now();
+        let (slots, levels) = spanning_forest(graph);
+        let children = children_lists(&slots);
+        let (node_updates, message_updates) = two_pass(graph, &slots, &levels, &children);
+        let _ = opts;
+        let elapsed = start.elapsed();
+        Ok(BpStats {
+            engine: self.name(),
+            iterations: 2,
+            converged: true,
+            final_delta: 0.0,
+            node_updates,
+            message_updates,
+            reported_time: elapsed,
+            host_time: elapsed,
+        })
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use credo_graph::generators::{random_tree, synthetic, GenOptions, PotentialKind};
+    use credo_graph::{GraphBuilder, JointMatrix};
+
+    /// Brute-force marginals of the pairwise model
+    /// P(x) ∝ Π_v prior[v](x_v) · Π_arcs J_a(x_src, x_dst).
+    pub(crate) fn brute_force_marginals(g: &BeliefGraph) -> Vec<Belief> {
+        let n = g.num_nodes();
+        let cards: Vec<usize> = (0..n as u32).map(|v| g.cardinality(v)).collect();
+        let total: usize = cards.iter().product();
+        assert!(total <= 1 << 20, "brute force only for tiny graphs");
+        let mut marginals: Vec<Belief> = cards.iter().map(|&c| Belief::zeros(c)).collect();
+        let mut assignment = vec![0usize; n];
+        for mut idx in 0..total {
+            for v in 0..n {
+                assignment[v] = idx % cards[v];
+                idx /= cards[v];
+            }
+            let mut p = 1.0f64;
+            for v in 0..n {
+                p *= g.priors()[v].get(assignment[v]) as f64;
+            }
+            for (a, arc) in g.arcs().iter().enumerate() {
+                let pot = g.potential(a as u32);
+                p *= pot.get(assignment[arc.src as usize], assignment[arc.dst as usize]) as f64;
+            }
+            for v in 0..n {
+                let cur = marginals[v].get(assignment[v]);
+                marginals[v].set(assignment[v], cur + p as f32);
+            }
+        }
+        for m in &mut marginals {
+            m.normalize();
+        }
+        marginals
+    }
+
+    #[test]
+    fn exact_on_a_chain() {
+        let mut b = GraphBuilder::new();
+        let n0 = b.add_node(Belief::from_slice(&[0.9, 0.1]));
+        let n1 = b.add_node(Belief::uniform(2));
+        let n2 = b.add_node(Belief::from_slice(&[0.3, 0.7]));
+        b.add_directed_edge_with(n0, n1, JointMatrix::smoothing(2, 0.2));
+        b.add_directed_edge_with(n1, n2, JointMatrix::smoothing(2, 0.3));
+        let mut g = b.build().unwrap();
+        let expected = brute_force_marginals(&g);
+        TreeEngine.run(&mut g, &BpOptions::default()).unwrap();
+        for (got, want) in g.beliefs().iter().zip(&expected) {
+            assert!(got.linf_diff(want) < 1e-5, "{got:?} vs {want:?}");
+        }
+    }
+
+    #[test]
+    fn exact_on_random_trees() {
+        for seed in [3u64, 8, 21] {
+            let opts = GenOptions::new(3)
+                .with_seed(seed)
+                .with_potentials(PotentialKind::PerEdgeRandom);
+            let mut g = random_tree(9, &opts);
+            let expected = brute_force_marginals(&g);
+            TreeEngine.run(&mut g, &BpOptions::default()).unwrap();
+            for (v, (got, want)) in g.beliefs().iter().zip(&expected).enumerate() {
+                assert!(
+                    got.linf_diff(want) < 1e-4,
+                    "seed {seed} node {v}: {got:?} vs {want:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_on_a_star() {
+        let mut b = GraphBuilder::new();
+        let hub = b.add_node(Belief::uniform(2));
+        for i in 0..5u32 {
+            let leaf = b.add_node(Belief::from_slice(&[0.5 + 0.08 * i as f32, 0.5]));
+            b.add_directed_edge_with(hub, leaf, JointMatrix::smoothing(2, 0.15));
+        }
+        let mut g = b.build().unwrap();
+        let expected = brute_force_marginals(&g);
+        TreeEngine.run(&mut g, &BpOptions::default()).unwrap();
+        for (got, want) in g.beliefs().iter().zip(&expected) {
+            assert!(got.linf_diff(want) < 1e-4);
+        }
+    }
+
+    #[test]
+    fn handles_forests() {
+        // Two disconnected chains.
+        let mut b = GraphBuilder::new();
+        for _ in 0..4 {
+            b.add_node(Belief::from_slice(&[0.8, 0.2]));
+        }
+        b.add_directed_edge_with(0, 1, JointMatrix::smoothing(2, 0.1));
+        b.add_directed_edge_with(2, 3, JointMatrix::smoothing(2, 0.1));
+        let mut g = b.build().unwrap();
+        let expected = brute_force_marginals(&g);
+        TreeEngine.run(&mut g, &BpOptions::default()).unwrap();
+        for (got, want) in g.beliefs().iter().zip(&expected) {
+            assert!(got.linf_diff(want) < 1e-5);
+        }
+    }
+
+    #[test]
+    fn runs_on_cyclic_graphs_via_spanning_forest() {
+        let mut g = synthetic(50, 200, &GenOptions::new(2).with_seed(9));
+        let stats = TreeEngine.run(&mut g, &BpOptions::default()).unwrap();
+        assert_eq!(stats.iterations, 2);
+        for b in g.beliefs() {
+            assert!(b.is_valid() && b.is_normalized(1e-4));
+        }
+        // Spanning forest of a connected-ish graph uses < all arcs.
+        assert!(stats.message_updates < g.num_arcs() as u64);
+    }
+
+    #[test]
+    fn spanning_forest_levels_partition_nodes() {
+        let g = synthetic(60, 180, &GenOptions::new(2).with_seed(2));
+        let (slots, levels) = spanning_forest(&g);
+        let total: usize = levels.iter().map(Vec::len).sum();
+        assert_eq!(total, g.num_nodes());
+        for (lv, nodes) in levels.iter().enumerate() {
+            for &v in nodes {
+                assert_eq!(slots[v as usize].level as usize, lv);
+            }
+        }
+    }
+
+    #[test]
+    fn observed_nodes_kept_fixed() {
+        let opts = GenOptions::new(2).with_potentials(PotentialKind::PerEdgeRandom);
+        let mut g = random_tree(8, &opts);
+        g.observe(3, 1);
+        TreeEngine.run(&mut g, &BpOptions::default()).unwrap();
+        assert_eq!(g.beliefs()[3].as_slice(), &[0.0, 1.0]);
+    }
+}

@@ -1,0 +1,76 @@
+//! Execution statistics reported by every engine.
+
+use std::time::Duration;
+
+/// What happened during a BP run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BpStats {
+    /// Engine identifier ("C Node", "CUDA Edge", …).
+    pub engine: &'static str,
+    /// Iterations executed (a traditional two-pass run reports 2).
+    pub iterations: u32,
+    /// True when the global sum fell below the threshold (or the work queue
+    /// drained) before the iteration cap.
+    pub converged: bool,
+    /// Final global L1 change (Algorithm 1's `sum` at exit).
+    pub final_delta: f32,
+    /// Node updates performed across all iterations.
+    pub node_updates: u64,
+    /// Edge messages computed across all iterations.
+    pub message_updates: u64,
+    /// The time the engine reports for comparison purposes. For CPU
+    /// engines this is host wall-clock; for simulated-GPU engines it is
+    /// **simulated device time** (see `credo-gpusim`), which is the number
+    /// the paper's figures correspond to.
+    pub reported_time: Duration,
+    /// Actual host wall-clock spent, for every engine (equals
+    /// `reported_time` on CPU engines; much larger than simulated time for
+    /// GPU engines, since functional emulation is not free).
+    pub host_time: Duration,
+}
+
+impl BpStats {
+    /// Reported time in seconds as `f64`.
+    pub fn seconds(&self) -> f64 {
+        self.reported_time.as_secs_f64()
+    }
+
+    /// Speedup of `self` relative to `baseline` (baseline time / our time),
+    /// in reported time.
+    pub fn speedup_vs(&self, baseline: &BpStats) -> f64 {
+        let mine = self.reported_time.as_secs_f64();
+        if mine == 0.0 {
+            return f64::INFINITY;
+        }
+        baseline.reported_time.as_secs_f64() / mine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_is_baseline_over_self() {
+        let fast = BpStats {
+            reported_time: Duration::from_millis(10),
+            ..Default::default()
+        };
+        let slow = BpStats {
+            reported_time: Duration::from_millis(1000),
+            ..Default::default()
+        };
+        assert!((fast.speedup_vs(&slow) - 100.0).abs() < 1e-9);
+        assert!((slow.speedup_vs(&fast) - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_time_speedup_is_infinite() {
+        let zero = BpStats::default();
+        let slow = BpStats {
+            reported_time: Duration::from_millis(5),
+            ..Default::default()
+        };
+        assert!(zero.speedup_vs(&slow).is_infinite());
+    }
+}

@@ -1,0 +1,173 @@
+//! # Credo
+//!
+//! The full system from *"Rumor Has It: Optimizing the Belief Propagation
+//! Algorithm for Parallel Processing"* (ICPP Workshops 2020): optimized
+//! loopy belief propagation for small and large graphs with automatic,
+//! metadata-driven selection of the best implementation.
+//!
+//! ```
+//! use credo::{Credo, BpOptions};
+//! use credo::graph::generators::{synthetic, GenOptions};
+//! use credo_gpusim::PASCAL_GTX1070;
+//!
+//! let mut g = synthetic(1000, 4000, &GenOptions::new(2));
+//! let credo = Credo::new(PASCAL_GTX1070);
+//! let (chosen, stats) = credo.run(&mut g, &BpOptions::default()).unwrap();
+//! println!("{chosen}: {} iterations in {:?}", stats.iterations, stats.reported_time);
+//! assert!(g.beliefs().iter().all(|b| b.is_normalized(1e-3)));
+//! ```
+//!
+//! The building blocks are re-exported: [`graph`] (structures +
+//! generators), [`io`] (BIF / XML-BIF / Credo-MTX), [`engines`]
+//! (sequential, OpenMP-analogue and simulated-CUDA implementations),
+//! [`ml`] (the classifier library) and [`gpusim`] (the device model).
+
+#![warn(missing_docs)]
+
+mod selector;
+
+pub use selector::{Implementation, Selector, ALL_IMPLEMENTATIONS};
+
+pub use credo_core::{BpEngine, BpOptions, BpStats, EngineError, Paradigm, Platform};
+
+/// Graph structures and generators.
+pub use credo_graph as graph;
+/// Input/output formats.
+pub use credo_io as io;
+/// The classifier library.
+pub use credo_ml as ml;
+/// The simulated GPU.
+pub use credo_gpusim as gpusim;
+
+/// The BP engines.
+pub mod engines {
+    pub use credo_core::openmp::{OpenMpEdgeEngine, OpenMpNodeEngine};
+    pub use credo_core::seq::{NaiveTreeEngine, SeqEdgeEngine, SeqNodeEngine, TreeEngine};
+    pub use credo_cuda::{CudaEdgeEngine, CudaNodeEngine, OpenAccEngine};
+}
+
+use credo_cuda::{CudaEdgeEngine, CudaNodeEngine};
+use credo_gpusim::{ArchProfile, Device};
+use credo_graph::BeliefGraph;
+
+/// The assembled system (§3.1): "Based on a given input graph and its
+/// metadata, Credo chooses the best from these implementations before
+/// executing BP with that method."
+pub struct Credo {
+    device: Device,
+    selector: Selector,
+}
+
+impl Credo {
+    /// Credo on the given GPU architecture with the rule-based selector
+    /// (§3.7's observed rule; train a [`Selector`] for the full
+    /// classifier).
+    pub fn new(profile: ArchProfile) -> Self {
+        Credo {
+            device: Device::new(profile),
+            selector: Selector::rule_based(),
+        }
+    }
+
+    /// Replaces the selector (e.g. with a trained random forest).
+    pub fn with_selector(mut self, selector: Selector) -> Self {
+        self.selector = selector;
+        self
+    }
+
+    /// The simulated device used by the CUDA implementations.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// The active selector.
+    pub fn selector(&self) -> &Selector {
+        &self.selector
+    }
+
+    /// Chooses the implementation for a graph from its metadata alone
+    /// (no BP executed).
+    pub fn select(&self, graph: &BeliefGraph) -> Implementation {
+        self.selector.select(&graph.metadata())
+    }
+
+    /// Instantiates the engine for an implementation.
+    pub fn engine(&self, which: Implementation) -> Box<dyn BpEngine> {
+        match which {
+            Implementation::CEdge => Box::new(credo_core::seq::SeqEdgeEngine),
+            Implementation::CNode => Box::new(credo_core::seq::SeqNodeEngine),
+            Implementation::CudaEdge => Box::new(CudaEdgeEngine::new(self.device.clone())),
+            Implementation::CudaNode => Box::new(CudaNodeEngine::new(self.device.clone())),
+        }
+    }
+
+    /// Selects and runs: the paper's end-to-end flow. Falls back to the
+    /// C implementation of the same paradigm when the graph does not fit
+    /// in VRAM (§4.2's excluded benchmarks must still complete).
+    pub fn run(
+        &self,
+        graph: &mut BeliefGraph,
+        opts: &BpOptions,
+    ) -> Result<(Implementation, BpStats), EngineError> {
+        let chosen = self.select(graph);
+        match self.engine(chosen).run(graph, opts) {
+            Ok(stats) => Ok((chosen, stats)),
+            Err(EngineError::OutOfDeviceMemory { .. }) => {
+                let fallback = match chosen {
+                    Implementation::CudaEdge => Implementation::CEdge,
+                    Implementation::CudaNode => Implementation::CNode,
+                    other => other,
+                };
+                let stats = self.engine(fallback).run(graph, opts)?;
+                Ok((fallback, stats))
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use credo_gpusim::{TrackedAlloc, PASCAL_GTX1070};
+    use credo_graph::generators::{synthetic, GenOptions};
+
+    #[test]
+    fn small_graphs_run_on_cpu() {
+        let credo = Credo::new(PASCAL_GTX1070);
+        let mut g = synthetic(100, 400, &GenOptions::new(2));
+        let (chosen, stats) = credo.run(&mut g, &BpOptions::default()).unwrap();
+        assert_eq!(chosen, Implementation::CEdge);
+        assert!(stats.iterations > 0);
+    }
+
+    #[test]
+    fn selection_is_metadata_only() {
+        let credo = Credo::new(PASCAL_GTX1070);
+        let g = synthetic(100, 400, &GenOptions::new(2));
+        let before = credo.device().kernel_launches();
+        let _ = credo.select(&g);
+        assert_eq!(credo.device().kernel_launches(), before);
+    }
+
+    #[test]
+    fn vram_exhaustion_falls_back_to_cpu() {
+        let credo = Credo::new(PASCAL_GTX1070);
+        let _hog =
+            TrackedAlloc::new(credo.device(), credo.device().profile().vram_bytes - 1024).unwrap();
+        // Force a CUDA choice via a selector that always answers CUDA Node.
+        let credo = credo.with_selector(Selector::fixed(Implementation::CudaNode));
+        let mut g = synthetic(500, 2000, &GenOptions::new(2));
+        let (chosen, stats) = credo.run(&mut g, &BpOptions::default()).unwrap();
+        assert_eq!(chosen, Implementation::CNode);
+        assert!(stats.converged || stats.iterations > 0);
+    }
+
+    #[test]
+    fn run_produces_normalized_beliefs() {
+        let credo = Credo::new(PASCAL_GTX1070);
+        let mut g = synthetic(2000, 8000, &GenOptions::new(3).with_seed(2));
+        credo.run(&mut g, &BpOptions::default()).unwrap();
+        assert!(g.beliefs().iter().all(|b| b.is_normalized(1e-3)));
+    }
+}

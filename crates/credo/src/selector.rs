@@ -1,0 +1,242 @@
+//! Implementation selection (§3.7): a rule for the easy ends of the size
+//! spectrum and a trained random forest for the middle ground.
+
+use credo_graph::{FeatureVector, GraphMetadata};
+use credo_ml::{Classifier, RandomForest};
+
+/// The four implementations Credo dispatches over.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Implementation {
+    /// Sequential per-edge ("C Edge").
+    CEdge,
+    /// Sequential per-node ("C Node").
+    CNode,
+    /// Simulated-GPU per-edge ("CUDA Edge").
+    CudaEdge,
+    /// Simulated-GPU per-node ("CUDA Node").
+    CudaNode,
+}
+
+/// All implementations, in label order (the classifier's class ids).
+pub const ALL_IMPLEMENTATIONS: [Implementation; 4] = [
+    Implementation::CEdge,
+    Implementation::CNode,
+    Implementation::CudaEdge,
+    Implementation::CudaNode,
+];
+
+impl Implementation {
+    /// Class id used when training the classifier.
+    pub fn class_id(self) -> usize {
+        ALL_IMPLEMENTATIONS
+            .iter()
+            .position(|&i| i == self)
+            .expect("implementation is in the label table")
+    }
+
+    /// Implementation for a class id.
+    ///
+    /// # Panics
+    /// Panics for ids ≥ 4.
+    pub fn from_class_id(id: usize) -> Self {
+        ALL_IMPLEMENTATIONS[id]
+    }
+
+    /// True for the simulated-GPU implementations.
+    pub fn is_cuda(self) -> bool {
+        matches!(self, Implementation::CudaEdge | Implementation::CudaNode)
+    }
+}
+
+impl std::fmt::Display for Implementation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Implementation::CEdge => "C Edge",
+            Implementation::CNode => "C Node",
+            Implementation::CudaEdge => "CUDA Edge",
+            Implementation::CudaNode => "CUDA Node",
+        })
+    }
+}
+
+/// How Credo maps graph metadata to an implementation.
+pub enum Selector {
+    /// §3.7's observed rule: "use the CUDA implementations for when the
+    /// graph has 100,000 nodes or more and the C versions for 1,000 nodes
+    /// or fewer", with a nodes-to-edges heuristic for the middle ground
+    /// (the Figure 6 depth-2 tree shape).
+    Rule,
+    /// Always the same implementation (baselines like "always C Edge").
+    Fixed(Implementation),
+    /// A trained random forest over the five §3.7 features.
+    Forest(Box<RandomForest>),
+}
+
+impl Selector {
+    /// The rule-based selector.
+    pub fn rule_based() -> Self {
+        Selector::Rule
+    }
+
+    /// A constant selector.
+    pub fn fixed(which: Implementation) -> Self {
+        Selector::Fixed(which)
+    }
+
+    /// Trains the paper-tuned random forest (max depth 6, 14 trees) on
+    /// labelled feature vectors.
+    pub fn train(features: &[FeatureVector], labels: &[Implementation]) -> Self {
+        assert_eq!(features.len(), labels.len(), "feature/label length mismatch");
+        assert!(!features.is_empty(), "cannot train on no data");
+        let x: Vec<Vec<f64>> = features.iter().map(|f| f.to_vec()).collect();
+        let y: Vec<usize> = labels.iter().map(|l| l.class_id()).collect();
+        let mut forest = RandomForest::paper_tuned();
+        forest.fit(&x, &y);
+        Selector::Forest(Box::new(forest))
+    }
+
+    /// Applies the §3.7 size rule; `None` means "middle ground, ask the
+    /// classifier".
+    pub fn size_rule(meta: &GraphMetadata) -> Option<Implementation> {
+        if meta.num_nodes <= 1_000 {
+            Some(Implementation::CEdge)
+        } else if meta.num_nodes >= 100_000 {
+            Some(Implementation::CudaNode)
+        } else {
+            None
+        }
+    }
+
+    /// Chooses an implementation from metadata.
+    pub fn select(&self, meta: &GraphMetadata) -> Implementation {
+        match self {
+            Selector::Fixed(which) => *which,
+            Selector::Rule => Self::size_rule(meta).unwrap_or({
+                // Middle ground: dense, hub-heavy graphs amortize GPU
+                // transfer cost over many edges; sparse ones stay on CPU.
+                if meta.nodes_to_edges() < 0.15 {
+                    Implementation::CudaEdge
+                } else {
+                    Implementation::CNode
+                }
+            }),
+            Selector::Forest(forest) => {
+                let row: Vec<f64> = meta.features().to_vec();
+                Implementation::from_class_id(forest.predict(&row))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use credo_graph::generators::{kronecker, synthetic, GenOptions};
+
+    fn meta_of(nodes: usize, edges: usize) -> GraphMetadata {
+        synthetic(nodes, edges, &GenOptions::new(2)).metadata()
+    }
+
+    #[test]
+    fn class_ids_roundtrip() {
+        for imp in ALL_IMPLEMENTATIONS {
+            assert_eq!(Implementation::from_class_id(imp.class_id()), imp);
+        }
+    }
+
+    #[test]
+    fn rule_matches_paper_thresholds() {
+        assert_eq!(
+            Selector::rule_based().select(&meta_of(500, 2000)),
+            Implementation::CEdge
+        );
+        assert_eq!(
+            Selector::rule_based().select(&meta_of(120_000, 480_000)),
+            Implementation::CudaNode
+        );
+    }
+
+    #[test]
+    fn middle_ground_depends_on_density() {
+        let sparse = meta_of(20_000, 40_000); // ratio 0.5
+        assert_eq!(
+            Selector::rule_based().select(&sparse),
+            Implementation::CNode
+        );
+        let dense = kronecker(12, 16, &GenOptions::new(2)).metadata(); // ratio ~0.06
+        assert!(dense.num_nodes > 1_000 && dense.num_nodes < 100_000);
+        assert_eq!(
+            Selector::rule_based().select(&dense),
+            Implementation::CudaEdge
+        );
+    }
+
+    #[test]
+    fn trained_selector_reproduces_the_size_rule() {
+        // Train on the rule's own labels; the forest must recover it.
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        // Vary both size and density so more than one feature carries the
+        // signal (each forest tree only sees √5 ≈ 2 random features).
+        for &(n, e) in &[
+            (100usize, 400usize),
+            (300, 600),
+            (500, 2000),
+            (700, 1400),
+            (900, 7200),
+            (120_000, 480_000),
+            (150_000, 300_000),
+            (180_000, 1_440_000),
+            (200_000, 800_000),
+            (300_000, 600_000),
+            (400_000, 3_200_000),
+        ] {
+            let meta = GraphMetadata {
+                num_nodes: n,
+                num_edges: e,
+                num_arcs: 2 * e,
+                num_beliefs: 2,
+                max_in_degree: 10,
+                max_out_degree: 10,
+                avg_in_degree: 2.0 * e as f64 / n as f64,
+                avg_out_degree: 2.0 * e as f64 / n as f64,
+            };
+            features.push(meta.features());
+            labels.push(Selector::rule_based().select(&meta));
+        }
+        let s = Selector::train(&features, &labels);
+        // Feature-subsampled trees can misread individually ambiguous
+        // points (a dense small graph shares its ratio with dense large
+        // ones); require near-complete recovery, not perfection.
+        let hits = features
+            .iter()
+            .zip(&labels)
+            .filter(|(f, l)| {
+                let predicted = match &s {
+                    Selector::Forest(forest) => {
+                        Implementation::from_class_id(forest.predict(&f.to_vec()))
+                    }
+                    _ => unreachable!(),
+                };
+                predicted == **l
+            })
+            .count();
+        assert!(
+            hits * 10 >= features.len() * 9,
+            "forest recovered only {hits}/{} rule labels",
+            features.len()
+        );
+    }
+
+    #[test]
+    fn fixed_selector_is_constant() {
+        let s = Selector::fixed(Implementation::CudaEdge);
+        assert_eq!(s.select(&meta_of(10, 40)), Implementation::CudaEdge);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Implementation::CudaNode.to_string(), "CUDA Node");
+        assert_eq!(Implementation::CEdge.to_string(), "C Edge");
+    }
+}

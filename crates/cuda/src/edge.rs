@@ -1,0 +1,372 @@
+//! The CUDA per-edge engine ("CUDA Edge", §3.6).
+//!
+//! Three kernels per iteration: reset accumulators to priors, stream the
+//! active arcs combining each message into its destination **atomically**
+//! (the paradigm's cost, §3.3), then marginalize + diff. The arc stream is
+//! coalesced; the atomic traffic concentrates on `active_nodes × beliefs`
+//! addresses, which is what the contention model penalizes.
+
+use crate::node::{charge_idle_iteration, charge_queue_repopulation};
+use crate::setup::GraphOnDevice;
+use credo_core::{BpEngine, BpOptions, BpStats, EngineError, Paradigm, Platform, WorkQueue};
+use credo_gpusim::{atomic_mul_f32, Device, LaunchConfig, SharedSlice, ThreadCtx};
+use credo_graph::{Belief, BeliefGraph};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::Instant;
+
+/// Charges one edge-thread's work.
+#[inline]
+pub(crate) fn charge_edge_thread(ctx: &mut ThreadCtx, k: usize, constant_potential: bool) {
+    // queue entry + arc record (coalesced stream), then the parent belief
+    // (scattered).
+    ctx.global_read(4, true);
+    ctx.global_read(9, true);
+    ctx.global_read(4 * k as u64, false);
+    if constant_potential {
+        ctx.constant_read((4 * k * k) as u64);
+    } else {
+        ctx.global_read((4 * k * k) as u64, true);
+    }
+    ctx.flops((2 * k * k) as u64);
+    // One atomic combine per destination state.
+    ctx.atomic(k as u64);
+    // message buffer + registers — about half the Node paradigm's state.
+    ctx.local_state((4 * k + 32) as u32);
+}
+
+/// Charges one reset-thread (priors → accumulators).
+#[inline]
+pub(crate) fn charge_reset_thread(ctx: &mut ThreadCtx, k: usize) {
+    ctx.global_read(4, true);
+    ctx.global_read(4 * k as u64, true);
+    ctx.global_write(4 * k as u64, true);
+}
+
+/// Charges one marginalize-thread (accumulator → belief + diff).
+#[inline]
+pub(crate) fn charge_marginalize_thread(ctx: &mut ThreadCtx, k: usize) {
+    ctx.global_read(4, true);
+    ctx.global_read(4 * k as u64, true); // accumulator
+    ctx.global_read(4 * k as u64, true); // previous belief (for the diff)
+    ctx.flops(4 * k as u64);
+    ctx.global_write(4 * k as u64, true);
+    ctx.global_write(4, true);
+    ctx.local_state((4 * k + 32) as u32);
+}
+
+/// The simulated-GPU per-edge engine.
+pub struct CudaEdgeEngine {
+    device: Device,
+    batch: u32,
+}
+
+impl CudaEdgeEngine {
+    /// Creates the engine on `device` with the default transfer batch.
+    pub fn new(device: Device) -> Self {
+        CudaEdgeEngine { device, batch: 8 }
+    }
+
+    /// Overrides the convergence-transfer batch size.
+    pub fn with_batch(mut self, batch: u32) -> Self {
+        self.batch = batch.max(1);
+        self
+    }
+
+    /// The underlying device.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+}
+
+impl BpEngine for CudaEdgeEngine {
+    fn name(&self) -> &'static str {
+        "CUDA Edge"
+    }
+
+    fn paradigm(&self) -> Paradigm {
+        Paradigm::Edge
+    }
+
+    fn platform(&self) -> Platform {
+        Platform::GpuSimulated
+    }
+
+    fn run(&self, graph: &mut BeliefGraph, opts: &BpOptions) -> Result<BpStats, EngineError> {
+        let card = graph
+            .uniform_cardinality()
+            .ok_or(EngineError::NonUniformCardinality)?;
+        let host_start = Instant::now();
+        let dev_start = self.device.elapsed();
+        let resident = GraphOnDevice::upload(&self.device, graph)?;
+        let n = graph.num_nodes();
+        let k = card;
+        let constant_pot = resident.constant_potential;
+
+        let acc: Vec<AtomicU32> = (0..n * k).map(|_| AtomicU32::new(0)).collect();
+        let mut scratch: Vec<Belief> = graph.beliefs().to_vec();
+        let mut diffs: Vec<f32> = vec![0.0; n];
+        let mut queue = opts
+            .work_queue
+            .then(|| WorkQueue::new(n, |v| !graph.observed()[v]));
+        let full_nodes: Vec<u32> = (0..n as u32)
+            .filter(|&v| !graph.observed()[v as usize])
+            .collect();
+        let full_arcs: Vec<u32> = (0..graph.num_arcs() as u32)
+            .filter(|&a| !graph.observed()[graph.arc(a).dst as usize])
+            .collect();
+
+        let mut iterations = 0u32;
+        let mut converged = false;
+        let mut final_delta = 0.0f32;
+        let mut node_updates = 0u64;
+        let mut message_updates = 0u64;
+        let mut active_nodes: Vec<u32> = Vec::new();
+        let mut active_arcs: Vec<u32> = Vec::new();
+
+        'outer: loop {
+            for _ in 0..self.batch {
+                if iterations >= opts.max_iterations {
+                    break 'outer;
+                }
+                match &queue {
+                    Some(q) => {
+                        active_nodes.clear();
+                        active_nodes.extend_from_slice(q.active());
+                        active_arcs.clear();
+                        for &v in &active_nodes {
+                            active_arcs.extend_from_slice(graph.in_arcs(v));
+                        }
+                    }
+                    None => {
+                        active_nodes.clear();
+                        active_nodes.extend_from_slice(&full_nodes);
+                        active_arcs.clear();
+                        active_arcs.extend_from_slice(&full_arcs);
+                    }
+                }
+                if active_nodes.is_empty() {
+                    charge_idle_iteration(&self.device, 3);
+                    iterations += 1;
+                    converged = true;
+                    continue;
+                }
+
+                // Kernel 1: reset accumulators to priors.
+                {
+                    let g = &*graph;
+                    let acc_ref = &acc;
+                    let nodes_ref = &active_nodes;
+                    self.device
+                        .launch(LaunchConfig::for_items(nodes_ref.len(), 1024), |ctx, tid| {
+                            if tid >= nodes_ref.len() {
+                                return;
+                            }
+                            charge_reset_thread(ctx, k);
+                            let v = nodes_ref[tid] as usize;
+                            let prior = &g.priors()[v];
+                            for st in 0..k {
+                                acc_ref[v * k + st].store(prior.get(st).to_bits(), Ordering::Relaxed);
+                            }
+                        });
+                }
+
+                // Kernel 2: stream arcs, combine atomically.
+                {
+                    let g = &*graph;
+                    let acc_ref = &acc;
+                    let arcs_ref = &active_arcs;
+                    let cfg = LaunchConfig::for_items(arcs_ref.len(), 1024)
+                        .with_atomic_targets((active_nodes.len() * k) as u64);
+                    self.device.launch(cfg, |ctx, tid| {
+                        if tid >= arcs_ref.len() {
+                            return;
+                        }
+                        charge_edge_thread(ctx, k, constant_pot);
+                        let a = arcs_ref[tid];
+                        let arc = g.arc(a);
+                        let msg = g.potential(a).message(&g.beliefs()[arc.src as usize]);
+                        let base = arc.dst as usize * k;
+                        for st in 0..k {
+                            atomic_mul_f32(&acc_ref[base + st], msg.get(st));
+                        }
+                    });
+                }
+                message_updates += active_arcs.len() as u64;
+
+                // Kernel 3: marginalize + diff.
+                {
+                    let acc_ref = &acc;
+                    let prev = graph.beliefs();
+                    let scratch_shared = SharedSlice::new(&mut scratch);
+                    let diffs_shared = SharedSlice::new(&mut diffs);
+                    let nodes_ref = &active_nodes;
+                    self.device
+                        .launch(LaunchConfig::for_items(nodes_ref.len(), 1024), |ctx, tid| {
+                            if tid >= nodes_ref.len() {
+                                return;
+                            }
+                            charge_marginalize_thread(ctx, k);
+                            let v = nodes_ref[tid] as usize;
+                            let mut new = Belief::zeros(k);
+                            for st in 0..k {
+                                new.set(st, f32::from_bits(acc_ref[v * k + st].load(Ordering::Relaxed)));
+                            }
+                            new.normalize();
+                            let diff = new.l1_diff(&prev[v]);
+                            // SAFETY: unique node ids per thread.
+                            unsafe {
+                                scratch_shared.write(v, new);
+                                diffs_shared.write(v, diff);
+                            }
+                        });
+                }
+                node_updates += active_nodes.len() as u64;
+                for &v in &active_nodes {
+                    graph.beliefs_mut()[v as usize] = scratch[v as usize];
+                }
+
+                if let Some(q) = &mut queue {
+                    let mut changed = 0usize;
+                    let mut woken_arcs = 0usize;
+                    for &v in &active_nodes {
+                        if diffs[v as usize] >= opts.queue_threshold {
+                            changed += 1;
+                            q.push_next(v);
+                            if opts.wake_neighbors {
+                                let outs = graph.out_arcs(v);
+                                woken_arcs += outs.len();
+                                for &a in outs {
+                                    q.push_next(graph.arc(a).dst);
+                                }
+                            }
+                        }
+                    }
+                    q.advance();
+                    for &v in &active_nodes {
+                        if diffs[v as usize] < opts.queue_threshold {
+                            diffs[v as usize] = 0.0;
+                        }
+                    }
+                    charge_queue_repopulation(&self.device, active_nodes.len(), changed, woken_arcs);
+                }
+                iterations += 1;
+            }
+
+            let sum = self.device.reduce_sum(&diffs);
+            self.device.charge_d2h(4);
+            final_delta = sum;
+            if sum < opts.threshold {
+                converged = true;
+                break;
+            }
+            if queue.as_ref().is_some_and(|q| q.is_empty()) {
+                converged = true;
+                break;
+            }
+            if iterations >= opts.max_iterations {
+                break;
+            }
+        }
+
+        self.device.charge_d2h((n * k * 4) as u64);
+        drop(resident);
+
+        Ok(BpStats {
+            engine: self.name(),
+            iterations,
+            converged,
+            final_delta,
+            node_updates,
+            message_updates,
+            reported_time: self.device.elapsed() - dev_start,
+            host_time: host_start.elapsed(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use credo_core::seq::SeqEdgeEngine;
+    use credo_gpusim::{PASCAL_GTX1070, VOLTA_V100};
+    use credo_graph::generators::{kronecker, synthetic, GenOptions};
+
+    fn device() -> Device {
+        Device::new(PASCAL_GTX1070)
+    }
+
+    #[test]
+    fn matches_sequential_edge_engine() {
+        let mut g1 = synthetic(300, 1200, &GenOptions::new(3).with_seed(51));
+        let mut g2 = g1.clone();
+        SeqEdgeEngine.run(&mut g1, &BpOptions::default()).unwrap();
+        CudaEdgeEngine::new(device())
+            .run(&mut g2, &BpOptions::default())
+            .unwrap();
+        for (a, b) in g1.beliefs().iter().zip(g2.beliefs()) {
+            assert!(a.linf_diff(b) < 1e-3);
+        }
+    }
+
+    #[test]
+    fn queue_mode_matches_plain() {
+        let mut g1 = kronecker(7, 8, &GenOptions::new(2).with_seed(3));
+        let mut g2 = g1.clone();
+        CudaEdgeEngine::new(device())
+            .run(&mut g1, &BpOptions::default())
+            .unwrap();
+        CudaEdgeEngine::new(device())
+            .run(&mut g2, &BpOptions::with_work_queue())
+            .unwrap();
+        for (a, b) in g1.beliefs().iter().zip(g2.beliefs()) {
+            assert!(a.linf_diff(b) < 5e-3);
+        }
+    }
+
+    #[test]
+    fn rejects_non_uniform_cardinality() {
+        use credo_graph::{GraphBuilder, JointMatrix};
+        let mut b = GraphBuilder::new();
+        let n0 = b.add_node(Belief::uniform(2));
+        let n1 = b.add_node(Belief::uniform(3));
+        b.add_directed_edge_with(n0, n1, JointMatrix::uniform(2, 3));
+        let mut g = b.build().unwrap();
+        let err = CudaEdgeEngine::new(device())
+            .run(&mut g, &BpOptions::default())
+            .unwrap_err();
+        assert_eq!(err, EngineError::NonUniformCardinality);
+    }
+
+    #[test]
+    fn volta_is_faster_than_pascal_on_large_graphs() {
+        // §4.4: faster runtimes with the architecture switch.
+        let mut g1 = synthetic(5_000, 20_000, &GenOptions::new(2).with_seed(7));
+        let mut g2 = g1.clone();
+        let pascal = CudaEdgeEngine::new(Device::new(PASCAL_GTX1070))
+            .run(&mut g1, &BpOptions::default())
+            .unwrap();
+        let volta = CudaEdgeEngine::new(Device::new(VOLTA_V100))
+            .run(&mut g2, &BpOptions::default())
+            .unwrap();
+        assert!(
+            volta.reported_time < pascal.reported_time,
+            "volta {:?} pascal {:?}",
+            volta.reported_time,
+            pascal.reported_time
+        );
+    }
+
+    #[test]
+    fn oom_for_oversized_graphs() {
+        // A graph whose device footprint exceeds 8 GB must be rejected, not
+        // mis-simulated. Use a tiny fake VRAM by allocating most of it
+        // first.
+        let d = device();
+        let _hog = credo_gpusim::TrackedAlloc::new(&d, d.profile().vram_bytes - 1024).unwrap();
+        let mut g = synthetic(1000, 4000, &GenOptions::new(2));
+        let err = CudaEdgeEngine::new(d)
+            .run(&mut g, &BpOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, EngineError::OutOfDeviceMemory { .. }));
+    }
+}

@@ -1,0 +1,32 @@
+//! # credo-cuda
+//!
+//! The paper's CUDA implementations (§3.6), running on the `credo-gpusim`
+//! simulated device: [`CudaNodeEngine`] and [`CudaEdgeEngine`] for the two
+//! §3.3 processing paradigms, plus the [`OpenAccEngine`] analogue of the
+//! §2.4 pragma-based port.
+//!
+//! All engines compute the same Jacobi fixed point as the sequential
+//! `credo-core` engines (cross-checked by tests); their *reported* time is
+//! the simulated device time, which is what the paper's figures measure.
+//!
+//! CUDA-specific optimizations reproduced here:
+//!
+//! * shared joint matrix kept in **constant memory** (§3.6) vs. global
+//!   reads in per-edge mode;
+//! * **batched** convergence-check transfers instead of one D2H per
+//!   iteration (§3.6);
+//! * §3.5 **work queues** with device-side repopulation;
+//! * block-wide **shared-memory reduction** for the convergence sum
+//!   (via [`credo_gpusim::Device::reduce_sum`]).
+
+#![warn(missing_docs)]
+
+mod edge;
+mod node;
+mod openacc;
+mod setup;
+
+pub use edge::CudaEdgeEngine;
+pub use node::CudaNodeEngine;
+pub use openacc::OpenAccEngine;
+pub use setup::{device_bytes_required, GraphOnDevice};

@@ -1,0 +1,367 @@
+//! The CUDA per-node engine ("CUDA Node", §3.6).
+//!
+//! One simulated thread per active node pulls every parent's previous
+//! belief (random-order global reads — the paradigm's cost, §3.3),
+//! combines them with the joint matrix (constant memory in shared mode)
+//! and writes the marginalized belief plus its L1 change. No atomics are
+//! needed. Degree variance shows up as warp divergence; per-thread state
+//! of two belief-sized arrays drives the occupancy model (the Fig 8
+//! decline of Node speedups at high belief counts).
+
+use crate::setup::GraphOnDevice;
+use credo_core::{node_update, BpEngine, BpOptions, BpStats, EngineError, Paradigm, Platform};
+use credo_core::WorkQueue;
+use credo_gpusim::{Device, LaunchConfig, SharedSlice, ThreadCtx};
+use credo_graph::{Belief, BeliefGraph};
+use std::time::Instant;
+
+/// Register budget per thread before the compiler spills to local memory
+/// (64 × 4-byte registers, nvcc's default target).
+pub(crate) const SPILL_THRESHOLD_BYTES: u32 = 256;
+
+/// Charges one node-thread's work to the timing model.
+#[inline]
+pub(crate) fn charge_node_thread(
+    ctx: &mut ThreadCtx,
+    k: usize,
+    degree: usize,
+    constant_potential: bool,
+) {
+    // queue entry + CSR offsets + prior + arc-id list (all streamed).
+    ctx.global_read(4, true);
+    ctx.global_read(8, true);
+    ctx.global_read(4 * k as u64, true);
+    ctx.global_read(4 * degree as u64, true);
+    // live state: accumulator + message buffer + bookkeeping registers
+    let state = (8 * k + 48) as u32;
+    ctx.local_state(state);
+    // Beyond ~64 registers/thread (256 B) the accumulator and message
+    // arrays spill to local memory; the k² multiply-accumulates of each
+    // message then run against spilled operands — the §4.1.1 effect that
+    // caps the Node paradigm's speedup at high belief counts (Fig 8).
+    let spilled = state > SPILL_THRESHOLD_BYTES;
+    for _ in 0..degree {
+        // arc endpoint + reverse flag, then the parent belief: both land in
+        // "random order, hampering effective caching" (§3.3).
+        ctx.global_read(5, false);
+        ctx.global_read(4 * k as u64, false);
+        if constant_potential {
+            ctx.constant_read((4 * k * k) as u64);
+        } else {
+            // Per-edge matrices are indexed by arc id; the node paradigm
+            // walks arcs in CSR order, so these reads scatter (§2.2:
+            // "loading and unloading a separate matrix per belief update
+            // computation … a significant performance and memory
+            // bottleneck", felt most by the Node kernel).
+            ctx.global_read((4 * k * k) as u64, false);
+        }
+        // k² multiply-adds for the message + k combine multiplies.
+        ctx.flops((2 * k * k + k) as u64);
+        if spilled {
+            // Each MAC of the k² inner loop re-touches local memory.
+            ctx.global_read((4 * k * k) as u64, true);
+            ctx.global_write((4 * k * k) as u64, true);
+        }
+    }
+    // marginalize + diff + writes (belief and diff slot).
+    ctx.flops(4 * k as u64);
+    ctx.global_write(4 * k as u64, true);
+    ctx.global_write(4, true);
+}
+
+/// Charges the §3.5 device-side queue repopulation pass.
+#[inline]
+pub(crate) fn charge_queue_repopulation(
+    device: &Device,
+    scanned: usize,
+    changed: usize,
+    woken_arcs: usize,
+) {
+    device.launch(
+        LaunchConfig::for_items(scanned.max(1), 1024).with_atomic_targets(1),
+        |ctx, tid| {
+            ctx.global_read(4, true); // diff
+            if tid < changed {
+                ctx.atomic(1); // queue tail bump
+                ctx.global_write(4, true);
+            }
+            if tid == 0 && woken_arcs > 0 {
+                // Waking out-neighbours streams their adjacency once.
+                ctx.global_read(4 * woken_arcs as u64, true);
+                ctx.atomic(woken_arcs as u64);
+            }
+        },
+    );
+}
+
+/// Charges an idle (empty-queue) iteration: the kernels still launch when
+/// termination is only checked at batch boundaries.
+#[inline]
+pub(crate) fn charge_idle_iteration(device: &Device, kernels: u32) {
+    for _ in 0..kernels {
+        device.launch(LaunchConfig::for_items(1, 32), |_, _| {});
+    }
+}
+
+/// The simulated-GPU per-node engine.
+pub struct CudaNodeEngine {
+    device: Device,
+    batch: u32,
+}
+
+impl CudaNodeEngine {
+    /// Creates the engine on `device` with the default transfer batch (8
+    /// iterations between convergence-check downloads, §3.6).
+    pub fn new(device: Device) -> Self {
+        CudaNodeEngine { device, batch: 8 }
+    }
+
+    /// Overrides the convergence-transfer batch size.
+    pub fn with_batch(mut self, batch: u32) -> Self {
+        self.batch = batch.max(1);
+        self
+    }
+
+    /// The underlying device.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+}
+
+impl BpEngine for CudaNodeEngine {
+    fn name(&self) -> &'static str {
+        "CUDA Node"
+    }
+
+    fn paradigm(&self) -> Paradigm {
+        Paradigm::Node
+    }
+
+    fn platform(&self) -> Platform {
+        Platform::GpuSimulated
+    }
+
+    fn run(&self, graph: &mut BeliefGraph, opts: &BpOptions) -> Result<BpStats, EngineError> {
+        let host_start = Instant::now();
+        let dev_start = self.device.elapsed();
+        let resident = GraphOnDevice::upload(&self.device, graph)?;
+        let n = graph.num_nodes();
+        let k = resident.beliefs;
+        let constant_pot = resident.constant_potential;
+
+        let mut scratch: Vec<Belief> = graph.beliefs().to_vec();
+        let mut diffs: Vec<f32> = vec![0.0; n];
+        let mut queue = opts
+            .work_queue
+            .then(|| WorkQueue::new(n, |v| !graph.observed()[v]));
+        let full_sweep: Vec<u32> = (0..n as u32)
+            .filter(|&v| !graph.observed()[v as usize])
+            .collect();
+
+        let mut iterations = 0u32;
+        let mut converged = false;
+        let mut final_delta = 0.0f32;
+        let mut node_updates = 0u64;
+        let mut message_updates = 0u64;
+        let mut active_snapshot: Vec<u32> = Vec::new();
+
+        'outer: loop {
+            // One batch of iterations between convergence transfers (§3.6).
+            for _ in 0..self.batch {
+                if iterations >= opts.max_iterations {
+                    break 'outer;
+                }
+                let active: &[u32] = match &queue {
+                    Some(q) => q.active(),
+                    None => &full_sweep,
+                };
+                if active.is_empty() {
+                    // Kernels still launch until the batched check notices.
+                    charge_idle_iteration(&self.device, 1);
+                    iterations += 1;
+                    converged = true;
+                    continue;
+                }
+                active_snapshot.clear();
+                active_snapshot.extend_from_slice(active);
+
+                // The node kernel.
+                {
+                    let g = &*graph;
+                    let prev = g.beliefs();
+                    let scratch_shared = SharedSlice::new(&mut scratch);
+                    let diffs_shared = SharedSlice::new(&mut diffs);
+                    let active_ref = &active_snapshot;
+                    self.device.launch(
+                        LaunchConfig::for_items(active_ref.len(), 1024),
+                        |ctx, tid| {
+                            if tid >= active_ref.len() {
+                                return;
+                            }
+                            let v = active_ref[tid];
+                            let degree = g.in_arcs(v).len();
+                            charge_node_thread(ctx, k, degree, constant_pot);
+                            let (new, _) = node_update(g, v, prev);
+                            let diff = new.l1_diff(&prev[v as usize]);
+                            // SAFETY: node ids in the active list are
+                            // unique; each simulated thread owns its slots.
+                            unsafe {
+                                scratch_shared.write(v as usize, new);
+                                diffs_shared.write(v as usize, diff);
+                            }
+                        },
+                    );
+                }
+                node_updates += active_snapshot.len() as u64;
+                for &v in &active_snapshot {
+                    message_updates += graph.in_arcs(v).len() as u64;
+                }
+
+                // Publish (device-side buffer swap; free functionally).
+                for &v in &active_snapshot {
+                    graph.beliefs_mut()[v as usize] = scratch[v as usize];
+                }
+
+                if let Some(q) = &mut queue {
+                    let mut changed = 0usize;
+                    let mut woken_arcs = 0usize;
+                    for &v in &active_snapshot {
+                        if diffs[v as usize] >= opts.queue_threshold {
+                            changed += 1;
+                            q.push_next(v);
+                            if opts.wake_neighbors {
+                                let outs = graph.out_arcs(v);
+                                woken_arcs += outs.len();
+                                for &a in outs {
+                                    q.push_next(graph.arc(a).dst);
+                                }
+                            }
+                        }
+                    }
+                    q.advance();
+                    // Diffs of dequeued nodes leave the next reduction.
+                    for &v in &active_snapshot {
+                        if diffs[v as usize] < opts.queue_threshold {
+                            diffs[v as usize] = 0.0;
+                        }
+                    }
+                    charge_queue_repopulation(
+                        &self.device,
+                        active_snapshot.len(),
+                        changed,
+                        woken_arcs,
+                    );
+                }
+                iterations += 1;
+            }
+
+            // Batched convergence check: block reduction + 4-byte D2H.
+            let sum = self.device.reduce_sum(&diffs);
+            self.device.charge_d2h(4);
+            final_delta = sum;
+            if sum < opts.threshold {
+                converged = true;
+                break;
+            }
+            if queue.as_ref().is_some_and(|q| q.is_empty()) {
+                converged = true;
+                break;
+            }
+            if iterations >= opts.max_iterations {
+                break;
+            }
+        }
+
+        // Final belief download.
+        self.device.charge_d2h((n * k * 4) as u64);
+        drop(resident);
+
+        Ok(BpStats {
+            engine: self.name(),
+            iterations,
+            converged,
+            final_delta,
+            node_updates,
+            message_updates,
+            reported_time: self.device.elapsed() - dev_start,
+            host_time: host_start.elapsed(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use credo_core::seq::SeqNodeEngine;
+    use credo_gpusim::PASCAL_GTX1070;
+    use credo_graph::generators::{kronecker, synthetic, GenOptions};
+
+    fn device() -> Device {
+        Device::new(PASCAL_GTX1070)
+    }
+
+    #[test]
+    fn matches_sequential_node_engine() {
+        let mut g1 = synthetic(300, 1200, &GenOptions::new(3).with_seed(41));
+        let mut g2 = g1.clone();
+        SeqNodeEngine.run(&mut g1, &BpOptions::default()).unwrap();
+        CudaNodeEngine::new(device())
+            .run(&mut g2, &BpOptions::default())
+            .unwrap();
+        for (a, b) in g1.beliefs().iter().zip(g2.beliefs()) {
+            assert!(a.linf_diff(b) < 1e-4);
+        }
+    }
+
+    #[test]
+    fn matches_on_hub_graphs_with_queue() {
+        let mut g1 = kronecker(8, 8, &GenOptions::new(2).with_seed(13));
+        let mut g2 = g1.clone();
+        SeqNodeEngine.run(&mut g1, &BpOptions::default()).unwrap();
+        CudaNodeEngine::new(device())
+            .run(&mut g2, &BpOptions::with_work_queue())
+            .unwrap();
+        for (a, b) in g1.beliefs().iter().zip(g2.beliefs()) {
+            assert!(a.linf_diff(b) < 5e-3);
+        }
+    }
+
+    #[test]
+    fn reported_time_is_simulated_time() {
+        let d = device();
+        let mut g = synthetic(200, 800, &GenOptions::new(2));
+        let stats = CudaNodeEngine::new(d.clone())
+            .run(&mut g, &BpOptions::default())
+            .unwrap();
+        assert_eq!(stats.reported_time, d.elapsed());
+        assert!(stats.reported_time.as_secs_f64() > 0.0);
+    }
+
+    #[test]
+    fn memory_overhead_dominates_tiny_graphs() {
+        // §4.1.1: "for our smallest benchmark, the GPU memory management
+        // overhead alone accounts for 99.8% of the CUDA execution time."
+        let d = device();
+        let mut g = synthetic(10, 40, &GenOptions::new(2));
+        let before = d.elapsed();
+        let resident = GraphOnDevice::upload(&d, &g).unwrap();
+        let mgmt = (d.elapsed() - before).as_secs_f64();
+        drop(resident);
+        d.reset_clock();
+        let stats = CudaNodeEngine::new(d)
+            .run(&mut g, &BpOptions::default())
+            .unwrap();
+        let frac = mgmt / stats.reported_time.as_secs_f64();
+        assert!(frac > 0.3, "management fraction {frac} too small");
+    }
+
+    #[test]
+    fn vram_released_after_run() {
+        let d = device();
+        let mut g = synthetic(500, 2000, &GenOptions::new(2));
+        CudaNodeEngine::new(d.clone())
+            .run(&mut g, &BpOptions::default())
+            .unwrap();
+        assert_eq!(d.vram_used(), 0);
+    }
+}

@@ -1,0 +1,385 @@
+//! The OpenACC-analogue engine (§2.4).
+//!
+//! OpenACC ports the optimized C loops with pragmas, but (a) the default
+//! scheduler "tr[ies] to schedule full transfers of the data between the
+//! CPU and GPU after every iteration", (b) the convergence check crosses
+//! the PCIe bus every iteration, and (c) the finer-grained CUDA tricks
+//! (constant memory, work queues) are unavailable — "which require finer
+//! grained control than what OpenACC offers". This engine reproduces that
+//! execution profile on the simulator. `tuned()` applies the paper's
+//! manual data-placement overrides: data stays resident and only a batched
+//! convergence scalar is transferred.
+
+use crate::edge::{charge_edge_thread, charge_marginalize_thread, charge_reset_thread};
+use crate::node::charge_node_thread;
+use crate::setup::GraphOnDevice;
+use credo_core::{node_update, BpEngine, BpOptions, BpStats, EngineError, Paradigm, Platform};
+use credo_gpusim::{atomic_mul_f32, Device, KernelStats, LaunchConfig, SharedSlice};
+use credo_graph::{Belief, BeliefGraph};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::Instant;
+
+/// Throughput penalty of pragma-generated kernels relative to the
+/// hand-written §3.6 CUDA kernels: no kernel fusion, no shared-memory
+/// staging, conservative gang/vector mapping and implicit data-presence
+/// checks. Calibrated to §2.4's observation that "the OpenACC execution
+/// times per iteration can be smaller" than the optimized C loop — i.e.
+/// the generated kernels land just under CPU speed, two orders of
+/// magnitude from the hand-tuned kernels, making the best tuned result
+/// ≈1.25x over C (K21) as the paper reports.
+const GENERATED_KERNEL_PENALTY: f64 = 100.0;
+
+/// OpenACC-style GPU port of the Node or Edge paradigm.
+pub struct OpenAccEngine {
+    device: Device,
+    paradigm: Paradigm,
+    tuned: bool,
+    batch: u32,
+}
+
+impl OpenAccEngine {
+    /// Default (naive-scheduler) OpenACC port of the given paradigm.
+    pub fn new(device: Device, paradigm: Paradigm) -> Self {
+        assert!(
+            matches!(paradigm, Paradigm::Node | Paradigm::Edge),
+            "OpenACC port exists for the loopy paradigms only"
+        );
+        OpenAccEngine {
+            device,
+            paradigm,
+            tuned: false,
+            batch: 8,
+        }
+    }
+
+    /// Applies the paper's data-placement overrides: keep data resident,
+    /// batch the convergence transfer.
+    pub fn tuned(mut self) -> Self {
+        self.tuned = true;
+        self
+    }
+
+    /// The underlying device.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Applies the generated-kernel throughput penalty to a finished
+    /// launch's compute/memory/atomic time (launch overhead is unchanged).
+    fn penalize(&self, stats: KernelStats) {
+        let work = stats.sim_time.saturating_sub(stats.launch_time);
+        self.device
+            .charge_busy(work.mul_f64(GENERATED_KERNEL_PENALTY - 1.0));
+    }
+}
+
+impl BpEngine for OpenAccEngine {
+    fn name(&self) -> &'static str {
+        match (self.paradigm, self.tuned) {
+            (Paradigm::Node, false) => "OpenACC Node",
+            (Paradigm::Edge, false) => "OpenACC Edge",
+            (Paradigm::Node, true) => "OpenACC Node (tuned)",
+            (Paradigm::Edge, true) => "OpenACC Edge (tuned)",
+            _ => unreachable!("constructor restricts paradigms"),
+        }
+    }
+
+    fn paradigm(&self) -> Paradigm {
+        self.paradigm
+    }
+
+    fn platform(&self) -> Platform {
+        Platform::GpuSimulated
+    }
+
+    fn run(&self, graph: &mut BeliefGraph, opts: &BpOptions) -> Result<BpStats, EngineError> {
+        let card = graph
+            .uniform_cardinality()
+            .ok_or(EngineError::NonUniformCardinality)?;
+        let host_start = Instant::now();
+        let dev_start = self.device.elapsed();
+        let resident = GraphOnDevice::upload(&self.device, graph)?;
+        let n = graph.num_nodes();
+        let k = card;
+        // OpenACC has no constant-memory placement directive fine enough
+        // for the joint matrix: it reads from global memory either way.
+        let constant_pot = false;
+        let belief_bytes = (n * k * 4) as u64;
+        // §2.4: the default scheduler tries "to schedule full transfers of
+        // the data between the CPU and GPU after every iteration" — the
+        // whole device footprint, not just the beliefs.
+        let footprint = crate::device_bytes_required(
+            n as u64,
+            graph.num_arcs() as u64,
+            k as u64,
+            graph.potentials().memory_bytes() as u64,
+        );
+
+        let nodes: Vec<u32> = (0..n as u32)
+            .filter(|&v| !graph.observed()[v as usize])
+            .collect();
+        let arcs: Vec<u32> = (0..graph.num_arcs() as u32)
+            .filter(|&a| !graph.observed()[graph.arc(a).dst as usize])
+            .collect();
+        let acc: Vec<AtomicU32> = if self.paradigm == Paradigm::Edge {
+            (0..n * k).map(|_| AtomicU32::new(0)).collect()
+        } else {
+            Vec::new()
+        };
+        let mut scratch: Vec<Belief> = graph.beliefs().to_vec();
+        let mut diffs: Vec<f32> = vec![0.0; n];
+
+        let mut iterations = 0u32;
+        let mut converged = false;
+        let mut final_delta = 0.0f32;
+        let mut node_updates = 0u64;
+        let mut message_updates = 0u64;
+
+        while iterations < opts.max_iterations {
+            if !self.tuned {
+                // Naive scheduler: the full data set shuttles both ways
+                // every iteration.
+                self.device.charge_h2d(footprint);
+            }
+
+            match self.paradigm {
+                Paradigm::Node => {
+                    let g = &*graph;
+                    let prev = g.beliefs();
+                    let scratch_shared = SharedSlice::new(&mut scratch);
+                    let diffs_shared = SharedSlice::new(&mut diffs);
+                    let nodes_ref = &nodes;
+                    let stats = self.device.launch(
+                        LaunchConfig::for_items(nodes_ref.len(), 1024),
+                        |ctx, tid| {
+                            if tid >= nodes_ref.len() {
+                                return;
+                            }
+                            let v = nodes_ref[tid];
+                            charge_node_thread(ctx, k, g.in_arcs(v).len(), constant_pot);
+                            let (new, _) = node_update(g, v, prev);
+                            let diff = new.l1_diff(&prev[v as usize]);
+                            // SAFETY: unique node ids per thread.
+                            unsafe {
+                                scratch_shared.write(v as usize, new);
+                                diffs_shared.write(v as usize, diff);
+                            }
+                        },
+                    );
+                    self.penalize(stats);
+                    message_updates += arcs.len() as u64;
+                }
+                Paradigm::Edge => {
+                    // Reset, combine, marginalize — as in the CUDA engine
+                    // but without queues or constant memory.
+                    {
+                        let g = &*graph;
+                        let acc_ref = &acc;
+                        let nodes_ref = &nodes;
+                        let stats = self.device.launch(
+                            LaunchConfig::for_items(nodes_ref.len(), 1024),
+                            |ctx, tid| {
+                                if tid >= nodes_ref.len() {
+                                    return;
+                                }
+                                charge_reset_thread(ctx, k);
+                                let v = nodes_ref[tid] as usize;
+                                let prior = &g.priors()[v];
+                                for st in 0..k {
+                                    acc_ref[v * k + st]
+                                        .store(prior.get(st).to_bits(), Ordering::Relaxed);
+                                }
+                            },
+                        );
+                        self.penalize(stats);
+                    }
+                    {
+                        let g = &*graph;
+                        let acc_ref = &acc;
+                        let arcs_ref = &arcs;
+                        let cfg = LaunchConfig::for_items(arcs_ref.len(), 1024)
+                            .with_atomic_targets((nodes.len() * k) as u64);
+                        let stats = self.device.launch(cfg, |ctx, tid| {
+                            if tid >= arcs_ref.len() {
+                                return;
+                            }
+                            charge_edge_thread(ctx, k, constant_pot);
+                            let a = arcs_ref[tid];
+                            let arc = g.arc(a);
+                            let msg = g.potential(a).message(&g.beliefs()[arc.src as usize]);
+                            for st in 0..k {
+                                atomic_mul_f32(&acc_ref[arc.dst as usize * k + st], msg.get(st));
+                            }
+                        });
+                        self.penalize(stats);
+                        message_updates += arcs.len() as u64;
+                    }
+                    {
+                        let acc_ref = &acc;
+                        let prev = graph.beliefs();
+                        let scratch_shared = SharedSlice::new(&mut scratch);
+                        let diffs_shared = SharedSlice::new(&mut diffs);
+                        let nodes_ref = &nodes;
+                        let stats = self.device.launch(
+                            LaunchConfig::for_items(nodes_ref.len(), 1024),
+                            |ctx, tid| {
+                                if tid >= nodes_ref.len() {
+                                    return;
+                                }
+                                charge_marginalize_thread(ctx, k);
+                                let v = nodes_ref[tid] as usize;
+                                let mut new = Belief::zeros(k);
+                                for st in 0..k {
+                                    new.set(
+                                        st,
+                                        f32::from_bits(acc_ref[v * k + st].load(Ordering::Relaxed)),
+                                    );
+                                }
+                                new.normalize();
+                                let diff = new.l1_diff(&prev[v]);
+                                // SAFETY: unique node ids per thread.
+                                unsafe {
+                                    scratch_shared.write(v, new);
+                                    diffs_shared.write(v, diff);
+                                }
+                            },
+                        );
+                        self.penalize(stats);
+                    }
+                }
+                Paradigm::Tree => unreachable!("constructor restricts paradigms"),
+            }
+            node_updates += nodes.len() as u64;
+            for &v in &nodes {
+                graph.beliefs_mut()[v as usize] = scratch[v as usize];
+            }
+            iterations += 1;
+
+            // Convergence: naive mode downloads the whole belief array and
+            // reduces on the host every iteration; tuned mode reduces on
+            // device and transfers one scalar per batch.
+            if self.tuned {
+                if iterations % self.batch == 0 || iterations >= opts.max_iterations {
+                    let sum = self.device.reduce_sum(&diffs);
+                    self.device.charge_d2h(4);
+                    final_delta = sum;
+                    if sum < opts.threshold {
+                        converged = true;
+                        break;
+                    }
+                }
+            } else {
+                self.device.charge_d2h(footprint);
+                self.device.charge_d2h((n * 4) as u64);
+                let sum: f32 = diffs.iter().map(|&d| d as f64).sum::<f64>() as f32;
+                final_delta = sum;
+                if sum < opts.threshold {
+                    converged = true;
+                    break;
+                }
+            }
+
+            if nodes.is_empty() {
+                converged = true;
+                break;
+            }
+        }
+
+        self.device.charge_d2h(belief_bytes);
+        drop(resident);
+
+        Ok(BpStats {
+            engine: self.name(),
+            iterations,
+            converged,
+            final_delta,
+            node_updates,
+            message_updates,
+            reported_time: self.device.elapsed() - dev_start,
+            host_time: host_start.elapsed(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CudaEdgeEngine, CudaNodeEngine};
+    use credo_core::seq::SeqEdgeEngine;
+    use credo_gpusim::PASCAL_GTX1070;
+    use credo_graph::generators::{synthetic, GenOptions};
+
+    fn device() -> Device {
+        Device::new(PASCAL_GTX1070)
+    }
+
+    #[test]
+    fn results_match_sequential() {
+        for paradigm in [Paradigm::Node, Paradigm::Edge] {
+            let mut g1 = synthetic(200, 800, &GenOptions::new(2).with_seed(61));
+            let mut g2 = g1.clone();
+            SeqEdgeEngine.run(&mut g1, &BpOptions::default()).unwrap();
+            OpenAccEngine::new(device(), paradigm)
+                .run(&mut g2, &BpOptions::default())
+                .unwrap();
+            for (a, b) in g1.beliefs().iter().zip(g2.beliefs()) {
+                assert!(a.linf_diff(b) < 1e-3, "{paradigm}");
+            }
+        }
+    }
+
+    #[test]
+    fn naive_scheduling_is_slower_than_cuda() {
+        // §2.4's conclusion: the pragma port cannot match hand-written CUDA.
+        let mut g1 = synthetic(2_000, 8_000, &GenOptions::new(2).with_seed(5));
+        let mut g2 = g1.clone();
+        let acc = OpenAccEngine::new(device(), Paradigm::Edge)
+            .run(&mut g1, &BpOptions::default())
+            .unwrap();
+        let cuda = CudaEdgeEngine::new(device())
+            .run(&mut g2, &BpOptions::default())
+            .unwrap();
+        assert!(
+            acc.reported_time > cuda.reported_time,
+            "openacc {:?} vs cuda {:?}",
+            acc.reported_time,
+            cuda.reported_time
+        );
+    }
+
+    #[test]
+    fn tuning_recovers_most_of_the_gap() {
+        let mut g1 = synthetic(2_000, 8_000, &GenOptions::new(2).with_seed(5));
+        let mut g2 = g1.clone();
+        let naive = OpenAccEngine::new(device(), Paradigm::Node)
+            .run(&mut g1, &BpOptions::default())
+            .unwrap();
+        let tuned = OpenAccEngine::new(device(), Paradigm::Node)
+            .tuned()
+            .run(&mut g2, &BpOptions::default())
+            .unwrap();
+        assert!(tuned.reported_time < naive.reported_time);
+    }
+
+    #[test]
+    fn node_paradigm_matches_cuda_node() {
+        let mut g1 = synthetic(150, 600, &GenOptions::new(3).with_seed(77));
+        let mut g2 = g1.clone();
+        CudaNodeEngine::new(device())
+            .run(&mut g1, &BpOptions::default())
+            .unwrap();
+        OpenAccEngine::new(device(), Paradigm::Node)
+            .tuned()
+            .run(&mut g2, &BpOptions::default())
+            .unwrap();
+        for (a, b) in g1.beliefs().iter().zip(g2.beliefs()) {
+            assert!(a.linf_diff(b) < 1e-3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "loopy paradigms")]
+    fn tree_paradigm_rejected() {
+        let _ = OpenAccEngine::new(device(), Paradigm::Tree);
+    }
+}

@@ -1,0 +1,131 @@
+//! Device-side graph residency: what gets allocated and uploaded before
+//! the iteration kernels run (§3.6's "aim to minimize CPU-GPU transfers").
+
+use credo_core::EngineError;
+use credo_gpusim::{Device, DeviceError, TrackedAlloc};
+use credo_graph::BeliefGraph;
+
+/// Bytes of device memory a BP run needs for a graph of `nodes` nodes,
+/// `arcs` directed arcs and cardinality `beliefs`, with
+/// `potential_bytes` of joint-matrix storage (shared mode: one matrix;
+/// per-edge mode: one per arc). Used both by the engines and by the
+/// benchmark suite to predict §4.2's "exceeds the GPU's VRAM" cases
+/// without building the graph.
+pub fn device_bytes_required(
+    nodes: u64,
+    arcs: u64,
+    beliefs: u64,
+    potential_bytes: u64,
+) -> u64 {
+    let belief_array = nodes * beliefs * 4;
+    // prev + next + accumulator belief arrays
+    let beliefs_total = 3 * belief_array;
+    // src, dst, reverse flag per arc
+    let arc_table = arcs * 9;
+    // in-CSR: offsets (8 B per node) + arc ids (4 B per arc)
+    let csr = (nodes + 1) * 8 + arcs * 4;
+    // priors + per-node diffs + queue array
+    let node_side = belief_array + nodes * 4 + nodes * 4;
+    beliefs_total + arc_table + csr + node_side + potential_bytes
+}
+
+/// The graph's device-resident footprint: reservations for every structure
+/// the kernels touch, charged once at engine start (alloc + H2D). Dropping
+/// it releases the VRAM.
+pub struct GraphOnDevice {
+    _structure: TrackedAlloc,
+    /// Cardinality (uniform across nodes in shared mode; max otherwise).
+    pub beliefs: usize,
+    /// Whether the joint matrix lives in constant memory (shared mode).
+    pub constant_potential: bool,
+    /// Bytes of per-edge potential storage in global memory (0 in shared
+    /// mode).
+    pub global_potential_bytes: u64,
+}
+
+impl GraphOnDevice {
+    /// Allocates and uploads the graph. Fails with
+    /// [`EngineError::OutOfDeviceMemory`] when the device cannot hold it.
+    pub fn upload(device: &Device, graph: &BeliefGraph) -> Result<Self, EngineError> {
+        let beliefs = graph
+            .uniform_cardinality()
+            .unwrap_or_else(|| graph.metadata().num_beliefs);
+        let shared = graph.potentials().is_shared();
+        let potential_bytes = if shared {
+            // Constant memory (64 KiB bank) — not charged against VRAM.
+            0
+        } else {
+            graph.potentials().memory_bytes() as u64
+        };
+        let required = device_bytes_required(
+            graph.num_nodes() as u64,
+            graph.num_arcs() as u64,
+            beliefs as u64,
+            potential_bytes,
+        );
+        let structure = TrackedAlloc::uploaded(device, required).map_err(|e| match e {
+            DeviceError::OutOfMemory { requested, capacity, .. } => {
+                EngineError::OutOfDeviceMemory {
+                    required: requested,
+                    capacity,
+                }
+            }
+        })?;
+        Ok(GraphOnDevice {
+            _structure: structure,
+            beliefs,
+            constant_potential: shared,
+            global_potential_bytes: potential_bytes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use credo_gpusim::PASCAL_GTX1070;
+    use credo_graph::generators::{synthetic, GenOptions, PotentialKind};
+
+    #[test]
+    fn bytes_formula_scales_linearly() {
+        let small = device_bytes_required(1000, 8000, 2, 64);
+        let big = device_bytes_required(10_000, 80_000, 2, 64);
+        assert!(big > 9 * small && big < 11 * small);
+    }
+
+    #[test]
+    fn upload_and_free() {
+        let device = Device::new(PASCAL_GTX1070);
+        let g = synthetic(500, 2000, &GenOptions::new(2));
+        {
+            let resident = GraphOnDevice::upload(&device, &g).unwrap();
+            assert!(resident.constant_potential);
+            assert_eq!(resident.beliefs, 2);
+            assert!(device.vram_used() > 0);
+        }
+        assert_eq!(device.vram_used(), 0);
+    }
+
+    #[test]
+    fn per_edge_potentials_count_against_vram() {
+        let device = Device::new(PASCAL_GTX1070);
+        let shared = synthetic(200, 800, &GenOptions::new(4));
+        let per_edge = synthetic(
+            200,
+            800,
+            &GenOptions::new(4).with_potentials(PotentialKind::PerEdgeRandom),
+        );
+        let a = GraphOnDevice::upload(&device, &shared).unwrap();
+        let used_shared = device.vram_used();
+        drop(a);
+        let _b = GraphOnDevice::upload(&device, &per_edge).unwrap();
+        assert!(device.vram_used() > used_shared);
+    }
+
+    #[test]
+    fn oversized_graph_is_rejected() {
+        // 300M nodes × 32 beliefs ≈ > 8 GB of belief arrays alone.
+        let required = device_bytes_required(300_000_000, 1_200_000_000, 32, 0);
+        assert!(required > PASCAL_GTX1070.vram_bytes);
+    }
+}

@@ -1,0 +1,178 @@
+//! GPU architecture profiles (§2.3, §4, §4.4).
+
+/// Parameters describing a simulated GPU architecture. All latencies are in
+/// device clock cycles; bandwidths in bytes per second.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ArchProfile {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Streaming multiprocessor count (§4: GTX 1070 has 15 SMX).
+    pub num_sms: u32,
+    /// CUDA cores per SM.
+    pub cores_per_sm: u32,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Threads per warp (32 on every NVIDIA architecture).
+    pub warp_size: u32,
+    /// Maximum threads per block (the paper uses 1024 everywhere).
+    pub max_threads_per_block: u32,
+    /// VRAM capacity in bytes.
+    pub vram_bytes: u64,
+    /// Global-memory bandwidth in bytes/second (Volta is ~1.5× Pascal,
+    /// §4.4).
+    pub mem_bandwidth: f64,
+    /// Global-memory transaction granularity in bytes; partially used
+    /// transactions waste the remainder (coalescing model).
+    pub mem_transaction_bytes: u32,
+    /// Pipeline cost charged to a thread per global access (latency is
+    /// mostly hidden by warp switching; this is the residual).
+    pub global_access_cycles: f64,
+    /// Cost per shared-memory access.
+    pub shared_access_cycles: f64,
+    /// Cost per constant-cache read (§3.6 stores the shared joint matrix
+    /// here).
+    pub constant_access_cycles: f64,
+    /// Base cost of one atomic RMW, uncontended.
+    pub atomic_base_cycles: f64,
+    /// Additional cycles per atomic, multiplied by ln(1 + ops/target): the
+    /// serialization penalty when many atomics hit few addresses. Volta's
+    /// independent thread scheduling lowers this (§4.4).
+    pub atomic_contention_cycles: f64,
+    /// Kernel launch overhead in microseconds.
+    pub kernel_launch_us: f64,
+    /// Fixed cost of a `cudaMalloc`, microseconds.
+    pub alloc_base_us: f64,
+    /// Additional allocation cost per MiB, microseconds.
+    pub alloc_us_per_mib: f64,
+    /// Effective PCIe bandwidth for host↔device copies, bytes/second.
+    pub pcie_bandwidth: f64,
+    /// Fixed per-transfer latency, microseconds.
+    pub transfer_base_us: f64,
+    /// Register file bytes per SM (bounds occupancy given per-thread
+    /// state).
+    pub regfile_bytes_per_sm: u32,
+    /// Resident threads per SM the scheduler wants for latency hiding.
+    pub target_resident_threads: u32,
+}
+
+impl ArchProfile {
+    /// Total CUDA cores.
+    pub fn total_cores(&self) -> u64 {
+        self.num_sms as u64 * self.cores_per_sm as u64
+    }
+
+    /// Device compute throughput in cycles/second across all cores.
+    pub fn compute_throughput(&self) -> f64 {
+        self.total_cores() as f64 * self.clock_ghz * 1e9
+    }
+
+    /// Warps an SM can issue concurrently.
+    pub fn warp_parallelism(&self) -> u32 {
+        (self.cores_per_sm / self.warp_size).max(1)
+    }
+
+    /// Occupancy factor for a kernel whose threads each hold `state_bytes`
+    /// of live register state: 1.0 until the register file cannot hold the
+    /// target resident thread count, then proportionally less.
+    pub fn occupancy(&self, state_bytes: u32) -> f64 {
+        if state_bytes == 0 {
+            return 1.0;
+        }
+        let needed = state_bytes as f64 * self.target_resident_threads as f64;
+        (self.regfile_bytes_per_sm as f64 / needed).min(1.0).max(0.05)
+    }
+}
+
+/// The paper's primary evaluation GPU: an NVIDIA GTX 1070 (Pascal) — "15
+/// SMX processors, a total of 1920 CUDA cores and 8GB of VRAM" (§4).
+pub const PASCAL_GTX1070: ArchProfile = ArchProfile {
+    name: "GTX 1070 (Pascal)",
+    num_sms: 15,
+    cores_per_sm: 128,
+    clock_ghz: 1.68,
+    warp_size: 32,
+    max_threads_per_block: 1024,
+    vram_bytes: 8 * 1024 * 1024 * 1024,
+    mem_bandwidth: 256.0e9,
+    mem_transaction_bytes: 32,
+    global_access_cycles: 8.0,
+    shared_access_cycles: 2.0,
+    constant_access_cycles: 1.0,
+    atomic_base_cycles: 24.0,
+    atomic_contention_cycles: 48.0,
+    kernel_launch_us: 5.0,
+    alloc_base_us: 80.0,
+    alloc_us_per_mib: 12.0,
+    pcie_bandwidth: 12.0e9,
+    transfer_base_us: 12.0,
+    regfile_bytes_per_sm: 256 * 1024,
+    target_resident_threads: 2048,
+};
+
+/// The §4.4 portability target: an NVIDIA V100 SXM2 16GB (Volta) — 80 SMs,
+/// 5120 CUDA cores, ~1.5× Pascal's memory bandwidth, and cheaper atomics
+/// thanks to independent thread scheduling.
+pub const VOLTA_V100: ArchProfile = ArchProfile {
+    name: "V100 SXM2 (Volta)",
+    num_sms: 80,
+    cores_per_sm: 64,
+    clock_ghz: 1.53,
+    warp_size: 32,
+    max_threads_per_block: 1024,
+    vram_bytes: 16 * 1024 * 1024 * 1024,
+    mem_bandwidth: 900.0e9,
+    mem_transaction_bytes: 32,
+    global_access_cycles: 6.0,
+    shared_access_cycles: 2.0,
+    constant_access_cycles: 1.0,
+    atomic_base_cycles: 12.0,
+    atomic_contention_cycles: 16.0,
+    kernel_launch_us: 4.0,
+    alloc_base_us: 80.0,
+    alloc_us_per_mib: 10.0,
+    pcie_bandwidth: 14.0e9,
+    transfer_base_us: 12.0,
+    regfile_bytes_per_sm: 256 * 1024,
+    target_resident_threads: 2048,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pascal_matches_paper_description() {
+        assert_eq!(PASCAL_GTX1070.num_sms, 15);
+        assert_eq!(PASCAL_GTX1070.total_cores(), 1920);
+        assert_eq!(PASCAL_GTX1070.vram_bytes, 8 << 30);
+        assert_eq!(PASCAL_GTX1070.max_threads_per_block, 1024);
+    }
+
+    #[test]
+    fn volta_matches_paper_description() {
+        assert_eq!(VOLTA_V100.total_cores(), 5120);
+        assert_eq!(VOLTA_V100.vram_bytes, 16 << 30);
+        // "Volta introduces a considerably 1.5x higher memory bandwidth"
+        let ratio = VOLTA_V100.mem_bandwidth / PASCAL_GTX1070.mem_bandwidth;
+        assert!(ratio > 1.5, "bandwidth ratio {ratio}");
+        // "the overhead for the atomic operations is lower"
+        assert!(VOLTA_V100.atomic_base_cycles < PASCAL_GTX1070.atomic_base_cycles);
+        assert!(VOLTA_V100.atomic_contention_cycles < PASCAL_GTX1070.atomic_contention_cycles);
+    }
+
+    #[test]
+    fn occupancy_degrades_with_register_pressure() {
+        let a = PASCAL_GTX1070;
+        assert_eq!(a.occupancy(0), 1.0);
+        assert_eq!(a.occupancy(16), 1.0); // 2048 × 16B = 32 KiB « 256 KiB
+        let heavy = a.occupancy(512); // 2048 × 512B = 1 MiB » 256 KiB
+        assert!(heavy < 0.3 && heavy >= 0.05);
+        assert!(a.occupancy(256) > heavy);
+    }
+
+    #[test]
+    fn warp_parallelism() {
+        assert_eq!(PASCAL_GTX1070.warp_parallelism(), 4);
+        assert_eq!(VOLTA_V100.warp_parallelism(), 2);
+    }
+}

@@ -1,0 +1,218 @@
+//! Typed device buffers with VRAM accounting and transfer costs.
+
+use crate::device::{Device, DeviceError};
+
+/// A typed allocation in simulated VRAM. The backing store lives on the
+/// host (this is a simulator), but its size counts against the device's
+/// VRAM capacity, allocation charges `cudaMalloc`-like time, and
+/// upload/download charge PCIe transfer time.
+pub struct DeviceBuffer<T> {
+    device: Device,
+    data: Vec<T>,
+    bytes: u64,
+}
+
+impl<T> DeviceBuffer<T> {
+    /// Allocates `len` elements initialized by `init`.
+    pub fn alloc_with(
+        device: &Device,
+        len: usize,
+        init: impl FnMut() -> T,
+    ) -> Result<Self, DeviceError> {
+        let bytes = (len * std::mem::size_of::<T>()) as u64;
+        device.register_alloc(bytes)?;
+        let mut data = Vec::with_capacity(len);
+        data.resize_with(len, init);
+        Ok(DeviceBuffer {
+            device: device.clone(),
+            data,
+            bytes,
+        })
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Size in bytes (as accounted against VRAM).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Device-side view (kernel code reads through this).
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable device-side view.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+}
+
+impl<T: Default> DeviceBuffer<T> {
+    /// Allocates `len` default-initialized elements.
+    pub fn alloc(device: &Device, len: usize) -> Result<Self, DeviceError> {
+        Self::alloc_with(device, len, T::default)
+    }
+}
+
+impl<T: Copy> DeviceBuffer<T> {
+    /// Allocates and uploads `src` (one `cudaMalloc` + one H2D copy).
+    pub fn from_host(device: &Device, src: &[T]) -> Result<Self, DeviceError> {
+        let bytes = std::mem::size_of_val(src) as u64;
+        device.register_alloc(bytes)?;
+        device.charge_h2d(bytes);
+        Ok(DeviceBuffer {
+            device: device.clone(),
+            data: src.to_vec(),
+            bytes,
+        })
+    }
+
+    /// Uploads `src` into the buffer (charges one H2D transfer).
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn upload(&mut self, src: &[T]) {
+        assert_eq!(src.len(), self.data.len(), "upload length mismatch");
+        self.device.charge_h2d(std::mem::size_of_val(src) as u64);
+        self.data.copy_from_slice(src);
+    }
+
+    /// Downloads the buffer into `dst` (charges one D2H transfer).
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn download(&self, dst: &mut [T]) {
+        assert_eq!(dst.len(), self.data.len(), "download length mismatch");
+        self.device.charge_d2h(std::mem::size_of_val(dst) as u64);
+        dst.copy_from_slice(&self.data);
+    }
+}
+
+/// A VRAM reservation without host-side storage — used for device-resident
+/// data the simulator never needs to materialize element-wise (adjacency
+/// indices, per-edge potentials), where only capacity accounting and
+/// transfer charges matter.
+pub struct TrackedAlloc {
+    device: Device,
+    bytes: u64,
+}
+
+impl TrackedAlloc {
+    /// Reserves `bytes` of VRAM, charging allocation time.
+    pub fn new(device: &Device, bytes: u64) -> Result<Self, DeviceError> {
+        device.register_alloc(bytes)?;
+        Ok(TrackedAlloc {
+            device: device.clone(),
+            bytes,
+        })
+    }
+
+    /// Reserves and charges the initial host→device population copy.
+    pub fn uploaded(device: &Device, bytes: u64) -> Result<Self, DeviceError> {
+        let a = Self::new(device, bytes)?;
+        device.charge_h2d(bytes);
+        Ok(a)
+    }
+
+    /// Reserved size.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+impl Drop for TrackedAlloc {
+    fn drop(&mut self) {
+        self.device.register_free(self.bytes);
+    }
+}
+
+impl std::fmt::Debug for TrackedAlloc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrackedAlloc").field("bytes", &self.bytes).finish()
+    }
+}
+
+impl<T> std::fmt::Debug for DeviceBuffer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeviceBuffer")
+            .field("len", &self.data.len())
+            .field("bytes", &self.bytes)
+            .finish()
+    }
+}
+
+impl<T> Drop for DeviceBuffer<T> {
+    fn drop(&mut self) {
+        self.device.register_free(self.bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::PASCAL_GTX1070;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn roundtrip_upload_download() {
+        let d = Device::new(PASCAL_GTX1070);
+        let src: Vec<f32> = (0..100).map(|i| i as f32).collect();
+        let buf = DeviceBuffer::from_host(&d, &src).unwrap();
+        let mut out = vec![0.0f32; 100];
+        buf.download(&mut out);
+        assert_eq!(out, src);
+        assert_eq!(d.transfers(), 2);
+    }
+
+    #[test]
+    fn vram_is_freed_on_drop() {
+        let d = Device::new(PASCAL_GTX1070);
+        {
+            let _buf = DeviceBuffer::<f32>::alloc(&d, 1 << 20).unwrap();
+            assert_eq!(d.vram_used(), 4 << 20);
+        }
+        assert_eq!(d.vram_used(), 0);
+    }
+
+    #[test]
+    fn oom_on_oversized_allocation() {
+        let d = Device::new(PASCAL_GTX1070);
+        let err = DeviceBuffer::<f32>::alloc(&d, 3 << 30).unwrap_err();
+        assert!(matches!(err, DeviceError::OutOfMemory { .. }));
+        // Failed allocations must not leak accounting.
+        assert_eq!(d.vram_used(), 0);
+    }
+
+    #[test]
+    fn atomic_buffers_allocate() {
+        let d = Device::new(PASCAL_GTX1070);
+        let buf = DeviceBuffer::<AtomicU32>::alloc(&d, 64).unwrap();
+        assert_eq!(buf.len(), 64);
+        assert_eq!(buf.bytes(), 256);
+    }
+
+    #[test]
+    fn alloc_charges_time() {
+        let d = Device::new(PASCAL_GTX1070);
+        let t0 = d.elapsed();
+        let _b = DeviceBuffer::<u8>::alloc(&d, 100 << 20).unwrap();
+        assert!(d.elapsed() > t0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_upload_panics() {
+        let d = Device::new(PASCAL_GTX1070);
+        let mut buf = DeviceBuffer::<f32>::alloc(&d, 4).unwrap();
+        buf.upload(&[1.0; 5]);
+    }
+}

@@ -1,0 +1,266 @@
+//! The simulated device: VRAM accounting, transfer costs and the simulated
+//! clock.
+
+use crate::arch::ArchProfile;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Errors from device operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeviceError {
+    /// Allocation would exceed VRAM capacity (§4.2: "the TW and OR …
+    /// exceed the GPU's VRAM").
+    OutOfMemory {
+        /// Bytes requested by the failing allocation.
+        requested: u64,
+        /// Bytes currently allocated.
+        in_use: u64,
+        /// Device capacity.
+        capacity: u64,
+    },
+}
+
+impl std::fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeviceError::OutOfMemory {
+                requested,
+                in_use,
+                capacity,
+            } => write!(
+                f,
+                "device OOM: requested {requested} B with {in_use}/{capacity} B in use"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+#[derive(Debug, Default)]
+pub(crate) struct DeviceState {
+    pub clock_secs: f64,
+    pub vram_used: u64,
+    pub allocations: u64,
+    pub kernel_launches: u64,
+    pub h2d_bytes: u64,
+    pub d2h_bytes: u64,
+    pub transfers: u64,
+}
+
+pub(crate) struct DeviceInner {
+    pub profile: ArchProfile,
+    pub state: Mutex<DeviceState>,
+}
+
+/// A handle to a simulated GPU. Cheap to clone; all clones share one clock
+/// and one VRAM pool.
+#[derive(Clone)]
+pub struct Device {
+    pub(crate) inner: Arc<DeviceInner>,
+}
+
+impl Device {
+    /// Creates a device with the given architecture profile.
+    pub fn new(profile: ArchProfile) -> Self {
+        Device {
+            inner: Arc::new(DeviceInner {
+                profile,
+                state: Mutex::new(DeviceState::default()),
+            }),
+        }
+    }
+
+    /// The architecture profile.
+    pub fn profile(&self) -> &ArchProfile {
+        &self.inner.profile
+    }
+
+    /// Simulated time elapsed on this device.
+    pub fn elapsed(&self) -> Duration {
+        Duration::from_secs_f64(self.inner.state.lock().clock_secs)
+    }
+
+    /// Resets the clock (not the allocations) — used between benchmark
+    /// repetitions.
+    pub fn reset_clock(&self) {
+        self.inner.state.lock().clock_secs = 0.0;
+    }
+
+    /// VRAM currently allocated.
+    pub fn vram_used(&self) -> u64 {
+        self.inner.state.lock().vram_used
+    }
+
+    /// VRAM still available.
+    pub fn vram_free(&self) -> u64 {
+        self.inner.profile.vram_bytes - self.vram_used()
+    }
+
+    /// Number of kernel launches so far.
+    pub fn kernel_launches(&self) -> u64 {
+        self.inner.state.lock().kernel_launches
+    }
+
+    /// Number of host↔device transfers so far.
+    pub fn transfers(&self) -> u64 {
+        self.inner.state.lock().transfers
+    }
+
+    /// Advances the simulated clock.
+    pub(crate) fn advance(&self, secs: f64) {
+        debug_assert!(secs >= 0.0 && secs.is_finite());
+        self.inner.state.lock().clock_secs += secs;
+    }
+
+    /// Registers an allocation, charging `cudaMalloc`-like time.
+    /// Returns the allocation's simulated cost.
+    pub(crate) fn register_alloc(&self, bytes: u64) -> Result<Duration, DeviceError> {
+        let p = &self.inner.profile;
+        let mut st = self.inner.state.lock();
+        if st.vram_used + bytes > p.vram_bytes {
+            return Err(DeviceError::OutOfMemory {
+                requested: bytes,
+                in_use: st.vram_used,
+                capacity: p.vram_bytes,
+            });
+        }
+        st.vram_used += bytes;
+        st.allocations += 1;
+        let secs = (p.alloc_base_us + p.alloc_us_per_mib * bytes as f64 / (1 << 20) as f64) * 1e-6;
+        st.clock_secs += secs;
+        Ok(Duration::from_secs_f64(secs))
+    }
+
+    /// Releases an allocation (free is modeled as instantaneous).
+    pub(crate) fn register_free(&self, bytes: u64) {
+        let mut st = self.inner.state.lock();
+        debug_assert!(st.vram_used >= bytes);
+        st.vram_used = st.vram_used.saturating_sub(bytes);
+    }
+
+    /// Charges a host→device copy of `bytes`.
+    pub fn charge_h2d(&self, bytes: u64) -> Duration {
+        self.charge_transfer(bytes, true)
+    }
+
+    /// Charges a device→host copy of `bytes`.
+    pub fn charge_d2h(&self, bytes: u64) -> Duration {
+        self.charge_transfer(bytes, false)
+    }
+
+    fn charge_transfer(&self, bytes: u64, h2d: bool) -> Duration {
+        let p = &self.inner.profile;
+        let secs = p.transfer_base_us * 1e-6 + bytes as f64 / p.pcie_bandwidth;
+        let mut st = self.inner.state.lock();
+        st.clock_secs += secs;
+        st.transfers += 1;
+        if h2d {
+            st.h2d_bytes += bytes;
+        } else {
+            st.d2h_bytes += bytes;
+        }
+        Duration::from_secs_f64(secs)
+    }
+
+    /// Charges additional busy time on the device — used by engines that
+    /// model generated-code inefficiency on top of measured kernel work
+    /// (e.g. the OpenACC analogue's unfused, spill-prone kernels).
+    pub fn charge_busy(&self, d: Duration) {
+        self.advance(d.as_secs_f64());
+    }
+
+    /// Block-parallel sum reduction over `values` — models the §3.6
+    /// shared-memory reductive sum (one kernel launch, a streaming read of
+    /// the input, log₂(block) shared-memory steps) and returns the sum.
+    /// The functional result is computed in `f64` so it is deterministic
+    /// and at least as accurate as a tree reduction on device.
+    pub fn reduce_sum(&self, values: &[f32]) -> f32 {
+        let p = &self.inner.profile;
+        let n = values.len() as f64;
+        let block = p.max_threads_per_block as f64;
+        let blocks = (n / block).ceil().max(1.0);
+        // Read n floats at full bandwidth + per-block shared tree.
+        let mem_secs = n * 4.0 / p.mem_bandwidth;
+        let shared_ops = blocks * block.log2().max(1.0) * p.shared_access_cycles;
+        let shared_secs = shared_ops / (p.num_sms as f64 * p.clock_ghz * 1e9);
+        let secs = p.kernel_launch_us * 1e-6 + mem_secs + shared_secs;
+        {
+            let mut st = self.inner.state.lock();
+            st.clock_secs += secs;
+            st.kernel_launches += 1;
+        }
+        values.iter().map(|&v| v as f64).sum::<f64>() as f32
+    }
+}
+
+impl std::fmt::Debug for Device {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.inner.state.lock();
+        f.debug_struct("Device")
+            .field("profile", &self.inner.profile.name)
+            .field("clock_secs", &st.clock_secs)
+            .field("vram_used", &st.vram_used)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::PASCAL_GTX1070;
+
+    #[test]
+    fn clock_starts_at_zero_and_accumulates() {
+        let d = Device::new(PASCAL_GTX1070);
+        assert_eq!(d.elapsed(), Duration::ZERO);
+        d.charge_h2d(1 << 20);
+        let t1 = d.elapsed();
+        assert!(t1 > Duration::ZERO);
+        d.charge_d2h(1 << 20);
+        assert!(d.elapsed() > t1);
+        d.reset_clock();
+        assert_eq!(d.elapsed(), Duration::ZERO);
+    }
+
+    #[test]
+    fn transfer_cost_scales_with_bytes() {
+        let d = Device::new(PASCAL_GTX1070);
+        let small = d.charge_h2d(1 << 10);
+        let big = d.charge_h2d(1 << 28);
+        assert!(big > small * 10);
+        assert_eq!(d.transfers(), 2);
+    }
+
+    #[test]
+    fn vram_accounting_and_oom() {
+        let d = Device::new(PASCAL_GTX1070);
+        d.register_alloc(4 << 30).unwrap();
+        assert_eq!(d.vram_used(), 4 << 30);
+        let err = d.register_alloc(5 << 30).unwrap_err();
+        assert!(matches!(err, DeviceError::OutOfMemory { .. }));
+        d.register_free(4 << 30);
+        assert_eq!(d.vram_used(), 0);
+        d.register_alloc(5 << 30).unwrap();
+    }
+
+    #[test]
+    fn reduce_sum_is_correct_and_charges_time() {
+        let d = Device::new(PASCAL_GTX1070);
+        let xs: Vec<f32> = (0..10_000).map(|i| i as f32 * 1e-3).collect();
+        let got = d.reduce_sum(&xs);
+        let want: f64 = xs.iter().map(|&v| v as f64).sum();
+        assert!((got as f64 - want).abs() / want < 1e-6);
+        assert!(d.elapsed() > Duration::ZERO);
+        assert_eq!(d.kernel_launches(), 1);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let d = Device::new(PASCAL_GTX1070);
+        let d2 = d.clone();
+        d.charge_h2d(1024);
+        assert_eq!(d.elapsed(), d2.elapsed());
+    }
+}

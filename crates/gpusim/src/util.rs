@@ -1,0 +1,127 @@
+//! Concurrency helpers for kernel code.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Atomic multiply of an `f32` stored in an [`AtomicU32`] — the CAS loop a
+/// GPU `atomicCAS`-based floating-point multiply performs. Returns the
+/// number of CAS retries (useful for contention diagnostics).
+#[inline]
+pub fn atomic_mul_f32(cell: &AtomicU32, factor: f32) -> u32 {
+    let mut retries = 0;
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let new = (f32::from_bits(cur) * factor).to_bits();
+        match cell.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return retries,
+            Err(observed) => {
+                cur = observed;
+                retries += 1;
+            }
+        }
+    }
+}
+
+/// A shareable mutable slice for scatter-writes to *disjoint* indices from
+/// concurrently executing simulated thread blocks (the standard CUDA
+/// output-array write pattern).
+pub struct SharedSlice<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: std::marker::PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: writes go to disjoint indices by caller contract.
+unsafe impl<T: Send> Send for SharedSlice<'_, T> {}
+unsafe impl<T: Send> Sync for SharedSlice<'_, T> {}
+
+impl<'a, T> SharedSlice<'a, T> {
+    /// Wraps a mutable slice.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        SharedSlice {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Length of the underlying slice.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Writes `value` at `index`.
+    ///
+    /// # Safety
+    /// No two simulated threads may write the same index during one kernel,
+    /// and nothing may read the index concurrently.
+    #[inline]
+    pub unsafe fn write(&self, index: usize, value: T) {
+        debug_assert!(index < self.len);
+        // SAFETY: bounds asserted; disjointness is the caller's contract.
+        unsafe { self.ptr.add(index).write(value) };
+    }
+
+    /// Reads the value at `index`.
+    ///
+    /// # Safety
+    /// The index must not be written concurrently.
+    #[inline]
+    pub unsafe fn read(&self, index: usize) -> T
+    where
+        T: Copy,
+    {
+        debug_assert!(index < self.len);
+        // SAFETY: bounds asserted; absence of concurrent writers is the
+        // caller's contract.
+        unsafe { self.ptr.add(index).read() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atomic_mul_multiplies() {
+        let cell = AtomicU32::new(0.5f32.to_bits());
+        let retries = atomic_mul_f32(&cell, 4.0);
+        assert_eq!(f32::from_bits(cell.load(Ordering::Relaxed)), 2.0);
+        assert_eq!(retries, 0, "uncontended CAS should not retry");
+    }
+
+    #[test]
+    fn atomic_mul_is_commutative_under_races() {
+        let cell = AtomicU32::new(1.0f32.to_bits());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let cell = &cell;
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        atomic_mul_f32(cell, 1.01);
+                    }
+                });
+            }
+        });
+        let expected = 1.01f64.powi(400);
+        let got = f32::from_bits(cell.load(Ordering::Relaxed)) as f64;
+        assert!((got / expected - 1.0).abs() < 1e-2, "{got} vs {expected}");
+    }
+
+    #[test]
+    fn shared_slice_read_write() {
+        let mut v = vec![0u64; 8];
+        let s = SharedSlice::new(&mut v);
+        unsafe {
+            s.write(3, 42);
+            assert_eq!(s.read(3), 42);
+        }
+        assert_eq!(s.len(), 8);
+        assert!(!s.is_empty());
+        assert_eq!(v[3], 42);
+    }
+}

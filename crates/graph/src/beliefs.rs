@@ -1,0 +1,318 @@
+//! Array-of-structs belief records.
+//!
+//! The paper (§3.4) compares a struct-of-arrays layout against an
+//! array-of-structs layout — "arrays holding structs consisting of a
+//! statically allocated float array and unsigned integers for the
+//! dimensions" — and finds the AoS design has ~56% fewer data-cache
+//! accesses. [`Belief`] is that AoS record; the engines operate on
+//! `Vec<Belief>` ("arrays holding structs").
+
+use std::fmt;
+
+/// Maximum number of discrete states a node may take.
+///
+/// The paper's largest use case is 32-belief image correction (one belief
+/// per bit of a 32-bit pixel), so the statically allocated array is sized
+/// for exactly that.
+pub const MAX_BELIEFS: usize = 32;
+
+/// A single node's belief: a discrete probability distribution over up to
+/// [`MAX_BELIEFS`] states, stored inline (statically allocated, per §3.4).
+#[derive(Clone, Copy, PartialEq)]
+pub struct Belief {
+    len: u32,
+    data: [f32; MAX_BELIEFS],
+}
+
+impl Belief {
+    /// Creates a belief of `len` states, all zero.
+    ///
+    /// # Panics
+    /// Panics if `len` is zero or exceeds [`MAX_BELIEFS`].
+    #[inline]
+    pub fn zeros(len: usize) -> Self {
+        assert!(
+            len >= 1 && len <= MAX_BELIEFS,
+            "belief cardinality {len} out of range 1..={MAX_BELIEFS}"
+        );
+        Belief {
+            len: len as u32,
+            data: [0.0; MAX_BELIEFS],
+        }
+    }
+
+    /// Creates the uniform distribution over `len` states.
+    #[inline]
+    pub fn uniform(len: usize) -> Self {
+        let mut b = Self::zeros(len);
+        let p = 1.0 / len as f32;
+        b.data[..len].fill(p);
+        b
+    }
+
+    /// Creates a belief from raw probabilities. The values are used as-is;
+    /// call [`Belief::normalize`] afterwards if they do not sum to one.
+    #[inline]
+    pub fn from_slice(values: &[f32]) -> Self {
+        let mut b = Self::zeros(values.len());
+        b.data[..values.len()].copy_from_slice(values);
+        b
+    }
+
+    /// A point-mass ("observed", §2.1) belief: probability one on `state`.
+    #[inline]
+    pub fn observed(len: usize, state: usize) -> Self {
+        let mut b = Self::zeros(len);
+        assert!(state < len, "observed state {state} out of range 0..{len}");
+        b.data[state] = 1.0;
+        b
+    }
+
+    /// Number of states.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Always false: beliefs have at least one state.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The probabilities as a slice of length [`Belief::len`].
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data[..self.len as usize]
+    }
+
+    /// Mutable access to the probabilities.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data[..self.len as usize]
+    }
+
+    /// Probability of `state`.
+    #[inline]
+    pub fn get(&self, state: usize) -> f32 {
+        self.as_slice()[state]
+    }
+
+    /// Sets the probability of `state`.
+    #[inline]
+    pub fn set(&mut self, state: usize, p: f32) {
+        self.as_mut_slice()[state] = p;
+    }
+
+    /// Normalizes in place so the probabilities sum to one (the
+    /// "marginalization" step of Algorithm 1, line 11).
+    ///
+    /// If every entry has underflowed to zero the belief falls back to the
+    /// uniform distribution rather than producing NaNs; loopy BP products of
+    /// many sub-unit factors can underflow `f32` on high-degree hubs.
+    /// Returns the pre-normalization sum (the marginalization factor `Z`).
+    #[inline]
+    pub fn normalize(&mut self) -> f32 {
+        let n = self.len as usize;
+        let sum: f32 = self.data[..n].iter().sum();
+        if sum > 0.0 && sum.is_finite() {
+            let inv = 1.0 / sum;
+            for v in &mut self.data[..n] {
+                *v *= inv;
+            }
+        } else {
+            let p = 1.0 / n as f32;
+            self.data[..n].fill(p);
+        }
+        sum
+    }
+
+    /// Scales so the maximum entry is one. Used to keep message products
+    /// inside `f32` range before the final marginalization.
+    #[inline]
+    pub fn scale_max_to_one(&mut self) {
+        let n = self.len as usize;
+        let max = self.data[..n].iter().fold(0.0f32, |a, &b| a.max(b));
+        if max > 0.0 && max.is_finite() {
+            let inv = 1.0 / max;
+            for v in &mut self.data[..n] {
+                *v *= inv;
+            }
+        }
+    }
+
+    /// Element-wise product accumulation: `self[i] *= other[i]`
+    /// (Algorithm 1's `combine_updates`).
+    ///
+    /// # Panics
+    /// Panics in debug builds if the cardinalities differ.
+    #[inline]
+    pub fn mul_assign(&mut self, other: &Belief) {
+        debug_assert_eq!(self.len, other.len, "belief cardinality mismatch");
+        let n = self.len as usize;
+        for i in 0..n {
+            self.data[i] *= other.data[i];
+        }
+    }
+
+    /// [`Belief::mul_assign`] followed by a rescale whenever the running
+    /// product's largest entry drops below `1e-18` — keeps edge-paradigm
+    /// accumulators (which multiply an unbounded number of messages into a
+    /// node) inside `f32` range.
+    #[inline]
+    pub fn mul_assign_rescaling(&mut self, other: &Belief) {
+        self.mul_assign(other);
+        let n = self.len as usize;
+        let max = self.data[..n].iter().fold(0.0f32, |a, &b| a.max(b));
+        if max < 1e-18 {
+            self.scale_max_to_one();
+        }
+    }
+
+    /// L1 distance Σ|a−b| — the per-node contribution to the global
+    /// convergence sum (Algorithm 1, line 12).
+    #[inline]
+    pub fn l1_diff(&self, other: &Belief) -> f32 {
+        debug_assert_eq!(self.len, other.len, "belief cardinality mismatch");
+        let n = self.len as usize;
+        let mut acc = 0.0f32;
+        for i in 0..n {
+            acc += (self.data[i] - other.data[i]).abs();
+        }
+        acc
+    }
+
+    /// L∞ distance max|a−b|, used by cross-implementation agreement checks.
+    #[inline]
+    pub fn linf_diff(&self, other: &Belief) -> f32 {
+        debug_assert_eq!(self.len, other.len, "belief cardinality mismatch");
+        let n = self.len as usize;
+        let mut acc = 0.0f32;
+        for i in 0..n {
+            acc = acc.max((self.data[i] - other.data[i]).abs());
+        }
+        acc
+    }
+
+    /// Index of the most probable state.
+    #[inline]
+    pub fn argmax(&self) -> usize {
+        let mut best = 0;
+        for i in 1..self.len as usize {
+            if self.data[i] > self.data[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// True when every probability is finite and non-negative.
+    #[inline]
+    pub fn is_valid(&self) -> bool {
+        self.as_slice().iter().all(|p| p.is_finite() && *p >= 0.0)
+    }
+
+    /// True when the belief is (approximately) normalized.
+    #[inline]
+    pub fn is_normalized(&self, tol: f32) -> bool {
+        let sum: f32 = self.as_slice().iter().sum();
+        (sum - 1.0).abs() <= tol
+    }
+}
+
+impl fmt::Debug for Belief {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_normalized() {
+        for len in 1..=MAX_BELIEFS {
+            let b = Belief::uniform(len);
+            assert!(b.is_normalized(1e-5), "len={len}");
+            assert_eq!(b.len(), len);
+        }
+    }
+
+    #[test]
+    fn observed_is_point_mass() {
+        let b = Belief::observed(3, 1);
+        assert_eq!(b.as_slice(), &[0.0, 1.0, 0.0]);
+        assert_eq!(b.argmax(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn observed_state_out_of_range_panics() {
+        let _ = Belief::observed(2, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cardinality")]
+    fn zero_cardinality_panics() {
+        let _ = Belief::zeros(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cardinality")]
+    fn oversized_cardinality_panics() {
+        let _ = Belief::zeros(MAX_BELIEFS + 1);
+    }
+
+    #[test]
+    fn normalize_returns_z_and_normalizes() {
+        let mut b = Belief::from_slice(&[2.0, 6.0]);
+        let z = b.normalize();
+        assert!((z - 8.0).abs() < 1e-6);
+        assert_eq!(b.as_slice(), &[0.25, 0.75]);
+    }
+
+    #[test]
+    fn normalize_underflow_falls_back_to_uniform() {
+        let mut b = Belief::zeros(4);
+        b.normalize();
+        assert_eq!(b.as_slice(), &[0.25; 4]);
+
+        let mut nan = Belief::from_slice(&[f32::NAN, 1.0]);
+        // NaN sum is not finite -> uniform fallback.
+        nan.normalize();
+        assert_eq!(nan.as_slice(), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn mul_assign_is_elementwise() {
+        let mut a = Belief::from_slice(&[0.5, 0.5]);
+        let b = Belief::from_slice(&[0.2, 0.8]);
+        a.mul_assign(&b);
+        assert_eq!(a.as_slice(), &[0.1, 0.4]);
+    }
+
+    #[test]
+    fn l1_and_linf_diff() {
+        let a = Belief::from_slice(&[0.1, 0.9]);
+        let b = Belief::from_slice(&[0.4, 0.6]);
+        assert!((a.l1_diff(&b) - 0.6).abs() < 1e-6);
+        assert!((a.linf_diff(&b) - 0.3).abs() < 1e-6);
+        assert_eq!(a.l1_diff(&a), 0.0);
+    }
+
+    #[test]
+    fn scale_max_to_one() {
+        let mut b = Belief::from_slice(&[1e-20, 4e-20]);
+        b.scale_max_to_one();
+        assert!((b.get(1) - 1.0).abs() < 1e-6);
+        assert!((b.get(0) - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn validity_checks() {
+        assert!(Belief::uniform(3).is_valid());
+        let bad = Belief::from_slice(&[-0.5, 1.5]);
+        assert!(!bad.is_valid());
+    }
+}

@@ -1,0 +1,298 @@
+//! Incremental construction of [`BeliefGraph`]s.
+
+use crate::beliefs::Belief;
+use crate::csr::Csr;
+use crate::graph::{Arc, BeliefGraph, GraphError, NodeId};
+use crate::potentials::{JointMatrix, PotentialStore};
+
+/// Builds a [`BeliefGraph`] node by node and edge by edge, then freezes it
+/// into the indexed form the engines consume.
+///
+/// Two potential modes are supported and must not be mixed:
+///
+/// * **Shared** — call [`GraphBuilder::shared_potential`] once, then add
+///   edges without matrices ([`GraphBuilder::add_undirected_edge`] /
+///   [`GraphBuilder::add_directed_edge`]). This is §2.2's refinement.
+/// * **Per-edge** — add every edge with its own matrix
+///   ([`GraphBuilder::add_undirected_edge_with`] /
+///   [`GraphBuilder::add_directed_edge_with`]). This is the original
+///   formulation that BIF networks require.
+#[derive(Debug, Default)]
+pub struct GraphBuilder {
+    names: Vec<String>,
+    any_named: bool,
+    priors: Vec<Belief>,
+    observed: Vec<bool>,
+    arcs: Vec<Arc>,
+    arc_potentials: Vec<Option<JointMatrix>>,
+    shared: Option<JointMatrix>,
+    undirected_edges: usize,
+}
+
+impl GraphBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A builder with node/edge capacity reserved up front (the streaming
+    /// MTX parser knows both counts from the header line).
+    pub fn with_capacity(nodes: usize, undirected_edges: usize) -> Self {
+        GraphBuilder {
+            names: Vec::new(),
+            any_named: false,
+            priors: Vec::with_capacity(nodes),
+            observed: Vec::with_capacity(nodes),
+            arcs: Vec::with_capacity(undirected_edges * 2),
+            arc_potentials: Vec::new(),
+            shared: None,
+            undirected_edges: 0,
+        }
+    }
+
+    /// Number of nodes added so far.
+    pub fn num_nodes(&self) -> usize {
+        self.priors.len()
+    }
+
+    /// Number of directed arcs added so far.
+    pub fn num_arcs(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// Adds an anonymous node with the given prior; returns its id.
+    pub fn add_node(&mut self, prior: Belief) -> NodeId {
+        let id = self.priors.len() as NodeId;
+        self.priors.push(prior);
+        self.observed.push(false);
+        self.names.push(String::new());
+        id
+    }
+
+    /// Adds a named node (BIF networks carry names).
+    pub fn add_named_node(&mut self, name: impl Into<String>, prior: Belief) -> NodeId {
+        let id = self.add_node(prior);
+        self.names[id as usize] = name.into();
+        self.any_named = true;
+        id
+    }
+
+    /// Declares the single shared joint matrix (§2.2 mode).
+    pub fn shared_potential(&mut self, m: JointMatrix) {
+        self.shared = Some(m);
+    }
+
+    /// Adds a directed arc in shared-potential mode.
+    pub fn add_directed_edge(&mut self, src: NodeId, dst: NodeId) {
+        self.arcs.push(Arc { src, dst, reverse: false });
+        self.arc_potentials.push(None);
+        self.undirected_edges += 1;
+    }
+
+    /// Adds a directed arc with its own matrix (per-edge mode).
+    pub fn add_directed_edge_with(&mut self, src: NodeId, dst: NodeId, m: JointMatrix) {
+        self.arcs.push(Arc { src, dst, reverse: false });
+        self.arc_potentials.push(Some(m));
+        self.undirected_edges += 1;
+    }
+
+    /// Adds an undirected edge in shared-potential mode: forward arc
+    /// `src → dst` plus reverse arc `dst → src` (which will use the shared
+    /// matrix's transpose).
+    pub fn add_undirected_edge(&mut self, src: NodeId, dst: NodeId) {
+        self.arcs.push(Arc { src, dst, reverse: false });
+        self.arc_potentials.push(None);
+        self.arcs.push(Arc { src: dst, dst: src, reverse: true });
+        self.arc_potentials.push(None);
+        self.undirected_edges += 1;
+    }
+
+    /// Adds an undirected edge with its own matrix; the reverse arc gets the
+    /// transpose.
+    pub fn add_undirected_edge_with(&mut self, src: NodeId, dst: NodeId, m: JointMatrix) {
+        let t = m.transposed();
+        self.arcs.push(Arc { src, dst, reverse: false });
+        self.arc_potentials.push(Some(m));
+        self.arcs.push(Arc { src: dst, dst: src, reverse: true });
+        self.arc_potentials.push(Some(t));
+        self.undirected_edges += 1;
+    }
+
+    /// Marks `node` as observed in `state` (applied at build time).
+    pub fn observe(&mut self, node: NodeId, state: usize) {
+        let len = self.priors[node as usize].len();
+        self.priors[node as usize] = Belief::observed(len, state);
+        self.observed[node as usize] = true;
+    }
+
+    /// Freezes the builder into an indexed [`BeliefGraph`], validating
+    /// structure and potential shapes.
+    pub fn build(self) -> Result<BeliefGraph, GraphError> {
+        let n = self.priors.len();
+        if n == 0 {
+            return Err(GraphError::Empty);
+        }
+
+        let any_per_edge = self.arc_potentials.iter().any(Option::is_some);
+        if self.shared.is_some() && any_per_edge {
+            return Err(GraphError::ConflictingPotentialModes);
+        }
+
+        for arc in &self.arcs {
+            for node in [arc.src, arc.dst] {
+                if node as usize >= n {
+                    return Err(GraphError::InvalidNode { node, num_nodes: n });
+                }
+            }
+        }
+
+        let potentials = if let Some(shared) = self.shared {
+            // Shared mode needs one cardinality everywhere.
+            let first = self.priors[0].len();
+            if let Some(other) = self.priors.iter().find(|b| b.len() != first) {
+                return Err(GraphError::MixedCardinality { first, other: other.len() });
+            }
+            PotentialStore::shared(shared)
+        } else {
+            let mut ms = Vec::with_capacity(self.arc_potentials.len());
+            for (i, slot) in self.arc_potentials.into_iter().enumerate() {
+                match slot {
+                    Some(m) => ms.push(m),
+                    None => return Err(GraphError::MissingPotential { arc: i as u32 }),
+                }
+            }
+            PotentialStore::per_edge(ms)
+        };
+
+        let arcs = self.arcs;
+        let in_csr = Csr::from_incidence(n, arcs.len(), |a| arcs[a].dst);
+        let out_csr = Csr::from_incidence(n, arcs.len(), |a| arcs[a].src);
+
+        let graph = BeliefGraph {
+            names: self.any_named.then_some(self.names),
+            beliefs: self.priors.clone(),
+            priors: self.priors,
+            observed: self.observed,
+            arcs,
+            potentials,
+            in_csr,
+            out_csr,
+            undirected_edges: self.undirected_edges,
+        };
+        graph.validate()?;
+        Ok(graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph_is_rejected() {
+        assert_eq!(GraphBuilder::new().build().unwrap_err(), GraphError::Empty);
+    }
+
+    #[test]
+    fn invalid_node_is_rejected() {
+        let mut b = GraphBuilder::new();
+        b.add_node(Belief::uniform(2));
+        b.shared_potential(JointMatrix::smoothing(2, 0.1));
+        b.add_undirected_edge(0, 5);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            GraphError::InvalidNode { node: 5, .. }
+        ));
+    }
+
+    #[test]
+    fn missing_potential_is_rejected() {
+        let mut b = GraphBuilder::new();
+        let n0 = b.add_node(Belief::uniform(2));
+        let n1 = b.add_node(Belief::uniform(2));
+        b.add_undirected_edge(n0, n1); // no shared potential declared
+        assert!(matches!(
+            b.build().unwrap_err(),
+            GraphError::MissingPotential { arc: 0 }
+        ));
+    }
+
+    #[test]
+    fn conflicting_modes_are_rejected() {
+        let mut b = GraphBuilder::new();
+        let n0 = b.add_node(Belief::uniform(2));
+        let n1 = b.add_node(Belief::uniform(2));
+        b.shared_potential(JointMatrix::smoothing(2, 0.1));
+        b.add_undirected_edge_with(n0, n1, JointMatrix::smoothing(2, 0.1));
+        assert_eq!(
+            b.build().unwrap_err(),
+            GraphError::ConflictingPotentialModes
+        );
+    }
+
+    #[test]
+    fn mixed_cardinality_rejected_in_shared_mode() {
+        let mut b = GraphBuilder::new();
+        let n0 = b.add_node(Belief::uniform(2));
+        let n1 = b.add_node(Belief::uniform(3));
+        b.shared_potential(JointMatrix::smoothing(2, 0.1));
+        b.add_undirected_edge(n0, n1);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            GraphError::MixedCardinality { first: 2, other: 3 }
+        ));
+    }
+
+    #[test]
+    fn wrong_potential_shape_rejected() {
+        let mut b = GraphBuilder::new();
+        let n0 = b.add_node(Belief::uniform(2));
+        let n1 = b.add_node(Belief::uniform(2));
+        b.add_directed_edge_with(n0, n1, JointMatrix::uniform(3, 3));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            GraphError::PotentialShape { arc: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn observe_at_build_time() {
+        let mut b = GraphBuilder::new();
+        let n0 = b.add_node(Belief::uniform(2));
+        let n1 = b.add_node(Belief::uniform(2));
+        b.shared_potential(JointMatrix::smoothing(2, 0.1));
+        b.add_undirected_edge(n0, n1);
+        b.observe(n0, 1);
+        let g = b.build().unwrap();
+        assert!(g.observed()[0]);
+        assert_eq!(g.beliefs()[0].as_slice(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn named_nodes_resolve() {
+        let mut b = GraphBuilder::new();
+        b.add_named_node("family-out", Belief::from_slice(&[0.15, 0.85]));
+        b.add_named_node("dog-out", Belief::uniform(2));
+        b.add_directed_edge_with(0, 1, JointMatrix::uniform(2, 2));
+        let g = b.build().unwrap();
+        assert_eq!(g.node_by_name("dog-out"), Some(1));
+        assert_eq!(g.name(0), Some("family-out"));
+        assert_eq!(g.node_by_name("nope"), None);
+    }
+
+    #[test]
+    fn with_capacity_matches_new() {
+        let mut a = GraphBuilder::new();
+        let mut b = GraphBuilder::with_capacity(2, 1);
+        for builder in [&mut a, &mut b] {
+            let n0 = builder.add_node(Belief::uniform(2));
+            let n1 = builder.add_node(Belief::uniform(2));
+            builder.shared_potential(JointMatrix::smoothing(2, 0.2));
+            builder.add_undirected_edge(n0, n1);
+        }
+        let ga = a.build().unwrap();
+        let gb = b.build().unwrap();
+        assert_eq!(ga.num_arcs(), gb.num_arcs());
+        assert_eq!(ga.num_edges(), gb.num_edges());
+    }
+}

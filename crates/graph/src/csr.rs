@@ -1,0 +1,153 @@
+//! Compressed adjacency lists.
+//!
+//! §3.4: "Credo indexes the edges' nodes and utilize compressed adjacency
+//! lists to represent the edges. Thus, Credo keeps itself largely to these
+//! indices and only touches the actual edge and node values when performing
+//! the actual mathematics."
+//!
+//! A [`Csr`] maps each node to the contiguous range of directed-arc ids
+//! incident to it (either incoming or outgoing, depending on how it was
+//! built). Arc ids index into the graph's arc table and potential store.
+
+/// A compressed sparse row index over directed arcs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Csr {
+    offsets: Vec<usize>,
+    arcs: Vec<u32>,
+}
+
+impl Csr {
+    /// Builds a CSR mapping `node -> arc ids` from `(node, arc)` incidence
+    /// pairs. `key(arc_index)` returns the node each arc is filed under
+    /// (its destination for an incoming index, its source for an outgoing
+    /// one). Arcs are grouped in ascending node order; within a node they
+    /// retain their relative arc-id order (counting sort is stable).
+    pub fn from_incidence<F>(num_nodes: usize, num_arcs: usize, key: F) -> Self
+    where
+        F: Fn(usize) -> u32,
+    {
+        let mut counts = vec![0usize; num_nodes + 1];
+        for a in 0..num_arcs {
+            let n = key(a) as usize;
+            debug_assert!(n < num_nodes, "arc {a} references node {n} >= {num_nodes}");
+            counts[n + 1] += 1;
+        }
+        for i in 0..num_nodes {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut arcs = vec![0u32; num_arcs];
+        for a in 0..num_arcs {
+            let n = key(a) as usize;
+            arcs[cursor[n]] = a as u32;
+            cursor[n] += 1;
+        }
+        Csr { offsets, arcs }
+    }
+
+    /// Number of nodes indexed.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of arcs indexed.
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// The arc ids incident to `node`.
+    #[inline]
+    pub fn arcs(&self, node: usize) -> &[u32] {
+        &self.arcs[self.offsets[node]..self.offsets[node + 1]]
+    }
+
+    /// Degree of `node` in this index.
+    #[inline]
+    pub fn degree(&self, node: usize) -> usize {
+        self.offsets[node + 1] - self.offsets[node]
+    }
+
+    /// The raw offset array (length `num_nodes + 1`).
+    #[inline]
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The raw arc-id array, grouped by node.
+    #[inline]
+    pub fn arc_ids(&self) -> &[u32] {
+        &self.arcs
+    }
+
+    /// Maximum degree over all nodes.
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_nodes()).map(|n| self.degree(n)).max().unwrap_or(0)
+    }
+
+    /// Bytes used by the index.
+    pub fn memory_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<usize>()
+            + self.arcs.len() * std::mem::size_of::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Arcs: 0:(0->1) 1:(0->2) 2:(1->2) 3:(2->0)
+    const ARCS: [(u32, u32); 4] = [(0, 1), (0, 2), (1, 2), (2, 0)];
+
+    #[test]
+    fn out_csr_groups_by_source() {
+        let csr = Csr::from_incidence(3, ARCS.len(), |a| ARCS[a].0);
+        assert_eq!(csr.arcs(0), &[0, 1]);
+        assert_eq!(csr.arcs(1), &[2]);
+        assert_eq!(csr.arcs(2), &[3]);
+        assert_eq!(csr.num_nodes(), 3);
+        assert_eq!(csr.num_arcs(), 4);
+    }
+
+    #[test]
+    fn in_csr_groups_by_destination() {
+        let csr = Csr::from_incidence(3, ARCS.len(), |a| ARCS[a].1);
+        assert_eq!(csr.arcs(0), &[3]);
+        assert_eq!(csr.arcs(1), &[0]);
+        assert_eq!(csr.arcs(2), &[1, 2]);
+    }
+
+    #[test]
+    fn degrees_and_max_degree() {
+        let csr = Csr::from_incidence(3, ARCS.len(), |a| ARCS[a].1);
+        assert_eq!(csr.degree(0), 1);
+        assert_eq!(csr.degree(2), 2);
+        assert_eq!(csr.max_degree(), 2);
+    }
+
+    #[test]
+    fn isolated_nodes_have_empty_ranges() {
+        let csr = Csr::from_incidence(5, ARCS.len(), |a| ARCS[a].0);
+        assert_eq!(csr.arcs(3), &[] as &[u32]);
+        assert_eq!(csr.arcs(4), &[] as &[u32]);
+        assert_eq!(csr.degree(4), 0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let csr = Csr::from_incidence(0, 0, |_| unreachable!());
+        assert_eq!(csr.num_nodes(), 0);
+        assert_eq!(csr.num_arcs(), 0);
+        assert_eq!(csr.max_degree(), 0);
+    }
+
+    #[test]
+    fn arc_order_within_node_is_stable() {
+        // Two parallel arcs 0->1 must appear in id order.
+        let arcs = [(0u32, 1u32), (0, 1), (0, 1)];
+        let csr = Csr::from_incidence(2, arcs.len(), |a| arcs[a].0);
+        assert_eq!(csr.arcs(0), &[0, 1, 2]);
+    }
+}

@@ -1,0 +1,79 @@
+//! The `family-out` network — the paper's running example (Figure 1),
+//! originally from Charniak's "Bayesian networks without tears".
+
+use crate::beliefs::Belief;
+use crate::builder::GraphBuilder;
+use crate::potentials::JointMatrix;
+use crate::BeliefGraph;
+
+/// Builds the five-node `family-out` Bayesian network with pairwise
+/// potentials. State 0 is "false", state 1 is "true" for every variable.
+///
+/// Nodes: `family-out` (fo), `bowel-problem` (bp), `light-on` (lo),
+/// `dog-out` (do), `hear-bark` (hb). `dog-out` has two parents in the
+/// original network; the pairwise MRF conversion (§2.1's Markov-assumption
+/// move) marginalizes each parent's CPT over the other parent's prior.
+pub fn family_out() -> BeliefGraph {
+    let mut b = GraphBuilder::new();
+
+    // Priors (Figure 1): P(fo = true) = 0.15, P(bp = true) = 0.01.
+    let fo = b.add_named_node("family-out", Belief::from_slice(&[0.85, 0.15]));
+    let bp = b.add_named_node("bowel-problem", Belief::from_slice(&[0.99, 0.01]));
+    let lo = b.add_named_node("light-on", Belief::uniform(2));
+    let dog = b.add_named_node("dog-out", Belief::uniform(2));
+    let hb = b.add_named_node("hear-bark", Belief::uniform(2));
+
+    // P(lo | fo): fo=false -> 0.05, fo=true -> 0.6.
+    let p_lo = JointMatrix::from_rows(2, 2, vec![0.95, 0.05, 0.4, 0.6]);
+    // P(do | fo, bp) marginalized over bp (P(bp=true) = 0.01):
+    //   fo=false: 0.99*0.30 + 0.01*0.97 = 0.3067
+    //   fo=true : 0.99*0.90 + 0.01*0.99 = 0.9009
+    let p_do_fo = JointMatrix::from_rows(2, 2, vec![0.6933, 0.3067, 0.0991, 0.9009]);
+    // P(do | fo, bp) marginalized over fo (P(fo=true) = 0.15):
+    //   bp=false: 0.85*0.30 + 0.15*0.90 = 0.39
+    //   bp=true : 0.85*0.97 + 0.15*0.99 = 0.973
+    let p_do_bp = JointMatrix::from_rows(2, 2, vec![0.61, 0.39, 0.027, 0.973]);
+    // P(hb | do): do=false -> 0.01, do=true -> 0.7.
+    let p_hb = JointMatrix::from_rows(2, 2, vec![0.99, 0.01, 0.3, 0.7]);
+
+    b.add_directed_edge_with(fo, lo, p_lo);
+    b.add_directed_edge_with(fo, dog, p_do_fo);
+    b.add_directed_edge_with(bp, dog, p_do_bp);
+    b.add_directed_edge_with(dog, hb, p_hb);
+
+    b.build().expect("family-out network is statically valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure_matches_figure_1() {
+        let g = family_out();
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 4);
+        let dog = g.node_by_name("dog-out").unwrap();
+        assert_eq!(g.in_arcs(dog).len(), 2, "dog-out has two parents");
+        let hb = g.node_by_name("hear-bark").unwrap();
+        assert_eq!(g.in_arcs(hb).len(), 1);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn cpts_are_row_stochastic() {
+        let g = family_out();
+        for a in 0..g.num_arcs() {
+            assert!(g.potential(a as u32).is_row_stochastic(1e-4), "arc {a}");
+        }
+    }
+
+    #[test]
+    fn priors_match_figure_1() {
+        let g = family_out();
+        let fo = g.node_by_name("family-out").unwrap();
+        assert!((g.priors()[fo as usize].get(1) - 0.15).abs() < 1e-6);
+        let bp = g.node_by_name("bowel-problem").unwrap();
+        assert!((g.priors()[bp as usize].get(1) - 0.01).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,64 @@
+//! 2D lattice generator for the image-correction use case (§4: "mimics
+//! image correction with the beliefs in each bit's value in a 32-bit
+//! image's pixels").
+
+use super::{assemble, GenOptions};
+use crate::BeliefGraph;
+
+/// A `width × height` 4-connected grid (each pixel linked to its right and
+/// down neighbours) with undirected smoothing edges. Node `(x, y)` has id
+/// `y * width + x`.
+pub fn grid(width: usize, height: usize, opts: &GenOptions) -> BeliefGraph {
+    assert!(width >= 1 && height >= 1, "grid dimensions must be positive");
+    let n = width * height;
+    let mut edges = Vec::with_capacity(2 * n);
+    for y in 0..height {
+        for x in 0..width {
+            let id = (y * width + x) as u32;
+            if x + 1 < width {
+                edges.push((id, id + 1));
+            }
+            if y + 1 < height {
+                edges.push((id, id + width as u32));
+            }
+        }
+    }
+    let mut rng = opts.rng();
+    assemble(n, &edges, opts, &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_edge_count() {
+        // w*h nodes, (w-1)*h + w*(h-1) edges
+        let g = grid(4, 3, &GenOptions::new(2));
+        assert_eq!(g.num_nodes(), 12);
+        assert_eq!(g.num_edges(), 3 * 3 + 4 * 2);
+    }
+
+    #[test]
+    fn corner_and_interior_degrees() {
+        let g = grid(5, 5, &GenOptions::new(2));
+        // Corner (0,0): 2 neighbours; interior (2,2): 4 neighbours.
+        assert_eq!(g.in_arcs(0).len(), 2);
+        assert_eq!(g.in_arcs(12).len(), 4);
+    }
+
+    #[test]
+    fn single_cell_grid() {
+        let g = grid(1, 1, &GenOptions::new(2));
+        assert_eq!(g.num_nodes(), 1);
+        assert_eq!(g.num_arcs(), 0);
+    }
+
+    #[test]
+    fn one_row_grid_is_a_path() {
+        let g = grid(6, 1, &GenOptions::new(2));
+        assert_eq!(g.num_edges(), 5);
+        assert_eq!(g.in_arcs(0).len(), 1);
+        assert_eq!(g.in_arcs(3).len(), 2);
+    }
+}

@@ -1,0 +1,97 @@
+//! R-MAT / stochastic-Kronecker generator, standing in for the paper's
+//! `kron-g500-lognNN` graphs (Table 1).
+
+use super::{assemble, GenOptions};
+use crate::BeliefGraph;
+use rand::Rng;
+
+/// Graph500-style R-MAT partition probabilities.
+const A: f64 = 0.57;
+const B: f64 = 0.19;
+const C: f64 = 0.19;
+
+/// Generates a Kronecker graph over `2^log_n` nodes with
+/// `edge_factor × 2^log_n` undirected edges sampled by recursive R-MAT
+/// descent with the Graph500 parameters (a=0.57, b=0.19, c=0.19, d=0.05).
+/// Self-loops are rerolled. The result is heavy-tailed, like the paper's
+/// `kron-g500` family (K16–K21 have edge factors 16–64; Graph500's default
+/// is 16).
+///
+/// # Panics
+/// Panics if `log_n` is 0 or exceeds 31.
+pub fn kronecker(log_n: u32, edge_factor: usize, opts: &GenOptions) -> BeliefGraph {
+    assert!(log_n >= 1 && log_n <= 31, "log_n {log_n} out of range 1..=31");
+    let n = 1usize << log_n;
+    let m = edge_factor * n;
+    let mut rng = opts.rng();
+    let mut edges = Vec::with_capacity(m);
+    while edges.len() < m {
+        let (u, v) = rmat_edge(log_n, &mut rng);
+        if u != v {
+            edges.push((u, v));
+        }
+    }
+    assemble(n, &edges, opts, &mut rng)
+}
+
+fn rmat_edge<R: Rng + ?Sized>(log_n: u32, rng: &mut R) -> (u32, u32) {
+    let mut u = 0u32;
+    let mut v = 0u32;
+    for _ in 0..log_n {
+        u <<= 1;
+        v <<= 1;
+        let r: f64 = rng.gen();
+        if r < A {
+            // upper-left quadrant: no bits set
+        } else if r < A + B {
+            v |= 1;
+        } else if r < A + B + C {
+            u |= 1;
+        } else {
+            u |= 1;
+            v |= 1;
+        }
+    }
+    (u, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_request() {
+        let g = kronecker(8, 16, &GenOptions::new(2));
+        assert_eq!(g.num_nodes(), 256);
+        assert_eq!(g.num_edges(), 16 * 256);
+    }
+
+    #[test]
+    fn kronecker_is_heavy_tailed() {
+        let g = kronecker(10, 16, &GenOptions::new(2));
+        let m = g.metadata();
+        // Hubs dominate: max degree far above average -> tiny skew.
+        assert!(
+            m.skew() < 0.15,
+            "kronecker should be hub-dominated, skew={}",
+            m.skew()
+        );
+        assert!(m.max_in_degree > 8 * m.avg_in_degree as usize);
+    }
+
+    #[test]
+    fn node_ids_in_range_and_no_self_loops() {
+        let g = kronecker(6, 8, &GenOptions::new(2));
+        for a in g.arcs() {
+            assert!((a.src as usize) < g.num_nodes());
+            assert!((a.dst as usize) < g.num_nodes());
+            assert_ne!(a.src, a.dst);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn log_n_zero_panics() {
+        let _ = kronecker(0, 4, &GenOptions::new(2));
+    }
+}

@@ -1,0 +1,93 @@
+//! Preferential-attachment generator, standing in for the paper's social
+//! and web graphs (Gowalla, Pokec, LiveJournal, Twitter, …).
+
+use super::{assemble, GenOptions};
+use crate::BeliefGraph;
+use rand::Rng;
+
+/// Barabási–Albert-style preferential attachment: starts from a small
+/// clique, then each new node attaches `edges_per_node` undirected edges to
+/// existing nodes chosen proportionally to their current degree. The
+/// resulting degree distribution is power-law — the hub-dominated shape of
+/// the paper's social-network benchmarks.
+///
+/// # Panics
+/// Panics unless `num_nodes > edges_per_node >= 1`.
+pub fn preferential_attachment(
+    num_nodes: usize,
+    edges_per_node: usize,
+    opts: &GenOptions,
+) -> BeliefGraph {
+    assert!(edges_per_node >= 1, "need at least one edge per node");
+    assert!(edges_per_node <= 64, "edges_per_node capped at 64");
+    assert!(
+        num_nodes > edges_per_node,
+        "num_nodes ({num_nodes}) must exceed edges_per_node ({edges_per_node})"
+    );
+    let mut rng = opts.rng();
+    let m = edges_per_node;
+    // `targets` repeats each node once per incident edge endpoint, so a
+    // uniform draw from it is a degree-proportional draw.
+    let mut targets: Vec<u32> = Vec::with_capacity(2 * m * num_nodes);
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(m * num_nodes);
+
+    // Seed clique over the first m+1 nodes.
+    for i in 0..=(m as u32) {
+        for j in 0..i {
+            edges.push((j, i));
+            targets.push(i);
+            targets.push(j);
+        }
+    }
+
+    for v in (m as u32 + 1)..num_nodes as u32 {
+        let mut chosen = [u32::MAX; 64];
+        let mut count = 0usize;
+        while count < m {
+            let t = targets[rng.gen_range(0..targets.len())];
+            if t != v && !chosen[..count].contains(&t) {
+                chosen[count] = t;
+                count += 1;
+            }
+        }
+        for &t in &chosen[..m] {
+            edges.push((t, v));
+            targets.push(v);
+            targets.push(t);
+        }
+    }
+    assemble(num_nodes, &edges, opts, &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_follow_ba_formula() {
+        let g = preferential_attachment(100, 3, &GenOptions::new(2));
+        assert_eq!(g.num_nodes(), 100);
+        // clique edges + m per subsequent node
+        let clique = 3 * 4 / 2;
+        assert_eq!(g.num_edges(), clique + 3 * (100 - 4));
+    }
+
+    #[test]
+    fn power_law_is_hub_dominated() {
+        let g = preferential_attachment(2000, 4, &GenOptions::new(2));
+        let m = g.metadata();
+        assert!(m.skew() < 0.2, "BA graphs have hubs, skew={}", m.skew());
+    }
+
+    #[test]
+    fn no_self_loops_or_duplicate_targets_per_node() {
+        let g = preferential_attachment(200, 5, &GenOptions::new(2));
+        assert!(g.arcs().iter().all(|a| a.src != a.dst));
+    }
+
+    #[test]
+    #[should_panic(expected = "must exceed")]
+    fn too_few_nodes_panics() {
+        let _ = preferential_attachment(3, 3, &GenOptions::new(2));
+    }
+}

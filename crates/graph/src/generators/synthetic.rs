@@ -1,0 +1,67 @@
+//! Uniform-random synthetic graphs — the paper's `N_nodes × E_edges`
+//! family (`10x40` through `2Mx8M`).
+
+use super::{assemble, GenOptions};
+use crate::BeliefGraph;
+use rand::Rng;
+
+/// Generates a synthetic graph with `num_nodes` nodes and `num_edges`
+/// undirected edges with uniformly random endpoints (no self-loops;
+/// parallel edges permitted, matching a random multigraph). In-degrees are
+/// approximately Poisson, i.e. the near-regular shape of the paper's
+/// synthetic family.
+///
+/// # Panics
+/// Panics if `num_nodes < 2` while `num_edges > 0`.
+pub fn synthetic(num_nodes: usize, num_edges: usize, opts: &GenOptions) -> BeliefGraph {
+    assert!(
+        num_nodes >= 2 || num_edges == 0,
+        "need at least two nodes to place edges"
+    );
+    let mut rng = opts.rng();
+    let mut edges = Vec::with_capacity(num_edges);
+    for _ in 0..num_edges {
+        let u = rng.gen_range(0..num_nodes as u32);
+        let mut v = rng.gen_range(0..num_nodes as u32 - 1);
+        if v >= u {
+            v += 1; // uniform over all nodes except u
+        }
+        edges.push((u, v));
+    }
+    assemble(num_nodes, &edges, opts, &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_request() {
+        let g = synthetic(100, 400, &GenOptions::new(2));
+        assert_eq!(g.num_nodes(), 100);
+        assert_eq!(g.num_edges(), 400);
+        assert_eq!(g.num_arcs(), 800);
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = synthetic(10, 1000, &GenOptions::new(2));
+        assert!(g.arcs().iter().all(|a| a.src != a.dst));
+    }
+
+    #[test]
+    fn edgeless_single_node_graph() {
+        let g = synthetic(1, 0, &GenOptions::new(2));
+        assert_eq!(g.num_nodes(), 1);
+        assert_eq!(g.num_arcs(), 0);
+    }
+
+    #[test]
+    fn degrees_are_near_regular() {
+        // 4N edges -> expected degree 8 per direction; Poisson tail means
+        // max degree stays small relative to hub-dominated graphs.
+        let g = synthetic(1000, 4000, &GenOptions::new(2));
+        let m = g.metadata();
+        assert!(m.skew() > 0.2, "synthetic graphs are not hub-dominated: {}", m.skew());
+    }
+}

@@ -1,0 +1,106 @@
+//! Random trees and DAGs for the traditional (non-loopy) BP algorithm
+//! (§2.1), which requires acyclic structure.
+
+use super::{assemble, random_prior, GenOptions, PotentialKind};
+use crate::builder::GraphBuilder;
+use crate::potentials::JointMatrix;
+use crate::BeliefGraph;
+use rand::Rng;
+
+/// A uniformly random recursive tree: node `i > 0` attaches to a uniformly
+/// random parent in `[0, i)`, producing **directed** parent→child arcs (the
+/// forward/backward sweeps of traditional BP need the direction).
+pub fn random_tree(num_nodes: usize, opts: &GenOptions) -> BeliefGraph {
+    assert!(num_nodes >= 1, "tree needs at least one node");
+    let mut rng = opts.rng();
+    let mut b = GraphBuilder::with_capacity(num_nodes, num_nodes.saturating_sub(1));
+    for _ in 0..num_nodes {
+        b.add_node(random_prior(opts.beliefs, &mut rng));
+    }
+    match opts.potentials {
+        PotentialKind::SharedSmoothing(eps) => {
+            b.shared_potential(JointMatrix::smoothing(opts.beliefs, eps));
+            for v in 1..num_nodes as u32 {
+                let p = rng.gen_range(0..v);
+                b.add_directed_edge(p, v);
+            }
+        }
+        PotentialKind::SharedRandom => {
+            b.shared_potential(JointMatrix::random(opts.beliefs, opts.beliefs, &mut rng));
+            for v in 1..num_nodes as u32 {
+                let p = rng.gen_range(0..v);
+                b.add_directed_edge(p, v);
+            }
+        }
+        PotentialKind::PerEdgeRandom => {
+            for v in 1..num_nodes as u32 {
+                let p = rng.gen_range(0..v);
+                let m = JointMatrix::random(opts.beliefs, opts.beliefs, &mut rng);
+                b.add_directed_edge_with(p, v, m);
+            }
+        }
+    }
+    b.build().expect("generated tree must be valid")
+}
+
+/// A random DAG: the tree above plus `extra_edges` additional undirected
+/// shortcut edges (giving loopy structure while keeping a known spanning
+/// tree). Used to compare loopy BP against the tree algorithm on graphs
+/// that are "almost" trees.
+pub fn random_dag(num_nodes: usize, extra_edges: usize, opts: &GenOptions) -> BeliefGraph {
+    assert!(num_nodes >= 2, "DAG needs at least two nodes");
+    let mut rng = opts.rng();
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(num_nodes - 1 + extra_edges);
+    for v in 1..num_nodes as u32 {
+        let p = rng.gen_range(0..v);
+        edges.push((p, v));
+    }
+    for _ in 0..extra_edges {
+        let v = rng.gen_range(1..num_nodes as u32);
+        let p = rng.gen_range(0..v);
+        edges.push((p, v));
+    }
+    assemble(num_nodes, &edges, opts, &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_has_n_minus_one_arcs() {
+        let g = random_tree(50, &GenOptions::new(2));
+        assert_eq!(g.num_arcs(), 49);
+        assert_eq!(g.num_edges(), 49);
+    }
+
+    #[test]
+    fn tree_arcs_point_from_lower_to_higher_ids() {
+        let g = random_tree(64, &GenOptions::new(3));
+        assert!(g.arcs().iter().all(|a| a.src < a.dst), "acyclic by construction");
+    }
+
+    #[test]
+    fn every_nonroot_has_exactly_one_parent() {
+        let g = random_tree(40, &GenOptions::new(2));
+        assert_eq!(g.in_arcs(0).len(), 0, "root has no parent");
+        for v in 1..40u32 {
+            assert_eq!(g.in_arcs(v).len(), 1, "node {v}");
+        }
+    }
+
+    #[test]
+    fn dag_adds_extra_edges() {
+        let g = random_dag(30, 10, &GenOptions::new(2));
+        assert_eq!(g.num_edges(), 29 + 10);
+        // Undirected assembly doubles the arcs.
+        assert_eq!(g.num_arcs(), 2 * (29 + 10));
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let g = random_tree(1, &GenOptions::new(2));
+        assert_eq!(g.num_nodes(), 1);
+        assert_eq!(g.num_arcs(), 0);
+    }
+}

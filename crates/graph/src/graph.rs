@@ -1,0 +1,454 @@
+//! The assembled belief network.
+
+use crate::beliefs::Belief;
+use crate::csr::Csr;
+use crate::metadata::GraphMetadata;
+use crate::potentials::{JointMatrix, PotentialStore};
+
+/// Node identifier (index into the node tables).
+pub type NodeId = u32;
+
+/// Directed-arc identifier (index into the arc table).
+pub type EdgeId = u32;
+
+/// A directed arc `src → dst`. Undirected MRF edges are materialized as two
+/// arcs (§3.3); `reverse` marks the second of such a pair so the shared
+/// potential store can hand back the transposed matrix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Arc {
+    /// Source (parent) node.
+    pub src: NodeId,
+    /// Destination (child) node.
+    pub dst: NodeId,
+    /// True for the reverse arc of an undirected edge pair.
+    pub reverse: bool,
+}
+
+/// Errors raised while assembling or validating a belief graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An arc references a node id outside the node table.
+    InvalidNode {
+        /// The offending node id.
+        node: NodeId,
+        /// Number of nodes in the graph.
+        num_nodes: usize,
+    },
+    /// An arc in per-edge mode was added without a joint matrix.
+    MissingPotential {
+        /// The offending arc id.
+        arc: EdgeId,
+    },
+    /// A joint matrix's dimensions disagree with its endpoint cardinalities.
+    PotentialShape {
+        /// The offending arc id.
+        arc: EdgeId,
+        /// Expected (rows, cols) from the endpoint cardinalities.
+        expected: (usize, usize),
+        /// Actual (rows, cols) of the supplied matrix.
+        actual: (usize, usize),
+    },
+    /// Shared-potential mode requires every node to share one cardinality.
+    MixedCardinality {
+        /// Cardinality of node 0.
+        first: usize,
+        /// The differing cardinality encountered.
+        other: usize,
+    },
+    /// Mixed per-edge and shared potential declarations.
+    ConflictingPotentialModes,
+    /// The graph has no nodes.
+    Empty,
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::InvalidNode { node, num_nodes } => {
+                write!(f, "arc references node {node} but graph has {num_nodes} nodes")
+            }
+            GraphError::MissingPotential { arc } => {
+                write!(f, "arc {arc} has no joint probability matrix (per-edge mode)")
+            }
+            GraphError::PotentialShape { arc, expected, actual } => write!(
+                f,
+                "arc {arc}: joint matrix is {}x{} but endpoints require {}x{}",
+                actual.0, actual.1, expected.0, expected.1
+            ),
+            GraphError::MixedCardinality { first, other } => write!(
+                f,
+                "shared potential requires uniform cardinality, found both {first} and {other}"
+            ),
+            GraphError::ConflictingPotentialModes => {
+                write!(f, "both shared and per-edge potentials were declared")
+            }
+            GraphError::Empty => write!(f, "graph has no nodes"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// A belief network: nodes with discrete beliefs, directed arcs carrying
+/// joint probability matrices, and the compressed adjacency indices the
+/// engines iterate over.
+#[derive(Clone, Debug)]
+pub struct BeliefGraph {
+    pub(crate) names: Option<Vec<String>>,
+    pub(crate) priors: Vec<Belief>,
+    pub(crate) beliefs: Vec<Belief>,
+    pub(crate) observed: Vec<bool>,
+    pub(crate) arcs: Vec<Arc>,
+    pub(crate) potentials: PotentialStore,
+    pub(crate) in_csr: Csr,
+    pub(crate) out_csr: Csr,
+    pub(crate) undirected_edges: usize,
+}
+
+impl BeliefGraph {
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.priors.len()
+    }
+
+    /// Number of directed arcs (twice [`BeliefGraph::num_edges`] for fully
+    /// undirected graphs).
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// Number of logical (input-file) edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.undirected_edges
+    }
+
+    /// The directed arc table.
+    #[inline]
+    pub fn arcs(&self) -> &[Arc] {
+        &self.arcs
+    }
+
+    /// A single arc.
+    #[inline]
+    pub fn arc(&self, id: EdgeId) -> Arc {
+        self.arcs[id as usize]
+    }
+
+    /// Incoming-arc ids of `node` (arcs whose `dst == node`).
+    #[inline]
+    pub fn in_arcs(&self, node: NodeId) -> &[u32] {
+        self.in_csr.arcs(node as usize)
+    }
+
+    /// Outgoing-arc ids of `node` (arcs whose `src == node`).
+    #[inline]
+    pub fn out_arcs(&self, node: NodeId) -> &[u32] {
+        self.out_csr.arcs(node as usize)
+    }
+
+    /// The incoming-arc CSR index.
+    #[inline]
+    pub fn in_csr(&self) -> &Csr {
+        &self.in_csr
+    }
+
+    /// The outgoing-arc CSR index.
+    #[inline]
+    pub fn out_csr(&self) -> &Csr {
+        &self.out_csr
+    }
+
+    /// The joint matrix along arc `id`.
+    #[inline]
+    pub fn potential(&self, id: EdgeId) -> &JointMatrix {
+        let arc = self.arcs[id as usize];
+        self.potentials.get(id as usize, arc.reverse)
+    }
+
+    /// The potential store.
+    #[inline]
+    pub fn potentials(&self) -> &PotentialStore {
+        &self.potentials
+    }
+
+    /// Replaces the potential store (used by the §2.2 shared-potential
+    /// experiment to swap per-edge matrices for one estimate).
+    pub fn set_potentials(&mut self, store: PotentialStore) {
+        self.potentials = store;
+    }
+
+    /// Prior beliefs as loaded from the input.
+    #[inline]
+    pub fn priors(&self) -> &[Belief] {
+        &self.priors
+    }
+
+    /// Mutable prior beliefs — used by parsers that learn priors after the
+    /// structure is built (BIF probability blocks can appear in any order).
+    #[inline]
+    pub fn priors_mut(&mut self) -> &mut [Belief] {
+        &mut self.priors
+    }
+
+    /// Current (posterior) beliefs.
+    #[inline]
+    pub fn beliefs(&self) -> &[Belief] {
+        &self.beliefs
+    }
+
+    /// Mutable posterior beliefs (engines write these).
+    #[inline]
+    pub fn beliefs_mut(&mut self) -> &mut [Belief] {
+        &mut self.beliefs
+    }
+
+    /// Resets posteriors back to the priors (rerunning an engine from
+    /// scratch).
+    pub fn reset_beliefs(&mut self) {
+        self.beliefs.copy_from_slice(&self.priors);
+    }
+
+    /// Per-node observed flags (§2.1's statically fixed nodes).
+    #[inline]
+    pub fn observed(&self) -> &[bool] {
+        &self.observed
+    }
+
+    /// Fixes `node` in `state`: its prior and belief become a point mass and
+    /// engines will never update it.
+    pub fn observe(&mut self, node: NodeId, state: usize) {
+        let len = self.priors[node as usize].len();
+        let b = Belief::observed(len, state);
+        self.priors[node as usize] = b;
+        self.beliefs[node as usize] = b;
+        self.observed[node as usize] = true;
+    }
+
+    /// Clears an observation, restoring the uniform prior.
+    pub fn unobserve(&mut self, node: NodeId, prior: Belief) {
+        self.beliefs[node as usize] = prior;
+        self.priors[node as usize] = prior;
+        self.observed[node as usize] = false;
+    }
+
+    /// Cardinality (number of states) of `node`.
+    #[inline]
+    pub fn cardinality(&self, node: NodeId) -> usize {
+        self.priors[node as usize].len()
+    }
+
+    /// The uniform cardinality if every node shares one, else `None`.
+    pub fn uniform_cardinality(&self) -> Option<usize> {
+        let first = self.priors.first()?.len();
+        self.priors
+            .iter()
+            .all(|b| b.len() == first)
+            .then_some(first)
+    }
+
+    /// Node name, if names were loaded.
+    pub fn name(&self, node: NodeId) -> Option<&str> {
+        self.names.as_ref().map(|ns| ns[node as usize].as_str())
+    }
+
+    /// Finds a node by name (linear scan; intended for small example
+    /// networks like `family-out`).
+    pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        let names = self.names.as_ref()?;
+        names.iter().position(|n| n == name).map(|i| i as NodeId)
+    }
+
+    /// Graph metadata / classifier features (§3.7).
+    pub fn metadata(&self) -> GraphMetadata {
+        GraphMetadata::compute(self)
+    }
+
+    /// Converts a directed Bayesian network into a pairwise MRF by
+    /// mirroring every arc with its transpose — §2.1's move that lets
+    /// "child events … affect their parents' own states" under loopy BP.
+    /// Graphs that already contain reverse arcs are returned unchanged.
+    pub fn to_mrf(&self) -> BeliefGraph {
+        if self.arcs.iter().any(|a| a.reverse) {
+            return self.clone();
+        }
+        let mut b = crate::builder::GraphBuilder::with_capacity(self.num_nodes(), self.num_arcs());
+        for v in 0..self.num_nodes() as u32 {
+            match self.name(v) {
+                Some(name) => b.add_named_node(name, self.priors[v as usize]),
+                None => b.add_node(self.priors[v as usize]),
+            };
+        }
+        match &self.potentials {
+            PotentialStore::Shared { forward, .. } => {
+                b.shared_potential(forward.clone());
+                for arc in &self.arcs {
+                    b.add_undirected_edge(arc.src, arc.dst);
+                }
+            }
+            PotentialStore::PerEdge(ms) => {
+                for (arc, m) in self.arcs.iter().zip(ms) {
+                    b.add_undirected_edge_with(arc.src, arc.dst, m.clone());
+                }
+            }
+        }
+        for (v, &obs) in self.observed.iter().enumerate() {
+            if obs {
+                b.observe(v as u32, self.priors[v].argmax());
+            }
+        }
+        b.build().expect("mirroring a valid graph stays valid")
+    }
+
+    /// Approximate bytes held by the graph (§3.4 memory accounting).
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.priors.len() * size_of::<Belief>() * 2
+            + self.observed.len()
+            + self.arcs.len() * size_of::<Arc>()
+            + self.potentials.memory_bytes()
+            + self.in_csr.memory_bytes()
+            + self.out_csr.memory_bytes()
+            + self
+                .names
+                .as_ref()
+                .map(|ns| ns.iter().map(|s| s.len() + size_of::<String>()).sum())
+                .unwrap_or(0)
+    }
+
+    /// Full structural validation: arc endpoints in range, potential shapes
+    /// consistent with endpoint cardinalities, priors valid distributions.
+    pub fn validate(&self) -> Result<(), GraphError> {
+        if self.priors.is_empty() {
+            return Err(GraphError::Empty);
+        }
+        let n = self.num_nodes();
+        for (id, arc) in self.arcs.iter().enumerate() {
+            for node in [arc.src, arc.dst] {
+                if node as usize >= n {
+                    return Err(GraphError::InvalidNode { node, num_nodes: n });
+                }
+            }
+            let m = self.potentials.get(id, arc.reverse);
+            let expected = (self.cardinality(arc.src), self.cardinality(arc.dst));
+            let actual = (m.rows(), m.cols());
+            if expected != actual {
+                return Err(GraphError::PotentialShape {
+                    arc: id as EdgeId,
+                    expected,
+                    actual,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn chain3() -> BeliefGraph {
+        let mut b = GraphBuilder::new();
+        let n0 = b.add_node(Belief::from_slice(&[0.7, 0.3]));
+        let n1 = b.add_node(Belief::uniform(2));
+        let n2 = b.add_node(Belief::uniform(2));
+        b.shared_potential(JointMatrix::smoothing(2, 0.1));
+        b.add_undirected_edge(n0, n1);
+        b.add_undirected_edge(n1, n2);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn counts_and_indices() {
+        let g = chain3();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.num_arcs(), 4);
+        assert_eq!(g.in_arcs(1).len(), 2);
+        assert_eq!(g.out_arcs(1).len(), 2);
+        assert_eq!(g.in_arcs(0).len(), 1);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn observe_fixes_node() {
+        let mut g = chain3();
+        g.observe(2, 0);
+        assert!(g.observed()[2]);
+        assert_eq!(g.beliefs()[2].as_slice(), &[1.0, 0.0]);
+        assert_eq!(g.priors()[2].as_slice(), &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn reset_restores_priors() {
+        let mut g = chain3();
+        g.beliefs_mut()[0] = Belief::from_slice(&[0.5, 0.5]);
+        g.reset_beliefs();
+        assert_eq!(g.beliefs()[0].as_slice(), &[0.7, 0.3]);
+    }
+
+    #[test]
+    fn uniform_cardinality_detection() {
+        let g = chain3();
+        assert_eq!(g.uniform_cardinality(), Some(2));
+    }
+
+    #[test]
+    fn reverse_arcs_get_transposed_potentials() {
+        let mut b = GraphBuilder::new();
+        let n0 = b.add_node(Belief::uniform(2));
+        let n1 = b.add_node(Belief::uniform(3));
+        let j = JointMatrix::from_rows(2, 3, vec![0.5, 0.3, 0.2, 0.1, 0.4, 0.5]);
+        b.add_undirected_edge_with(n0, n1, j.clone());
+        let g = b.build().unwrap();
+        // Arc 0 is forward (2x3), arc 1 is reverse (3x2 = transpose).
+        assert_eq!(g.potential(0), &j);
+        assert_eq!(g.potential(1), &j.transposed());
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn to_mrf_mirrors_directed_arcs() {
+        let mut b = GraphBuilder::new();
+        let n0 = b.add_named_node("p", Belief::from_slice(&[0.9, 0.1]));
+        let n1 = b.add_named_node("c", Belief::uniform(2));
+        let j = JointMatrix::from_rows(2, 2, vec![0.8, 0.2, 0.3, 0.7]);
+        b.add_directed_edge_with(n0, n1, j.clone());
+        let mut g = b.build().unwrap();
+        g.observe(n1, 1);
+        let mrf = g.to_mrf();
+        assert_eq!(mrf.num_arcs(), 2);
+        assert_eq!(mrf.potential(0), &j);
+        assert_eq!(mrf.potential(1), &j.transposed());
+        assert!(mrf.observed()[n1 as usize]);
+        assert_eq!(mrf.name(0), Some("p"));
+        assert_eq!(mrf.in_arcs(n0).len(), 1, "parent now hears its child");
+        mrf.validate().unwrap();
+    }
+
+    #[test]
+    fn to_mrf_is_idempotent() {
+        let g = chain3();
+        let mrf = g.to_mrf();
+        assert_eq!(mrf.num_arcs(), g.num_arcs(), "already-undirected graph unchanged");
+    }
+
+    #[test]
+    fn memory_accounting_is_positive_and_scales() {
+        let g = chain3();
+        let small = g.memory_bytes();
+        assert!(small > 0);
+        let mut b = GraphBuilder::new();
+        let nodes: Vec<_> = (0..100).map(|_| b.add_node(Belief::uniform(2))).collect();
+        b.shared_potential(JointMatrix::smoothing(2, 0.1));
+        for w in nodes.windows(2) {
+            b.add_undirected_edge(w[0], w[1]);
+        }
+        let big = b.build().unwrap();
+        assert!(big.memory_bytes() > small);
+    }
+}

@@ -1,0 +1,38 @@
+//! # credo-graph
+//!
+//! Graph data structures for the Credo belief-propagation system.
+//!
+//! This crate provides everything the BP engines operate on:
+//!
+//! * [`Belief`] — a node's discrete probability distribution, stored as an
+//!   array-of-structs record (the layout the paper selects in §3.4).
+//! * [`SoaBeliefs`] — the flattened struct-of-arrays alternative, kept for
+//!   the layout ablation experiment.
+//! * [`JointMatrix`] / [`PotentialStore`] — per-edge or shared joint
+//!   probability matrices (§2.2's memory refinement).
+//! * [`Csr`] — compressed adjacency lists indexing directed arcs (§3.4).
+//! * [`BeliefGraph`] / [`GraphBuilder`] — the assembled belief network.
+//! * [`GraphMetadata`] — the features the classifier consumes (§3.7).
+//! * [`generators`] — synthetic, Kronecker/R-MAT, power-law, tree, grid and
+//!   `family-out` graph generators standing in for the paper's benchmark
+//!   suite (Table 1).
+
+#![warn(missing_docs)]
+
+mod beliefs;
+mod builder;
+mod csr;
+mod graph;
+mod metadata;
+mod potentials;
+mod soa;
+
+pub mod generators;
+
+pub use beliefs::{Belief, MAX_BELIEFS};
+pub use builder::GraphBuilder;
+pub use csr::Csr;
+pub use graph::{Arc, BeliefGraph, EdgeId, GraphError, NodeId};
+pub use metadata::{FeatureVector, GraphMetadata, FEATURE_NAMES, NUM_FEATURES};
+pub use potentials::{JointMatrix, PotentialStore};
+pub use soa::{aos_trace_read, SoaBeliefs};

@@ -1,0 +1,165 @@
+//! Graph metadata and the classifier feature vector (§3.7).
+//!
+//! "Our feature vector consists of the *number of nodes*, the *nodes to
+//! edges ratio*, the *number of beliefs*, the *degree imbalance* (the ratio
+//! of the max in-degree to the max out-degree) and the *skew* (the ratio of
+//! average in-degree to max in-degree)."
+
+use crate::graph::BeliefGraph;
+
+/// Number of classifier input features.
+pub const NUM_FEATURES: usize = 5;
+
+/// Human-readable feature names, in vector order.
+pub const FEATURE_NAMES: [&str; NUM_FEATURES] = [
+    "num_nodes",
+    "nodes_to_edges",
+    "num_beliefs",
+    "degree_imbalance",
+    "skew",
+];
+
+/// The classifier's input: the five §3.7 features.
+pub type FeatureVector = [f64; NUM_FEATURES];
+
+/// Metadata collected during input parsing, from which the feature vector is
+/// derived. All degree statistics are over directed arcs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GraphMetadata {
+    /// Number of nodes.
+    pub num_nodes: usize,
+    /// Number of logical (input-file) edges.
+    pub num_edges: usize,
+    /// Number of directed arcs.
+    pub num_arcs: usize,
+    /// Maximum belief cardinality over all nodes.
+    pub num_beliefs: usize,
+    /// Maximum in-degree.
+    pub max_in_degree: usize,
+    /// Maximum out-degree.
+    pub max_out_degree: usize,
+    /// Mean in-degree.
+    pub avg_in_degree: f64,
+    /// Mean out-degree.
+    pub avg_out_degree: f64,
+}
+
+impl GraphMetadata {
+    /// Computes metadata from a built graph.
+    pub fn compute(g: &BeliefGraph) -> Self {
+        let n = g.num_nodes();
+        let in_csr = g.in_csr();
+        let out_csr = g.out_csr();
+        let num_beliefs = g.priors().iter().map(|b| b.len()).max().unwrap_or(0);
+        GraphMetadata {
+            num_nodes: n,
+            num_edges: g.num_edges(),
+            num_arcs: g.num_arcs(),
+            num_beliefs,
+            max_in_degree: in_csr.max_degree(),
+            max_out_degree: out_csr.max_degree(),
+            avg_in_degree: in_csr.num_arcs() as f64 / n.max(1) as f64,
+            avg_out_degree: out_csr.num_arcs() as f64 / n.max(1) as f64,
+        }
+    }
+
+    /// Nodes-to-edges ratio (logical edges).
+    pub fn nodes_to_edges(&self) -> f64 {
+        self.num_nodes as f64 / self.num_edges.max(1) as f64
+    }
+
+    /// Degree imbalance: max in-degree / max out-degree.
+    pub fn degree_imbalance(&self) -> f64 {
+        self.max_in_degree as f64 / self.max_out_degree.max(1) as f64
+    }
+
+    /// Skew: average in-degree / max in-degree. Near 1 for regular graphs,
+    /// near 0 for heavy-tailed (hub-dominated) graphs.
+    pub fn skew(&self) -> f64 {
+        self.avg_in_degree / self.max_in_degree.max(1) as f64
+    }
+
+    /// The §3.7 feature vector, in [`FEATURE_NAMES`] order.
+    pub fn features(&self) -> FeatureVector {
+        [
+            self.num_nodes as f64,
+            self.nodes_to_edges(),
+            self.num_beliefs as f64,
+            self.degree_imbalance(),
+            self.skew(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::beliefs::Belief;
+    use crate::builder::GraphBuilder;
+    use crate::potentials::JointMatrix;
+
+    /// Star graph: hub 0 connected to k leaves (undirected).
+    fn star(k: usize) -> BeliefGraph {
+        let mut b = GraphBuilder::new();
+        let hub = b.add_node(Belief::uniform(3));
+        b.shared_potential(JointMatrix::smoothing(3, 0.1));
+        for _ in 0..k {
+            let leaf = b.add_node(Belief::uniform(3));
+            b.add_undirected_edge(hub, leaf);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn star_metadata() {
+        let g = star(4);
+        let m = g.metadata();
+        assert_eq!(m.num_nodes, 5);
+        assert_eq!(m.num_edges, 4);
+        assert_eq!(m.num_arcs, 8);
+        assert_eq!(m.num_beliefs, 3);
+        // Hub has in-degree 4 (one from each leaf) and out-degree 4.
+        assert_eq!(m.max_in_degree, 4);
+        assert_eq!(m.max_out_degree, 4);
+        assert!((m.avg_in_degree - 8.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn features_match_definitions() {
+        let g = star(4);
+        let m = g.metadata();
+        let f = m.features();
+        assert_eq!(f[0], 5.0);
+        assert!((f[1] - 5.0 / 4.0).abs() < 1e-12); // nodes/edges
+        assert_eq!(f[2], 3.0);
+        assert!((f[3] - 1.0).abs() < 1e-12); // undirected: in == out
+        assert!((f[4] - (8.0 / 5.0) / 4.0).abs() < 1e-12); // skew
+    }
+
+    #[test]
+    fn skew_near_one_for_regular_ring() {
+        let mut b = GraphBuilder::new();
+        let nodes: Vec<_> = (0..10).map(|_| b.add_node(Belief::uniform(2))).collect();
+        b.shared_potential(JointMatrix::smoothing(2, 0.1));
+        for i in 0..10 {
+            b.add_undirected_edge(nodes[i], nodes[(i + 1) % 10]);
+        }
+        let m = b.build().unwrap().metadata();
+        assert!((m.skew() - 1.0).abs() < 1e-12, "ring is 2-regular");
+    }
+
+    #[test]
+    fn directed_graph_has_imbalance() {
+        let mut b = GraphBuilder::new();
+        let n0 = b.add_node(Belief::uniform(2));
+        let n1 = b.add_node(Belief::uniform(2));
+        let n2 = b.add_node(Belief::uniform(2));
+        b.shared_potential(JointMatrix::smoothing(2, 0.1));
+        b.add_directed_edge(n0, n2);
+        b.add_directed_edge(n1, n2);
+        let m = b.build().unwrap().metadata();
+        assert_eq!(m.max_in_degree, 2);
+        assert_eq!(m.max_out_degree, 1);
+        assert!((m.degree_imbalance() - 2.0).abs() < 1e-12);
+    }
+}

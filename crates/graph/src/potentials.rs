@@ -1,0 +1,357 @@
+//! Joint probability matrices.
+//!
+//! Each directed arc `p → v` carries a joint probability matrix `J` whose
+//! rows index the parent's states and whose columns index the child's
+//! states. Computing an update message (Algorithm 1, line 8) is the
+//! vector-matrix product `m[c] = Σ_p beliefs_p[p] · J[p, c]`.
+//!
+//! §2.2 observes that per-edge matrices are "by far the largest amount of
+//! memory consumption for the graph" and replaces them with a single shared
+//! estimate for large networks; [`PotentialStore`] supports both modes.
+
+use crate::beliefs::{Belief, MAX_BELIEFS};
+use rand::Rng;
+
+/// A dense `rows × cols` joint probability matrix in row-major order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JointMatrix {
+    rows: u32,
+    cols: u32,
+    data: Box<[f32]>,
+}
+
+impl JointMatrix {
+    /// Builds a matrix from row-major data.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`, if either dimension is zero,
+    /// or if a dimension exceeds [`MAX_BELIEFS`].
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert!(rows >= 1 && rows <= MAX_BELIEFS, "rows {rows} out of range");
+        assert!(cols >= 1 && cols <= MAX_BELIEFS, "cols {cols} out of range");
+        assert_eq!(data.len(), rows * cols, "joint matrix data length mismatch");
+        JointMatrix {
+            rows: rows as u32,
+            cols: cols as u32,
+            data: data.into_boxed_slice(),
+        }
+    }
+
+    /// The uniform matrix (every entry `1/cols`).
+    pub fn uniform(rows: usize, cols: usize) -> Self {
+        Self::from_rows(rows, cols, vec![1.0 / cols as f32; rows * cols])
+    }
+
+    /// A Potts-style smoothing matrix over `n` states: probability
+    /// `1 − eps` of the child agreeing with the parent, with the remaining
+    /// `eps` spread uniformly over disagreements. This is the "single
+    /// estimation for all nodes" used for image correction and virus
+    /// propagation (§2.2).
+    ///
+    /// # Panics
+    /// Panics unless `0 < eps < 1` and `n >= 2`.
+    pub fn smoothing(n: usize, eps: f32) -> Self {
+        assert!(n >= 2, "smoothing matrix needs >= 2 states");
+        assert!(eps > 0.0 && eps < 1.0, "eps must be in (0, 1)");
+        let off = eps / (n - 1) as f32;
+        let mut data = vec![off; n * n];
+        for i in 0..n {
+            data[i * n + i] = 1.0 - eps;
+        }
+        Self::from_rows(n, n, data)
+    }
+
+    /// A random row-stochastic matrix (each row a random conditional
+    /// distribution `p(child | parent)`).
+    pub fn random<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Self {
+        let mut data = vec![0.0f32; rows * cols];
+        for r in 0..rows {
+            let row = &mut data[r * cols..(r + 1) * cols];
+            let mut sum = 0.0f32;
+            for v in row.iter_mut() {
+                // Bias away from zero so messages never annihilate a state.
+                *v = rng.gen_range(0.05f32..1.0);
+                sum += *v;
+            }
+            for v in row.iter_mut() {
+                *v /= sum;
+            }
+        }
+        Self::from_rows(rows, cols, data)
+    }
+
+    /// Parent-state count.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows as usize
+    }
+
+    /// Child-state count.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols as usize
+    }
+
+    /// Entry `J[parent_state, child_state]`.
+    #[inline]
+    pub fn get(&self, parent_state: usize, child_state: usize) -> f32 {
+        debug_assert!(parent_state < self.rows());
+        debug_assert!(child_state < self.cols());
+        self.data[parent_state * self.cols as usize + child_state]
+    }
+
+    /// Row-major data.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// The transposed matrix — the potential of the reverse arc of an
+    /// undirected MRF edge (§3.3 treats each undirected edge as two
+    /// directed arcs).
+    pub fn transposed(&self) -> JointMatrix {
+        let (r, c) = (self.rows(), self.cols());
+        let mut data = vec![0.0f32; r * c];
+        for i in 0..r {
+            for j in 0..c {
+                data[j * r + i] = self.data[i * c + j];
+            }
+        }
+        JointMatrix::from_rows(c, r, data)
+    }
+
+    /// Computes the update message `m[c] = Σ_p b[p] · J[p, c]`
+    /// (Algorithm 1's `compute_update`). The result is scaled so its
+    /// maximum entry is one, keeping long products inside `f32` range
+    /// without changing the post-marginalization belief.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `parent.len() != rows`.
+    #[inline]
+    pub fn message(&self, parent: &Belief) -> Belief {
+        debug_assert_eq!(parent.len(), self.rows(), "parent cardinality mismatch");
+        let cols = self.cols as usize;
+        let mut out = Belief::zeros(cols);
+        {
+            let o = out.as_mut_slice();
+            for (p, &bp) in parent.as_slice().iter().enumerate() {
+                let row = &self.data[p * cols..(p + 1) * cols];
+                for (c, &j) in row.iter().enumerate() {
+                    o[c] += bp * j;
+                }
+            }
+        }
+        out.scale_max_to_one();
+        out
+    }
+
+    /// Computes the reverse-direction message `m[p] = Σ_c J[p, c] · b[c]`
+    /// — marginalizing a child-side belief back through the matrix. Used by
+    /// the traditional two-pass algorithm's upward (λ) sweep.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `child.len() != cols`.
+    #[inline]
+    pub fn message_reverse(&self, child: &Belief) -> Belief {
+        debug_assert_eq!(child.len(), self.cols(), "child cardinality mismatch");
+        let cols = self.cols as usize;
+        let rows = self.rows as usize;
+        let mut out = Belief::zeros(rows);
+        {
+            let o = out.as_mut_slice();
+            let c = child.as_slice();
+            for (p, slot) in o.iter_mut().enumerate() {
+                let row = &self.data[p * cols..(p + 1) * cols];
+                let mut acc = 0.0f32;
+                for (j, &cv) in row.iter().zip(c) {
+                    acc += j * cv;
+                }
+                *slot = acc;
+            }
+        }
+        out.scale_max_to_one();
+        out
+    }
+
+    /// True when every row sums to one (within `tol`) and all entries are
+    /// finite and non-negative.
+    pub fn is_row_stochastic(&self, tol: f32) -> bool {
+        (0..self.rows()).all(|r| {
+            let row = &self.data[r * self.cols as usize..(r + 1) * self.cols as usize];
+            let sum: f32 = row.iter().sum();
+            row.iter().all(|v| v.is_finite() && *v >= 0.0) && (sum - 1.0).abs() <= tol
+        })
+    }
+
+    /// Heap + inline bytes used by this matrix (for memory accounting).
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.data.len() * std::mem::size_of::<f32>()
+    }
+}
+
+/// Where the joint probability matrices live: one per directed arc (the
+/// original formulation) or a single shared matrix plus its transpose
+/// (§2.2's refinement that enables million-node graphs).
+#[derive(Clone, Debug)]
+pub enum PotentialStore {
+    /// One matrix per directed arc, indexed by arc id.
+    PerEdge(Vec<JointMatrix>),
+    /// A single shared matrix used by forward arcs and its transpose used
+    /// by reverse arcs. For the symmetric matrices used in practice the two
+    /// are equal, but the pair keeps asymmetric shared potentials correct.
+    Shared {
+        /// Potential applied along forward arcs.
+        forward: JointMatrix,
+        /// Potential applied along reverse arcs (the transpose of `forward`).
+        reverse: JointMatrix,
+    },
+}
+
+impl PotentialStore {
+    /// Builds the shared store from a single matrix.
+    pub fn shared(m: JointMatrix) -> Self {
+        let reverse = m.transposed();
+        PotentialStore::Shared { forward: m, reverse }
+    }
+
+    /// Builds the per-edge store.
+    pub fn per_edge(ms: Vec<JointMatrix>) -> Self {
+        PotentialStore::PerEdge(ms)
+    }
+
+    /// True for the shared (§2.2 refined) mode.
+    pub fn is_shared(&self) -> bool {
+        matches!(self, PotentialStore::Shared { .. })
+    }
+
+    /// The matrix for directed arc `arc`; `reverse` selects the transposed
+    /// shared matrix for reverse arcs (ignored in per-edge mode where each
+    /// arc owns its exact matrix).
+    #[inline]
+    pub fn get(&self, arc: usize, reverse: bool) -> &JointMatrix {
+        match self {
+            PotentialStore::PerEdge(ms) => &ms[arc],
+            PotentialStore::Shared { forward, reverse: rev } => {
+                if reverse {
+                    rev
+                } else {
+                    forward
+                }
+            }
+        }
+    }
+
+    /// Total bytes consumed by the stored matrices.
+    pub fn memory_bytes(&self) -> usize {
+        match self {
+            PotentialStore::PerEdge(ms) => ms.iter().map(JointMatrix::memory_bytes).sum(),
+            PotentialStore::Shared { forward, reverse } => {
+                forward.memory_bytes() + reverse.memory_bytes()
+            }
+        }
+    }
+
+    /// Number of distinct matrices stored.
+    pub fn matrix_count(&self) -> usize {
+        match self {
+            PotentialStore::PerEdge(ms) => ms.len(),
+            PotentialStore::Shared { .. } => 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn smoothing_matrix_is_row_stochastic() {
+        for n in 2..=8 {
+            let m = JointMatrix::smoothing(n, 0.2);
+            assert!(m.is_row_stochastic(1e-5), "n={n}");
+            assert!((m.get(0, 0) - 0.8).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn random_matrix_is_row_stochastic() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = JointMatrix::random(5, 3, &mut rng);
+        assert!(m.is_row_stochastic(1e-4));
+        assert_eq!(m.rows(), 5);
+        assert_eq!(m.cols(), 3);
+    }
+
+    #[test]
+    fn transpose_roundtrips() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let m = JointMatrix::random(4, 6, &mut rng);
+        let t = m.transposed();
+        assert_eq!(t.rows(), 6);
+        assert_eq!(t.cols(), 4);
+        for i in 0..4 {
+            for j in 0..6 {
+                assert_eq!(m.get(i, j), t.get(j, i));
+            }
+        }
+        assert_eq!(t.transposed(), m);
+    }
+
+    #[test]
+    fn message_matches_manual_product() {
+        // J = [[0.9, 0.1], [0.2, 0.8]], b = [0.5, 0.5]
+        let m = JointMatrix::from_rows(2, 2, vec![0.9, 0.1, 0.2, 0.8]);
+        let b = Belief::from_slice(&[0.5, 0.5]);
+        let mut msg = m.message(&b);
+        // Raw product: [0.55, 0.45]; scaled so max == 1 -> [1.0, 0.8181...]
+        msg.normalize();
+        assert!((msg.get(0) - 0.55).abs() < 1e-6);
+        assert!((msg.get(1) - 0.45).abs() < 1e-6);
+    }
+
+    #[test]
+    fn message_from_observed_parent_selects_row() {
+        let m = JointMatrix::from_rows(2, 3, vec![0.7, 0.2, 0.1, 0.1, 0.3, 0.6]);
+        let b = Belief::observed(2, 1);
+        let mut msg = m.message(&b);
+        msg.normalize();
+        assert!((msg.get(0) - 0.1).abs() < 1e-6);
+        assert!((msg.get(2) - 0.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn shared_store_returns_transpose_for_reverse() {
+        let m = JointMatrix::from_rows(2, 2, vec![0.9, 0.1, 0.2, 0.8]);
+        let store = PotentialStore::shared(m.clone());
+        assert!(store.is_shared());
+        assert_eq!(store.get(42, false), &m);
+        assert_eq!(store.get(42, true), &m.transposed());
+        assert_eq!(store.matrix_count(), 2);
+    }
+
+    #[test]
+    fn per_edge_store_indexes_by_arc() {
+        let a = JointMatrix::uniform(2, 2);
+        let b = JointMatrix::smoothing(2, 0.1);
+        let store = PotentialStore::per_edge(vec![a.clone(), b.clone()]);
+        assert!(!store.is_shared());
+        assert_eq!(store.get(0, false), &a);
+        assert_eq!(store.get(1, true), &b);
+    }
+
+    #[test]
+    fn shared_store_uses_less_memory_than_per_edge() {
+        let m = JointMatrix::smoothing(4, 0.1);
+        let per_edge = PotentialStore::per_edge(vec![m.clone(); 100]);
+        let shared = PotentialStore::shared(m);
+        assert!(shared.memory_bytes() * 10 < per_edge.memory_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn bad_data_length_panics() {
+        let _ = JointMatrix::from_rows(2, 2, vec![1.0; 3]);
+    }
+}

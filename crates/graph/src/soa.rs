@@ -1,0 +1,184 @@
+//! Struct-of-arrays belief storage — the layout §3.4 evaluates *against*.
+//!
+//! "With the SoA design, we have large, flattened, parallel-indexed arrays
+//! consisting for the probabilities and dimensions." Credo ultimately
+//! rejects this layout (the AoS [`crate::Belief`] records have ~56% fewer
+//! data-cache accesses under cachegrind), but it is kept here so the layout
+//! experiment (`exp_aos_soa`) can reproduce that comparison with the cache
+//! simulator.
+
+use crate::beliefs::Belief;
+
+/// Flattened belief storage: one probabilities array, one offsets array and
+/// one dimensions array, indexed in parallel by node id.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SoaBeliefs {
+    probs: Vec<f32>,
+    offsets: Vec<usize>,
+    dims: Vec<u32>,
+}
+
+impl SoaBeliefs {
+    /// Converts an AoS belief array into the flattened layout.
+    pub fn from_aos(beliefs: &[Belief]) -> Self {
+        let total: usize = beliefs.iter().map(Belief::len).sum();
+        let mut probs = Vec::with_capacity(total);
+        let mut offsets = Vec::with_capacity(beliefs.len() + 1);
+        let mut dims = Vec::with_capacity(beliefs.len());
+        let mut off = 0usize;
+        for b in beliefs {
+            offsets.push(off);
+            dims.push(b.len() as u32);
+            probs.extend_from_slice(b.as_slice());
+            off += b.len();
+        }
+        offsets.push(off);
+        SoaBeliefs { probs, offsets, dims }
+    }
+
+    /// Converts back to AoS records.
+    pub fn to_aos(&self) -> Vec<Belief> {
+        (0..self.len()).map(|i| Belief::from_slice(self.node(i))).collect()
+    }
+
+    /// Number of nodes stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// True when no nodes are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.dims.is_empty()
+    }
+
+    /// Cardinality of `node`.
+    #[inline]
+    pub fn dim(&self, node: usize) -> usize {
+        self.dims[node] as usize
+    }
+
+    /// The probabilities of `node`.
+    #[inline]
+    pub fn node(&self, node: usize) -> &[f32] {
+        &self.probs[self.offsets[node]..self.offsets[node + 1]]
+    }
+
+    /// Mutable probabilities of `node`.
+    #[inline]
+    pub fn node_mut(&mut self, node: usize) -> &mut [f32] {
+        let (s, e) = (self.offsets[node], self.offsets[node + 1]);
+        &mut self.probs[s..e]
+    }
+
+    /// Byte offset (within a virtual allocation starting at 0) of
+    /// `probs[node][state]` — used to synthesize cache-simulator traces.
+    /// Reading a probability in this layout also touches the offsets and
+    /// dims arrays; see [`SoaBeliefs::trace_read`].
+    #[inline]
+    pub fn prob_address(&self, node: usize, state: usize) -> u64 {
+        ((self.offsets[node] + state) * std::mem::size_of::<f32>()) as u64
+    }
+
+    /// The sequence of virtual addresses a read of `node`'s full belief
+    /// touches under this layout: both offset-table entries (slicing needs
+    /// the start *and* the end bound), the dims entry, then each
+    /// probability. Address spaces: offsets at `OFFSETS_BASE`, dims at
+    /// `DIMS_BASE`, probabilities at 0.
+    pub fn trace_read(&self, node: usize, out: &mut Vec<u64>) {
+        const OFFSETS_BASE: u64 = 1 << 40;
+        const DIMS_BASE: u64 = 1 << 41;
+        out.push(OFFSETS_BASE + (node * std::mem::size_of::<usize>()) as u64);
+        out.push(OFFSETS_BASE + ((node + 1) * std::mem::size_of::<usize>()) as u64);
+        out.push(DIMS_BASE + (node * std::mem::size_of::<u32>()) as u64);
+        for s in 0..self.dim(node) {
+            out.push(self.prob_address(node, s));
+        }
+    }
+
+    /// Total bytes held.
+    pub fn memory_bytes(&self) -> usize {
+        self.probs.len() * std::mem::size_of::<f32>()
+            + self.offsets.len() * std::mem::size_of::<usize>()
+            + self.dims.len() * std::mem::size_of::<u32>()
+    }
+}
+
+/// Trace helper for the AoS layout: the addresses a read of `node`'s belief
+/// touches when beliefs are `Vec<Belief>` (one cache-resident record per
+/// node: dims and probabilities co-located).
+pub fn aos_trace_read(node: usize, cardinality: usize, out: &mut Vec<u64>) {
+    let record = std::mem::size_of::<Belief>() as u64;
+    let base = node as u64 * record;
+    // len field + the probabilities, all inside one record.
+    out.push(base);
+    for s in 0..cardinality {
+        out.push(base + 4 + (s * std::mem::size_of::<f32>()) as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Belief> {
+        vec![
+            Belief::from_slice(&[0.25, 0.75]),
+            Belief::from_slice(&[0.1, 0.2, 0.7]),
+            Belief::from_slice(&[1.0]),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_aos_soa_aos() {
+        let aos = sample();
+        let soa = SoaBeliefs::from_aos(&aos);
+        assert_eq!(soa.len(), 3);
+        assert_eq!(soa.dim(1), 3);
+        assert_eq!(soa.node(0), &[0.25, 0.75]);
+        assert_eq!(soa.to_aos(), aos);
+    }
+
+    #[test]
+    fn node_mut_writes_through() {
+        let mut soa = SoaBeliefs::from_aos(&sample());
+        soa.node_mut(1)[0] = 0.9;
+        assert_eq!(soa.node(1)[0], 0.9);
+    }
+
+    #[test]
+    fn prob_addresses_are_contiguous_within_node() {
+        let soa = SoaBeliefs::from_aos(&sample());
+        assert_eq!(soa.prob_address(0, 0), 0);
+        assert_eq!(soa.prob_address(0, 1), 4);
+        assert_eq!(soa.prob_address(1, 0), 8);
+    }
+
+    #[test]
+    fn soa_trace_touches_three_arrays() {
+        let soa = SoaBeliefs::from_aos(&sample());
+        let mut t = Vec::new();
+        soa.trace_read(1, &mut t);
+        // two offset entries + dims entry + 3 probabilities
+        assert_eq!(t.len(), 6);
+        assert!(t[0] >= 1 << 40);
+        assert!(t[2] >= 1 << 41);
+    }
+
+    #[test]
+    fn aos_trace_stays_in_one_record() {
+        let mut t = Vec::new();
+        aos_trace_read(2, 3, &mut t);
+        let record = std::mem::size_of::<Belief>() as u64;
+        assert!(t.iter().all(|&a| a >= 2 * record && a < 3 * record));
+    }
+
+    #[test]
+    fn soa_uses_less_memory_for_small_cardinality() {
+        // SoA stores exactly what it needs; AoS pads to MAX_BELIEFS.
+        let aos: Vec<Belief> = (0..100).map(|_| Belief::uniform(2)).collect();
+        let soa = SoaBeliefs::from_aos(&aos);
+        assert!(soa.memory_bytes() < 100 * std::mem::size_of::<Belief>());
+    }
+}

@@ -1,0 +1,849 @@
+//! The Bayesian Interchange Format (BIF) — the pre-existing standard the
+//! paper's input format replaces (§3.2).
+//!
+//! "The former necessitates constructing a custom parser for its
+//! context-free grammar." This module is that parser: a hand-written lexer
+//! plus recursive descent over the BIF 0.15 grammar subset used by the
+//! Bayesian Network Repository files (network / variable / probability
+//! blocks, `table` and per-entry rows). Faithfully to the implementations
+//! the paper measures, [`read`] slurps the whole input into memory before
+//! parsing — the exact scalability failure §3.2 documents.
+//!
+//! Multi-parent CPTs are reduced to pairwise potentials by marginalizing
+//! uniformly over the other parents (§2.1's pairwise-MRF conversion);
+//! single-parent networks round-trip exactly.
+
+use crate::error::IoError;
+use credo_graph::{Belief, BeliefGraph, GraphBuilder, JointMatrix};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+
+const FORMAT: &str = "BIF";
+
+// ---------------------------------------------------------------- lexer --
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Ident(String),
+    Number(f32),
+    Str(String),
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Pipe,
+}
+
+struct Lexer {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+}
+
+fn lex(src: &str) -> Result<Vec<(Tok, usize)>, IoError> {
+    let mut toks = Vec::new();
+    let mut chars = src.char_indices().peekable();
+    let mut line = 1usize;
+    while let Some(&(i, c)) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '/' => {
+                chars.next();
+                match chars.peek() {
+                    Some(&(_, '/')) => {
+                        for (_, c) in chars.by_ref() {
+                            if c == '\n' {
+                                line += 1;
+                                break;
+                            }
+                        }
+                    }
+                    Some(&(_, '*')) => {
+                        chars.next();
+                        let mut prev = ' ';
+                        for (_, c) in chars.by_ref() {
+                            if c == '\n' {
+                                line += 1;
+                            }
+                            if prev == '*' && c == '/' {
+                                break;
+                            }
+                            prev = c;
+                        }
+                    }
+                    _ => return Err(IoError::parse(FORMAT, line, "stray '/'")),
+                }
+            }
+            '"' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some((_, '"')) => break,
+                        Some((_, '\n')) => {
+                            line += 1;
+                            s.push('\n');
+                        }
+                        Some((_, c)) => s.push(c),
+                        None => return Err(IoError::parse(FORMAT, line, "unterminated string")),
+                    }
+                }
+                toks.push((Tok::Str(s), line));
+            }
+            '{' | '}' | '(' | ')' | '[' | ']' | ';' | ',' | '|' => {
+                chars.next();
+                toks.push((
+                    match c {
+                        '{' => Tok::LBrace,
+                        '}' => Tok::RBrace,
+                        '(' => Tok::LParen,
+                        ')' => Tok::RParen,
+                        '[' => Tok::LBracket,
+                        ']' => Tok::RBracket,
+                        ';' => Tok::Semi,
+                        ',' => Tok::Comma,
+                        _ => Tok::Pipe,
+                    },
+                    line,
+                ));
+            }
+            c if c.is_ascii_digit() || c == '-' || c == '+' || c == '.' => {
+                let start = i;
+                let mut end = i;
+                while let Some(&(j, c)) = chars.peek() {
+                    if c.is_ascii_digit() || "+-.eE".contains(c) {
+                        end = j + c.len_utf8();
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let text = &src[start..end];
+                let v: f32 = text
+                    .parse()
+                    .map_err(|_| IoError::parse(FORMAT, line, format!("bad number '{text}'")))?;
+                toks.push((Tok::Number(v), line));
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let start = i;
+                let mut end = i;
+                while let Some(&(j, c)) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' || c == '-' || c == '.' {
+                        end = j + c.len_utf8();
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                toks.push((Tok::Ident(src[start..end].to_string()), line));
+            }
+            other => {
+                return Err(IoError::parse(FORMAT, line, format!("unexpected '{other}'")));
+            }
+        }
+    }
+    Ok(toks)
+}
+
+impl Lexer {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map(|&(_, l)| l)
+            .unwrap_or(0)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect(&mut self, want: &Tok) -> Result<(), IoError> {
+        let line = self.line();
+        match self.next() {
+            Some(ref t) if t == want => Ok(()),
+            got => Err(IoError::parse(
+                FORMAT,
+                line,
+                format!("expected {want:?}, got {got:?}"),
+            )),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, IoError> {
+        let line = self.line();
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            got => Err(IoError::parse(
+                FORMAT,
+                line,
+                format!("expected identifier, got {got:?}"),
+            )),
+        }
+    }
+
+    fn number(&mut self) -> Result<f32, IoError> {
+        let line = self.line();
+        match self.next() {
+            Some(Tok::Number(v)) => Ok(v),
+            got => Err(IoError::parse(
+                FORMAT,
+                line,
+                format!("expected number, got {got:?}"),
+            )),
+        }
+    }
+
+    /// Skips a balanced `{ … }` or to the next `;` (unknown properties).
+    fn skip_statement(&mut self) -> Result<(), IoError> {
+        let mut depth = 0usize;
+        loop {
+            let line = self.line();
+            match self.next() {
+                Some(Tok::LBrace) => depth += 1,
+                Some(Tok::RBrace) => {
+                    if depth == 0 {
+                        return Err(IoError::parse(FORMAT, line, "unbalanced '}'"));
+                    }
+                    depth -= 1;
+                    if depth == 0 {
+                        return Ok(());
+                    }
+                }
+                Some(Tok::Semi) if depth == 0 => return Ok(()),
+                Some(_) => {}
+                None => return Err(IoError::parse(FORMAT, line, "unexpected end of input")),
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------- networks --
+
+/// A parsed variable.
+#[derive(Clone, Debug)]
+struct Variable {
+    name: String,
+    states: Vec<String>,
+}
+
+/// A parsed probability block.
+#[derive(Clone, Debug)]
+struct Cpt {
+    child: String,
+    parents: Vec<String>,
+    /// Row-major: first parent outermost, child state innermost.
+    table: Vec<f32>,
+}
+
+/// Reduces a CPT to pairwise potentials: for each parent `i`,
+/// `J_i[p, c] = mean over other parents' combinations of P(c | …, p, …)`.
+/// Returns one matrix per parent; for a parentless CPT returns the prior.
+pub(crate) fn cpt_to_pairwise(
+    child_card: usize,
+    parent_cards: &[usize],
+    table: &[f32],
+) -> (Option<Belief>, Vec<JointMatrix>) {
+    if parent_cards.is_empty() {
+        let mut b = Belief::from_slice(&table[..child_card]);
+        b.normalize();
+        return (Some(b), Vec::new());
+    }
+    let combos: usize = parent_cards.iter().product();
+    debug_assert_eq!(table.len(), combos * child_card);
+    let mut out = Vec::with_capacity(parent_cards.len());
+    for (i, &pc) in parent_cards.iter().enumerate() {
+        let mut data = vec![0.0f32; pc * child_card];
+        let mut counts = vec![0u32; pc];
+        for combo in 0..combos {
+            // Decode parent i's state from the mixed-radix combo index
+            // (first parent outermost).
+            let mut rest = combo;
+            let mut state_i = 0usize;
+            for (j, &cj) in parent_cards.iter().enumerate().rev() {
+                let s = rest % cj;
+                rest /= cj;
+                if j == i {
+                    state_i = s;
+                }
+            }
+            counts[state_i] += 1;
+            for c in 0..child_card {
+                data[state_i * child_card + c] += table[combo * child_card + c];
+            }
+        }
+        for p in 0..pc {
+            let inv = 1.0 / counts[p].max(1) as f32;
+            for c in 0..child_card {
+                data[p * child_card + c] *= inv;
+            }
+        }
+        out.push(JointMatrix::from_rows(pc, child_card, data));
+    }
+    (None, out)
+}
+
+/// Builds a graph from parsed variables and CPTs (shared by the BIF and
+/// XML-BIF front ends).
+pub(crate) fn build_network(
+    variables: Vec<(String, usize)>,
+    cpts: Vec<(String, Vec<String>, Vec<f32>)>,
+    format: &'static str,
+) -> Result<BeliefGraph, IoError> {
+    let mut builder = GraphBuilder::new();
+    let mut ids: HashMap<String, u32> = HashMap::new();
+    let mut cards: Vec<usize> = Vec::new();
+    for (name, card) in variables {
+        if ids.contains_key(&name) {
+            return Err(IoError::parse(format, 0, format!("duplicate variable '{name}'")));
+        }
+        let id = builder.add_named_node(name.clone(), Belief::uniform(card));
+        ids.insert(name, id);
+        cards.push(card);
+    }
+    let mut priors: Vec<Option<Belief>> = vec![None; cards.len()];
+    for (child, parents, table) in cpts {
+        let &cid = ids
+            .get(&child)
+            .ok_or_else(|| IoError::parse(format, 0, format!("unknown variable '{child}'")))?;
+        let mut pids = Vec::with_capacity(parents.len());
+        for p in &parents {
+            let &pid = ids
+                .get(p)
+                .ok_or_else(|| IoError::parse(format, 0, format!("unknown parent '{p}'")))?;
+            pids.push(pid);
+        }
+        let parent_cards: Vec<usize> = pids.iter().map(|&p| cards[p as usize]).collect();
+        let expected: usize = parent_cards.iter().product::<usize>() * cards[cid as usize];
+        if table.len() != expected {
+            return Err(IoError::parse(
+                format,
+                0,
+                format!("CPT for '{child}' has {} entries, expected {expected}", table.len()),
+            ));
+        }
+        let (prior, mats) = cpt_to_pairwise(cards[cid as usize], &parent_cards, &table);
+        if let Some(p) = prior {
+            priors[cid as usize] = Some(p);
+        }
+        for (pid, m) in pids.into_iter().zip(mats) {
+            builder.add_directed_edge_with(pid, cid, m);
+        }
+    }
+    let mut graph = builder.build()?;
+    for (v, prior) in priors.into_iter().enumerate() {
+        if let Some(p) = prior {
+            graph.priors_mut()[v] = p;
+            graph.beliefs_mut()[v] = p;
+        }
+    }
+    Ok(graph)
+}
+
+// -------------------------------------------------------------- parsing --
+
+/// Parses a BIF document from a reader. The whole input is read into
+/// memory first (the behaviour §3.2 criticizes — kept deliberately).
+pub fn read<R: Read>(mut r: R) -> Result<BeliefGraph, IoError> {
+    let mut src = String::new();
+    r.read_to_string(&mut src)?;
+    read_str(&src)
+}
+
+/// Parses a BIF document from a string.
+pub fn read_str(src: &str) -> Result<BeliefGraph, IoError> {
+    let mut lx = Lexer {
+        toks: lex(src)?,
+        pos: 0,
+    };
+    let mut variables: Vec<Variable> = Vec::new();
+    let mut cpts: Vec<Cpt> = Vec::new();
+    let mut var_index: HashMap<String, usize> = HashMap::new();
+
+    while let Some(tok) = lx.peek() {
+        let line = lx.line();
+        match tok {
+            Tok::Ident(kw) if kw == "network" => {
+                lx.next();
+                let _name = lx.ident()?;
+                lx.skip_statement()?;
+            }
+            Tok::Ident(kw) if kw == "variable" => {
+                lx.next();
+                let v = parse_variable(&mut lx)?;
+                var_index.insert(v.name.clone(), variables.len());
+                variables.push(v);
+            }
+            Tok::Ident(kw) if kw == "probability" => {
+                lx.next();
+                let c = parse_probability(&mut lx, &variables, &var_index)?;
+                cpts.push(c);
+            }
+            other => {
+                return Err(IoError::parse(
+                    FORMAT,
+                    line,
+                    format!("expected a block keyword, got {other:?}"),
+                ))
+            }
+        }
+    }
+
+    build_network(
+        variables
+            .iter()
+            .map(|v| (v.name.clone(), v.states.len()))
+            .collect(),
+        cpts.into_iter().map(|c| (c.child, c.parents, c.table)).collect(),
+        FORMAT,
+    )
+}
+
+fn parse_variable(lx: &mut Lexer) -> Result<Variable, IoError> {
+    let name = lx.ident()?;
+    lx.expect(&Tok::LBrace)?;
+    let mut states = Vec::new();
+    loop {
+        let line = lx.line();
+        match lx.next() {
+            Some(Tok::Ident(kw)) if kw == "type" => {
+                let kind = lx.ident()?;
+                if kind != "discrete" {
+                    return Err(IoError::parse(
+                        FORMAT,
+                        line,
+                        format!("only discrete variables supported, got '{kind}'"),
+                    ));
+                }
+                lx.expect(&Tok::LBracket)?;
+                let card = lx.number()? as usize;
+                lx.expect(&Tok::RBracket)?;
+                lx.expect(&Tok::LBrace)?;
+                loop {
+                    match lx.next() {
+                        Some(Tok::Ident(s)) => states.push(s),
+                        Some(Tok::Number(v)) => states.push(format!("{v}")),
+                        Some(Tok::Comma) => {}
+                        Some(Tok::RBrace) => break,
+                        got => {
+                            return Err(IoError::parse(
+                                FORMAT,
+                                line,
+                                format!("bad state list token {got:?}"),
+                            ))
+                        }
+                    }
+                }
+                if states.len() != card {
+                    return Err(IoError::parse(
+                        FORMAT,
+                        line,
+                        format!("variable '{name}' declares {card} states, lists {}", states.len()),
+                    ));
+                }
+                lx.expect(&Tok::Semi)?;
+            }
+            Some(Tok::Ident(kw)) if kw == "property" => {
+                // property "..." ;
+                while !matches!(lx.peek(), Some(Tok::Semi) | None) {
+                    lx.next();
+                }
+                lx.expect(&Tok::Semi)?;
+            }
+            Some(Tok::RBrace) => break,
+            got => {
+                return Err(IoError::parse(
+                    FORMAT,
+                    line,
+                    format!("unexpected token in variable block: {got:?}"),
+                ))
+            }
+        }
+    }
+    if states.is_empty() {
+        return Err(IoError::parse(FORMAT, lx.line(), format!("variable '{name}' has no states")));
+    }
+    Ok(Variable { name, states })
+}
+
+fn parse_probability(
+    lx: &mut Lexer,
+    variables: &[Variable],
+    var_index: &HashMap<String, usize>,
+) -> Result<Cpt, IoError> {
+    lx.expect(&Tok::LParen)?;
+    let child = lx.ident()?;
+    let mut parents = Vec::new();
+    match lx.next() {
+        Some(Tok::RParen) => {}
+        Some(Tok::Pipe) => loop {
+            parents.push(lx.ident()?);
+            match lx.next() {
+                Some(Tok::Comma) => {}
+                Some(Tok::RParen) => break,
+                got => {
+                    return Err(IoError::parse(
+                        FORMAT,
+                        lx.line(),
+                        format!("bad parent list token {got:?}"),
+                    ))
+                }
+            }
+        },
+        got => {
+            return Err(IoError::parse(
+                FORMAT,
+                lx.line(),
+                format!("bad probability header token {got:?}"),
+            ))
+        }
+    }
+
+    fn lookup<'a>(
+        variables: &'a [Variable],
+        var_index: &HashMap<String, usize>,
+        name: &str,
+        line: usize,
+    ) -> Result<&'a Variable, IoError> {
+        var_index
+            .get(name)
+            .map(|&i| &variables[i])
+            .ok_or_else(|| IoError::parse(FORMAT, line, format!("unknown variable '{name}'")))
+    }
+    let child_card = lookup(variables, var_index, &child, lx.line())?.states.len();
+    let parent_cards: Vec<usize> = parents
+        .iter()
+        .map(|p| lookup(variables, var_index, p, lx.line()).map(|v| v.states.len()))
+        .collect::<Result<_, _>>()?;
+    let combos: usize = parent_cards.iter().product();
+    let mut table = vec![f32::NAN; combos * child_card];
+
+    lx.expect(&Tok::LBrace)?;
+    loop {
+        let line = lx.line();
+        match lx.next() {
+            Some(Tok::Ident(kw)) if kw == "table" => {
+                let mut vals = Vec::with_capacity(table.len());
+                loop {
+                    match lx.next() {
+                        Some(Tok::Number(v)) => vals.push(v),
+                        Some(Tok::Comma) => {}
+                        Some(Tok::Semi) => break,
+                        got => {
+                            return Err(IoError::parse(
+                                FORMAT,
+                                line,
+                                format!("bad table token {got:?}"),
+                            ))
+                        }
+                    }
+                }
+                if vals.len() != table.len() {
+                    return Err(IoError::parse(
+                        FORMAT,
+                        line,
+                        format!("table for '{child}' has {} values, expected {}", vals.len(), table.len()),
+                    ));
+                }
+                table.copy_from_slice(&vals);
+            }
+            Some(Tok::LParen) => {
+                // Entry row: ( parent states ) v1, v2, …, vk ;
+                let mut combo = 0usize;
+                for (i, p) in parents.iter().enumerate() {
+                    let state = lx.ident()?;
+                    let pv = lookup(variables, var_index, p, line)?;
+                    let s = pv
+                        .states
+                        .iter()
+                        .position(|x| *x == state)
+                        .ok_or_else(|| {
+                            IoError::parse(FORMAT, line, format!("unknown state '{state}' of '{p}'"))
+                        })?;
+                    combo = combo * parent_cards[i] + s;
+                    match lx.peek() {
+                        Some(Tok::Comma) => {
+                            lx.next();
+                        }
+                        _ => {}
+                    }
+                }
+                lx.expect(&Tok::RParen)?;
+                for c in 0..child_card {
+                    let v = lx.number()?;
+                    table[combo * child_card + c] = v;
+                    if c + 1 < child_card {
+                        lx.expect(&Tok::Comma)?;
+                    }
+                }
+                lx.expect(&Tok::Semi)?;
+            }
+            Some(Tok::Ident(kw)) if kw == "property" || kw == "default" => {
+                while !matches!(lx.peek(), Some(Tok::Semi) | None) {
+                    lx.next();
+                }
+                lx.expect(&Tok::Semi)?;
+            }
+            Some(Tok::RBrace) => break,
+            got => {
+                return Err(IoError::parse(
+                    FORMAT,
+                    line,
+                    format!("unexpected token in probability block: {got:?}"),
+                ))
+            }
+        }
+    }
+    if table.iter().any(|v| v.is_nan()) {
+        return Err(IoError::parse(
+            FORMAT,
+            lx.line(),
+            format!("incomplete probability table for '{child}'"),
+        ));
+    }
+    Ok(Cpt {
+        child,
+        parents,
+        table,
+    })
+}
+
+// -------------------------------------------------------------- writing --
+
+/// Serializes a graph as BIF. Node priors become parentless probability
+/// blocks for root nodes; each node with incoming arcs gets a CPT composed
+/// from its pairwise potentials (`P(c|parents) ∝ Π_i J_i[p_i, c]`).
+pub fn write<W: Write>(graph: &BeliefGraph, mut w: W) -> Result<(), IoError> {
+    writeln!(w, "network credo {{")?;
+    writeln!(w, "}}")?;
+    let name_of = |v: u32| -> String {
+        graph
+            .name(v)
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("n{v}"))
+    };
+    for v in 0..graph.num_nodes() as u32 {
+        let card = graph.cardinality(v);
+        writeln!(w, "variable {} {{", name_of(v))?;
+        write!(w, "  type discrete [ {card} ] {{ ")?;
+        for s in 0..card {
+            if s > 0 {
+                write!(w, ", ")?;
+            }
+            write!(w, "s{s}")?;
+        }
+        writeln!(w, " }};")?;
+        writeln!(w, "}}")?;
+    }
+    for v in 0..graph.num_nodes() as u32 {
+        let card = graph.cardinality(v);
+        let in_arcs = graph.in_arcs(v);
+        if in_arcs.is_empty() {
+            write!(w, "probability ( {} ) {{\n  table ", name_of(v))?;
+            for (i, &p) in graph.priors()[v as usize].as_slice().iter().enumerate() {
+                if i > 0 {
+                    write!(w, ", ")?;
+                }
+                write!(w, "{p}")?;
+            }
+            writeln!(w, ";\n}}")?;
+            continue;
+        }
+        let parents: Vec<u32> = in_arcs.iter().map(|&a| graph.arc(a).src).collect();
+        let parent_cards: Vec<usize> = parents.iter().map(|&p| graph.cardinality(p)).collect();
+        write!(w, "probability ( {} | ", name_of(v))?;
+        for (i, &p) in parents.iter().enumerate() {
+            if i > 0 {
+                write!(w, ", ")?;
+            }
+            write!(w, "{}", name_of(p))?;
+        }
+        writeln!(w, " ) {{")?;
+        write!(w, "  table ")?;
+        let combos: usize = parent_cards.iter().product();
+        let mut first = true;
+        for combo in 0..combos {
+            // Decode the combo (first parent outermost).
+            let mut states = vec![0usize; parents.len()];
+            let mut rest = combo;
+            for (j, &cj) in parent_cards.iter().enumerate().rev() {
+                states[j] = rest % cj;
+                rest /= cj;
+            }
+            // P(c | combo) ∝ Π_i J_i[state_i, c]
+            let mut row = vec![1.0f64; card];
+            for (i, &a) in in_arcs.iter().enumerate() {
+                let m = graph.potential(a);
+                for (c, slot) in row.iter_mut().enumerate() {
+                    *slot *= m.get(states[i], c) as f64;
+                }
+            }
+            let z: f64 = row.iter().sum();
+            for &val in &row {
+                if !first {
+                    write!(w, ", ")?;
+                }
+                first = false;
+                write!(w, "{}", if z > 0.0 { val / z } else { 1.0 / card as f64 })?;
+            }
+        }
+        writeln!(w, ";\n}}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use credo_graph::generators::family_out;
+
+    const SAMPLE: &str = r#"
+// the family-out network, single-parent subset
+network family {
+  property "version 0.15";
+}
+variable fo {
+  type discrete [ 2 ] { false, true };
+}
+variable lo {
+  type discrete [ 2 ] { false, true };
+}
+probability ( fo ) {
+  table 0.85, 0.15;
+}
+probability ( lo | fo ) {
+  table 0.95, 0.05, 0.4, 0.6;
+}
+"#;
+
+    #[test]
+    fn parses_single_parent_network() {
+        let g = read_str(SAMPLE).unwrap();
+        assert_eq!(g.num_nodes(), 2);
+        assert_eq!(g.num_edges(), 1);
+        let fo = g.node_by_name("fo").unwrap();
+        assert!((g.priors()[fo as usize].get(1) - 0.15).abs() < 1e-6);
+        let pot = g.potential(g.in_arcs(g.node_by_name("lo").unwrap())[0]);
+        assert!((pot.get(1, 1) - 0.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn entry_rows_are_equivalent_to_tables() {
+        let entry_form = r#"
+variable a { type discrete [ 2 ] { f, t }; }
+variable b { type discrete [ 2 ] { f, t }; }
+probability ( a ) { table 0.3, 0.7; }
+probability ( b | a ) {
+  (f) 0.9, 0.1;
+  (t) 0.2, 0.8;
+}
+"#;
+        let g = read_str(entry_form).unwrap();
+        let pot = g.potential(0);
+        assert!((pot.get(0, 0) - 0.9).abs() < 1e-6);
+        assert!((pot.get(1, 1) - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn multi_parent_cpt_reduces_to_pairwise() {
+        let src = r#"
+variable p1 { type discrete [ 2 ] { f, t }; }
+variable p2 { type discrete [ 2 ] { f, t }; }
+variable c  { type discrete [ 2 ] { f, t }; }
+probability ( p1 ) { table 0.5, 0.5; }
+probability ( p2 ) { table 0.5, 0.5; }
+probability ( c | p1, p2 ) {
+  table 0.9, 0.1,  0.6, 0.4,  0.4, 0.6,  0.1, 0.9;
+}
+"#;
+        let g = read_str(src).unwrap();
+        let c = g.node_by_name("c").unwrap();
+        assert_eq!(g.in_arcs(c).len(), 2);
+        // J_{p1}[f, f] = mean(0.9, 0.6) = 0.75
+        let a = g.in_arcs(c)[0];
+        let m = g.potential(a);
+        assert!((m.get(0, 0) - 0.75).abs() < 1e-5, "{m:?}");
+    }
+
+    #[test]
+    fn comments_and_properties_are_ignored() {
+        let src = "/* block */\nvariable x { type discrete [ 2 ] { a, b }; property \"pos (1,2)\"; }\nprobability ( x ) { table 1, 0; }\n";
+        let g = read_str(src).unwrap();
+        assert_eq!(g.num_nodes(), 1);
+    }
+
+    #[test]
+    fn incomplete_table_is_rejected() {
+        let src = "variable x { type discrete [ 2 ] { a, b }; }\nprobability ( x ) { table 1; }";
+        let err = read_str(src).unwrap_err();
+        assert!(err.to_string().contains("1 values"), "{err}");
+    }
+
+    #[test]
+    fn unknown_parent_is_rejected() {
+        let src = "variable x { type discrete [ 2 ] { a, b }; }\nprobability ( x | ghost ) { table 1, 0, 0, 1; }";
+        let err = read_str(src).unwrap_err();
+        assert!(err.to_string().contains("ghost"), "{err}");
+    }
+
+    #[test]
+    fn family_out_roundtrips_structurally() {
+        let g = family_out();
+        let mut buf = Vec::new();
+        write(&g, &mut buf).unwrap();
+        let back = read(&buf[..]).unwrap();
+        assert_eq!(back.num_nodes(), 5);
+        assert_eq!(back.num_edges(), 4);
+        let dog = back.node_by_name("dog-out").unwrap();
+        assert_eq!(back.in_arcs(dog).len(), 2);
+        // Root priors are preserved exactly.
+        let fo = back.node_by_name("family-out").unwrap();
+        assert!((back.priors()[fo as usize].get(1) - 0.15).abs() < 1e-5);
+        // Single-parent CPTs are preserved exactly.
+        let hb = back.node_by_name("hear-bark").unwrap();
+        let (a1, a2) = (back.in_arcs(hb)[0], g.in_arcs(g.node_by_name("hear-bark").unwrap())[0]);
+        for p in 0..2 {
+            for c in 0..2 {
+                assert!((back.potential(a1).get(p, c) - g.potential(a2).get(p, c)).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn single_parent_chain_roundtrips_exactly() {
+        use credo_graph::generators::{random_tree, GenOptions, PotentialKind};
+        let g = random_tree(
+            12,
+            &GenOptions::new(3).with_potentials(PotentialKind::PerEdgeRandom),
+        );
+        let mut buf = Vec::new();
+        write(&g, &mut buf).unwrap();
+        let back = read(&buf[..]).unwrap();
+        assert_eq!(back.num_arcs(), g.num_arcs());
+        for a in 0..g.num_arcs() as u32 {
+            let (m1, m2) = (g.potential(a), back.potential(a));
+            for p in 0..m1.rows() {
+                for c in 0..m1.cols() {
+                    assert!(
+                        (m1.get(p, c) - m2.get(p, c)).abs() < 1e-5,
+                        "arc {a} ({p},{c})"
+                    );
+                }
+            }
+        }
+    }
+}

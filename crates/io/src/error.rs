@@ -1,0 +1,84 @@
+//! Errors shared by the parsers.
+
+use credo_graph::GraphError;
+
+/// Anything that can go wrong while reading or writing a belief network.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Syntax error with a location.
+    Parse {
+        /// Format being parsed ("BIF", "XML-BIF", "Credo-MTX").
+        format: &'static str,
+        /// 1-based line number (0 when unknown).
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The parsed structure failed graph validation.
+    Graph(GraphError),
+}
+
+impl IoError {
+    pub(crate) fn parse(format: &'static str, line: usize, message: impl Into<String>) -> Self {
+        IoError::Parse {
+            format,
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "I/O error: {e}"),
+            IoError::Parse {
+                format,
+                line,
+                message,
+            } => write!(f, "{format} parse error at line {line}: {message}"),
+            IoError::Graph(e) => write!(f, "invalid network: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Io(e) => Some(e),
+            IoError::Graph(e) => Some(e),
+            IoError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl From<GraphError> for IoError {
+    fn from(e: GraphError) -> Self {
+        IoError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_location() {
+        let e = IoError::parse("BIF", 12, "expected '{'");
+        assert_eq!(e.to_string(), "BIF parse error at line 12: expected '{'");
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let e: IoError = std::io::Error::new(std::io::ErrorKind::NotFound, "nope").into();
+        assert!(e.to_string().contains("nope"));
+    }
+}

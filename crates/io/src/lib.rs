@@ -1,0 +1,29 @@
+//! # credo-io
+//!
+//! Input/output formats for belief networks (§3.2):
+//!
+//! * [`mtx`] — Credo's Matrix-Market-derived streaming format: a node file
+//!   and an edge file, parsed line by line without materializing either in
+//!   memory. This is the paper's contribution that lets BP scale past the
+//!   thousands-of-nodes ceiling of the BIF formats.
+//! * [`bif`] — the Bayesian Interchange Format, parsed with a
+//!   recursive-descent parser over its context-free grammar. Like the
+//!   reference implementations the paper measures, it loads the whole file
+//!   into memory before parsing.
+//! * [`xmlbif`] — the XML sibling of BIF, including the minimal XML parser
+//!   it requires.
+//!
+//! All three produce [`credo_graph::BeliefGraph`]s; MTX additionally
+//! round-trips the shared-potential mode. Multi-parent BIF CPTs are reduced
+//! to pairwise potentials by marginalizing uniformly over the remaining
+//! parents (the §2.1 Markov/pairwise conversion).
+
+#![warn(missing_docs)]
+
+pub mod bif;
+pub mod mtx;
+pub mod xmlbif;
+
+mod error;
+
+pub use error::IoError;

@@ -1,0 +1,484 @@
+//! The Credo MTX-derived streaming format (§3.2).
+//!
+//! "We break up the format in two: one for node data and the other for edge
+//! data. For both files, our structure is largely the same: two identifiers
+//! followed by the probabilities for the node's states or the edge's joint
+//! probability matrix. In preserving the original input format's basic
+//! structure of edges linked together by node ids, our node input format
+//! appears to be nothing but self-cycling nodes."
+//!
+//! Concretely (1-based ids, as in Matrix Market):
+//!
+//! ```text
+//! # nodes file                      # edges file
+//! %%CredoMTX nodes                  %%CredoMTX edges
+//! % comments…                       % shared-potential 2 2 0.9 0.1 0.1 0.9
+//! 4 4 4                             4 4 3
+//! 1 1 0.25 0.75                     1 2
+//! 2 2 0.5 0.5                       2 3 0.8 0.2 0.3 0.7   (per-edge mode)
+//! …                                 …
+//! ```
+//!
+//! The header line is `rows cols nnz` (Matrix Market convention); for the
+//! node file `nnz` is the node count, for the edge file the edge count.
+//! Edge lines carry a row-major joint matrix when in per-edge mode and
+//! nothing beyond the two ids when a `% shared-potential` directive is
+//! present. Both files parse line by line — neither is ever resident in
+//! memory (unlike BIF, §3.2).
+
+use crate::error::IoError;
+use credo_graph::{Belief, BeliefGraph, GraphBuilder, JointMatrix, MAX_BELIEFS};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const FORMAT: &str = "Credo-MTX";
+
+/// Reads a graph from node and edge files on disk.
+pub fn read_files(nodes: &Path, edges: &Path) -> Result<BeliefGraph, IoError> {
+    let nf = std::fs::File::open(nodes)?;
+    let ef = std::fs::File::open(edges)?;
+    read(BufReader::new(nf), BufReader::new(ef))
+}
+
+/// Reads a graph from any pair of readers (node data, edge data).
+pub fn read<R1: Read, R2: Read>(nodes: R1, edges: R2) -> Result<BeliefGraph, IoError> {
+    let (cards, mut builder) = read_nodes(BufReader::new(nodes))?;
+    read_edges(BufReader::new(edges), &cards, &mut builder)?;
+    Ok(builder.build()?)
+}
+
+fn parse_err(line: usize, msg: impl Into<String>) -> IoError {
+    IoError::parse(FORMAT, line, msg)
+}
+
+/// Streams the node file: returns per-node cardinalities and a builder
+/// pre-populated with priors.
+fn read_nodes<R: BufRead>(mut r: R) -> Result<(Vec<u8>, GraphBuilder), IoError> {
+    let mut line = String::new();
+    let mut lineno = 0usize;
+
+    // Banner.
+    lineno += 1;
+    r.read_line(&mut line)?;
+    if !line.starts_with("%%CredoMTX") || !line.contains("nodes") {
+        return Err(parse_err(lineno, "expected '%%CredoMTX nodes' banner"));
+    }
+
+    // Comments, then the size line.
+    let (num_nodes, declared) = loop {
+        line.clear();
+        lineno += 1;
+        if r.read_line(&mut line)? == 0 {
+            return Err(parse_err(lineno, "missing size line"));
+        }
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_ascii_whitespace();
+        let rows: usize = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| parse_err(lineno, "bad size line"))?;
+        let _cols: usize = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| parse_err(lineno, "bad size line"))?;
+        let nnz: usize = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| parse_err(lineno, "bad size line"))?;
+        break (rows, nnz);
+    };
+    if declared != num_nodes {
+        return Err(parse_err(
+            lineno,
+            format!("node file declares {declared} entries for {num_nodes} nodes"),
+        ));
+    }
+
+    let mut builder = GraphBuilder::with_capacity(num_nodes, 0);
+    let mut cards = vec![0u8; num_nodes];
+    let mut seen = 0usize;
+    let mut probs: Vec<f32> = Vec::with_capacity(MAX_BELIEFS);
+    loop {
+        line.clear();
+        lineno += 1;
+        if r.read_line(&mut line)? == 0 {
+            break;
+        }
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_ascii_whitespace();
+        let id1: usize = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| parse_err(lineno, "bad node id"))?;
+        let id2: usize = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| parse_err(lineno, "bad node id"))?;
+        if id1 != id2 {
+            return Err(parse_err(
+                lineno,
+                format!("node lines are self-cycles; got {id1} {id2}"),
+            ));
+        }
+        if id1 < 1 || id1 > num_nodes {
+            return Err(parse_err(lineno, format!("node id {id1} out of range")));
+        }
+        probs.clear();
+        for tok in it {
+            let p: f32 = tok
+                .parse()
+                .map_err(|_| parse_err(lineno, format!("bad probability '{tok}'")))?;
+            probs.push(p);
+        }
+        if probs.is_empty() || probs.len() > MAX_BELIEFS {
+            return Err(parse_err(
+                lineno,
+                format!("node {id1} has {} beliefs (1..={MAX_BELIEFS})", probs.len()),
+            ));
+        }
+        // Node ids must arrive in order so the builder's ids line up; the
+        // writer always emits them that way.
+        if id1 != seen + 1 {
+            return Err(parse_err(
+                lineno,
+                format!("node ids must be 1..=N in order; got {id1} after {seen}"),
+            ));
+        }
+        let mut b = Belief::from_slice(&probs);
+        b.normalize();
+        cards[id1 - 1] = probs.len() as u8;
+        builder.add_node(b);
+        seen += 1;
+    }
+    if seen != num_nodes {
+        return Err(parse_err(
+            lineno,
+            format!("node file declared {num_nodes} nodes but held {seen}"),
+        ));
+    }
+    Ok((cards, builder))
+}
+
+/// Streams the edge file into the builder.
+fn read_edges<R: BufRead>(
+    mut r: R,
+    cards: &[u8],
+    builder: &mut GraphBuilder,
+) -> Result<(), IoError> {
+    let mut line = String::new();
+    let mut lineno = 0usize;
+
+    lineno += 1;
+    r.read_line(&mut line)?;
+    if !line.starts_with("%%CredoMTX") || !line.contains("edges") {
+        return Err(parse_err(lineno, "expected '%%CredoMTX edges' banner"));
+    }
+
+    let mut shared: Option<JointMatrix> = None;
+    // Comments / directives, then the size line.
+    let declared_edges = loop {
+        line.clear();
+        lineno += 1;
+        if r.read_line(&mut line)? == 0 {
+            return Err(parse_err(lineno, "missing size line"));
+        }
+        let t = line.trim();
+        if t.is_empty() {
+            continue;
+        }
+        if let Some(rest) = t.strip_prefix('%') {
+            let rest = rest.trim();
+            if let Some(spec) = rest.strip_prefix("shared-potential") {
+                shared = Some(parse_shared(spec, lineno)?);
+            }
+            continue;
+        }
+        let mut it = t.split_ascii_whitespace();
+        let rows: usize = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| parse_err(lineno, "bad size line"))?;
+        if rows != cards.len() {
+            return Err(parse_err(
+                lineno,
+                format!("edge file is over {rows} nodes, node file has {}", cards.len()),
+            ));
+        }
+        let _cols: usize = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| parse_err(lineno, "bad size line"))?;
+        let nnz: usize = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| parse_err(lineno, "bad size line"))?;
+        break nnz;
+    };
+
+    if let Some(m) = &shared {
+        builder.shared_potential(m.clone());
+    }
+
+    let mut seen = 0usize;
+    let mut values: Vec<f32> = Vec::new();
+    loop {
+        line.clear();
+        lineno += 1;
+        if r.read_line(&mut line)? == 0 {
+            break;
+        }
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_ascii_whitespace();
+        let src: usize = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| parse_err(lineno, "bad edge source id"))?;
+        let dst: usize = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| parse_err(lineno, "bad edge destination id"))?;
+        for id in [src, dst] {
+            if id < 1 || id > cards.len() {
+                return Err(parse_err(lineno, format!("edge node id {id} out of range")));
+            }
+        }
+        let (s, d) = ((src - 1) as u32, (dst - 1) as u32);
+        if shared.is_some() {
+            if it.next().is_some() {
+                return Err(parse_err(
+                    lineno,
+                    "edge carries a matrix but a shared potential is declared",
+                ));
+            }
+            builder.add_undirected_edge(s, d);
+        } else {
+            values.clear();
+            for tok in it {
+                let v: f32 = tok
+                    .parse()
+                    .map_err(|_| parse_err(lineno, format!("bad matrix value '{tok}'")))?;
+                values.push(v);
+            }
+            let (rows, cols) = (cards[src - 1] as usize, cards[dst - 1] as usize);
+            if values.len() != rows * cols {
+                return Err(parse_err(
+                    lineno,
+                    format!(
+                        "edge {src}->{dst} needs a {rows}x{cols} matrix, got {} values",
+                        values.len()
+                    ),
+                ));
+            }
+            let m = JointMatrix::from_rows(rows, cols, values.clone());
+            builder.add_undirected_edge_with(s, d, m);
+        }
+        seen += 1;
+    }
+    if seen != declared_edges {
+        return Err(parse_err(
+            lineno,
+            format!("edge file declared {declared_edges} edges but held {seen}"),
+        ));
+    }
+    Ok(())
+}
+
+fn parse_shared(spec: &str, lineno: usize) -> Result<JointMatrix, IoError> {
+    let mut it = spec.split_ascii_whitespace();
+    let rows: usize = it
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| parse_err(lineno, "bad shared-potential rows"))?;
+    let cols: usize = it
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| parse_err(lineno, "bad shared-potential cols"))?;
+    let values: Result<Vec<f32>, _> = it.map(str::parse).collect();
+    let values = values.map_err(|_| parse_err(lineno, "bad shared-potential values"))?;
+    if values.len() != rows * cols {
+        return Err(parse_err(
+            lineno,
+            format!("shared-potential needs {rows}x{cols}={} values", rows * cols),
+        ));
+    }
+    Ok(JointMatrix::from_rows(rows, cols, values))
+}
+
+/// Writes a graph as a (nodes, edges) file pair.
+pub fn write_files(graph: &BeliefGraph, nodes: &Path, edges: &Path) -> Result<(), IoError> {
+    let nf = std::fs::File::create(nodes)?;
+    let ef = std::fs::File::create(edges)?;
+    write(graph, BufWriter::new(nf), BufWriter::new(ef))
+}
+
+/// Writes a graph to any pair of writers.
+pub fn write<W1: Write, W2: Write>(
+    graph: &BeliefGraph,
+    mut nodes: W1,
+    mut edges: W2,
+) -> Result<(), IoError> {
+    let n = graph.num_nodes();
+    writeln!(nodes, "%%CredoMTX nodes")?;
+    writeln!(nodes, "{n} {n} {n}")?;
+    for (i, b) in graph.priors().iter().enumerate() {
+        write!(nodes, "{0} {0}", i + 1)?;
+        for &p in b.as_slice() {
+            write!(nodes, " {p}")?;
+        }
+        writeln!(nodes)?;
+    }
+    nodes.flush()?;
+
+    writeln!(edges, "%%CredoMTX edges")?;
+    let shared = graph.potentials().is_shared();
+    if shared {
+        // Arc 0's forward matrix is the shared potential.
+        let m = graph.potentials().get(0, false);
+        write!(edges, "% shared-potential {} {}", m.rows(), m.cols())?;
+        for &v in m.data() {
+            write!(edges, " {v}")?;
+        }
+        writeln!(edges)?;
+    }
+    // Emit one line per logical edge: forward (non-reverse) arcs only.
+    let forward: Vec<u32> = (0..graph.num_arcs() as u32)
+        .filter(|&a| !graph.arc(a).reverse)
+        .collect();
+    writeln!(edges, "{n} {n} {}", forward.len())?;
+    for &a in &forward {
+        let arc = graph.arc(a);
+        write!(edges, "{} {}", arc.src + 1, arc.dst + 1)?;
+        if !shared {
+            for &v in graph.potential(a).data() {
+                write!(edges, " {v}")?;
+            }
+        }
+        writeln!(edges)?;
+    }
+    edges.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use credo_graph::generators::{synthetic, GenOptions, PotentialKind};
+
+    fn roundtrip(g: &BeliefGraph) -> BeliefGraph {
+        let mut nbuf = Vec::new();
+        let mut ebuf = Vec::new();
+        write(g, &mut nbuf, &mut ebuf).unwrap();
+        read(&nbuf[..], &ebuf[..]).unwrap()
+    }
+
+    #[test]
+    fn shared_mode_roundtrips() {
+        let g = synthetic(40, 160, &GenOptions::new(3).with_seed(2));
+        let back = roundtrip(&g);
+        assert_eq!(back.num_nodes(), g.num_nodes());
+        assert_eq!(back.num_arcs(), g.num_arcs());
+        assert!(back.potentials().is_shared());
+        for (a, b) in g.priors().iter().zip(back.priors()) {
+            assert!(a.linf_diff(b) < 1e-6);
+        }
+        for (x, y) in g.arcs().iter().zip(back.arcs()) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn per_edge_mode_roundtrips() {
+        let g = synthetic(
+            20,
+            60,
+            &GenOptions::new(2).with_potentials(PotentialKind::PerEdgeRandom),
+        );
+        let back = roundtrip(&g);
+        assert!(!back.potentials().is_shared());
+        for a in 0..g.num_arcs() as u32 {
+            let (m1, m2) = (g.potential(a), back.potential(a));
+            for p in 0..m1.rows() {
+                for c in 0..m1.cols() {
+                    assert!((m1.get(p, c) - m2.get(p, c)).abs() < 1e-6);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn missing_banner_is_rejected() {
+        let err = read(&b"1 1 1\n1 1 0.5 0.5\n"[..], &b""[..]).unwrap_err();
+        assert!(err.to_string().contains("banner"));
+    }
+
+    #[test]
+    fn node_count_mismatch_is_rejected() {
+        let nodes = b"%%CredoMTX nodes\n3 3 3\n1 1 0.5 0.5\n2 2 0.5 0.5\n";
+        let edges = b"%%CredoMTX edges\n% shared-potential 2 2 1 0 0 1\n3 3 0\n";
+        let err = read(&nodes[..], &edges[..]).unwrap_err();
+        assert!(err.to_string().contains("held 2"), "{err}");
+    }
+
+    #[test]
+    fn non_self_cycle_node_line_is_rejected() {
+        let nodes = b"%%CredoMTX nodes\n2 2 2\n1 2 0.5 0.5\n2 2 0.5 0.5\n";
+        let err = read(&nodes[..], &b""[..]).unwrap_err();
+        assert!(err.to_string().contains("self-cycle"), "{err}");
+    }
+
+    #[test]
+    fn wrong_matrix_size_is_rejected() {
+        let nodes = b"%%CredoMTX nodes\n2 2 2\n1 1 0.5 0.5\n2 2 0.5 0.5\n";
+        let edges = b"%%CredoMTX edges\n2 2 1\n1 2 0.9 0.1\n";
+        let err = read(&nodes[..], &edges[..]).unwrap_err();
+        assert!(err.to_string().contains("2x2 matrix"), "{err}");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let nodes = b"%%CredoMTX nodes\n% a comment\n\n2 2 2\n1 1 0.3 0.7\n\n% more\n2 2 0.6 0.4\n";
+        let edges = b"%%CredoMTX edges\n% shared-potential 2 2 0.8 0.2 0.2 0.8\n2 2 1\n1 2\n";
+        let g = read(&nodes[..], &edges[..]).unwrap();
+        assert_eq!(g.num_nodes(), 2);
+        assert_eq!(g.num_edges(), 1);
+        assert!((g.priors()[0].get(1) - 0.7).abs() < 1e-6);
+    }
+
+    #[test]
+    fn out_of_range_edge_id_is_rejected() {
+        let nodes = b"%%CredoMTX nodes\n2 2 2\n1 1 0.5 0.5\n2 2 0.5 0.5\n";
+        let edges = b"%%CredoMTX edges\n% shared-potential 2 2 1 0 0 1\n2 2 1\n1 7\n";
+        let err = read(&nodes[..], &edges[..]).unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn file_roundtrip_on_disk() {
+        let dir = std::env::temp_dir().join("credo_mtx_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = synthetic(30, 90, &GenOptions::new(2).with_seed(4));
+        let np = dir.join("g.nodes.mtx");
+        let ep = dir.join("g.edges.mtx");
+        write_files(&g, &np, &ep).unwrap();
+        let back = read_files(&np, &ep).unwrap();
+        assert_eq!(back.num_arcs(), g.num_arcs());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn priors_are_normalized_on_load() {
+        let nodes = b"%%CredoMTX nodes\n1 1 1\n1 1 2.0 6.0\n";
+        let edges = b"%%CredoMTX edges\n% shared-potential 2 2 1 0 0 1\n1 1 0\n";
+        let g = read(&nodes[..], &edges[..]).unwrap();
+        assert_eq!(g.priors()[0].as_slice(), &[0.25, 0.75]);
+    }
+}

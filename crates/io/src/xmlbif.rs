@@ -1,0 +1,413 @@
+//! The XML-BIF format (§3.2's "XML-based sibling" of BIF), including the
+//! minimal XML parser it "requires". Like the reference implementations,
+//! the document is fully materialized before extraction — the overhead the
+//! Credo MTX format removes.
+
+use crate::bif::build_network;
+use crate::error::IoError;
+use credo_graph::BeliefGraph;
+use std::io::{Read, Write};
+
+const FORMAT: &str = "XML-BIF";
+
+// ----------------------------------------------------------- mini XML ---
+
+/// A parsed XML element: name, children, concatenated text.
+#[derive(Clone, Debug, Default)]
+struct Element {
+    name: String,
+    children: Vec<Element>,
+    text: String,
+}
+
+impl Element {
+    fn find(&self, name: &str) -> Option<&Element> {
+        self.children.iter().find(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    fn find_all<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> + 'a {
+        self.children
+            .iter()
+            .filter(move |c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    fn text_of(&self, name: &str) -> Option<&str> {
+        self.find(name).map(|e| e.text.trim())
+    }
+}
+
+/// Parses a minimal XML subset: elements, attributes (skipped), text,
+/// comments, processing instructions. No entities beyond `&lt; &gt; &amp;`.
+fn parse_xml(src: &str) -> Result<Element, IoError> {
+    let bytes = src.as_bytes();
+    let mut pos = 0usize;
+    let mut line = 1usize;
+    let mut stack: Vec<Element> = vec![Element {
+        name: "<root>".into(),
+        ..Default::default()
+    }];
+
+    let err = |line: usize, msg: &str| IoError::parse(FORMAT, line, msg.to_string());
+
+    while pos < bytes.len() {
+        if bytes[pos] == b'<' {
+            if src[pos..].starts_with("<!--") {
+                match src[pos..].find("-->") {
+                    Some(end) => {
+                        line += src[pos..pos + end].matches('\n').count();
+                        pos += end + 3;
+                    }
+                    None => return Err(err(line, "unterminated comment")),
+                }
+            } else if src[pos..].starts_with("<?") {
+                match src[pos..].find("?>") {
+                    Some(end) => pos += end + 2,
+                    None => return Err(err(line, "unterminated processing instruction")),
+                }
+            } else if src[pos..].starts_with("<!") {
+                // DOCTYPE etc.
+                match src[pos..].find('>') {
+                    Some(end) => pos += end + 1,
+                    None => return Err(err(line, "unterminated declaration")),
+                }
+            } else if src[pos..].starts_with("</") {
+                let end = src[pos..]
+                    .find('>')
+                    .ok_or_else(|| err(line, "unterminated close tag"))?;
+                let name = src[pos + 2..pos + end].trim();
+                pos += end + 1;
+                let done = stack.pop().ok_or_else(|| err(line, "extra close tag"))?;
+                if !done.name.eq_ignore_ascii_case(name) {
+                    return Err(IoError::parse(
+                        FORMAT,
+                        line,
+                        format!("mismatched close tag: <{}> vs </{}>", done.name, name),
+                    ));
+                }
+                stack
+                    .last_mut()
+                    .ok_or_else(|| err(line, "close tag at top level"))?
+                    .children
+                    .push(done);
+            } else {
+                let end = src[pos..]
+                    .find('>')
+                    .ok_or_else(|| err(line, "unterminated open tag"))?;
+                let inner = &src[pos + 1..pos + end];
+                let self_closing = inner.ends_with('/');
+                let inner = inner.trim_end_matches('/');
+                let name = inner
+                    .split_ascii_whitespace()
+                    .next()
+                    .ok_or_else(|| err(line, "empty tag"))?
+                    .to_string();
+                pos += end + 1;
+                let elem = Element {
+                    name,
+                    ..Default::default()
+                };
+                if self_closing {
+                    stack
+                        .last_mut()
+                        .ok_or_else(|| err(line, "tag at top level"))?
+                        .children
+                        .push(elem);
+                } else {
+                    stack.push(elem);
+                }
+            }
+        } else {
+            let next = src[pos..].find('<').map(|i| pos + i).unwrap_or(bytes.len());
+            let chunk = &src[pos..next];
+            line += chunk.matches('\n').count();
+            let top = stack.last_mut().ok_or_else(|| err(line, "text at top level"))?;
+            let decoded = chunk
+                .replace("&lt;", "<")
+                .replace("&gt;", ">")
+                .replace("&amp;", "&");
+            top.text.push_str(&decoded);
+            pos = next;
+        }
+    }
+    let mut root = stack.pop().ok_or_else(|| err(line, "empty document"))?;
+    if !stack.is_empty() {
+        return Err(IoError::parse(
+            FORMAT,
+            line,
+            format!("unclosed element <{}>", root.name),
+        ));
+    }
+    if root.children.len() == 1 {
+        root = root.children.pop().expect("length checked");
+    }
+    Ok(root)
+}
+
+// ------------------------------------------------------------- reading --
+
+/// Parses an XML-BIF document from a reader (fully materialized first).
+pub fn read<R: Read>(mut r: R) -> Result<BeliefGraph, IoError> {
+    let mut src = String::new();
+    r.read_to_string(&mut src)?;
+    read_str(&src)
+}
+
+/// Parses an XML-BIF document from a string.
+pub fn read_str(src: &str) -> Result<BeliefGraph, IoError> {
+    let root = parse_xml(src)?;
+    let network = if root.name.eq_ignore_ascii_case("BIF") {
+        root.find("NETWORK")
+            .ok_or_else(|| IoError::parse(FORMAT, 0, "missing <NETWORK>"))?
+    } else if root.name.eq_ignore_ascii_case("NETWORK") {
+        &root
+    } else {
+        return Err(IoError::parse(
+            FORMAT,
+            0,
+            format!("expected <BIF> or <NETWORK> root, got <{}>", root.name),
+        ));
+    };
+
+    let mut variables: Vec<(String, usize)> = Vec::new();
+    for var in network.find_all("VARIABLE") {
+        let name = var
+            .text_of("NAME")
+            .ok_or_else(|| IoError::parse(FORMAT, 0, "variable without <NAME>"))?
+            .to_string();
+        let outcomes = var.find_all("OUTCOME").count();
+        if outcomes == 0 {
+            return Err(IoError::parse(
+                FORMAT,
+                0,
+                format!("variable '{name}' has no outcomes"),
+            ));
+        }
+        variables.push((name, outcomes));
+    }
+
+    let mut cpts: Vec<(String, Vec<String>, Vec<f32>)> = Vec::new();
+    for def in network.find_all("DEFINITION") {
+        let child = def
+            .text_of("FOR")
+            .ok_or_else(|| IoError::parse(FORMAT, 0, "definition without <FOR>"))?
+            .to_string();
+        let parents: Vec<String> = def
+            .find_all("GIVEN")
+            .map(|g| g.text.trim().to_string())
+            .collect();
+        let table_text = def
+            .text_of("TABLE")
+            .ok_or_else(|| IoError::parse(FORMAT, 0, "definition without <TABLE>"))?;
+        let table: Result<Vec<f32>, _> = table_text
+            .split_ascii_whitespace()
+            .map(str::parse)
+            .collect();
+        let table = table.map_err(|_| {
+            IoError::parse(FORMAT, 0, format!("bad table value for '{child}'"))
+        })?;
+        cpts.push((child, parents, table));
+    }
+
+    build_network(variables, cpts, FORMAT)
+}
+
+// ------------------------------------------------------------- writing --
+
+/// Serializes a graph as XML-BIF (same CPT composition as the BIF writer).
+pub fn write<W: Write>(graph: &BeliefGraph, mut w: W) -> Result<(), IoError> {
+    // Reuse the BIF writer's CPT math by generating through a small local
+    // duplicate would be worse; instead compose here directly.
+    let name_of = |v: u32| -> String {
+        graph
+            .name(v)
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("n{v}"))
+    };
+    writeln!(w, "<?xml version=\"1.0\"?>")?;
+    writeln!(w, "<BIF VERSION=\"0.3\">")?;
+    writeln!(w, "<NETWORK>")?;
+    writeln!(w, "<NAME>credo</NAME>")?;
+    for v in 0..graph.num_nodes() as u32 {
+        writeln!(w, "<VARIABLE TYPE=\"nature\">")?;
+        writeln!(w, "  <NAME>{}</NAME>", name_of(v))?;
+        for s in 0..graph.cardinality(v) {
+            writeln!(w, "  <OUTCOME>s{s}</OUTCOME>")?;
+        }
+        writeln!(w, "</VARIABLE>")?;
+    }
+    for v in 0..graph.num_nodes() as u32 {
+        let card = graph.cardinality(v);
+        let in_arcs = graph.in_arcs(v);
+        writeln!(w, "<DEFINITION>")?;
+        writeln!(w, "  <FOR>{}</FOR>", name_of(v))?;
+        let parents: Vec<u32> = in_arcs.iter().map(|&a| graph.arc(a).src).collect();
+        for &p in &parents {
+            writeln!(w, "  <GIVEN>{}</GIVEN>", name_of(p))?;
+        }
+        write!(w, "  <TABLE>")?;
+        if parents.is_empty() {
+            for (i, &p) in graph.priors()[v as usize].as_slice().iter().enumerate() {
+                if i > 0 {
+                    write!(w, " ")?;
+                }
+                write!(w, "{p}")?;
+            }
+        } else {
+            let parent_cards: Vec<usize> =
+                parents.iter().map(|&p| graph.cardinality(p)).collect();
+            let combos: usize = parent_cards.iter().product();
+            let mut first = true;
+            for combo in 0..combos {
+                let mut states = vec![0usize; parents.len()];
+                let mut rest = combo;
+                for (j, &cj) in parent_cards.iter().enumerate().rev() {
+                    states[j] = rest % cj;
+                    rest /= cj;
+                }
+                let mut row = vec![1.0f64; card];
+                for (i, &a) in in_arcs.iter().enumerate() {
+                    let m = graph.potential(a);
+                    for (c, slot) in row.iter_mut().enumerate() {
+                        *slot *= m.get(states[i], c) as f64;
+                    }
+                }
+                let z: f64 = row.iter().sum();
+                for &val in &row {
+                    if !first {
+                        write!(w, " ")?;
+                    }
+                    first = false;
+                    write!(w, "{}", if z > 0.0 { val / z } else { 1.0 / card as f64 })?;
+                }
+            }
+        }
+        writeln!(w, "</TABLE>")?;
+        writeln!(w, "</DEFINITION>")?;
+    }
+    writeln!(w, "</NETWORK>")?;
+    writeln!(w, "</BIF>")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use credo_graph::generators::{family_out, random_tree, GenOptions, PotentialKind};
+
+    const SAMPLE: &str = r#"<?xml version="1.0"?>
+<!-- a tiny network -->
+<BIF VERSION="0.3">
+<NETWORK>
+<NAME>mini</NAME>
+<VARIABLE TYPE="nature">
+  <NAME>rain</NAME>
+  <OUTCOME>no</OUTCOME>
+  <OUTCOME>yes</OUTCOME>
+</VARIABLE>
+<VARIABLE TYPE="nature">
+  <NAME>wet</NAME>
+  <OUTCOME>no</OUTCOME>
+  <OUTCOME>yes</OUTCOME>
+</VARIABLE>
+<DEFINITION>
+  <FOR>rain</FOR>
+  <TABLE>0.8 0.2</TABLE>
+</DEFINITION>
+<DEFINITION>
+  <FOR>wet</FOR>
+  <GIVEN>rain</GIVEN>
+  <TABLE>0.9 0.1 0.05 0.95</TABLE>
+</DEFINITION>
+</NETWORK>
+</BIF>
+"#;
+
+    #[test]
+    fn parses_sample_network() {
+        let g = read_str(SAMPLE).unwrap();
+        assert_eq!(g.num_nodes(), 2);
+        assert_eq!(g.num_edges(), 1);
+        let rain = g.node_by_name("rain").unwrap();
+        assert!((g.priors()[rain as usize].get(1) - 0.2).abs() < 1e-6);
+        let wet = g.node_by_name("wet").unwrap();
+        let pot = g.potential(g.in_arcs(wet)[0]);
+        assert!((pot.get(1, 1) - 0.95).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mismatched_tags_are_rejected() {
+        let err = read_str("<BIF><NETWORK></BIF></NETWORK>").unwrap_err();
+        assert!(err.to_string().contains("mismatched"), "{err}");
+    }
+
+    #[test]
+    fn missing_table_is_rejected() {
+        let src = r#"<BIF><NETWORK>
+<VARIABLE><NAME>x</NAME><OUTCOME>a</OUTCOME><OUTCOME>b</OUTCOME></VARIABLE>
+<DEFINITION><FOR>x</FOR></DEFINITION>
+</NETWORK></BIF>"#;
+        let err = read_str(src).unwrap_err();
+        assert!(err.to_string().contains("TABLE"), "{err}");
+    }
+
+    #[test]
+    fn wrong_table_size_is_rejected() {
+        let src = r#"<BIF><NETWORK>
+<VARIABLE><NAME>x</NAME><OUTCOME>a</OUTCOME><OUTCOME>b</OUTCOME></VARIABLE>
+<DEFINITION><FOR>x</FOR><TABLE>0.5</TABLE></DEFINITION>
+</NETWORK></BIF>"#;
+        let err = read_str(src).unwrap_err();
+        assert!(err.to_string().contains("entries"), "{err}");
+    }
+
+    #[test]
+    fn family_out_roundtrips_structurally() {
+        let g = family_out();
+        let mut buf = Vec::new();
+        write(&g, &mut buf).unwrap();
+        let back = read(&buf[..]).unwrap();
+        assert_eq!(back.num_nodes(), 5);
+        assert_eq!(back.num_edges(), 4);
+        assert_eq!(
+            back.in_arcs(back.node_by_name("dog-out").unwrap()).len(),
+            2
+        );
+    }
+
+    #[test]
+    fn single_parent_tree_roundtrips_exactly() {
+        let g = random_tree(
+            10,
+            &GenOptions::new(2).with_potentials(PotentialKind::PerEdgeRandom),
+        );
+        let mut buf = Vec::new();
+        write(&g, &mut buf).unwrap();
+        let back = read(&buf[..]).unwrap();
+        assert_eq!(back.num_arcs(), g.num_arcs());
+        for a in 0..g.num_arcs() as u32 {
+            let (m1, m2) = (g.potential(a), back.potential(a));
+            for p in 0..m1.rows() {
+                for c in 0..m1.cols() {
+                    assert!((m1.get(p, c) - m2.get(p, c)).abs() < 1e-5);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bif_and_xmlbif_agree_on_family_out() {
+        let g = family_out();
+        let mut bif_buf = Vec::new();
+        crate::bif::write(&g, &mut bif_buf).unwrap();
+        let from_bif = crate::bif::read(&bif_buf[..]).unwrap();
+        let mut xml_buf = Vec::new();
+        write(&g, &mut xml_buf).unwrap();
+        let from_xml = read(&xml_buf[..]).unwrap();
+        for v in 0..5u32 {
+            assert!(
+                from_bif.priors()[v as usize].linf_diff(&from_xml.priors()[v as usize]) < 1e-6
+            );
+        }
+        assert_eq!(from_bif.num_arcs(), from_xml.num_arcs());
+    }
+}

@@ -1,0 +1,141 @@
+//! Datasets, splits and cross-validation folds.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A labelled dataset: feature rows plus class labels.
+#[derive(Clone, Debug, Default)]
+pub struct Dataset {
+    /// Feature rows.
+    pub x: Vec<Vec<f64>>,
+    /// Class labels (0-based).
+    pub y: Vec<usize>,
+}
+
+impl Dataset {
+    /// Builds a dataset; panics if lengths differ.
+    pub fn new(x: Vec<Vec<f64>>, y: Vec<usize>) -> Self {
+        assert_eq!(x.len(), y.len(), "feature/label length mismatch");
+        Dataset { x, y }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Number of classes (`max(y) + 1`).
+    pub fn n_classes(&self) -> usize {
+        self.y.iter().copied().max().map_or(0, |m| m + 1)
+    }
+
+    /// A dataset containing the given indices.
+    pub fn subset(&self, idx: &[usize]) -> Dataset {
+        Dataset {
+            x: idx.iter().map(|&i| self.x[i].clone()).collect(),
+            y: idx.iter().map(|&i| self.y[i]).collect(),
+        }
+    }
+
+    /// Deterministically shuffled copy.
+    pub fn shuffled(&self, seed: u64) -> Dataset {
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        idx.shuffle(&mut rng);
+        self.subset(&idx)
+    }
+}
+
+/// Splits into (train, test) with `test_fraction` of samples in the test
+/// set, after a seeded shuffle — the paper's "train-test split of 60-40"
+/// uses `test_fraction = 0.4`.
+pub fn train_test_split(data: &Dataset, test_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+    assert!((0.0..1.0).contains(&test_fraction), "fraction must be in [0,1)");
+    let shuffled = data.shuffled(seed);
+    let test_len = (shuffled.len() as f64 * test_fraction).round() as usize;
+    let split = shuffled.len() - test_len;
+    let train_idx: Vec<usize> = (0..split).collect();
+    let test_idx: Vec<usize> = (split..shuffled.len()).collect();
+    (shuffled.subset(&train_idx), shuffled.subset(&test_idx))
+}
+
+/// Index sets for k-fold cross-validation: returns `k` (train, test) index
+/// pairs over a seeded shuffle.
+pub fn k_fold_indices(n: usize, k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usize>)> {
+    assert!(k >= 2 && k <= n, "need 2 <= k <= n");
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    let mut folds = Vec::with_capacity(k);
+    for f in 0..k {
+        let start = f * n / k;
+        let end = (f + 1) * n / k;
+        let test: Vec<usize> = idx[start..end].to_vec();
+        let train: Vec<usize> = idx[..start].iter().chain(&idx[end..]).copied().collect();
+        folds.push((train, test));
+    }
+    folds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: usize) -> Dataset {
+        Dataset::new(
+            (0..n).map(|i| vec![i as f64, (i * 2) as f64]).collect(),
+            (0..n).map(|i| i % 3).collect(),
+        )
+    }
+
+    #[test]
+    fn split_sizes() {
+        let (train, test) = train_test_split(&sample(100), 0.4, 7);
+        assert_eq!(train.len(), 60);
+        assert_eq!(test.len(), 40);
+    }
+
+    #[test]
+    fn split_is_deterministic_and_seed_sensitive() {
+        let d = sample(50);
+        let (a1, _) = train_test_split(&d, 0.3, 1);
+        let (a2, _) = train_test_split(&d, 0.3, 1);
+        let (b, _) = train_test_split(&d, 0.3, 2);
+        assert_eq!(a1.x, a2.x);
+        assert_ne!(a1.x, b.x);
+    }
+
+    #[test]
+    fn split_partitions_samples() {
+        let d = sample(30);
+        let (train, test) = train_test_split(&d, 0.5, 3);
+        let mut all: Vec<f64> = train.x.iter().chain(&test.x).map(|r| r[0]).collect();
+        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let expect: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn k_fold_covers_everything_once() {
+        let folds = k_fold_indices(25, 3, 9);
+        assert_eq!(folds.len(), 3);
+        let mut seen: Vec<usize> = folds.iter().flat_map(|(_, t)| t.clone()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..25).collect::<Vec<_>>());
+        for (train, test) in &folds {
+            assert_eq!(train.len() + test.len(), 25);
+            assert!(train.iter().all(|i| !test.contains(i)));
+        }
+    }
+
+    #[test]
+    fn n_classes() {
+        assert_eq!(sample(10).n_classes(), 3);
+        assert_eq!(Dataset::default().n_classes(), 0);
+    }
+}

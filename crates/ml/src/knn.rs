@@ -1,0 +1,97 @@
+//! k-nearest-neighbours — a §4.3 comparison classifier ("only excels when
+//! the features can yield entirely separable clusters").
+
+use crate::Classifier;
+
+/// Brute-force Euclidean k-NN with majority voting (lowest class wins
+/// ties, matching scikit-learn's `uniform` weights behaviour closely
+/// enough for comparison purposes).
+#[derive(Clone, Debug)]
+pub struct KNearestNeighbors {
+    k: usize,
+    x: Vec<Vec<f64>>,
+    y: Vec<usize>,
+    n_classes: usize,
+}
+
+impl KNearestNeighbors {
+    /// A classifier voting over the `k` nearest training points.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "k must be positive");
+        KNearestNeighbors {
+            k,
+            x: Vec::new(),
+            y: Vec::new(),
+            n_classes: 0,
+        }
+    }
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+impl Classifier for KNearestNeighbors {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize]) {
+        assert!(!x.is_empty(), "cannot fit on no data");
+        self.x = x.to_vec();
+        self.y = y.to_vec();
+        self.n_classes = y.iter().copied().max().unwrap_or(0) + 1;
+    }
+
+    fn predict(&self, row: &[f64]) -> usize {
+        assert!(!self.x.is_empty(), "fit before predict");
+        let mut dists: Vec<(f64, usize)> = self
+            .x
+            .iter()
+            .zip(&self.y)
+            .map(|(p, &c)| (sq_dist(p, row), c))
+            .collect();
+        let k = self.k.min(dists.len());
+        dists.select_nth_unstable_by(k - 1, |a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        let mut votes = vec![0usize; self.n_classes];
+        for &(_, c) in &dists[..k] {
+            votes[c] += 1;
+        }
+        votes
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &v)| v)
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_nn_memorizes() {
+        let x = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let y = vec![0, 1, 2];
+        let mut knn = KNearestNeighbors::new(1);
+        knn.fit(&x, &y);
+        assert_eq!(knn.predict_batch(&x), y);
+        assert_eq!(knn.predict(&[1.9]), 2);
+    }
+
+    #[test]
+    fn k3_outvotes_an_outlier() {
+        // One mislabelled point at 0.5 is outvoted by its two neighbours.
+        let x = vec![vec![0.0], vec![0.4], vec![0.5], vec![5.0], vec![5.2]];
+        let y = vec![0, 0, 1, 1, 1];
+        let mut knn = KNearestNeighbors::new(3);
+        knn.fit(&x, &y);
+        assert_eq!(knn.predict(&[0.45]), 0);
+    }
+
+    #[test]
+    fn k_larger_than_dataset_is_clamped() {
+        let x = vec![vec![0.0], vec![1.0]];
+        let y = vec![0, 0];
+        let mut knn = KNearestNeighbors::new(10);
+        knn.fit(&x, &y);
+        assert_eq!(knn.predict(&[0.5]), 0);
+    }
+}

@@ -1,0 +1,52 @@
+//! # credo-ml
+//!
+//! From-scratch implementations of the scikit-learn classifiers the paper
+//! uses (§3.7, §4.3): decision trees and random forests (the winners),
+//! plus the comparison field of Figure 10 — Gaussian naive Bayes, k-NN,
+//! linear SVM, a multi-layer perceptron and gradient boosting — along with
+//! PCA, feature scaling, train/test splitting, k-fold cross-validation and
+//! F1 scoring.
+//!
+//! Everything is deterministic given a seed; datasets here are tiny (~100
+//! benchmark graphs × 5 features), so clarity beats asymptotics.
+
+#![warn(missing_docs)]
+
+mod dataset;
+mod forest;
+mod gboost;
+mod knn;
+mod metrics;
+mod mlp;
+mod naive_bayes;
+mod pca;
+mod scaler;
+mod svm;
+mod tree;
+
+pub use dataset::{k_fold_indices, train_test_split, Dataset};
+pub use forest::RandomForest;
+pub use gboost::GradientBoosting;
+pub use knn::KNearestNeighbors;
+pub use metrics::{accuracy, confusion_matrix, f1_macro, precision_recall_f1};
+pub use mlp::MlpClassifier;
+pub use naive_bayes::GaussianNaiveBayes;
+pub use pca::{correlation_matrix, Pca};
+pub use scaler::StandardScaler;
+pub use svm::LinearSvm;
+pub use tree::{DecisionTree, TreeNode};
+
+/// A trained classifier: fit on rows of `f64` features with `usize` class
+/// labels, predict one row at a time.
+pub trait Classifier {
+    /// Fits the model. `n_classes` is `max(y) + 1`.
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize]);
+
+    /// Predicts the class of one feature row.
+    fn predict(&self, row: &[f64]) -> usize;
+
+    /// Predicts a batch.
+    fn predict_batch(&self, x: &[Vec<f64>]) -> Vec<usize> {
+        x.iter().map(|r| self.predict(r)).collect()
+    }
+}

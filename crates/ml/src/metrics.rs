@@ -1,0 +1,128 @@
+//! Classification metrics: the paper reports macro F1 ("F1-score")
+//! throughout §4.3/§4.4.
+
+/// Confusion matrix: `m[actual][predicted]`.
+pub fn confusion_matrix(actual: &[usize], predicted: &[usize], n_classes: usize) -> Vec<Vec<u64>> {
+    assert_eq!(actual.len(), predicted.len(), "length mismatch");
+    let mut m = vec![vec![0u64; n_classes]; n_classes];
+    for (&a, &p) in actual.iter().zip(predicted) {
+        m[a][p] += 1;
+    }
+    m
+}
+
+/// Plain accuracy.
+pub fn accuracy(actual: &[usize], predicted: &[usize]) -> f64 {
+    assert_eq!(actual.len(), predicted.len(), "length mismatch");
+    if actual.is_empty() {
+        return 0.0;
+    }
+    let hits = actual
+        .iter()
+        .zip(predicted)
+        .filter(|(a, p)| a == p)
+        .count();
+    hits as f64 / actual.len() as f64
+}
+
+/// Per-class (precision, recall, F1).
+pub fn precision_recall_f1(
+    actual: &[usize],
+    predicted: &[usize],
+    n_classes: usize,
+) -> Vec<(f64, f64, f64)> {
+    let m = confusion_matrix(actual, predicted, n_classes);
+    (0..n_classes)
+        .map(|c| {
+            let tp = m[c][c] as f64;
+            let fp: f64 = (0..n_classes).filter(|&a| a != c).map(|a| m[a][c] as f64).sum();
+            let fn_: f64 = (0..n_classes).filter(|&p| p != c).map(|p| m[c][p] as f64).sum();
+            let precision = if tp + fp > 0.0 { tp / (tp + fp) } else { 0.0 };
+            let recall = if tp + fn_ > 0.0 { tp / (tp + fn_) } else { 0.0 };
+            let f1 = if precision + recall > 0.0 {
+                2.0 * precision * recall / (precision + recall)
+            } else {
+                0.0
+            };
+            (precision, recall, f1)
+        })
+        .collect()
+}
+
+/// Macro-averaged F1 over the classes present in `actual`.
+pub fn f1_macro(actual: &[usize], predicted: &[usize]) -> f64 {
+    let n_classes = actual
+        .iter()
+        .chain(predicted)
+        .copied()
+        .max()
+        .map_or(0, |m| m + 1);
+    if n_classes == 0 {
+        return 0.0;
+    }
+    let prf = precision_recall_f1(actual, predicted, n_classes);
+    let present: Vec<usize> = (0..n_classes)
+        .filter(|&c| actual.iter().any(|&a| a == c))
+        .collect();
+    if present.is_empty() {
+        return 0.0;
+    }
+    present.iter().map(|&c| prf[c].2).sum::<f64>() / present.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction() {
+        let y = vec![0, 1, 2, 1, 0];
+        assert_eq!(accuracy(&y, &y), 1.0);
+        assert_eq!(f1_macro(&y, &y), 1.0);
+    }
+
+    #[test]
+    fn confusion_matrix_counts() {
+        let actual = vec![0, 0, 1, 1];
+        let pred = vec![0, 1, 1, 1];
+        let m = confusion_matrix(&actual, &pred, 2);
+        assert_eq!(m, vec![vec![1, 1], vec![0, 2]]);
+    }
+
+    #[test]
+    fn binary_f1_by_hand() {
+        // class 1: tp=2, fp=1, fn=0 -> p=2/3, r=1, f1=0.8
+        let actual = vec![0, 0, 1, 1];
+        let pred = vec![0, 1, 1, 1];
+        let prf = precision_recall_f1(&actual, &pred, 2);
+        assert!((prf[1].0 - 2.0 / 3.0).abs() < 1e-12);
+        assert!((prf[1].1 - 1.0).abs() < 1e-12);
+        assert!((prf[1].2 - 0.8).abs() < 1e-12);
+        // class 0: tp=1, fp=0, fn=1 -> p=1, r=0.5, f1=2/3
+        assert!((prf[0].2 - 2.0 / 3.0).abs() < 1e-12);
+        assert!((f1_macro(&actual, &pred) - (0.8 + 2.0 / 3.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_predictions() {
+        let actual = vec![0, 1, 0, 1];
+        let pred = vec![0, 0, 0, 0];
+        assert!((accuracy(&actual, &pred) - 0.5).abs() < 1e-12);
+        let f1 = f1_macro(&actual, &pred);
+        assert!(f1 > 0.0 && f1 < 0.5, "got {f1}");
+    }
+
+    #[test]
+    fn absent_classes_do_not_dilute_macro_f1() {
+        // Labels only use classes 0 and 2; class 1 never appears.
+        let actual = vec![0, 2, 0, 2];
+        let pred = vec![0, 2, 0, 2];
+        assert_eq!(f1_macro(&actual, &pred), 1.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(accuracy(&[], &[]), 0.0);
+        assert_eq!(f1_macro(&[], &[]), 0.0);
+    }
+}

@@ -1,0 +1,182 @@
+//! A small multi-layer perceptron — the paper's §4.3 "Multi-Layer
+//! Perception" comparison classifier (one hidden ReLU layer, softmax
+//! output, SGD on cross-entropy).
+
+use crate::Classifier;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One-hidden-layer MLP classifier.
+#[derive(Clone, Debug)]
+pub struct MlpClassifier {
+    hidden: usize,
+    epochs: usize,
+    lr: f64,
+    seed: u64,
+    w1: Vec<Vec<f64>>, // hidden × input
+    b1: Vec<f64>,
+    w2: Vec<Vec<f64>>, // classes × hidden
+    b2: Vec<f64>,
+}
+
+impl MlpClassifier {
+    /// An MLP with `hidden` ReLU units.
+    pub fn new(hidden: usize, seed: u64) -> Self {
+        assert!(hidden >= 1, "need at least one hidden unit");
+        MlpClassifier {
+            hidden,
+            epochs: 300,
+            lr: 0.05,
+            seed,
+            w1: Vec::new(),
+            b1: Vec::new(),
+            w2: Vec::new(),
+            b2: Vec::new(),
+        }
+    }
+
+    fn forward(&self, row: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        let h: Vec<f64> = self
+            .w1
+            .iter()
+            .zip(&self.b1)
+            .map(|(w, b)| (w.iter().zip(row).map(|(a, x)| a * x).sum::<f64>() + b).max(0.0))
+            .collect();
+        let mut logits: Vec<f64> = self
+            .w2
+            .iter()
+            .zip(&self.b2)
+            .map(|(w, b)| w.iter().zip(&h).map(|(a, x)| a * x).sum::<f64>() + b)
+            .collect();
+        let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut z = 0.0;
+        for l in &mut logits {
+            *l = (*l - max).exp();
+            z += *l;
+        }
+        for l in &mut logits {
+            *l /= z;
+        }
+        (h, logits)
+    }
+}
+
+impl Classifier for MlpClassifier {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize]) {
+        assert!(!x.is_empty(), "cannot fit on no data");
+        let d = x[0].len();
+        let classes = y.iter().copied().max().unwrap_or(0) + 1;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let scale1 = (2.0 / d as f64).sqrt();
+        let scale2 = (2.0 / self.hidden as f64).sqrt();
+        self.w1 = (0..self.hidden)
+            .map(|_| (0..d).map(|_| rng.gen_range(-scale1..scale1)).collect())
+            .collect();
+        self.b1 = vec![0.0; self.hidden];
+        self.w2 = (0..classes)
+            .map(|_| {
+                (0..self.hidden)
+                    .map(|_| rng.gen_range(-scale2..scale2))
+                    .collect()
+            })
+            .collect();
+        self.b2 = vec![0.0; classes];
+
+        for _ in 0..self.epochs {
+            for _ in 0..x.len() {
+                let i = rng.gen_range(0..x.len());
+                let (h, probs) = self.forward(&x[i]);
+                // Output gradient: softmax − one-hot.
+                let dout: Vec<f64> = probs
+                    .iter()
+                    .enumerate()
+                    .map(|(c, &p)| p - f64::from(c == y[i]))
+                    .collect();
+                // Hidden gradient through ReLU.
+                let mut dh = vec![0.0; self.hidden];
+                for (c, g) in dout.iter().enumerate() {
+                    for (j, dhj) in dh.iter_mut().enumerate() {
+                        *dhj += g * self.w2[c][j];
+                    }
+                }
+                for (j, dhj) in dh.iter_mut().enumerate() {
+                    if h[j] <= 0.0 {
+                        *dhj = 0.0;
+                    }
+                }
+                // Updates.
+                for (c, g) in dout.iter().enumerate() {
+                    for (j, hj) in h.iter().enumerate() {
+                        self.w2[c][j] -= self.lr * g * hj;
+                    }
+                    self.b2[c] -= self.lr * g;
+                }
+                for (j, g) in dh.iter().enumerate() {
+                    for (k, xk) in x[i].iter().enumerate() {
+                        self.w1[j][k] -= self.lr * g * xk;
+                    }
+                    self.b1[j] -= self.lr * g;
+                }
+            }
+        }
+    }
+
+    fn predict(&self, row: &[f64]) -> usize {
+        assert!(!self.w1.is_empty(), "fit before predict");
+        let (_, probs) = self.forward(row);
+        probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accuracy;
+
+    #[test]
+    fn learns_xor() {
+        let x = vec![
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ];
+        let y = vec![0, 1, 1, 0];
+        let mut mlp = MlpClassifier::new(8, 7);
+        mlp.fit(&x, &y);
+        assert_eq!(mlp.predict_batch(&x), y, "XOR needs the hidden layer");
+    }
+
+    #[test]
+    fn learns_linear_blobs() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..30 {
+            let j = (i % 10) as f64 * 0.02;
+            x.push(vec![-1.0 - j]);
+            y.push(0);
+            x.push(vec![1.0 + j]);
+            y.push(1);
+        }
+        let mut mlp = MlpClassifier::new(4, 2);
+        mlp.fit(&x, &y);
+        assert!(accuracy(&y, &mlp.predict_batch(&x)) > 0.95);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let x = vec![vec![0.0], vec![1.0]];
+        let y = vec![0, 1];
+        let mut a = MlpClassifier::new(3, 11);
+        let mut b = MlpClassifier::new(3, 11);
+        a.fit(&x, &y);
+        b.fit(&x, &y);
+        assert_eq!(a.predict(&[0.3]), b.predict(&[0.3]));
+        assert_eq!(a.w1, b.w1);
+    }
+}

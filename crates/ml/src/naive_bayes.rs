@@ -1,0 +1,114 @@
+//! Gaussian naive Bayes — one of the §4.3 comparison classifiers (the
+//! paper notes its independence assumption is violated by the correlated
+//! features, Figure 4).
+
+use crate::Classifier;
+
+/// Gaussian NB with per-class feature means/variances and log-space
+/// scoring.
+#[derive(Clone, Debug, Default)]
+pub struct GaussianNaiveBayes {
+    priors: Vec<f64>,
+    means: Vec<Vec<f64>>,
+    vars: Vec<Vec<f64>>,
+}
+
+impl Classifier for GaussianNaiveBayes {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize]) {
+        assert!(!x.is_empty(), "cannot fit on no data");
+        let d = x[0].len();
+        let n_classes = y.iter().copied().max().unwrap_or(0) + 1;
+        let mut counts = vec![0usize; n_classes];
+        let mut means = vec![vec![0.0; d]; n_classes];
+        for (row, &c) in x.iter().zip(y) {
+            counts[c] += 1;
+            for (m, v) in means[c].iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for (c, m) in means.iter_mut().enumerate() {
+            for v in m.iter_mut() {
+                *v /= counts[c].max(1) as f64;
+            }
+        }
+        let mut vars = vec![vec![0.0; d]; n_classes];
+        for (row, &c) in x.iter().zip(y) {
+            for ((s, v), m) in vars[c].iter_mut().zip(row).zip(&means[c]) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        for (c, var) in vars.iter_mut().enumerate() {
+            for v in var.iter_mut() {
+                *v = *v / counts[c].max(1) as f64 + 1e-9; // variance smoothing
+            }
+        }
+        self.priors = counts
+            .iter()
+            .map(|&c| (c.max(1) as f64 / x.len() as f64).ln())
+            .collect();
+        self.means = means;
+        self.vars = vars;
+    }
+
+    fn predict(&self, row: &[f64]) -> usize {
+        assert!(!self.means.is_empty(), "fit before predict");
+        let mut best = (0usize, f64::NEG_INFINITY);
+        for c in 0..self.means.len() {
+            let mut log_p = self.priors[c];
+            for ((v, m), var) in row.iter().zip(&self.means[c]).zip(&self.vars[c]) {
+                log_p += -0.5 * ((2.0 * std::f64::consts::PI * var).ln() + (v - m) * (v - m) / var);
+            }
+            if log_p > best.1 {
+                best = (c, log_p);
+            }
+        }
+        best.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separable_gaussians() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..50 {
+            let jitter = (i % 10) as f64 * 0.02;
+            x.push(vec![-2.0 + jitter, 0.0]);
+            y.push(0);
+            x.push(vec![2.0 - jitter, 0.0]);
+            y.push(1);
+        }
+        let mut nb = GaussianNaiveBayes::default();
+        nb.fit(&x, &y);
+        assert_eq!(nb.predict(&[-1.5, 0.0]), 0);
+        assert_eq!(nb.predict(&[1.5, 0.0]), 1);
+        assert_eq!(crate::accuracy(&y, &nb.predict_batch(&x)), 1.0);
+    }
+
+    #[test]
+    fn uses_class_priors_for_ties() {
+        // Identical feature distributions; class 1 is 4x more common.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..50 {
+            x.push(vec![(i % 5) as f64]);
+            y.push(usize::from(i % 5 != 0));
+        }
+        let mut nb = GaussianNaiveBayes::default();
+        nb.fit(&x, &y);
+        assert_eq!(nb.predict(&[2.0]), 1);
+    }
+
+    #[test]
+    fn constant_feature_does_not_nan() {
+        let x = vec![vec![1.0, 5.0], vec![1.0, 6.0], vec![1.0, 5.5], vec![1.0, 6.5]];
+        let y = vec![0, 1, 0, 1];
+        let mut nb = GaussianNaiveBayes::default();
+        nb.fit(&x, &y);
+        let p = nb.predict(&[1.0, 5.2]);
+        assert!(p == 0 || p == 1);
+    }
+}

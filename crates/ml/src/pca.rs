@@ -1,0 +1,191 @@
+//! Principal component analysis via power iteration with deflation — used
+//! by the §3.7 experiment showing PCA preprocessing *hurts* these features
+//! ("running primary component analysis (PCA) preprocessing on these
+//! features results in worse F1-score metrics").
+
+/// Fitted PCA transform.
+#[derive(Clone, Debug)]
+pub struct Pca {
+    means: Vec<f64>,
+    /// Row-major components, one per retained dimension.
+    components: Vec<Vec<f64>>,
+    explained: Vec<f64>,
+}
+
+impl Pca {
+    /// Fits `n_components` principal axes of `x`.
+    ///
+    /// # Panics
+    /// Panics when `x` is empty or `n_components` exceeds the feature
+    /// count.
+    pub fn fit(x: &[Vec<f64>], n_components: usize) -> Self {
+        assert!(!x.is_empty(), "cannot fit PCA on no data");
+        let d = x[0].len();
+        assert!(n_components >= 1 && n_components <= d, "bad component count");
+        let n = x.len() as f64;
+        let mut means = vec![0.0; d];
+        for row in x {
+            for (m, v) in means.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        // Covariance matrix.
+        let mut cov = vec![vec![0.0; d]; d];
+        for row in x {
+            let c: Vec<f64> = row.iter().zip(&means).map(|(v, m)| v - m).collect();
+            for i in 0..d {
+                for j in 0..d {
+                    cov[i][j] += c[i] * c[j] / n;
+                }
+            }
+        }
+        // Power iteration with deflation.
+        let mut components = Vec::with_capacity(n_components);
+        let mut explained = Vec::with_capacity(n_components);
+        let mut work = cov;
+        for k in 0..n_components {
+            let mut v: Vec<f64> = (0..d)
+                .map(|i| if (i + k) % 2 == 0 { 1.0 } else { 0.5 })
+                .collect();
+            let mut eigval = 0.0;
+            for _ in 0..500 {
+                let mut next = vec![0.0; d];
+                for i in 0..d {
+                    for j in 0..d {
+                        next[i] += work[i][j] * v[j];
+                    }
+                }
+                let norm = next.iter().map(|x| x * x).sum::<f64>().sqrt();
+                if norm < 1e-15 {
+                    break;
+                }
+                for nv in &mut next {
+                    *nv /= norm;
+                }
+                eigval = norm;
+                let delta: f64 = next.iter().zip(&v).map(|(a, b)| (a - b).abs()).sum();
+                v = next;
+                if delta < 1e-12 {
+                    break;
+                }
+            }
+            // Deflate: work -= λ v vᵀ.
+            for i in 0..d {
+                for j in 0..d {
+                    work[i][j] -= eigval * v[i] * v[j];
+                }
+            }
+            components.push(v);
+            explained.push(eigval);
+        }
+        Pca {
+            means,
+            components,
+            explained,
+        }
+    }
+
+    /// Eigenvalues of the retained components.
+    pub fn explained_variance(&self) -> &[f64] {
+        &self.explained
+    }
+
+    /// Projects one row onto the components.
+    pub fn transform_row(&self, row: &[f64]) -> Vec<f64> {
+        let centred: Vec<f64> = row.iter().zip(&self.means).map(|(v, m)| v - m).collect();
+        self.components
+            .iter()
+            .map(|c| c.iter().zip(&centred).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// Projects a batch.
+    pub fn transform(&self, x: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        x.iter().map(|r| self.transform_row(r)).collect()
+    }
+}
+
+/// Pearson correlation matrix of the feature columns (plus optionally the
+/// label as a final column) — the Figure 4 covariance/correlation heatmap.
+pub fn correlation_matrix(columns: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let k = columns.len();
+    let n = columns.first().map_or(0, Vec::len) as f64;
+    let means: Vec<f64> = columns.iter().map(|c| c.iter().sum::<f64>() / n).collect();
+    let stds: Vec<f64> = columns
+        .iter()
+        .zip(&means)
+        .map(|(c, m)| (c.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / n).sqrt())
+        .collect();
+    let mut out = vec![vec![0.0; k]; k];
+    for i in 0..k {
+        for j in 0..k {
+            if stds[i] < 1e-15 || stds[j] < 1e-15 {
+                out[i][j] = f64::from(i == j);
+                continue;
+            }
+            let cov: f64 = columns[i]
+                .iter()
+                .zip(&columns[j])
+                .map(|(a, b)| (a - means[i]) * (b - means[j]))
+                .sum::<f64>()
+                / n;
+            out[i][j] = cov / (stds[i] * stds[j]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_component_follows_dominant_direction() {
+        // Data stretched along (1, 1): first component ≈ ±(0.707, 0.707).
+        let x: Vec<Vec<f64>> = (0..100)
+            .map(|i| {
+                let t = (i as f64 - 50.0) / 10.0;
+                vec![t + 0.01 * (i % 7) as f64, t - 0.01 * (i % 5) as f64]
+            })
+            .collect();
+        let pca = Pca::fit(&x, 2);
+        let c = &pca.components[0];
+        assert!((c[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.05, "{c:?}");
+        assert!(pca.explained_variance()[0] > 10.0 * pca.explained_variance()[1]);
+    }
+
+    #[test]
+    fn transform_decorrelates() {
+        let x: Vec<Vec<f64>> = (0..200)
+            .map(|i| {
+                let t = (i as f64) / 20.0;
+                let noise = ((i * 37) % 11) as f64 / 11.0 - 0.5;
+                vec![t, t + noise]
+            })
+            .collect();
+        let pca = Pca::fit(&x, 2);
+        let t = pca.transform(&x);
+        let cols = vec![
+            t.iter().map(|r| r[0]).collect::<Vec<_>>(),
+            t.iter().map(|r| r[1]).collect::<Vec<_>>(),
+        ];
+        let corr = correlation_matrix(&cols);
+        assert!(corr[0][1].abs() < 0.1, "projected axes decorrelated: {corr:?}");
+    }
+
+    #[test]
+    fn correlation_matrix_diagonal_is_one() {
+        let cols = vec![vec![1.0, 2.0, 3.0], vec![2.0, 4.0, 6.0], vec![1.0, 1.0, 1.0]];
+        let m = correlation_matrix(&cols);
+        for (i, row) in m.iter().enumerate() {
+            assert!((row[i] - 1.0).abs() < 1e-9);
+        }
+        // Perfectly correlated pair.
+        assert!((m[0][1] - 1.0).abs() < 1e-9);
+        // Constant column correlates with nothing.
+        assert_eq!(m[0][2], 0.0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Feature standardization (zero mean, unit variance).
+
+/// Per-feature standard scaler.
+#[derive(Clone, Debug, Default)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fits means and standard deviations on `x`.
+    pub fn fit(x: &[Vec<f64>]) -> Self {
+        assert!(!x.is_empty(), "cannot fit a scaler on no data");
+        let d = x[0].len();
+        let n = x.len() as f64;
+        let mut means = vec![0.0; d];
+        for row in x {
+            for (m, v) in means.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut stds = vec![0.0; d];
+        for row in x {
+            for ((s, v), m) in stds.iter_mut().zip(row).zip(&means) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        for s in &mut stds {
+            *s = (*s / n).sqrt();
+            if *s < 1e-12 {
+                *s = 1.0; // constant feature: leave centred at zero
+            }
+        }
+        StandardScaler { means, stds }
+    }
+
+    /// Transforms one row.
+    pub fn transform_row(&self, row: &[f64]) -> Vec<f64> {
+        row.iter()
+            .zip(&self.means)
+            .zip(&self.stds)
+            .map(|((v, m), s)| (v - m) / s)
+            .collect()
+    }
+
+    /// Transforms a batch.
+    pub fn transform(&self, x: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        x.iter().map(|r| self.transform_row(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardizes_to_zero_mean_unit_variance() {
+        let x = vec![vec![1.0, 10.0], vec![3.0, 20.0], vec![5.0, 30.0]];
+        let s = StandardScaler::fit(&x);
+        let t = s.transform(&x);
+        for f in 0..2 {
+            let mean: f64 = t.iter().map(|r| r[f]).sum::<f64>() / 3.0;
+            let var: f64 = t.iter().map(|r| r[f] * r[f]).sum::<f64>() / 3.0;
+            assert!(mean.abs() < 1e-12);
+            assert!((var - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn constant_features_map_to_zero() {
+        let x = vec![vec![7.0], vec![7.0]];
+        let s = StandardScaler::fit(&x);
+        assert_eq!(s.transform_row(&[7.0]), vec![0.0]);
+    }
+}

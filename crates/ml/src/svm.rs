@@ -1,0 +1,140 @@
+//! Linear SVM (Pegasos-style SGD on hinge loss) — a §4.3 comparison
+//! classifier. Multiclass via one-vs-rest.
+
+use crate::Classifier;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One-vs-rest linear SVM trained with stochastic subgradient descent.
+#[derive(Clone, Debug)]
+pub struct LinearSvm {
+    lambda: f64,
+    epochs: usize,
+    seed: u64,
+    /// One (weights, bias) per class.
+    models: Vec<(Vec<f64>, f64)>,
+}
+
+impl LinearSvm {
+    /// Default regularization (λ = 0.01) and 200 epochs.
+    pub fn new(seed: u64) -> Self {
+        LinearSvm {
+            lambda: 0.01,
+            epochs: 200,
+            seed,
+            models: Vec::new(),
+        }
+    }
+
+    /// Overrides the regularization strength.
+    pub fn with_lambda(mut self, lambda: f64) -> Self {
+        self.lambda = lambda;
+        self
+    }
+
+    fn fit_binary(&self, x: &[Vec<f64>], targets: &[f64], rng: &mut StdRng) -> (Vec<f64>, f64) {
+        let d = x[0].len();
+        let mut w = vec![0.0; d];
+        let mut b = 0.0;
+        let mut t = 1usize;
+        for _ in 0..self.epochs {
+            for _ in 0..x.len() {
+                let i = rng.gen_range(0..x.len());
+                let eta = 1.0 / (self.lambda * t as f64);
+                let margin: f64 =
+                    targets[i] * (w.iter().zip(&x[i]).map(|(a, b)| a * b).sum::<f64>() + b);
+                for wj in w.iter_mut() {
+                    *wj *= 1.0 - eta * self.lambda;
+                }
+                if margin < 1.0 {
+                    for (wj, xj) in w.iter_mut().zip(&x[i]) {
+                        *wj += eta * targets[i] * xj;
+                    }
+                    b += eta * targets[i];
+                }
+                t += 1;
+            }
+        }
+        (w, b)
+    }
+}
+
+impl Classifier for LinearSvm {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize]) {
+        assert!(!x.is_empty(), "cannot fit on no data");
+        let n_classes = y.iter().copied().max().unwrap_or(0) + 1;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.models = (0..n_classes)
+            .map(|c| {
+                let targets: Vec<f64> =
+                    y.iter().map(|&yi| if yi == c { 1.0 } else { -1.0 }).collect();
+                self.fit_binary(x, &targets, &mut rng)
+            })
+            .collect();
+    }
+
+    fn predict(&self, row: &[f64]) -> usize {
+        assert!(!self.models.is_empty(), "fit before predict");
+        let mut best = (0usize, f64::NEG_INFINITY);
+        for (c, (w, b)) in self.models.iter().enumerate() {
+            let score: f64 = w.iter().zip(row).map(|(a, b)| a * b).sum::<f64>() + b;
+            if score > best.1 {
+                best = (c, score);
+            }
+        }
+        best.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accuracy;
+
+    #[test]
+    fn separates_linear_blobs() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..40 {
+            let j = (i % 10) as f64 * 0.05;
+            x.push(vec![-1.0 - j, 1.0 + j]);
+            y.push(0);
+            x.push(vec![1.0 + j, -1.0 - j]);
+            y.push(1);
+        }
+        let mut svm = LinearSvm::new(3);
+        svm.fit(&x, &y);
+        assert_eq!(accuracy(&y, &svm.predict_batch(&x)), 1.0);
+        assert_eq!(svm.predict(&[-2.0, 2.0]), 0);
+    }
+
+    #[test]
+    fn three_class_one_vs_rest() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..30 {
+            let j = (i % 10) as f64 * 0.03;
+            x.push(vec![-2.0 + j, 0.0]);
+            y.push(0);
+            x.push(vec![0.0 + j, 2.0]);
+            y.push(1);
+            x.push(vec![2.0 + j, -2.0]);
+            y.push(2);
+        }
+        let mut svm = LinearSvm::new(5);
+        svm.fit(&x, &y);
+        let acc = accuracy(&y, &svm.predict_batch(&x));
+        assert!(acc > 0.95, "{acc}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let x = vec![vec![-1.0], vec![1.0], vec![-0.8], vec![0.9]];
+        let y = vec![0, 1, 0, 1];
+        let mut a = LinearSvm::new(1);
+        let mut b = LinearSvm::new(1);
+        a.fit(&x, &y);
+        b.fit(&x, &y);
+        assert_eq!(a.models[0].0, b.models[0].0);
+    }
+}

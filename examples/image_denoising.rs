@@ -1,0 +1,88 @@
+//! Image correction — the paper's third use case (§4): beliefs over pixel
+//! values on a grid MRF, smoothing out channel noise.
+//!
+//! A binary test pattern is corrupted by flipping pixels with 12%
+//! probability; each pixel's prior encodes its noisy reading with the
+//! known error rate, a Potts smoothing potential couples neighbours, and
+//! loopy BP recovers the image.
+//!
+//! ```text
+//! cargo run --release --example image_denoising
+//! ```
+
+use credo::engines::SeqEdgeEngine;
+use credo::graph::generators::{grid, GenOptions, PotentialKind};
+use credo::graph::Belief;
+use credo::{BpEngine, BpOptions};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const W: usize = 48;
+const H: usize = 16;
+const FLIP: f64 = 0.12;
+
+/// The clean test pattern: a ring plus a diagonal stripe.
+fn truth(x: usize, y: usize) -> bool {
+    let (cx, cy) = (W as f64 / 2.0, H as f64 / 2.0);
+    let d = ((x as f64 - cx).powi(2) / 4.0 + (y as f64 - cy).powi(2)).sqrt();
+    (4.0..6.5).contains(&d) || (x + 2 * y) % 24 < 3
+}
+
+fn render(label: &str, pixels: &[bool]) {
+    println!("{label}:");
+    for y in 0..H {
+        let row: String = (0..W)
+            .map(|x| if pixels[y * W + x] { '#' } else { '.' })
+            .collect();
+        println!("  {row}");
+    }
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let clean: Vec<bool> = (0..W * H)
+        .map(|i| truth(i % W, i / W))
+        .collect();
+    let noisy: Vec<bool> = clean
+        .iter()
+        .map(|&b| if rng.gen_bool(FLIP) { !b } else { b })
+        .collect();
+
+    // Grid MRF with a Potts smoothing potential (§2.2's shared matrix).
+    let opts = GenOptions::new(2)
+        .with_seed(1)
+        .with_potentials(PotentialKind::SharedSmoothing(0.22));
+    let mut image = grid(W, H, &opts);
+
+    // Priors: the noisy observation with the sensor's known error rate.
+    let confidence = 1.0 - FLIP as f32;
+    for (v, &bit) in noisy.iter().enumerate() {
+        let prior = if bit {
+            Belief::from_slice(&[1.0 - confidence, confidence])
+        } else {
+            Belief::from_slice(&[confidence, 1.0 - confidence])
+        };
+        image.priors_mut()[v] = prior;
+        image.beliefs_mut()[v] = prior;
+    }
+
+    let stats = SeqEdgeEngine
+        .run(&mut image, &BpOptions::default())
+        .expect("grid fits every engine");
+    let denoised: Vec<bool> = image.beliefs().iter().map(|b| b.argmax() == 1).collect();
+
+    render("Ground truth", &clean);
+    render(&format!("Noisy ({}% flips)", (FLIP * 100.0) as u32), &noisy);
+    render("BP-denoised", &denoised);
+
+    let errors = |img: &[bool]| img.iter().zip(&clean).filter(|(a, b)| a != b).count();
+    let before = errors(&noisy);
+    let after = errors(&denoised);
+    println!(
+        "\n{} iterations; pixel errors {before} -> {after} ({:.1}% -> {:.1}%)",
+        stats.iterations,
+        100.0 * before as f64 / clean.len() as f64,
+        100.0 * after as f64 / clean.len() as f64,
+    );
+    assert!(after < before, "BP should remove noise");
+}

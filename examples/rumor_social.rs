@@ -1,0 +1,97 @@
+//! "Rumor has it" — belief propagation over a social network, exercising
+//! the full Credo pipeline: generate a heavy-tailed graph, round-trip it
+//! through the streaming Credo-MTX format (§3.2), extract metadata, let
+//! the selector pick an implementation, and trace how a rumor planted at
+//! a hub percolates.
+//!
+//! ```text
+//! cargo run --release --example rumor_social
+//! ```
+
+use credo::graph::generators::{kronecker, GenOptions, PotentialKind};
+use credo::graph::{Belief, JointMatrix, PotentialStore};
+use credo::gpusim::PASCAL_GTX1070;
+use credo::{BpOptions, Credo};
+
+fn main() {
+    // A Kronecker social graph: 2^13 accounts, heavy-tailed follower counts.
+    let opts = GenOptions::new(2)
+        .with_seed(7)
+        .with_potentials(PotentialKind::SharedSmoothing(0.25));
+    let mut network = kronecker(13, 8, &opts);
+
+    // "Has heard the rumor" spreads along edges but garbles slightly.
+    network.set_potentials(PotentialStore::shared(JointMatrix::from_rows(
+        2,
+        2,
+        vec![0.94, 0.06, 0.22, 0.78],
+    )));
+    let skeptic = Belief::from_slice(&[0.90, 0.10]);
+    for v in 0..network.num_nodes() {
+        network.priors_mut()[v] = skeptic;
+        network.beliefs_mut()[v] = skeptic;
+    }
+
+    // Round-trip through the streaming format — what a production deploy
+    // would load (§3.2: line-by-line, never fully in memory).
+    let dir = std::env::temp_dir().join("credo_rumor_example");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let nodes_path = dir.join("rumor.nodes.mtx");
+    let edges_path = dir.join("rumor.edges.mtx");
+    credo::io::mtx::write_files(&network, &nodes_path, &edges_path).expect("write");
+    let mut network = credo::io::mtx::read_files(&nodes_path, &edges_path).expect("read");
+    println!(
+        "Loaded {} nodes / {} edges from {}",
+        network.num_nodes(),
+        network.num_edges(),
+        nodes_path.display()
+    );
+
+    // Plant the rumor at the highest-degree account.
+    let hub = (0..network.num_nodes() as u32)
+        .max_by_key(|&v| network.in_arcs(v).len())
+        .expect("non-empty graph");
+    network.observe(hub, 1);
+    println!(
+        "Rumor planted at account {hub} ({} followers)",
+        network.in_arcs(hub).len()
+    );
+
+    // Metadata-driven selection (§3.7).
+    let meta = network.metadata();
+    println!(
+        "Metadata: nodes={} edges={} skew={:.3} imbalance={:.2}",
+        meta.num_nodes,
+        meta.num_edges,
+        meta.skew(),
+        meta.degree_imbalance()
+    );
+    let credo = Credo::new(PASCAL_GTX1070);
+    let (chosen, stats) = credo
+        .run(&mut network, &BpOptions::with_work_queue())
+        .expect("graph fits");
+    println!(
+        "Selected {chosen}: {} iterations, reported {:?} (host {:?})",
+        stats.iterations, stats.reported_time, stats.host_time
+    );
+
+    // How far did the rumor reach?
+    let mut heard: Vec<(u32, f32)> = (0..network.num_nodes() as u32)
+        .filter(|&v| v != hub)
+        .map(|v| (v, network.beliefs()[v as usize].get(1)))
+        .collect();
+    heard.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    println!("\nMost exposed accounts:");
+    for (v, p) in heard.iter().take(8) {
+        println!(
+            "  account {v:>5}: P(heard) = {p:.3} ({} followers)",
+            network.in_arcs(*v).len()
+        );
+    }
+    let reached = heard.iter().filter(|(_, p)| *p > 0.25).count();
+    println!(
+        "\n{reached} of {} accounts have >25% probability of having heard the rumor.",
+        heard.len()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

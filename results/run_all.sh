@@ -1,0 +1,20 @@
+#!/bin/bash
+# Runs every experiment binary at a scale that completes on this machine,
+# teeing output into results/. Full-scale runs use the same binaries with
+# --scale full.
+set -x
+cd "$(dirname "$0")/.."
+B=./target/release
+$B/exp_algo_comparison --scale quick                  > results/algo_comparison.txt 2>&1
+$B/exp_shared_potential --scale quick --max-iters 50  > results/shared_potential.txt 2>&1
+$B/exp_parsers --scale default                        > results/parsers.txt 2>&1
+$B/exp_aos_soa --scale full                           > results/aos_soa.txt 2>&1
+$B/exp_openacc --scale quick --max-iters 50           > results/openacc.txt 2>&1
+$B/exp_openmp --scale quick --max-iters 30            > results/openmp.txt 2>&1
+$B/exp_fig8_beliefs --scale quick --max-iters 40      > results/fig8.txt 2>&1
+$B/exp_fig9_workqueue --scale quick --max-iters 100   > results/fig9.txt 2>&1
+$B/exp_classifier --scale quick --max-iters 30        > results/classifier.txt 2>&1
+$B/exp_fig10_classifiers --scale quick --max-iters 30 > results/fig10.txt 2>&1
+$B/exp_fig11_credo --scale quick --max-iters 30       > results/fig11.txt 2>&1
+$B/exp_fig12_volta --scale quick --max-iters 30       > results/fig12.txt 2>&1
+echo ALL_EXPERIMENTS_DONE

@@ -1,0 +1,16 @@
+#!/bin/bash
+# Refreshes the experiments affected by model updates (OpenACC penalty,
+# Node-kernel spills, SoA trace, binary paradigm labels).
+set -x
+cd "$(dirname "$0")/.."
+B=./target/release
+$B/exp_shared_potential --scale quick --max-iters 50           > results/shared_potential.txt 2>&1
+$B/exp_aos_soa --scale full                                    > results/aos_soa.txt 2>&1
+$B/exp_openacc --scale quick --max-iters 50                    > results/openacc.txt 2>&1
+$B/exp_fig8_beliefs --scale quick --max-iters 40               > results/fig8.txt 2>&1
+$B/exp_fig9_workqueue --scale quick --max-iters 80 --threshold 1e-4 > results/fig9.txt 2>&1
+$B/exp_classifier --scale quick --max-iters 30                 > results/classifier.txt 2>&1
+$B/exp_fig10_classifiers --scale quick --max-iters 30          > results/fig10.txt 2>&1
+$B/exp_fig11_credo --scale quick --max-iters 30                > results/fig11.txt 2>&1
+$B/exp_fig12_volta --scale quick --max-iters 30                > results/fig12.txt 2>&1
+echo REFRESH_DONE

@@ -1,0 +1,118 @@
+//! The selection pipeline end to end: label a small benchmark sweep by
+//! measurement, train the forest, and confirm the trained Credo recovers
+//! the measured-best implementations.
+
+use credo::engines::{CudaEdgeEngine, CudaNodeEngine, SeqEdgeEngine, SeqNodeEngine};
+use credo::gpusim::{Device, PASCAL_GTX1070};
+use credo::{
+    BpEngine, BpOptions, Credo, Implementation, Selector, ALL_IMPLEMENTATIONS,
+};
+use credo_graph::generators::{kronecker, synthetic, GenOptions};
+use credo_graph::{BeliefGraph, FeatureVector};
+use credo_ml::f1_macro;
+
+fn measure_best(g: &BeliefGraph, opts: &BpOptions) -> (FeatureVector, Implementation) {
+    let features = g.metadata().features();
+    let mut best = (Implementation::CEdge, f64::INFINITY);
+    for which in ALL_IMPLEMENTATIONS {
+        let engine: Box<dyn BpEngine> = match which {
+            Implementation::CEdge => Box::new(SeqEdgeEngine),
+            Implementation::CNode => Box::new(SeqNodeEngine),
+            Implementation::CudaEdge => Box::new(CudaEdgeEngine::new(Device::new(PASCAL_GTX1070))),
+            Implementation::CudaNode => Box::new(CudaNodeEngine::new(Device::new(PASCAL_GTX1070))),
+        };
+        let mut work = g.clone();
+        work.reset_beliefs();
+        if let Ok(stats) = engine.run(&mut work, opts) {
+            let secs = stats.reported_time.as_secs_f64();
+            if secs < best.1 {
+                best = (which, secs);
+            }
+        }
+    }
+    (features, best.0)
+}
+
+fn sweep() -> Vec<BeliefGraph> {
+    let mut graphs = Vec::new();
+    for (i, &(n, e)) in [
+        (50usize, 200usize),
+        (200, 800),
+        (800, 3200),
+        (3_000, 12_000),
+        (8_000, 32_000),
+        (20_000, 80_000),
+    ]
+    .iter()
+    .enumerate()
+    {
+        for &k in &[2usize, 3] {
+            graphs.push(synthetic(n, e, &GenOptions::new(k).with_seed(i as u64)));
+        }
+    }
+    graphs.push(kronecker(10, 16, &GenOptions::new(2)));
+    graphs.push(kronecker(11, 8, &GenOptions::new(3)));
+    graphs
+}
+
+#[test]
+fn trained_selector_recovers_measured_labels() {
+    let opts = BpOptions::default().with_max_iterations(30);
+    let labelled: Vec<(FeatureVector, Implementation)> =
+        sweep().iter().map(|g| measure_best(g, &opts)).collect();
+    let features: Vec<FeatureVector> = labelled.iter().map(|(f, _)| *f).collect();
+    let labels: Vec<Implementation> = labelled.iter().map(|(_, l)| *l).collect();
+
+    let selector = Selector::train(&features, &labels);
+    // Training-set recovery: a depth-6 forest has ample capacity for ~14
+    // points, so anything below near-perfect indicates a plumbing bug.
+    let predicted: Vec<usize> = sweep()
+        .iter()
+        .map(|g| selector.select(&g.metadata()).class_id())
+        .collect();
+    let truth: Vec<usize> = labels.iter().map(|l| l.class_id()).collect();
+    let f1 = f1_macro(&truth, &predicted);
+    assert!(f1 > 0.8, "training-set F1 {f1}");
+}
+
+#[test]
+fn trained_credo_runs_whatever_it_predicts() {
+    let opts = BpOptions::default().with_max_iterations(20);
+    let labelled: Vec<(FeatureVector, Implementation)> = sweep()
+        .iter()
+        .take(6)
+        .map(|g| measure_best(g, &opts))
+        .collect();
+    let selector = Selector::train(
+        &labelled.iter().map(|(f, _)| *f).collect::<Vec<_>>(),
+        &labelled.iter().map(|(_, l)| *l).collect::<Vec<_>>(),
+    );
+    let credo = Credo::new(PASCAL_GTX1070).with_selector(selector);
+    let mut g = synthetic(500, 2000, &GenOptions::new(2).with_seed(77));
+    let (chosen, stats) = credo.run(&mut g, &opts).unwrap();
+    assert!(ALL_IMPLEMENTATIONS.contains(&chosen));
+    assert!(stats.iterations > 0);
+}
+
+#[test]
+fn selector_trained_on_rule_labels_recovers_the_rule() {
+    // Label the sweep with the paper's size rule (deterministic — measured
+    // labels depend on the build profile) and verify the trained forest
+    // reproduces it on held-out graphs from both extremes.
+    let graphs = sweep();
+    let features: Vec<FeatureVector> = graphs.iter().map(|g| g.metadata().features()).collect();
+    let labels: Vec<Implementation> = graphs
+        .iter()
+        .map(|g| Selector::rule_based().select(&g.metadata()))
+        .collect();
+    let selector = Selector::train(&features, &labels);
+
+    let tiny = synthetic(60, 240, &GenOptions::new(2).with_seed(5));
+    assert_eq!(
+        selector.select(&tiny.metadata()),
+        Implementation::CEdge,
+        "tiny graphs must not pay GPU overheads"
+    );
+    let mid = synthetic(5_000, 20_000, &GenOptions::new(2).with_seed(6));
+    assert_eq!(selector.select(&mid.metadata()), Implementation::CNode);
+}

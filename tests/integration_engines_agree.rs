@@ -1,0 +1,121 @@
+//! Cross-implementation agreement: every loopy engine computes the same
+//! fixed point (within f32 tolerance), across graph families, belief
+//! counts, queue modes and GPU architectures.
+
+use credo::engines::{
+    CudaEdgeEngine, CudaNodeEngine, OpenAccEngine, OpenMpEdgeEngine, OpenMpNodeEngine,
+    SeqEdgeEngine, SeqNodeEngine,
+};
+use credo::gpusim::{Device, PASCAL_GTX1070, VOLTA_V100};
+use credo::{BpEngine, BpOptions, Paradigm};
+use credo_graph::generators::{
+    grid, kronecker, preferential_attachment, synthetic, GenOptions,
+};
+use credo_graph::BeliefGraph;
+
+fn engines() -> Vec<Box<dyn BpEngine>> {
+    vec![
+        Box::new(SeqEdgeEngine),
+        Box::new(SeqNodeEngine),
+        Box::new(OpenMpEdgeEngine),
+        Box::new(OpenMpNodeEngine),
+        Box::new(CudaEdgeEngine::new(Device::new(PASCAL_GTX1070))),
+        Box::new(CudaNodeEngine::new(Device::new(PASCAL_GTX1070))),
+        Box::new(CudaEdgeEngine::new(Device::new(VOLTA_V100))),
+        Box::new(CudaNodeEngine::new(Device::new(VOLTA_V100))),
+        Box::new(OpenAccEngine::new(Device::new(PASCAL_GTX1070), Paradigm::Edge).tuned()),
+        Box::new(OpenAccEngine::new(Device::new(PASCAL_GTX1070), Paradigm::Node)),
+    ]
+}
+
+fn assert_all_agree(base: &BeliefGraph, opts: &BpOptions, tol: f32, label: &str) {
+    let mut reference = base.clone();
+    SeqEdgeEngine.run(&mut reference, opts).unwrap();
+    for engine in engines() {
+        let mut g = base.clone();
+        engine.run(&mut g, opts).unwrap();
+        for (v, (a, b)) in reference.beliefs().iter().zip(g.beliefs()).enumerate() {
+            assert!(
+                a.linf_diff(b) < tol,
+                "{label}: {} disagrees with C Edge at node {v}: {a:?} vs {b:?}",
+                engine.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn agree_on_synthetic_graphs() {
+    let g = synthetic(250, 1000, &GenOptions::new(2).with_seed(1));
+    assert_all_agree(&g, &BpOptions::default(), 1e-3, "synthetic");
+}
+
+#[test]
+fn agree_on_three_belief_virus_graphs() {
+    let g = preferential_attachment(400, 3, &GenOptions::new(3).with_seed(2));
+    assert_all_agree(&g, &BpOptions::default(), 1e-3, "power-law k=3");
+}
+
+#[test]
+fn agree_on_kronecker_hubs() {
+    let g = kronecker(8, 8, &GenOptions::new(2).with_seed(3));
+    assert_all_agree(&g, &BpOptions::default(), 1e-3, "kronecker");
+}
+
+#[test]
+fn agree_on_grids_with_32_beliefs() {
+    let g = grid(12, 12, &GenOptions::new(32).with_seed(4));
+    assert_all_agree(&g, &BpOptions::default(), 2e-3, "grid k=32");
+}
+
+#[test]
+fn queued_engines_agree_with_unqueued_reference() {
+    let base = synthetic(300, 1200, &GenOptions::new(2).with_seed(5));
+    let mut reference = base.clone();
+    SeqEdgeEngine.run(&mut reference, &BpOptions::default()).unwrap();
+    let queued = BpOptions::with_work_queue();
+    for engine in engines() {
+        let mut g = base.clone();
+        engine.run(&mut g, &queued).unwrap();
+        for (a, b) in reference.beliefs().iter().zip(g.beliefs()) {
+            assert!(
+                a.linf_diff(b) < 5e-3,
+                "{} with queue diverged from reference",
+                engine.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn observed_nodes_stay_fixed_in_every_engine() {
+    let mut base = synthetic(150, 600, &GenOptions::new(2).with_seed(6));
+    base.observe(7, 1);
+    base.observe(23, 0);
+    for engine in engines() {
+        let mut g = base.clone();
+        engine.run(&mut g, &BpOptions::default()).unwrap();
+        assert_eq!(g.beliefs()[7].as_slice(), &[0.0, 1.0], "{}", engine.name());
+        assert_eq!(g.beliefs()[23].as_slice(), &[1.0, 0.0], "{}", engine.name());
+    }
+}
+
+#[test]
+fn iteration_counts_are_comparable_across_platforms() {
+    // §4.1.1: the CUDA versions run "within 10 iterations of the
+    // sequential versions" — with identical math and batched checks the
+    // gap is the batch rounding.
+    let base = synthetic(500, 2000, &GenOptions::new(2).with_seed(7));
+    let mut g1 = base.clone();
+    let seq = SeqEdgeEngine.run(&mut g1, &BpOptions::default()).unwrap();
+    let mut g2 = base.clone();
+    let cuda = CudaEdgeEngine::new(Device::new(PASCAL_GTX1070))
+        .run(&mut g2, &BpOptions::default())
+        .unwrap();
+    assert!(
+        (cuda.iterations as i64 - seq.iterations as i64).abs() <= 10,
+        "seq {} vs cuda {}",
+        seq.iterations,
+        cuda.iterations
+    );
+}

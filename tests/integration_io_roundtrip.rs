@@ -1,0 +1,189 @@
+//! Property-based round-trip tests across the three I/O formats.
+
+use credo::graph::generators::{random_tree, synthetic, GenOptions, PotentialKind};
+use credo::graph::{Belief, BeliefGraph, GraphBuilder, JointMatrix};
+use proptest::prelude::*;
+
+/// Arbitrary small shared-potential graph.
+fn arb_shared_graph() -> impl Strategy<Value = BeliefGraph> {
+    (2usize..40, 1usize..80, 2usize..5, any::<u64>()).prop_map(|(n, e, k, seed)| {
+        synthetic(n.max(2), e, &GenOptions::new(k).with_seed(seed))
+    })
+}
+
+/// Arbitrary small per-edge-potential graph.
+fn arb_per_edge_graph() -> impl Strategy<Value = BeliefGraph> {
+    (2usize..25, 1usize..40, 2usize..4, any::<u64>()).prop_map(|(n, e, k, seed)| {
+        synthetic(
+            n.max(2),
+            e,
+            &GenOptions::new(k)
+                .with_seed(seed)
+                .with_potentials(PotentialKind::PerEdgeRandom),
+        )
+    })
+}
+
+fn graphs_equal(a: &BeliefGraph, b: &BeliefGraph) {
+    structures_equal(a, b);
+    // MTX carries every node's prior verbatim.
+    for (x, y) in a.priors().iter().zip(b.priors()) {
+        assert!(x.linf_diff(y) < 1e-6);
+    }
+}
+
+/// Structure + potentials (+ root priors). The BIF formats define non-root
+/// nodes purely by their CPTs, so child priors are not expected to survive.
+fn structures_equal(a: &BeliefGraph, b: &BeliefGraph) {
+    assert_eq!(a.num_nodes(), b.num_nodes());
+    assert_eq!(a.num_arcs(), b.num_arcs());
+    for (x, y) in a.arcs().iter().zip(b.arcs()) {
+        assert_eq!(x, y);
+    }
+    for v in 0..a.num_nodes() as u32 {
+        if a.in_arcs(v).is_empty() {
+            assert!(
+                a.priors()[v as usize].linf_diff(&b.priors()[v as usize]) < 1e-6,
+                "root prior of node {v} must survive"
+            );
+        }
+    }
+    for arc in 0..a.num_arcs() as u32 {
+        let (m1, m2) = (a.potential(arc), b.potential(arc));
+        assert_eq!(m1.rows(), m2.rows());
+        for p in 0..m1.rows() {
+            for c in 0..m1.cols() {
+                assert!((m1.get(p, c) - m2.get(p, c)).abs() < 1e-6);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mtx_roundtrips_shared_graphs(g in arb_shared_graph()) {
+        let mut nodes = Vec::new();
+        let mut edges = Vec::new();
+        credo::io::mtx::write(&g, &mut nodes, &mut edges).unwrap();
+        let back = credo::io::mtx::read(&nodes[..], &edges[..]).unwrap();
+        graphs_equal(&g, &back);
+        prop_assert!(back.potentials().is_shared());
+    }
+
+    #[test]
+    fn mtx_roundtrips_per_edge_graphs(g in arb_per_edge_graph()) {
+        let mut nodes = Vec::new();
+        let mut edges = Vec::new();
+        credo::io::mtx::write(&g, &mut nodes, &mut edges).unwrap();
+        let back = credo::io::mtx::read(&nodes[..], &edges[..]).unwrap();
+        graphs_equal(&g, &back);
+        prop_assert!(!back.potentials().is_shared());
+    }
+
+    #[test]
+    fn bif_roundtrips_trees(n in 2usize..30, seed in any::<u64>()) {
+        let g = random_tree(
+            n,
+            &GenOptions::new(2).with_seed(seed).with_potentials(PotentialKind::PerEdgeRandom),
+        );
+        let mut buf = Vec::new();
+        credo::io::bif::write(&g, &mut buf).unwrap();
+        let back = credo::io::bif::read(&buf[..]).unwrap();
+        structures_equal(&g, &back);
+    }
+
+    #[test]
+    fn xmlbif_roundtrips_trees(n in 2usize..30, seed in any::<u64>()) {
+        let g = random_tree(
+            n,
+            &GenOptions::new(3).with_seed(seed).with_potentials(PotentialKind::PerEdgeRandom),
+        );
+        let mut buf = Vec::new();
+        credo::io::xmlbif::write(&g, &mut buf).unwrap();
+        let back = credo::io::xmlbif::read(&buf[..]).unwrap();
+        structures_equal(&g, &back);
+    }
+
+    #[test]
+    fn mtx_rejects_truncated_edge_files(g in arb_shared_graph()) {
+        let mut nodes = Vec::new();
+        let mut edges = Vec::new();
+        credo::io::mtx::write(&g, &mut nodes, &mut edges).unwrap();
+        // Drop the last line: the declared edge count no longer matches.
+        let text = String::from_utf8(edges).unwrap();
+        let mut lines: Vec<&str> = text.lines().collect();
+        if lines.len() > 3 {
+            lines.pop();
+            let truncated = lines.join("\n");
+            prop_assert!(credo::io::mtx::read(&nodes[..], truncated.as_bytes()).is_err());
+        }
+    }
+}
+
+#[test]
+fn formats_agree_on_a_mixed_cardinality_network() {
+    // 2-, 3- and 4-state variables in one Bayesian network.
+    let mut b = GraphBuilder::new();
+    let a = b.add_named_node("a", Belief::from_slice(&[0.2, 0.8]));
+    let c = b.add_named_node("c", Belief::uniform(3));
+    let d = b.add_named_node("d", Belief::uniform(4));
+    b.add_directed_edge_with(
+        a,
+        c,
+        JointMatrix::from_rows(2, 3, vec![0.5, 0.25, 0.25, 0.1, 0.6, 0.3]),
+    );
+    b.add_directed_edge_with(
+        c,
+        d,
+        JointMatrix::from_rows(
+            3,
+            4,
+            vec![0.4, 0.3, 0.2, 0.1, 0.25, 0.25, 0.25, 0.25, 0.1, 0.2, 0.3, 0.4],
+        ),
+    );
+    let g = b.build().unwrap();
+
+    let mut bif = Vec::new();
+    credo::io::bif::write(&g, &mut bif).unwrap();
+    let from_bif = credo::io::bif::read(&bif[..]).unwrap();
+
+    let mut xml = Vec::new();
+    credo::io::xmlbif::write(&g, &mut xml).unwrap();
+    let from_xml = credo::io::xmlbif::read(&xml[..]).unwrap();
+
+    let mut nodes = Vec::new();
+    let mut edges = Vec::new();
+    credo::io::mtx::write(&g, &mut nodes, &mut edges).unwrap();
+    let from_mtx = credo::io::mtx::read(&nodes[..], &edges[..]).unwrap();
+
+    // The BIF formats preserve directedness.
+    for other in [&from_bif, &from_xml] {
+        assert_eq!(other.num_nodes(), 3);
+        assert_eq!(other.num_arcs(), 2);
+    }
+    // MTX is an MRF (undirected) format: each edge becomes an arc pair,
+    // the forward arc carrying the original matrix.
+    assert_eq!(from_mtx.num_arcs(), 4);
+    let mtx_forward: Vec<u32> = (0..from_mtx.num_arcs() as u32)
+        .filter(|&a| !from_mtx.arc(a).reverse)
+        .collect();
+    for (arc, other_arcs) in [
+        (&from_bif, (0..2u32).collect::<Vec<_>>()),
+        (&from_xml, (0..2u32).collect::<Vec<_>>()),
+        (&from_mtx, mtx_forward),
+    ]
+    .iter()
+    .map(|(g2, arcs)| (*g2, arcs.clone()))
+    {
+        for (i, a) in other_arcs.into_iter().enumerate() {
+            let (m1, m2) = (g.potential(i as u32), arc.potential(a));
+            for p in 0..m1.rows() {
+                for cc in 0..m1.cols() {
+                    assert!((m1.get(p, cc) - m2.get(p, cc)).abs() < 1e-5);
+                }
+            }
+        }
+    }
+}
