@@ -1,11 +1,11 @@
 //! Criterion microbenchmarks for the BP math kernels and one engine
 //! iteration per paradigm.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use credo::engines::{SeqEdgeEngine, SeqNodeEngine};
 use credo::{BpEngine, BpOptions};
 use credo_graph::generators::{synthetic, GenOptions};
 use credo_graph::{Belief, JointMatrix};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn bench_message(c: &mut Criterion) {

@@ -1,8 +1,8 @@
 //! Criterion benchmarks for classifier training and inference at the
 //! dataset scale the paper uses (~100 samples × 5 features).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use credo_ml::{Classifier, DecisionTree, RandomForest};
+use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
@@ -14,7 +14,7 @@ fn dataset(n: usize) -> (Vec<Vec<f64>>, Vec<usize>) {
     for _ in 0..n {
         let nodes: f64 = rng.gen_range(10.0..2_000_000.0);
         let ratio: f64 = rng.gen_range(0.02..1.0);
-        let beliefs: f64 = [2.0, 3.0, 32.0][rng.gen_range(0..3)];
+        let beliefs: f64 = [2.0, 3.0, 32.0][rng.gen_range(0..3usize)];
         let imbalance: f64 = rng.gen_range(0.5..4.0);
         let skew: f64 = rng.gen_range(0.01..1.0);
         let label = usize::from(nodes > 100_000.0) * 2 + usize::from(ratio < 0.2);
@@ -56,5 +56,10 @@ fn bench_forest_predict(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_forest_fit, bench_tree_fit, bench_forest_predict);
+criterion_group!(
+    benches,
+    bench_forest_fit,
+    bench_tree_fit,
+    bench_forest_predict
+);
 criterion_main!(benches);

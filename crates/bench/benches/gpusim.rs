@@ -1,8 +1,8 @@
 //! Criterion benchmarks for the GPU simulator's host-side costs: how
 //! expensive is *simulating* a kernel (not the simulated time itself).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use credo_gpusim::{Device, DeviceBuffer, LaunchConfig, PASCAL_GTX1070};
+use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench_launch_overhead(c: &mut Criterion) {
@@ -19,11 +19,13 @@ fn bench_functional_kernel(c: &mut Criterion) {
     let data: Vec<f32> = (0..1 << 16).map(|i| i as f32).collect();
     c.bench_function("sim_kernel_64k_threads_compute", |b| {
         b.iter(|| {
-            black_box(device.launch(LaunchConfig::for_items(data.len(), 1024), |ctx, tid| {
-                ctx.flops(8);
-                ctx.global_read(4, true);
-                black_box(data[tid % data.len()]);
-            }))
+            black_box(
+                device.launch(LaunchConfig::for_items(data.len(), 1024), |ctx, tid| {
+                    ctx.flops(8);
+                    ctx.global_read(4, true);
+                    black_box(data[tid % data.len()]);
+                }),
+            )
         });
     });
 }

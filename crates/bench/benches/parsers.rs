@@ -1,8 +1,8 @@
 //! Criterion benchmarks for the three input formats (§3.2.1's comparison
 //! as a repeatable microbenchmark).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use credo_graph::generators::{family_out, random_tree, GenOptions, PotentialKind};
+use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench_family_out(c: &mut Criterion) {

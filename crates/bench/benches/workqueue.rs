@@ -1,11 +1,11 @@
 //! Criterion benchmarks for the §3.5 work queue: repopulation cost and
 //! the queued-vs-full-sweep engine tradeoff on a straggler-heavy graph.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use credo::engines::SeqNodeEngine;
 use credo::{BpEngine, BpOptions};
 use credo_core::WorkQueue;
 use credo_graph::generators::{preferential_attachment, GenOptions};
+use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench_queue_cycle(c: &mut Criterion) {

@@ -11,8 +11,8 @@ use credo::engines::{NaiveTreeEngine, SeqEdgeEngine, SeqNodeEngine};
 use credo::BpOptions;
 use credo_bench::report::{fmt_secs, fmt_speedup, save_json, Table};
 use credo_bench::runner::run_clean;
-use credo_bench::suite::{synthetic_subset, Scale};
 use credo_bench::scale_from_args;
+use credo_bench::suite::{synthetic_subset, Scale};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -41,7 +41,14 @@ fn main() {
     };
 
     let mut table = Table::new(&[
-        "Graph", "nodes", "edges", "non-loopy", "by-edge", "by-node", "vs edge", "vs node",
+        "Graph",
+        "nodes",
+        "edges",
+        "non-loopy",
+        "by-edge",
+        "by-node",
+        "vs edge",
+        "vs node",
     ]);
     let mut rows = Vec::new();
     let (mut geo_edge, mut geo_node, mut count) = (0.0f64, 0.0f64, 0u32);

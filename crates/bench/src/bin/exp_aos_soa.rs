@@ -32,7 +32,12 @@ fn main() {
         .collect();
 
     let mut table = Table::new(&[
-        "Graph", "AoS refs", "SoA refs", "AoS misses", "SoA misses", "AoS reduction",
+        "Graph",
+        "AoS refs",
+        "SoA refs",
+        "AoS misses",
+        "SoA misses",
+        "AoS reduction",
     ]);
     let mut rows = Vec::new();
     for spec in &subset {

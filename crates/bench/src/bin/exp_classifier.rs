@@ -124,7 +124,11 @@ fn main() {
         }
         let mut forest = RandomForest::paper_tuned();
         forest.fit(&pca.transform(&scaler.transform(&train.x)), &train.y);
-        Box::new(PcaForest { scaler, pca, forest })
+        Box::new(PcaForest {
+            scaler,
+            pca,
+            forest,
+        })
     });
     println!("\nPCA-preprocessed forest F1: {pca_f1:.3} (raw features: {forest_f1:.3}; paper: PCA is worse)");
 

@@ -64,8 +64,7 @@ fn cv_f1(name: &'static str, data: &Dataset, folds: usize, seed: u64) -> (f64, f
         })
         .collect();
     let mean = scores.iter().sum::<f64>() / scores.len() as f64;
-    let var =
-        scores.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / scores.len() as f64;
+    let var = scores.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / scores.len() as f64;
     (mean, var.sqrt())
 }
 
@@ -112,7 +111,10 @@ fn main() {
 
     // The headline numbers: 60-40 split on the full dataset.
     let (train, test) = train_test_split(&full, 0.4, 0x60_40);
-    for (name, paper) in [("DecisionTree(2)", "89.5%"), ("RandomForest(6,14)", "94.7%")] {
+    for (name, paper) in [
+        ("DecisionTree(2)", "89.5%"),
+        ("RandomForest(6,14)", "94.7%"),
+    ] {
         let mut model = make(name, 7);
         model.fit(&train.x, &train.y);
         let f1 = f1_macro(&test.y, &model.predict_batch(&test.x));

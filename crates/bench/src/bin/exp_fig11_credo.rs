@@ -37,7 +37,9 @@ fn main() {
     let selector = Selector::train(&features, &labels(&records));
     let credo = Credo::new(PASCAL_GTX1070).with_selector(selector);
 
-    let mut table = Table::new(&["Graph", "nodes", "k", "chosen", "Credo", "C Edge", "speedup"]);
+    let mut table = Table::new(&[
+        "Graph", "nodes", "k", "chosen", "Credo", "C Edge", "speedup",
+    ]);
     let mut rows: Vec<Row> = Vec::new();
     let mut sorted: Vec<_> = TABLE1.to_vec();
     sorted.sort_by_key(|s| s.nodes);
@@ -48,8 +50,7 @@ fn main() {
             let (chosen, stats) = credo.run(&mut g, &opts).expect("credo run");
             credo.device().reset_clock();
             let baseline = run_clean(&credo::engines::SeqEdgeEngine, &mut g, &opts).unwrap();
-            let speedup =
-                baseline.reported_time.as_secs_f64() / stats.reported_time.as_secs_f64();
+            let speedup = baseline.reported_time.as_secs_f64() / stats.reported_time.as_secs_f64();
             table.row(&[
                 spec.abbrev.to_string(),
                 g.num_nodes().to_string(),

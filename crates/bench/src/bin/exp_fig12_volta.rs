@@ -128,12 +128,15 @@ fn main() {
     for r in &volta {
         let (Some(ce), Some(best_secs)) = (
             secs_of(r, "C Edge"),
-            r.times.iter().map(|&(_, s)| s).min_by(|a, b| a.partial_cmp(b).unwrap()),
+            r.times
+                .iter()
+                .map(|&(_, s)| s)
+                .min_by(|a, b| a.partial_cmp(b).unwrap()),
         ) else {
             continue;
         };
         let predicted = Implementation::from_class_id(match &credo.selector() {
-            Selector::Forest(f) => credo_ml::Classifier::predict(f.as_ref(), &r.features.to_vec()),
+            Selector::Forest(f) => credo_ml::Classifier::predict(f.as_ref(), r.features.as_ref()),
             _ => unreachable!(),
         });
         let chosen_secs = secs_of(r, &predicted.to_string()).unwrap_or(ce);

@@ -6,12 +6,12 @@
 //! the smallest benchmark. Best CUDA Edge speedup ≈3.4x (2Mx8M, 3
 //! beliefs); CUDA Node reaches ≈120x there and >40x on K21/LJ/PO.
 
-use credo::{ALL_IMPLEMENTATIONS, BpOptions};
+use credo::{BpOptions, ALL_IMPLEMENTATIONS};
+use credo_bench::flag_present;
 use credo_bench::report::{fmt_secs, save_json, Table};
 use credo_bench::runner::{run_all_implementations, RunRecord};
 use credo_bench::scale_from_args;
 use credo_bench::suite::{bold_subset, TABLE1};
-use credo_bench::flag_present;
 use credo_gpusim::PASCAL_GTX1070;
 
 fn main() {

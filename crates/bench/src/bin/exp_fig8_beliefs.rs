@@ -56,7 +56,13 @@ fn main() {
 
     // The figure's essence: the speedup distribution per belief count.
     let mut table = Table::new(&[
-        "beliefs", "Edge p25", "Edge median", "Edge p75", "Node p25", "Node median", "Node p75",
+        "beliefs",
+        "Edge p25",
+        "Edge median",
+        "Edge p75",
+        "Node p25",
+        "Node median",
+        "Node p75",
     ]);
     let mut summary = Vec::new();
     for &k in &belief_sweep {

@@ -7,12 +7,12 @@
 //! them, while the edge queue stays large (one unconverged hub keeps all
 //! of its incoming arcs active).
 
-use credo::{ALL_IMPLEMENTATIONS, BpOptions};
+use credo::{BpOptions, ALL_IMPLEMENTATIONS};
+use credo_bench::flag_present;
 use credo_bench::report::{fmt_speedup, save_json, Table};
 use credo_bench::runner::{engine_for, run_clean};
 use credo_bench::scale_from_args;
 use credo_bench::suite::{bold_subset, TABLE1};
-use credo_bench::flag_present;
 use credo_cuda::device_bytes_required;
 use credo_gpusim::PASCAL_GTX1070;
 use serde::Serialize;
@@ -45,12 +45,8 @@ fn main() {
     for spec in &specs {
         // §4.2 excludes graphs whose 32-belief footprint exceeds the GTX
         // 1070's VRAM at full scale (TW and OR) — apply the same check.
-        let full_bytes = device_bytes_required(
-            spec.nodes as u64,
-            2 * spec.edges as u64,
-            beliefs as u64,
-            0,
-        );
+        let full_bytes =
+            device_bytes_required(spec.nodes as u64, 2 * spec.edges as u64, beliefs as u64, 0);
         if full_bytes > PASCAL_GTX1070.vram_bytes {
             println!(
                 "  (excluding {}: {:.1} GB > 8 GB VRAM at full scale, as in the paper)",
@@ -69,8 +65,7 @@ fn main() {
             let Ok(s_queue) = run_clean(e2.as_ref(), &mut g, &queued) else {
                 continue;
             };
-            let speedup =
-                s_plain.reported_time.as_secs_f64() / s_queue.reported_time.as_secs_f64();
+            let speedup = s_plain.reported_time.as_secs_f64() / s_queue.reported_time.as_secs_f64();
             table.row(&[
                 spec.abbrev.to_string(),
                 which.to_string(),

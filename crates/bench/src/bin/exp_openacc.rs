@@ -29,7 +29,14 @@ fn main() {
     println!("§2.4: OpenACC-analogue engines vs sequential C (scale: {scale:?}, beliefs: 2)\n");
     let opts = credo_bench::apply_max_iters(BpOptions::default());
 
-    let mut table = Table::new(&["Graph", "paradigm", "C", "OpenACC", "OpenACC tuned", "tuned vs C"]);
+    let mut table = Table::new(&[
+        "Graph",
+        "paradigm",
+        "C",
+        "OpenACC",
+        "OpenACC tuned",
+        "tuned vs C",
+    ]);
     let mut rows = Vec::new();
     for spec in bold_subset() {
         for paradigm in [Paradigm::Edge, Paradigm::Node] {
@@ -67,10 +74,11 @@ fn main() {
         }
     }
     table.print();
-    if let Some(best) = rows
-        .iter()
-        .max_by(|a, b| a.tuned_speedup_vs_c.partial_cmp(&b.tuned_speedup_vs_c).unwrap())
-    {
+    if let Some(best) = rows.iter().max_by(|a, b| {
+        a.tuned_speedup_vs_c
+            .partial_cmp(&b.tuned_speedup_vs_c)
+            .unwrap()
+    }) {
         println!(
             "\nBest OpenACC (tuned) speedup vs C: {} on {} ({}) — paper: 1.25x on K21 Edge",
             fmt_speedup(best.tuned_speedup_vs_c),

@@ -77,10 +77,7 @@ fn main() {
     // Aggregate penalty per thread count (ratio > 1 means OpenMP slower).
     println!();
     for (i, &t) in threads.iter().enumerate() {
-        let ratios: Vec<f64> = rows
-            .iter()
-            .map(|r| r.omp_secs[i].1 / r.seq_secs)
-            .collect();
+        let ratios: Vec<f64> = rows.iter().map(|r| r.omp_secs[i].1 / r.seq_secs).collect();
         let slower = ratios.iter().filter(|&&r| r > 1.0).count();
         let geo = (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp();
         println!(

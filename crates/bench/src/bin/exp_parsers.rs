@@ -9,8 +9,8 @@ use credo::engines::SeqEdgeEngine;
 use credo::BpOptions;
 use credo_bench::report::{fmt_secs, save_json, Table};
 use credo_bench::runner::run_clean;
-use credo_bench::suite::Scale;
 use credo_bench::scale_from_args;
+use credo_bench::suite::Scale;
 use credo_graph::generators::family_out;
 use credo_graph::{Belief, GraphBuilder, JointMatrix};
 use rand::rngs::StdRng;
@@ -56,7 +56,12 @@ fn bounded_dag(n: usize, seed: u64) -> credo_graph::BeliefGraph {
     b.build().expect("bounded DAG is valid")
 }
 
-fn bench_formats(label: &str, g: &credo_graph::BeliefGraph, rows: &mut Vec<Row>, table: &mut Table) {
+fn bench_formats(
+    label: &str,
+    g: &credo_graph::BeliefGraph,
+    rows: &mut Vec<Row>,
+    table: &mut Table,
+) {
     // BIF
     let mut bif = Vec::new();
     credo_io::bif::write(g, &mut bif).unwrap();
@@ -109,7 +114,14 @@ fn bench_formats(label: &str, g: &credo_graph::BeliefGraph, rows: &mut Vec<Row>,
 fn main() {
     let scale = scale_from_args();
     println!("§3.2.1: input-processor comparison\n");
-    let mut table = Table::new(&["Network", "nodes", "edges", "format", "file size", "parse time"]);
+    let mut table = Table::new(&[
+        "Network",
+        "nodes",
+        "edges",
+        "format",
+        "file size",
+        "parse time",
+    ]);
     let mut rows = Vec::new();
 
     bench_formats("family-out", &family_out(), &mut rows, &mut table);
@@ -120,7 +132,12 @@ fn main() {
         Scale::Default | Scale::Full => 100_000,
     };
     let big = bounded_dag(big_n, 9);
-    bench_formats(&format!("{}k-node DAG", big_n / 1000), &big, &mut rows, &mut table);
+    bench_formats(
+        &format!("{}k-node DAG", big_n / 1000),
+        &big,
+        &mut rows,
+        &mut table,
+    );
 
     table.print();
 

@@ -26,7 +26,15 @@ fn main() {
     println!("Table 1: benchmark graphs (scale: {scale:?})\n");
 
     let mut table = Table::new(&[
-        "Name", "Abbrev", "#Nodes", "#Edges", "#Nodes(s)", "#Edges(s)", "skew", "imbalance", "fig",
+        "Name",
+        "Abbrev",
+        "#Nodes",
+        "#Edges",
+        "#Nodes(s)",
+        "#Edges(s)",
+        "skew",
+        "imbalance",
+        "fig",
     ]);
     let mut rows = Vec::new();
     for spec in &TABLE1 {

@@ -119,7 +119,15 @@ pub fn build_full(
     reps: usize,
     verbose: bool,
 ) -> Vec<LabeledConfig> {
-    build(&TABLE1, &BELIEF_CONFIGS, scale, profile, opts, reps, verbose)
+    build(
+        &TABLE1,
+        &BELIEF_CONFIGS,
+        scale,
+        profile,
+        opts,
+        reps,
+        verbose,
+    )
 }
 
 /// The binary §3.7 Node/Edge dataset (features + paradigm labels).
@@ -146,7 +154,10 @@ pub fn load_or_build(
         );
         let path = dir.join("experiments/classifier_dataset.json");
         if let Ok(records) = load_json(&path) {
-            eprintln!("(reusing cached dataset {}; pass --rebuild to refresh)", path.display());
+            eprintln!(
+                "(reusing cached dataset {}; pass --rebuild to refresh)",
+                path.display()
+            );
             return records;
         }
     }
@@ -174,8 +185,7 @@ pub fn labels(records: &[LabeledConfig]) -> Vec<Implementation> {
 /// reuse benchmark runs.
 pub fn load_json(path: &std::path::Path) -> std::io::Result<Vec<LabeledConfig>> {
     let body = std::fs::read_to_string(path)?;
-    serde_json::from_str(&body)
-        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    serde_json::from_str(&body).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
 }
 
 #[cfg(test)]

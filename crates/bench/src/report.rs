@@ -93,15 +93,32 @@ pub fn fmt_speedup(x: f64) -> String {
 /// Writes an experiment's machine-readable results to
 /// `target/experiments/<name>.json` and returns the path.
 pub fn save_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<PathBuf> {
-    let dir = PathBuf::from(
-        std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string()),
-    )
-    .join("experiments");
+    let dir =
+        PathBuf::from(std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string()))
+            .join("experiments");
     std::fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{name}.json"));
     let json = serde_json::to_string_pretty(value).expect("serializable experiment output");
     std::fs::write(&path, json)?;
     Ok(path)
+}
+
+/// Writes an experiment's machine-readable results to `BENCH_<name>.json`
+/// at the repository root (or `$BENCH_JSON_DIR` when set), so checked-in
+/// benchmark artefacts sit next to the sources that produced them. Returns
+/// the path written.
+pub fn save_bench_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<PathBuf> {
+    let dir = match std::env::var("BENCH_JSON_DIR") {
+        Ok(d) => PathBuf::from(d),
+        // The bench crate lives at <root>/crates/bench, so the repo root is
+        // two levels above the manifest dir.
+        Err(_) => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."),
+    };
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("BENCH_{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serializable experiment output");
+    std::fs::write(&path, json)?;
+    Ok(path.canonicalize().unwrap_or(path))
 }
 
 #[cfg(test)]
@@ -135,6 +152,22 @@ mod tests {
         assert_eq!(fmt_secs(3.25), "3.250s");
         assert_eq!(fmt_speedup(120.7), "121x");
         assert_eq!(fmt_speedup(3.456), "3.46x");
+    }
+
+    #[test]
+    fn bench_json_honors_dir_override() {
+        #[derive(serde::Serialize)]
+        struct S {
+            ok: bool,
+        }
+        let dir = std::env::temp_dir().join("credo_bench_json_test");
+        std::env::set_var("BENCH_JSON_DIR", &dir);
+        let path = save_bench_json("unit_test", &S { ok: true }).unwrap();
+        std::env::remove_var("BENCH_JSON_DIR");
+        assert!(path.ends_with("BENCH_unit_test.json"));
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("true"));
+        std::fs::remove_file(path).ok();
     }
 
     #[test]

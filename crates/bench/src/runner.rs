@@ -1,6 +1,8 @@
 //! Engine construction and measured runs.
 
-use credo::engines::{CudaEdgeEngine, CudaNodeEngine, SeqEdgeEngine, SeqNodeEngine};
+use credo::engines::{
+    CudaEdgeEngine, CudaNodeEngine, ParEdgeEngine, ParNodeEngine, SeqEdgeEngine, SeqNodeEngine,
+};
 use credo::{BpEngine, BpOptions, BpStats, EngineError, Implementation};
 use credo_gpusim::{ArchProfile, Device};
 use credo_graph::BeliefGraph;
@@ -25,6 +27,9 @@ pub struct RunRecord {
     pub node_updates: u64,
     /// Messages computed.
     pub message_updates: u64,
+    /// CAS retries burned on atomic float multiplies (0 for engines that
+    /// use deterministic reductions instead).
+    pub atomic_retries: u64,
 }
 
 impl RunRecord {
@@ -39,11 +44,12 @@ impl RunRecord {
             converged: stats.converged,
             node_updates: stats.node_updates,
             message_updates: stats.message_updates,
+            atomic_retries: stats.atomic_retries,
         }
     }
 }
 
-/// Instantiates one of Credo's four implementations on a fresh device of
+/// Instantiates one of Credo's implementations on a fresh device of
 /// the given architecture.
 pub fn engine_for(which: Implementation, profile: ArchProfile) -> Box<dyn BpEngine> {
     match which {
@@ -51,6 +57,8 @@ pub fn engine_for(which: Implementation, profile: ArchProfile) -> Box<dyn BpEngi
         Implementation::CNode => Box::new(SeqNodeEngine),
         Implementation::CudaEdge => Box::new(CudaEdgeEngine::new(Device::new(profile))),
         Implementation::CudaNode => Box::new(CudaNodeEngine::new(Device::new(profile))),
+        Implementation::ParEdge => Box::new(ParEdgeEngine),
+        Implementation::ParNode => Box::new(ParNodeEngine),
     }
 }
 

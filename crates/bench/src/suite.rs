@@ -77,40 +77,278 @@ macro_rules! spec {
 /// The full Table 1 suite (34 graphs), in ascending node order within each
 /// column of the paper's table.
 pub const TABLE1: [GraphSpec; 34] = [
-    spec!("10_nodes_40_edges", "10x40", GraphKind::Synthetic, 10, 40, true),
-    spec!("100_nodes_400_edges", "100x400", GraphKind::Synthetic, 100, 400, false),
-    spec!("1000_nodes_4000_edges", "1k4k", GraphKind::Synthetic, 1_000, 4_000, true),
-    spec!("10000_nodes_40000_edges", "10kx40k", GraphKind::Synthetic, 10_000, 40_000, false),
-    spec!("kron-g500-logn16", "K16", GraphKind::Kronecker { log_n: 16 }, 55_321, 2_456_398, false),
-    spec!("hollywood-2009", "HO", GraphKind::PowerLaw, 83_832, 549_038, false),
-    spec!("100000_nodes_400000_edges", "100kx400k", GraphKind::Synthetic, 100_000, 400_000, true),
-    spec!("kron-g500-logn17", "K17", GraphKind::Kronecker { log_n: 17 }, 131_071, 5_114_375, false),
-    spec!("loc-gowalla", "GO", GraphKind::PowerLaw, 196_591, 1_900_654, true),
-    spec!("200000_nodes_800000_edges", "200kx800k", GraphKind::Synthetic, 200_000, 800_000, false),
-    spec!("soc-google-plus", "GP", GraphKind::PowerLaw, 211_187, 1_506_896, false),
-    spec!("kron-g500-logn18", "K18", GraphKind::Kronecker { log_n: 18 }, 262_144, 10_583_222, false),
-    spec!("web-Stanford", "ST", GraphKind::PowerLaw, 281_903, 2_312_497, true),
-    spec!("400000_nodes_1600000_edges", "400kx1600k", GraphKind::Synthetic, 400_000, 1_600_000, false),
-    spec!("kron-g500-logn19", "K19", GraphKind::Kronecker { log_n: 19 }, 409_175, 21_781_478, false),
-    spec!("soc-twitter-follows-mun", "TF", GraphKind::PowerLaw, 465_017, 835_423, false),
-    spec!("web-it-2004", "IT", GraphKind::PowerLaw, 509_338, 7_178_413, false),
-    spec!("soc-delicious", "DE", GraphKind::PowerLaw, 536_108, 1_365_961, false),
-    spec!("600000_nodes_1200000_edges", "600kx1200k", GraphKind::Synthetic, 600_000, 1_200_000, true),
-    spec!("kron-g500-logn20", "K20", GraphKind::Kronecker { log_n: 20 }, 795_241, 44_620_272, false),
-    spec!("800000_nodes_3200000_edges", "800kx3200k", GraphKind::Synthetic, 800_000, 3_200_000, true),
-    spec!("1000000_nodes_4000000_edges", "1Mx4M", GraphKind::Synthetic, 1_000_000, 4_000_000, false),
-    spec!("com-youtube", "YO", GraphKind::PowerLaw, 1_134_890, 2_987_624, true),
-    spec!("kron-g500-logn21", "K21", GraphKind::Kronecker { log_n: 21 }, 1_544_087, 91_042_010, true),
-    spec!("soc-pokec-relationships", "PO", GraphKind::PowerLaw, 1_632_803, 30_622_564, true),
-    spec!("web-wiki-ch-internal", "WW", GraphKind::PowerLaw, 1_930_275, 9_359_108, false),
-    spec!("2000000_nodes_8000000_edges", "2Mx8M", GraphKind::Synthetic, 2_000_000, 8_000_000, true),
-    spec!("wiki-Talk", "WT", GraphKind::PowerLaw, 2_394_385, 5_021_410, false),
-    spec!("soc-orkut", "OR", GraphKind::PowerLaw, 2_997_166, 106_349_209, true),
-    spec!("wikipedia-link-en", "WL", GraphKind::PowerLaw, 3_371_716, 31_956_268, false),
-    spec!("soc-LiveJournal1", "LJ", GraphKind::PowerLaw, 4_846_609, 68_475_391, true),
-    spec!("tech-p2p", "TP", GraphKind::PowerLaw, 5_792_297, 8_105_822, false),
-    spec!("friendster", "FR", GraphKind::PowerLaw, 8_658_744, 55_170_227, true),
-    spec!("soc-twitter-2010", "TW", GraphKind::PowerLaw, 21_297_772, 265_025_809, true),
+    spec!(
+        "10_nodes_40_edges",
+        "10x40",
+        GraphKind::Synthetic,
+        10,
+        40,
+        true
+    ),
+    spec!(
+        "100_nodes_400_edges",
+        "100x400",
+        GraphKind::Synthetic,
+        100,
+        400,
+        false
+    ),
+    spec!(
+        "1000_nodes_4000_edges",
+        "1k4k",
+        GraphKind::Synthetic,
+        1_000,
+        4_000,
+        true
+    ),
+    spec!(
+        "10000_nodes_40000_edges",
+        "10kx40k",
+        GraphKind::Synthetic,
+        10_000,
+        40_000,
+        false
+    ),
+    spec!(
+        "kron-g500-logn16",
+        "K16",
+        GraphKind::Kronecker { log_n: 16 },
+        55_321,
+        2_456_398,
+        false
+    ),
+    spec!(
+        "hollywood-2009",
+        "HO",
+        GraphKind::PowerLaw,
+        83_832,
+        549_038,
+        false
+    ),
+    spec!(
+        "100000_nodes_400000_edges",
+        "100kx400k",
+        GraphKind::Synthetic,
+        100_000,
+        400_000,
+        true
+    ),
+    spec!(
+        "kron-g500-logn17",
+        "K17",
+        GraphKind::Kronecker { log_n: 17 },
+        131_071,
+        5_114_375,
+        false
+    ),
+    spec!(
+        "loc-gowalla",
+        "GO",
+        GraphKind::PowerLaw,
+        196_591,
+        1_900_654,
+        true
+    ),
+    spec!(
+        "200000_nodes_800000_edges",
+        "200kx800k",
+        GraphKind::Synthetic,
+        200_000,
+        800_000,
+        false
+    ),
+    spec!(
+        "soc-google-plus",
+        "GP",
+        GraphKind::PowerLaw,
+        211_187,
+        1_506_896,
+        false
+    ),
+    spec!(
+        "kron-g500-logn18",
+        "K18",
+        GraphKind::Kronecker { log_n: 18 },
+        262_144,
+        10_583_222,
+        false
+    ),
+    spec!(
+        "web-Stanford",
+        "ST",
+        GraphKind::PowerLaw,
+        281_903,
+        2_312_497,
+        true
+    ),
+    spec!(
+        "400000_nodes_1600000_edges",
+        "400kx1600k",
+        GraphKind::Synthetic,
+        400_000,
+        1_600_000,
+        false
+    ),
+    spec!(
+        "kron-g500-logn19",
+        "K19",
+        GraphKind::Kronecker { log_n: 19 },
+        409_175,
+        21_781_478,
+        false
+    ),
+    spec!(
+        "soc-twitter-follows-mun",
+        "TF",
+        GraphKind::PowerLaw,
+        465_017,
+        835_423,
+        false
+    ),
+    spec!(
+        "web-it-2004",
+        "IT",
+        GraphKind::PowerLaw,
+        509_338,
+        7_178_413,
+        false
+    ),
+    spec!(
+        "soc-delicious",
+        "DE",
+        GraphKind::PowerLaw,
+        536_108,
+        1_365_961,
+        false
+    ),
+    spec!(
+        "600000_nodes_1200000_edges",
+        "600kx1200k",
+        GraphKind::Synthetic,
+        600_000,
+        1_200_000,
+        true
+    ),
+    spec!(
+        "kron-g500-logn20",
+        "K20",
+        GraphKind::Kronecker { log_n: 20 },
+        795_241,
+        44_620_272,
+        false
+    ),
+    spec!(
+        "800000_nodes_3200000_edges",
+        "800kx3200k",
+        GraphKind::Synthetic,
+        800_000,
+        3_200_000,
+        true
+    ),
+    spec!(
+        "1000000_nodes_4000000_edges",
+        "1Mx4M",
+        GraphKind::Synthetic,
+        1_000_000,
+        4_000_000,
+        false
+    ),
+    spec!(
+        "com-youtube",
+        "YO",
+        GraphKind::PowerLaw,
+        1_134_890,
+        2_987_624,
+        true
+    ),
+    spec!(
+        "kron-g500-logn21",
+        "K21",
+        GraphKind::Kronecker { log_n: 21 },
+        1_544_087,
+        91_042_010,
+        true
+    ),
+    spec!(
+        "soc-pokec-relationships",
+        "PO",
+        GraphKind::PowerLaw,
+        1_632_803,
+        30_622_564,
+        true
+    ),
+    spec!(
+        "web-wiki-ch-internal",
+        "WW",
+        GraphKind::PowerLaw,
+        1_930_275,
+        9_359_108,
+        false
+    ),
+    spec!(
+        "2000000_nodes_8000000_edges",
+        "2Mx8M",
+        GraphKind::Synthetic,
+        2_000_000,
+        8_000_000,
+        true
+    ),
+    spec!(
+        "wiki-Talk",
+        "WT",
+        GraphKind::PowerLaw,
+        2_394_385,
+        5_021_410,
+        false
+    ),
+    spec!(
+        "soc-orkut",
+        "OR",
+        GraphKind::PowerLaw,
+        2_997_166,
+        106_349_209,
+        true
+    ),
+    spec!(
+        "wikipedia-link-en",
+        "WL",
+        GraphKind::PowerLaw,
+        3_371_716,
+        31_956_268,
+        false
+    ),
+    spec!(
+        "soc-LiveJournal1",
+        "LJ",
+        GraphKind::PowerLaw,
+        4_846_609,
+        68_475_391,
+        true
+    ),
+    spec!(
+        "tech-p2p",
+        "TP",
+        GraphKind::PowerLaw,
+        5_792_297,
+        8_105_822,
+        false
+    ),
+    spec!(
+        "friendster",
+        "FR",
+        GraphKind::PowerLaw,
+        8_658_744,
+        55_170_227,
+        true
+    ),
+    spec!(
+        "soc-twitter-2010",
+        "TW",
+        GraphKind::PowerLaw,
+        21_297_772,
+        265_025_809,
+        true
+    ),
 ];
 
 /// The paper's three use cases (§4): binary beliefs, virus propagation,
@@ -126,7 +364,9 @@ impl GraphSpec {
     /// Edge count at the given scale, preserving the edge/node ratio.
     pub fn scaled_edges(&self, scale: Scale) -> usize {
         let n = self.scaled_nodes(scale);
-        ((self.edges as f64 / self.nodes as f64) * n as f64).round().max(1.0) as usize
+        ((self.edges as f64 / self.nodes as f64) * n as f64)
+            .round()
+            .max(1.0) as usize
     }
 
     /// Generates the stand-in graph at `scale` with `beliefs` states per

@@ -279,7 +279,7 @@ mod tests {
     #[test]
     fn working_set_larger_than_cache_thrashes() {
         let mut c = tiny(); // 128 B capacity
-        // Two passes over 4 KiB: no reuse survives.
+                            // Two passes over 4 KiB: no reuse survives.
         for _ in 0..2 {
             for i in 0..256u64 {
                 c.read(i * 16);

@@ -1,0 +1,294 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Real proptest does guided shrinking of failing cases; this stand-in
+//! keeps the API surface (strategies, `proptest!`, `prop_assert!`) but
+//! samples cases from a deterministic per-test seed and, on failure,
+//! reports the case number and seed instead of shrinking. Tests written
+//! against it remain source-compatible with upstream proptest.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy, TestRng,
+    };
+}
+
+/// RNG handed to strategies; re-exported so generated code can name it.
+pub type TestRng = StdRng;
+
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of values of type `Value`.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { base: self, f }
+    }
+}
+
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+/// Constant strategy, mirroring `proptest::strategy::Just`.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_strategy_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_strategy_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_strategy_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_strategy_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.gen()
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen()
+    }
+}
+
+pub struct Any<T> {
+    _marker: core::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: core::marker::PhantomData,
+    }
+}
+
+/// FNV-1a over the test name: gives each test a stable, distinct seed.
+#[doc(hidden)]
+pub fn seed_for(test_name: &str, case: u32) -> u64 {
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for b in test_name.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash ^ (case as u64).wrapping_mul(0x9E3779B97F4A7C15)
+}
+
+#[doc(hidden)]
+pub fn rng_for(test_name: &str, case: u32) -> TestRng {
+    TestRng::seed_from_u64(seed_for(test_name, case))
+}
+
+/// Defines property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (config = ($cfg:expr); ) => {};
+    (
+        config = ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let strategy = ($($strategy,)+);
+            for case in 0..config.cases {
+                let mut rng = $crate::rng_for(stringify!($name), case);
+                let ($($arg,)+) = $crate::Strategy::generate(&strategy, &mut rng);
+                let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    move || $body,
+                ));
+                if let Err(payload) = outcome {
+                    eprintln!(
+                        "proptest stand-in: case {}/{} of `{}` failed (seed {:#x})",
+                        case + 1,
+                        config.cases,
+                        stringify!($name),
+                        $crate::seed_for(stringify!($name), case),
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+        $crate::__proptest_fns! { config = ($cfg); $($rest)* }
+    };
+}
+
+/// `prop_assert!` panics like `assert!`; the runner reports the case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::Strategy;
+
+    #[test]
+    fn ranges_and_tuples_sample_in_bounds() {
+        let strat = (2usize..40, 1usize..80, 2usize..5);
+        let mut rng = super::rng_for("bounds", 0);
+        for _ in 0..100 {
+            let (n, e, k) = strat.generate(&mut rng);
+            assert!((2..40).contains(&n));
+            assert!((1..80).contains(&e));
+            assert!((2..5).contains(&k));
+        }
+    }
+
+    #[test]
+    fn prop_map_composes() {
+        let strat = (2usize..10, any::<u64>()).prop_map(|(n, seed)| (n * 2, seed));
+        let mut rng = super::rng_for("map", 0);
+        let (n, _seed) = strat.generate(&mut rng);
+        assert!(n % 2 == 0 && (4..20).contains(&n));
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        let mut a = super::rng_for("x", 3);
+        let mut b = super::rng_for("x", 3);
+        assert_eq!(
+            <u64 as super::Arbitrary>::arbitrary(&mut a),
+            <u64 as super::Arbitrary>::arbitrary(&mut b)
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_form_works(x in 0u32..100, y in 0u32..100) {
+            prop_assert!(x < 100 && y < 100);
+            prop_assert_eq!(x + y, y + x);
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Offline stand-in for `rayon`. Instead of a work-stealing pool it
+//! materializes the item list, splits it into one contiguous chunk per
+//! available core, and maps each chunk on a scoped thread, preserving
+//! item order. That covers the `into_par_iter().map(..).collect()`
+//! shape this workspace uses with the same ordering guarantees rayon's
+//! indexed parallel iterators give.
+
+use std::num::NonZeroUsize;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator};
+}
+
+fn worker_count(items: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    cores.min(items).max(1)
+}
+
+/// Runs `f` over `items` in order-preserving parallel chunks.
+fn parallel_map<I, R, F>(items: Vec<I>, f: &F) -> Vec<R>
+where
+    I: Send,
+    R: Send,
+    F: Fn(I) -> R + Sync,
+{
+    let n = items.len();
+    let workers = worker_count(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut chunks: Vec<Vec<I>> = Vec::with_capacity(workers);
+    let mut items = items.into_iter();
+    for _ in 0..workers {
+        chunks.push(items.by_ref().take(chunk).collect());
+    }
+    let mut out = Vec::with_capacity(n);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for handle in handles {
+            out.extend(handle.join().expect("rayon stand-in worker panicked"));
+        }
+    });
+    out
+}
+
+pub trait IntoParallelIterator {
+    type Item: Send;
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+pub trait ParallelIterator: Sized {
+    type Item: Send;
+
+    /// Evaluates the pipeline, preserving item order.
+    fn run(self) -> Vec<Self::Item>;
+
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    fn collect<C>(self) -> C
+    where
+        C: FromIterator<Self::Item>,
+    {
+        self.run().into_iter().collect()
+    }
+}
+
+/// Parallel iterator over a materialized list of items.
+pub struct IterParallel<I> {
+    items: Vec<I>,
+}
+
+impl<I: Send> ParallelIterator for IterParallel<I> {
+    type Item = I;
+
+    fn run(self) -> Vec<I> {
+        self.items
+    }
+}
+
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, R, F> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    R: Send,
+    F: Fn(B::Item) -> R + Sync,
+{
+    type Item = R;
+
+    fn run(self) -> Vec<R> {
+        parallel_map(self.base.run(), &self.f)
+    }
+}
+
+macro_rules! impl_into_par_range {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for core::ops::Range<$t> {
+            type Item = $t;
+            type Iter = IterParallel<$t>;
+
+            fn into_par_iter(self) -> IterParallel<$t> {
+                IterParallel { items: self.collect() }
+            }
+        }
+    )*};
+}
+impl_into_par_range!(usize, u32, u64, i32, i64);
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = IterParallel<T>;
+
+    fn into_par_iter(self) -> IterParallel<T> {
+        IterParallel { items: self }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn captures_by_reference() {
+        let data: Vec<f32> = (0..256).map(|i| i as f32).collect();
+        let out: Vec<f32> = (0..256usize).into_par_iter().map(|i| data[i] + 1.0).collect();
+        assert_eq!(out[255], 256.0);
+    }
+
+    #[test]
+    fn empty_range() {
+        let out: Vec<usize> = (0..0usize).into_par_iter().map(|i| i).collect();
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,148 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! Supports exactly what this workspace derives on: non-generic structs
+//! with named fields. Anything else produces a `compile_error!` naming
+//! the limitation, rather than silently wrong code. The parser walks the
+//! raw token stream directly so we need neither `syn` nor `quote`
+//! (neither is available offline).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parses `struct Name { fields... }` out of a derive input, returning
+/// `(name, field_names)` or an error message.
+fn parse_named_struct(input: TokenStream) -> Result<(String, Vec<String>), String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and visibility to reach `struct`.
+    let struct_pos = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break i,
+            Some(_) => i += 1,
+            None => return Err("serde stand-in derive: only structs are supported".into()),
+        }
+    };
+
+    let name = match tokens.get(struct_pos + 1) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde stand-in derive: expected struct name".into()),
+    };
+
+    let body = match tokens.get(struct_pos + 2) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            return Err("serde stand-in derive: generic structs are not supported".into());
+        }
+        _ => {
+            return Err(
+                "serde stand-in derive: only structs with named fields are supported".into(),
+            );
+        }
+    };
+
+    let body: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut j = 0;
+    while j < body.len() {
+        // Skip field attributes (`#[...]`).
+        while matches!(body.get(j), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            j += 2; // the '#' and its bracket group
+        }
+        // Skip visibility (`pub`, `pub(crate)`, ...).
+        if matches!(body.get(j), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            j += 1;
+            if matches!(body.get(j), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                j += 1;
+            }
+        }
+        let field = match body.get(j) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => {
+                return Err(format!(
+                    "serde stand-in derive: expected field name, found `{other}`"
+                ));
+            }
+        };
+        fields.push(field);
+        j += 1;
+        match body.get(j) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => j += 1,
+            other => {
+                return Err(format!(
+                    "serde stand-in derive: expected `:` after field name, found {other:?}"
+                ));
+            }
+        }
+        // Consume the type: everything up to the next comma at angle-depth 0.
+        let mut depth = 0i32;
+        while j < body.len() {
+            match &body[j] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    j += 1;
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+
+    Ok((name, fields))
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, fields) = match parse_named_struct(input) {
+        Ok(parsed) => parsed,
+        Err(msg) => return compile_error(&msg),
+    };
+    let entries: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f})),"
+            )
+        })
+        .collect();
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object(::std::vec![{entries}])\n\
+             }}\n\
+         }}"
+    );
+    out.parse().unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, fields) = match parse_named_struct(input) {
+        Ok(parsed) => parsed,
+        Err(msg) => return compile_error(&msg),
+    };
+    let inits: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value(value.get({f:?}).ok_or_else(|| \
+                 ::serde::DeError(::std::format!(\"missing field `{{}}` in {name}\", {f:?})))?)?,"
+            )
+        })
+        .collect();
+    let out = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 ::std::result::Result::Ok({name} {{ {inits} }})\n\
+             }}\n\
+         }}"
+    );
+    out.parse().unwrap()
+}

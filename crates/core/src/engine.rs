@@ -120,6 +120,8 @@ mod tests {
             capacity: 50,
         };
         assert!(e.to_string().contains("100"));
-        assert!(EngineError::NonUniformCardinality.to_string().contains("uniform"));
+        assert!(EngineError::NonUniformCardinality
+            .to_string()
+            .contains("uniform"));
     }
 }

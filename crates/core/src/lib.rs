@@ -7,7 +7,9 @@
 //! — plus the traditional non-loopy two-pass algorithm (§2.1,
 //! [`seq::TreeEngine`] and its deliberately unindexed
 //! [`seq::NaiveTreeEngine`] baseline) and the OpenMP-analogue CPU-parallel
-//! engines (§2.4, [`openmp`]).
+//! engines (§2.4, [`openmp`]). The [`par`] module goes beyond the paper:
+//! native parallel engines on a persistent worker pool with deterministic
+//! reductions and a concurrent work queue.
 //!
 //! All loopy engines implement Algorithm 1 with double-buffered (Jacobi)
 //! updates, so they agree on results up to `f32` associativity; the
@@ -23,6 +25,7 @@ mod queue;
 mod stats;
 
 pub mod openmp;
+pub mod par;
 pub mod seq;
 
 pub use convergence::ConvergenceTracker;

@@ -10,10 +10,7 @@ use credo_graph::{Belief, BeliefGraph, NodeId};
 /// running product is re-scaled every few factors so hub nodes with
 /// thousands of parents cannot underflow `f32`.
 #[inline]
-pub fn combine_incoming<'a>(
-    prior: &Belief,
-    messages: impl Iterator<Item = Belief> + 'a,
-) -> Belief {
+pub fn combine_incoming<'a>(prior: &Belief, messages: impl Iterator<Item = Belief> + 'a) -> Belief {
     let mut acc = *prior;
     for (i, m) in messages.enumerate() {
         acc.mul_assign(&m);

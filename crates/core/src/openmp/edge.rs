@@ -59,6 +59,7 @@ impl BpEngine for OpenMpEdgeEngine {
             .then(|| WorkQueue::new(n, |v| !graph.observed()[v]));
         let mut arc_queue: Vec<u32> = Vec::new();
         let changed_flags: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+        let mut repop_scratch: Vec<u32> = Vec::new();
 
         loop {
             let (active_nodes, active_arcs): (&[u32], &[u32]) = match &queue {
@@ -170,12 +171,13 @@ impl BpEngine for OpenMpEdgeEngine {
             node_updates += active_nodes.len() as u64;
 
             if let Some(q) = &mut queue {
-                let changed: Vec<u32> = (0..n as u32)
-                    .filter(|&v| changed_flags[v as usize].swap(false, Ordering::Relaxed))
-                    .collect();
-                for &v in &changed {
-                    q.push_next(v);
-                    if opts.wake_neighbors {
+                // Only this iteration's active nodes can carry a flag, so
+                // scan those instead of the whole flag array.
+                repop_scratch.clear();
+                repop_scratch.extend_from_slice(q.active());
+                let changed = q.push_next_from_flags_among(&repop_scratch, &changed_flags);
+                if opts.wake_neighbors {
+                    for &v in &changed {
                         for &a in graph.out_arcs(v) {
                             q.push_next(graph.arc(a).dst);
                         }
@@ -205,6 +207,7 @@ impl BpEngine for OpenMpEdgeEngine {
             },
             node_updates,
             message_updates,
+            atomic_retries: cas_retries.load(Ordering::Relaxed),
             reported_time: elapsed,
             host_time: elapsed,
         })

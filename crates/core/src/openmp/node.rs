@@ -46,6 +46,7 @@ impl BpEngine for OpenMpNodeEngine {
             .work_queue
             .then(|| WorkQueue::new(n, |v| !graph.observed()[v]));
         let changed_flags: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+        let mut repop_scratch: Vec<u32> = Vec::new();
 
         loop {
             let active: &[u32] = match &queue {
@@ -119,13 +120,14 @@ impl BpEngine for OpenMpNodeEngine {
 
             if let Some(q) = &mut queue {
                 // Queue repopulation is the §3.5 atomic populate: flags were
-                // set concurrently, the merge is sequential.
-                let changed: Vec<u32> = (0..n as u32)
-                    .filter(|&v| changed_flags[v as usize].swap(false, Ordering::Relaxed))
-                    .collect();
-                for &v in &changed {
-                    q.push_next(v);
-                    if opts.wake_neighbors {
+                // set concurrently, the merge is sequential. Only this
+                // iteration's active set could have been flagged, so scan
+                // just those instead of every node.
+                repop_scratch.clear();
+                repop_scratch.extend_from_slice(q.active());
+                let changed = q.push_next_from_flags_among(&repop_scratch, &changed_flags);
+                if opts.wake_neighbors {
+                    for &v in &changed {
                         for &a in graph.out_arcs(v) {
                             q.push_next(graph.arc(a).dst);
                         }
@@ -155,6 +157,7 @@ impl BpEngine for OpenMpNodeEngine {
             },
             node_updates,
             message_updates,
+            atomic_retries: 0,
             reported_time: elapsed,
             host_time: elapsed,
         })

@@ -25,6 +25,12 @@ pub struct BpOptions {
     /// Thread count for the CPU-parallel engines (ignored by sequential
     /// ones). `0` means "all available cores".
     pub threads: usize,
+    /// Queue scheduling for the native parallel engines (`credo_core::par`):
+    /// when true and the work queue is on, each iteration processes the
+    /// highest-residual nodes first instead of ascending node order.
+    /// Updates stay double-buffered (Jacobi), so results are unchanged —
+    /// this reorders memory traffic, not math. Other engines ignore it.
+    pub residual_priority: bool,
 }
 
 impl Default for BpOptions {
@@ -36,6 +42,7 @@ impl Default for BpOptions {
             work_queue: false,
             wake_neighbors: true,
             threads: 0,
+            residual_priority: false,
         }
     }
 }
@@ -67,6 +74,15 @@ impl BpOptions {
         self.threads = n;
         self
     }
+
+    /// Enables residual-priority scheduling for the native parallel
+    /// engines (implies enabling the work queue, which supplies the
+    /// per-node residuals).
+    pub fn with_residual_priority(mut self) -> Self {
+        self.work_queue = true;
+        self.residual_priority = true;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -92,5 +108,13 @@ mod tests {
         assert_eq!(o.queue_threshold, 1e-4);
         assert_eq!(o.max_iterations, 50);
         assert_eq!(o.threads, 4);
+        assert!(!o.residual_priority);
+    }
+
+    #[test]
+    fn residual_priority_implies_work_queue() {
+        let o = BpOptions::default().with_residual_priority();
+        assert!(o.work_queue);
+        assert!(o.residual_priority);
     }
 }

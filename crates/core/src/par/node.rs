@@ -1,0 +1,284 @@
+//! Persistent-pool per-node engine ("Par Node").
+
+use super::{pool_threads, MsgCache, ParWorkQueue, WorkerPool};
+use crate::convergence::ConvergenceTracker;
+use crate::engine::{BpEngine, EngineError, Paradigm, Platform};
+use crate::math::combine_incoming;
+use crate::openmp::{chunks_for, SharedSlice};
+use crate::opts::BpOptions;
+use crate::stats::BpStats;
+use credo_graph::{Belief, BeliefGraph};
+use std::time::Instant;
+
+/// CPU-parallel per-node loopy BP on a persistent worker pool.
+///
+/// Semantics match [`crate::seq::SeqNodeEngine`] exactly — same Jacobi
+/// updates, same convergence sum accumulated in ascending node order, so
+/// beliefs and iteration counts are bit-identical for any thread count.
+/// What changes is the cost model: the pool's threads are spawned once,
+/// per-thread work lands in disjoint scratch slots merged deterministically
+/// (no atomics), and shared-potential graphs compute each source's outgoing
+/// message once per orientation instead of once per arc.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ParNodeEngine;
+
+impl BpEngine for ParNodeEngine {
+    fn name(&self) -> &'static str {
+        "Par Node"
+    }
+
+    fn paradigm(&self) -> Paradigm {
+        Paradigm::Node
+    }
+
+    fn platform(&self) -> Platform {
+        Platform::CpuParallel
+    }
+
+    fn run(&self, graph: &mut BeliefGraph, opts: &BpOptions) -> Result<BpStats, EngineError> {
+        let start = Instant::now();
+        let n = graph.num_nodes();
+        let threads = pool_threads(opts.threads);
+        let pool = WorkerPool::new(threads);
+        let mut tracker = ConvergenceTracker::new(opts);
+        let mut node_updates = 0u64;
+        let mut message_updates = 0u64;
+
+        let mut scratch: Vec<Belief> = graph.beliefs().to_vec();
+        // Per-node L1 change of the last update; summed in ascending node
+        // order on the main thread so the convergence sum groups floats
+        // exactly like the sequential sweep, and reused as the residual for
+        // `advance_by_residual`.
+        let mut diffs: Vec<f32> = vec![0.0; n];
+        let mut cache = MsgCache::new(graph);
+
+        let full_sweep: Vec<u32> = (0..n as u32)
+            .filter(|&v| !graph.observed()[v as usize])
+            .collect();
+        let mut queue = opts
+            .work_queue
+            .then(|| ParWorkQueue::new(n, threads, |v| !graph.observed()[v]));
+
+        loop {
+            let active_len = match &queue {
+                Some(q) => q.len(),
+                None => full_sweep.len(),
+            };
+            if active_len == 0 {
+                tracker.mark_converged();
+                break;
+            }
+            cache.refresh(graph, &pool, active_len);
+
+            let sum: f32 = {
+                let (active, mut qworkers): (&[u32], Vec<_>) = match &mut queue {
+                    Some(q) => {
+                        let (a, w) = q.begin_iteration();
+                        (a, w)
+                    }
+                    None => (&full_sweep, Vec::new()),
+                };
+                let chunks: Vec<&[u32]> = chunks_for(active, threads).collect();
+                let use_queue = !qworkers.is_empty();
+
+                // One parallel region: compute updates into disjoint
+                // scratch/diff slots and push next-iteration work straight
+                // from the workers.
+                {
+                    let prev = graph.beliefs();
+                    let g = &*graph;
+                    let cache_ref = &cache;
+                    let scratch_shared = SharedSlice::new(&mut scratch);
+                    let diffs_shared = SharedSlice::new(&mut diffs);
+                    let mut chunk_msgs = vec![0u64; chunks.len()];
+                    let msgs_shared = SharedSlice::new(&mut chunk_msgs);
+                    let qw_shared = SharedSlice::new(&mut qworkers);
+                    let (qt, wake) = (opts.queue_threshold, opts.wake_neighbors);
+                    let chunks_ref = &chunks;
+                    pool.broadcast(&|i| {
+                        let Some(chunk) = chunks_ref.get(i) else {
+                            return;
+                        };
+                        let mut local_msgs = 0u64;
+                        for &v in *chunk {
+                            let in_arcs = g.in_arcs(v);
+                            let new = combine_incoming(
+                                &g.priors()[v as usize],
+                                in_arcs.iter().map(|&a| cache_ref.message(g, a, prev)),
+                            );
+                            let diff = new.l1_diff(&prev[v as usize]);
+                            local_msgs += in_arcs.len() as u64;
+                            // SAFETY: active node ids are unique, so each
+                            // scratch/diff slot has exactly one writer.
+                            unsafe { scratch_shared.write(v as usize, new) };
+                            unsafe { diffs_shared.write(v as usize, diff) };
+                            if use_queue && diff >= qt {
+                                // SAFETY: worker handle `i` is owned by this
+                                // region index for the whole broadcast.
+                                let qw = unsafe { &mut *qw_shared.ptr_at(i) };
+                                qw.push(v);
+                                if wake {
+                                    for &a in g.out_arcs(v) {
+                                        qw.push(g.arc(a).dst);
+                                    }
+                                }
+                            }
+                        }
+                        // SAFETY: one slot per region index.
+                        unsafe { msgs_shared.write(i, local_msgs) };
+                    });
+                    message_updates += chunk_msgs.iter().sum::<u64>();
+                }
+                node_updates += active.len() as u64;
+
+                // Publish, in parallel on the same pool (disjoint indices).
+                {
+                    let beliefs = graph.beliefs_mut();
+                    let shared = SharedSlice::new(beliefs);
+                    let scratch_ref = &scratch;
+                    let chunks_ref = &chunks;
+                    pool.broadcast(&|i| {
+                        let Some(chunk) = chunks_ref.get(i) else {
+                            return;
+                        };
+                        for &v in *chunk {
+                            // SAFETY: unique indices per chunk.
+                            unsafe { shared.write(v as usize, scratch_ref[v as usize]) };
+                        }
+                    });
+                }
+
+                // Deterministic reduction: ascending node order, exactly the
+                // float grouping of the sequential sweep. Residual mode
+                // permutes `active`, so re-sort before summing to keep the
+                // grouping (and thus the iteration trajectory) identical.
+                if opts.residual_priority {
+                    let mut ascending = active.to_vec();
+                    ascending.sort_unstable();
+                    ascending.iter().map(|&v| diffs[v as usize]).sum()
+                } else {
+                    active.iter().map(|&v| diffs[v as usize]).sum()
+                }
+            };
+
+            if let Some(q) = &mut queue {
+                if opts.residual_priority {
+                    q.advance_by_residual(&diffs);
+                } else {
+                    q.advance();
+                }
+            }
+
+            if !tracker.record(sum) {
+                break;
+            }
+        }
+
+        let elapsed = start.elapsed();
+        Ok(BpStats {
+            engine: self.name(),
+            iterations: tracker.iterations(),
+            converged: tracker.converged(),
+            final_delta: if tracker.last_sum().is_finite() {
+                tracker.last_sum()
+            } else {
+                0.0
+            },
+            node_updates,
+            message_updates,
+            atomic_retries: 0,
+            reported_time: elapsed,
+            host_time: elapsed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::SeqNodeEngine;
+    use credo_graph::generators::{kronecker, synthetic, GenOptions, PotentialKind};
+
+    #[test]
+    fn bitwise_matches_sequential_node_engine() {
+        for threads in [1usize, 2, 4] {
+            let mut g1 = synthetic(200, 800, &GenOptions::new(3).with_seed(17));
+            let mut g2 = g1.clone();
+            let s1 = SeqNodeEngine.run(&mut g1, &BpOptions::default()).unwrap();
+            let s2 = ParNodeEngine
+                .run(&mut g2, &BpOptions::default().with_threads(threads))
+                .unwrap();
+            assert_eq!(s1.iterations, s2.iterations, "threads={threads}");
+            assert_eq!(s1.message_updates, s2.message_updates);
+            assert_eq!(g1.beliefs(), g2.beliefs(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn queue_mode_matches_sequential_queue_mode() {
+        let mut g1 = synthetic(150, 450, &GenOptions::new(2).with_seed(8));
+        let mut g2 = g1.clone();
+        let s1 = SeqNodeEngine
+            .run(&mut g1, &BpOptions::with_work_queue())
+            .unwrap();
+        let mut qopts = BpOptions::with_work_queue();
+        qopts.threads = 3;
+        let s2 = ParNodeEngine.run(&mut g2, &qopts).unwrap();
+        assert_eq!(s1.iterations, s2.iterations);
+        assert_eq!(s1.node_updates, s2.node_updates);
+        assert_eq!(g1.beliefs(), g2.beliefs());
+    }
+
+    #[test]
+    fn residual_priority_changes_order_not_results() {
+        let mut g1 = synthetic(150, 450, &GenOptions::new(2).with_seed(8));
+        let mut g2 = g1.clone();
+        let mut plain = BpOptions::with_work_queue();
+        plain.threads = 2;
+        let s1 = ParNodeEngine.run(&mut g1, &plain).unwrap();
+        let residual = BpOptions::default()
+            .with_residual_priority()
+            .with_threads(2);
+        let s2 = ParNodeEngine.run(&mut g2, &residual).unwrap();
+        // Jacobi updates are order-independent: identical trajectories.
+        assert_eq!(s1.iterations, s2.iterations);
+        assert_eq!(s1.node_updates, s2.node_updates);
+        assert_eq!(g1.beliefs(), g2.beliefs());
+    }
+
+    #[test]
+    fn per_edge_potentials_supported() {
+        let opts = GenOptions::new(2)
+            .with_seed(31)
+            .with_potentials(PotentialKind::PerEdgeRandom);
+        let mut g1 = synthetic(60, 180, &opts);
+        let mut g2 = g1.clone();
+        SeqNodeEngine.run(&mut g1, &BpOptions::default()).unwrap();
+        ParNodeEngine
+            .run(&mut g2, &BpOptions::default().with_threads(2))
+            .unwrap();
+        assert_eq!(g1.beliefs(), g2.beliefs());
+    }
+
+    #[test]
+    fn hub_graphs_match_sequential() {
+        let mut g1 = kronecker(7, 8, &GenOptions::new(2).with_seed(9));
+        let mut g2 = g1.clone();
+        SeqNodeEngine.run(&mut g1, &BpOptions::default()).unwrap();
+        ParNodeEngine
+            .run(&mut g2, &BpOptions::default().with_threads(4))
+            .unwrap();
+        assert_eq!(g1.beliefs(), g2.beliefs());
+    }
+
+    #[test]
+    fn observed_nodes_never_change() {
+        let mut g = synthetic(50, 150, &GenOptions::new(2).with_seed(4));
+        g.observe(7, 1);
+        let before = g.beliefs()[7];
+        ParNodeEngine
+            .run(&mut g, &BpOptions::default().with_threads(2))
+            .unwrap();
+        assert_eq!(g.beliefs()[7], before);
+    }
+}

@@ -1,0 +1,251 @@
+//! A persistent worker pool: threads are spawned once and reused for every
+//! parallel region of every iteration.
+//!
+//! The paper's OpenMP build pays thread fork/join on each `parallel for`
+//! region and finds "there is simply not enough work per thread to justify
+//! the overhead of spinning and shutting down threads". The
+//! [`crate::openmp`] engines reproduce that cost model honestly; this pool
+//! is the fix: workers park on a condvar between regions, so a region costs
+//! one broadcast wakeup instead of `threads` thread spawns.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// The job currently being broadcast. Lifetime-erased: `broadcast` blocks
+/// until every worker has finished the job, so the reference can never
+/// outlive the borrow it was transmuted from.
+type Job = &'static (dyn Fn(usize) + Sync);
+
+struct State {
+    /// Bumped once per broadcast so parked workers can tell a new job from
+    /// a spurious wakeup.
+    generation: u64,
+    /// Workers still running the current job.
+    remaining: usize,
+    job: Option<Job>,
+    shutdown: bool,
+    /// Set when a worker's job panicked; re-raised on the broadcasting
+    /// thread.
+    panicked: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    work_ready: Condvar,
+    work_done: Condvar,
+}
+
+/// A fixed-size pool executing `job(region_index)` for every index in
+/// `0..threads`, with index 0 always run inline on the calling thread.
+///
+/// With `threads == 1` no OS threads exist at all and `broadcast` is a
+/// plain function call — the sequential engines' cost model.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl WorkerPool {
+    /// Spawns `threads - 1` parked workers (the caller thread is worker 0).
+    ///
+    /// # Panics
+    /// Panics if `threads` is zero; resolve "all cores" before calling.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads >= 1, "worker pool needs at least one thread");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                generation: 0,
+                remaining: 0,
+                job: None,
+                shutdown: false,
+                panicked: false,
+            }),
+            work_ready: Condvar::new(),
+            work_done: Condvar::new(),
+        });
+        let handles = (1..threads)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("credo-par-{index}"))
+                    .spawn(move || worker_loop(&shared, index))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            handles,
+            threads,
+        }
+    }
+
+    /// Number of region indices each broadcast covers.
+    #[inline]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `job(i)` for every `i in 0..threads`, index 0 inline, and
+    /// returns once all indices have completed.
+    ///
+    /// # Panics
+    /// Re-raises (as a fresh panic) if any worker's job panicked.
+    pub fn broadcast(&self, job: &(dyn Fn(usize) + Sync)) {
+        if self.threads == 1 {
+            job(0);
+            return;
+        }
+        // SAFETY: the erased reference is cleared before this function
+        // returns, and `WaitGuard` blocks — even during unwinding — until
+        // every worker is done with it, so it never outlives `job`.
+        let erased: Job = unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(job)
+        };
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            debug_assert_eq!(st.remaining, 0, "broadcast while a job is live");
+            st.generation += 1;
+            st.remaining = self.handles.len();
+            st.job = Some(erased);
+            self.shared.work_ready.notify_all();
+        }
+        let guard = WaitGuard {
+            shared: &self.shared,
+        };
+        job(0);
+        drop(guard); // waits for the workers, clears the job
+        let mut st = self.shared.state.lock().unwrap();
+        if st.panicked {
+            st.panicked = false;
+            drop(st);
+            panic!("a worker thread panicked during WorkerPool::broadcast");
+        }
+    }
+}
+
+/// Blocks until `remaining == 0` when dropped, so an inline-job panic on
+/// the broadcasting thread cannot unwind past live borrows of `job`.
+struct WaitGuard<'a> {
+    shared: &'a Shared,
+}
+
+impl Drop for WaitGuard<'_> {
+    fn drop(&mut self) {
+        let mut st = self.shared.state.lock().unwrap();
+        while st.remaining > 0 {
+            st = self.shared.work_done.wait(st).unwrap();
+        }
+        st.job = None;
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+            self.shared.work_ready.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, index: usize) {
+    let mut seen_generation = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.generation != seen_generation {
+                    seen_generation = st.generation;
+                    break st.job.expect("job is set whenever generation bumps");
+                }
+                st = shared.work_ready.wait(st).unwrap();
+            }
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(|| job(index)));
+        let mut st = shared.state.lock().unwrap();
+        if outcome.is_err() {
+            st.panicked = true;
+        }
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            shared.work_done.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn covers_every_index_once() {
+        let pool = WorkerPool::new(4);
+        let hits: Vec<AtomicU64> = (0..4).map(|_| AtomicU64::new(0)).collect();
+        for _ in 0..100 {
+            pool.broadcast(&|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        for h in &hits {
+            assert_eq!(h.load(Ordering::Relaxed), 100);
+        }
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = WorkerPool::new(1);
+        let tid = std::thread::current().id();
+        pool.broadcast(&|i| {
+            assert_eq!(i, 0);
+            assert_eq!(std::thread::current().id(), tid);
+        });
+    }
+
+    #[test]
+    fn parallel_sum_matches_sequential() {
+        let items: Vec<u64> = (0..10_000).collect();
+        let pool = WorkerPool::new(3);
+        let partials: Vec<AtomicU64> = (0..3).map(|_| AtomicU64::new(0)).collect();
+        let per = items.len().div_ceil(3);
+        pool.broadcast(&|i| {
+            let lo = i * per;
+            let hi = ((i + 1) * per).min(items.len());
+            let local: u64 = items[lo..hi].iter().sum();
+            partials[i].store(local, Ordering::Relaxed);
+        });
+        let total: u64 = partials.iter().map(|p| p.load(Ordering::Relaxed)).sum();
+        assert_eq!(total, items.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        let pool = WorkerPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.broadcast(&|i| {
+                if i == 1 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // The pool is still usable for the next region.
+        let hits: Vec<AtomicU64> = (0..2).map(|_| AtomicU64::new(0)).collect();
+        pool.broadcast(&|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(
+            hits.iter().map(|h| h.load(Ordering::Relaxed)).sum::<u64>(),
+            2
+        );
+    }
+}

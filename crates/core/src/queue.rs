@@ -68,6 +68,9 @@ impl WorkQueue {
     /// Bulk-enqueues from a parallel repopulation: `flags[v]` was set
     /// atomically during the iteration. Merges with anything already pushed
     /// via [`WorkQueue::push_next`].
+    ///
+    /// Scans every node's flag; when only a small active set could have
+    /// been flagged, prefer [`WorkQueue::push_next_from_flags_among`].
     pub fn push_next_from_flags(&mut self, flags: &[std::sync::atomic::AtomicBool]) {
         use std::sync::atomic::Ordering;
         debug_assert_eq!(flags.len(), self.queued_next.len());
@@ -76,6 +79,32 @@ impl WorkQueue {
                 self.push_next(v as u32);
             }
         }
+    }
+
+    /// Like [`WorkQueue::push_next_from_flags`], but inspects only
+    /// `candidates` — the nodes this iteration could actually have flagged
+    /// (its active set) — instead of walking the whole flag array. Returns
+    /// the candidates whose flag was set, in `candidates` order, so the
+    /// caller can wake their neighbourhoods without re-reading flags.
+    ///
+    /// Flags outside `candidates` are left untouched; callers switching
+    /// between the two repopulation paths must not leave stale flags
+    /// behind.
+    pub fn push_next_from_flags_among(
+        &mut self,
+        candidates: &[u32],
+        flags: &[std::sync::atomic::AtomicBool],
+    ) -> Vec<u32> {
+        use std::sync::atomic::Ordering;
+        debug_assert_eq!(flags.len(), self.queued_next.len());
+        let mut changed = Vec::new();
+        for &v in candidates {
+            if flags[v as usize].swap(false, Ordering::Relaxed) {
+                self.push_next(v);
+                changed.push(v);
+            }
+        }
+        changed
     }
 
     /// Finishes an iteration: the nodes pushed for "next" become the active
@@ -92,9 +121,8 @@ impl WorkQueue {
     /// Resets to "everything eligible is active".
     pub fn reset(&mut self) {
         self.active.clear();
-        self.active.extend(
-            (0..self.eligible.len() as u32).filter(|&v| self.eligible[v as usize]),
-        );
+        self.active
+            .extend((0..self.eligible.len() as u32).filter(|&v| self.eligible[v as usize]));
         self.next.clear();
         self.queued_next.fill(false);
     }
@@ -160,6 +188,23 @@ mod tests {
         assert_eq!(q.active(), &[1, 3]);
         // flags were consumed
         assert!(!flags[1].load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn flag_merge_among_candidates() {
+        let mut q = WorkQueue::new(6, |v| v != 5);
+        let flags: Vec<AtomicBool> = (0..6).map(|_| AtomicBool::new(false)).collect();
+        for i in [1, 3, 4, 5] {
+            flags[i].store(true, Ordering::Relaxed);
+        }
+        // Node 4 is flagged but not a candidate; node 5 is ineligible.
+        let changed = q.push_next_from_flags_among(&[0, 1, 3, 5], &flags);
+        assert_eq!(changed, vec![1, 3, 5]);
+        q.advance();
+        assert_eq!(q.active(), &[1, 3]);
+        // Candidate flags were consumed, non-candidate flags were not.
+        assert!(!flags[1].load(Ordering::Relaxed));
+        assert!(flags[4].load(Ordering::Relaxed));
     }
 
     #[test]

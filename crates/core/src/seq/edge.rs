@@ -138,6 +138,7 @@ impl BpEngine for SeqEdgeEngine {
             },
             node_updates,
             message_updates,
+            atomic_retries: 0,
             reported_time: elapsed,
             host_time: elapsed,
         })

@@ -132,6 +132,7 @@ impl BpEngine for NaiveTreeEngine {
             final_delta: 0.0,
             node_updates,
             message_updates,
+            atomic_retries: 0,
             reported_time: elapsed,
             host_time: elapsed,
         })

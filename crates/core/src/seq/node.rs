@@ -111,6 +111,7 @@ impl BpEngine for SeqNodeEngine {
             },
             node_updates,
             message_updates,
+            atomic_retries: 0,
             reported_time: elapsed,
             host_time: elapsed,
         })

@@ -243,6 +243,7 @@ impl BpEngine for TreeEngine {
             final_delta: 0.0,
             node_updates,
             message_updates,
+            atomic_retries: 0,
             reported_time: elapsed,
             host_time: elapsed,
         })
@@ -265,13 +266,13 @@ pub(crate) mod tests {
         let mut marginals: Vec<Belief> = cards.iter().map(|&c| Belief::zeros(c)).collect();
         let mut assignment = vec![0usize; n];
         for mut idx in 0..total {
-            for v in 0..n {
-                assignment[v] = idx % cards[v];
-                idx /= cards[v];
+            for (slot, &card) in assignment.iter_mut().zip(&cards) {
+                *slot = idx % card;
+                idx /= card;
             }
             let mut p = 1.0f64;
-            for v in 0..n {
-                p *= g.priors()[v].get(assignment[v]) as f64;
+            for (prior, &state) in g.priors().iter().zip(&assignment) {
+                p *= prior.get(state) as f64;
             }
             for (a, arc) in g.arcs().iter().enumerate() {
                 let pot = g.potential(a as u32);

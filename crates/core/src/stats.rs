@@ -18,6 +18,11 @@ pub struct BpStats {
     pub node_updates: u64,
     /// Edge messages computed across all iterations.
     pub message_updates: u64,
+    /// CAS retries spent in atomic float multiplies (the §2.4 contention
+    /// cost). Non-zero only for engines that combine messages with
+    /// `atomic_mul_f32`; engines with deterministic reductions (and the
+    /// sequential/simulated ones) report 0.
+    pub atomic_retries: u64,
     /// The time the engine reports for comparison purposes. For CPU
     /// engines this is host wall-clock; for simulated-GPU engines it is
     /// **simulated device time** (see `credo-gpusim`), which is the number

@@ -26,22 +26,23 @@
 
 mod selector;
 
-pub use selector::{Implementation, Selector, ALL_IMPLEMENTATIONS};
+pub use selector::{Implementation, Selector, ALL_IMPLEMENTATIONS, PAR_IMPLEMENTATIONS};
 
 pub use credo_core::{BpEngine, BpOptions, BpStats, EngineError, Paradigm, Platform};
 
+/// The simulated GPU.
+pub use credo_gpusim as gpusim;
 /// Graph structures and generators.
 pub use credo_graph as graph;
 /// Input/output formats.
 pub use credo_io as io;
 /// The classifier library.
 pub use credo_ml as ml;
-/// The simulated GPU.
-pub use credo_gpusim as gpusim;
 
 /// The BP engines.
 pub mod engines {
     pub use credo_core::openmp::{OpenMpEdgeEngine, OpenMpNodeEngine};
+    pub use credo_core::par::{ParEdgeEngine, ParNodeEngine};
     pub use credo_core::seq::{NaiveTreeEngine, SeqEdgeEngine, SeqNodeEngine, TreeEngine};
     pub use credo_cuda::{CudaEdgeEngine, CudaNodeEngine, OpenAccEngine};
 }
@@ -98,6 +99,8 @@ impl Credo {
             Implementation::CNode => Box::new(credo_core::seq::SeqNodeEngine),
             Implementation::CudaEdge => Box::new(CudaEdgeEngine::new(self.device.clone())),
             Implementation::CudaNode => Box::new(CudaNodeEngine::new(self.device.clone())),
+            Implementation::ParEdge => Box::new(credo_core::par::ParEdgeEngine),
+            Implementation::ParNode => Box::new(credo_core::par::ParNodeEngine),
         }
     }
 
@@ -161,6 +164,30 @@ mod tests {
         let (chosen, stats) = credo.run(&mut g, &BpOptions::default()).unwrap();
         assert_eq!(chosen, Implementation::CNode);
         assert!(stats.converged || stats.iterations > 0);
+    }
+
+    #[test]
+    fn engine_instantiates_par_implementations() {
+        let credo = Credo::new(PASCAL_GTX1070);
+        for which in crate::PAR_IMPLEMENTATIONS {
+            let mut g = synthetic(300, 1200, &GenOptions::new(2).with_seed(6));
+            let stats = credo
+                .engine(which)
+                .run(&mut g, &BpOptions::default())
+                .unwrap();
+            assert!(stats.iterations > 0);
+            assert_eq!(stats.engine, which.to_string());
+            assert!(g.beliefs().iter().all(|b| b.is_normalized(1e-3)));
+        }
+    }
+
+    #[test]
+    fn native_rule_runs_par_engines_end_to_end() {
+        let credo = Credo::new(PASCAL_GTX1070).with_selector(Selector::native_rule());
+        let mut g = synthetic(500, 2000, &GenOptions::new(2).with_seed(3));
+        let (chosen, stats) = credo.run(&mut g, &BpOptions::default()).unwrap();
+        assert_eq!(chosen, Implementation::ParEdge);
+        assert!(stats.iterations > 0);
     }
 
     #[test]

@@ -4,7 +4,8 @@
 use credo_graph::{FeatureVector, GraphMetadata};
 use credo_ml::{Classifier, RandomForest};
 
-/// The four implementations Credo dispatches over.
+/// The implementations Credo dispatches over: the paper's four plus the
+/// native persistent-pool parallel engines (`credo_core::par`).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Implementation {
     /// Sequential per-edge ("C Edge").
@@ -15,9 +16,16 @@ pub enum Implementation {
     CudaEdge,
     /// Simulated-GPU per-node ("CUDA Node").
     CudaNode,
+    /// Native CPU-parallel per-edge ("Par Edge"), beyond the paper.
+    ParEdge,
+    /// Native CPU-parallel per-node ("Par Node"), beyond the paper.
+    ParNode,
 }
 
-/// All implementations, in label order (the classifier's class ids).
+/// The paper's four implementations, in label order (the classifier's
+/// class ids — kept at exactly these four so trained forests and recorded
+/// datasets stay valid; the native parallel engines are dispatched by rule
+/// or explicitly, not by the classifier).
 pub const ALL_IMPLEMENTATIONS: [Implementation; 4] = [
     Implementation::CEdge,
     Implementation::CNode,
@@ -25,13 +33,22 @@ pub const ALL_IMPLEMENTATIONS: [Implementation; 4] = [
     Implementation::CudaNode,
 ];
 
+/// The native parallel implementations (the optimization track beyond the
+/// paper).
+pub const PAR_IMPLEMENTATIONS: [Implementation; 2] =
+    [Implementation::ParEdge, Implementation::ParNode];
+
 impl Implementation {
     /// Class id used when training the classifier.
+    ///
+    /// # Panics
+    /// Panics for the native parallel implementations, which are not part
+    /// of the classifier's label space.
     pub fn class_id(self) -> usize {
         ALL_IMPLEMENTATIONS
             .iter()
             .position(|&i| i == self)
-            .expect("implementation is in the label table")
+            .expect("implementation is in the classifier label table")
     }
 
     /// Implementation for a class id.
@@ -46,6 +63,11 @@ impl Implementation {
     pub fn is_cuda(self) -> bool {
         matches!(self, Implementation::CudaEdge | Implementation::CudaNode)
     }
+
+    /// True for the native persistent-pool parallel implementations.
+    pub fn is_par(self) -> bool {
+        matches!(self, Implementation::ParEdge | Implementation::ParNode)
+    }
 }
 
 impl std::fmt::Display for Implementation {
@@ -55,6 +77,8 @@ impl std::fmt::Display for Implementation {
             Implementation::CNode => "C Node",
             Implementation::CudaEdge => "CUDA Edge",
             Implementation::CudaNode => "CUDA Node",
+            Implementation::ParEdge => "Par Edge",
+            Implementation::ParNode => "Par Node",
         })
     }
 }
@@ -70,12 +94,21 @@ pub enum Selector {
     Fixed(Implementation),
     /// A trained random forest over the five §3.7 features.
     Forest(Box<RandomForest>),
+    /// [`Selector::Rule`], but with CPU work dispatched to the native
+    /// persistent-pool parallel engines instead of the sequential ones
+    /// (the simulated-GPU picks are unchanged).
+    NativeRule,
 }
 
 impl Selector {
     /// The rule-based selector.
     pub fn rule_based() -> Self {
         Selector::Rule
+    }
+
+    /// The rule-based selector with native parallel CPU engines.
+    pub fn native_rule() -> Self {
+        Selector::NativeRule
     }
 
     /// A constant selector.
@@ -86,7 +119,11 @@ impl Selector {
     /// Trains the paper-tuned random forest (max depth 6, 14 trees) on
     /// labelled feature vectors.
     pub fn train(features: &[FeatureVector], labels: &[Implementation]) -> Self {
-        assert_eq!(features.len(), labels.len(), "feature/label length mismatch");
+        assert_eq!(
+            features.len(),
+            labels.len(),
+            "feature/label length mismatch"
+        );
         assert!(!features.is_empty(), "cannot train on no data");
         let x: Vec<Vec<f64>> = features.iter().map(|f| f.to_vec()).collect();
         let y: Vec<usize> = labels.iter().map(|l| l.class_id()).collect();
@@ -124,6 +161,11 @@ impl Selector {
                 let row: Vec<f64> = meta.features().to_vec();
                 Implementation::from_class_id(forest.predict(&row))
             }
+            Selector::NativeRule => match Selector::Rule.select(meta) {
+                Implementation::CEdge => Implementation::ParEdge,
+                Implementation::CNode => Implementation::ParNode,
+                other => other,
+            },
         }
     }
 }
@@ -214,7 +256,7 @@ mod tests {
             .filter(|(f, l)| {
                 let predicted = match &s {
                     Selector::Forest(forest) => {
-                        Implementation::from_class_id(forest.predict(&f.to_vec()))
+                        Implementation::from_class_id(forest.predict(f.as_ref()))
                     }
                     _ => unreachable!(),
                 };
@@ -235,8 +277,32 @@ mod tests {
     }
 
     #[test]
+    fn native_rule_maps_cpu_picks_to_par_engines() {
+        let s = Selector::native_rule();
+        assert_eq!(s.select(&meta_of(500, 2000)), Implementation::ParEdge);
+        assert_eq!(s.select(&meta_of(20_000, 40_000)), Implementation::ParNode);
+        // GPU picks are unchanged.
+        assert_eq!(
+            s.select(&meta_of(120_000, 480_000)),
+            Implementation::CudaNode
+        );
+    }
+
+    #[test]
+    fn par_implementations_stay_out_of_the_label_table() {
+        for imp in PAR_IMPLEMENTATIONS {
+            assert!(imp.is_par());
+            assert!(!imp.is_cuda());
+            assert!(!ALL_IMPLEMENTATIONS.contains(&imp));
+        }
+        assert_eq!(ALL_IMPLEMENTATIONS.len(), 4);
+    }
+
+    #[test]
     fn display_names() {
         assert_eq!(Implementation::CudaNode.to_string(), "CUDA Node");
         assert_eq!(Implementation::CEdge.to_string(), "C Edge");
+        assert_eq!(Implementation::ParNode.to_string(), "Par Node");
+        assert_eq!(Implementation::ParEdge.to_string(), "Par Edge");
     }
 }

@@ -156,8 +156,9 @@ impl BpEngine for CudaEdgeEngine {
                     let g = &*graph;
                     let acc_ref = &acc;
                     let nodes_ref = &active_nodes;
-                    self.device
-                        .launch(LaunchConfig::for_items(nodes_ref.len(), 1024), |ctx, tid| {
+                    self.device.launch(
+                        LaunchConfig::for_items(nodes_ref.len(), 1024),
+                        |ctx, tid| {
                             if tid >= nodes_ref.len() {
                                 return;
                             }
@@ -165,9 +166,11 @@ impl BpEngine for CudaEdgeEngine {
                             let v = nodes_ref[tid] as usize;
                             let prior = &g.priors()[v];
                             for st in 0..k {
-                                acc_ref[v * k + st].store(prior.get(st).to_bits(), Ordering::Relaxed);
+                                acc_ref[v * k + st]
+                                    .store(prior.get(st).to_bits(), Ordering::Relaxed);
                             }
-                        });
+                        },
+                    );
                 }
 
                 // Kernel 2: stream arcs, combine atomically.
@@ -200,8 +203,9 @@ impl BpEngine for CudaEdgeEngine {
                     let scratch_shared = SharedSlice::new(&mut scratch);
                     let diffs_shared = SharedSlice::new(&mut diffs);
                     let nodes_ref = &active_nodes;
-                    self.device
-                        .launch(LaunchConfig::for_items(nodes_ref.len(), 1024), |ctx, tid| {
+                    self.device.launch(
+                        LaunchConfig::for_items(nodes_ref.len(), 1024),
+                        |ctx, tid| {
                             if tid >= nodes_ref.len() {
                                 return;
                             }
@@ -209,7 +213,10 @@ impl BpEngine for CudaEdgeEngine {
                             let v = nodes_ref[tid] as usize;
                             let mut new = Belief::zeros(k);
                             for st in 0..k {
-                                new.set(st, f32::from_bits(acc_ref[v * k + st].load(Ordering::Relaxed)));
+                                new.set(
+                                    st,
+                                    f32::from_bits(acc_ref[v * k + st].load(Ordering::Relaxed)),
+                                );
                             }
                             new.normalize();
                             let diff = new.l1_diff(&prev[v]);
@@ -218,7 +225,8 @@ impl BpEngine for CudaEdgeEngine {
                                 scratch_shared.write(v, new);
                                 diffs_shared.write(v, diff);
                             }
-                        });
+                        },
+                    );
                 }
                 node_updates += active_nodes.len() as u64;
                 for &v in &active_nodes {
@@ -247,7 +255,12 @@ impl BpEngine for CudaEdgeEngine {
                             diffs[v as usize] = 0.0;
                         }
                     }
-                    charge_queue_repopulation(&self.device, active_nodes.len(), changed, woken_arcs);
+                    charge_queue_repopulation(
+                        &self.device,
+                        active_nodes.len(),
+                        changed,
+                        woken_arcs,
+                    );
                 }
                 iterations += 1;
             }
@@ -278,6 +291,7 @@ impl BpEngine for CudaEdgeEngine {
             final_delta,
             node_updates,
             message_updates,
+            atomic_retries: 0,
             reported_time: self.device.elapsed() - dev_start,
             host_time: host_start.elapsed(),
         })

@@ -9,8 +9,8 @@
 //! decline of Node speedups at high belief counts).
 
 use crate::setup::GraphOnDevice;
-use credo_core::{node_update, BpEngine, BpOptions, BpStats, EngineError, Paradigm, Platform};
 use credo_core::WorkQueue;
+use credo_core::{node_update, BpEngine, BpOptions, BpStats, EngineError, Paradigm, Platform};
 use credo_gpusim::{Device, LaunchConfig, SharedSlice, ThreadCtx};
 use credo_graph::{Belief, BeliefGraph};
 use std::time::Instant;
@@ -283,6 +283,7 @@ impl BpEngine for CudaNodeEngine {
             final_delta,
             node_updates,
             message_updates,
+            atomic_retries: 0,
             reported_time: self.device.elapsed() - dev_start,
             host_time: host_start.elapsed(),
         })

@@ -11,12 +11,7 @@ use credo_graph::BeliefGraph;
 /// per-edge mode: one per arc). Used both by the engines and by the
 /// benchmark suite to predict §4.2's "exceeds the GPU's VRAM" cases
 /// without building the graph.
-pub fn device_bytes_required(
-    nodes: u64,
-    arcs: u64,
-    beliefs: u64,
-    potential_bytes: u64,
-) -> u64 {
+pub fn device_bytes_required(nodes: u64, arcs: u64, beliefs: u64, potential_bytes: u64) -> u64 {
     let belief_array = nodes * beliefs * 4;
     // prev + next + accumulator belief arrays
     let beliefs_total = 3 * belief_array;
@@ -64,12 +59,14 @@ impl GraphOnDevice {
             potential_bytes,
         );
         let structure = TrackedAlloc::uploaded(device, required).map_err(|e| match e {
-            DeviceError::OutOfMemory { requested, capacity, .. } => {
-                EngineError::OutOfDeviceMemory {
-                    required: requested,
-                    capacity,
-                }
-            }
+            DeviceError::OutOfMemory {
+                requested,
+                capacity,
+                ..
+            } => EngineError::OutOfDeviceMemory {
+                required: requested,
+                capacity,
+            },
         })?;
         Ok(GraphOnDevice {
             _structure: structure,

@@ -137,7 +137,9 @@ impl Drop for TrackedAlloc {
 
 impl std::fmt::Debug for TrackedAlloc {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TrackedAlloc").field("bytes", &self.bytes).finish()
+        f.debug_struct("TrackedAlloc")
+            .field("bytes", &self.bytes)
+            .finish()
     }
 }
 

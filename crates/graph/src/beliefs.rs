@@ -32,7 +32,7 @@ impl Belief {
     #[inline]
     pub fn zeros(len: usize) -> Self {
         assert!(
-            len >= 1 && len <= MAX_BELIEFS,
+            (1..=MAX_BELIEFS).contains(&len),
             "belief cardinality {len} out of range 1..={MAX_BELIEFS}"
         );
         Belief {

@@ -84,14 +84,22 @@ impl GraphBuilder {
 
     /// Adds a directed arc in shared-potential mode.
     pub fn add_directed_edge(&mut self, src: NodeId, dst: NodeId) {
-        self.arcs.push(Arc { src, dst, reverse: false });
+        self.arcs.push(Arc {
+            src,
+            dst,
+            reverse: false,
+        });
         self.arc_potentials.push(None);
         self.undirected_edges += 1;
     }
 
     /// Adds a directed arc with its own matrix (per-edge mode).
     pub fn add_directed_edge_with(&mut self, src: NodeId, dst: NodeId, m: JointMatrix) {
-        self.arcs.push(Arc { src, dst, reverse: false });
+        self.arcs.push(Arc {
+            src,
+            dst,
+            reverse: false,
+        });
         self.arc_potentials.push(Some(m));
         self.undirected_edges += 1;
     }
@@ -100,9 +108,17 @@ impl GraphBuilder {
     /// `src → dst` plus reverse arc `dst → src` (which will use the shared
     /// matrix's transpose).
     pub fn add_undirected_edge(&mut self, src: NodeId, dst: NodeId) {
-        self.arcs.push(Arc { src, dst, reverse: false });
+        self.arcs.push(Arc {
+            src,
+            dst,
+            reverse: false,
+        });
         self.arc_potentials.push(None);
-        self.arcs.push(Arc { src: dst, dst: src, reverse: true });
+        self.arcs.push(Arc {
+            src: dst,
+            dst: src,
+            reverse: true,
+        });
         self.arc_potentials.push(None);
         self.undirected_edges += 1;
     }
@@ -111,9 +127,17 @@ impl GraphBuilder {
     /// transpose.
     pub fn add_undirected_edge_with(&mut self, src: NodeId, dst: NodeId, m: JointMatrix) {
         let t = m.transposed();
-        self.arcs.push(Arc { src, dst, reverse: false });
+        self.arcs.push(Arc {
+            src,
+            dst,
+            reverse: false,
+        });
         self.arc_potentials.push(Some(m));
-        self.arcs.push(Arc { src: dst, dst: src, reverse: true });
+        self.arcs.push(Arc {
+            src: dst,
+            dst: src,
+            reverse: true,
+        });
         self.arc_potentials.push(Some(t));
         self.undirected_edges += 1;
     }
@@ -150,7 +174,10 @@ impl GraphBuilder {
             // Shared mode needs one cardinality everywhere.
             let first = self.priors[0].len();
             if let Some(other) = self.priors.iter().find(|b| b.len() != first) {
-                return Err(GraphError::MixedCardinality { first, other: other.len() });
+                return Err(GraphError::MixedCardinality {
+                    first,
+                    other: other.len(),
+                });
             }
             PotentialStore::shared(shared)
         } else {

@@ -84,7 +84,10 @@ impl Csr {
 
     /// Maximum degree over all nodes.
     pub fn max_degree(&self) -> usize {
-        (0..self.num_nodes()).map(|n| self.degree(n)).max().unwrap_or(0)
+        (0..self.num_nodes())
+            .map(|n| self.degree(n))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Bytes used by the index.

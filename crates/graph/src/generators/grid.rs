@@ -9,7 +9,10 @@ use crate::BeliefGraph;
 /// down neighbours) with undirected smoothing edges. Node `(x, y)` has id
 /// `y * width + x`.
 pub fn grid(width: usize, height: usize, opts: &GenOptions) -> BeliefGraph {
-    assert!(width >= 1 && height >= 1, "grid dimensions must be positive");
+    assert!(
+        width >= 1 && height >= 1,
+        "grid dimensions must be positive"
+    );
     let n = width * height;
     let mut edges = Vec::with_capacity(2 * n);
     for y in 0..height {

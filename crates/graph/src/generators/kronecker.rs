@@ -20,7 +20,10 @@ const C: f64 = 0.19;
 /// # Panics
 /// Panics if `log_n` is 0 or exceeds 31.
 pub fn kronecker(log_n: u32, edge_factor: usize, opts: &GenOptions) -> BeliefGraph {
-    assert!(log_n >= 1 && log_n <= 31, "log_n {log_n} out of range 1..=31");
+    assert!(
+        (1..=31).contains(&log_n),
+        "log_n {log_n} out of range 1..=31"
+    );
     let n = 1usize << log_n;
     let m = edge_factor * n;
     let mut rng = opts.rng();

@@ -62,6 +62,10 @@ mod tests {
         // max degree stays small relative to hub-dominated graphs.
         let g = synthetic(1000, 4000, &GenOptions::new(2));
         let m = g.metadata();
-        assert!(m.skew() > 0.2, "synthetic graphs are not hub-dominated: {}", m.skew());
+        assert!(
+            m.skew() > 0.2,
+            "synthetic graphs are not hub-dominated: {}",
+            m.skew()
+        );
     }
 }

@@ -77,7 +77,10 @@ mod tests {
     #[test]
     fn tree_arcs_point_from_lower_to_higher_ids() {
         let g = random_tree(64, &GenOptions::new(3));
-        assert!(g.arcs().iter().all(|a| a.src < a.dst), "acyclic by construction");
+        assert!(
+            g.arcs().iter().all(|a| a.src < a.dst),
+            "acyclic by construction"
+        );
     }
 
     #[test]

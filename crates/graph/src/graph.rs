@@ -65,12 +65,22 @@ impl std::fmt::Display for GraphError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             GraphError::InvalidNode { node, num_nodes } => {
-                write!(f, "arc references node {node} but graph has {num_nodes} nodes")
+                write!(
+                    f,
+                    "arc references node {node} but graph has {num_nodes} nodes"
+                )
             }
             GraphError::MissingPotential { arc } => {
-                write!(f, "arc {arc} has no joint probability matrix (per-edge mode)")
+                write!(
+                    f,
+                    "arc {arc} has no joint probability matrix (per-edge mode)"
+                )
             }
-            GraphError::PotentialShape { arc, expected, actual } => write!(
+            GraphError::PotentialShape {
+                arc,
+                expected,
+                actual,
+            } => write!(
                 f,
                 "arc {arc}: joint matrix is {}x{} but endpoints require {}x{}",
                 actual.0, actual.1, expected.0, expected.1
@@ -434,7 +444,11 @@ mod tests {
     fn to_mrf_is_idempotent() {
         let g = chain3();
         let mrf = g.to_mrf();
-        assert_eq!(mrf.num_arcs(), g.num_arcs(), "already-undirected graph unchanged");
+        assert_eq!(
+            mrf.num_arcs(),
+            g.num_arcs(),
+            "already-undirected graph unchanged"
+        );
     }
 
     #[test]

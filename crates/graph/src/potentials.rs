@@ -27,8 +27,14 @@ impl JointMatrix {
     /// Panics if `data.len() != rows * cols`, if either dimension is zero,
     /// or if a dimension exceeds [`MAX_BELIEFS`].
     pub fn from_rows(rows: usize, cols: usize, data: Vec<f32>) -> Self {
-        assert!(rows >= 1 && rows <= MAX_BELIEFS, "rows {rows} out of range");
-        assert!(cols >= 1 && cols <= MAX_BELIEFS, "cols {cols} out of range");
+        assert!(
+            (1..=MAX_BELIEFS).contains(&rows),
+            "rows {rows} out of range"
+        );
+        assert!(
+            (1..=MAX_BELIEFS).contains(&cols),
+            "cols {cols} out of range"
+        );
         assert_eq!(data.len(), rows * cols, "joint matrix data length mismatch");
         JointMatrix {
             rows: rows as u32,
@@ -211,7 +217,10 @@ impl PotentialStore {
     /// Builds the shared store from a single matrix.
     pub fn shared(m: JointMatrix) -> Self {
         let reverse = m.transposed();
-        PotentialStore::Shared { forward: m, reverse }
+        PotentialStore::Shared {
+            forward: m,
+            reverse,
+        }
     }
 
     /// Builds the per-edge store.
@@ -231,7 +240,10 @@ impl PotentialStore {
     pub fn get(&self, arc: usize, reverse: bool) -> &JointMatrix {
         match self {
             PotentialStore::PerEdge(ms) => &ms[arc],
-            PotentialStore::Shared { forward, reverse: rev } => {
+            PotentialStore::Shared {
+                forward,
+                reverse: rev,
+            } => {
                 if reverse {
                     rev
                 } else {

@@ -33,12 +33,18 @@ impl SoaBeliefs {
             off += b.len();
         }
         offsets.push(off);
-        SoaBeliefs { probs, offsets, dims }
+        SoaBeliefs {
+            probs,
+            offsets,
+            dims,
+        }
     }
 
     /// Converts back to AoS records.
     pub fn to_aos(&self) -> Vec<Belief> {
-        (0..self.len()).map(|i| Belief::from_slice(self.node(i))).collect()
+        (0..self.len())
+            .map(|i| Belief::from_slice(self.node(i)))
+            .collect()
     }
 
     /// Number of nodes stored.

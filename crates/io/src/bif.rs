@@ -147,7 +147,11 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, IoError> {
                 toks.push((Tok::Ident(src[start..end].to_string()), line));
             }
             other => {
-                return Err(IoError::parse(FORMAT, line, format!("unexpected '{other}'")));
+                return Err(IoError::parse(
+                    FORMAT,
+                    line,
+                    format!("unexpected '{other}'"),
+                ));
             }
         }
     }
@@ -309,7 +313,11 @@ pub(crate) fn build_network(
     let mut cards: Vec<usize> = Vec::new();
     for (name, card) in variables {
         if ids.contains_key(&name) {
-            return Err(IoError::parse(format, 0, format!("duplicate variable '{name}'")));
+            return Err(IoError::parse(
+                format,
+                0,
+                format!("duplicate variable '{name}'"),
+            ));
         }
         let id = builder.add_named_node(name.clone(), Belief::uniform(card));
         ids.insert(name, id);
@@ -333,7 +341,10 @@ pub(crate) fn build_network(
             return Err(IoError::parse(
                 format,
                 0,
-                format!("CPT for '{child}' has {} entries, expected {expected}", table.len()),
+                format!(
+                    "CPT for '{child}' has {} entries, expected {expected}",
+                    table.len()
+                ),
             ));
         }
         let (prior, mats) = cpt_to_pairwise(cards[cid as usize], &parent_cards, &table);
@@ -408,7 +419,9 @@ pub fn read_str(src: &str) -> Result<BeliefGraph, IoError> {
             .iter()
             .map(|v| (v.name.clone(), v.states.len()))
             .collect(),
-        cpts.into_iter().map(|c| (c.child, c.parents, c.table)).collect(),
+        cpts.into_iter()
+            .map(|c| (c.child, c.parents, c.table))
+            .collect(),
         FORMAT,
     )
 }
@@ -452,7 +465,10 @@ fn parse_variable(lx: &mut Lexer) -> Result<Variable, IoError> {
                     return Err(IoError::parse(
                         FORMAT,
                         line,
-                        format!("variable '{name}' declares {card} states, lists {}", states.len()),
+                        format!(
+                            "variable '{name}' declares {card} states, lists {}",
+                            states.len()
+                        ),
                     ));
                 }
                 lx.expect(&Tok::Semi)?;
@@ -475,7 +491,11 @@ fn parse_variable(lx: &mut Lexer) -> Result<Variable, IoError> {
         }
     }
     if states.is_empty() {
-        return Err(IoError::parse(FORMAT, lx.line(), format!("variable '{name}' has no states")));
+        return Err(IoError::parse(
+            FORMAT,
+            lx.line(),
+            format!("variable '{name}' has no states"),
+        ));
     }
     Ok(Variable { name, states })
 }
@@ -524,7 +544,9 @@ fn parse_probability(
             .map(|&i| &variables[i])
             .ok_or_else(|| IoError::parse(FORMAT, line, format!("unknown variable '{name}'")))
     }
-    let child_card = lookup(variables, var_index, &child, lx.line())?.states.len();
+    let child_card = lookup(variables, var_index, &child, lx.line())?
+        .states
+        .len();
     let parent_cards: Vec<usize> = parents
         .iter()
         .map(|p| lookup(variables, var_index, p, lx.line()).map(|v| v.states.len()))
@@ -556,7 +578,11 @@ fn parse_probability(
                     return Err(IoError::parse(
                         FORMAT,
                         line,
-                        format!("table for '{child}' has {} values, expected {}", vals.len(), table.len()),
+                        format!(
+                            "table for '{child}' has {} values, expected {}",
+                            vals.len(),
+                            table.len()
+                        ),
                     ));
                 }
                 table.copy_from_slice(&vals);
@@ -567,19 +593,12 @@ fn parse_probability(
                 for (i, p) in parents.iter().enumerate() {
                     let state = lx.ident()?;
                     let pv = lookup(variables, var_index, p, line)?;
-                    let s = pv
-                        .states
-                        .iter()
-                        .position(|x| *x == state)
-                        .ok_or_else(|| {
-                            IoError::parse(FORMAT, line, format!("unknown state '{state}' of '{p}'"))
-                        })?;
+                    let s = pv.states.iter().position(|x| *x == state).ok_or_else(|| {
+                        IoError::parse(FORMAT, line, format!("unknown state '{state}' of '{p}'"))
+                    })?;
                     combo = combo * parent_cards[i] + s;
-                    match lx.peek() {
-                        Some(Tok::Comma) => {
-                            lx.next();
-                        }
-                        _ => {}
+                    if let Some(Tok::Comma) = lx.peek() {
+                        lx.next();
                     }
                 }
                 lx.expect(&Tok::RParen)?;
@@ -815,7 +834,10 @@ probability ( c | p1, p2 ) {
         assert!((back.priors()[fo as usize].get(1) - 0.15).abs() < 1e-5);
         // Single-parent CPTs are preserved exactly.
         let hb = back.node_by_name("hear-bark").unwrap();
-        let (a1, a2) = (back.in_arcs(hb)[0], g.in_arcs(g.node_by_name("hear-bark").unwrap())[0]);
+        let (a1, a2) = (
+            back.in_arcs(hb)[0],
+            g.in_arcs(g.node_by_name("hear-bark").unwrap())[0],
+        );
         for p in 0..2 {
             for c in 0..2 {
                 assert!((back.potential(a1).get(p, c) - g.potential(a2).get(p, c)).abs() < 1e-5);

@@ -207,7 +207,10 @@ fn read_edges<R: BufRead>(
         if rows != cards.len() {
             return Err(parse_err(
                 lineno,
-                format!("edge file is over {rows} nodes, node file has {}", cards.len()),
+                format!(
+                    "edge file is over {rows} nodes, node file has {}",
+                    cards.len()
+                ),
             ));
         }
         let _cols: usize = it
@@ -307,7 +310,10 @@ fn parse_shared(spec: &str, lineno: usize) -> Result<JointMatrix, IoError> {
     if values.len() != rows * cols {
         return Err(parse_err(
             lineno,
-            format!("shared-potential needs {rows}x{cols}={} values", rows * cols),
+            format!(
+                "shared-potential needs {rows}x{cols}={} values",
+                rows * cols
+            ),
         ));
     }
     Ok(JointMatrix::from_rows(rows, cols, values))

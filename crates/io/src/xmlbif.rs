@@ -22,7 +22,9 @@ struct Element {
 
 impl Element {
     fn find(&self, name: &str) -> Option<&Element> {
-        self.children.iter().find(|c| c.name.eq_ignore_ascii_case(name))
+        self.children
+            .iter()
+            .find(|c| c.name.eq_ignore_ascii_case(name))
     }
 
     fn find_all<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> + 'a {
@@ -120,7 +122,9 @@ fn parse_xml(src: &str) -> Result<Element, IoError> {
             let next = src[pos..].find('<').map(|i| pos + i).unwrap_or(bytes.len());
             let chunk = &src[pos..next];
             line += chunk.matches('\n').count();
-            let top = stack.last_mut().ok_or_else(|| err(line, "text at top level"))?;
+            let top = stack
+                .last_mut()
+                .ok_or_else(|| err(line, "text at top level"))?;
             let decoded = chunk
                 .replace("&lt;", "<")
                 .replace("&gt;", ">")
@@ -202,9 +206,8 @@ pub fn read_str(src: &str) -> Result<BeliefGraph, IoError> {
             .split_ascii_whitespace()
             .map(str::parse)
             .collect();
-        let table = table.map_err(|_| {
-            IoError::parse(FORMAT, 0, format!("bad table value for '{child}'"))
-        })?;
+        let table = table
+            .map_err(|_| IoError::parse(FORMAT, 0, format!("bad table value for '{child}'")))?;
         cpts.push((child, parents, table));
     }
 
@@ -253,8 +256,7 @@ pub fn write<W: Write>(graph: &BeliefGraph, mut w: W) -> Result<(), IoError> {
                 write!(w, "{p}")?;
             }
         } else {
-            let parent_cards: Vec<usize> =
-                parents.iter().map(|&p| graph.cardinality(p)).collect();
+            let parent_cards: Vec<usize> = parents.iter().map(|&p| graph.cardinality(p)).collect();
             let combos: usize = parent_cards.iter().product();
             let mut first = true;
             for combo in 0..combos {
@@ -368,10 +370,7 @@ mod tests {
         let back = read(&buf[..]).unwrap();
         assert_eq!(back.num_nodes(), 5);
         assert_eq!(back.num_edges(), 4);
-        assert_eq!(
-            back.in_arcs(back.node_by_name("dog-out").unwrap()).len(),
-            2
-        );
+        assert_eq!(back.in_arcs(back.node_by_name("dog-out").unwrap()).len(), 2);
     }
 
     #[test]
@@ -404,9 +403,7 @@ mod tests {
         write(&g, &mut xml_buf).unwrap();
         let from_xml = read(&xml_buf[..]).unwrap();
         for v in 0..5u32 {
-            assert!(
-                from_bif.priors()[v as usize].linf_diff(&from_xml.priors()[v as usize]) < 1e-6
-            );
+            assert!(from_bif.priors()[v as usize].linf_diff(&from_xml.priors()[v as usize]) < 1e-6);
         }
         assert_eq!(from_bif.num_arcs(), from_xml.num_arcs());
     }

@@ -55,7 +55,10 @@ impl Dataset {
 /// set, after a seeded shuffle — the paper's "train-test split of 60-40"
 /// uses `test_fraction = 0.4`.
 pub fn train_test_split(data: &Dataset, test_fraction: f64, seed: u64) -> (Dataset, Dataset) {
-    assert!((0.0..1.0).contains(&test_fraction), "fraction must be in [0,1)");
+    assert!(
+        (0.0..1.0).contains(&test_fraction),
+        "fraction must be in [0,1)"
+    );
     let shuffled = data.shuffled(seed);
     let test_len = (shuffled.len() as f64 * test_fraction).round() as usize;
     let split = shuffled.len() - test_len;

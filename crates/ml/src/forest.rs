@@ -93,8 +93,7 @@ impl Classifier for RandomForest {
                 features.swap(i, rng.gen_range(0..=i));
             }
             features.truncate(subset_size);
-            let mut tree =
-                DecisionTree::new(self.max_depth).with_feature_subset(features);
+            let mut tree = DecisionTree::new(self.max_depth).with_feature_subset(features);
             tree.fit(&bx, &by);
             for (acc, v) in importances.iter_mut().zip(tree.feature_importances()) {
                 *acc += v;

@@ -42,7 +42,10 @@ fn fit_reg_tree(x: &[Vec<f64>], r: &[f64], idx: &mut [usize], depth: usize) -> R
         return RegNode::Leaf(mean);
     }
     let d = x[0].len();
-    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, sse)
+    // best = (feature, threshold, sse); `f` picks the feature column inside
+    // the sort comparator, so an iterator over `x` rows cannot replace it.
+    let mut best: Option<(usize, f64, f64)> = None;
+    #[allow(clippy::needless_range_loop)]
     for f in 0..d {
         idx.sort_unstable_by(|&a, &b| x[a][f].partial_cmp(&x[b][f]).expect("finite"));
         // Prefix sums of residuals for O(1) SSE deltas.
@@ -62,7 +65,7 @@ fn fit_reg_tree(x: &[Vec<f64>], r: &[f64], idx: &mut [usize], depth: usize) -> R
             let n_r = (idx.len() - split) as f64;
             let sse = (sq_l - sum_l * sum_l / n_l)
                 + ((total_sq - sq_l) - (total - sum_l) * (total - sum_l) / n_r);
-            if best.map_or(true, |(_, _, b)| sse < b - 1e-12) {
+            if best.is_none_or(|(_, _, b)| sse < b - 1e-12) {
                 best = Some((f, (lo + hi) / 2.0, sse));
             }
         }
@@ -128,8 +131,7 @@ impl Classifier for GradientBoosting {
         let n_classes = y.iter().copied().max().unwrap_or(0) + 1;
         self.models = (0..n_classes)
             .map(|c| {
-                let targets: Vec<f64> =
-                    y.iter().map(|&yi| f64::from(yi == c)).collect();
+                let targets: Vec<f64> = y.iter().map(|&yi| f64::from(yi == c)).collect();
                 let pos = targets.iter().sum::<f64>().clamp(0.5, x.len() as f64 - 0.5);
                 let bias = (pos / (x.len() as f64 - pos)).ln();
                 let mut scores = vec![bias; x.len()];

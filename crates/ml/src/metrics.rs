@@ -17,11 +17,7 @@ pub fn accuracy(actual: &[usize], predicted: &[usize]) -> f64 {
     if actual.is_empty() {
         return 0.0;
     }
-    let hits = actual
-        .iter()
-        .zip(predicted)
-        .filter(|(a, p)| a == p)
-        .count();
+    let hits = actual.iter().zip(predicted).filter(|(a, p)| a == p).count();
     hits as f64 / actual.len() as f64
 }
 
@@ -35,8 +31,14 @@ pub fn precision_recall_f1(
     (0..n_classes)
         .map(|c| {
             let tp = m[c][c] as f64;
-            let fp: f64 = (0..n_classes).filter(|&a| a != c).map(|a| m[a][c] as f64).sum();
-            let fn_: f64 = (0..n_classes).filter(|&p| p != c).map(|p| m[c][p] as f64).sum();
+            let fp: f64 = (0..n_classes)
+                .filter(|&a| a != c)
+                .map(|a| m[a][c] as f64)
+                .sum();
+            let fn_: f64 = (0..n_classes)
+                .filter(|&p| p != c)
+                .map(|p| m[c][p] as f64)
+                .sum();
             let precision = if tp + fp > 0.0 { tp / (tp + fp) } else { 0.0 };
             let recall = if tp + fn_ > 0.0 { tp / (tp + fn_) } else { 0.0 };
             let f1 = if precision + recall > 0.0 {
@@ -61,9 +63,7 @@ pub fn f1_macro(actual: &[usize], predicted: &[usize]) -> f64 {
         return 0.0;
     }
     let prf = precision_recall_f1(actual, predicted, n_classes);
-    let present: Vec<usize> = (0..n_classes)
-        .filter(|&c| actual.iter().any(|&a| a == c))
-        .collect();
+    let present: Vec<usize> = (0..n_classes).filter(|&c| actual.contains(&c)).collect();
     if present.is_empty() {
         return 0.0;
     }

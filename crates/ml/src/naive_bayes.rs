@@ -104,7 +104,12 @@ mod tests {
 
     #[test]
     fn constant_feature_does_not_nan() {
-        let x = vec![vec![1.0, 5.0], vec![1.0, 6.0], vec![1.0, 5.5], vec![1.0, 6.5]];
+        let x = vec![
+            vec![1.0, 5.0],
+            vec![1.0, 6.0],
+            vec![1.0, 5.5],
+            vec![1.0, 6.5],
+        ];
         let y = vec![0, 1, 0, 1];
         let mut nb = GaussianNaiveBayes::default();
         nb.fit(&x, &y);

@@ -21,7 +21,10 @@ impl Pca {
     pub fn fit(x: &[Vec<f64>], n_components: usize) -> Self {
         assert!(!x.is_empty(), "cannot fit PCA on no data");
         let d = x[0].len();
-        assert!(n_components >= 1 && n_components <= d, "bad component count");
+        assert!(
+            n_components >= 1 && n_components <= d,
+            "bad component count"
+        );
         let n = x.len() as f64;
         let mut means = vec![0.0; d];
         for row in x {
@@ -153,7 +156,10 @@ mod tests {
             .collect();
         let pca = Pca::fit(&x, 2);
         let c = &pca.components[0];
-        assert!((c[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.05, "{c:?}");
+        assert!(
+            (c[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.05,
+            "{c:?}"
+        );
         assert!(pca.explained_variance()[0] > 10.0 * pca.explained_variance()[1]);
     }
 
@@ -173,12 +179,19 @@ mod tests {
             t.iter().map(|r| r[1]).collect::<Vec<_>>(),
         ];
         let corr = correlation_matrix(&cols);
-        assert!(corr[0][1].abs() < 0.1, "projected axes decorrelated: {corr:?}");
+        assert!(
+            corr[0][1].abs() < 0.1,
+            "projected axes decorrelated: {corr:?}"
+        );
     }
 
     #[test]
     fn correlation_matrix_diagonal_is_one() {
-        let cols = vec![vec![1.0, 2.0, 3.0], vec![2.0, 4.0, 6.0], vec![1.0, 1.0, 1.0]];
+        let cols = vec![
+            vec![1.0, 2.0, 3.0],
+            vec![2.0, 4.0, 6.0],
+            vec![1.0, 1.0, 1.0],
+        ];
         let m = correlation_matrix(&cols);
         for (i, row) in m.iter().enumerate() {
             assert!((row[i] - 1.0).abs() < 1e-9);

@@ -66,8 +66,10 @@ impl Classifier for LinearSvm {
         let mut rng = StdRng::seed_from_u64(self.seed);
         self.models = (0..n_classes)
             .map(|c| {
-                let targets: Vec<f64> =
-                    y.iter().map(|&yi| if yi == c { 1.0 } else { -1.0 }).collect();
+                let targets: Vec<f64> = y
+                    .iter()
+                    .map(|&yi| if yi == c { 1.0 } else { -1.0 })
+                    .collect();
                 self.fit_binary(x, &targets, &mut rng)
             })
             .collect();

@@ -180,7 +180,7 @@ impl DecisionTree {
                 }
                 let w = split as f64 / idx.len() as f64;
                 let g = w * gini(&left, split) + (1.0 - w) * gini(&right, idx.len() - split);
-                if best.map_or(true, |(_, _, bg)| g < bg - 1e-15) {
+                if best.is_none_or(|(_, _, bg)| g < bg - 1e-15) {
                     best = Some((f, (lo + hi) / 2.0, g));
                 }
             }
@@ -248,7 +248,11 @@ impl Classifier for DecisionTree {
                     left,
                     right,
                 } => {
-                    node = if row[*feature] < *threshold { left } else { right };
+                    node = if row[*feature] < *threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }
@@ -305,9 +309,7 @@ mod tests {
     #[test]
     fn importances_sum_to_one_and_favor_informative_feature() {
         // Feature 0 decides the label; feature 1 is constant noise.
-        let x: Vec<Vec<f64>> = (0..40)
-            .map(|i| vec![i as f64, 0.5])
-            .collect();
+        let x: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64, 0.5]).collect();
         let y: Vec<usize> = (0..40).map(|i| usize::from(i >= 20)).collect();
         let mut t = DecisionTree::new(3);
         t.fit(&x, &y);

@@ -40,9 +40,7 @@ fn render(label: &str, pixels: &[bool]) {
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(42);
-    let clean: Vec<bool> = (0..W * H)
-        .map(|i| truth(i % W, i / W))
-        .collect();
+    let clean: Vec<bool> = (0..W * H).map(|i| truth(i % W, i / W)).collect();
     let noisy: Vec<bool> = clean
         .iter()
         .map(|&b| if rng.gen_bool(FLIP) { !b } else { b })

@@ -14,7 +14,11 @@ use credo::{BpEngine, BpOptions};
 
 fn main() {
     let mut network = family_out();
-    println!("family-out: {} nodes, {} edges", network.num_nodes(), network.num_edges());
+    println!(
+        "family-out: {} nodes, {} edges",
+        network.num_nodes(),
+        network.num_edges()
+    );
 
     // Priors before any observation.
     println!("\nPriors:");
@@ -47,7 +51,10 @@ fn main() {
     println!("\nPosteriors given light-on = true, hear-bark = true:");
     for name in ["family-out", "bowel-problem", "dog-out"] {
         let v = network.node_by_name(name).expect("node exists");
-        println!("  P({name} = true) = {:.3}", network.beliefs()[v as usize].get(1));
+        println!(
+            "  P({name} = true) = {:.3}",
+            network.beliefs()[v as usize].get(1)
+        );
     }
 
     let fo = network.node_by_name("family-out").expect("node exists");
@@ -57,7 +64,5 @@ fn main() {
         posterior > prior,
         "evidence should raise the family-out belief"
     );
-    println!(
-        "\nThe observations raised P(family-out) from {prior:.2} to {posterior:.3}."
-    );
+    println!("\nThe observations raised P(family-out) from {prior:.2} to {posterior:.3}.");
 }

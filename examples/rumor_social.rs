@@ -8,9 +8,9 @@
 //! cargo run --release --example rumor_social
 //! ```
 
+use credo::gpusim::PASCAL_GTX1070;
 use credo::graph::generators::{kronecker, GenOptions, PotentialKind};
 use credo::graph::{Belief, JointMatrix, PotentialStore};
-use credo::gpusim::PASCAL_GTX1070;
 use credo::{BpOptions, Credo};
 
 fn main() {

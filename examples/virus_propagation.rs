@@ -10,9 +10,9 @@
 //! cargo run --release --example virus_propagation
 //! ```
 
+use credo::gpusim::PASCAL_GTX1070;
 use credo::graph::generators::{preferential_attachment, GenOptions, PotentialKind};
 use credo::graph::{Belief, JointMatrix, PotentialStore};
-use credo::gpusim::PASCAL_GTX1070;
 use credo::{BpOptions, Credo};
 
 const UNINFECTED: usize = 0;
@@ -80,10 +80,8 @@ fn main() {
         println!("  person {v:>5}: P(infected) = {p:.3}  ({contacts} contacts)");
     }
 
-    let avg_risk: f32 =
-        risk.iter().map(|(_, p)| p).sum::<f32>() / risk.len() as f32;
-    let frac_elevated =
-        risk.iter().filter(|(_, p)| *p > 0.10).count() as f64 / risk.len() as f64;
+    let avg_risk: f32 = risk.iter().map(|(_, p)| p).sum::<f32>() / risk.len() as f32;
+    let frac_elevated = risk.iter().filter(|(_, p)| *p > 0.10).count() as f64 / risk.len() as f64;
     println!(
         "\nPopulation average P(infected) = {avg_risk:.4}; {:.1}% above 10% risk",
         frac_elevated * 100.0

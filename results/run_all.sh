@@ -17,4 +17,7 @@ $B/exp_classifier --scale quick --max-iters 30        > results/classifier.txt 2
 $B/exp_fig10_classifiers --scale quick --max-iters 30 > results/fig10.txt 2>&1
 $B/exp_fig11_credo --scale quick --max-iters 30       > results/fig11.txt 2>&1
 $B/exp_fig12_volta --scale quick --max-iters 30       > results/fig12.txt 2>&1
+# Beyond the paper: native parallel engines. Also drops BENCH_par_speedup.json
+# at the repo root (machine-readable artefact checked in with the sources).
+$B/exp_par_speedup --max-iters 30                     > results/par_speedup.txt 2>&1
 echo ALL_EXPERIMENTS_DONE

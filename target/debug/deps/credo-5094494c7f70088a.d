@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/credo-5094494c7f70088a.d: crates/credo/src/lib.rs crates/credo/src/selector.rs
+
+/root/repo/target/debug/deps/credo-5094494c7f70088a: crates/credo/src/lib.rs crates/credo/src/selector.rs
+
+crates/credo/src/lib.rs:
+crates/credo/src/selector.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/credo-e5c22575a8e901c0.d: crates/credo/src/lib.rs crates/credo/src/selector.rs
+
+/root/repo/target/debug/deps/libcredo-e5c22575a8e901c0.rlib: crates/credo/src/lib.rs crates/credo/src/selector.rs
+
+/root/repo/target/debug/deps/libcredo-e5c22575a8e901c0.rmeta: crates/credo/src/lib.rs crates/credo/src/selector.rs
+
+crates/credo/src/lib.rs:
+crates/credo/src/selector.rs:

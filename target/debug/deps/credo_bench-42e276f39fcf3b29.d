@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/credo_bench-42e276f39fcf3b29.d: crates/bench/src/lib.rs crates/bench/src/dataset.rs crates/bench/src/report.rs crates/bench/src/runner.rs crates/bench/src/suite.rs
+
+/root/repo/target/debug/deps/libcredo_bench-42e276f39fcf3b29.rlib: crates/bench/src/lib.rs crates/bench/src/dataset.rs crates/bench/src/report.rs crates/bench/src/runner.rs crates/bench/src/suite.rs
+
+/root/repo/target/debug/deps/libcredo_bench-42e276f39fcf3b29.rmeta: crates/bench/src/lib.rs crates/bench/src/dataset.rs crates/bench/src/report.rs crates/bench/src/runner.rs crates/bench/src/suite.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/dataset.rs:
+crates/bench/src/report.rs:
+crates/bench/src/runner.rs:
+crates/bench/src/suite.rs:

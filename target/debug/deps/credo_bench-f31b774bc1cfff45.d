@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/credo_bench-f31b774bc1cfff45.d: crates/bench/src/lib.rs crates/bench/src/dataset.rs crates/bench/src/report.rs crates/bench/src/runner.rs crates/bench/src/suite.rs
+
+/root/repo/target/debug/deps/credo_bench-f31b774bc1cfff45: crates/bench/src/lib.rs crates/bench/src/dataset.rs crates/bench/src/report.rs crates/bench/src/runner.rs crates/bench/src/suite.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/dataset.rs:
+crates/bench/src/report.rs:
+crates/bench/src/runner.rs:
+crates/bench/src/suite.rs:

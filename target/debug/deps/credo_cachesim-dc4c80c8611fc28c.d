@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/credo_cachesim-dc4c80c8611fc28c.d: crates/cachesim/src/lib.rs
+
+/root/repo/target/debug/deps/libcredo_cachesim-dc4c80c8611fc28c.rlib: crates/cachesim/src/lib.rs
+
+/root/repo/target/debug/deps/libcredo_cachesim-dc4c80c8611fc28c.rmeta: crates/cachesim/src/lib.rs
+
+crates/cachesim/src/lib.rs:

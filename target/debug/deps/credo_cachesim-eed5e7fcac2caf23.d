@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/credo_cachesim-eed5e7fcac2caf23.d: crates/cachesim/src/lib.rs
+
+/root/repo/target/debug/deps/credo_cachesim-eed5e7fcac2caf23: crates/cachesim/src/lib.rs
+
+crates/cachesim/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/credo_cuda-0bd3243734949def.d: crates/cuda/src/lib.rs crates/cuda/src/edge.rs crates/cuda/src/node.rs crates/cuda/src/openacc.rs crates/cuda/src/setup.rs
+
+/root/repo/target/debug/deps/credo_cuda-0bd3243734949def: crates/cuda/src/lib.rs crates/cuda/src/edge.rs crates/cuda/src/node.rs crates/cuda/src/openacc.rs crates/cuda/src/setup.rs
+
+crates/cuda/src/lib.rs:
+crates/cuda/src/edge.rs:
+crates/cuda/src/node.rs:
+crates/cuda/src/openacc.rs:
+crates/cuda/src/setup.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/credo_cuda-530e9640d1c91526.d: crates/cuda/src/lib.rs crates/cuda/src/edge.rs crates/cuda/src/node.rs crates/cuda/src/openacc.rs crates/cuda/src/setup.rs
+
+/root/repo/target/debug/deps/libcredo_cuda-530e9640d1c91526.rlib: crates/cuda/src/lib.rs crates/cuda/src/edge.rs crates/cuda/src/node.rs crates/cuda/src/openacc.rs crates/cuda/src/setup.rs
+
+/root/repo/target/debug/deps/libcredo_cuda-530e9640d1c91526.rmeta: crates/cuda/src/lib.rs crates/cuda/src/edge.rs crates/cuda/src/node.rs crates/cuda/src/openacc.rs crates/cuda/src/setup.rs
+
+crates/cuda/src/lib.rs:
+crates/cuda/src/edge.rs:
+crates/cuda/src/node.rs:
+crates/cuda/src/openacc.rs:
+crates/cuda/src/setup.rs:

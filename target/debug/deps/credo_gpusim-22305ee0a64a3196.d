@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/credo_gpusim-22305ee0a64a3196.d: crates/gpusim/src/lib.rs crates/gpusim/src/arch.rs crates/gpusim/src/buffer.rs crates/gpusim/src/device.rs crates/gpusim/src/kernel.rs crates/gpusim/src/util.rs
+
+/root/repo/target/debug/deps/libcredo_gpusim-22305ee0a64a3196.rlib: crates/gpusim/src/lib.rs crates/gpusim/src/arch.rs crates/gpusim/src/buffer.rs crates/gpusim/src/device.rs crates/gpusim/src/kernel.rs crates/gpusim/src/util.rs
+
+/root/repo/target/debug/deps/libcredo_gpusim-22305ee0a64a3196.rmeta: crates/gpusim/src/lib.rs crates/gpusim/src/arch.rs crates/gpusim/src/buffer.rs crates/gpusim/src/device.rs crates/gpusim/src/kernel.rs crates/gpusim/src/util.rs
+
+crates/gpusim/src/lib.rs:
+crates/gpusim/src/arch.rs:
+crates/gpusim/src/buffer.rs:
+crates/gpusim/src/device.rs:
+crates/gpusim/src/kernel.rs:
+crates/gpusim/src/util.rs:

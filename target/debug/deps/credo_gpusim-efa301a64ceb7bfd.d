@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/credo_gpusim-efa301a64ceb7bfd.d: crates/gpusim/src/lib.rs crates/gpusim/src/arch.rs crates/gpusim/src/buffer.rs crates/gpusim/src/device.rs crates/gpusim/src/kernel.rs crates/gpusim/src/util.rs
+
+/root/repo/target/debug/deps/credo_gpusim-efa301a64ceb7bfd: crates/gpusim/src/lib.rs crates/gpusim/src/arch.rs crates/gpusim/src/buffer.rs crates/gpusim/src/device.rs crates/gpusim/src/kernel.rs crates/gpusim/src/util.rs
+
+crates/gpusim/src/lib.rs:
+crates/gpusim/src/arch.rs:
+crates/gpusim/src/buffer.rs:
+crates/gpusim/src/device.rs:
+crates/gpusim/src/kernel.rs:
+crates/gpusim/src/util.rs:

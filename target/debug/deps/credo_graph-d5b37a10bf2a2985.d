@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/credo_graph-d5b37a10bf2a2985.d: crates/graph/src/lib.rs crates/graph/src/beliefs.rs crates/graph/src/builder.rs crates/graph/src/csr.rs crates/graph/src/graph.rs crates/graph/src/metadata.rs crates/graph/src/potentials.rs crates/graph/src/soa.rs crates/graph/src/generators/mod.rs crates/graph/src/generators/family_out.rs crates/graph/src/generators/grid.rs crates/graph/src/generators/kronecker.rs crates/graph/src/generators/powerlaw.rs crates/graph/src/generators/synthetic.rs crates/graph/src/generators/trees.rs
+
+/root/repo/target/debug/deps/credo_graph-d5b37a10bf2a2985: crates/graph/src/lib.rs crates/graph/src/beliefs.rs crates/graph/src/builder.rs crates/graph/src/csr.rs crates/graph/src/graph.rs crates/graph/src/metadata.rs crates/graph/src/potentials.rs crates/graph/src/soa.rs crates/graph/src/generators/mod.rs crates/graph/src/generators/family_out.rs crates/graph/src/generators/grid.rs crates/graph/src/generators/kronecker.rs crates/graph/src/generators/powerlaw.rs crates/graph/src/generators/synthetic.rs crates/graph/src/generators/trees.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/beliefs.rs:
+crates/graph/src/builder.rs:
+crates/graph/src/csr.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/metadata.rs:
+crates/graph/src/potentials.rs:
+crates/graph/src/soa.rs:
+crates/graph/src/generators/mod.rs:
+crates/graph/src/generators/family_out.rs:
+crates/graph/src/generators/grid.rs:
+crates/graph/src/generators/kronecker.rs:
+crates/graph/src/generators/powerlaw.rs:
+crates/graph/src/generators/synthetic.rs:
+crates/graph/src/generators/trees.rs:

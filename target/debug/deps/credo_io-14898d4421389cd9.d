@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/credo_io-14898d4421389cd9.d: crates/io/src/lib.rs crates/io/src/bif.rs crates/io/src/mtx.rs crates/io/src/xmlbif.rs crates/io/src/error.rs
+
+/root/repo/target/debug/deps/libcredo_io-14898d4421389cd9.rlib: crates/io/src/lib.rs crates/io/src/bif.rs crates/io/src/mtx.rs crates/io/src/xmlbif.rs crates/io/src/error.rs
+
+/root/repo/target/debug/deps/libcredo_io-14898d4421389cd9.rmeta: crates/io/src/lib.rs crates/io/src/bif.rs crates/io/src/mtx.rs crates/io/src/xmlbif.rs crates/io/src/error.rs
+
+crates/io/src/lib.rs:
+crates/io/src/bif.rs:
+crates/io/src/mtx.rs:
+crates/io/src/xmlbif.rs:
+crates/io/src/error.rs:

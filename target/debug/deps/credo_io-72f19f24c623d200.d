@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/credo_io-72f19f24c623d200.d: crates/io/src/lib.rs crates/io/src/bif.rs crates/io/src/mtx.rs crates/io/src/xmlbif.rs crates/io/src/error.rs
+
+/root/repo/target/debug/deps/credo_io-72f19f24c623d200: crates/io/src/lib.rs crates/io/src/bif.rs crates/io/src/mtx.rs crates/io/src/xmlbif.rs crates/io/src/error.rs
+
+crates/io/src/lib.rs:
+crates/io/src/bif.rs:
+crates/io/src/mtx.rs:
+crates/io/src/xmlbif.rs:
+crates/io/src/error.rs:

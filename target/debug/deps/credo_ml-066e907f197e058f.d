@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/credo_ml-066e907f197e058f.d: crates/ml/src/lib.rs crates/ml/src/dataset.rs crates/ml/src/forest.rs crates/ml/src/gboost.rs crates/ml/src/knn.rs crates/ml/src/metrics.rs crates/ml/src/mlp.rs crates/ml/src/naive_bayes.rs crates/ml/src/pca.rs crates/ml/src/scaler.rs crates/ml/src/svm.rs crates/ml/src/tree.rs
+
+/root/repo/target/debug/deps/libcredo_ml-066e907f197e058f.rlib: crates/ml/src/lib.rs crates/ml/src/dataset.rs crates/ml/src/forest.rs crates/ml/src/gboost.rs crates/ml/src/knn.rs crates/ml/src/metrics.rs crates/ml/src/mlp.rs crates/ml/src/naive_bayes.rs crates/ml/src/pca.rs crates/ml/src/scaler.rs crates/ml/src/svm.rs crates/ml/src/tree.rs
+
+/root/repo/target/debug/deps/libcredo_ml-066e907f197e058f.rmeta: crates/ml/src/lib.rs crates/ml/src/dataset.rs crates/ml/src/forest.rs crates/ml/src/gboost.rs crates/ml/src/knn.rs crates/ml/src/metrics.rs crates/ml/src/mlp.rs crates/ml/src/naive_bayes.rs crates/ml/src/pca.rs crates/ml/src/scaler.rs crates/ml/src/svm.rs crates/ml/src/tree.rs
+
+crates/ml/src/lib.rs:
+crates/ml/src/dataset.rs:
+crates/ml/src/forest.rs:
+crates/ml/src/gboost.rs:
+crates/ml/src/knn.rs:
+crates/ml/src/metrics.rs:
+crates/ml/src/mlp.rs:
+crates/ml/src/naive_bayes.rs:
+crates/ml/src/pca.rs:
+crates/ml/src/scaler.rs:
+crates/ml/src/svm.rs:
+crates/ml/src/tree.rs:

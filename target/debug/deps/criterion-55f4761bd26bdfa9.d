@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-55f4761bd26bdfa9.d: crates/compat/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-55f4761bd26bdfa9.rlib: crates/compat/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-55f4761bd26bdfa9.rmeta: crates/compat/criterion/src/lib.rs
+
+crates/compat/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_algo_comparison-cd8de08ac0927484.d: crates/bench/src/bin/exp_algo_comparison.rs
+
+/root/repo/target/debug/deps/exp_algo_comparison-cd8de08ac0927484: crates/bench/src/bin/exp_algo_comparison.rs
+
+crates/bench/src/bin/exp_algo_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_aos_soa-85304a3a607b2fba.d: crates/bench/src/bin/exp_aos_soa.rs
+
+/root/repo/target/debug/deps/exp_aos_soa-85304a3a607b2fba: crates/bench/src/bin/exp_aos_soa.rs
+
+crates/bench/src/bin/exp_aos_soa.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_classifier-e79504b244c9717f.d: crates/bench/src/bin/exp_classifier.rs
+
+/root/repo/target/debug/deps/exp_classifier-e79504b244c9717f: crates/bench/src/bin/exp_classifier.rs
+
+crates/bench/src/bin/exp_classifier.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig10_classifiers-6874f87d2bd2b022.d: crates/bench/src/bin/exp_fig10_classifiers.rs
+
+/root/repo/target/debug/deps/exp_fig10_classifiers-6874f87d2bd2b022: crates/bench/src/bin/exp_fig10_classifiers.rs
+
+crates/bench/src/bin/exp_fig10_classifiers.rs:

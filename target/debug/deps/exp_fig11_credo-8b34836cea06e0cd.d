@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig11_credo-8b34836cea06e0cd.d: crates/bench/src/bin/exp_fig11_credo.rs
+
+/root/repo/target/debug/deps/exp_fig11_credo-8b34836cea06e0cd: crates/bench/src/bin/exp_fig11_credo.rs
+
+crates/bench/src/bin/exp_fig11_credo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig12_volta-d2ea0268fd46442e.d: crates/bench/src/bin/exp_fig12_volta.rs
+
+/root/repo/target/debug/deps/exp_fig12_volta-d2ea0268fd46442e: crates/bench/src/bin/exp_fig12_volta.rs
+
+crates/bench/src/bin/exp_fig12_volta.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig7_runtimes-574e4266d19d86c6.d: crates/bench/src/bin/exp_fig7_runtimes.rs
+
+/root/repo/target/debug/deps/exp_fig7_runtimes-574e4266d19d86c6: crates/bench/src/bin/exp_fig7_runtimes.rs
+
+crates/bench/src/bin/exp_fig7_runtimes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig8_beliefs-443894974dfcf6ea.d: crates/bench/src/bin/exp_fig8_beliefs.rs
+
+/root/repo/target/debug/deps/exp_fig8_beliefs-443894974dfcf6ea: crates/bench/src/bin/exp_fig8_beliefs.rs
+
+crates/bench/src/bin/exp_fig8_beliefs.rs:

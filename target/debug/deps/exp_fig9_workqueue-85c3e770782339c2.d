@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig9_workqueue-85c3e770782339c2.d: crates/bench/src/bin/exp_fig9_workqueue.rs
+
+/root/repo/target/debug/deps/exp_fig9_workqueue-85c3e770782339c2: crates/bench/src/bin/exp_fig9_workqueue.rs
+
+crates/bench/src/bin/exp_fig9_workqueue.rs:

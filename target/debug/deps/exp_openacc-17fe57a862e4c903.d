@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_openacc-17fe57a862e4c903.d: crates/bench/src/bin/exp_openacc.rs
+
+/root/repo/target/debug/deps/exp_openacc-17fe57a862e4c903: crates/bench/src/bin/exp_openacc.rs
+
+crates/bench/src/bin/exp_openacc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_openmp-365e68db51563de7.d: crates/bench/src/bin/exp_openmp.rs
+
+/root/repo/target/debug/deps/exp_openmp-365e68db51563de7: crates/bench/src/bin/exp_openmp.rs
+
+crates/bench/src/bin/exp_openmp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_parsers-750c1f750cc3b859.d: crates/bench/src/bin/exp_parsers.rs
+
+/root/repo/target/debug/deps/exp_parsers-750c1f750cc3b859: crates/bench/src/bin/exp_parsers.rs
+
+crates/bench/src/bin/exp_parsers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_shared_potential-7e6bd95a8777c55e.d: crates/bench/src/bin/exp_shared_potential.rs
+
+/root/repo/target/debug/deps/exp_shared_potential-7e6bd95a8777c55e: crates/bench/src/bin/exp_shared_potential.rs
+
+crates/bench/src/bin/exp_shared_potential.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_table1-0acd4b09e80df2bd.d: crates/bench/src/bin/exp_table1.rs
+
+/root/repo/target/debug/deps/exp_table1-0acd4b09e80df2bd: crates/bench/src/bin/exp_table1.rs
+
+crates/bench/src/bin/exp_table1.rs:

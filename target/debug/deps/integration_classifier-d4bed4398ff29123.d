@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_classifier-d4bed4398ff29123.d: crates/credo/../../tests/integration_classifier.rs
+
+/root/repo/target/debug/deps/integration_classifier-d4bed4398ff29123: crates/credo/../../tests/integration_classifier.rs
+
+crates/credo/../../tests/integration_classifier.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_engines_agree-4da354185aec961e.d: crates/credo/../../tests/integration_engines_agree.rs
+
+/root/repo/target/debug/deps/integration_engines_agree-4da354185aec961e: crates/credo/../../tests/integration_engines_agree.rs
+
+crates/credo/../../tests/integration_engines_agree.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_io_roundtrip-bd6b0f8e69a247a3.d: crates/credo/../../tests/integration_io_roundtrip.rs
+
+/root/repo/target/debug/deps/integration_io_roundtrip-bd6b0f8e69a247a3: crates/credo/../../tests/integration_io_roundtrip.rs
+
+crates/credo/../../tests/integration_io_roundtrip.rs:

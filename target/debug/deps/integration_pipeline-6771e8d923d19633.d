@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_pipeline-6771e8d923d19633.d: crates/credo/../../tests/integration_pipeline.rs
+
+/root/repo/target/debug/deps/integration_pipeline-6771e8d923d19633: crates/credo/../../tests/integration_pipeline.rs
+
+crates/credo/../../tests/integration_pipeline.rs:

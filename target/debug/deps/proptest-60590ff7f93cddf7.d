@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-60590ff7f93cddf7.d: crates/compat/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-60590ff7f93cddf7.rlib: crates/compat/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-60590ff7f93cddf7.rmeta: crates/compat/proptest/src/lib.rs
+
+crates/compat/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-464354031301ba37.d: crates/compat/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-464354031301ba37.rlib: crates/compat/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-464354031301ba37.rmeta: crates/compat/rand/src/lib.rs
+
+crates/compat/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rayon-11eddd81198f85da.d: crates/compat/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-11eddd81198f85da.rlib: crates/compat/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-11eddd81198f85da.rmeta: crates/compat/rayon/src/lib.rs
+
+crates/compat/rayon/src/lib.rs:

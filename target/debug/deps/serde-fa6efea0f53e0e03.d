@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-fa6efea0f53e0e03.d: crates/compat/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-fa6efea0f53e0e03.rlib: crates/compat/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-fa6efea0f53e0e03.rmeta: crates/compat/serde/src/lib.rs
+
+crates/compat/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-6b3edc1e743da098.d: crates/compat/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-6b3edc1e743da098.so: crates/compat/serde_derive/src/lib.rs
+
+crates/compat/serde_derive/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-4f0f171e1cd0bd5b.d: crates/compat/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-4f0f171e1cd0bd5b.rlib: crates/compat/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-4f0f171e1cd0bd5b.rmeta: crates/compat/serde_json/src/lib.rs
+
+crates/compat/serde_json/src/lib.rs:

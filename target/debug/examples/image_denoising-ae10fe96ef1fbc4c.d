@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/image_denoising-ae10fe96ef1fbc4c.d: crates/credo/../../examples/image_denoising.rs
+
+/root/repo/target/debug/examples/image_denoising-ae10fe96ef1fbc4c: crates/credo/../../examples/image_denoising.rs
+
+crates/credo/../../examples/image_denoising.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-1fbc629309c7e226.d: crates/credo/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-1fbc629309c7e226: crates/credo/../../examples/quickstart.rs
+
+crates/credo/../../examples/quickstart.rs:

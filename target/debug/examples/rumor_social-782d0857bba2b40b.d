@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rumor_social-782d0857bba2b40b.d: crates/credo/../../examples/rumor_social.rs
+
+/root/repo/target/debug/examples/rumor_social-782d0857bba2b40b: crates/credo/../../examples/rumor_social.rs
+
+crates/credo/../../examples/rumor_social.rs:

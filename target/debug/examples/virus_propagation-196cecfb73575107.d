@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/virus_propagation-196cecfb73575107.d: crates/credo/../../examples/virus_propagation.rs
+
+/root/repo/target/debug/examples/virus_propagation-196cecfb73575107: crates/credo/../../examples/virus_propagation.rs
+
+crates/credo/../../examples/virus_propagation.rs:

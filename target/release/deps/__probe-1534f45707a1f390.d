@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/__probe-1534f45707a1f390.d: crates/bench/src/bin/__probe.rs
+
+/root/repo/target/release/deps/__probe-1534f45707a1f390: crates/bench/src/bin/__probe.rs
+
+crates/bench/src/bin/__probe.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bp_kernels-8f3f0814ad760703.d: crates/bench/benches/bp_kernels.rs Cargo.toml
+
+/root/repo/target/release/deps/libbp_kernels-8f3f0814ad760703.rmeta: crates/bench/benches/bp_kernels.rs Cargo.toml
+
+crates/bench/benches/bp_kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

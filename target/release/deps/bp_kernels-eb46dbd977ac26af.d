@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bp_kernels-eb46dbd977ac26af.d: crates/bench/benches/bp_kernels.rs Cargo.toml
+
+/root/repo/target/release/deps/libbp_kernels-eb46dbd977ac26af.rmeta: crates/bench/benches/bp_kernels.rs Cargo.toml
+
+crates/bench/benches/bp_kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/classifiers-8078a66272ee9982.d: crates/bench/benches/classifiers.rs Cargo.toml
+
+/root/repo/target/release/deps/libclassifiers-8078a66272ee9982.rmeta: crates/bench/benches/classifiers.rs Cargo.toml
+
+crates/bench/benches/classifiers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/classifiers-c060bb84bba48d09.d: crates/bench/benches/classifiers.rs Cargo.toml
+
+/root/repo/target/release/deps/libclassifiers-c060bb84bba48d09.rmeta: crates/bench/benches/classifiers.rs Cargo.toml
+
+crates/bench/benches/classifiers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/credo-19559bf18b8498d1.d: crates/credo/src/lib.rs crates/credo/src/selector.rs Cargo.toml
+
+/root/repo/target/release/deps/libcredo-19559bf18b8498d1.rmeta: crates/credo/src/lib.rs crates/credo/src/selector.rs Cargo.toml
+
+crates/credo/src/lib.rs:
+crates/credo/src/selector.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

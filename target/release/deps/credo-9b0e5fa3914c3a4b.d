@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/credo-9b0e5fa3914c3a4b.d: crates/credo/src/lib.rs crates/credo/src/selector.rs
+
+/root/repo/target/release/deps/libcredo-9b0e5fa3914c3a4b.rlib: crates/credo/src/lib.rs crates/credo/src/selector.rs
+
+/root/repo/target/release/deps/libcredo-9b0e5fa3914c3a4b.rmeta: crates/credo/src/lib.rs crates/credo/src/selector.rs
+
+crates/credo/src/lib.rs:
+crates/credo/src/selector.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/credo-c20b6ab6e8389351.d: crates/credo/src/lib.rs crates/credo/src/selector.rs
+
+/root/repo/target/release/deps/libcredo-c20b6ab6e8389351.rlib: crates/credo/src/lib.rs crates/credo/src/selector.rs
+
+/root/repo/target/release/deps/libcredo-c20b6ab6e8389351.rmeta: crates/credo/src/lib.rs crates/credo/src/selector.rs
+
+crates/credo/src/lib.rs:
+crates/credo/src/selector.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/credo-d04d3a78ea0787e3.d: crates/credo/src/lib.rs crates/credo/src/selector.rs
+
+/root/repo/target/release/deps/credo-d04d3a78ea0787e3: crates/credo/src/lib.rs crates/credo/src/selector.rs
+
+crates/credo/src/lib.rs:
+crates/credo/src/selector.rs:

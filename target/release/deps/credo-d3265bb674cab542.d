@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/credo-d3265bb674cab542.d: crates/credo/src/lib.rs crates/credo/src/selector.rs Cargo.toml
+
+/root/repo/target/release/deps/libcredo-d3265bb674cab542.rmeta: crates/credo/src/lib.rs crates/credo/src/selector.rs Cargo.toml
+
+crates/credo/src/lib.rs:
+crates/credo/src/selector.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/credo_bench-570d3d7800e8a6c9.d: crates/bench/src/lib.rs crates/bench/src/dataset.rs crates/bench/src/report.rs crates/bench/src/runner.rs crates/bench/src/suite.rs
+
+/root/repo/target/release/deps/libcredo_bench-570d3d7800e8a6c9.rlib: crates/bench/src/lib.rs crates/bench/src/dataset.rs crates/bench/src/report.rs crates/bench/src/runner.rs crates/bench/src/suite.rs
+
+/root/repo/target/release/deps/libcredo_bench-570d3d7800e8a6c9.rmeta: crates/bench/src/lib.rs crates/bench/src/dataset.rs crates/bench/src/report.rs crates/bench/src/runner.rs crates/bench/src/suite.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/dataset.rs:
+crates/bench/src/report.rs:
+crates/bench/src/runner.rs:
+crates/bench/src/suite.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/credo_bench-91e15c272948b55e.d: crates/bench/src/lib.rs crates/bench/src/dataset.rs crates/bench/src/report.rs crates/bench/src/runner.rs crates/bench/src/suite.rs
+
+/root/repo/target/release/deps/credo_bench-91e15c272948b55e: crates/bench/src/lib.rs crates/bench/src/dataset.rs crates/bench/src/report.rs crates/bench/src/runner.rs crates/bench/src/suite.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/dataset.rs:
+crates/bench/src/report.rs:
+crates/bench/src/runner.rs:
+crates/bench/src/suite.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/credo_bench-9c5d6cc1c4dc8f8f.d: crates/bench/src/lib.rs crates/bench/src/dataset.rs crates/bench/src/report.rs crates/bench/src/runner.rs crates/bench/src/suite.rs
+
+/root/repo/target/release/deps/credo_bench-9c5d6cc1c4dc8f8f: crates/bench/src/lib.rs crates/bench/src/dataset.rs crates/bench/src/report.rs crates/bench/src/runner.rs crates/bench/src/suite.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/dataset.rs:
+crates/bench/src/report.rs:
+crates/bench/src/runner.rs:
+crates/bench/src/suite.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/credo_bench-a0fdded5fc93165f.d: crates/bench/src/lib.rs crates/bench/src/dataset.rs crates/bench/src/report.rs crates/bench/src/runner.rs crates/bench/src/suite.rs
+
+/root/repo/target/release/deps/libcredo_bench-a0fdded5fc93165f.rlib: crates/bench/src/lib.rs crates/bench/src/dataset.rs crates/bench/src/report.rs crates/bench/src/runner.rs crates/bench/src/suite.rs
+
+/root/repo/target/release/deps/libcredo_bench-a0fdded5fc93165f.rmeta: crates/bench/src/lib.rs crates/bench/src/dataset.rs crates/bench/src/report.rs crates/bench/src/runner.rs crates/bench/src/suite.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/dataset.rs:
+crates/bench/src/report.rs:
+crates/bench/src/runner.rs:
+crates/bench/src/suite.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/credo_bench-e3bc5191bccffa25.d: crates/bench/src/lib.rs crates/bench/src/dataset.rs crates/bench/src/report.rs crates/bench/src/runner.rs crates/bench/src/suite.rs Cargo.toml
+
+/root/repo/target/release/deps/libcredo_bench-e3bc5191bccffa25.rmeta: crates/bench/src/lib.rs crates/bench/src/dataset.rs crates/bench/src/report.rs crates/bench/src/runner.rs crates/bench/src/suite.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/dataset.rs:
+crates/bench/src/report.rs:
+crates/bench/src/runner.rs:
+crates/bench/src/suite.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/credo_cachesim-621cefa3629aa507.d: crates/cachesim/src/lib.rs
+
+/root/repo/target/release/deps/credo_cachesim-621cefa3629aa507: crates/cachesim/src/lib.rs
+
+crates/cachesim/src/lib.rs:

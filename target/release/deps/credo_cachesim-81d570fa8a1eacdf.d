@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/credo_cachesim-81d570fa8a1eacdf.d: crates/cachesim/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libcredo_cachesim-81d570fa8a1eacdf.rmeta: crates/cachesim/src/lib.rs Cargo.toml
+
+crates/cachesim/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/credo_cachesim-b5a28e3102e7e97e.d: crates/cachesim/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libcredo_cachesim-b5a28e3102e7e97e.rmeta: crates/cachesim/src/lib.rs Cargo.toml
+
+crates/cachesim/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

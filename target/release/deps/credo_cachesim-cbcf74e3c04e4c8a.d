@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/credo_cachesim-cbcf74e3c04e4c8a.d: crates/cachesim/src/lib.rs
+
+/root/repo/target/release/deps/libcredo_cachesim-cbcf74e3c04e4c8a.rlib: crates/cachesim/src/lib.rs
+
+/root/repo/target/release/deps/libcredo_cachesim-cbcf74e3c04e4c8a.rmeta: crates/cachesim/src/lib.rs
+
+crates/cachesim/src/lib.rs:

@@ -1,0 +1,28 @@
+/root/repo/target/release/deps/credo_core-48e36d72d9370666.d: crates/core/src/lib.rs crates/core/src/convergence.rs crates/core/src/engine.rs crates/core/src/math.rs crates/core/src/opts.rs crates/core/src/queue.rs crates/core/src/stats.rs crates/core/src/openmp/mod.rs crates/core/src/openmp/edge.rs crates/core/src/openmp/node.rs crates/core/src/par/mod.rs crates/core/src/par/edge.rs crates/core/src/par/node.rs crates/core/src/par/pool.rs crates/core/src/par/queue.rs crates/core/src/seq/mod.rs crates/core/src/seq/edge.rs crates/core/src/seq/naive_tree.rs crates/core/src/seq/node.rs crates/core/src/seq/tree.rs Cargo.toml
+
+/root/repo/target/release/deps/libcredo_core-48e36d72d9370666.rmeta: crates/core/src/lib.rs crates/core/src/convergence.rs crates/core/src/engine.rs crates/core/src/math.rs crates/core/src/opts.rs crates/core/src/queue.rs crates/core/src/stats.rs crates/core/src/openmp/mod.rs crates/core/src/openmp/edge.rs crates/core/src/openmp/node.rs crates/core/src/par/mod.rs crates/core/src/par/edge.rs crates/core/src/par/node.rs crates/core/src/par/pool.rs crates/core/src/par/queue.rs crates/core/src/seq/mod.rs crates/core/src/seq/edge.rs crates/core/src/seq/naive_tree.rs crates/core/src/seq/node.rs crates/core/src/seq/tree.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/convergence.rs:
+crates/core/src/engine.rs:
+crates/core/src/math.rs:
+crates/core/src/opts.rs:
+crates/core/src/queue.rs:
+crates/core/src/stats.rs:
+crates/core/src/openmp/mod.rs:
+crates/core/src/openmp/edge.rs:
+crates/core/src/openmp/node.rs:
+crates/core/src/par/mod.rs:
+crates/core/src/par/edge.rs:
+crates/core/src/par/node.rs:
+crates/core/src/par/pool.rs:
+crates/core/src/par/queue.rs:
+crates/core/src/seq/mod.rs:
+crates/core/src/seq/edge.rs:
+crates/core/src/seq/naive_tree.rs:
+crates/core/src/seq/node.rs:
+crates/core/src/seq/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

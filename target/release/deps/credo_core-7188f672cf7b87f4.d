@@ -1,0 +1,26 @@
+/root/repo/target/release/deps/credo_core-7188f672cf7b87f4.d: crates/core/src/lib.rs crates/core/src/convergence.rs crates/core/src/engine.rs crates/core/src/math.rs crates/core/src/opts.rs crates/core/src/queue.rs crates/core/src/stats.rs crates/core/src/openmp/mod.rs crates/core/src/openmp/edge.rs crates/core/src/openmp/node.rs crates/core/src/par/mod.rs crates/core/src/par/edge.rs crates/core/src/par/node.rs crates/core/src/par/pool.rs crates/core/src/par/queue.rs crates/core/src/seq/mod.rs crates/core/src/seq/edge.rs crates/core/src/seq/naive_tree.rs crates/core/src/seq/node.rs crates/core/src/seq/tree.rs
+
+/root/repo/target/release/deps/libcredo_core-7188f672cf7b87f4.rlib: crates/core/src/lib.rs crates/core/src/convergence.rs crates/core/src/engine.rs crates/core/src/math.rs crates/core/src/opts.rs crates/core/src/queue.rs crates/core/src/stats.rs crates/core/src/openmp/mod.rs crates/core/src/openmp/edge.rs crates/core/src/openmp/node.rs crates/core/src/par/mod.rs crates/core/src/par/edge.rs crates/core/src/par/node.rs crates/core/src/par/pool.rs crates/core/src/par/queue.rs crates/core/src/seq/mod.rs crates/core/src/seq/edge.rs crates/core/src/seq/naive_tree.rs crates/core/src/seq/node.rs crates/core/src/seq/tree.rs
+
+/root/repo/target/release/deps/libcredo_core-7188f672cf7b87f4.rmeta: crates/core/src/lib.rs crates/core/src/convergence.rs crates/core/src/engine.rs crates/core/src/math.rs crates/core/src/opts.rs crates/core/src/queue.rs crates/core/src/stats.rs crates/core/src/openmp/mod.rs crates/core/src/openmp/edge.rs crates/core/src/openmp/node.rs crates/core/src/par/mod.rs crates/core/src/par/edge.rs crates/core/src/par/node.rs crates/core/src/par/pool.rs crates/core/src/par/queue.rs crates/core/src/seq/mod.rs crates/core/src/seq/edge.rs crates/core/src/seq/naive_tree.rs crates/core/src/seq/node.rs crates/core/src/seq/tree.rs
+
+crates/core/src/lib.rs:
+crates/core/src/convergence.rs:
+crates/core/src/engine.rs:
+crates/core/src/math.rs:
+crates/core/src/opts.rs:
+crates/core/src/queue.rs:
+crates/core/src/stats.rs:
+crates/core/src/openmp/mod.rs:
+crates/core/src/openmp/edge.rs:
+crates/core/src/openmp/node.rs:
+crates/core/src/par/mod.rs:
+crates/core/src/par/edge.rs:
+crates/core/src/par/node.rs:
+crates/core/src/par/pool.rs:
+crates/core/src/par/queue.rs:
+crates/core/src/seq/mod.rs:
+crates/core/src/seq/edge.rs:
+crates/core/src/seq/naive_tree.rs:
+crates/core/src/seq/node.rs:
+crates/core/src/seq/tree.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/credo_cuda-18ff80816219475f.d: crates/cuda/src/lib.rs crates/cuda/src/edge.rs crates/cuda/src/node.rs crates/cuda/src/openacc.rs crates/cuda/src/setup.rs
+
+/root/repo/target/release/deps/libcredo_cuda-18ff80816219475f.rlib: crates/cuda/src/lib.rs crates/cuda/src/edge.rs crates/cuda/src/node.rs crates/cuda/src/openacc.rs crates/cuda/src/setup.rs
+
+/root/repo/target/release/deps/libcredo_cuda-18ff80816219475f.rmeta: crates/cuda/src/lib.rs crates/cuda/src/edge.rs crates/cuda/src/node.rs crates/cuda/src/openacc.rs crates/cuda/src/setup.rs
+
+crates/cuda/src/lib.rs:
+crates/cuda/src/edge.rs:
+crates/cuda/src/node.rs:
+crates/cuda/src/openacc.rs:
+crates/cuda/src/setup.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/credo_cuda-3e5ac7ed737cfeb7.d: crates/cuda/src/lib.rs crates/cuda/src/edge.rs crates/cuda/src/node.rs crates/cuda/src/openacc.rs crates/cuda/src/setup.rs
+
+/root/repo/target/release/deps/credo_cuda-3e5ac7ed737cfeb7: crates/cuda/src/lib.rs crates/cuda/src/edge.rs crates/cuda/src/node.rs crates/cuda/src/openacc.rs crates/cuda/src/setup.rs
+
+crates/cuda/src/lib.rs:
+crates/cuda/src/edge.rs:
+crates/cuda/src/node.rs:
+crates/cuda/src/openacc.rs:
+crates/cuda/src/setup.rs:

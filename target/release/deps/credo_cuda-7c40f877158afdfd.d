@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/credo_cuda-7c40f877158afdfd.d: crates/cuda/src/lib.rs crates/cuda/src/edge.rs crates/cuda/src/node.rs crates/cuda/src/openacc.rs crates/cuda/src/setup.rs Cargo.toml
+
+/root/repo/target/release/deps/libcredo_cuda-7c40f877158afdfd.rmeta: crates/cuda/src/lib.rs crates/cuda/src/edge.rs crates/cuda/src/node.rs crates/cuda/src/openacc.rs crates/cuda/src/setup.rs Cargo.toml
+
+crates/cuda/src/lib.rs:
+crates/cuda/src/edge.rs:
+crates/cuda/src/node.rs:
+crates/cuda/src/openacc.rs:
+crates/cuda/src/setup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

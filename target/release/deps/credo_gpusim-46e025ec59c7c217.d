@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/credo_gpusim-46e025ec59c7c217.d: crates/gpusim/src/lib.rs crates/gpusim/src/arch.rs crates/gpusim/src/buffer.rs crates/gpusim/src/device.rs crates/gpusim/src/kernel.rs crates/gpusim/src/util.rs
+
+/root/repo/target/release/deps/credo_gpusim-46e025ec59c7c217: crates/gpusim/src/lib.rs crates/gpusim/src/arch.rs crates/gpusim/src/buffer.rs crates/gpusim/src/device.rs crates/gpusim/src/kernel.rs crates/gpusim/src/util.rs
+
+crates/gpusim/src/lib.rs:
+crates/gpusim/src/arch.rs:
+crates/gpusim/src/buffer.rs:
+crates/gpusim/src/device.rs:
+crates/gpusim/src/kernel.rs:
+crates/gpusim/src/util.rs:

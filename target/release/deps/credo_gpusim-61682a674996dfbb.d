@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/credo_gpusim-61682a674996dfbb.d: crates/gpusim/src/lib.rs crates/gpusim/src/arch.rs crates/gpusim/src/buffer.rs crates/gpusim/src/device.rs crates/gpusim/src/kernel.rs crates/gpusim/src/util.rs Cargo.toml
+
+/root/repo/target/release/deps/libcredo_gpusim-61682a674996dfbb.rmeta: crates/gpusim/src/lib.rs crates/gpusim/src/arch.rs crates/gpusim/src/buffer.rs crates/gpusim/src/device.rs crates/gpusim/src/kernel.rs crates/gpusim/src/util.rs Cargo.toml
+
+crates/gpusim/src/lib.rs:
+crates/gpusim/src/arch.rs:
+crates/gpusim/src/buffer.rs:
+crates/gpusim/src/device.rs:
+crates/gpusim/src/kernel.rs:
+crates/gpusim/src/util.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

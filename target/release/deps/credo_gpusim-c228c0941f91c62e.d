@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/credo_gpusim-c228c0941f91c62e.d: crates/gpusim/src/lib.rs crates/gpusim/src/arch.rs crates/gpusim/src/buffer.rs crates/gpusim/src/device.rs crates/gpusim/src/kernel.rs crates/gpusim/src/util.rs
+
+/root/repo/target/release/deps/libcredo_gpusim-c228c0941f91c62e.rlib: crates/gpusim/src/lib.rs crates/gpusim/src/arch.rs crates/gpusim/src/buffer.rs crates/gpusim/src/device.rs crates/gpusim/src/kernel.rs crates/gpusim/src/util.rs
+
+/root/repo/target/release/deps/libcredo_gpusim-c228c0941f91c62e.rmeta: crates/gpusim/src/lib.rs crates/gpusim/src/arch.rs crates/gpusim/src/buffer.rs crates/gpusim/src/device.rs crates/gpusim/src/kernel.rs crates/gpusim/src/util.rs
+
+crates/gpusim/src/lib.rs:
+crates/gpusim/src/arch.rs:
+crates/gpusim/src/buffer.rs:
+crates/gpusim/src/device.rs:
+crates/gpusim/src/kernel.rs:
+crates/gpusim/src/util.rs:

@@ -1,0 +1,23 @@
+/root/repo/target/release/deps/credo_graph-b31fe521bb67b382.d: crates/graph/src/lib.rs crates/graph/src/beliefs.rs crates/graph/src/builder.rs crates/graph/src/csr.rs crates/graph/src/graph.rs crates/graph/src/metadata.rs crates/graph/src/potentials.rs crates/graph/src/soa.rs crates/graph/src/generators/mod.rs crates/graph/src/generators/family_out.rs crates/graph/src/generators/grid.rs crates/graph/src/generators/kronecker.rs crates/graph/src/generators/powerlaw.rs crates/graph/src/generators/synthetic.rs crates/graph/src/generators/trees.rs Cargo.toml
+
+/root/repo/target/release/deps/libcredo_graph-b31fe521bb67b382.rmeta: crates/graph/src/lib.rs crates/graph/src/beliefs.rs crates/graph/src/builder.rs crates/graph/src/csr.rs crates/graph/src/graph.rs crates/graph/src/metadata.rs crates/graph/src/potentials.rs crates/graph/src/soa.rs crates/graph/src/generators/mod.rs crates/graph/src/generators/family_out.rs crates/graph/src/generators/grid.rs crates/graph/src/generators/kronecker.rs crates/graph/src/generators/powerlaw.rs crates/graph/src/generators/synthetic.rs crates/graph/src/generators/trees.rs Cargo.toml
+
+crates/graph/src/lib.rs:
+crates/graph/src/beliefs.rs:
+crates/graph/src/builder.rs:
+crates/graph/src/csr.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/metadata.rs:
+crates/graph/src/potentials.rs:
+crates/graph/src/soa.rs:
+crates/graph/src/generators/mod.rs:
+crates/graph/src/generators/family_out.rs:
+crates/graph/src/generators/grid.rs:
+crates/graph/src/generators/kronecker.rs:
+crates/graph/src/generators/powerlaw.rs:
+crates/graph/src/generators/synthetic.rs:
+crates/graph/src/generators/trees.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/credo_io-1f00569bd43ce9ae.d: crates/io/src/lib.rs crates/io/src/bif.rs crates/io/src/mtx.rs crates/io/src/xmlbif.rs crates/io/src/error.rs Cargo.toml
+
+/root/repo/target/release/deps/libcredo_io-1f00569bd43ce9ae.rmeta: crates/io/src/lib.rs crates/io/src/bif.rs crates/io/src/mtx.rs crates/io/src/xmlbif.rs crates/io/src/error.rs Cargo.toml
+
+crates/io/src/lib.rs:
+crates/io/src/bif.rs:
+crates/io/src/mtx.rs:
+crates/io/src/xmlbif.rs:
+crates/io/src/error.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/credo_io-6cc04ea62e67bca4.d: crates/io/src/lib.rs crates/io/src/bif.rs crates/io/src/mtx.rs crates/io/src/xmlbif.rs crates/io/src/error.rs
+
+/root/repo/target/release/deps/libcredo_io-6cc04ea62e67bca4.rlib: crates/io/src/lib.rs crates/io/src/bif.rs crates/io/src/mtx.rs crates/io/src/xmlbif.rs crates/io/src/error.rs
+
+/root/repo/target/release/deps/libcredo_io-6cc04ea62e67bca4.rmeta: crates/io/src/lib.rs crates/io/src/bif.rs crates/io/src/mtx.rs crates/io/src/xmlbif.rs crates/io/src/error.rs
+
+crates/io/src/lib.rs:
+crates/io/src/bif.rs:
+crates/io/src/mtx.rs:
+crates/io/src/xmlbif.rs:
+crates/io/src/error.rs:

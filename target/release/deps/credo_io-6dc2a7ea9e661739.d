@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/credo_io-6dc2a7ea9e661739.d: crates/io/src/lib.rs crates/io/src/bif.rs crates/io/src/mtx.rs crates/io/src/xmlbif.rs crates/io/src/error.rs
+
+/root/repo/target/release/deps/credo_io-6dc2a7ea9e661739: crates/io/src/lib.rs crates/io/src/bif.rs crates/io/src/mtx.rs crates/io/src/xmlbif.rs crates/io/src/error.rs
+
+crates/io/src/lib.rs:
+crates/io/src/bif.rs:
+crates/io/src/mtx.rs:
+crates/io/src/xmlbif.rs:
+crates/io/src/error.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/credo_io-c4d7c02d9472c26e.d: crates/io/src/lib.rs crates/io/src/bif.rs crates/io/src/mtx.rs crates/io/src/xmlbif.rs crates/io/src/error.rs
+
+/root/repo/target/release/deps/libcredo_io-c4d7c02d9472c26e.rlib: crates/io/src/lib.rs crates/io/src/bif.rs crates/io/src/mtx.rs crates/io/src/xmlbif.rs crates/io/src/error.rs
+
+/root/repo/target/release/deps/libcredo_io-c4d7c02d9472c26e.rmeta: crates/io/src/lib.rs crates/io/src/bif.rs crates/io/src/mtx.rs crates/io/src/xmlbif.rs crates/io/src/error.rs
+
+crates/io/src/lib.rs:
+crates/io/src/bif.rs:
+crates/io/src/mtx.rs:
+crates/io/src/xmlbif.rs:
+crates/io/src/error.rs:

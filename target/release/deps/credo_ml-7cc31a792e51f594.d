@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/credo_ml-7cc31a792e51f594.d: crates/ml/src/lib.rs crates/ml/src/dataset.rs crates/ml/src/forest.rs crates/ml/src/gboost.rs crates/ml/src/knn.rs crates/ml/src/metrics.rs crates/ml/src/mlp.rs crates/ml/src/naive_bayes.rs crates/ml/src/pca.rs crates/ml/src/scaler.rs crates/ml/src/svm.rs crates/ml/src/tree.rs
+
+/root/repo/target/release/deps/libcredo_ml-7cc31a792e51f594.rlib: crates/ml/src/lib.rs crates/ml/src/dataset.rs crates/ml/src/forest.rs crates/ml/src/gboost.rs crates/ml/src/knn.rs crates/ml/src/metrics.rs crates/ml/src/mlp.rs crates/ml/src/naive_bayes.rs crates/ml/src/pca.rs crates/ml/src/scaler.rs crates/ml/src/svm.rs crates/ml/src/tree.rs
+
+/root/repo/target/release/deps/libcredo_ml-7cc31a792e51f594.rmeta: crates/ml/src/lib.rs crates/ml/src/dataset.rs crates/ml/src/forest.rs crates/ml/src/gboost.rs crates/ml/src/knn.rs crates/ml/src/metrics.rs crates/ml/src/mlp.rs crates/ml/src/naive_bayes.rs crates/ml/src/pca.rs crates/ml/src/scaler.rs crates/ml/src/svm.rs crates/ml/src/tree.rs
+
+crates/ml/src/lib.rs:
+crates/ml/src/dataset.rs:
+crates/ml/src/forest.rs:
+crates/ml/src/gboost.rs:
+crates/ml/src/knn.rs:
+crates/ml/src/metrics.rs:
+crates/ml/src/mlp.rs:
+crates/ml/src/naive_bayes.rs:
+crates/ml/src/pca.rs:
+crates/ml/src/scaler.rs:
+crates/ml/src/svm.rs:
+crates/ml/src/tree.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/credo_ml-e5942453dc84d421.d: crates/ml/src/lib.rs crates/ml/src/dataset.rs crates/ml/src/forest.rs crates/ml/src/gboost.rs crates/ml/src/knn.rs crates/ml/src/metrics.rs crates/ml/src/mlp.rs crates/ml/src/naive_bayes.rs crates/ml/src/pca.rs crates/ml/src/scaler.rs crates/ml/src/svm.rs crates/ml/src/tree.rs Cargo.toml
+
+/root/repo/target/release/deps/libcredo_ml-e5942453dc84d421.rmeta: crates/ml/src/lib.rs crates/ml/src/dataset.rs crates/ml/src/forest.rs crates/ml/src/gboost.rs crates/ml/src/knn.rs crates/ml/src/metrics.rs crates/ml/src/mlp.rs crates/ml/src/naive_bayes.rs crates/ml/src/pca.rs crates/ml/src/scaler.rs crates/ml/src/svm.rs crates/ml/src/tree.rs Cargo.toml
+
+crates/ml/src/lib.rs:
+crates/ml/src/dataset.rs:
+crates/ml/src/forest.rs:
+crates/ml/src/gboost.rs:
+crates/ml/src/knn.rs:
+crates/ml/src/metrics.rs:
+crates/ml/src/mlp.rs:
+crates/ml/src/naive_bayes.rs:
+crates/ml/src/pca.rs:
+crates/ml/src/scaler.rs:
+crates/ml/src/svm.rs:
+crates/ml/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

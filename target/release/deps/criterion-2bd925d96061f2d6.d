@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-2bd925d96061f2d6.d: crates/compat/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-2bd925d96061f2d6.rmeta: crates/compat/criterion/src/lib.rs
+
+crates/compat/criterion/src/lib.rs:

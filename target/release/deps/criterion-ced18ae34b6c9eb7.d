@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-ced18ae34b6c9eb7.d: crates/compat/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-ced18ae34b6c9eb7.rlib: crates/compat/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-ced18ae34b6c9eb7.rmeta: crates/compat/criterion/src/lib.rs
+
+crates/compat/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_algo_comparison-37c97f472f203a5d.d: crates/bench/src/bin/exp_algo_comparison.rs
+
+/root/repo/target/release/deps/exp_algo_comparison-37c97f472f203a5d: crates/bench/src/bin/exp_algo_comparison.rs
+
+crates/bench/src/bin/exp_algo_comparison.rs:

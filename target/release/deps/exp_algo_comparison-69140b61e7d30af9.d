@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_algo_comparison-69140b61e7d30af9.d: crates/bench/src/bin/exp_algo_comparison.rs
+
+/root/repo/target/release/deps/exp_algo_comparison-69140b61e7d30af9: crates/bench/src/bin/exp_algo_comparison.rs
+
+crates/bench/src/bin/exp_algo_comparison.rs:

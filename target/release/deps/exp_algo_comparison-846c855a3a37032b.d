@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_algo_comparison-846c855a3a37032b.d: crates/bench/src/bin/exp_algo_comparison.rs
+
+/root/repo/target/release/deps/exp_algo_comparison-846c855a3a37032b: crates/bench/src/bin/exp_algo_comparison.rs
+
+crates/bench/src/bin/exp_algo_comparison.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/exp_algo_comparison-e0eb1453505a6582.d: crates/bench/src/bin/exp_algo_comparison.rs Cargo.toml
+
+/root/repo/target/release/deps/libexp_algo_comparison-e0eb1453505a6582.rmeta: crates/bench/src/bin/exp_algo_comparison.rs Cargo.toml
+
+crates/bench/src/bin/exp_algo_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

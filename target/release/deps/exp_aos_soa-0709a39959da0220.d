@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_aos_soa-0709a39959da0220.d: crates/bench/src/bin/exp_aos_soa.rs
+
+/root/repo/target/release/deps/exp_aos_soa-0709a39959da0220: crates/bench/src/bin/exp_aos_soa.rs
+
+crates/bench/src/bin/exp_aos_soa.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/exp_aos_soa-177d9c074bb8afab.d: crates/bench/src/bin/exp_aos_soa.rs Cargo.toml
+
+/root/repo/target/release/deps/libexp_aos_soa-177d9c074bb8afab.rmeta: crates/bench/src/bin/exp_aos_soa.rs Cargo.toml
+
+crates/bench/src/bin/exp_aos_soa.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

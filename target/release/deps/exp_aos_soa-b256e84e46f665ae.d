@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_aos_soa-b256e84e46f665ae.d: crates/bench/src/bin/exp_aos_soa.rs
+
+/root/repo/target/release/deps/exp_aos_soa-b256e84e46f665ae: crates/bench/src/bin/exp_aos_soa.rs
+
+crates/bench/src/bin/exp_aos_soa.rs:

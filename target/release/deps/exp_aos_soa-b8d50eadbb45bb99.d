@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_aos_soa-b8d50eadbb45bb99.d: crates/bench/src/bin/exp_aos_soa.rs
+
+/root/repo/target/release/deps/exp_aos_soa-b8d50eadbb45bb99: crates/bench/src/bin/exp_aos_soa.rs
+
+crates/bench/src/bin/exp_aos_soa.rs:

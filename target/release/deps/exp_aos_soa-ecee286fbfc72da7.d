@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/exp_aos_soa-ecee286fbfc72da7.d: crates/bench/src/bin/exp_aos_soa.rs Cargo.toml
+
+/root/repo/target/release/deps/libexp_aos_soa-ecee286fbfc72da7.rmeta: crates/bench/src/bin/exp_aos_soa.rs Cargo.toml
+
+crates/bench/src/bin/exp_aos_soa.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/exp_classifier-266a1f1e1483cbee.d: crates/bench/src/bin/exp_classifier.rs Cargo.toml
+
+/root/repo/target/release/deps/libexp_classifier-266a1f1e1483cbee.rmeta: crates/bench/src/bin/exp_classifier.rs Cargo.toml
+
+crates/bench/src/bin/exp_classifier.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_classifier-54b95a61a1b3dfc1.d: crates/bench/src/bin/exp_classifier.rs
+
+/root/repo/target/release/deps/exp_classifier-54b95a61a1b3dfc1: crates/bench/src/bin/exp_classifier.rs
+
+crates/bench/src/bin/exp_classifier.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_classifier-7e9cba5cd001ac7c.d: crates/bench/src/bin/exp_classifier.rs
+
+/root/repo/target/release/deps/exp_classifier-7e9cba5cd001ac7c: crates/bench/src/bin/exp_classifier.rs
+
+crates/bench/src/bin/exp_classifier.rs:

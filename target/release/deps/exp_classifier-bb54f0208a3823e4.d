@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_classifier-bb54f0208a3823e4.d: crates/bench/src/bin/exp_classifier.rs
+
+/root/repo/target/release/deps/exp_classifier-bb54f0208a3823e4: crates/bench/src/bin/exp_classifier.rs
+
+crates/bench/src/bin/exp_classifier.rs:

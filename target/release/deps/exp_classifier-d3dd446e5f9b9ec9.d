@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/exp_classifier-d3dd446e5f9b9ec9.d: crates/bench/src/bin/exp_classifier.rs Cargo.toml
+
+/root/repo/target/release/deps/libexp_classifier-d3dd446e5f9b9ec9.rmeta: crates/bench/src/bin/exp_classifier.rs Cargo.toml
+
+crates/bench/src/bin/exp_classifier.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

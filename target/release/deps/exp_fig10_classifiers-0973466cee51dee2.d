@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig10_classifiers-0973466cee51dee2.d: crates/bench/src/bin/exp_fig10_classifiers.rs
+
+/root/repo/target/release/deps/exp_fig10_classifiers-0973466cee51dee2: crates/bench/src/bin/exp_fig10_classifiers.rs
+
+crates/bench/src/bin/exp_fig10_classifiers.rs:

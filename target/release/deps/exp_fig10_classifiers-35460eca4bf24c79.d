@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig10_classifiers-35460eca4bf24c79.d: crates/bench/src/bin/exp_fig10_classifiers.rs
+
+/root/repo/target/release/deps/exp_fig10_classifiers-35460eca4bf24c79: crates/bench/src/bin/exp_fig10_classifiers.rs
+
+crates/bench/src/bin/exp_fig10_classifiers.rs:

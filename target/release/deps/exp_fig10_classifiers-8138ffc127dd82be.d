@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/exp_fig10_classifiers-8138ffc127dd82be.d: crates/bench/src/bin/exp_fig10_classifiers.rs Cargo.toml
+
+/root/repo/target/release/deps/libexp_fig10_classifiers-8138ffc127dd82be.rmeta: crates/bench/src/bin/exp_fig10_classifiers.rs Cargo.toml
+
+crates/bench/src/bin/exp_fig10_classifiers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/exp_fig10_classifiers-86ef39bb48427595.d: crates/bench/src/bin/exp_fig10_classifiers.rs Cargo.toml
+
+/root/repo/target/release/deps/libexp_fig10_classifiers-86ef39bb48427595.rmeta: crates/bench/src/bin/exp_fig10_classifiers.rs Cargo.toml
+
+crates/bench/src/bin/exp_fig10_classifiers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

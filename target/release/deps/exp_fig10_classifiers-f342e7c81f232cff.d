@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig10_classifiers-f342e7c81f232cff.d: crates/bench/src/bin/exp_fig10_classifiers.rs
+
+/root/repo/target/release/deps/exp_fig10_classifiers-f342e7c81f232cff: crates/bench/src/bin/exp_fig10_classifiers.rs
+
+crates/bench/src/bin/exp_fig10_classifiers.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/exp_fig11_credo-3145dc1ef1cc1ba6.d: crates/bench/src/bin/exp_fig11_credo.rs Cargo.toml
+
+/root/repo/target/release/deps/libexp_fig11_credo-3145dc1ef1cc1ba6.rmeta: crates/bench/src/bin/exp_fig11_credo.rs Cargo.toml
+
+crates/bench/src/bin/exp_fig11_credo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

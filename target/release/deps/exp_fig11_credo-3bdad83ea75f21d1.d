@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig11_credo-3bdad83ea75f21d1.d: crates/bench/src/bin/exp_fig11_credo.rs
+
+/root/repo/target/release/deps/exp_fig11_credo-3bdad83ea75f21d1: crates/bench/src/bin/exp_fig11_credo.rs
+
+crates/bench/src/bin/exp_fig11_credo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig11_credo-7b3c51f89dd92fe2.d: crates/bench/src/bin/exp_fig11_credo.rs
+
+/root/repo/target/release/deps/exp_fig11_credo-7b3c51f89dd92fe2: crates/bench/src/bin/exp_fig11_credo.rs
+
+crates/bench/src/bin/exp_fig11_credo.rs:

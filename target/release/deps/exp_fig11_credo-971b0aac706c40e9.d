@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig11_credo-971b0aac706c40e9.d: crates/bench/src/bin/exp_fig11_credo.rs
+
+/root/repo/target/release/deps/exp_fig11_credo-971b0aac706c40e9: crates/bench/src/bin/exp_fig11_credo.rs
+
+crates/bench/src/bin/exp_fig11_credo.rs:

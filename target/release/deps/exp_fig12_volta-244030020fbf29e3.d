@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig12_volta-244030020fbf29e3.d: crates/bench/src/bin/exp_fig12_volta.rs
+
+/root/repo/target/release/deps/exp_fig12_volta-244030020fbf29e3: crates/bench/src/bin/exp_fig12_volta.rs
+
+crates/bench/src/bin/exp_fig12_volta.rs:

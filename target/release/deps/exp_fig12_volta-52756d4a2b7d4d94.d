@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/exp_fig12_volta-52756d4a2b7d4d94.d: crates/bench/src/bin/exp_fig12_volta.rs Cargo.toml
+
+/root/repo/target/release/deps/libexp_fig12_volta-52756d4a2b7d4d94.rmeta: crates/bench/src/bin/exp_fig12_volta.rs Cargo.toml
+
+crates/bench/src/bin/exp_fig12_volta.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

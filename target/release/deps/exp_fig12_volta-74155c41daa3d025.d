@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig12_volta-74155c41daa3d025.d: crates/bench/src/bin/exp_fig12_volta.rs
+
+/root/repo/target/release/deps/exp_fig12_volta-74155c41daa3d025: crates/bench/src/bin/exp_fig12_volta.rs
+
+crates/bench/src/bin/exp_fig12_volta.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig12_volta-dbd88e800fe0edee.d: crates/bench/src/bin/exp_fig12_volta.rs
+
+/root/repo/target/release/deps/exp_fig12_volta-dbd88e800fe0edee: crates/bench/src/bin/exp_fig12_volta.rs
+
+crates/bench/src/bin/exp_fig12_volta.rs:

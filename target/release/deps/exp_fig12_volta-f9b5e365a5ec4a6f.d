@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/exp_fig12_volta-f9b5e365a5ec4a6f.d: crates/bench/src/bin/exp_fig12_volta.rs Cargo.toml
+
+/root/repo/target/release/deps/libexp_fig12_volta-f9b5e365a5ec4a6f.rmeta: crates/bench/src/bin/exp_fig12_volta.rs Cargo.toml
+
+crates/bench/src/bin/exp_fig12_volta.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

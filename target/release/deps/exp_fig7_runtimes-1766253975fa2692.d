@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/exp_fig7_runtimes-1766253975fa2692.d: crates/bench/src/bin/exp_fig7_runtimes.rs Cargo.toml
+
+/root/repo/target/release/deps/libexp_fig7_runtimes-1766253975fa2692.rmeta: crates/bench/src/bin/exp_fig7_runtimes.rs Cargo.toml
+
+crates/bench/src/bin/exp_fig7_runtimes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

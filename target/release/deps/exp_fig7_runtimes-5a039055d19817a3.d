@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig7_runtimes-5a039055d19817a3.d: crates/bench/src/bin/exp_fig7_runtimes.rs
+
+/root/repo/target/release/deps/exp_fig7_runtimes-5a039055d19817a3: crates/bench/src/bin/exp_fig7_runtimes.rs
+
+crates/bench/src/bin/exp_fig7_runtimes.rs:

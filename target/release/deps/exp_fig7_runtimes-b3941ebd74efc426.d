@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig7_runtimes-b3941ebd74efc426.d: crates/bench/src/bin/exp_fig7_runtimes.rs
+
+/root/repo/target/release/deps/exp_fig7_runtimes-b3941ebd74efc426: crates/bench/src/bin/exp_fig7_runtimes.rs
+
+crates/bench/src/bin/exp_fig7_runtimes.rs:

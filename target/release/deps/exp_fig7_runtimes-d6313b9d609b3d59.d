@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig7_runtimes-d6313b9d609b3d59.d: crates/bench/src/bin/exp_fig7_runtimes.rs
+
+/root/repo/target/release/deps/exp_fig7_runtimes-d6313b9d609b3d59: crates/bench/src/bin/exp_fig7_runtimes.rs
+
+crates/bench/src/bin/exp_fig7_runtimes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/exp_fig8_beliefs-0de88be8470d9695.d: crates/bench/src/bin/exp_fig8_beliefs.rs Cargo.toml
+
+/root/repo/target/release/deps/libexp_fig8_beliefs-0de88be8470d9695.rmeta: crates/bench/src/bin/exp_fig8_beliefs.rs Cargo.toml
+
+crates/bench/src/bin/exp_fig8_beliefs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

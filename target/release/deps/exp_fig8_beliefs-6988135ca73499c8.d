@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig8_beliefs-6988135ca73499c8.d: crates/bench/src/bin/exp_fig8_beliefs.rs
+
+/root/repo/target/release/deps/exp_fig8_beliefs-6988135ca73499c8: crates/bench/src/bin/exp_fig8_beliefs.rs
+
+crates/bench/src/bin/exp_fig8_beliefs.rs:

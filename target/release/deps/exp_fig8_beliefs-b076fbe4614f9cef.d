@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig8_beliefs-b076fbe4614f9cef.d: crates/bench/src/bin/exp_fig8_beliefs.rs
+
+/root/repo/target/release/deps/exp_fig8_beliefs-b076fbe4614f9cef: crates/bench/src/bin/exp_fig8_beliefs.rs
+
+crates/bench/src/bin/exp_fig8_beliefs.rs:

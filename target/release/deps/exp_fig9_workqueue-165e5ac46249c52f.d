@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig9_workqueue-165e5ac46249c52f.d: crates/bench/src/bin/exp_fig9_workqueue.rs
+
+/root/repo/target/release/deps/exp_fig9_workqueue-165e5ac46249c52f: crates/bench/src/bin/exp_fig9_workqueue.rs
+
+crates/bench/src/bin/exp_fig9_workqueue.rs:

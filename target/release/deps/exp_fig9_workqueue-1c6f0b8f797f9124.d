@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/exp_fig9_workqueue-1c6f0b8f797f9124.d: crates/bench/src/bin/exp_fig9_workqueue.rs Cargo.toml
+
+/root/repo/target/release/deps/libexp_fig9_workqueue-1c6f0b8f797f9124.rmeta: crates/bench/src/bin/exp_fig9_workqueue.rs Cargo.toml
+
+crates/bench/src/bin/exp_fig9_workqueue.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig9_workqueue-31b839106e1bf129.d: crates/bench/src/bin/exp_fig9_workqueue.rs
+
+/root/repo/target/release/deps/exp_fig9_workqueue-31b839106e1bf129: crates/bench/src/bin/exp_fig9_workqueue.rs
+
+crates/bench/src/bin/exp_fig9_workqueue.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig9_workqueue-a31a4401ac843a4f.d: crates/bench/src/bin/exp_fig9_workqueue.rs
+
+/root/repo/target/release/deps/exp_fig9_workqueue-a31a4401ac843a4f: crates/bench/src/bin/exp_fig9_workqueue.rs
+
+crates/bench/src/bin/exp_fig9_workqueue.rs:

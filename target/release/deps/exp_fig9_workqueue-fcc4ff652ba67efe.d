@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/exp_fig9_workqueue-fcc4ff652ba67efe.d: crates/bench/src/bin/exp_fig9_workqueue.rs Cargo.toml
+
+/root/repo/target/release/deps/libexp_fig9_workqueue-fcc4ff652ba67efe.rmeta: crates/bench/src/bin/exp_fig9_workqueue.rs Cargo.toml
+
+crates/bench/src/bin/exp_fig9_workqueue.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_openacc-1bad09820c4731a3.d: crates/bench/src/bin/exp_openacc.rs
+
+/root/repo/target/release/deps/exp_openacc-1bad09820c4731a3: crates/bench/src/bin/exp_openacc.rs
+
+crates/bench/src/bin/exp_openacc.rs:

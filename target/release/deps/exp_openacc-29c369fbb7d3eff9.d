@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/exp_openacc-29c369fbb7d3eff9.d: crates/bench/src/bin/exp_openacc.rs Cargo.toml
+
+/root/repo/target/release/deps/libexp_openacc-29c369fbb7d3eff9.rmeta: crates/bench/src/bin/exp_openacc.rs Cargo.toml
+
+crates/bench/src/bin/exp_openacc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

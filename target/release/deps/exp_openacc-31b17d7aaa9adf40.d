@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/exp_openacc-31b17d7aaa9adf40.d: crates/bench/src/bin/exp_openacc.rs Cargo.toml
+
+/root/repo/target/release/deps/libexp_openacc-31b17d7aaa9adf40.rmeta: crates/bench/src/bin/exp_openacc.rs Cargo.toml
+
+crates/bench/src/bin/exp_openacc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_openacc-4b8b1242f8334fa2.d: crates/bench/src/bin/exp_openacc.rs
+
+/root/repo/target/release/deps/exp_openacc-4b8b1242f8334fa2: crates/bench/src/bin/exp_openacc.rs
+
+crates/bench/src/bin/exp_openacc.rs:

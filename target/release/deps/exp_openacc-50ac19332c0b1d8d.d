@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/exp_openacc-50ac19332c0b1d8d.d: crates/bench/src/bin/exp_openacc.rs Cargo.toml
+
+/root/repo/target/release/deps/libexp_openacc-50ac19332c0b1d8d.rmeta: crates/bench/src/bin/exp_openacc.rs Cargo.toml
+
+crates/bench/src/bin/exp_openacc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/exp_openacc-75a50ea9f8929031.d: crates/bench/src/bin/exp_openacc.rs Cargo.toml
+
+/root/repo/target/release/deps/libexp_openacc-75a50ea9f8929031.rmeta: crates/bench/src/bin/exp_openacc.rs Cargo.toml
+
+crates/bench/src/bin/exp_openacc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

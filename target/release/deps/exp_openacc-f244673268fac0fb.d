@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_openacc-f244673268fac0fb.d: crates/bench/src/bin/exp_openacc.rs
+
+/root/repo/target/release/deps/exp_openacc-f244673268fac0fb: crates/bench/src/bin/exp_openacc.rs
+
+crates/bench/src/bin/exp_openacc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_openmp-2f127f43ee7ac7f2.d: crates/bench/src/bin/exp_openmp.rs
+
+/root/repo/target/release/deps/exp_openmp-2f127f43ee7ac7f2: crates/bench/src/bin/exp_openmp.rs
+
+crates/bench/src/bin/exp_openmp.rs:

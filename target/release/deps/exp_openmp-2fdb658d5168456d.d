@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_openmp-2fdb658d5168456d.d: crates/bench/src/bin/exp_openmp.rs
+
+/root/repo/target/release/deps/exp_openmp-2fdb658d5168456d: crates/bench/src/bin/exp_openmp.rs
+
+crates/bench/src/bin/exp_openmp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_openmp-381df2bcabd9bf7a.d: crates/bench/src/bin/exp_openmp.rs
+
+/root/repo/target/release/deps/exp_openmp-381df2bcabd9bf7a: crates/bench/src/bin/exp_openmp.rs
+
+crates/bench/src/bin/exp_openmp.rs:

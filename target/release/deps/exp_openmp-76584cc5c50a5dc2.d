@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/exp_openmp-76584cc5c50a5dc2.d: crates/bench/src/bin/exp_openmp.rs Cargo.toml
+
+/root/repo/target/release/deps/libexp_openmp-76584cc5c50a5dc2.rmeta: crates/bench/src/bin/exp_openmp.rs Cargo.toml
+
+crates/bench/src/bin/exp_openmp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

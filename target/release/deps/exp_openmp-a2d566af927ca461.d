@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/exp_openmp-a2d566af927ca461.d: crates/bench/src/bin/exp_openmp.rs Cargo.toml
+
+/root/repo/target/release/deps/libexp_openmp-a2d566af927ca461.rmeta: crates/bench/src/bin/exp_openmp.rs Cargo.toml
+
+crates/bench/src/bin/exp_openmp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

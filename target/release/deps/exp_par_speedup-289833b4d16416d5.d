@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_par_speedup-289833b4d16416d5.d: crates/bench/src/bin/exp_par_speedup.rs
+
+/root/repo/target/release/deps/exp_par_speedup-289833b4d16416d5: crates/bench/src/bin/exp_par_speedup.rs
+
+crates/bench/src/bin/exp_par_speedup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_par_speedup-31b197ebb86bd8d1.d: crates/bench/src/bin/exp_par_speedup.rs
+
+/root/repo/target/release/deps/exp_par_speedup-31b197ebb86bd8d1: crates/bench/src/bin/exp_par_speedup.rs
+
+crates/bench/src/bin/exp_par_speedup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_par_speedup-779f82e560f7a0fb.d: crates/bench/src/bin/exp_par_speedup.rs
+
+/root/repo/target/release/deps/exp_par_speedup-779f82e560f7a0fb: crates/bench/src/bin/exp_par_speedup.rs
+
+crates/bench/src/bin/exp_par_speedup.rs:

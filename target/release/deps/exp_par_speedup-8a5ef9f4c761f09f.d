@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/exp_par_speedup-8a5ef9f4c761f09f.d: crates/bench/src/bin/exp_par_speedup.rs Cargo.toml
+
+/root/repo/target/release/deps/libexp_par_speedup-8a5ef9f4c761f09f.rmeta: crates/bench/src/bin/exp_par_speedup.rs Cargo.toml
+
+crates/bench/src/bin/exp_par_speedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

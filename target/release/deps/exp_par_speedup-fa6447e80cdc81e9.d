@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/exp_par_speedup-fa6447e80cdc81e9.d: crates/bench/src/bin/exp_par_speedup.rs Cargo.toml
+
+/root/repo/target/release/deps/libexp_par_speedup-fa6447e80cdc81e9.rmeta: crates/bench/src/bin/exp_par_speedup.rs Cargo.toml
+
+crates/bench/src/bin/exp_par_speedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_parsers-324d6deabd02588b.d: crates/bench/src/bin/exp_parsers.rs
+
+/root/repo/target/release/deps/exp_parsers-324d6deabd02588b: crates/bench/src/bin/exp_parsers.rs
+
+crates/bench/src/bin/exp_parsers.rs:

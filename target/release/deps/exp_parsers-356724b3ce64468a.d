@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/exp_parsers-356724b3ce64468a.d: crates/bench/src/bin/exp_parsers.rs Cargo.toml
+
+/root/repo/target/release/deps/libexp_parsers-356724b3ce64468a.rmeta: crates/bench/src/bin/exp_parsers.rs Cargo.toml
+
+crates/bench/src/bin/exp_parsers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/exp_parsers-625ca417ec387c2b.d: crates/bench/src/bin/exp_parsers.rs Cargo.toml
+
+/root/repo/target/release/deps/libexp_parsers-625ca417ec387c2b.rmeta: crates/bench/src/bin/exp_parsers.rs Cargo.toml
+
+crates/bench/src/bin/exp_parsers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

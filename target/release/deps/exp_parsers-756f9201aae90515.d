@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/exp_parsers-756f9201aae90515.d: crates/bench/src/bin/exp_parsers.rs Cargo.toml
+
+/root/repo/target/release/deps/libexp_parsers-756f9201aae90515.rmeta: crates/bench/src/bin/exp_parsers.rs Cargo.toml
+
+crates/bench/src/bin/exp_parsers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_parsers-e6e41070beb4a2db.d: crates/bench/src/bin/exp_parsers.rs
+
+/root/repo/target/release/deps/exp_parsers-e6e41070beb4a2db: crates/bench/src/bin/exp_parsers.rs
+
+crates/bench/src/bin/exp_parsers.rs:

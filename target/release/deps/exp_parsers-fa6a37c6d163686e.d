@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_parsers-fa6a37c6d163686e.d: crates/bench/src/bin/exp_parsers.rs
+
+/root/repo/target/release/deps/exp_parsers-fa6a37c6d163686e: crates/bench/src/bin/exp_parsers.rs
+
+crates/bench/src/bin/exp_parsers.rs:

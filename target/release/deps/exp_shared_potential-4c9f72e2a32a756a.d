@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_shared_potential-4c9f72e2a32a756a.d: crates/bench/src/bin/exp_shared_potential.rs
+
+/root/repo/target/release/deps/exp_shared_potential-4c9f72e2a32a756a: crates/bench/src/bin/exp_shared_potential.rs
+
+crates/bench/src/bin/exp_shared_potential.rs:

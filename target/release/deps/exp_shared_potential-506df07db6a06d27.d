@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/exp_shared_potential-506df07db6a06d27.d: crates/bench/src/bin/exp_shared_potential.rs Cargo.toml
+
+/root/repo/target/release/deps/libexp_shared_potential-506df07db6a06d27.rmeta: crates/bench/src/bin/exp_shared_potential.rs Cargo.toml
+
+crates/bench/src/bin/exp_shared_potential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

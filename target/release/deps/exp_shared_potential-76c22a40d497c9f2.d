@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/exp_shared_potential-76c22a40d497c9f2.d: crates/bench/src/bin/exp_shared_potential.rs Cargo.toml
+
+/root/repo/target/release/deps/libexp_shared_potential-76c22a40d497c9f2.rmeta: crates/bench/src/bin/exp_shared_potential.rs Cargo.toml
+
+crates/bench/src/bin/exp_shared_potential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_shared_potential-7a1c3f3397724673.d: crates/bench/src/bin/exp_shared_potential.rs
+
+/root/repo/target/release/deps/exp_shared_potential-7a1c3f3397724673: crates/bench/src/bin/exp_shared_potential.rs
+
+crates/bench/src/bin/exp_shared_potential.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_shared_potential-c69c79707c1ec2e0.d: crates/bench/src/bin/exp_shared_potential.rs
+
+/root/repo/target/release/deps/exp_shared_potential-c69c79707c1ec2e0: crates/bench/src/bin/exp_shared_potential.rs
+
+crates/bench/src/bin/exp_shared_potential.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/exp_table1-2035916dea649b72.d: crates/bench/src/bin/exp_table1.rs Cargo.toml
+
+/root/repo/target/release/deps/libexp_table1-2035916dea649b72.rmeta: crates/bench/src/bin/exp_table1.rs Cargo.toml
+
+crates/bench/src/bin/exp_table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/exp_table1-4e6a3ac96d9de797.d: crates/bench/src/bin/exp_table1.rs Cargo.toml
+
+/root/repo/target/release/deps/libexp_table1-4e6a3ac96d9de797.rmeta: crates/bench/src/bin/exp_table1.rs Cargo.toml
+
+crates/bench/src/bin/exp_table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

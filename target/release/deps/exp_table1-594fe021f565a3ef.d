@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/exp_table1-594fe021f565a3ef.d: crates/bench/src/bin/exp_table1.rs Cargo.toml
+
+/root/repo/target/release/deps/libexp_table1-594fe021f565a3ef.rmeta: crates/bench/src/bin/exp_table1.rs Cargo.toml
+
+crates/bench/src/bin/exp_table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

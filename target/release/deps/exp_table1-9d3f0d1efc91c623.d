@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_table1-9d3f0d1efc91c623.d: crates/bench/src/bin/exp_table1.rs
+
+/root/repo/target/release/deps/exp_table1-9d3f0d1efc91c623: crates/bench/src/bin/exp_table1.rs
+
+crates/bench/src/bin/exp_table1.rs:

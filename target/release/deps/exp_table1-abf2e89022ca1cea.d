@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_table1-abf2e89022ca1cea.d: crates/bench/src/bin/exp_table1.rs
+
+/root/repo/target/release/deps/exp_table1-abf2e89022ca1cea: crates/bench/src/bin/exp_table1.rs
+
+crates/bench/src/bin/exp_table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_table1-d8d1b984aff91538.d: crates/bench/src/bin/exp_table1.rs
+
+/root/repo/target/release/deps/exp_table1-d8d1b984aff91538: crates/bench/src/bin/exp_table1.rs
+
+crates/bench/src/bin/exp_table1.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/gpusim-2d17c1dc118d46cc.d: crates/bench/benches/gpusim.rs Cargo.toml
+
+/root/repo/target/release/deps/libgpusim-2d17c1dc118d46cc.rmeta: crates/bench/benches/gpusim.rs Cargo.toml
+
+crates/bench/benches/gpusim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/gpusim-537fec024b02a7f6.d: crates/bench/benches/gpusim.rs Cargo.toml
+
+/root/repo/target/release/deps/libgpusim-537fec024b02a7f6.rmeta: crates/bench/benches/gpusim.rs Cargo.toml
+
+crates/bench/benches/gpusim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

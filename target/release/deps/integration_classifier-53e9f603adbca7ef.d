@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration_classifier-53e9f603adbca7ef.d: crates/credo/../../tests/integration_classifier.rs
+
+/root/repo/target/release/deps/integration_classifier-53e9f603adbca7ef: crates/credo/../../tests/integration_classifier.rs
+
+crates/credo/../../tests/integration_classifier.rs:

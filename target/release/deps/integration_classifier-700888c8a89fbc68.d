@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/integration_classifier-700888c8a89fbc68.d: crates/credo/../../tests/integration_classifier.rs Cargo.toml
+
+/root/repo/target/release/deps/libintegration_classifier-700888c8a89fbc68.rmeta: crates/credo/../../tests/integration_classifier.rs Cargo.toml
+
+crates/credo/../../tests/integration_classifier.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/integration_engines_agree-20b035c66915b5db.d: crates/credo/../../tests/integration_engines_agree.rs Cargo.toml
+
+/root/repo/target/release/deps/libintegration_engines_agree-20b035c66915b5db.rmeta: crates/credo/../../tests/integration_engines_agree.rs Cargo.toml
+
+crates/credo/../../tests/integration_engines_agree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration_engines_agree-acee9e77217dbd70.d: crates/credo/../../tests/integration_engines_agree.rs
+
+/root/repo/target/release/deps/integration_engines_agree-acee9e77217dbd70: crates/credo/../../tests/integration_engines_agree.rs
+
+crates/credo/../../tests/integration_engines_agree.rs:

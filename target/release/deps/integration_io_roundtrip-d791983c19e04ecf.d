@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/integration_io_roundtrip-d791983c19e04ecf.d: crates/credo/../../tests/integration_io_roundtrip.rs Cargo.toml
+
+/root/repo/target/release/deps/libintegration_io_roundtrip-d791983c19e04ecf.rmeta: crates/credo/../../tests/integration_io_roundtrip.rs Cargo.toml
+
+crates/credo/../../tests/integration_io_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration_io_roundtrip-f660d374c061fbc3.d: crates/credo/../../tests/integration_io_roundtrip.rs
+
+/root/repo/target/release/deps/integration_io_roundtrip-f660d374c061fbc3: crates/credo/../../tests/integration_io_roundtrip.rs
+
+crates/credo/../../tests/integration_io_roundtrip.rs:

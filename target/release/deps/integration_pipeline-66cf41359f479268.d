@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/integration_pipeline-66cf41359f479268.d: crates/credo/../../tests/integration_pipeline.rs Cargo.toml
+
+/root/repo/target/release/deps/libintegration_pipeline-66cf41359f479268.rmeta: crates/credo/../../tests/integration_pipeline.rs Cargo.toml
+
+crates/credo/../../tests/integration_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration_pipeline-d55e062ce81b97ca.d: crates/credo/../../tests/integration_pipeline.rs
+
+/root/repo/target/release/deps/integration_pipeline-d55e062ce81b97ca: crates/credo/../../tests/integration_pipeline.rs
+
+crates/credo/../../tests/integration_pipeline.rs:

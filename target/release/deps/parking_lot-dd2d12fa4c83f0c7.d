@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parking_lot-dd2d12fa4c83f0c7.d: crates/compat/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-dd2d12fa4c83f0c7.rmeta: crates/compat/parking_lot/src/lib.rs
+
+crates/compat/parking_lot/src/lib.rs:

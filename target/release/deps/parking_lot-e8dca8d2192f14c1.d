@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-e8dca8d2192f14c1.d: crates/compat/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-e8dca8d2192f14c1.rlib: crates/compat/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-e8dca8d2192f14c1.rmeta: crates/compat/parking_lot/src/lib.rs
+
+crates/compat/parking_lot/src/lib.rs:

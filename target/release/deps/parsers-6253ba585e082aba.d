@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/parsers-6253ba585e082aba.d: crates/bench/benches/parsers.rs Cargo.toml
+
+/root/repo/target/release/deps/libparsers-6253ba585e082aba.rmeta: crates/bench/benches/parsers.rs Cargo.toml
+
+crates/bench/benches/parsers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/parsers-eeeccc2ca145e20f.d: crates/bench/benches/parsers.rs Cargo.toml
+
+/root/repo/target/release/deps/libparsers-eeeccc2ca145e20f.rmeta: crates/bench/benches/parsers.rs Cargo.toml
+
+crates/bench/benches/parsers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-0140b7d29aae1782.d: crates/compat/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-0140b7d29aae1782.rmeta: crates/compat/proptest/src/lib.rs
+
+crates/compat/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-1a9e1a4b7b44b3ef.d: crates/compat/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-1a9e1a4b7b44b3ef.rlib: crates/compat/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-1a9e1a4b7b44b3ef.rmeta: crates/compat/proptest/src/lib.rs
+
+crates/compat/proptest/src/lib.rs:

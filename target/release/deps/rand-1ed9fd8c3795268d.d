@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-1ed9fd8c3795268d.d: crates/compat/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-1ed9fd8c3795268d.rlib: crates/compat/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-1ed9fd8c3795268d.rmeta: crates/compat/rand/src/lib.rs
+
+crates/compat/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-585dee252c64e43b.d: crates/compat/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-585dee252c64e43b.rmeta: crates/compat/rand/src/lib.rs
+
+crates/compat/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-7cb3d01540affbd2.d: crates/compat/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-7cb3d01540affbd2.rmeta: crates/compat/rand/src/lib.rs
+
+crates/compat/rand/src/lib.rs:

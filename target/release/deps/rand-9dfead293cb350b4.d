@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-9dfead293cb350b4.d: crates/compat/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-9dfead293cb350b4.rlib: crates/compat/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-9dfead293cb350b4.rmeta: crates/compat/rand/src/lib.rs
+
+crates/compat/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rayon-04fa05521f721964.d: crates/compat/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-04fa05521f721964.rlib: crates/compat/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-04fa05521f721964.rmeta: crates/compat/rayon/src/lib.rs
+
+crates/compat/rayon/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rayon-9dc4b47596b2f2e1.d: crates/compat/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-9dc4b47596b2f2e1.rmeta: crates/compat/rayon/src/lib.rs
+
+crates/compat/rayon/src/lib.rs:

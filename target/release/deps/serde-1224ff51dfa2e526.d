@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde-1224ff51dfa2e526.d: crates/compat/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-1224ff51dfa2e526.rmeta: crates/compat/serde/src/lib.rs
+
+crates/compat/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-f779b8cecfed22df.d: crates/compat/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-f779b8cecfed22df.rlib: crates/compat/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-f779b8cecfed22df.rmeta: crates/compat/serde/src/lib.rs
+
+crates/compat/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-50924f9713ef8217.d: crates/compat/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-50924f9713ef8217.so: crates/compat/serde_derive/src/lib.rs
+
+crates/compat/serde_derive/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-ca829780869a8760.d: crates/compat/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-ca829780869a8760.rlib: crates/compat/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-ca829780869a8760.rmeta: crates/compat/serde_json/src/lib.rs
+
+crates/compat/serde_json/src/lib.rs:

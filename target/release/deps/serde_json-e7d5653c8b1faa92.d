@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_json-e7d5653c8b1faa92.d: crates/compat/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-e7d5653c8b1faa92.rmeta: crates/compat/serde_json/src/lib.rs
+
+crates/compat/serde_json/src/lib.rs:

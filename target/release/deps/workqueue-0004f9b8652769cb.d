@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/workqueue-0004f9b8652769cb.d: crates/bench/benches/workqueue.rs Cargo.toml
+
+/root/repo/target/release/deps/libworkqueue-0004f9b8652769cb.rmeta: crates/bench/benches/workqueue.rs Cargo.toml
+
+crates/bench/benches/workqueue.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

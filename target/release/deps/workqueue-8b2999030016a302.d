@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/workqueue-8b2999030016a302.d: crates/bench/benches/workqueue.rs Cargo.toml
+
+/root/repo/target/release/deps/libworkqueue-8b2999030016a302.rmeta: crates/bench/benches/workqueue.rs Cargo.toml
+
+crates/bench/benches/workqueue.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

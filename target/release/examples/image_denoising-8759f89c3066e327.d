@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/image_denoising-8759f89c3066e327.d: crates/credo/../../examples/image_denoising.rs
+
+/root/repo/target/release/examples/image_denoising-8759f89c3066e327: crates/credo/../../examples/image_denoising.rs
+
+crates/credo/../../examples/image_denoising.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/image_denoising-cf2e8e4e3312a704.d: crates/credo/../../examples/image_denoising.rs Cargo.toml
+
+/root/repo/target/release/examples/libimage_denoising-cf2e8e4e3312a704.rmeta: crates/credo/../../examples/image_denoising.rs Cargo.toml
+
+crates/credo/../../examples/image_denoising.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/quickstart-4305de7caf4b621e.d: crates/credo/../../examples/quickstart.rs Cargo.toml
+
+/root/repo/target/release/examples/libquickstart-4305de7caf4b621e.rmeta: crates/credo/../../examples/quickstart.rs Cargo.toml
+
+crates/credo/../../examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

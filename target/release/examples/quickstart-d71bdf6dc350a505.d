@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-d71bdf6dc350a505.d: crates/credo/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-d71bdf6dc350a505: crates/credo/../../examples/quickstart.rs
+
+crates/credo/../../examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/rumor_social-c49d3a88f76653c6.d: crates/credo/../../examples/rumor_social.rs Cargo.toml
+
+/root/repo/target/release/examples/librumor_social-c49d3a88f76653c6.rmeta: crates/credo/../../examples/rumor_social.rs Cargo.toml
+
+crates/credo/../../examples/rumor_social.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/rumor_social-ed6333c37516b49a.d: crates/credo/../../examples/rumor_social.rs
+
+/root/repo/target/release/examples/rumor_social-ed6333c37516b49a: crates/credo/../../examples/rumor_social.rs
+
+crates/credo/../../examples/rumor_social.rs:

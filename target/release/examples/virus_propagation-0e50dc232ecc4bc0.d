@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/virus_propagation-0e50dc232ecc4bc0.d: crates/credo/../../examples/virus_propagation.rs Cargo.toml
+
+/root/repo/target/release/examples/libvirus_propagation-0e50dc232ecc4bc0.rmeta: crates/credo/../../examples/virus_propagation.rs Cargo.toml
+
+crates/credo/../../examples/virus_propagation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/virus_propagation-a79a106cfe9a4313.d: crates/credo/../../examples/virus_propagation.rs
+
+/root/repo/target/release/examples/virus_propagation-a79a106cfe9a4313: crates/credo/../../examples/virus_propagation.rs
+
+crates/credo/../../examples/virus_propagation.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/release/libcredo_cachesim.rlib: /root/repo/crates/cachesim/src/lib.rs

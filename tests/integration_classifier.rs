@@ -4,9 +4,7 @@
 
 use credo::engines::{CudaEdgeEngine, CudaNodeEngine, SeqEdgeEngine, SeqNodeEngine};
 use credo::gpusim::{Device, PASCAL_GTX1070};
-use credo::{
-    BpEngine, BpOptions, Credo, Implementation, Selector, ALL_IMPLEMENTATIONS,
-};
+use credo::{BpEngine, BpOptions, Credo, Implementation, Selector, ALL_IMPLEMENTATIONS};
 use credo_graph::generators::{kronecker, synthetic, GenOptions};
 use credo_graph::{BeliefGraph, FeatureVector};
 use credo_ml::f1_macro;
@@ -20,14 +18,24 @@ fn measure_best(g: &BeliefGraph, opts: &BpOptions) -> (FeatureVector, Implementa
             Implementation::CNode => Box::new(SeqNodeEngine),
             Implementation::CudaEdge => Box::new(CudaEdgeEngine::new(Device::new(PASCAL_GTX1070))),
             Implementation::CudaNode => Box::new(CudaNodeEngine::new(Device::new(PASCAL_GTX1070))),
+            // ALL_IMPLEMENTATIONS is the classifier's four-label table; the
+            // native parallel engines never appear in it.
+            Implementation::ParEdge | Implementation::ParNode => unreachable!(),
         };
-        let mut work = g.clone();
-        work.reset_beliefs();
-        if let Ok(stats) = engine.run(&mut work, opts) {
-            let secs = stats.reported_time.as_secs_f64();
-            if secs < best.1 {
-                best = (which, secs);
+        // Best-of-3: the min wall-clock is robust to scheduler noise, so
+        // near-tied implementations get consistent labels across the sweep
+        // (a single sample can flip CEdge/CNode on small graphs and leave
+        // the forest chasing contradictory labels).
+        let mut secs = f64::INFINITY;
+        for _ in 0..3 {
+            let mut work = g.clone();
+            work.reset_beliefs();
+            if let Ok(stats) = engine.run(&mut work, opts) {
+                secs = secs.min(stats.reported_time.as_secs_f64());
             }
+        }
+        if secs < best.1 {
+            best = (which, secs);
         }
     }
     (features, best.0)

@@ -4,13 +4,11 @@
 
 use credo::engines::{
     CudaEdgeEngine, CudaNodeEngine, OpenAccEngine, OpenMpEdgeEngine, OpenMpNodeEngine,
-    SeqEdgeEngine, SeqNodeEngine,
+    ParEdgeEngine, ParNodeEngine, SeqEdgeEngine, SeqNodeEngine,
 };
 use credo::gpusim::{Device, PASCAL_GTX1070, VOLTA_V100};
 use credo::{BpEngine, BpOptions, Paradigm};
-use credo_graph::generators::{
-    grid, kronecker, preferential_attachment, synthetic, GenOptions,
-};
+use credo_graph::generators::{grid, kronecker, preferential_attachment, synthetic, GenOptions};
 use credo_graph::BeliefGraph;
 
 fn engines() -> Vec<Box<dyn BpEngine>> {
@@ -24,7 +22,12 @@ fn engines() -> Vec<Box<dyn BpEngine>> {
         Box::new(CudaEdgeEngine::new(Device::new(VOLTA_V100))),
         Box::new(CudaNodeEngine::new(Device::new(VOLTA_V100))),
         Box::new(OpenAccEngine::new(Device::new(PASCAL_GTX1070), Paradigm::Edge).tuned()),
-        Box::new(OpenAccEngine::new(Device::new(PASCAL_GTX1070), Paradigm::Node)),
+        Box::new(OpenAccEngine::new(
+            Device::new(PASCAL_GTX1070),
+            Paradigm::Node,
+        )),
+        Box::new(ParEdgeEngine),
+        Box::new(ParNodeEngine),
     ]
 }
 
@@ -72,7 +75,9 @@ fn agree_on_grids_with_32_beliefs() {
 fn queued_engines_agree_with_unqueued_reference() {
     let base = synthetic(300, 1200, &GenOptions::new(2).with_seed(5));
     let mut reference = base.clone();
-    SeqEdgeEngine.run(&mut reference, &BpOptions::default()).unwrap();
+    SeqEdgeEngine
+        .run(&mut reference, &BpOptions::default())
+        .unwrap();
     let queued = BpOptions::with_work_queue();
     for engine in engines() {
         let mut g = base.clone();
@@ -97,6 +102,80 @@ fn observed_nodes_stay_fixed_in_every_engine() {
         engine.run(&mut g, &BpOptions::default()).unwrap();
         assert_eq!(g.beliefs()[7].as_slice(), &[0.0, 1.0], "{}", engine.name());
         assert_eq!(g.beliefs()[23].as_slice(), &[1.0, 0.0], "{}", engine.name());
+    }
+}
+
+mod par_properties {
+    //! Property-based agreement for the native parallel engines: on random
+    //! synthetic graphs, any thread count, the Par engines land within
+    //! 1e-4 L∞ of the sequential per-node engine.
+
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_graph() -> impl Strategy<Value = BeliefGraph> {
+        (2usize..120, 1usize..400, 2usize..5, any::<u64>())
+            .prop_map(|(n, e, k, seed)| synthetic(n.max(2), e, &GenOptions::new(k).with_seed(seed)))
+    }
+
+    /// A fixed iteration budget pins every engine to the same trajectory
+    /// length, so the comparison measures accumulation drift alone rather
+    /// than threshold-crossing races.
+    fn pinned(iterations: u32) -> BpOptions {
+        BpOptions {
+            threshold: 0.0,
+            max_iterations: iterations,
+            ..BpOptions::default()
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn par_engines_match_sequential_node(g in arb_graph(), threads in 1usize..5) {
+            let mut reference = g.clone();
+            SeqNodeEngine.run(&mut reference, &pinned(25)).unwrap();
+            for engine in [&ParNodeEngine as &dyn credo::BpEngine, &ParEdgeEngine] {
+                let mut work = g.clone();
+                engine
+                    .run(&mut work, &pinned(25).with_threads(threads))
+                    .unwrap();
+                for (v, (a, b)) in reference.beliefs().iter().zip(work.beliefs()).enumerate() {
+                    prop_assert!(
+                        a.linf_diff(b) < 1e-4,
+                        "{} disagrees with C Node at node {v}: {a:?} vs {b:?}",
+                        engine.name()
+                    );
+                }
+            }
+        }
+
+        #[test]
+        fn par_queue_modes_converge_to_the_same_fixed_point(
+            g in arb_graph(),
+            threads in 1usize..4,
+        ) {
+            let mut reference = g.clone();
+            SeqNodeEngine.run(&mut reference, &BpOptions::default()).unwrap();
+            let queued = BpOptions::with_work_queue().with_threads(threads);
+            let residual = BpOptions::default()
+                .with_residual_priority()
+                .with_threads(threads);
+            for opts in [queued, residual] {
+                for engine in [&ParNodeEngine as &dyn credo::BpEngine, &ParEdgeEngine] {
+                    let mut work = g.clone();
+                    engine.run(&mut work, &opts).unwrap();
+                    for (a, b) in reference.beliefs().iter().zip(work.beliefs()) {
+                        prop_assert!(
+                            a.linf_diff(b) < 5e-3,
+                            "{} queue mode diverged from reference",
+                            engine.name()
+                        );
+                    }
+                }
+            }
+        }
     }
 }
 

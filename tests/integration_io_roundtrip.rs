@@ -6,9 +6,8 @@ use proptest::prelude::*;
 
 /// Arbitrary small shared-potential graph.
 fn arb_shared_graph() -> impl Strategy<Value = BeliefGraph> {
-    (2usize..40, 1usize..80, 2usize..5, any::<u64>()).prop_map(|(n, e, k, seed)| {
-        synthetic(n.max(2), e, &GenOptions::new(k).with_seed(seed))
-    })
+    (2usize..40, 1usize..80, 2usize..5, any::<u64>())
+        .prop_map(|(n, e, k, seed)| synthetic(n.max(2), e, &GenOptions::new(k).with_seed(seed)))
 }
 
 /// Arbitrary small per-edge-potential graph.
@@ -140,7 +139,9 @@ fn formats_agree_on_a_mixed_cardinality_network() {
         JointMatrix::from_rows(
             3,
             4,
-            vec![0.4, 0.3, 0.2, 0.1, 0.25, 0.25, 0.25, 0.25, 0.1, 0.2, 0.3, 0.4],
+            vec![
+                0.4, 0.3, 0.2, 0.1, 0.25, 0.25, 0.25, 0.25, 0.1, 0.2, 0.3, 0.4,
+            ],
         ),
     );
     let g = b.build().unwrap();

@@ -1,8 +1,8 @@
 //! End-to-end pipeline: generate → serialize → parse → select → run.
 
 use credo::engines::SeqNodeEngine;
-use credo::graph::generators::{family_out, kronecker, synthetic, GenOptions};
 use credo::gpusim::PASCAL_GTX1070;
+use credo::graph::generators::{family_out, kronecker, synthetic, GenOptions};
 use credo::{BpEngine, BpOptions, Credo, Implementation};
 
 #[test]
@@ -17,7 +17,10 @@ fn mtx_roundtrip_preserves_bp_results() {
     SeqNodeEngine.run(&mut original, &opts).unwrap();
     SeqNodeEngine.run(&mut reloaded, &opts).unwrap();
     for (a, b) in original.beliefs().iter().zip(reloaded.beliefs()) {
-        assert!(a.linf_diff(b) < 1e-5, "serialization must not change results");
+        assert!(
+            a.linf_diff(b) < 1e-5,
+            "serialization must not change results"
+        );
     }
 }
 
@@ -32,7 +35,9 @@ fn bif_pipeline_runs_family_out() {
     parsed.observe(lo, 1);
     // Evidence flows to parents only in the MRF form (§2.1).
     let mut parsed = parsed.to_mrf();
-    let stats = SeqNodeEngine.run(&mut parsed, &BpOptions::default()).unwrap();
+    let stats = SeqNodeEngine
+        .run(&mut parsed, &BpOptions::default())
+        .unwrap();
     assert!(stats.converged);
     let fo = parsed.node_by_name("family-out").unwrap();
     assert!(
@@ -57,7 +62,10 @@ fn credo_selects_cuda_for_dense_midsize_graphs() {
     let g = kronecker(12, 16, &GenOptions::new(2));
     assert!(g.num_nodes() > 1_000 && g.num_nodes() < 100_000);
     let chosen = credo.select(&g);
-    assert!(chosen.is_cuda(), "dense Kronecker mid-size graph -> CUDA, got {chosen}");
+    assert!(
+        chosen.is_cuda(),
+        "dense Kronecker mid-size graph -> CUDA, got {chosen}"
+    );
 }
 
 #[test]
@@ -73,6 +81,8 @@ fn observation_propagates_through_whole_pipeline() {
     // Observations serialize as point-mass priors; re-pin after reload.
     assert_eq!(reloaded.priors()[0].get(1), 1.0);
     reloaded.observe(0, 1);
-    SeqNodeEngine.run(&mut reloaded, &BpOptions::default()).unwrap();
+    SeqNodeEngine
+        .run(&mut reloaded, &BpOptions::default())
+        .unwrap();
     assert_eq!(reloaded.beliefs()[0].as_slice(), &[0.0, 1.0]);
 }
