@@ -9,3 +9,5 @@ crates/bench/src/dataset.rs:
 crates/bench/src/report.rs:
 crates/bench/src/runner.rs:
 crates/bench/src/suite.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

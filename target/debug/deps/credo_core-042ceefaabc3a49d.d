@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/credo_core-042ceefaabc3a49d.d: crates/core/src/lib.rs crates/core/src/convergence.rs crates/core/src/engine.rs crates/core/src/math.rs crates/core/src/opts.rs crates/core/src/queue.rs crates/core/src/stats.rs crates/core/src/openmp/mod.rs crates/core/src/openmp/edge.rs crates/core/src/openmp/node.rs crates/core/src/seq/mod.rs crates/core/src/seq/edge.rs crates/core/src/seq/naive_tree.rs crates/core/src/seq/node.rs crates/core/src/seq/tree.rs
+/root/repo/target/debug/deps/credo_core-042ceefaabc3a49d.d: crates/core/src/lib.rs crates/core/src/convergence.rs crates/core/src/engine.rs crates/core/src/math.rs crates/core/src/opts.rs crates/core/src/queue.rs crates/core/src/stats.rs crates/core/src/openmp/mod.rs crates/core/src/openmp/edge.rs crates/core/src/openmp/node.rs crates/core/src/par/mod.rs crates/core/src/par/edge.rs crates/core/src/par/node.rs crates/core/src/par/pool.rs crates/core/src/par/queue.rs crates/core/src/seq/mod.rs crates/core/src/seq/edge.rs crates/core/src/seq/naive_tree.rs crates/core/src/seq/node.rs crates/core/src/seq/tree.rs
 
-/root/repo/target/debug/deps/libcredo_core-042ceefaabc3a49d.rlib: crates/core/src/lib.rs crates/core/src/convergence.rs crates/core/src/engine.rs crates/core/src/math.rs crates/core/src/opts.rs crates/core/src/queue.rs crates/core/src/stats.rs crates/core/src/openmp/mod.rs crates/core/src/openmp/edge.rs crates/core/src/openmp/node.rs crates/core/src/seq/mod.rs crates/core/src/seq/edge.rs crates/core/src/seq/naive_tree.rs crates/core/src/seq/node.rs crates/core/src/seq/tree.rs
+/root/repo/target/debug/deps/libcredo_core-042ceefaabc3a49d.rlib: crates/core/src/lib.rs crates/core/src/convergence.rs crates/core/src/engine.rs crates/core/src/math.rs crates/core/src/opts.rs crates/core/src/queue.rs crates/core/src/stats.rs crates/core/src/openmp/mod.rs crates/core/src/openmp/edge.rs crates/core/src/openmp/node.rs crates/core/src/par/mod.rs crates/core/src/par/edge.rs crates/core/src/par/node.rs crates/core/src/par/pool.rs crates/core/src/par/queue.rs crates/core/src/seq/mod.rs crates/core/src/seq/edge.rs crates/core/src/seq/naive_tree.rs crates/core/src/seq/node.rs crates/core/src/seq/tree.rs
 
-/root/repo/target/debug/deps/libcredo_core-042ceefaabc3a49d.rmeta: crates/core/src/lib.rs crates/core/src/convergence.rs crates/core/src/engine.rs crates/core/src/math.rs crates/core/src/opts.rs crates/core/src/queue.rs crates/core/src/stats.rs crates/core/src/openmp/mod.rs crates/core/src/openmp/edge.rs crates/core/src/openmp/node.rs crates/core/src/seq/mod.rs crates/core/src/seq/edge.rs crates/core/src/seq/naive_tree.rs crates/core/src/seq/node.rs crates/core/src/seq/tree.rs
+/root/repo/target/debug/deps/libcredo_core-042ceefaabc3a49d.rmeta: crates/core/src/lib.rs crates/core/src/convergence.rs crates/core/src/engine.rs crates/core/src/math.rs crates/core/src/opts.rs crates/core/src/queue.rs crates/core/src/stats.rs crates/core/src/openmp/mod.rs crates/core/src/openmp/edge.rs crates/core/src/openmp/node.rs crates/core/src/par/mod.rs crates/core/src/par/edge.rs crates/core/src/par/node.rs crates/core/src/par/pool.rs crates/core/src/par/queue.rs crates/core/src/seq/mod.rs crates/core/src/seq/edge.rs crates/core/src/seq/naive_tree.rs crates/core/src/seq/node.rs crates/core/src/seq/tree.rs
 
 crates/core/src/lib.rs:
 crates/core/src/convergence.rs:
@@ -14,6 +14,11 @@ crates/core/src/stats.rs:
 crates/core/src/openmp/mod.rs:
 crates/core/src/openmp/edge.rs:
 crates/core/src/openmp/node.rs:
+crates/core/src/par/mod.rs:
+crates/core/src/par/edge.rs:
+crates/core/src/par/node.rs:
+crates/core/src/par/pool.rs:
+crates/core/src/par/queue.rs:
 crates/core/src/seq/mod.rs:
 crates/core/src/seq/edge.rs:
 crates/core/src/seq/naive_tree.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/credo_core-64a300611450c0a6.d: crates/core/src/lib.rs crates/core/src/convergence.rs crates/core/src/engine.rs crates/core/src/math.rs crates/core/src/opts.rs crates/core/src/queue.rs crates/core/src/stats.rs crates/core/src/openmp/mod.rs crates/core/src/openmp/edge.rs crates/core/src/openmp/node.rs crates/core/src/seq/mod.rs crates/core/src/seq/edge.rs crates/core/src/seq/naive_tree.rs crates/core/src/seq/node.rs crates/core/src/seq/tree.rs
+/root/repo/target/debug/deps/credo_core-64a300611450c0a6.d: crates/core/src/lib.rs crates/core/src/convergence.rs crates/core/src/engine.rs crates/core/src/math.rs crates/core/src/opts.rs crates/core/src/queue.rs crates/core/src/stats.rs crates/core/src/openmp/mod.rs crates/core/src/openmp/edge.rs crates/core/src/openmp/node.rs crates/core/src/par/mod.rs crates/core/src/par/edge.rs crates/core/src/par/node.rs crates/core/src/par/pool.rs crates/core/src/par/queue.rs crates/core/src/seq/mod.rs crates/core/src/seq/edge.rs crates/core/src/seq/naive_tree.rs crates/core/src/seq/node.rs crates/core/src/seq/tree.rs
 
-/root/repo/target/debug/deps/credo_core-64a300611450c0a6: crates/core/src/lib.rs crates/core/src/convergence.rs crates/core/src/engine.rs crates/core/src/math.rs crates/core/src/opts.rs crates/core/src/queue.rs crates/core/src/stats.rs crates/core/src/openmp/mod.rs crates/core/src/openmp/edge.rs crates/core/src/openmp/node.rs crates/core/src/seq/mod.rs crates/core/src/seq/edge.rs crates/core/src/seq/naive_tree.rs crates/core/src/seq/node.rs crates/core/src/seq/tree.rs
+/root/repo/target/debug/deps/credo_core-64a300611450c0a6: crates/core/src/lib.rs crates/core/src/convergence.rs crates/core/src/engine.rs crates/core/src/math.rs crates/core/src/opts.rs crates/core/src/queue.rs crates/core/src/stats.rs crates/core/src/openmp/mod.rs crates/core/src/openmp/edge.rs crates/core/src/openmp/node.rs crates/core/src/par/mod.rs crates/core/src/par/edge.rs crates/core/src/par/node.rs crates/core/src/par/pool.rs crates/core/src/par/queue.rs crates/core/src/seq/mod.rs crates/core/src/seq/edge.rs crates/core/src/seq/naive_tree.rs crates/core/src/seq/node.rs crates/core/src/seq/tree.rs
 
 crates/core/src/lib.rs:
 crates/core/src/convergence.rs:
@@ -12,6 +12,11 @@ crates/core/src/stats.rs:
 crates/core/src/openmp/mod.rs:
 crates/core/src/openmp/edge.rs:
 crates/core/src/openmp/node.rs:
+crates/core/src/par/mod.rs:
+crates/core/src/par/edge.rs:
+crates/core/src/par/node.rs:
+crates/core/src/par/pool.rs:
+crates/core/src/par/queue.rs:
 crates/core/src/seq/mod.rs:
 crates/core/src/seq/edge.rs:
 crates/core/src/seq/naive_tree.rs:

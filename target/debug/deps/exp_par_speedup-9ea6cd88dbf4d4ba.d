@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_par_speedup-9ea6cd88dbf4d4ba.d: crates/bench/src/bin/exp_par_speedup.rs
+
+/root/repo/target/debug/deps/exp_par_speedup-9ea6cd88dbf4d4ba: crates/bench/src/bin/exp_par_speedup.rs
+
+crates/bench/src/bin/exp_par_speedup.rs:
