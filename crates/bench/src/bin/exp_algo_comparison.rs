@@ -29,7 +29,11 @@ struct Row {
 
 fn main() {
     let scale = scale_from_args();
-    println!("§2.1.1: non-loopy vs loopy BP, single-threaded (scale: {scale:?})\n");
+    let prog = credo_bench::progress_from_args();
+    credo_bench::progress(
+        &prog,
+        &format!("§2.1.1: non-loopy vs loopy BP, single-threaded (scale: {scale:?})"),
+    );
     let opts = credo_bench::apply_max_iters(BpOptions::default());
 
     // The naive baseline is O(V·E); cap its input like the paper's own
@@ -56,10 +60,13 @@ fn main() {
         let n = spec.scaled_nodes(scale) as u128;
         let arcs = 2 * spec.scaled_edges(scale) as u128;
         if n * arcs > budget {
-            println!(
-                "  (skipping {} at this scale: naive baseline is O(V*E) = {:.1e} ops)",
-                spec.abbrev,
-                (n * arcs) as f64
+            credo_bench::progress(
+                &prog,
+                &format!(
+                    "  (skipping {} at this scale: naive baseline is O(V*E) = {:.1e} ops)",
+                    spec.abbrev,
+                    (n * arcs) as f64
+                ),
             );
             continue;
         }

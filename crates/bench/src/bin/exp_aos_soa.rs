@@ -25,7 +25,11 @@ struct Row {
 
 fn main() {
     let scale = scale_from_args();
-    println!("§3.4: AoS vs SoA layout, cachegrind-style (scale: {scale:?}, beliefs: 2)\n");
+    let prog = credo_bench::progress_from_args();
+    credo_bench::progress(
+        &prog,
+        &format!("§3.4: AoS vs SoA layout, cachegrind-style (scale: {scale:?}, beliefs: 2)"),
+    );
     let subset: Vec<_> = TABLE1
         .iter()
         .filter(|s| s.kind == GraphKind::Synthetic && s.nodes <= 100_000)

@@ -30,8 +30,15 @@ struct Output {
 
 fn main() {
     let scale = scale_from_args();
-    println!("§3.7 / Fig 4–6: classifier features (scale: {scale:?})");
-    println!("Benchmarking all implementations to label the dataset…\n");
+    let prog = credo_bench::progress_from_args();
+    credo_bench::progress(
+        &prog,
+        &format!("§3.7 / Fig 4–6: classifier features (scale: {scale:?})"),
+    );
+    credo_bench::progress(
+        &prog,
+        "Benchmarking all implementations to label the dataset…",
+    );
     let opts = credo_bench::apply_max_iters(BpOptions::default());
     let records = load_or_build(scale, PASCAL_GTX1070, &opts, 3, true);
     // §3.7 labels paradigms: "a label of Node for when the a Node

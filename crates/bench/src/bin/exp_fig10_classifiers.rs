@@ -70,13 +70,20 @@ fn cv_f1(name: &'static str, data: &Dataset, folds: usize, seed: u64) -> (f64, f
 
 fn main() {
     let scale = scale_from_args();
-    println!("Fig 10: classifier F1 vs training-set size (scale: {scale:?})");
-    println!("Benchmarking to label the dataset…\n");
+    let prog = credo_bench::progress_from_args();
+    credo_bench::progress(
+        &prog,
+        &format!("Fig 10: classifier F1 vs training-set size (scale: {scale:?})"),
+    );
+    credo_bench::progress(&prog, "Benchmarking to label the dataset…");
     let opts = credo_bench::apply_max_iters(BpOptions::default());
     let records = load_or_build(scale, PASCAL_GTX1070, &opts, 3, false);
     // Figure 10 scores the paper's binary Node/Edge problem.
     let full = to_paradigm_dataset(&records).shuffled(0xF16);
-    println!("Dataset: {} labelled configurations\n", full.len());
+    credo_bench::progress(
+        &prog,
+        &format!("Dataset: {} labelled configurations", full.len()),
+    );
 
     let sizes: Vec<usize> = [20usize, 40, 60, 80, full.len()]
         .into_iter()

@@ -29,8 +29,12 @@ struct Row {
 
 fn main() {
     let scale = scale_from_args();
-    println!("Fig 11: Credo vs always-C-Edge (scale: {scale:?})");
-    println!("Benchmarking to train the selector…\n");
+    let prog = credo_bench::progress_from_args();
+    credo_bench::progress(
+        &prog,
+        &format!("Fig 11: Credo vs always-C-Edge (scale: {scale:?})"),
+    );
+    credo_bench::progress(&prog, "Benchmarking to train the selector…");
     let opts = credo_bench::apply_max_iters(BpOptions::default());
     let records = load_or_build(scale, PASCAL_GTX1070, &opts, 3, false);
     let features: Vec<_> = records.iter().map(|r| r.features).collect();

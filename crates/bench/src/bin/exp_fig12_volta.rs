@@ -33,12 +33,16 @@ fn secs_of(rec: &credo_bench::dataset::LabeledConfig, name: &str) -> Option<f64>
 
 fn main() {
     let scale = scale_from_args();
-    println!("§4.4 / Fig 12: Volta portability (scale: {scale:?})\n");
+    let prog = credo_bench::progress_from_args();
+    credo_bench::progress(
+        &prog,
+        &format!("§4.4 / Fig 12: Volta portability (scale: {scale:?})"),
+    );
     let opts = credo_bench::apply_max_iters(BpOptions::default());
 
-    println!("Benchmarking on the GTX 1070 profile…");
+    credo_bench::progress(&prog, "Benchmarking on the GTX 1070 profile…");
     let pascal = build_full(scale, PASCAL_GTX1070, &opts, 2, false);
-    println!("Benchmarking on the V100 profile…");
+    credo_bench::progress(&prog, "Benchmarking on the V100 profile…");
     let volta = build_full(scale, VOLTA_V100, &opts, 2, false);
 
     // Train the forest on Pascal labels; score it on both environments.

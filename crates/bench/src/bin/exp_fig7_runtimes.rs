@@ -17,7 +17,11 @@ use credo_gpusim::PASCAL_GTX1070;
 fn main() {
     let scale = scale_from_args();
     let full_suite = flag_present("--all-graphs");
-    println!("Fig 7: C vs CUDA runtimes, work queues on (scale: {scale:?}, beliefs: 2)\n");
+    let prog = credo_bench::progress_from_args();
+    credo_bench::progress(
+        &prog,
+        &format!("Fig 7: C vs CUDA runtimes, work queues on (scale: {scale:?}, beliefs: 2)"),
+    );
     let opts = credo_bench::apply_max_iters(BpOptions::with_work_queue());
     let specs = if full_suite {
         TABLE1.to_vec()

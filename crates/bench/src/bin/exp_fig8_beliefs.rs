@@ -24,7 +24,11 @@ struct Row {
 fn main() {
     let scale = scale_from_args();
     let belief_sweep = [2usize, 3, 8, 16, 32];
-    println!("Fig 8: CUDA speedup vs C by belief count (scale: {scale:?})\n");
+    let prog = credo_bench::progress_from_args();
+    credo_bench::progress(
+        &prog,
+        &format!("Fig 8: CUDA speedup vs C by belief count (scale: {scale:?})"),
+    );
     let opts = credo_bench::apply_max_iters(BpOptions::with_work_queue());
 
     let mut rows: Vec<Row> = Vec::new();

@@ -31,7 +31,11 @@ struct Row {
 fn main() {
     let scale = scale_from_args();
     let beliefs = 32usize;
-    println!("Fig 9: work-queue impact (scale: {scale:?}, beliefs: {beliefs})\n");
+    let prog = credo_bench::progress_from_args();
+    credo_bench::progress(
+        &prog,
+        &format!("Fig 9: work-queue impact (scale: {scale:?}, beliefs: {beliefs})"),
+    );
     let plain = credo_bench::apply_max_iters(BpOptions::default());
     let queued = credo_bench::apply_max_iters(BpOptions::with_work_queue());
     let specs = if flag_present("--all-graphs") {
@@ -48,10 +52,13 @@ fn main() {
         let full_bytes =
             device_bytes_required(spec.nodes as u64, 2 * spec.edges as u64, beliefs as u64, 0);
         if full_bytes > PASCAL_GTX1070.vram_bytes {
-            println!(
-                "  (excluding {}: {:.1} GB > 8 GB VRAM at full scale, as in the paper)",
-                spec.abbrev,
-                full_bytes as f64 / 1e9
+            credo_bench::progress(
+                &prog,
+                &format!(
+                    "  (excluding {}: {:.1} GB > 8 GB VRAM at full scale, as in the paper)",
+                    spec.abbrev,
+                    full_bytes as f64 / 1e9
+                ),
             );
             continue;
         }

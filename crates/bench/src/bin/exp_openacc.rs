@@ -26,7 +26,11 @@ struct Row {
 
 fn main() {
     let scale = scale_from_args();
-    println!("§2.4: OpenACC-analogue engines vs sequential C (scale: {scale:?}, beliefs: 2)\n");
+    let prog = credo_bench::progress_from_args();
+    credo_bench::progress(
+        &prog,
+        &format!("§2.4: OpenACC-analogue engines vs sequential C (scale: {scale:?}, beliefs: 2)"),
+    );
     let opts = credo_bench::apply_max_iters(BpOptions::default());
 
     let mut table = Table::new(&[

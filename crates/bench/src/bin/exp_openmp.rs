@@ -28,7 +28,11 @@ struct Row {
 fn main() {
     let scale = scale_from_args();
     let threads = [2usize, 4, 8];
-    println!("§2.4: OpenMP-analogue engines vs sequential C (scale: {scale:?})\n");
+    let prog = credo_bench::progress_from_args();
+    credo_bench::progress(
+        &prog,
+        &format!("§2.4: OpenMP-analogue engines vs sequential C (scale: {scale:?})"),
+    );
     let opts = credo_bench::apply_max_iters(BpOptions::default());
 
     let mut table = Table::new(&["Graph", "k", "paradigm", "C", "2T", "4T", "8T"]);

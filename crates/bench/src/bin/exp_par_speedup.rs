@@ -20,8 +20,8 @@ use credo::engines::{
     OpenMpEdgeEngine, OpenMpNodeEngine, ParEdgeEngine, ParNodeEngine, SeqEdgeEngine, SeqNodeEngine,
 };
 use credo::{BpEngine, BpOptions, Paradigm};
-use credo_bench::report::{fmt_secs, fmt_speedup, save_bench_json, save_json, Table};
-use credo_bench::runner::run_clean;
+use credo_bench::report::{fmt_secs, fmt_speedup, save_bench_json, save_json, save_trace, Table};
+use credo_bench::runner::{run_clean, run_traced_clean};
 use credo_bench::suite::Scale;
 use credo_bench::{flag_value, scale_from_args};
 use credo_graph::generators::{synthetic, GenOptions};
@@ -44,7 +44,74 @@ struct Row {
     speedup_vs_openmp: Option<f64>,
 }
 
+/// CI guard for the zero-cost claim (`--overhead-check`): Seq Node on the
+/// 10k synthetic graph, best-of-N wall clock, comparing the untraced entry
+/// point against (a) a disabled dispatch and (b) an attached recorder
+/// whose methods discard everything. Exits non-zero when either traced
+/// variant is more than 2% slower than the untraced best.
+fn overhead_check() {
+    struct DiscardRecorder;
+    impl credo_trace::Recorder for DiscardRecorder {
+        fn new_span(&self, _: &'static str, _: &[credo_trace::Field<'_>]) -> credo_trace::Id {
+            credo_trace::Id(0)
+        }
+        fn record(&self, _: credo_trace::Id, _: &[credo_trace::Field<'_>]) {}
+        fn close_span(&self, _: credo_trace::Id) {}
+        fn event(&self, _: &'static str, _: &[credo_trace::Field<'_>]) {}
+        fn timed_span(
+            &self,
+            _: &'static str,
+            _: &'static str,
+            _: f64,
+            _: f64,
+            _: &[credo_trace::Field<'_>],
+        ) {
+        }
+        fn counter(&self, _: &'static str, _: f64) {}
+    }
+
+    let opts = credo_bench::apply_max_iters(BpOptions::default());
+    let g = synthetic(10_000, 40_000, &GenOptions::new(2).with_seed(42));
+    let rounds = 7;
+    let disabled_dispatch = credo::Dispatch::none();
+    let discard_dispatch = credo::Dispatch::new(std::sync::Arc::new(DiscardRecorder));
+    let time = |trace: Option<&credo::Dispatch>| {
+        let mut work = g.clone();
+        let stats = match trace {
+            None => run_clean(&SeqNodeEngine, &mut work, &opts),
+            Some(t) => run_traced_clean(&SeqNodeEngine, &mut work, &opts, t),
+        };
+        stats.unwrap().reported_time.as_secs_f64()
+    };
+    // Warm up caches/allocator, then interleave the three variants so
+    // machine-load drift hits them all equally; compare best-of-N.
+    time(None);
+    let (mut untraced, mut disabled, mut discard) = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+    for _ in 0..rounds {
+        untraced = untraced.min(time(None));
+        disabled = disabled.min(time(Some(&disabled_dispatch)));
+        discard = discard.min(time(Some(&discard_dispatch)));
+    }
+    println!(
+        "Seq Node 10kx40k best-of-{rounds}: untraced {}, no-op dispatch {} ({:+.2}%), discarding recorder {} ({:+.2}%)",
+        fmt_secs(untraced),
+        fmt_secs(disabled),
+        (disabled / untraced - 1.0) * 100.0,
+        fmt_secs(discard),
+        (discard / untraced - 1.0) * 100.0,
+    );
+    let limit = untraced * 1.02;
+    if disabled > limit || discard > limit {
+        eprintln!("FAIL: tracing overhead exceeds 2%");
+        std::process::exit(1);
+    }
+    println!("OK: tracing overhead within 2%");
+}
+
 fn main() {
+    if credo_bench::flag_present("--overhead-check") {
+        return overhead_check();
+    }
     let scale = scale_from_args();
     let threads: usize = flag_value("--threads")
         .map(|v| v.parse().expect("--threads takes an integer"))
@@ -69,8 +136,12 @@ fn main() {
     } else {
         opts
     };
-    println!(
-        "Native parallel engines vs OpenMP-analogue vs sequential ({threads} threads, scale: {scale:?}, mode: {mode})\n"
+    let prog = credo_bench::progress_from_args();
+    credo_bench::progress(
+        &prog,
+        &format!(
+            "Native parallel engines vs OpenMP-analogue vs sequential ({threads} threads, scale: {scale:?}, mode: {mode})"
+        ),
     );
 
     let mut table = Table::new(&[
@@ -168,5 +239,26 @@ fn main() {
     }
     if let Ok(p) = save_bench_json(&json_name, &rows) {
         println!("JSON: {}", p.display());
+    }
+
+    // `--trace`: capture a full telemetry trace of the headline engines on
+    // the 10k graph and park it next to the BENCH_*.json artefact.
+    if credo_bench::flag_present("--trace") {
+        let buffer = std::sync::Arc::new(credo_trace::TraceBuffer::new());
+        let trace = credo::Dispatch::new(buffer.clone());
+        let g = synthetic(10_000, 40_000, &GenOptions::new(2).with_seed(42));
+        let mut work = g.clone();
+        run_traced_clean(&SeqNodeEngine, &mut work, &opts, &trace).unwrap();
+        run_traced_clean(
+            &ParNodeEngine,
+            &mut work,
+            &par_opts.with_threads(threads),
+            &trace,
+        )
+        .unwrap();
+        if let Ok((chrome, jsonl)) = save_trace(&json_name, &buffer) {
+            println!("trace: {}", chrome.display());
+            println!("trace: {}", jsonl.display());
+        }
     }
 }

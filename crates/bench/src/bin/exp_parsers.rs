@@ -113,7 +113,8 @@ fn bench_formats(
 
 fn main() {
     let scale = scale_from_args();
-    println!("§3.2.1: input-processor comparison\n");
+    let prog = credo_bench::progress_from_args();
+    credo_bench::progress(&prog, "§3.2.1: input-processor comparison");
     let mut table = Table::new(&[
         "Network",
         "nodes",

@@ -46,7 +46,11 @@ fn time_both(engine_builder: &dyn Fn() -> Box<dyn BpEngine>, n: usize, e: usize,
 
 fn main() {
     let scale = scale_from_args();
-    println!("§2.2: per-edge vs shared joint probability matrix (scale: {scale:?})\n");
+    let prog = credo_bench::progress_from_args();
+    credo_bench::progress(
+        &prog,
+        &format!("§2.2: per-edge vs shared joint probability matrix (scale: {scale:?})"),
+    );
     // "a micro-benchmark composed of a subset of just the graphs ranging
     // from 10x40 to 800kx1200k of the previously used synthetic graphs"
     let subset: Vec<_> = TABLE1

@@ -23,7 +23,11 @@ struct Row {
 fn main() {
     let scale = scale_from_args();
     let generate = !flag_present("--no-generate");
-    println!("Table 1: benchmark graphs (scale: {scale:?})\n");
+    let prog = credo_bench::progress_from_args();
+    credo_bench::progress(
+        &prog,
+        &format!("Table 1: benchmark graphs (scale: {scale:?})"),
+    );
 
     let mut table = Table::new(&[
         "Name",

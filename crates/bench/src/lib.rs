@@ -36,6 +36,23 @@ pub fn flag_present(name: &str) -> bool {
     std::env::args().any(|a| a == name)
 }
 
+/// The progress dispatch for an experiment binary: console-backed events
+/// unless `--quiet` was passed, in which case every emit is a no-op. The
+/// result tables and JSON paths are still printed — only the running
+/// commentary goes through this.
+pub fn progress_from_args() -> credo::Dispatch {
+    if flag_present("--quiet") {
+        credo::Dispatch::none()
+    } else {
+        credo::Dispatch::new(std::sync::Arc::new(credo_trace::ConsoleRecorder::new()))
+    }
+}
+
+/// Emits one progress line through a dispatch from [`progress_from_args`].
+pub fn progress(dispatch: &credo::Dispatch, msg: &str) {
+    dispatch.event("progress", &[("msg", msg.into())]);
+}
+
 /// Applies `--max-iters <n>` and `--threshold <x>` (if present) to a base
 /// options value. The paper caps at 200 iterations with a 0.001
 /// convergence threshold; sweeps over the whole suite can lower the cap to

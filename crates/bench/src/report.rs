@@ -121,6 +121,29 @@ pub fn save_bench_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<P
     Ok(path.canonicalize().unwrap_or(path))
 }
 
+/// Writes a captured trace next to the experiment's `BENCH_<name>.json`:
+/// `BENCH_<name>.trace.json` (chrome://tracing / Perfetto) and
+/// `BENCH_<name>.metrics.jsonl` (one record per line). Returns the two
+/// paths written.
+pub fn save_trace(
+    name: &str,
+    buffer: &credo_trace::TraceBuffer,
+) -> std::io::Result<(PathBuf, PathBuf)> {
+    let dir = match std::env::var("BENCH_JSON_DIR") {
+        Ok(d) => PathBuf::from(d),
+        Err(_) => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."),
+    };
+    std::fs::create_dir_all(&dir)?;
+    let chrome = dir.join(format!("BENCH_{name}.trace.json"));
+    let jsonl = dir.join(format!("BENCH_{name}.metrics.jsonl"));
+    buffer.write_chrome_trace(&chrome)?;
+    buffer.write_json_lines(&jsonl)?;
+    Ok((
+        chrome.canonicalize().unwrap_or(chrome),
+        jsonl.canonicalize().unwrap_or(jsonl),
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -71,6 +71,17 @@ pub fn run_clean(
     credo_core::run_fresh(engine, graph, opts)
 }
 
+/// [`run_clean`] with a telemetry dispatch attached, so experiments can
+/// capture a trace of a measured run (see `report::save_trace`).
+pub fn run_traced_clean(
+    engine: &dyn BpEngine,
+    graph: &mut BeliefGraph,
+    opts: &BpOptions,
+    trace: &credo::Dispatch,
+) -> Result<BpStats, EngineError> {
+    credo_core::run_fresh_traced(engine, graph, opts, trace)
+}
+
 /// Runs all four Credo implementations on a graph, returning
 /// `(implementation, stats)` for those that completed (VRAM-exceeding CUDA
 /// runs are skipped, mirroring §4.2).

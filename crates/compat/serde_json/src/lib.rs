@@ -2,7 +2,10 @@
 //! owned [`Value`] tree. Implements the calls this workspace makes:
 //! [`to_string`], [`to_string_pretty`] and [`from_str`].
 
-use serde::{DeError, Deserialize, Serialize, Value};
+use serde::{DeError, Deserialize, Serialize};
+// Re-exported so callers can name the parse result the way they would
+// with the real `serde_json::Value`.
+pub use serde::Value;
 
 /// JSON error (serialization or parse), mirroring `serde_json::Error`'s
 /// role as a `std::error::Error`.

@@ -1,0 +1,347 @@
+//! Offline stand-in for the `tracing` crate (crates.io is unreachable in
+//! this build environment; see DESIGN.md's compat-crate policy).
+//!
+//! The real `tracing` routes spans and events through a thread-local
+//! global dispatcher and macro layer. This shim keeps the same three
+//! concepts — a [`Subscriber`] that receives structured telemetry, a
+//! cheap-to-clone [`Dispatch`] handle, and RAII [`Span`] guards — but
+//! passes the dispatch *explicitly* so the hot paths stay auditable and
+//! genuinely zero-cost when disabled: a [`Dispatch::none()`] handle is a
+//! `None` behind an `#[inline]` check, so every emission site compiles
+//! down to a branch on a register.
+//!
+//! One extension beyond upstream: [`Subscriber::timed_span`] records a
+//! span with *caller-supplied* timestamps on a named track. The gpusim
+//! kernel profiler uses it to place kernels on the simulated-device
+//! timeline (which advances by the timing model, not by wall clock).
+
+use std::sync::Arc;
+
+/// Structured field values carried by spans and events.
+pub mod field {
+    /// A borrowed field value. Recorders that buffer must copy out of the
+    /// `Str` variant.
+    #[derive(Clone, Copy, Debug)]
+    pub enum Value<'a> {
+        /// Unsigned integer.
+        U64(u64),
+        /// Signed integer.
+        I64(i64),
+        /// Floating point.
+        F64(f64),
+        /// Boolean.
+        Bool(bool),
+        /// Borrowed string.
+        Str(&'a str),
+    }
+
+    impl From<u64> for Value<'_> {
+        fn from(v: u64) -> Self {
+            Value::U64(v)
+        }
+    }
+
+    impl From<u32> for Value<'_> {
+        fn from(v: u32) -> Self {
+            Value::U64(v as u64)
+        }
+    }
+
+    impl From<usize> for Value<'_> {
+        fn from(v: usize) -> Self {
+            Value::U64(v as u64)
+        }
+    }
+
+    impl From<i64> for Value<'_> {
+        fn from(v: i64) -> Self {
+            Value::I64(v)
+        }
+    }
+
+    impl From<f64> for Value<'_> {
+        fn from(v: f64) -> Self {
+            Value::F64(v)
+        }
+    }
+
+    impl From<f32> for Value<'_> {
+        fn from(v: f32) -> Self {
+            Value::F64(v as f64)
+        }
+    }
+
+    impl From<bool> for Value<'_> {
+        fn from(v: bool) -> Self {
+            Value::Bool(v)
+        }
+    }
+
+    impl<'a> From<&'a str> for Value<'a> {
+        fn from(v: &'a str) -> Self {
+            Value::Str(v)
+        }
+    }
+}
+
+/// A named field: `(key, value)`.
+pub type Field<'a> = (&'static str, field::Value<'a>);
+
+/// Opaque identifier of an open span, minted by [`Subscriber::new_span`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Id(pub u64);
+
+/// Receiver of spans, events and counters.
+///
+/// Wall-clock spans (`new_span`/`close_span`) are timestamped by the
+/// subscriber itself; simulated-timeline spans arrive pre-timestamped via
+/// [`Subscriber::timed_span`].
+pub trait Subscriber: Send + Sync {
+    /// Whether this subscriber wants anything at all. Emission sites may
+    /// skip field construction when this is false.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Opens a wall-clock span. Returns an id to pass to
+    /// [`Subscriber::close_span`].
+    fn new_span(&self, name: &'static str, fields: &[Field<'_>]) -> Id;
+
+    /// Attaches additional fields to an open span (visible when the span
+    /// is exported).
+    fn record(&self, id: Id, fields: &[Field<'_>]);
+
+    /// Closes a span opened by [`Subscriber::new_span`].
+    fn close_span(&self, id: Id);
+
+    /// Records an instantaneous event.
+    fn event(&self, name: &'static str, fields: &[Field<'_>]);
+
+    /// Records a completed span with caller-supplied timestamps
+    /// (microseconds on the named track's own timeline — e.g. simulated
+    /// device time).
+    fn timed_span(
+        &self,
+        track: &'static str,
+        name: &'static str,
+        start_us: f64,
+        end_us: f64,
+        fields: &[Field<'_>],
+    );
+
+    /// Records a named counter sample.
+    fn counter(&self, name: &'static str, value: f64);
+}
+
+/// A cheap-to-clone handle to an optional [`Subscriber`].
+///
+/// `Dispatch::none()` is the no-op recorder: every method inlines to a
+/// branch on `Option::None` and does nothing, which is what keeps
+/// instrumented hot paths within noise of uninstrumented ones.
+#[derive(Clone, Default)]
+pub struct Dispatch {
+    inner: Option<Arc<dyn Subscriber>>,
+}
+
+impl std::fmt::Debug for Dispatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dispatch")
+            .field("enabled", &self.enabled())
+            .finish()
+    }
+}
+
+impl Dispatch {
+    /// The no-op dispatch: all emission methods are inlined empty calls.
+    #[inline]
+    pub fn none() -> Self {
+        Dispatch { inner: None }
+    }
+
+    /// Wraps a subscriber.
+    pub fn new(subscriber: Arc<dyn Subscriber>) -> Self {
+        Dispatch {
+            inner: Some(subscriber),
+        }
+    }
+
+    /// True when a subscriber is attached and wants telemetry. Emission
+    /// sites guard field construction with this.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        match &self.inner {
+            Some(s) => s.enabled(),
+            None => false,
+        }
+    }
+
+    /// The attached subscriber, if any.
+    pub fn subscriber(&self) -> Option<&Arc<dyn Subscriber>> {
+        self.inner.as_ref()
+    }
+
+    /// Opens a wall-clock span, closed when the returned guard drops.
+    #[inline]
+    pub fn span<'a>(&'a self, name: &'static str, fields: &[Field<'_>]) -> Span<'a> {
+        let id = match &self.inner {
+            Some(s) if s.enabled() => Some(s.new_span(name, fields)),
+            _ => None,
+        };
+        Span { dispatch: self, id }
+    }
+
+    /// Records an instantaneous event.
+    #[inline]
+    pub fn event(&self, name: &'static str, fields: &[Field<'_>]) {
+        if let Some(s) = &self.inner {
+            if s.enabled() {
+                s.event(name, fields);
+            }
+        }
+    }
+
+    /// Records a completed span with caller-supplied timestamps (see
+    /// [`Subscriber::timed_span`]).
+    #[inline]
+    pub fn timed_span(
+        &self,
+        track: &'static str,
+        name: &'static str,
+        start_us: f64,
+        end_us: f64,
+        fields: &[Field<'_>],
+    ) {
+        if let Some(s) = &self.inner {
+            if s.enabled() {
+                s.timed_span(track, name, start_us, end_us, fields);
+            }
+        }
+    }
+
+    /// Records a named counter sample.
+    #[inline]
+    pub fn counter(&self, name: &'static str, value: f64) {
+        if let Some(s) = &self.inner {
+            if s.enabled() {
+                s.counter(name, value);
+            }
+        }
+    }
+}
+
+/// RAII guard for a wall-clock span: closes it on drop. For the no-op
+/// dispatch the guard holds no id and drop does nothing.
+pub struct Span<'a> {
+    dispatch: &'a Dispatch,
+    id: Option<Id>,
+}
+
+impl Span<'_> {
+    /// Attaches additional fields to the span (e.g. results known only at
+    /// the end of the spanned region).
+    #[inline]
+    pub fn record(&self, fields: &[Field<'_>]) {
+        if let (Some(id), Some(s)) = (self.id, &self.dispatch.inner) {
+            s.record(id, fields);
+        }
+    }
+}
+
+impl Drop for Span<'_> {
+    #[inline]
+    fn drop(&mut self) {
+        if let (Some(id), Some(s)) = (self.id, &self.dispatch.inner) {
+            s.close_span(id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[derive(Default)]
+    struct Log {
+        lines: Mutex<Vec<String>>,
+    }
+
+    impl Subscriber for Log {
+        fn new_span(&self, name: &'static str, _fields: &[Field<'_>]) -> Id {
+            let mut lines = self.lines.lock().unwrap();
+            lines.push(format!("open {name}"));
+            Id(lines.len() as u64)
+        }
+
+        fn record(&self, id: Id, fields: &[Field<'_>]) {
+            self.lines
+                .lock()
+                .unwrap()
+                .push(format!("record {} ({} fields)", id.0, fields.len()));
+        }
+
+        fn close_span(&self, id: Id) {
+            self.lines.lock().unwrap().push(format!("close {}", id.0));
+        }
+
+        fn event(&self, name: &'static str, _fields: &[Field<'_>]) {
+            self.lines.lock().unwrap().push(format!("event {name}"));
+        }
+
+        fn timed_span(
+            &self,
+            track: &'static str,
+            name: &'static str,
+            start_us: f64,
+            end_us: f64,
+            _fields: &[Field<'_>],
+        ) {
+            self.lines
+                .lock()
+                .unwrap()
+                .push(format!("timed {track}/{name} {start_us}..{end_us}"));
+        }
+
+        fn counter(&self, name: &'static str, value: f64) {
+            self.lines
+                .lock()
+                .unwrap()
+                .push(format!("counter {name}={value}"));
+        }
+    }
+
+    #[test]
+    fn none_dispatch_is_disabled_and_silent() {
+        let d = Dispatch::none();
+        assert!(!d.enabled());
+        let span = d.span("nothing", &[]);
+        span.record(&[("x", 1u64.into())]);
+        drop(span);
+        d.event("nothing", &[]);
+        d.counter("nothing", 1.0);
+    }
+
+    #[test]
+    fn span_guard_closes_on_drop() {
+        let log = Arc::new(Log::default());
+        let d = Dispatch::new(log.clone());
+        assert!(d.enabled());
+        {
+            let span = d.span("iteration", &[("iter", 3u64.into())]);
+            span.record(&[("delta", 0.5f64.into())]);
+            d.event("inner", &[]);
+        }
+        d.timed_span("gpu", "kernel", 0.0, 10.0, &[]);
+        let lines = log.lines.lock().unwrap();
+        assert_eq!(
+            *lines,
+            vec![
+                "open iteration",
+                "record 1 (1 fields)",
+                "event inner",
+                "close 1",
+                "timed gpu/kernel 0..10",
+            ]
+        );
+    }
+}

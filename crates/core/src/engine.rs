@@ -5,6 +5,7 @@
 use crate::opts::BpOptions;
 use crate::stats::BpStats;
 use credo_graph::BeliefGraph;
+use tracing::Dispatch;
 
 /// Which of the two §3.3 processing paradigms an engine uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -99,7 +100,25 @@ pub trait BpEngine {
     /// Runs BP in place: `graph.beliefs_mut()` holds the posteriors on
     /// return. Engines treat the current beliefs as the starting state, so
     /// callers wanting a clean run should [`crate::run_fresh`].
-    fn run(&self, graph: &mut BeliefGraph, opts: &BpOptions) -> Result<BpStats, EngineError>;
+    ///
+    /// Equivalent to [`BpEngine::run_traced`] with the no-op recorder;
+    /// results are bit-identical between the two.
+    fn run(&self, graph: &mut BeliefGraph, opts: &BpOptions) -> Result<BpStats, EngineError> {
+        self.run_traced(graph, opts, &Dispatch::none())
+    }
+
+    /// Runs BP in place like [`BpEngine::run`], emitting telemetry through
+    /// `trace`: a `run` span wrapping per-`iteration` spans (with delta /
+    /// update-count / queue-depth fields), plus queue and contention
+    /// counters. With [`Dispatch::none`] every emission site reduces to an
+    /// inlined branch, so the instrumented hot path stays within noise of
+    /// an uninstrumented one.
+    fn run_traced(
+        &self,
+        graph: &mut BeliefGraph,
+        opts: &BpOptions,
+        trace: &Dispatch,
+    ) -> Result<BpStats, EngineError>;
 }
 
 #[cfg(test)]

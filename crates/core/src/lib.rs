@@ -33,7 +33,10 @@ pub use engine::{BpEngine, EngineError, Paradigm, Platform};
 pub use math::{combine_incoming, node_update};
 pub use opts::BpOptions;
 pub use queue::WorkQueue;
-pub use stats::BpStats;
+pub use stats::{BpStats, IterationStats};
+// The telemetry handle engines emit into (`BpEngine::run_traced`);
+// re-exported so downstream crates need no direct `tracing` dependency.
+pub use tracing::Dispatch;
 
 /// Resets the graph's beliefs to its priors, then runs `engine` — the
 /// normal way to execute BP from a clean state.
@@ -44,4 +47,15 @@ pub fn run_fresh(
 ) -> Result<BpStats, EngineError> {
     graph.reset_beliefs();
     engine.run(graph, opts)
+}
+
+/// [`run_fresh`] with a telemetry dispatch attached for the run.
+pub fn run_fresh_traced(
+    engine: &dyn BpEngine,
+    graph: &mut credo_graph::BeliefGraph,
+    opts: &BpOptions,
+    trace: &Dispatch,
+) -> Result<BpStats, EngineError> {
+    graph.reset_beliefs();
+    engine.run_traced(graph, opts, trace)
 }

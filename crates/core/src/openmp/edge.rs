@@ -10,10 +10,23 @@ use crate::convergence::ConvergenceTracker;
 use crate::engine::{BpEngine, EngineError, Paradigm, Platform};
 use crate::opts::BpOptions;
 use crate::queue::WorkQueue;
-use crate::stats::BpStats;
+use crate::stats::{BpStats, IterationStats};
 use credo_graph::{Belief, BeliefGraph};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::time::Instant;
+use tracing::Dispatch;
+
+/// CAS-retry histogram buckets: retries-per-`atomic_mul_f32` call of
+/// 0, 1, 2, 3, 4–7 and 8+ (the §2.4 contention signature).
+const RETRY_BUCKETS: usize = 6;
+
+fn retry_bucket(retries: u32) -> usize {
+    match retries {
+        0..=3 => retries as usize,
+        4..=7 => 4,
+        _ => 5,
+    }
+}
 
 /// CPU-parallel per-edge loopy BP with atomic message combination.
 #[derive(Clone, Copy, Debug, Default)]
@@ -32,17 +45,25 @@ impl BpEngine for OpenMpEdgeEngine {
         Platform::CpuParallel
     }
 
-    fn run(&self, graph: &mut BeliefGraph, opts: &BpOptions) -> Result<BpStats, EngineError> {
+    fn run_traced(
+        &self,
+        graph: &mut BeliefGraph,
+        opts: &BpOptions,
+        trace: &Dispatch,
+    ) -> Result<BpStats, EngineError> {
         let card = graph
             .uniform_cardinality()
             .ok_or(EngineError::NonUniformCardinality)?;
         let start = Instant::now();
+        let run_span = trace.span("run", &[("engine", self.name().into())]);
         let n = graph.num_nodes();
         let threads = thread_count(opts.threads);
         let mut tracker = ConvergenceTracker::new(opts);
         let mut node_updates = 0u64;
         let mut message_updates = 0u64;
+        let mut per_iteration: Vec<IterationStats> = Vec::new();
         let cas_retries = AtomicU64::new(0);
+        let retry_hist: [AtomicU64; RETRY_BUCKETS] = Default::default();
 
         // Flat atomic accumulator: acc[v * card + s].
         let acc: Vec<AtomicU32> = (0..n * card).map(|_| AtomicU32::new(0)).collect();
@@ -62,6 +83,7 @@ impl BpEngine for OpenMpEdgeEngine {
         let mut repop_scratch: Vec<u32> = Vec::new();
 
         loop {
+            let iter_start = Instant::now();
             let (active_nodes, active_arcs): (&[u32], &[u32]) = match &queue {
                 Some(q) => {
                     arc_queue.clear();
@@ -76,6 +98,18 @@ impl BpEngine for OpenMpEdgeEngine {
                 tracker.mark_converged();
                 break;
             }
+            let queue_depth = active_nodes.len() as u64;
+            let arcs_scheduled = active_arcs.len() as u64;
+            let iter_span = trace.span(
+                "iteration",
+                &[
+                    ("iter", (per_iteration.len() as u64).into()),
+                    ("queue_depth", queue_depth.into()),
+                    ("active_arcs", arcs_scheduled.into()),
+                    ("threads", threads.into()),
+                ],
+            );
+            let retries_before = cas_retries.load(Ordering::Relaxed);
 
             // Parallel region 1: reset accumulators to priors.
             {
@@ -102,21 +136,27 @@ impl BpEngine for OpenMpEdgeEngine {
                 let g = &*graph;
                 let acc_ref = &acc;
                 let retries_ref = &cas_retries;
+                let hist_ref = &retry_hist;
                 std::thread::scope(|s| {
                     for chunk in chunks_for(active_arcs, threads) {
                         s.spawn(move || {
                             let prev = g.beliefs();
                             let mut local_retries = 0u64;
+                            let mut local_hist = [0u64; RETRY_BUCKETS];
                             for &a in chunk {
                                 let arc = g.arc(a);
                                 let msg = g.potential(a).message(&prev[arc.src as usize]);
                                 let base = arc.dst as usize * card;
                                 for st in 0..card {
-                                    local_retries +=
-                                        atomic_mul_f32(&acc_ref[base + st], msg.get(st)) as u64;
+                                    let retries = atomic_mul_f32(&acc_ref[base + st], msg.get(st));
+                                    local_retries += retries as u64;
+                                    local_hist[retry_bucket(retries)] += 1;
                                 }
                             }
                             retries_ref.fetch_add(local_retries, Ordering::Relaxed);
+                            for (cell, count) in hist_ref.iter().zip(local_hist) {
+                                cell.fetch_add(count, Ordering::Relaxed);
+                            }
                         });
                     }
                 });
@@ -190,12 +230,51 @@ impl BpEngine for OpenMpEdgeEngine {
                 }
             }
 
+            if trace.enabled() {
+                iter_span.record(&[("delta", sum.into())]);
+                trace.counter("queue_depth", queue_depth as f64);
+                trace.counter(
+                    "cas_retries",
+                    (cas_retries.load(Ordering::Relaxed) - retries_before) as f64,
+                );
+            }
+            drop(iter_span);
+            per_iteration.push(IterationStats {
+                delta: sum,
+                node_updates: queue_depth,
+                message_updates: arcs_scheduled,
+                queue_depth,
+                elapsed: iter_start.elapsed(),
+            });
+
             if !tracker.record(sum) {
                 break;
             }
         }
 
         let elapsed = start.elapsed();
+        if trace.enabled() {
+            // The contention signature: how many CAS retries each atomic
+            // multiply burned, bucketed 0/1/2/3/4-7/8+.
+            trace.event(
+                "cas_retry_histogram",
+                &[
+                    ("retries_0", retry_hist[0].load(Ordering::Relaxed).into()),
+                    ("retries_1", retry_hist[1].load(Ordering::Relaxed).into()),
+                    ("retries_2", retry_hist[2].load(Ordering::Relaxed).into()),
+                    ("retries_3", retry_hist[3].load(Ordering::Relaxed).into()),
+                    ("retries_4_7", retry_hist[4].load(Ordering::Relaxed).into()),
+                    (
+                        "retries_8_plus",
+                        retry_hist[5].load(Ordering::Relaxed).into(),
+                    ),
+                ],
+            );
+            run_span.record(&[
+                ("iterations", tracker.iterations().into()),
+                ("converged", tracker.converged().into()),
+            ]);
+        }
         Ok(BpStats {
             engine: self.name(),
             iterations: tracker.iterations(),
@@ -210,6 +289,7 @@ impl BpEngine for OpenMpEdgeEngine {
             atomic_retries: cas_retries.load(Ordering::Relaxed),
             reported_time: elapsed,
             host_time: elapsed,
+            per_iteration,
         })
     }
 }

@@ -6,10 +6,11 @@ use crate::engine::{BpEngine, EngineError, Paradigm, Platform};
 use crate::math::node_update;
 use crate::opts::BpOptions;
 use crate::queue::WorkQueue;
-use crate::stats::BpStats;
+use crate::stats::{BpStats, IterationStats};
 use credo_graph::{Belief, BeliefGraph};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
+use tracing::Dispatch;
 
 /// CPU-parallel per-node loopy BP: each iteration is one `parallel for`
 /// region over the active nodes (threads spawned and joined per region,
@@ -30,14 +31,21 @@ impl BpEngine for OpenMpNodeEngine {
         Platform::CpuParallel
     }
 
-    fn run(&self, graph: &mut BeliefGraph, opts: &BpOptions) -> Result<BpStats, EngineError> {
+    fn run_traced(
+        &self,
+        graph: &mut BeliefGraph,
+        opts: &BpOptions,
+        trace: &Dispatch,
+    ) -> Result<BpStats, EngineError> {
         let start = Instant::now();
+        let run_span = trace.span("run", &[("engine", self.name().into())]);
         let n = graph.num_nodes();
         let threads = thread_count(opts.threads);
         let mut scratch: Vec<Belief> = graph.beliefs().to_vec();
         let mut tracker = ConvergenceTracker::new(opts);
         let mut node_updates = 0u64;
         let mut message_updates = 0u64;
+        let mut per_iteration: Vec<IterationStats> = Vec::new();
 
         let full_sweep: Vec<u32> = (0..n as u32)
             .filter(|&v| !graph.observed()[v as usize])
@@ -49,6 +57,7 @@ impl BpEngine for OpenMpNodeEngine {
         let mut repop_scratch: Vec<u32> = Vec::new();
 
         loop {
+            let iter_start = Instant::now();
             let active: &[u32] = match &queue {
                 Some(q) => q.active(),
                 None => &full_sweep,
@@ -57,6 +66,15 @@ impl BpEngine for OpenMpNodeEngine {
                 tracker.mark_converged();
                 break;
             }
+            let queue_depth = active.len() as u64;
+            let iter_span = trace.span(
+                "iteration",
+                &[
+                    ("iter", (per_iteration.len() as u64).into()),
+                    ("queue_depth", queue_depth.into()),
+                    ("threads", threads.into()),
+                ],
+            );
 
             // Parallel region 1: compute updates into the scratch buffer.
             // The reduction over `sum` mirrors the paper's `reduction(+:sum)`
@@ -140,12 +158,31 @@ impl BpEngine for OpenMpNodeEngine {
                 }
             }
 
+            if trace.enabled() {
+                iter_span.record(&[("delta", sum.into())]);
+                trace.counter("queue_depth", queue_depth as f64);
+            }
+            drop(iter_span);
+            per_iteration.push(IterationStats {
+                delta: sum,
+                node_updates: queue_depth,
+                message_updates: messages_this_iter,
+                queue_depth,
+                elapsed: iter_start.elapsed(),
+            });
+
             if !tracker.record(sum) {
                 break;
             }
         }
 
         let elapsed = start.elapsed();
+        if trace.enabled() {
+            run_span.record(&[
+                ("iterations", tracker.iterations().into()),
+                ("converged", tracker.converged().into()),
+            ]);
+        }
         Ok(BpStats {
             engine: self.name(),
             iterations: tracker.iterations(),
@@ -160,6 +197,7 @@ impl BpEngine for OpenMpNodeEngine {
             atomic_retries: 0,
             reported_time: elapsed,
             host_time: elapsed,
+            per_iteration,
         })
     }
 }

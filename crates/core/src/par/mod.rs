@@ -37,6 +37,7 @@ pub use queue::{ParQueueWorker, ParWorkQueue};
 
 use crate::openmp::{thread_count, SharedSlice};
 use credo_graph::{Belief, BeliefGraph};
+use tracing::Dispatch;
 
 /// Splits `0..len` into at most `parts` contiguous `(start, end)` ranges of
 /// near-equal size.
@@ -54,6 +55,57 @@ pub(crate) fn range_chunks(len: usize, parts: usize) -> Vec<(usize, usize)> {
 /// Resolves the pool size exactly like the OpenMP engines resolve theirs.
 pub(crate) fn pool_threads(requested: usize) -> usize {
     thread_count(requested)
+}
+
+/// Emits end-of-run pool and queue utilization events: broadcast count,
+/// per-worker busy time as a fraction of the run's wall clock, and — in
+/// queue mode — repopulation totals and per-worker merge contributions.
+/// Only called when the dispatch is live, so untraced runs pay nothing.
+pub(crate) fn emit_pool_metrics(
+    trace: &Dispatch,
+    pool: &WorkerPool,
+    queue: Option<&ParWorkQueue>,
+    elapsed: std::time::Duration,
+) {
+    let wall_us = elapsed.as_secs_f64() * 1e6;
+    trace.event(
+        "pool",
+        &[
+            ("threads", pool.threads().into()),
+            ("broadcasts", pool.broadcasts().into()),
+        ],
+    );
+    for (i, ns) in pool.busy_nanos().iter().enumerate() {
+        let busy_us = *ns as f64 / 1e3;
+        let utilization = if wall_us > 0.0 {
+            busy_us / wall_us
+        } else {
+            0.0
+        };
+        trace.event(
+            "pool_worker",
+            &[
+                ("worker", (i as u64).into()),
+                ("busy_us", busy_us.into()),
+                ("utilization", utilization.into()),
+            ],
+        );
+    }
+    if let Some(q) = queue {
+        trace.event(
+            "queue",
+            &[
+                ("advances", q.advances().into()),
+                ("repopulated", q.repopulated().into()),
+            ],
+        );
+        for (i, pushes) in q.worker_pushes().iter().enumerate() {
+            trace.event(
+                "queue_worker",
+                &[("worker", (i as u64).into()), ("pushes", (*pushes).into())],
+            );
+        }
+    }
 }
 
 /// Per-source message cache for shared-potential graphs.

@@ -1,14 +1,15 @@
 //! Persistent-pool per-node engine ("Par Node").
 
-use super::{pool_threads, MsgCache, ParWorkQueue, WorkerPool};
+use super::{emit_pool_metrics, pool_threads, MsgCache, ParWorkQueue, WorkerPool};
 use crate::convergence::ConvergenceTracker;
 use crate::engine::{BpEngine, EngineError, Paradigm, Platform};
 use crate::math::combine_incoming;
 use crate::openmp::{chunks_for, SharedSlice};
 use crate::opts::BpOptions;
-use crate::stats::BpStats;
+use crate::stats::{BpStats, IterationStats};
 use credo_graph::{Belief, BeliefGraph};
 use std::time::Instant;
+use tracing::Dispatch;
 
 /// CPU-parallel per-node loopy BP on a persistent worker pool.
 ///
@@ -35,14 +36,21 @@ impl BpEngine for ParNodeEngine {
         Platform::CpuParallel
     }
 
-    fn run(&self, graph: &mut BeliefGraph, opts: &BpOptions) -> Result<BpStats, EngineError> {
+    fn run_traced(
+        &self,
+        graph: &mut BeliefGraph,
+        opts: &BpOptions,
+        trace: &Dispatch,
+    ) -> Result<BpStats, EngineError> {
         let start = Instant::now();
+        let run_span = trace.span("run", &[("engine", self.name().into())]);
         let n = graph.num_nodes();
         let threads = pool_threads(opts.threads);
         let pool = WorkerPool::new(threads);
         let mut tracker = ConvergenceTracker::new(opts);
         let mut node_updates = 0u64;
         let mut message_updates = 0u64;
+        let mut per_iteration: Vec<IterationStats> = Vec::new();
 
         let mut scratch: Vec<Belief> = graph.beliefs().to_vec();
         // Per-node L1 change of the last update; summed in ascending node
@@ -60,6 +68,7 @@ impl BpEngine for ParNodeEngine {
             .then(|| ParWorkQueue::new(n, threads, |v| !graph.observed()[v]));
 
         loop {
+            let iter_start = Instant::now();
             let active_len = match &queue {
                 Some(q) => q.len(),
                 None => full_sweep.len(),
@@ -68,6 +77,16 @@ impl BpEngine for ParNodeEngine {
                 tracker.mark_converged();
                 break;
             }
+            let queue_depth = active_len as u64;
+            let iter_span = trace.span(
+                "iteration",
+                &[
+                    ("iter", (per_iteration.len() as u64).into()),
+                    ("queue_depth", queue_depth.into()),
+                    ("threads", threads.into()),
+                ],
+            );
+            let msgs_before = message_updates;
             cache.refresh(graph, &pool, active_len);
 
             let sum: f32 = {
@@ -169,12 +188,35 @@ impl BpEngine for ParNodeEngine {
                 }
             }
 
+            if trace.enabled() {
+                iter_span.record(&[("delta", sum.into())]);
+                trace.counter("queue_depth", queue_depth as f64);
+                if let Some(q) = &queue {
+                    trace.counter("queue_repopulated", q.len() as f64);
+                }
+            }
+            drop(iter_span);
+            per_iteration.push(IterationStats {
+                delta: sum,
+                node_updates: queue_depth,
+                message_updates: message_updates - msgs_before,
+                queue_depth,
+                elapsed: iter_start.elapsed(),
+            });
+
             if !tracker.record(sum) {
                 break;
             }
         }
 
         let elapsed = start.elapsed();
+        if trace.enabled() {
+            emit_pool_metrics(trace, &pool, queue.as_ref(), elapsed);
+            run_span.record(&[
+                ("iterations", tracker.iterations().into()),
+                ("converged", tracker.converged().into()),
+            ]);
+        }
         Ok(BpStats {
             engine: self.name(),
             iterations: tracker.iterations(),
@@ -189,6 +231,7 @@ impl BpEngine for ParNodeEngine {
             atomic_retries: 0,
             reported_time: elapsed,
             host_time: elapsed,
+            per_iteration,
         })
     }
 }

@@ -9,8 +9,10 @@
 //! one broadcast wakeup instead of `threads` thread spawns.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// The job currently being broadcast. Lifetime-erased: `broadcast` blocks
 /// until every worker has finished the job, so the reference can never
@@ -34,6 +36,11 @@ struct Shared {
     state: Mutex<State>,
     work_ready: Condvar,
     work_done: Condvar,
+    /// Cumulative nanoseconds each region index has spent inside jobs —
+    /// the per-worker utilization signal the trace layer reports. One
+    /// timestamp pair per worker per region, so the cost is noise next to
+    /// the region itself.
+    busy_ns: Vec<AtomicU64>,
 }
 
 /// A fixed-size pool executing `job(region_index)` for every index in
@@ -45,6 +52,7 @@ pub struct WorkerPool {
     shared: Arc<Shared>,
     handles: Vec<JoinHandle<()>>,
     threads: usize,
+    broadcasts: AtomicU64,
 }
 
 impl WorkerPool {
@@ -64,6 +72,7 @@ impl WorkerPool {
             }),
             work_ready: Condvar::new(),
             work_done: Condvar::new(),
+            busy_ns: (0..threads).map(|_| AtomicU64::new(0)).collect(),
         });
         let handles = (1..threads)
             .map(|index| {
@@ -78,6 +87,7 @@ impl WorkerPool {
             shared,
             handles,
             threads,
+            broadcasts: AtomicU64::new(0),
         }
     }
 
@@ -87,14 +97,32 @@ impl WorkerPool {
         self.threads
     }
 
+    /// Parallel regions executed so far.
+    pub fn broadcasts(&self) -> u64 {
+        self.broadcasts.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative in-job time per region index, in nanoseconds. Dividing
+    /// by the run's wall clock gives per-worker utilization.
+    pub fn busy_nanos(&self) -> Vec<u64> {
+        self.shared
+            .busy_ns
+            .iter()
+            .map(|ns| ns.load(Ordering::Relaxed))
+            .collect()
+    }
+
     /// Runs `job(i)` for every `i in 0..threads`, index 0 inline, and
     /// returns once all indices have completed.
     ///
     /// # Panics
     /// Re-raises (as a fresh panic) if any worker's job panicked.
     pub fn broadcast(&self, job: &(dyn Fn(usize) + Sync)) {
+        self.broadcasts.fetch_add(1, Ordering::Relaxed);
         if self.threads == 1 {
+            let t0 = Instant::now();
             job(0);
+            self.shared.busy_ns[0].fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
             return;
         }
         // SAFETY: the erased reference is cleared before this function
@@ -114,7 +142,9 @@ impl WorkerPool {
         let guard = WaitGuard {
             shared: &self.shared,
         };
+        let t0 = Instant::now();
         job(0);
+        self.shared.busy_ns[0].fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         drop(guard); // waits for the workers, clears the job
         let mut st = self.shared.state.lock().unwrap();
         if st.panicked {
@@ -170,7 +200,9 @@ fn worker_loop(shared: &Shared, index: usize) {
                 st = shared.work_ready.wait(st).unwrap();
             }
         };
+        let t0 = Instant::now();
         let outcome = catch_unwind(AssertUnwindSafe(|| job(index)));
+        shared.busy_ns[index].fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         let mut st = shared.state.lock().unwrap();
         if outcome.is_err() {
             st.panicked = true;
@@ -225,6 +257,23 @@ mod tests {
         });
         let total: u64 = partials.iter().map(|p| p.load(Ordering::Relaxed)).sum();
         assert_eq!(total, items.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn metrics_count_broadcasts_and_busy_time() {
+        let pool = WorkerPool::new(2);
+        assert_eq!(pool.broadcasts(), 0);
+        for _ in 0..5 {
+            pool.broadcast(&|_| {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            });
+        }
+        assert_eq!(pool.broadcasts(), 5);
+        let busy = pool.busy_nanos();
+        assert_eq!(busy.len(), 2);
+        for (i, ns) in busy.iter().enumerate() {
+            assert!(*ns > 0, "worker {i} recorded no busy time");
+        }
     }
 
     #[test]

@@ -23,6 +23,13 @@ pub struct ParWorkQueue {
     /// pushes (from any worker) see it and drop the duplicate.
     queued: Vec<AtomicBool>,
     eligible: Vec<bool>,
+    /// Repopulation passes performed (one per `advance*` call).
+    advances: u64,
+    /// Cumulative deduplicated pushes merged across all advances.
+    repopulated: u64,
+    /// Cumulative deduplicated pushes per worker run — the merge-balance
+    /// signal the trace layer reports.
+    worker_pushes: Vec<u64>,
 }
 
 /// A single worker's handle: push access to that worker's run plus the
@@ -60,6 +67,33 @@ impl ParWorkQueue {
             runs: (0..workers.max(1)).map(|_| Vec::new()).collect(),
             queued: (0..num_nodes).map(|_| AtomicBool::new(false)).collect(),
             eligible,
+            advances: 0,
+            repopulated: 0,
+            worker_pushes: vec![0; workers.max(1)],
+        }
+    }
+
+    /// Repopulation passes performed so far.
+    pub fn advances(&self) -> u64 {
+        self.advances
+    }
+
+    /// Total deduplicated pushes merged into the active set across all
+    /// repopulations.
+    pub fn repopulated(&self) -> u64 {
+        self.repopulated
+    }
+
+    /// Cumulative deduplicated pushes contributed by each worker's run.
+    pub fn worker_pushes(&self) -> &[u64] {
+        &self.worker_pushes
+    }
+
+    fn account_runs(&mut self) {
+        self.advances += 1;
+        for (count, run) in self.worker_pushes.iter_mut().zip(&self.runs) {
+            *count += run.len() as u64;
+            self.repopulated += run.len() as u64;
         }
     }
 
@@ -104,6 +138,7 @@ impl ParWorkQueue {
     /// ascending node order. Cheaper than the global sort when pushes are
     /// spread across workers: each run is short and already mostly ordered.
     pub fn advance(&mut self) {
+        self.account_runs();
         for run in &mut self.runs {
             run.sort_unstable();
         }
@@ -137,6 +172,7 @@ impl ParWorkQueue {
     /// node id) instead of ascending node id, so the least-converged nodes
     /// are processed first.
     pub fn advance_by_residual(&mut self, residuals: &[f32]) {
+        self.account_runs();
         self.clear_flags();
         self.active.clear();
         for run in &mut self.runs {

@@ -12,9 +12,10 @@ use crate::convergence::ConvergenceTracker;
 use crate::engine::{BpEngine, EngineError, Paradigm, Platform};
 use crate::opts::BpOptions;
 use crate::queue::WorkQueue;
-use crate::stats::BpStats;
+use crate::stats::{BpStats, IterationStats};
 use credo_graph::{Belief, BeliefGraph};
 use std::time::Instant;
+use tracing::Dispatch;
 
 /// Sequential per-edge loopy BP.
 #[derive(Clone, Copy, Debug, Default)]
@@ -33,13 +34,20 @@ impl BpEngine for SeqEdgeEngine {
         Platform::CpuSequential
     }
 
-    fn run(&self, graph: &mut BeliefGraph, opts: &BpOptions) -> Result<BpStats, EngineError> {
+    fn run_traced(
+        &self,
+        graph: &mut BeliefGraph,
+        opts: &BpOptions,
+        trace: &Dispatch,
+    ) -> Result<BpStats, EngineError> {
         let start = Instant::now();
+        let run_span = trace.span("run", &[("engine", self.name().into())]);
         let n = graph.num_nodes();
         let mut acc: Vec<Belief> = graph.priors().to_vec();
         let mut tracker = ConvergenceTracker::new(opts);
         let mut node_updates = 0u64;
         let mut message_updates = 0u64;
+        let mut per_iteration: Vec<IterationStats> = Vec::new();
 
         let full_nodes: Vec<u32> = (0..n as u32)
             .filter(|&v| !graph.observed()[v as usize])
@@ -56,6 +64,7 @@ impl BpEngine for SeqEdgeEngine {
         let mut changed: Vec<u32> = Vec::new();
 
         loop {
+            let iter_start = Instant::now();
             let (active_nodes, active_arcs): (&[u32], &[u32]) = match &queue {
                 Some(q) => {
                     // §3.5: the edge queue holds "the indices of unconverged
@@ -72,6 +81,16 @@ impl BpEngine for SeqEdgeEngine {
                 tracker.mark_converged();
                 break;
             }
+            let queue_depth = active_nodes.len() as u64;
+            let arcs_scheduled = active_arcs.len() as u64;
+            let iter_span = trace.span(
+                "iteration",
+                &[
+                    ("iter", (per_iteration.len() as u64).into()),
+                    ("queue_depth", queue_depth.into()),
+                    ("active_arcs", arcs_scheduled.into()),
+                ],
+            );
 
             // Phase 1: reset accumulators to priors for the nodes being
             // recomputed.
@@ -121,12 +140,32 @@ impl BpEngine for SeqEdgeEngine {
                 q.advance();
             }
 
+            if trace.enabled() {
+                iter_span.record(&[("delta", sum.into())]);
+                trace.counter("queue_depth", queue_depth as f64);
+                trace.counter("active_arcs", arcs_scheduled as f64);
+            }
+            drop(iter_span);
+            per_iteration.push(IterationStats {
+                delta: sum,
+                node_updates: queue_depth,
+                message_updates: arcs_scheduled,
+                queue_depth,
+                elapsed: iter_start.elapsed(),
+            });
+
             if !tracker.record(sum) {
                 break;
             }
         }
 
         let elapsed = start.elapsed();
+        if trace.enabled() {
+            run_span.record(&[
+                ("iterations", tracker.iterations().into()),
+                ("converged", tracker.converged().into()),
+            ]);
+        }
         Ok(BpStats {
             engine: self.name(),
             iterations: tracker.iterations(),
@@ -141,6 +180,7 @@ impl BpEngine for SeqEdgeEngine {
             atomic_retries: 0,
             reported_time: elapsed,
             host_time: elapsed,
+            per_iteration,
         })
     }
 }

@@ -18,6 +18,7 @@ use crate::seq::tree::{two_pass, TreeSlot};
 use crate::stats::BpStats;
 use credo_graph::BeliefGraph;
 use std::time::Instant;
+use tracing::Dispatch;
 
 /// Traditional two-pass BP without adjacency indices (the §2.1.1 baseline).
 #[derive(Clone, Copy, Debug, Default)]
@@ -118,13 +119,22 @@ impl BpEngine for NaiveTreeEngine {
         Platform::CpuSequential
     }
 
-    fn run(&self, graph: &mut BeliefGraph, opts: &BpOptions) -> Result<BpStats, EngineError> {
+    fn run_traced(
+        &self,
+        graph: &mut BeliefGraph,
+        opts: &BpOptions,
+        trace: &Dispatch,
+    ) -> Result<BpStats, EngineError> {
         let _ = opts;
         let start = Instant::now();
+        let run_span = trace.span("run", &[("engine", self.name().into())]);
         let (slots, levels) = naive_spanning_forest(graph);
         let children = naive_children_lists(&slots);
-        let (node_updates, message_updates) = two_pass(graph, &slots, &levels, &children);
+        let mut per_iteration = Vec::new();
+        let (node_updates, message_updates) =
+            two_pass(graph, &slots, &levels, &children, trace, &mut per_iteration);
         let elapsed = start.elapsed();
+        drop(run_span);
         Ok(BpStats {
             engine: self.name(),
             iterations: 2,
@@ -135,6 +145,7 @@ impl BpEngine for NaiveTreeEngine {
             atomic_retries: 0,
             reported_time: elapsed,
             host_time: elapsed,
+            per_iteration,
         })
     }
 }

@@ -11,9 +11,10 @@ use crate::engine::{BpEngine, EngineError, Paradigm, Platform};
 use crate::math::node_update;
 use crate::opts::BpOptions;
 use crate::queue::WorkQueue;
-use crate::stats::BpStats;
+use crate::stats::{BpStats, IterationStats};
 use credo_graph::{Belief, BeliefGraph};
 use std::time::Instant;
+use tracing::Dispatch;
 
 /// Sequential per-node loopy BP.
 #[derive(Clone, Copy, Debug, Default)]
@@ -32,13 +33,20 @@ impl BpEngine for SeqNodeEngine {
         Platform::CpuSequential
     }
 
-    fn run(&self, graph: &mut BeliefGraph, opts: &BpOptions) -> Result<BpStats, EngineError> {
+    fn run_traced(
+        &self,
+        graph: &mut BeliefGraph,
+        opts: &BpOptions,
+        trace: &Dispatch,
+    ) -> Result<BpStats, EngineError> {
         let start = Instant::now();
+        let run_span = trace.span("run", &[("engine", self.name().into())]);
         let n = graph.num_nodes();
         let mut scratch: Vec<Belief> = graph.beliefs().to_vec();
         let mut tracker = ConvergenceTracker::new(opts);
         let mut node_updates = 0u64;
         let mut message_updates = 0u64;
+        let mut per_iteration: Vec<IterationStats> = Vec::new();
 
         // Full sweep order when the queue is off: every unobserved node.
         let full_sweep: Vec<u32> = (0..n as u32)
@@ -50,6 +58,7 @@ impl BpEngine for SeqNodeEngine {
         let mut changed: Vec<u32> = Vec::new();
 
         loop {
+            let iter_start = Instant::now();
             let active: &[u32] = match &queue {
                 Some(q) => q.active(),
                 None => &full_sweep,
@@ -58,6 +67,15 @@ impl BpEngine for SeqNodeEngine {
                 tracker.mark_converged();
                 break;
             }
+            let queue_depth = active.len() as u64;
+            let iter_span = trace.span(
+                "iteration",
+                &[
+                    ("iter", (per_iteration.len() as u64).into()),
+                    ("queue_depth", queue_depth.into()),
+                ],
+            );
+            let msgs_before = message_updates;
 
             let mut sum = 0.0f32;
             changed.clear();
@@ -94,12 +112,34 @@ impl BpEngine for SeqNodeEngine {
                 q.advance();
             }
 
+            if trace.enabled() {
+                iter_span.record(&[("delta", sum.into())]);
+                trace.counter("queue_depth", queue_depth as f64);
+                if let Some(q) = &queue {
+                    trace.counter("queue_repopulated", q.len() as f64);
+                }
+            }
+            drop(iter_span);
+            per_iteration.push(IterationStats {
+                delta: sum,
+                node_updates: queue_depth,
+                message_updates: message_updates - msgs_before,
+                queue_depth,
+                elapsed: iter_start.elapsed(),
+            });
+
             if !tracker.record(sum) {
                 break;
             }
         }
 
         let elapsed = start.elapsed();
+        if trace.enabled() {
+            run_span.record(&[
+                ("iterations", tracker.iterations().into()),
+                ("converged", tracker.converged().into()),
+            ]);
+        }
         Ok(BpStats {
             engine: self.name(),
             iterations: tracker.iterations(),
@@ -114,6 +154,7 @@ impl BpEngine for SeqNodeEngine {
             atomic_retries: 0,
             reported_time: elapsed,
             host_time: elapsed,
+            per_iteration,
         })
     }
 }

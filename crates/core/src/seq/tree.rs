@@ -13,9 +13,10 @@
 
 use crate::engine::{BpEngine, EngineError, Paradigm, Platform};
 use crate::opts::BpOptions;
-use crate::stats::BpStats;
+use crate::stats::{BpStats, IterationStats};
 use credo_graph::{Belief, BeliefGraph};
 use std::time::Instant;
+use tracing::Dispatch;
 
 /// Per-node spanning-forest record.
 #[derive(Clone, Copy, Debug)]
@@ -104,6 +105,8 @@ pub(crate) fn two_pass(
     slots: &[TreeSlot],
     levels: &[Vec<u32>],
     children: &[Vec<u32>],
+    trace: &Dispatch,
+    per_iteration: &mut Vec<IterationStats>,
 ) -> (u64, u64) {
     let n = graph.num_nodes();
     let card = |v: u32| graph.cardinality(v);
@@ -113,6 +116,8 @@ pub(crate) fn two_pass(
     let mut messages = 0u64;
 
     // Upward (ψ) sweep: deepest level first.
+    let up_start = Instant::now();
+    let up_span = trace.span("pass:up", &[]);
     for level_nodes in levels.iter().rev() {
         for &v in level_nodes {
             let Some((arc, fwd)) = slots[v as usize].parent_arc else {
@@ -133,8 +138,23 @@ pub(crate) fn two_pass(
         }
     }
 
+    let up_messages = messages;
+    if trace.enabled() {
+        up_span.record(&[("messages", up_messages.into())]);
+    }
+    drop(up_span);
+    per_iteration.push(IterationStats {
+        delta: 0.0,
+        node_updates: 0,
+        message_updates: up_messages,
+        queue_depth: 0,
+        elapsed: up_start.elapsed(),
+    });
+
     // Downward (φ) sweep: roots first. Uses prefix/suffix products over the
     // parent's children so each child's own upward message is excluded.
+    let down_start = Instant::now();
+    let down_span = trace.span("pass:down", &[]);
     let mut prefix: Vec<Belief> = Vec::new();
     for level_nodes in levels {
         for &p in level_nodes {
@@ -198,6 +218,17 @@ pub(crate) fn two_pass(
         b.normalize();
         graph.beliefs_mut()[v as usize] = b;
     }
+    if trace.enabled() {
+        down_span.record(&[("messages", (messages - up_messages).into())]);
+    }
+    drop(down_span);
+    per_iteration.push(IterationStats {
+        delta: 0.0,
+        node_updates: n as u64,
+        message_updates: messages - up_messages,
+        queue_depth: 0,
+        elapsed: down_start.elapsed(),
+    });
     (n as u64, messages)
 }
 
@@ -229,13 +260,22 @@ impl BpEngine for TreeEngine {
         Platform::CpuSequential
     }
 
-    fn run(&self, graph: &mut BeliefGraph, opts: &BpOptions) -> Result<BpStats, EngineError> {
+    fn run_traced(
+        &self,
+        graph: &mut BeliefGraph,
+        opts: &BpOptions,
+        trace: &Dispatch,
+    ) -> Result<BpStats, EngineError> {
         let start = Instant::now();
+        let run_span = trace.span("run", &[("engine", self.name().into())]);
         let (slots, levels) = spanning_forest(graph);
         let children = children_lists(&slots);
-        let (node_updates, message_updates) = two_pass(graph, &slots, &levels, &children);
+        let mut per_iteration = Vec::new();
+        let (node_updates, message_updates) =
+            two_pass(graph, &slots, &levels, &children, trace, &mut per_iteration);
         let _ = opts;
         let elapsed = start.elapsed();
+        drop(run_span);
         Ok(BpStats {
             engine: self.name(),
             iterations: 2,
@@ -246,6 +286,7 @@ impl BpEngine for TreeEngine {
             atomic_retries: 0,
             reported_time: elapsed,
             host_time: elapsed,
+            per_iteration,
         })
     }
 }

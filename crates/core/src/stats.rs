@@ -2,6 +2,27 @@
 
 use std::time::Duration;
 
+/// Telemetry for a single engine iteration. Every engine pushes one entry
+/// per iteration into [`BpStats::per_iteration`], so the residual
+/// trajectory and queue occupancy are inspectable after the run (and
+/// exportable live through a `tracing::Dispatch`).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct IterationStats {
+    /// Global L1 change this iteration (Algorithm 1's `sum`).
+    pub delta: f32,
+    /// Node updates performed this iteration.
+    pub node_updates: u64,
+    /// Edge messages computed this iteration.
+    pub message_updates: u64,
+    /// Elements scheduled at the start of the iteration: the work-queue
+    /// length, or the full active set when the queue is off.
+    pub queue_depth: u64,
+    /// Time spent in the iteration — host wall-clock for CPU engines,
+    /// simulated device time for simulated-GPU engines (matching
+    /// [`BpStats::reported_time`]).
+    pub elapsed: Duration,
+}
+
 /// What happened during a BP run.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct BpStats {
@@ -32,6 +53,9 @@ pub struct BpStats {
     /// `reported_time` on CPU engines; much larger than simulated time for
     /// GPU engines, since functional emulation is not free).
     pub host_time: Duration,
+    /// Per-iteration trajectory, one entry per [`BpStats::iterations`]
+    /// (empty only for a run that performed no iterations).
+    pub per_iteration: Vec<IterationStats>,
 }
 
 impl BpStats {

@@ -1,0 +1,270 @@
+//! The `credo` command-line tool.
+//!
+//! ```text
+//! credo prof <graph> [options]    profile BP engines on a graph
+//! ```
+//!
+//! The `prof` subcommand runs a CPU engine and a simulated-GPU engine on
+//! the same graph with a recording trace attached, writes the collected
+//! records as JSON lines and as a `chrome://tracing` / Perfetto file, and
+//! prints an nvprof-style summary of spans, counters and events.
+
+use std::fs::File;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use credo::engines::{
+    CudaEdgeEngine, CudaNodeEngine, OpenAccEngine, OpenMpEdgeEngine, OpenMpNodeEngine,
+    ParEdgeEngine, ParNodeEngine, SeqEdgeEngine, SeqNodeEngine,
+};
+use credo::graph::generators::{synthetic, GenOptions};
+use credo::graph::BeliefGraph;
+use credo::{BpEngine, BpOptions, BpStats, Dispatch};
+use credo_gpusim::{Device, PASCAL_GTX1070};
+use credo_trace::{ConsoleRecorder, TraceBuffer};
+
+const USAGE: &str = "\
+credo — optimized belief propagation (ICPP Workshops 2020)
+
+USAGE:
+    credo prof <graph> [options]
+
+ARGS:
+    <graph>    synthetic spec `NxE` or `NxExK` (nodes x edges x cardinality,
+               e.g. `10000x40000`), or a path to a .bif / .xml network
+
+OPTIONS:
+    --cpu <engine>     CPU engine: seq-node, seq-edge, par-node (default),
+                       par-edge, openmp-node, openmp-edge
+    --gpu <engine>     simulated GPU engine: cuda-node (default), cuda-edge,
+                       openacc, none
+    --out <dir>        output directory (default: target/prof)
+    --threads <n>      worker threads for the parallel CPU engines (0 = all)
+    --queue            enable the work-queue scheduler
+    --seed <n>         seed for synthetic graphs (default: 42)
+    --max-iters <n>    iteration cap (default: engine default)
+    --quiet            suppress progress output
+    -h, --help         print this help
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("prof") => match prof(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::FAILURE
+            }
+        },
+        Some("-h") | Some("--help") | Some("help") | None => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("error: unknown command `{other}`\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Parsed `credo prof` arguments.
+struct ProfArgs {
+    graph: String,
+    cpu: String,
+    gpu: String,
+    out: PathBuf,
+    threads: usize,
+    queue: bool,
+    seed: u64,
+    max_iters: Option<u32>,
+    quiet: bool,
+}
+
+fn parse_prof_args(args: &[String]) -> Result<ProfArgs, String> {
+    let mut parsed = ProfArgs {
+        graph: String::new(),
+        cpu: "par-node".into(),
+        gpu: "cuda-node".into(),
+        out: PathBuf::from("target/prof"),
+        threads: 0,
+        queue: false,
+        seed: 42,
+        max_iters: None,
+        quiet: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--cpu" => parsed.cpu = value("--cpu")?,
+            "--gpu" => parsed.gpu = value("--gpu")?,
+            "--out" => parsed.out = PathBuf::from(value("--out")?),
+            "--threads" => {
+                parsed.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+            }
+            "--queue" => parsed.queue = true,
+            "--seed" => {
+                parsed.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--max-iters" => {
+                parsed.max_iters = Some(
+                    value("--max-iters")?
+                        .parse()
+                        .map_err(|e| format!("--max-iters: {e}"))?,
+                );
+            }
+            "--quiet" => parsed.quiet = true,
+            "-h" | "--help" => return Err(format!("help requested\n\n{USAGE}")),
+            other if other.starts_with('-') => return Err(format!("unknown option `{other}`")),
+            positional if parsed.graph.is_empty() => parsed.graph = positional.to_string(),
+            extra => return Err(format!("unexpected argument `{extra}`")),
+        }
+    }
+    if parsed.graph.is_empty() {
+        return Err(format!("missing <graph> argument\n\n{USAGE}"));
+    }
+    Ok(parsed)
+}
+
+/// Loads a graph from a synthetic `NxE[xK]` spec or a network file.
+fn load_graph(spec: &str, seed: u64) -> Result<BeliefGraph, String> {
+    if spec.ends_with(".bif") {
+        let file = File::open(spec).map_err(|e| format!("{spec}: {e}"))?;
+        return credo::io::bif::read(file).map_err(|e| format!("{spec}: {e}"));
+    }
+    if spec.ends_with(".xml") || spec.ends_with(".xmlbif") {
+        let file = File::open(spec).map_err(|e| format!("{spec}: {e}"))?;
+        return credo::io::xmlbif::read(file).map_err(|e| format!("{spec}: {e}"));
+    }
+    let parts: Vec<&str> = spec.split('x').collect();
+    if parts.len() < 2 || parts.len() > 3 {
+        return Err(format!(
+            "`{spec}` is neither a .bif/.xml path nor an `NxE[xK]` spec"
+        ));
+    }
+    let nodes: usize = parts[0].parse().map_err(|e| format!("nodes: {e}"))?;
+    let edges: usize = parts[1].parse().map_err(|e| format!("edges: {e}"))?;
+    let beliefs: usize = match parts.get(2) {
+        Some(k) => k.parse().map_err(|e| format!("cardinality: {e}"))?,
+        None => 2,
+    };
+    Ok(synthetic(
+        nodes,
+        edges,
+        &GenOptions::new(beliefs).with_seed(seed),
+    ))
+}
+
+/// Instantiates an engine by CLI name; `None` when the name is `none`.
+fn engine_by_name(name: &str, device: &Device) -> Result<Option<Box<dyn BpEngine>>, String> {
+    Ok(Some(match name {
+        "seq-node" => Box::new(SeqNodeEngine),
+        "seq-edge" => Box::new(SeqEdgeEngine),
+        "par-node" => Box::new(ParNodeEngine),
+        "par-edge" => Box::new(ParEdgeEngine),
+        "openmp-node" => Box::new(OpenMpNodeEngine),
+        "openmp-edge" => Box::new(OpenMpEdgeEngine),
+        "cuda-node" => Box::new(CudaNodeEngine::new(device.clone())),
+        "cuda-edge" => Box::new(CudaEdgeEngine::new(device.clone())),
+        "openacc" => Box::new(OpenAccEngine::new(device.clone(), credo::Paradigm::Node)),
+        "none" => return Ok(None),
+        other => return Err(format!("unknown engine `{other}`")),
+    }))
+}
+
+/// One line of the per-engine result table.
+fn report_line(stats: &BpStats) -> String {
+    let secs = stats.reported_time.as_secs_f64();
+    let msgs_per_sec = if secs > 0.0 {
+        stats.message_updates as f64 / secs
+    } else {
+        0.0
+    };
+    format!(
+        "{:<12} {:>6} iters  converged={:<5}  {:>12} msgs  {:>10.0} msg/s  {:>10.3} ms",
+        stats.engine,
+        stats.iterations,
+        stats.converged,
+        stats.message_updates,
+        msgs_per_sec,
+        secs * 1e3,
+    )
+}
+
+fn prof(args: &[String]) -> Result<(), String> {
+    let args = parse_prof_args(args)?;
+    let progress = if args.quiet {
+        Dispatch::none()
+    } else {
+        Dispatch::new(Arc::new(ConsoleRecorder::new()))
+    };
+    let say = |msg: String| progress.event("progress", &[("msg", msg.as_str().into())]);
+
+    let graph = load_graph(&args.graph, args.seed)?;
+    say(format!(
+        "graph: {} nodes, {} edges, {} beliefs",
+        graph.num_nodes(),
+        graph.num_edges(),
+        graph.metadata().num_beliefs
+    ));
+
+    let mut opts = BpOptions {
+        threads: args.threads,
+        work_queue: args.queue,
+        ..BpOptions::default()
+    };
+    if let Some(cap) = args.max_iters {
+        opts.max_iterations = cap;
+    }
+
+    let device = Device::new(PASCAL_GTX1070);
+    let buffer = Arc::new(TraceBuffer::new());
+    let trace = Dispatch::new(buffer.clone());
+
+    let mut reports = Vec::new();
+    for (which, name) in [(&args.cpu, "cpu"), (&args.gpu, "gpu")] {
+        let Some(engine) = engine_by_name(which, &device)? else {
+            continue;
+        };
+        say(format!("running {name} engine `{which}`"));
+        let mut g = graph.clone();
+        let stats = engine
+            .run_traced(&mut g, &opts, &trace)
+            .map_err(|e| format!("{which}: {e}"))?;
+        reports.push(report_line(&stats));
+    }
+
+    std::fs::create_dir_all(&args.out).map_err(|e| format!("{}: {e}", args.out.display()))?;
+    let jsonl = args.out.join("prof.jsonl");
+    let chrome = args.out.join("prof.trace.json");
+    buffer
+        .write_json_lines(&jsonl)
+        .map_err(|e| format!("{}: {e}", jsonl.display()))?;
+    buffer
+        .write_chrome_trace(&chrome)
+        .map_err(|e| format!("{}: {e}", chrome.display()))?;
+
+    println!("== engines ==");
+    for line in &reports {
+        println!("{line}");
+    }
+    println!();
+    print!("{}", buffer.summary().render());
+    println!();
+    println!("metrics:      {}", jsonl.display());
+    println!(
+        "chrome trace: {} (load in chrome://tracing or Perfetto)",
+        chrome.display()
+    );
+    Ok(())
+}

@@ -28,7 +28,9 @@ mod selector;
 
 pub use selector::{Implementation, Selector, ALL_IMPLEMENTATIONS, PAR_IMPLEMENTATIONS};
 
-pub use credo_core::{BpEngine, BpOptions, BpStats, EngineError, Paradigm, Platform};
+pub use credo_core::{
+    BpEngine, BpOptions, BpStats, Dispatch, EngineError, IterationStats, Paradigm, Platform,
+};
 
 /// The simulated GPU.
 pub use credo_gpusim as gpusim;

@@ -7,8 +7,11 @@
 //! addresses, which is what the contention model penalizes.
 
 use crate::node::{charge_idle_iteration, charge_queue_repopulation};
-use crate::setup::GraphOnDevice;
-use credo_core::{BpEngine, BpOptions, BpStats, EngineError, Paradigm, Platform, WorkQueue};
+use crate::setup::{GraphOnDevice, TraceGuard};
+use credo_core::{
+    BpEngine, BpOptions, BpStats, Dispatch, EngineError, IterationStats, Paradigm, Platform,
+    WorkQueue,
+};
 use credo_gpusim::{atomic_mul_f32, Device, LaunchConfig, SharedSlice, ThreadCtx};
 use credo_graph::{Belief, BeliefGraph};
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -91,12 +94,19 @@ impl BpEngine for CudaEdgeEngine {
         Platform::GpuSimulated
     }
 
-    fn run(&self, graph: &mut BeliefGraph, opts: &BpOptions) -> Result<BpStats, EngineError> {
+    fn run_traced(
+        &self,
+        graph: &mut BeliefGraph,
+        opts: &BpOptions,
+        trace: &Dispatch,
+    ) -> Result<BpStats, EngineError> {
         let card = graph
             .uniform_cardinality()
             .ok_or(EngineError::NonUniformCardinality)?;
         let host_start = Instant::now();
         let dev_start = self.device.elapsed();
+        let run_span = trace.span("run", &[("engine", self.name().into())]);
+        let _trace_guard = TraceGuard::attach(&self.device, trace);
         let resident = GraphOnDevice::upload(&self.device, graph)?;
         let n = graph.num_nodes();
         let k = card;
@@ -120,6 +130,7 @@ impl BpEngine for CudaEdgeEngine {
         let mut final_delta = 0.0f32;
         let mut node_updates = 0u64;
         let mut message_updates = 0u64;
+        let mut per_iteration: Vec<IterationStats> = Vec::new();
         let mut active_nodes: Vec<u32> = Vec::new();
         let mut active_arcs: Vec<u32> = Vec::new();
 
@@ -128,6 +139,7 @@ impl BpEngine for CudaEdgeEngine {
                 if iterations >= opts.max_iterations {
                     break 'outer;
                 }
+                let iter_dev_start = self.device.elapsed();
                 match &queue {
                     Some(q) => {
                         active_nodes.clear();
@@ -148,8 +160,21 @@ impl BpEngine for CudaEdgeEngine {
                     charge_idle_iteration(&self.device, 3);
                     iterations += 1;
                     converged = true;
+                    per_iteration.push(IterationStats {
+                        elapsed: self.device.elapsed() - iter_dev_start,
+                        ..IterationStats::default()
+                    });
                     continue;
                 }
+                let queue_depth = active_nodes.len() as u64;
+                let iter_span = trace.span(
+                    "iteration",
+                    &[
+                        ("iter", (iterations as u64).into()),
+                        ("queue_depth", queue_depth.into()),
+                        ("active_arcs", active_arcs.len().into()),
+                    ],
+                );
 
                 // Kernel 1: reset accumulators to priors.
                 {
@@ -157,7 +182,7 @@ impl BpEngine for CudaEdgeEngine {
                     let acc_ref = &acc;
                     let nodes_ref = &active_nodes;
                     self.device.launch(
-                        LaunchConfig::for_items(nodes_ref.len(), 1024),
+                        LaunchConfig::for_items(nodes_ref.len(), 1024).with_name("bp_edge_reset"),
                         |ctx, tid| {
                             if tid >= nodes_ref.len() {
                                 return;
@@ -179,7 +204,8 @@ impl BpEngine for CudaEdgeEngine {
                     let acc_ref = &acc;
                     let arcs_ref = &active_arcs;
                     let cfg = LaunchConfig::for_items(arcs_ref.len(), 1024)
-                        .with_atomic_targets((active_nodes.len() * k) as u64);
+                        .with_atomic_targets((active_nodes.len() * k) as u64)
+                        .with_name("bp_edge_combine");
                     self.device.launch(cfg, |ctx, tid| {
                         if tid >= arcs_ref.len() {
                             return;
@@ -204,7 +230,8 @@ impl BpEngine for CudaEdgeEngine {
                     let diffs_shared = SharedSlice::new(&mut diffs);
                     let nodes_ref = &active_nodes;
                     self.device.launch(
-                        LaunchConfig::for_items(nodes_ref.len(), 1024),
+                        LaunchConfig::for_items(nodes_ref.len(), 1024)
+                            .with_name("bp_edge_marginalize"),
                         |ctx, tid| {
                             if tid >= nodes_ref.len() {
                                 return;
@@ -232,6 +259,9 @@ impl BpEngine for CudaEdgeEngine {
                 for &v in &active_nodes {
                     graph.beliefs_mut()[v as usize] = scratch[v as usize];
                 }
+                // Stats-only: convergence authority stays with the batched
+                // device reduction.
+                let iter_delta: f32 = active_nodes.iter().map(|&v| diffs[v as usize]).sum();
 
                 if let Some(q) = &mut queue {
                     let mut changed = 0usize;
@@ -262,6 +292,18 @@ impl BpEngine for CudaEdgeEngine {
                         woken_arcs,
                     );
                 }
+                if trace.enabled() {
+                    iter_span.record(&[("delta", iter_delta.into())]);
+                    trace.counter("queue_depth", queue_depth as f64);
+                }
+                drop(iter_span);
+                per_iteration.push(IterationStats {
+                    delta: iter_delta,
+                    node_updates: queue_depth,
+                    message_updates: active_arcs.len() as u64,
+                    queue_depth,
+                    elapsed: self.device.elapsed() - iter_dev_start,
+                });
                 iterations += 1;
             }
 
@@ -284,6 +326,14 @@ impl BpEngine for CudaEdgeEngine {
         self.device.charge_d2h((n * k * 4) as u64);
         drop(resident);
 
+        if trace.enabled() {
+            run_span.record(&[
+                ("iterations", iterations.into()),
+                ("converged", converged.into()),
+                ("kernel_launches", self.device.kernel_launches().into()),
+                ("transfers", self.device.transfers().into()),
+            ]);
+        }
         Ok(BpStats {
             engine: self.name(),
             iterations,
@@ -294,6 +344,7 @@ impl BpEngine for CudaEdgeEngine {
             atomic_retries: 0,
             reported_time: self.device.elapsed() - dev_start,
             host_time: host_start.elapsed(),
+            per_iteration,
         })
     }
 }

@@ -8,9 +8,12 @@
 //! of two belief-sized arrays drives the occupancy model (the Fig 8
 //! decline of Node speedups at high belief counts).
 
-use crate::setup::GraphOnDevice;
+use crate::setup::{GraphOnDevice, TraceGuard};
 use credo_core::WorkQueue;
-use credo_core::{node_update, BpEngine, BpOptions, BpStats, EngineError, Paradigm, Platform};
+use credo_core::{
+    node_update, BpEngine, BpOptions, BpStats, Dispatch, EngineError, IterationStats, Paradigm,
+    Platform,
+};
 use credo_gpusim::{Device, LaunchConfig, SharedSlice, ThreadCtx};
 use credo_graph::{Belief, BeliefGraph};
 use std::time::Instant;
@@ -78,7 +81,9 @@ pub(crate) fn charge_queue_repopulation(
     woken_arcs: usize,
 ) {
     device.launch(
-        LaunchConfig::for_items(scanned.max(1), 1024).with_atomic_targets(1),
+        LaunchConfig::for_items(scanned.max(1), 1024)
+            .with_atomic_targets(1)
+            .with_name("queue_repopulate"),
         |ctx, tid| {
             ctx.global_read(4, true); // diff
             if tid < changed {
@@ -99,7 +104,7 @@ pub(crate) fn charge_queue_repopulation(
 #[inline]
 pub(crate) fn charge_idle_iteration(device: &Device, kernels: u32) {
     for _ in 0..kernels {
-        device.launch(LaunchConfig::for_items(1, 32), |_, _| {});
+        device.launch(LaunchConfig::for_items(1, 32).with_name("idle"), |_, _| {});
     }
 }
 
@@ -141,9 +146,16 @@ impl BpEngine for CudaNodeEngine {
         Platform::GpuSimulated
     }
 
-    fn run(&self, graph: &mut BeliefGraph, opts: &BpOptions) -> Result<BpStats, EngineError> {
+    fn run_traced(
+        &self,
+        graph: &mut BeliefGraph,
+        opts: &BpOptions,
+        trace: &Dispatch,
+    ) -> Result<BpStats, EngineError> {
         let host_start = Instant::now();
         let dev_start = self.device.elapsed();
+        let run_span = trace.span("run", &[("engine", self.name().into())]);
+        let _trace_guard = TraceGuard::attach(&self.device, trace);
         let resident = GraphOnDevice::upload(&self.device, graph)?;
         let n = graph.num_nodes();
         let k = resident.beliefs;
@@ -163,6 +175,7 @@ impl BpEngine for CudaNodeEngine {
         let mut final_delta = 0.0f32;
         let mut node_updates = 0u64;
         let mut message_updates = 0u64;
+        let mut per_iteration: Vec<IterationStats> = Vec::new();
         let mut active_snapshot: Vec<u32> = Vec::new();
 
         'outer: loop {
@@ -171,6 +184,7 @@ impl BpEngine for CudaNodeEngine {
                 if iterations >= opts.max_iterations {
                     break 'outer;
                 }
+                let iter_dev_start = self.device.elapsed();
                 let active: &[u32] = match &queue {
                     Some(q) => q.active(),
                     None => &full_sweep,
@@ -180,10 +194,22 @@ impl BpEngine for CudaNodeEngine {
                     charge_idle_iteration(&self.device, 1);
                     iterations += 1;
                     converged = true;
+                    per_iteration.push(IterationStats {
+                        elapsed: self.device.elapsed() - iter_dev_start,
+                        ..IterationStats::default()
+                    });
                     continue;
                 }
                 active_snapshot.clear();
                 active_snapshot.extend_from_slice(active);
+                let queue_depth = active_snapshot.len() as u64;
+                let iter_span = trace.span(
+                    "iteration",
+                    &[
+                        ("iter", (iterations as u64).into()),
+                        ("queue_depth", queue_depth.into()),
+                    ],
+                );
 
                 // The node kernel.
                 {
@@ -193,7 +219,7 @@ impl BpEngine for CudaNodeEngine {
                     let diffs_shared = SharedSlice::new(&mut diffs);
                     let active_ref = &active_snapshot;
                     self.device.launch(
-                        LaunchConfig::for_items(active_ref.len(), 1024),
+                        LaunchConfig::for_items(active_ref.len(), 1024).with_name("bp_node_update"),
                         |ctx, tid| {
                             if tid >= active_ref.len() {
                                 return;
@@ -213,9 +239,14 @@ impl BpEngine for CudaNodeEngine {
                     );
                 }
                 node_updates += active_snapshot.len() as u64;
+                let mut msgs_this_iter = 0u64;
                 for &v in &active_snapshot {
-                    message_updates += graph.in_arcs(v).len() as u64;
+                    msgs_this_iter += graph.in_arcs(v).len() as u64;
                 }
+                message_updates += msgs_this_iter;
+                // Stats-only: the engine itself never sees this sum (the
+                // batched device reduction is the convergence authority).
+                let iter_delta: f32 = active_snapshot.iter().map(|&v| diffs[v as usize]).sum();
 
                 // Publish (device-side buffer swap; free functionally).
                 for &v in &active_snapshot {
@@ -252,6 +283,18 @@ impl BpEngine for CudaNodeEngine {
                         woken_arcs,
                     );
                 }
+                if trace.enabled() {
+                    iter_span.record(&[("delta", iter_delta.into())]);
+                    trace.counter("queue_depth", queue_depth as f64);
+                }
+                drop(iter_span);
+                per_iteration.push(IterationStats {
+                    delta: iter_delta,
+                    node_updates: queue_depth,
+                    message_updates: msgs_this_iter,
+                    queue_depth,
+                    elapsed: self.device.elapsed() - iter_dev_start,
+                });
                 iterations += 1;
             }
 
@@ -276,6 +319,14 @@ impl BpEngine for CudaNodeEngine {
         self.device.charge_d2h((n * k * 4) as u64);
         drop(resident);
 
+        if trace.enabled() {
+            run_span.record(&[
+                ("iterations", iterations.into()),
+                ("converged", converged.into()),
+                ("kernel_launches", self.device.kernel_launches().into()),
+                ("transfers", self.device.transfers().into()),
+            ]);
+        }
         Ok(BpStats {
             engine: self.name(),
             iterations,
@@ -286,6 +337,7 @@ impl BpEngine for CudaNodeEngine {
             atomic_retries: 0,
             reported_time: self.device.elapsed() - dev_start,
             host_time: host_start.elapsed(),
+            per_iteration,
         })
     }
 }

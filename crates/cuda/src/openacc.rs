@@ -12,8 +12,11 @@
 
 use crate::edge::{charge_edge_thread, charge_marginalize_thread, charge_reset_thread};
 use crate::node::charge_node_thread;
-use crate::setup::GraphOnDevice;
-use credo_core::{node_update, BpEngine, BpOptions, BpStats, EngineError, Paradigm, Platform};
+use crate::setup::{GraphOnDevice, TraceGuard};
+use credo_core::{
+    node_update, BpEngine, BpOptions, BpStats, Dispatch, EngineError, IterationStats, Paradigm,
+    Platform,
+};
 use credo_gpusim::{atomic_mul_f32, Device, KernelStats, LaunchConfig, SharedSlice};
 use credo_graph::{Belief, BeliefGraph};
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -92,12 +95,19 @@ impl BpEngine for OpenAccEngine {
         Platform::GpuSimulated
     }
 
-    fn run(&self, graph: &mut BeliefGraph, opts: &BpOptions) -> Result<BpStats, EngineError> {
+    fn run_traced(
+        &self,
+        graph: &mut BeliefGraph,
+        opts: &BpOptions,
+        trace: &Dispatch,
+    ) -> Result<BpStats, EngineError> {
         let card = graph
             .uniform_cardinality()
             .ok_or(EngineError::NonUniformCardinality)?;
         let host_start = Instant::now();
         let dev_start = self.device.elapsed();
+        let run_span = trace.span("run", &[("engine", self.name().into())]);
+        let _trace_guard = TraceGuard::attach(&self.device, trace);
         let resident = GraphOnDevice::upload(&self.device, graph)?;
         let n = graph.num_nodes();
         let k = card;
@@ -134,8 +144,17 @@ impl BpEngine for OpenAccEngine {
         let mut final_delta = 0.0f32;
         let mut node_updates = 0u64;
         let mut message_updates = 0u64;
+        let mut per_iteration: Vec<IterationStats> = Vec::new();
 
         while iterations < opts.max_iterations {
+            let iter_dev_start = self.device.elapsed();
+            let iter_span = trace.span(
+                "iteration",
+                &[
+                    ("iter", (iterations as u64).into()),
+                    ("queue_depth", nodes.len().into()),
+                ],
+            );
             if !self.tuned {
                 // Naive scheduler: the full data set shuttles both ways
                 // every iteration.
@@ -150,7 +169,7 @@ impl BpEngine for OpenAccEngine {
                     let diffs_shared = SharedSlice::new(&mut diffs);
                     let nodes_ref = &nodes;
                     let stats = self.device.launch(
-                        LaunchConfig::for_items(nodes_ref.len(), 1024),
+                        LaunchConfig::for_items(nodes_ref.len(), 1024).with_name("acc_node_update"),
                         |ctx, tid| {
                             if tid >= nodes_ref.len() {
                                 return;
@@ -177,7 +196,8 @@ impl BpEngine for OpenAccEngine {
                         let acc_ref = &acc;
                         let nodes_ref = &nodes;
                         let stats = self.device.launch(
-                            LaunchConfig::for_items(nodes_ref.len(), 1024),
+                            LaunchConfig::for_items(nodes_ref.len(), 1024)
+                                .with_name("acc_edge_reset"),
                             |ctx, tid| {
                                 if tid >= nodes_ref.len() {
                                     return;
@@ -198,7 +218,8 @@ impl BpEngine for OpenAccEngine {
                         let acc_ref = &acc;
                         let arcs_ref = &arcs;
                         let cfg = LaunchConfig::for_items(arcs_ref.len(), 1024)
-                            .with_atomic_targets((nodes.len() * k) as u64);
+                            .with_atomic_targets((nodes.len() * k) as u64)
+                            .with_name("acc_edge_combine");
                         let stats = self.device.launch(cfg, |ctx, tid| {
                             if tid >= arcs_ref.len() {
                                 return;
@@ -221,7 +242,8 @@ impl BpEngine for OpenAccEngine {
                         let diffs_shared = SharedSlice::new(&mut diffs);
                         let nodes_ref = &nodes;
                         let stats = self.device.launch(
-                            LaunchConfig::for_items(nodes_ref.len(), 1024),
+                            LaunchConfig::for_items(nodes_ref.len(), 1024)
+                                .with_name("acc_edge_marginalize"),
                             |ctx, tid| {
                                 if tid >= nodes_ref.len() {
                                     return;
@@ -258,6 +280,7 @@ impl BpEngine for OpenAccEngine {
             // Convergence: naive mode downloads the whole belief array and
             // reduces on the host every iteration; tuned mode reduces on
             // device and transfers one scalar per batch.
+            let mut stop = false;
             if self.tuned {
                 if iterations.is_multiple_of(self.batch) || iterations >= opts.max_iterations {
                     let sum = self.device.reduce_sum(&diffs);
@@ -265,7 +288,7 @@ impl BpEngine for OpenAccEngine {
                     final_delta = sum;
                     if sum < opts.threshold {
                         converged = true;
-                        break;
+                        stop = true;
                     }
                 }
             } else {
@@ -275,12 +298,29 @@ impl BpEngine for OpenAccEngine {
                 final_delta = sum;
                 if sum < opts.threshold {
                     converged = true;
-                    break;
+                    stop = true;
                 }
             }
-
             if nodes.is_empty() {
                 converged = true;
+                stop = true;
+            }
+
+            // Stats-only host sum; the convergence logic above is the
+            // authority and never reads it.
+            let iter_delta: f32 = nodes.iter().map(|&v| diffs[v as usize]).sum();
+            if trace.enabled() {
+                iter_span.record(&[("delta", iter_delta.into())]);
+            }
+            drop(iter_span);
+            per_iteration.push(IterationStats {
+                delta: iter_delta,
+                node_updates: nodes.len() as u64,
+                message_updates: arcs.len() as u64,
+                queue_depth: nodes.len() as u64,
+                elapsed: self.device.elapsed() - iter_dev_start,
+            });
+            if stop {
                 break;
             }
         }
@@ -288,6 +328,14 @@ impl BpEngine for OpenAccEngine {
         self.device.charge_d2h(belief_bytes);
         drop(resident);
 
+        if trace.enabled() {
+            run_span.record(&[
+                ("iterations", iterations.into()),
+                ("converged", converged.into()),
+                ("kernel_launches", self.device.kernel_launches().into()),
+                ("transfers", self.device.transfers().into()),
+            ]);
+        }
         Ok(BpStats {
             engine: self.name(),
             iterations,
@@ -298,6 +346,7 @@ impl BpEngine for OpenAccEngine {
             atomic_retries: 0,
             reported_time: self.device.elapsed() - dev_start,
             host_time: host_start.elapsed(),
+            per_iteration,
         })
     }
 }

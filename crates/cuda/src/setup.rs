@@ -1,9 +1,39 @@
 //! Device-side graph residency: what gets allocated and uploaded before
 //! the iteration kernels run (§3.6's "aim to minimize CPU-GPU transfers").
 
-use credo_core::EngineError;
+use credo_core::{Dispatch, EngineError};
 use credo_gpusim::{Device, DeviceError, TrackedAlloc};
 use credo_graph::BeliefGraph;
+
+/// Attaches a profiler sink to a device for the duration of one engine run
+/// and detaches it on drop — including early `?` returns — so a shared
+/// device never keeps reporting to a dispatch the caller has moved on from.
+pub(crate) struct TraceGuard<'a> {
+    device: Option<&'a Device>,
+}
+
+impl<'a> TraceGuard<'a> {
+    /// Attaches `trace` to `device` when it is live; a no-op guard
+    /// otherwise, so untraced runs never touch the device's trace lock.
+    pub(crate) fn attach(device: &'a Device, trace: &Dispatch) -> Self {
+        if trace.enabled() {
+            device.set_trace(trace.clone());
+            TraceGuard {
+                device: Some(device),
+            }
+        } else {
+            TraceGuard { device: None }
+        }
+    }
+}
+
+impl Drop for TraceGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(device) = self.device {
+            device.set_trace(Dispatch::none());
+        }
+    }
+}
 
 /// Bytes of device memory a BP run needs for a graph of `nodes` nodes,
 /// `arcs` directed arcs and cardinality `beliefs`, with

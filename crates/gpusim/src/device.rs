@@ -5,6 +5,12 @@ use crate::arch::ArchProfile;
 use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::Duration;
+use tracing::Dispatch;
+
+/// Trace track name for simulated kernel execution and allocations.
+pub const GPU_TRACK: &str = "gpu";
+/// Trace track name for simulated PCIe transfers.
+pub const PCIE_TRACK: &str = "pcie";
 
 /// Errors from device operations.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -52,6 +58,11 @@ pub(crate) struct DeviceState {
 pub(crate) struct DeviceInner {
     pub profile: ArchProfile,
     pub state: Mutex<DeviceState>,
+    /// The profiler sink. Spans carry *simulated* timestamps (the device
+    /// clock, in microseconds) on the [`GPU_TRACK`]/[`PCIE_TRACK`] tracks,
+    /// so an nvprof-style timeline can be reconstructed without wall-clock
+    /// noise. `Dispatch::none()` (the default) makes every hook a no-op.
+    pub trace: Mutex<Dispatch>,
 }
 
 /// A handle to a simulated GPU. Cheap to clone; all clones share one clock
@@ -68,6 +79,7 @@ impl Device {
             inner: Arc::new(DeviceInner {
                 profile,
                 state: Mutex::new(DeviceState::default()),
+                trace: Mutex::new(Dispatch::none()),
             }),
         }
     }
@@ -75,6 +87,17 @@ impl Device {
     /// The architecture profile.
     pub fn profile(&self) -> &ArchProfile {
         &self.inner.profile
+    }
+
+    /// Attaches a profiler sink; all clones of this device report to it.
+    /// Pass [`Dispatch::none`] to detach.
+    pub fn set_trace(&self, trace: Dispatch) {
+        *self.inner.trace.lock() = trace;
+    }
+
+    /// The currently attached profiler sink (cheap clone of an `Arc`).
+    pub fn trace(&self) -> Dispatch {
+        self.inner.trace.lock().clone()
     }
 
     /// Simulated time elapsed on this device.
@@ -129,7 +152,19 @@ impl Device {
         st.vram_used += bytes;
         st.allocations += 1;
         let secs = (p.alloc_base_us + p.alloc_us_per_mib * bytes as f64 / (1 << 20) as f64) * 1e-6;
+        let t0 = st.clock_secs;
         st.clock_secs += secs;
+        drop(st);
+        let trace = self.trace();
+        if trace.enabled() {
+            trace.timed_span(
+                GPU_TRACK,
+                "alloc",
+                t0 * 1e6,
+                (t0 + secs) * 1e6,
+                &[("bytes", bytes.into())],
+            );
+        }
         Ok(Duration::from_secs_f64(secs))
     }
 
@@ -153,13 +188,27 @@ impl Device {
     fn charge_transfer(&self, bytes: u64, h2d: bool) -> Duration {
         let p = &self.inner.profile;
         let secs = p.transfer_base_us * 1e-6 + bytes as f64 / p.pcie_bandwidth;
-        let mut st = self.inner.state.lock();
-        st.clock_secs += secs;
-        st.transfers += 1;
-        if h2d {
-            st.h2d_bytes += bytes;
-        } else {
-            st.d2h_bytes += bytes;
+        let t0 = {
+            let mut st = self.inner.state.lock();
+            let t0 = st.clock_secs;
+            st.clock_secs += secs;
+            st.transfers += 1;
+            if h2d {
+                st.h2d_bytes += bytes;
+            } else {
+                st.d2h_bytes += bytes;
+            }
+            t0
+        };
+        let trace = self.trace();
+        if trace.enabled() {
+            trace.timed_span(
+                PCIE_TRACK,
+                if h2d { "h2d" } else { "d2h" },
+                t0 * 1e6,
+                (t0 + secs) * 1e6,
+                &[("bytes", bytes.into())],
+            );
         }
         Duration::from_secs_f64(secs)
     }
@@ -186,10 +235,32 @@ impl Device {
         let shared_ops = blocks * block.log2().max(1.0) * p.shared_access_cycles;
         let shared_secs = shared_ops / (p.num_sms as f64 * p.clock_ghz * 1e9);
         let secs = p.kernel_launch_us * 1e-6 + mem_secs + shared_secs;
-        {
+        let t0 = {
             let mut st = self.inner.state.lock();
+            let t0 = st.clock_secs;
             st.clock_secs += secs;
             st.kernel_launches += 1;
+            t0
+        };
+        let trace = self.trace();
+        if trace.enabled() {
+            let launch_secs = p.kernel_launch_us * 1e-6;
+            let t0_us = t0 * 1e6;
+            trace.timed_span(
+                GPU_TRACK,
+                "reduce_sum",
+                t0_us,
+                (t0 + secs) * 1e6,
+                &[("items", values.len().into())],
+            );
+            trace.timed_span(GPU_TRACK, "launch", t0_us, (t0 + launch_secs) * 1e6, &[]);
+            trace.timed_span(
+                GPU_TRACK,
+                "execute",
+                (t0 + launch_secs) * 1e6,
+                (t0 + secs) * 1e6,
+                &[],
+            );
         }
         values.iter().map(|&v| v as f64).sum::<f64>() as f32
     }
@@ -262,5 +333,62 @@ mod tests {
         let d2 = d.clone();
         d.charge_h2d(1024);
         assert_eq!(d.elapsed(), d2.elapsed());
+    }
+
+    #[derive(Default)]
+    struct CaptureSpans {
+        spans: std::sync::Mutex<Vec<(&'static str, &'static str, f64, f64)>>,
+    }
+
+    impl tracing::Subscriber for CaptureSpans {
+        fn new_span(&self, _name: &'static str, _fields: &[tracing::Field<'_>]) -> tracing::Id {
+            tracing::Id(0)
+        }
+        fn record(&self, _id: tracing::Id, _fields: &[tracing::Field<'_>]) {}
+        fn close_span(&self, _id: tracing::Id) {}
+        fn event(&self, _name: &'static str, _fields: &[tracing::Field<'_>]) {}
+        fn timed_span(
+            &self,
+            track: &'static str,
+            name: &'static str,
+            start_us: f64,
+            end_us: f64,
+            _fields: &[tracing::Field<'_>],
+        ) {
+            self.spans
+                .lock()
+                .unwrap()
+                .push((track, name, start_us, end_us));
+        }
+        fn counter(&self, _name: &'static str, _value: f64) {}
+    }
+
+    #[test]
+    fn profiler_sees_transfers_and_kernels_on_simulated_timeline() {
+        let d = Device::new(PASCAL_GTX1070);
+        let cap = Arc::new(CaptureSpans::default());
+        d.set_trace(Dispatch::new(cap.clone()));
+        d.charge_h2d(1 << 20);
+        let xs = vec![1.0f32; 4096];
+        d.reduce_sum(&xs);
+        d.charge_d2h(1 << 10);
+        d.set_trace(Dispatch::none());
+        d.charge_h2d(1 << 10); // after detach: not recorded
+
+        let spans = cap.spans.lock().unwrap();
+        let names: Vec<&str> = spans.iter().map(|s| s.1).collect();
+        assert_eq!(names, vec!["h2d", "reduce_sum", "launch", "execute", "d2h"]);
+        assert_eq!(spans[0].0, PCIE_TRACK);
+        assert_eq!(spans[1].0, GPU_TRACK);
+        // Timestamps are simulated microseconds: monotone, non-negative,
+        // and the d2h span starts where the kernel ended.
+        for &(_, name, start, end) in spans.iter() {
+            assert!(start >= 0.0 && end >= start, "{name}: {start}..{end}");
+        }
+        assert!(spans[4].2 >= spans[1].3);
+        assert_eq!(
+            d.elapsed(),
+            Duration::from_secs_f64(d.inner.state.lock().clock_secs)
+        );
     }
 }

@@ -15,6 +15,8 @@ pub struct LaunchConfig {
     /// many as there are atomics", i.e. uncontended). Drives the
     /// serialization penalty.
     pub atomic_targets: u64,
+    /// Kernel name reported to the profiler (nvprof-style timeline label).
+    pub name: &'static str,
 }
 
 impl LaunchConfig {
@@ -25,12 +27,19 @@ impl LaunchConfig {
             grid_blocks: (items as u64).div_ceil(bt as u64).max(1) as u32,
             block_threads: bt,
             atomic_targets: 0,
+            name: "kernel",
         }
     }
 
     /// Sets the distinct atomic-target count.
     pub fn with_atomic_targets(mut self, targets: u64) -> Self {
         self.atomic_targets = targets;
+        self
+    }
+
+    /// Names the kernel for the profiler timeline.
+    pub fn with_name(mut self, name: &'static str) -> Self {
+        self.name = name;
         self
     }
 
@@ -243,10 +252,49 @@ impl Device {
         let launch_secs = p.kernel_launch_us * 1e-6;
         let sim_secs = launch_secs + compute_secs.max(mem_secs) + atomic_secs;
 
-        self.advance(sim_secs);
-        {
+        let t0 = {
             let mut st = self.inner.state.lock();
+            let t0 = st.clock_secs;
+            st.clock_secs += sim_secs;
             st.kernel_launches += 1;
+            t0
+        };
+        let trace = self.trace();
+        if trace.enabled() {
+            let t0_us = t0 * 1e6;
+            let launch_end_us = (t0 + launch_secs) * 1e6;
+            let end_us = (t0 + sim_secs) * 1e6;
+            trace.timed_span(
+                crate::device::GPU_TRACK,
+                cfg.name,
+                t0_us,
+                end_us,
+                &[
+                    ("grid_blocks", cfg.grid_blocks.into()),
+                    ("block_threads", cfg.block_threads.into()),
+                    ("occupancy", occupancy.into()),
+                    ("atomics", total.atomics.into()),
+                    ("effective_bytes", (total.effective_bytes as u64).into()),
+                ],
+            );
+            trace.timed_span(
+                crate::device::GPU_TRACK,
+                "launch",
+                t0_us,
+                launch_end_us,
+                &[],
+            );
+            trace.timed_span(
+                crate::device::GPU_TRACK,
+                "execute",
+                launch_end_us,
+                end_us,
+                &[
+                    ("compute_us", (compute_secs * 1e6).into()),
+                    ("mem_us", (mem_secs * 1e6).into()),
+                    ("atomic_us", (atomic_secs * 1e6).into()),
+                ],
+            );
         }
 
         KernelStats {
@@ -391,6 +439,7 @@ mod tests {
                 grid_blocks: 1,
                 block_threads: 2048,
                 atomic_targets: 0,
+                name: "oversized",
             },
             |_, _| {},
         );

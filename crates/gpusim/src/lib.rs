@@ -32,6 +32,6 @@ mod util;
 
 pub use arch::{ArchProfile, PASCAL_GTX1070, VOLTA_V100};
 pub use buffer::{DeviceBuffer, TrackedAlloc};
-pub use device::{Device, DeviceError};
+pub use device::{Device, DeviceError, GPU_TRACK, PCIE_TRACK};
 pub use kernel::{KernelStats, LaunchConfig, ThreadCtx};
 pub use util::{atomic_mul_f32, SharedSlice};

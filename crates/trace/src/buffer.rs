@@ -1,0 +1,399 @@
+//! The in-memory trace recorder.
+
+use std::io::{self, Write as _};
+use std::path::Path;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use serde::Value;
+use tracing::{field, Field, Id, Subscriber};
+
+/// Track name used for wall-clock spans and events (everything emitted
+/// through [`Subscriber::new_span`]/[`Subscriber::event`]).
+pub const HOST_TRACK: &str = "host";
+
+/// An owned copy of a [`field::Value`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum OwnedValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Owned string.
+    Str(String),
+}
+
+impl OwnedValue {
+    fn from_field(value: &field::Value<'_>) -> Self {
+        match *value {
+            field::Value::U64(v) => OwnedValue::U64(v),
+            field::Value::I64(v) => OwnedValue::I64(v),
+            field::Value::F64(v) => OwnedValue::F64(v),
+            field::Value::Bool(v) => OwnedValue::Bool(v),
+            field::Value::Str(v) => OwnedValue::Str(v.to_string()),
+        }
+    }
+
+    /// Converts to the serde data model (non-finite floats become null,
+    /// matching what the JSON writer would do anyway).
+    pub fn to_value(&self) -> Value {
+        match self {
+            OwnedValue::U64(v) => Value::UInt(*v),
+            OwnedValue::I64(v) => Value::Int(*v),
+            OwnedValue::F64(v) if v.is_finite() => Value::Float(*v),
+            OwnedValue::F64(_) => Value::Null,
+            OwnedValue::Bool(v) => Value::Bool(*v),
+            OwnedValue::Str(v) => Value::Str(v.clone()),
+        }
+    }
+}
+
+/// An owned `(key, value)` field.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OwnedField {
+    /// Field name.
+    pub key: &'static str,
+    /// Field value.
+    pub value: OwnedValue,
+}
+
+fn own_fields(fields: &[Field<'_>]) -> Vec<OwnedField> {
+    fields
+        .iter()
+        .map(|(key, value)| OwnedField {
+            key,
+            value: OwnedValue::from_field(value),
+        })
+        .collect()
+}
+
+/// One recorded item. Timestamps are microseconds on the record's track:
+/// wall-clock records (track [`HOST_TRACK`]) count from the buffer's
+/// creation; simulated-timeline records use whatever clock the emitter
+/// supplied (the gpusim device clock).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Record {
+    /// A completed span.
+    Span {
+        /// Span name.
+        name: &'static str,
+        /// Timeline the span belongs to.
+        track: &'static str,
+        /// Start timestamp (µs).
+        start_us: f64,
+        /// Duration (µs), never negative.
+        dur_us: f64,
+        /// Attached fields (open-time and `record()`ed).
+        fields: Vec<OwnedField>,
+    },
+    /// An instantaneous event.
+    Event {
+        /// Event name.
+        name: &'static str,
+        /// Timestamp (µs, wall clock).
+        ts_us: f64,
+        /// Attached fields.
+        fields: Vec<OwnedField>,
+    },
+    /// A counter sample.
+    Counter {
+        /// Counter name.
+        name: &'static str,
+        /// Timestamp (µs, wall clock).
+        ts_us: f64,
+        /// Sampled value.
+        value: f64,
+    },
+}
+
+impl Record {
+    /// Converts to the serde data model (one JSON object per record; this
+    /// is the JSON-lines schema).
+    pub fn to_value(&self) -> Value {
+        fn fields_value(fields: &[OwnedField]) -> Value {
+            Value::Object(
+                fields
+                    .iter()
+                    .map(|f| (f.key.to_string(), f.value.to_value()))
+                    .collect(),
+            )
+        }
+        match self {
+            Record::Span {
+                name,
+                track,
+                start_us,
+                dur_us,
+                fields,
+            } => Value::Object(vec![
+                ("kind".into(), Value::Str("span".into())),
+                ("name".into(), Value::Str((*name).into())),
+                ("track".into(), Value::Str((*track).into())),
+                ("start_us".into(), Value::Float(*start_us)),
+                ("dur_us".into(), Value::Float(*dur_us)),
+                ("fields".into(), fields_value(fields)),
+            ]),
+            Record::Event {
+                name,
+                ts_us,
+                fields,
+            } => Value::Object(vec![
+                ("kind".into(), Value::Str("event".into())),
+                ("name".into(), Value::Str((*name).into())),
+                ("ts_us".into(), Value::Float(*ts_us)),
+                ("fields".into(), fields_value(fields)),
+            ]),
+            Record::Counter { name, ts_us, value } => Value::Object(vec![
+                ("kind".into(), Value::Str("counter".into())),
+                ("name".into(), Value::Str((*name).into())),
+                ("ts_us".into(), Value::Float(*ts_us)),
+                ("value".into(), Value::Float(*value)),
+            ]),
+        }
+    }
+}
+
+struct OpenSpan {
+    id: Id,
+    name: &'static str,
+    start_us: f64,
+    fields: Vec<OwnedField>,
+}
+
+#[derive(Default)]
+struct Inner {
+    next_id: u64,
+    open: Vec<OpenSpan>,
+    records: Vec<Record>,
+}
+
+/// An in-memory recorder: buffers everything the engines emit, then
+/// exports it as chrome://tracing JSON, JSON-lines, or a human summary.
+///
+/// Typical use:
+///
+/// ```
+/// use std::sync::Arc;
+/// use credo_trace::{Dispatch, TraceBuffer};
+///
+/// let buffer = Arc::new(TraceBuffer::new());
+/// let trace = Dispatch::new(buffer.clone());
+/// // … hand `&trace` to an engine's `run_traced` …
+/// let chrome_json = buffer.to_chrome_json();
+/// ```
+pub struct TraceBuffer {
+    origin: Instant,
+    inner: Mutex<Inner>,
+}
+
+impl Default for TraceBuffer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceBuffer {
+    /// An empty buffer; wall-clock timestamps count from this call.
+    pub fn new() -> Self {
+        TraceBuffer {
+            origin: Instant::now(),
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    fn now_us(&self) -> f64 {
+        self.origin.elapsed().as_secs_f64() * 1e6
+    }
+
+    /// A snapshot of everything recorded so far. Spans appear in
+    /// *completion* order (a parent span follows its children).
+    pub fn records(&self) -> Vec<Record> {
+        self.inner.lock().records.clone()
+    }
+
+    /// The buffered records as JSON-lines: one JSON object per line, in
+    /// record order (see [`Record::to_value`] for the schema).
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        for record in self.inner.lock().records.iter() {
+            out.push_str(&serde_json::to_string(&record.to_value()).unwrap_or_default());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The buffered records as a chrome://tracing `trace_event` JSON
+    /// document (load it in Perfetto or `chrome://tracing`).
+    pub fn to_chrome_json(&self) -> String {
+        crate::chrome::to_chrome_json(&self.inner.lock().records)
+    }
+
+    /// Aggregates the buffer into a human-readable [`crate::Summary`].
+    pub fn summary(&self) -> crate::Summary {
+        crate::Summary::from_records(&self.inner.lock().records)
+    }
+
+    /// Writes [`TraceBuffer::to_json_lines`] to `path`.
+    pub fn write_json_lines(&self, path: &Path) -> io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_json_lines().as_bytes())
+    }
+
+    /// Writes [`TraceBuffer::to_chrome_json`] to `path`.
+    pub fn write_chrome_trace(&self, path: &Path) -> io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_chrome_json().as_bytes())
+    }
+}
+
+impl Subscriber for TraceBuffer {
+    fn new_span(&self, name: &'static str, fields: &[Field<'_>]) -> Id {
+        let start_us = self.now_us();
+        let mut inner = self.inner.lock();
+        inner.next_id += 1;
+        let id = Id(inner.next_id);
+        inner.open.push(OpenSpan {
+            id,
+            name,
+            start_us,
+            fields: own_fields(fields),
+        });
+        id
+    }
+
+    fn record(&self, id: Id, fields: &[Field<'_>]) {
+        let mut inner = self.inner.lock();
+        if let Some(span) = inner.open.iter_mut().find(|s| s.id == id) {
+            span.fields.extend(own_fields(fields));
+        }
+    }
+
+    fn close_span(&self, id: Id) {
+        let end_us = self.now_us();
+        let mut inner = self.inner.lock();
+        if let Some(pos) = inner.open.iter().position(|s| s.id == id) {
+            let span = inner.open.swap_remove(pos);
+            inner.records.push(Record::Span {
+                name: span.name,
+                track: HOST_TRACK,
+                start_us: span.start_us,
+                dur_us: (end_us - span.start_us).max(0.0),
+                fields: span.fields,
+            });
+        }
+    }
+
+    fn event(&self, name: &'static str, fields: &[Field<'_>]) {
+        let ts_us = self.now_us();
+        self.inner.lock().records.push(Record::Event {
+            name,
+            ts_us,
+            fields: own_fields(fields),
+        });
+    }
+
+    fn timed_span(
+        &self,
+        track: &'static str,
+        name: &'static str,
+        start_us: f64,
+        end_us: f64,
+        fields: &[Field<'_>],
+    ) {
+        self.inner.lock().records.push(Record::Span {
+            name,
+            track,
+            start_us,
+            dur_us: (end_us - start_us).max(0.0),
+            fields: own_fields(fields),
+        });
+    }
+
+    fn counter(&self, name: &'static str, value: f64) {
+        let ts_us = self.now_us();
+        self.inner
+            .lock()
+            .records
+            .push(Record::Counter { name, ts_us, value });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tracing::Dispatch;
+
+    #[test]
+    fn spans_and_events_are_buffered() {
+        let buffer = Arc::new(TraceBuffer::new());
+        let trace = Dispatch::new(buffer.clone());
+        {
+            let span = trace.span("run", &[("engine", "C Node".into())]);
+            trace.event("tick", &[("iter", 1u64.into())]);
+            span.record(&[("iterations", 7u64.into())]);
+        }
+        trace.timed_span("gpu", "kernel", 100.0, 250.0, &[("flops", 64u64.into())]);
+        trace.counter("queue_depth", 42.0);
+
+        let records = buffer.records();
+        assert_eq!(records.len(), 4);
+        // Completion order: the event lands before the enclosing span.
+        assert!(matches!(records[0], Record::Event { name: "tick", .. }));
+        match &records[1] {
+            Record::Span {
+                name,
+                track,
+                dur_us,
+                fields,
+                ..
+            } => {
+                assert_eq!(*name, "run");
+                assert_eq!(*track, HOST_TRACK);
+                assert!(*dur_us >= 0.0);
+                assert_eq!(fields.len(), 2);
+                assert_eq!(fields[1].key, "iterations");
+            }
+            other => panic!("expected span, got {other:?}"),
+        }
+        match &records[2] {
+            Record::Span {
+                track,
+                start_us,
+                dur_us,
+                ..
+            } => {
+                assert_eq!(*track, "gpu");
+                assert_eq!(*start_us, 100.0);
+                assert_eq!(*dur_us, 150.0);
+            }
+            other => panic!("expected timed span, got {other:?}"),
+        }
+        assert!(matches!(
+            records[3],
+            Record::Counter {
+                name: "queue_depth",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn json_lines_one_object_per_record() {
+        let buffer = Arc::new(TraceBuffer::new());
+        let trace = Dispatch::new(buffer.clone());
+        trace.event("a", &[("k", 1u64.into())]);
+        trace.counter("c", 2.0);
+        let jsonl = buffer.to_json_lines();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            let v: serde::Value = serde_json::from_str(line).unwrap();
+            assert!(v.get("kind").is_some());
+        }
+    }
+}

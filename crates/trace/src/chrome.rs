@@ -1,0 +1,167 @@
+//! chrome://tracing (`trace_event`) exporter.
+//!
+//! Produces the JSON object format: `{"traceEvents": [...],
+//! "displayTimeUnit": "ms"}` with complete (`"ph": "X"`) events, loadable
+//! in Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`.
+//!
+//! Wall-clock records render under pid 1 ("host"); simulated-timeline
+//! tracks (the gpusim device and PCIe bus) render under pid 2
+//! ("gpusim"), one thread lane per track, because their microseconds are
+//! *simulated* time and must not share an axis origin with the host's.
+
+use crate::buffer::{Record, HOST_TRACK};
+use serde::Value;
+
+const HOST_PID: u64 = 1;
+const SIM_PID: u64 = 2;
+
+fn meta(name: &str, pid: u64, tid: Option<u64>, arg_name: &str) -> Value {
+    let mut entries = vec![
+        ("name".to_string(), Value::Str(name.into())),
+        ("ph".to_string(), Value::Str("M".into())),
+        ("pid".to_string(), Value::UInt(pid)),
+    ];
+    if let Some(tid) = tid {
+        entries.push(("tid".to_string(), Value::UInt(tid)));
+    }
+    entries.push((
+        "args".to_string(),
+        Value::Object(vec![("name".to_string(), Value::Str(arg_name.to_string()))]),
+    ));
+    Value::Object(entries)
+}
+
+fn args_object(fields: &[crate::OwnedField]) -> Value {
+    Value::Object(
+        fields
+            .iter()
+            .map(|f| (f.key.to_string(), f.value.to_value()))
+            .collect(),
+    )
+}
+
+/// Renders `records` as a chrome trace_event JSON document.
+pub fn to_chrome_json(records: &[Record]) -> String {
+    // Track -> (pid, tid). Host lane is tid 1 of pid 1; each simulated
+    // track gets its own tid under pid 2, in order of first appearance.
+    let mut sim_tracks: Vec<&'static str> = Vec::new();
+    for record in records {
+        if let Record::Span { track, .. } = record {
+            if *track != HOST_TRACK && !sim_tracks.contains(track) {
+                sim_tracks.push(track);
+            }
+        }
+    }
+
+    let mut events: Vec<Value> = Vec::with_capacity(records.len() + 4);
+    events.push(meta("process_name", HOST_PID, None, "host (wall clock)"));
+    events.push(meta("thread_name", HOST_PID, Some(1), HOST_TRACK));
+    if !sim_tracks.is_empty() {
+        events.push(meta(
+            "process_name",
+            SIM_PID,
+            None,
+            "gpusim (simulated time)",
+        ));
+        for (i, track) in sim_tracks.iter().enumerate() {
+            events.push(meta("thread_name", SIM_PID, Some(i as u64 + 1), track));
+        }
+    }
+
+    for record in records {
+        match record {
+            Record::Span {
+                name,
+                track,
+                start_us,
+                dur_us,
+                fields,
+            } => {
+                let (pid, tid) = if *track == HOST_TRACK {
+                    (HOST_PID, 1)
+                } else {
+                    let i = sim_tracks.iter().position(|t| t == track).unwrap();
+                    (SIM_PID, i as u64 + 1)
+                };
+                events.push(Value::Object(vec![
+                    ("name".into(), Value::Str((*name).into())),
+                    ("ph".into(), Value::Str("X".into())),
+                    ("ts".into(), Value::Float(*start_us)),
+                    ("dur".into(), Value::Float(dur_us.max(0.0))),
+                    ("pid".into(), Value::UInt(pid)),
+                    ("tid".into(), Value::UInt(tid)),
+                    ("args".into(), args_object(fields)),
+                ]));
+            }
+            Record::Event {
+                name,
+                ts_us,
+                fields,
+            } => {
+                events.push(Value::Object(vec![
+                    ("name".into(), Value::Str((*name).into())),
+                    ("ph".into(), Value::Str("i".into())),
+                    ("s".into(), Value::Str("t".into())),
+                    ("ts".into(), Value::Float(*ts_us)),
+                    ("pid".into(), Value::UInt(HOST_PID)),
+                    ("tid".into(), Value::UInt(1)),
+                    ("args".into(), args_object(fields)),
+                ]));
+            }
+            Record::Counter { name, ts_us, value } => {
+                events.push(Value::Object(vec![
+                    ("name".into(), Value::Str((*name).into())),
+                    ("ph".into(), Value::Str("C".into())),
+                    ("ts".into(), Value::Float(*ts_us)),
+                    ("pid".into(), Value::UInt(HOST_PID)),
+                    (
+                        "args".into(),
+                        Value::Object(vec![("value".to_string(), Value::Float(*value))]),
+                    ),
+                ]));
+            }
+        }
+    }
+
+    let doc = Value::Object(vec![
+        ("traceEvents".into(), Value::Array(events)),
+        ("displayTimeUnit".into(), Value::Str("ms".into())),
+    ]);
+    serde_json::to_string(&doc).unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::TraceBuffer;
+    use std::sync::Arc;
+    use tracing::Dispatch;
+
+    #[test]
+    fn chrome_doc_parses_and_names_tracks() {
+        let buffer = Arc::new(TraceBuffer::new());
+        let trace = Dispatch::new(buffer.clone());
+        {
+            let _run = trace.span("run", &[]);
+            let _iter = trace.span("iteration", &[("iter", 0u64.into())]);
+        }
+        trace.timed_span("gpu", "kernel:update", 0.0, 50.0, &[]);
+        trace.timed_span("pcie", "h2d", 0.0, 10.0, &[("bytes", 4096u64.into())]);
+
+        let doc: serde::Value = serde_json::from_str(&buffer.to_chrome_json()).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        // 2 host meta + 1 sim process meta + 2 sim thread meta + 4 records.
+        assert_eq!(events.len(), 9);
+        let phases: Vec<&str> = events
+            .iter()
+            .map(|e| e.get("ph").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(phases.iter().filter(|p| **p == "X").count(), 4);
+        assert_eq!(phases.iter().filter(|p| **p == "M").count(), 5);
+        // Simulated tracks live in their own process.
+        let kernel = events
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str() == Some("kernel:update"))
+            .unwrap();
+        assert_eq!(kernel.get("pid").unwrap().as_u64(), Some(2));
+    }
+}

@@ -1,0 +1,77 @@
+//! Progress-line recorder for CLI tools and benchmark binaries.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use tracing::{field, Field, Id, Subscriber};
+
+/// Prints events as human-readable progress lines on stdout.
+///
+/// This is the structured replacement for ad-hoc `println!` progress
+/// output: binaries emit `trace.event(...)` and pick the recorder from a
+/// `--quiet` flag — a [`tracing::Dispatch::none`] silences everything
+/// without touching the emission sites.
+///
+/// Events named `progress` with a `msg` field print as the bare message;
+/// any other event prints as `name key=value ...`. Spans and counters are
+/// accepted but not printed (they are for buffer recorders).
+#[derive(Default)]
+pub struct ConsoleRecorder {
+    next_id: AtomicU64,
+}
+
+impl ConsoleRecorder {
+    /// A recorder printing to stdout.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+fn fmt_value(value: &field::Value<'_>) -> String {
+    match *value {
+        field::Value::U64(v) => v.to_string(),
+        field::Value::I64(v) => v.to_string(),
+        field::Value::F64(v) => format!("{v:.6}"),
+        field::Value::Bool(v) => v.to_string(),
+        field::Value::Str(v) => v.to_string(),
+    }
+}
+
+impl Subscriber for ConsoleRecorder {
+    fn new_span(&self, _name: &'static str, _fields: &[Field<'_>]) -> Id {
+        Id(self.next_id.fetch_add(1, Ordering::Relaxed))
+    }
+
+    fn record(&self, _id: Id, _fields: &[Field<'_>]) {}
+
+    fn close_span(&self, _id: Id) {}
+
+    fn event(&self, name: &'static str, fields: &[Field<'_>]) {
+        if name == "progress" {
+            if let Some((_, msg)) = fields.iter().find(|(k, _)| *k == "msg") {
+                println!("{}", fmt_value(msg));
+                return;
+            }
+        }
+        let rendered: Vec<String> = fields
+            .iter()
+            .map(|(k, v)| format!("{k}={}", fmt_value(v)))
+            .collect();
+        if rendered.is_empty() {
+            println!("{name}");
+        } else {
+            println!("{name} {}", rendered.join(" "));
+        }
+    }
+
+    fn timed_span(
+        &self,
+        _track: &'static str,
+        _name: &'static str,
+        _start_us: f64,
+        _end_us: f64,
+        _fields: &[Field<'_>],
+    ) {
+    }
+
+    fn counter(&self, _name: &'static str, _value: f64) {}
+}

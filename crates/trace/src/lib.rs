@@ -1,0 +1,34 @@
+//! Observability for the credo engines.
+//!
+//! The emission API lives in the vendored `tracing` shim (see
+//! `crates/compat/tracing`): engines receive a [`Dispatch`] and emit
+//! spans, events and counters through it. This crate supplies the
+//! *recorders* — things a dispatch can point at — and the exporters:
+//!
+//! - [`TraceBuffer`]: an in-memory recorder that timestamps wall-clock
+//!   spans, keeps simulated-timeline spans on their own tracks, and
+//!   exports to chrome://tracing JSON ([`TraceBuffer::to_chrome_json`],
+//!   open in Perfetto or `chrome://tracing`), JSON-lines
+//!   ([`TraceBuffer::to_json_lines`]), or a human summary
+//!   ([`TraceBuffer::summary`]).
+//! - [`ConsoleRecorder`]: prints events as progress lines — the
+//!   replacement for ad-hoc `println!` progress output in the benchmark
+//!   binaries, silenced with `--quiet` by handing the engine a
+//!   [`Dispatch::none`] instead.
+//!
+//! The no-op path costs nothing: `Dispatch::none()` keeps every emission
+//! site an inlined branch on a `None`, which is what lets the engines be
+//! instrumented without a measurable hot-loop tax (CI guards this).
+
+#![warn(missing_docs)]
+
+pub use tracing::{field, Dispatch, Field, Id, Span, Subscriber as Recorder};
+
+mod buffer;
+mod chrome;
+mod console;
+mod summary;
+
+pub use buffer::{OwnedField, OwnedValue, Record, TraceBuffer, HOST_TRACK};
+pub use console::ConsoleRecorder;
+pub use summary::{SpanSummary, Summary};

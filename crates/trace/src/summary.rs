@@ -1,0 +1,200 @@
+//! Human-readable aggregation of a trace buffer (the `credo prof`
+//! report).
+
+use crate::buffer::Record;
+
+/// Aggregate statistics for one span name on one track.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanSummary {
+    /// Timeline the spans were recorded on.
+    pub track: &'static str,
+    /// Span name.
+    pub name: &'static str,
+    /// Number of completed spans.
+    pub count: u64,
+    /// Total duration across all spans (µs).
+    pub total_us: f64,
+    /// Shortest span (µs).
+    pub min_us: f64,
+    /// Longest span (µs).
+    pub max_us: f64,
+}
+
+impl SpanSummary {
+    /// Mean span duration (µs).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_us / self.count as f64
+        }
+    }
+}
+
+/// Aggregated view of a trace: span totals per track, counter ranges and
+/// event counts.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Summary {
+    /// One row per (track, span name), in first-appearance order.
+    pub spans: Vec<SpanSummary>,
+    /// `(name, samples, last, max)` per counter, in first-appearance
+    /// order.
+    pub counters: Vec<(&'static str, u64, f64, f64)>,
+    /// `(name, count)` per event name, in first-appearance order.
+    pub events: Vec<(&'static str, u64)>,
+}
+
+impl Summary {
+    /// Builds a summary from buffered records.
+    pub fn from_records(records: &[Record]) -> Self {
+        let mut summary = Summary::default();
+        for record in records {
+            match record {
+                Record::Span {
+                    name,
+                    track,
+                    dur_us,
+                    ..
+                } => {
+                    if let Some(row) = summary
+                        .spans
+                        .iter_mut()
+                        .find(|s| s.name == *name && s.track == *track)
+                    {
+                        row.count += 1;
+                        row.total_us += dur_us;
+                        row.min_us = row.min_us.min(*dur_us);
+                        row.max_us = row.max_us.max(*dur_us);
+                    } else {
+                        summary.spans.push(SpanSummary {
+                            track,
+                            name,
+                            count: 1,
+                            total_us: *dur_us,
+                            min_us: *dur_us,
+                            max_us: *dur_us,
+                        });
+                    }
+                }
+                Record::Counter { name, value, .. } => {
+                    if let Some(row) = summary.counters.iter_mut().find(|(n, ..)| n == name) {
+                        row.1 += 1;
+                        row.2 = *value;
+                        row.3 = row.3.max(*value);
+                    } else {
+                        summary.counters.push((name, 1, *value, *value));
+                    }
+                }
+                Record::Event { name, .. } => {
+                    if let Some(row) = summary.events.iter_mut().find(|(n, _)| n == name) {
+                        row.1 += 1;
+                    } else {
+                        summary.events.push((name, 1));
+                    }
+                }
+            }
+        }
+        summary
+    }
+
+    /// Renders the summary as aligned text, nvprof-style: span rows with
+    /// count/total/mean/min/max, then counters and event counts.
+    pub fn render(&self) -> String {
+        fn fmt_us(us: f64) -> String {
+            if us >= 1e6 {
+                format!("{:.3}s", us / 1e6)
+            } else if us >= 1e3 {
+                format!("{:.3}ms", us / 1e3)
+            } else {
+                format!("{us:.1}us")
+            }
+        }
+
+        let mut out = String::new();
+        if !self.spans.is_empty() {
+            let header = [
+                "track".to_string(),
+                "span".to_string(),
+                "count".to_string(),
+                "total".to_string(),
+                "mean".to_string(),
+                "min".to_string(),
+                "max".to_string(),
+            ];
+            let mut rows: Vec<[String; 7]> = vec![header];
+            for s in &self.spans {
+                rows.push([
+                    s.track.to_string(),
+                    s.name.to_string(),
+                    s.count.to_string(),
+                    fmt_us(s.total_us),
+                    fmt_us(s.mean_us()),
+                    fmt_us(s.min_us),
+                    fmt_us(s.max_us),
+                ]);
+            }
+            let mut widths = [0usize; 7];
+            for row in &rows {
+                for (w, cell) in widths.iter_mut().zip(row.iter()) {
+                    *w = (*w).max(cell.len());
+                }
+            }
+            for row in &rows {
+                let line: Vec<String> = row
+                    .iter()
+                    .zip(widths.iter())
+                    .map(|(cell, w)| format!("{cell:>w$}", w = w))
+                    .collect();
+                out.push_str(&line.join("  "));
+                out.push('\n');
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push('\n');
+            out.push_str("counters (samples, last, max):\n");
+            for (name, samples, last, max) in &self.counters {
+                out.push_str(&format!(
+                    "  {name}: {samples} samples, last {last}, max {max}\n"
+                ));
+            }
+        }
+        if !self.events.is_empty() {
+            out.push('\n');
+            out.push_str("events:\n");
+            for (name, count) in &self.events {
+                out.push_str(&format!("  {name}: {count}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::TraceBuffer;
+    use std::sync::Arc;
+    use tracing::Dispatch;
+
+    #[test]
+    fn aggregates_spans_counters_events() {
+        let buffer = Arc::new(TraceBuffer::new());
+        let trace = Dispatch::new(buffer.clone());
+        trace.timed_span("gpu", "kernel", 0.0, 100.0, &[]);
+        trace.timed_span("gpu", "kernel", 100.0, 300.0, &[]);
+        trace.counter("queue_depth", 10.0);
+        trace.counter("queue_depth", 4.0);
+        trace.event("progress", &[]);
+
+        let summary = buffer.summary();
+        assert_eq!(summary.spans.len(), 1);
+        let s = &summary.spans[0];
+        assert_eq!((s.count, s.total_us), (2, 300.0));
+        assert_eq!(s.mean_us(), 150.0);
+        assert_eq!((s.min_us, s.max_us), (100.0, 200.0));
+        assert_eq!(summary.counters, vec![("queue_depth", 2, 4.0, 10.0)]);
+        assert_eq!(summary.events, vec![("progress", 1)]);
+        let text = summary.render();
+        assert!(text.contains("kernel"));
+        assert!(text.contains("queue_depth"));
+    }
+}

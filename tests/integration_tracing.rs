@@ -1,0 +1,201 @@
+//! Observability contracts: per-iteration stats populated by every
+//! engine, Seq/Par trajectory agreement, and a golden-file check of the
+//! chrome://tracing exporter.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use credo::engines::{
+    CudaEdgeEngine, CudaNodeEngine, OpenAccEngine, OpenMpEdgeEngine, OpenMpNodeEngine,
+    ParEdgeEngine, ParNodeEngine, SeqEdgeEngine, SeqNodeEngine,
+};
+use credo::gpusim::{Device, PASCAL_GTX1070};
+use credo::{BpEngine, BpOptions, Dispatch, Paradigm};
+use credo_graph::generators::{synthetic, GenOptions};
+use credo_trace::TraceBuffer;
+use serde_json::Value;
+
+fn engines() -> Vec<Box<dyn BpEngine>> {
+    vec![
+        Box::new(SeqEdgeEngine),
+        Box::new(SeqNodeEngine),
+        Box::new(OpenMpEdgeEngine),
+        Box::new(OpenMpNodeEngine),
+        Box::new(ParEdgeEngine),
+        Box::new(ParNodeEngine),
+        Box::new(CudaEdgeEngine::new(Device::new(PASCAL_GTX1070))),
+        Box::new(CudaNodeEngine::new(Device::new(PASCAL_GTX1070))),
+        Box::new(OpenAccEngine::new(
+            Device::new(PASCAL_GTX1070),
+            Paradigm::Node,
+        )),
+    ]
+}
+
+#[test]
+fn every_engine_populates_per_iteration() {
+    let base = synthetic(300, 1200, &GenOptions::new(2).with_seed(7));
+    for opts in [BpOptions::default(), BpOptions::with_work_queue()] {
+        for engine in engines() {
+            let mut g = base.clone();
+            let stats = engine.run(&mut g, &opts).unwrap();
+            assert_eq!(
+                stats.per_iteration.len(),
+                stats.iterations as usize,
+                "{} (queue={}): one IterationStats per iteration",
+                stats.engine,
+                opts.work_queue
+            );
+            let nodes: u64 = stats.per_iteration.iter().map(|s| s.node_updates).sum();
+            let msgs: u64 = stats.per_iteration.iter().map(|s| s.message_updates).sum();
+            assert_eq!(nodes, stats.node_updates, "{}: node_updates", stats.engine);
+            assert_eq!(
+                msgs, stats.message_updates,
+                "{}: message_updates",
+                stats.engine
+            );
+            // Cumulative counts are monotone: every iteration's
+            // contribution is non-negative, and queue depth is bounded by
+            // the graph.
+            for (i, it) in stats.per_iteration.iter().enumerate() {
+                assert!(
+                    it.queue_depth <= base.num_nodes() as u64 + base.num_arcs() as u64,
+                    "{} iter {i}: queue depth out of range",
+                    stats.engine
+                );
+                assert!(
+                    it.delta.is_finite() && it.delta >= 0.0,
+                    "{} iter {i}: delta must be finite and non-negative",
+                    stats.engine
+                );
+            }
+            // The last iteration's delta is what the run converged on.
+            if stats.converged && !opts.work_queue {
+                let last = stats.per_iteration.last().unwrap();
+                assert!(
+                    last.delta <= opts.threshold,
+                    "{}: final per-iteration delta {} above threshold",
+                    stats.engine,
+                    last.delta
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn seq_and_par_node_trajectories_agree() {
+    let base = synthetic(400, 1600, &GenOptions::new(3).with_seed(11));
+    let opts = BpOptions::default();
+    let mut g_seq = base.clone();
+    let mut g_par = base.clone();
+    let seq = SeqNodeEngine.run(&mut g_seq, &opts).unwrap();
+    let par = ParNodeEngine
+        .run(&mut g_par, &opts.with_threads(2))
+        .unwrap();
+    assert_eq!(seq.iterations, par.iterations);
+    assert_eq!(seq.per_iteration.len(), par.per_iteration.len());
+    for (i, (a, b)) in seq.per_iteration.iter().zip(&par.per_iteration).enumerate() {
+        // The Par engines use deterministic ascending-order reductions, so
+        // the residual trajectory matches the sequential engine bit for
+        // bit, not just approximately.
+        assert_eq!(a.delta, b.delta, "iteration {i}: delta trajectories");
+        assert_eq!(a.node_updates, b.node_updates, "iteration {i}");
+        assert_eq!(a.message_updates, b.message_updates, "iteration {i}");
+    }
+    assert_eq!(g_seq.beliefs(), g_par.beliefs());
+}
+
+/// Runs a CPU and a simulated-GPU engine into one buffer and validates
+/// the chrome exporter's output: parseable `trace_event` JSON, spans
+/// properly nested per track, no negative durations.
+#[test]
+fn chrome_trace_export_is_valid_and_nested() {
+    let buffer = Arc::new(TraceBuffer::new());
+    let trace = Dispatch::new(buffer.clone());
+    let base = synthetic(200, 800, &GenOptions::new(2).with_seed(3));
+    let mut g = base.clone();
+    SeqNodeEngine
+        .run_traced(&mut g, &BpOptions::default(), &trace)
+        .unwrap();
+    let mut g = base.clone();
+    CudaNodeEngine::new(Device::new(PASCAL_GTX1070))
+        .run_traced(&mut g, &BpOptions::default(), &trace)
+        .unwrap();
+
+    let json = buffer.to_chrome_json();
+    let doc: Value = serde_json::from_str(&json).expect("chrome trace parses");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+
+    let mut complete_by_track: HashMap<(i64, i64), Vec<(f64, f64)>> = HashMap::new();
+    let mut saw_iteration = false;
+    let mut saw_kernel = false;
+    let mut saw_transfer = false;
+    for ev in events {
+        let ph = ev.get("ph").and_then(Value::as_str).expect("phase");
+        let name = ev.get("name").and_then(Value::as_str).unwrap_or("");
+        match ph {
+            "X" => {
+                let ts = ev.get("ts").and_then(Value::as_f64).expect("ts");
+                let dur = ev.get("dur").and_then(Value::as_f64).expect("dur");
+                assert!(dur >= 0.0, "negative duration on {name}");
+                assert!(ts >= 0.0, "negative timestamp on {name}");
+                let pid = ev.get("pid").and_then(Value::as_i64).expect("pid");
+                let tid = ev.get("tid").and_then(Value::as_i64).expect("tid");
+                complete_by_track
+                    .entry((pid, tid))
+                    .or_default()
+                    .push((ts, ts + dur));
+                saw_iteration |= name == "iteration";
+                saw_kernel |= name == "bp_node_update";
+                saw_transfer |= name == "h2d" || name == "d2h";
+            }
+            "C" | "i" | "M" => {}
+            other => panic!("unexpected phase {other}"),
+        }
+    }
+    assert!(saw_iteration, "per-iteration spans for the CPU engine");
+    assert!(saw_kernel, "per-kernel spans for the simulated GPU engine");
+    assert!(saw_transfer, "PCIe transfer spans");
+
+    // Within a track, spans must nest: any two either don't overlap or one
+    // contains the other (chrome://tracing renders anything else wrong).
+    for ((pid, tid), spans) in complete_by_track {
+        for (i, &(s1, e1)) in spans.iter().enumerate() {
+            for &(s2, e2) in &spans[i + 1..] {
+                let disjoint = e1 <= s2 || e2 <= s1;
+                let nested = (s1 <= s2 && e2 <= e1) || (s2 <= s1 && e1 <= e2);
+                assert!(
+                    disjoint || nested,
+                    "spans ({s1},{e1}) and ({s2},{e2}) overlap without nesting on {pid}/{tid}"
+                );
+            }
+        }
+    }
+}
+
+/// The JSON-lines sink emits one parseable record per line with the
+/// expected kinds.
+#[test]
+fn json_lines_are_parseable_records() {
+    let buffer = Arc::new(TraceBuffer::new());
+    let trace = Dispatch::new(buffer.clone());
+    let mut g = synthetic(100, 400, &GenOptions::new(2).with_seed(5));
+    SeqNodeEngine
+        .run_traced(&mut g, &BpOptions::default(), &trace)
+        .unwrap();
+    let lines = buffer.to_json_lines();
+    assert!(!lines.is_empty());
+    for line in lines.lines() {
+        let v: Value = serde_json::from_str(line).expect("record parses");
+        let kind = v.get("kind").and_then(Value::as_str).expect("kind");
+        assert!(
+            ["span", "event", "counter"].contains(&kind),
+            "unexpected kind {kind}"
+        );
+    }
+}
