@@ -1,0 +1,113 @@
+//! Microbenchmarks for the packed message microkernels: the generic
+//! scalar kernel vs the fully-unrolled cardinality-2/4 fast paths vs the
+//! `f32x8`-blocked wide kernel, plus the packed combine primitives.
+//!
+//! CI runs this with `CRITERION_JSON=BENCH_kernel_microbench.json` so the
+//! per-kernel best-of-N times land next to the engine-level artefacts.
+
+use credo_core::kernels::{
+    message_card2, message_card4, message_generic, message_packed, message_wide, mul_assign_packed,
+    normalize_packed,
+};
+use credo_graph::JointMatrix;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn potential(rows: usize, cols: usize) -> Vec<f32> {
+    (0..rows * cols)
+        .map(|i| 0.1 + (i % 7) as f32 * 0.11)
+        .collect()
+}
+
+fn belief(card: usize) -> Vec<f32> {
+    (0..card).map(|i| 0.2 + (i % 3) as f32 * 0.25).collect()
+}
+
+fn bench_card2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("message_card2");
+    let pot = potential(2, 2);
+    let src = belief(2);
+    let mut out = vec![0.0f32; 2];
+    group.bench_function("scalar_generic", |b| {
+        b.iter(|| message_generic(black_box(&src), black_box(&pot), black_box(&mut out)))
+    });
+    group.bench_function("unrolled", |b| {
+        b.iter(|| message_card2(black_box(&src), black_box(&pot), black_box(&mut out)))
+    });
+    let m = JointMatrix::from_rows(2, 2, pot.clone());
+    let bel = credo_graph::Belief::from_slice(&src);
+    group.bench_function("aos_jointmatrix", |b| b.iter(|| black_box(m.message(&bel))));
+    group.finish();
+}
+
+fn bench_card4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("message_card4");
+    let pot = potential(4, 4);
+    let src = belief(4);
+    let mut out = vec![0.0f32; 4];
+    group.bench_function("scalar_generic", |b| {
+        b.iter(|| message_generic(black_box(&src), black_box(&pot), black_box(&mut out)))
+    });
+    group.bench_function("unrolled", |b| {
+        b.iter(|| message_card4(black_box(&src), black_box(&pot), black_box(&mut out)))
+    });
+    group.finish();
+}
+
+fn bench_wide(c: &mut Criterion) {
+    let mut group = c.benchmark_group("message_wide");
+    for &k in &[8usize, 16, 32] {
+        let pot = potential(k, k);
+        let src = belief(k);
+        let mut out = vec![0.0f32; k];
+        group.bench_with_input(BenchmarkId::new("scalar_generic", k), &k, |b, _| {
+            b.iter(|| message_generic(black_box(&src), black_box(&pot), black_box(&mut out)))
+        });
+        group.bench_with_input(BenchmarkId::new("f32x8", k), &k, |b, _| {
+            b.iter(|| message_wide(black_box(&src), black_box(&pot), black_box(&mut out)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    // The dispatcher the hot loop actually calls, across the shapes the
+    // fast paths specialize on.
+    let mut group = c.benchmark_group("message_packed_dispatch");
+    for &k in &[2usize, 4, 8, 32] {
+        let pot = potential(k, k);
+        let src = belief(k);
+        let mut out = vec![0.0f32; k];
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| message_packed(black_box(&src), black_box(&pot), black_box(&mut out)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_combine_packed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("combine_packed");
+    for &k in &[2usize, 8, 32] {
+        let msg = belief(k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                let mut acc = belief(k);
+                for _ in 0..8 {
+                    mul_assign_packed(black_box(&mut acc), black_box(&msg));
+                }
+                black_box(normalize_packed(black_box(&mut acc)))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_card2,
+    bench_card4,
+    bench_wide,
+    bench_dispatch,
+    bench_combine_packed
+);
+criterion_main!(benches);

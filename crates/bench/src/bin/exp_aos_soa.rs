@@ -1,16 +1,30 @@
-//! §3.4 — AoS vs SoA belief layout under the cache simulator.
+//! §3.4 — belief memory layout under the cache simulator: AoS vs SoA vs
+//! the compiled packed plan.
 //!
 //! Paper: profiling with valgrind's cachegrind over the synthetic graphs
 //! up to 100kx400k, "the AoS approach has circa 56% fewer data cache reads
 //! and writes." This experiment replays the node-paradigm access pattern
 //! (each node reads every parent's belief, then writes its own) through
-//! both layouts and counts accesses and misses with `credo-cachesim`.
+//! three layouts and counts accesses and misses with `credo-cachesim`:
+//!
+//! * **AoS** — `Vec<Belief>`: one 132-byte record per node, dims and
+//!   probabilities co-located (the paper's winner at 32-state padding);
+//! * **SoA** — [`SoaBeliefs`]: separate offset/dim/probability arrays
+//!   (the paper's strawman, two extra table lookups per read);
+//! * **Packed** — [`credo_graph::ExecGraph`]: cardinality-packed
+//!   prefix-offset floats with pre-resolved arc tuples, so a read streams
+//!   one 12-byte tuple plus exactly `card` floats — no padding, no
+//!   lookups.
+//!
+//! Alongside the cache counters, each row reports the mean bytes each
+//! layout must move per message (record vs tables vs packed tuple), the
+//! quantity the plan's ≥1.3x node-paradigm speedup comes from.
 
 use credo_bench::report::{save_json, Table};
 use credo_bench::scale_from_args;
 use credo_bench::suite::{GraphKind, TABLE1};
 use credo_cachesim::{CacheConfig, CacheSim};
-use credo_graph::{aos_trace_read, SoaBeliefs};
+use credo_graph::{aos_trace_read, Belief, SoaBeliefs};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -18,9 +32,15 @@ struct Row {
     graph: String,
     aos_accesses: u64,
     soa_accesses: u64,
+    packed_accesses: u64,
     aos_misses: u64,
     soa_misses: u64,
-    access_reduction_pct: f64,
+    packed_misses: u64,
+    aos_vs_soa_access_reduction_pct: f64,
+    packed_vs_aos_miss_reduction_pct: f64,
+    aos_bytes_per_message: f64,
+    soa_bytes_per_message: f64,
+    packed_bytes_per_message: f64,
 }
 
 fn main() {
@@ -28,7 +48,7 @@ fn main() {
     let prog = credo_bench::progress_from_args();
     credo_bench::progress(
         &prog,
-        &format!("§3.4: AoS vs SoA layout, cachegrind-style (scale: {scale:?}, beliefs: 2)"),
+        &format!("§3.4: AoS vs SoA vs packed-plan layout, cachegrind-style (scale: {scale:?}, beliefs: 2)"),
     );
     let subset: Vec<_> = TABLE1
         .iter()
@@ -39,38 +59,53 @@ fn main() {
         "Graph",
         "AoS refs",
         "SoA refs",
+        "Packed refs",
         "AoS misses",
         "SoA misses",
-        "AoS reduction",
+        "Packed misses",
+        "AoS red.",
+        "Packed miss red.",
+        "B/msg AoS",
+        "B/msg packed",
     ]);
     let mut rows = Vec::new();
     for spec in &subset {
         let g = spec.generate(scale, 2);
         let soa = SoaBeliefs::from_aos(g.beliefs());
+        let plan = g.compile();
         let mut aos_cache = CacheSim::new(CacheConfig::i7_l1d());
         let mut soa_cache = CacheSim::new(CacheConfig::i7_l1d());
+        let mut packed_cache = CacheSim::new(CacheConfig::i7_l1d());
         let mut trace: Vec<u64> = Vec::new();
 
         // One BP iteration's node-paradigm access pattern over each layout.
         for v in 0..g.num_nodes() as u32 {
-            // Reads: each parent's belief (random-order lookups, §3.3).
+            // Reads: each parent's belief (random-order lookups, §3.3). The
+            // packed plan streams pre-resolved arc tuples instead of
+            // chasing arc records.
             for &a in g.in_arcs(v) {
                 let src = g.arc(a).src;
                 trace.clear();
                 aos_trace_read(src as usize, g.cardinality(src), &mut trace);
-                let src = src as usize;
                 for &addr in &trace {
                     aos_cache.read(addr);
                 }
                 trace.clear();
-                soa.trace_read(src, &mut trace);
+                soa.trace_read(src as usize, &mut trace);
                 for &addr in &trace {
                     soa_cache.read(addr);
                 }
             }
+            for arc_index in plan.in_arc_range(v) {
+                trace.clear();
+                plan.trace_arc_read(arc_index, &mut trace);
+                for &addr in &trace {
+                    packed_cache.read(addr);
+                }
+            }
             // Write: own belief.
             trace.clear();
-            aos_trace_read(v as usize, 2, &mut trace);
+            aos_trace_read(v as usize, g.cardinality(v), &mut trace);
             for &addr in &trace {
                 aos_cache.write(addr);
             }
@@ -79,31 +114,68 @@ fn main() {
             for &addr in &trace {
                 soa_cache.write(addr);
             }
+            trace.clear();
+            plan.trace_belief_write(v, &mut trace);
+            for &addr in &trace {
+                packed_cache.write(addr);
+            }
         }
 
-        let (a, s) = (aos_cache.stats(), soa_cache.stats());
+        let (a, s, p) = (aos_cache.stats(), soa_cache.stats(), packed_cache.stats());
         let reduction = 100.0 * (1.0 - a.accesses() as f64 / s.accesses() as f64);
+        let miss_reduction = 100.0 * (1.0 - p.misses() as f64 / a.misses() as f64);
+        // Bytes each layout moves per message: the AoS record, the SoA
+        // tables + floats, or the packed tuple + packed floats (cached
+        // mat-vec inputs under shared potentials).
+        let mean_card =
+            g.beliefs().iter().map(|b| b.len() as f64).sum::<f64>() / g.num_nodes().max(1) as f64;
+        let aos_bytes = std::mem::size_of::<Belief>() as f64;
+        let soa_bytes = 2.0 * std::mem::size_of::<usize>() as f64 + 4.0 + mean_card * 4.0;
+        let packed_bytes = plan.mean_bytes_per_message(plan.is_shared());
         table.row(&[
             spec.abbrev.to_string(),
             a.accesses().to_string(),
             s.accesses().to_string(),
+            p.accesses().to_string(),
             a.misses().to_string(),
             s.misses().to_string(),
+            p.misses().to_string(),
             format!("{reduction:.1}%"),
+            format!("{miss_reduction:.1}%"),
+            format!("{aos_bytes:.0}"),
+            format!("{packed_bytes:.1}"),
         ]);
         rows.push(Row {
             graph: spec.abbrev.to_string(),
             aos_accesses: a.accesses(),
             soa_accesses: s.accesses(),
+            packed_accesses: p.accesses(),
             aos_misses: a.misses(),
             soa_misses: s.misses(),
-            access_reduction_pct: reduction,
+            packed_misses: p.misses(),
+            aos_vs_soa_access_reduction_pct: reduction,
+            packed_vs_aos_miss_reduction_pct: miss_reduction,
+            aos_bytes_per_message: aos_bytes,
+            soa_bytes_per_message: soa_bytes,
+            packed_bytes_per_message: packed_bytes,
         });
     }
     table.print();
-    let mean: f64 =
-        rows.iter().map(|r| r.access_reduction_pct).sum::<f64>() / rows.len().max(1) as f64;
-    println!("\nMean D-cache access reduction with AoS: {mean:.1}% (paper: ~56%)");
+    let mean: f64 = rows
+        .iter()
+        .map(|r| r.aos_vs_soa_access_reduction_pct)
+        .sum::<f64>()
+        / rows.len().max(1) as f64;
+    println!("\nMean D-cache access reduction with AoS over SoA: {mean:.1}% (paper: ~56%)");
+    // Small graphs are cache-resident, so their packed numbers are all
+    // compulsory misses on the extra arc-tuple address space; the largest
+    // graph is the one whose working set actually pressures L1.
+    if let Some(last) = rows.last() {
+        println!(
+            "D-cache miss reduction with the packed plan over AoS on {}: {:.1}%",
+            last.graph, last.packed_vs_aos_miss_reduction_pct
+        );
+    }
     if let Ok(p) = save_json("aos_soa", &rows) {
         println!("JSON: {}", p.display());
     }

@@ -42,6 +42,12 @@ struct Row {
     /// Par-engine wall-clock speedup over the OpenMP-analogue engine of
     /// the same paradigm on the same graph (None for non-Par rows).
     speedup_vs_openmp: Option<f64>,
+    /// Plan-lowered Par engine speedup over the same engine forced onto
+    /// the direct (un-lowered) path (None for non-plan rows).
+    speedup_plan_vs_direct: Option<f64>,
+    /// Mean bytes the compiled plan moves per message on this graph
+    /// (None for rows that never touch the packed layout).
+    bytes_per_message: Option<f64>,
 }
 
 /// CI guard for the zero-cost claim (`--overhead-check`): Seq Node on the
@@ -108,9 +114,48 @@ fn overhead_check() {
     println!("OK: tracing overhead within 2%");
 }
 
+/// CI guard for the plan lowering (`--plan-smoke`): Seq Node on the 100k
+/// synthetic graph, best-of-5 wall clock, plan-lowered vs the direct
+/// path. Exits non-zero when the plan is more than 2% slower — lowering
+/// must never cost the sequential baseline anything.
+fn plan_smoke() {
+    let opts = credo_bench::apply_max_iters(BpOptions::default());
+    let g = synthetic(100_000, 400_000, &GenOptions::new(2).with_seed(42));
+    let rounds = 5;
+    let time = |o: &BpOptions| {
+        let mut work = g.clone();
+        run_clean(&SeqNodeEngine, &mut work, o)
+            .unwrap()
+            .reported_time
+            .as_secs_f64()
+    };
+    let direct_opts = opts.without_exec_plan();
+    // Warm up, then interleave so machine-load drift hits both equally.
+    time(&opts);
+    let (mut plan, mut direct) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..rounds {
+        plan = plan.min(time(&opts));
+        direct = direct.min(time(&direct_opts));
+    }
+    println!(
+        "Seq Node 100kx400k best-of-{rounds}: plan {} vs direct {} ({:+.2}%)",
+        fmt_secs(plan),
+        fmt_secs(direct),
+        (plan / direct - 1.0) * 100.0,
+    );
+    if plan > direct * 1.02 {
+        eprintln!("FAIL: plan-lowered Seq Node is more than 2% slower than the direct path");
+        std::process::exit(1);
+    }
+    println!("OK: plan lowering does not slow the sequential baseline");
+}
+
 fn main() {
     if credo_bench::flag_present("--overhead-check") {
         return overhead_check();
+    }
+    if credo_bench::flag_present("--plan-smoke") {
+        return plan_smoke();
     }
     let scale = scale_from_args();
     let threads: usize = flag_value("--threads")
@@ -149,14 +194,20 @@ fn main() {
         "paradigm",
         "Seq",
         "OpenMP",
-        "Par",
+        "Par direct",
+        "Par plan",
+        "Plan/Direct",
         "Par/OpenMP",
         "Par CAS",
+        "B/msg",
     ]);
     let mut rows: Vec<Row> = Vec::new();
     for &(n, e) in &sizes {
         let name = format!("{n}x{e}");
         let g = synthetic(n, e, &GenOptions::new(2).with_seed(42));
+        let plan = g.compile();
+        let bytes_per_message = plan.mean_bytes_per_message(plan.is_shared());
+        drop(plan);
         for paradigm in [Paradigm::Edge, Paradigm::Node] {
             let (seq, omp, par): (Box<dyn BpEngine>, Box<dyn BpEngine>, Box<dyn BpEngine>) =
                 match paradigm {
@@ -174,25 +225,47 @@ fn main() {
             let mut work = g.clone();
             let s_seq = run_clean(seq.as_ref(), &mut work, &opts).unwrap();
             let s_omp = run_clean(omp.as_ref(), &mut work, &opts.with_threads(threads)).unwrap();
+            // The same Par engine down both hot paths: PR-1's direct AoS
+            // traversal vs the compiled packed plan (the default).
+            let s_par_direct = run_clean(
+                par.as_ref(),
+                &mut work,
+                &par_opts.with_threads(threads).without_exec_plan(),
+            )
+            .unwrap();
             let s_par =
                 run_clean(par.as_ref(), &mut work, &par_opts.with_threads(threads)).unwrap();
             let speedup = s_omp.reported_time.as_secs_f64() / s_par.reported_time.as_secs_f64();
+            let plan_speedup =
+                s_par_direct.reported_time.as_secs_f64() / s_par.reported_time.as_secs_f64();
             table.row(&[
                 name.clone(),
                 paradigm.to_string(),
                 fmt_secs(s_seq.reported_time.as_secs_f64()),
                 fmt_secs(s_omp.reported_time.as_secs_f64()),
+                fmt_secs(s_par_direct.reported_time.as_secs_f64()),
                 fmt_secs(s_par.reported_time.as_secs_f64()),
+                fmt_speedup(plan_speedup),
                 fmt_speedup(speedup),
                 s_par.atomic_retries.to_string(),
+                format!("{bytes_per_message:.1}"),
             ]);
-            for (stats, sp) in [(&s_seq, None), (&s_omp, None), (&s_par, Some(speedup))] {
+            for (stats, direct, sp, plan_sp) in [
+                (&s_seq, false, None, None),
+                (&s_omp, false, None, None),
+                (&s_par_direct, true, None, None),
+                (&s_par, false, Some(speedup), Some(plan_speedup)),
+            ] {
                 rows.push(Row {
                     graph: name.clone(),
                     nodes: n,
                     edges: e,
                     paradigm: paradigm.to_string(),
-                    engine: stats.engine.to_string(),
+                    engine: if direct {
+                        format!("{} (direct)", stats.engine)
+                    } else {
+                        stats.engine.to_string()
+                    },
                     threads: if stats.engine.starts_with("C ") {
                         1
                     } else {
@@ -203,6 +276,12 @@ fn main() {
                     converged: stats.converged,
                     atomic_retries: stats.atomic_retries,
                     speedup_vs_openmp: sp,
+                    speedup_plan_vs_direct: plan_sp,
+                    bytes_per_message: if direct {
+                        None
+                    } else {
+                        Some(bytes_per_message)
+                    },
                 });
             }
         }
@@ -212,7 +291,7 @@ fn main() {
     println!();
     let par_rows: Vec<&Row> = rows
         .iter()
-        .filter(|r| r.engine.starts_with("Par"))
+        .filter(|r| r.speedup_vs_openmp.is_some())
         .collect();
     let geo = (par_rows
         .iter()
@@ -223,6 +302,16 @@ fn main() {
     println!(
         "geomean Par speedup over OpenMP-analogue: {}",
         fmt_speedup(geo)
+    );
+    let plan_geo = (par_rows
+        .iter()
+        .map(|r| r.speedup_plan_vs_direct.unwrap().ln())
+        .sum::<f64>()
+        / par_rows.len() as f64)
+        .exp();
+    println!(
+        "geomean plan speedup over the direct path: {}",
+        fmt_speedup(plan_geo)
     );
     let retries: u64 = par_rows.iter().map(|r| r.atomic_retries).sum();
     println!("total Par CAS retries: {retries} (deterministic reductions use none)");

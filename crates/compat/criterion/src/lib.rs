@@ -8,7 +8,39 @@
 //! batches and the fastest per-iteration time is reported.
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Every measurement taken this process, in registration order, so
+/// [`dump_json`] can persist the run. `(label, best nanoseconds)`.
+static RESULTS: Mutex<Vec<(String, u128)>> = Mutex::new(Vec::new());
+
+/// Writes all recorded measurements as a JSON array to the path in the
+/// `CRITERION_JSON` environment variable, if set. Called by the
+/// `criterion_main!`-generated `main` after every group has run; a no-op
+/// without the variable, so interactive `cargo bench` output is unchanged.
+pub fn dump_json() {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    let results = RESULTS.lock().unwrap();
+    let mut out = String::from("[\n");
+    for (i, (label, ns)) in results.iter().enumerate() {
+        let sep = if i + 1 == results.len() { "" } else { "," };
+        out.push_str(&format!(
+            "  {{\"bench\": \"{}\", \"best_ns\": {}}}{}\n",
+            label.replace('\\', "\\\\").replace('"', "\\\""),
+            ns,
+            sep
+        ));
+    }
+    out.push_str("]\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("criterion shim: failed to write {path}: {e}");
+    } else {
+        println!("criterion JSON: {path}");
+    }
+}
 
 /// Placeholder module so `criterion::measurement::WallTime` style paths
 /// resolve if a bench ever names them.
@@ -234,7 +266,10 @@ fn run_one<F: FnMut(&mut Bencher)>(group: Option<&str>, id: BenchmarkId, samples
     let mut bencher = Bencher::new(batches, 1);
     f(&mut bencher);
     match bencher.best {
-        Some(best) => println!("{label:<50} best of {batches}: {}", fmt_duration(best)),
+        Some(best) => {
+            println!("{label:<50} best of {batches}: {}", fmt_duration(best));
+            RESULTS.lock().unwrap().push((label, best.as_nanos()));
+        }
         None => println!("{label:<50} (no measurement recorded)"),
     }
 }
@@ -260,6 +295,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::dump_json();
         }
     };
 }

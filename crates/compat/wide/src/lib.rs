@@ -1,0 +1,250 @@
+//! Offline stand-in for the `wide` crate: the subset Credo's hot paths use.
+//!
+//! [`f32x8`] is an 8-lane single-precision SIMD vector. On x86-64 builds
+//! with AVX enabled at compile time (`-C target-cpu=native` or
+//! `-C target-feature=+avx`) the lane operations lower to one `__m256`
+//! instruction each via `std::arch`; everywhere else a portable
+//! fixed-size-array implementation is used, which LLVM auto-vectorizes to
+//! the widest units the baseline target offers (two 128-bit ops under the
+//! x86-64 SSE2 baseline). Both paths perform the same IEEE operations
+//! lane-by-lane, so results are bit-identical across backends.
+//!
+//! Lane operations are element-wise only — no horizontal reductions are
+//! provided on the fast path. Credo's kernels keep reductions (sums,
+//! maxima) in scalar ascending-lane order so that vectorized and scalar
+//! code produce bit-identical results; [`f32x8::to_array`] hands the lanes
+//! back for exactly that.
+
+#![allow(non_camel_case_types)]
+
+use core::ops::{Add, AddAssign, Div, Mul, MulAssign, Sub, SubAssign};
+
+/// Number of lanes in an [`f32x8`].
+pub const LANES: usize = 8;
+
+/// An 8-lane `f32` SIMD vector.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[repr(C, align(32))]
+pub struct f32x8 {
+    lanes: [f32; LANES],
+}
+
+impl f32x8 {
+    /// All lanes zero.
+    pub const ZERO: f32x8 = f32x8 { lanes: [0.0; 8] };
+    /// All lanes one.
+    pub const ONE: f32x8 = f32x8 { lanes: [1.0; 8] };
+
+    /// Broadcasts `v` into every lane.
+    #[inline(always)]
+    pub fn splat(v: f32) -> Self {
+        f32x8 { lanes: [v; LANES] }
+    }
+
+    /// Builds a vector from an array of lanes.
+    #[inline(always)]
+    pub fn new(lanes: [f32; LANES]) -> Self {
+        f32x8 { lanes }
+    }
+
+    /// Loads 8 lanes from the start of `slice`.
+    ///
+    /// # Panics
+    /// Panics if `slice.len() < 8`.
+    #[inline(always)]
+    pub fn from_slice(slice: &[f32]) -> Self {
+        let mut lanes = [0.0f32; LANES];
+        lanes.copy_from_slice(&slice[..LANES]);
+        f32x8 { lanes }
+    }
+
+    /// The lanes as an array.
+    #[inline(always)]
+    pub fn to_array(self) -> [f32; LANES] {
+        self.lanes
+    }
+
+    /// Stores the lanes into the start of `slice`.
+    ///
+    /// # Panics
+    /// Panics if `slice.len() < 8`.
+    #[inline(always)]
+    pub fn write_to_slice(self, slice: &mut [f32]) {
+        slice[..LANES].copy_from_slice(&self.lanes);
+    }
+
+    /// Lane-wise maximum. For the non-negative finite values Credo feeds
+    /// it, this matches `f32::max` in every lane on both backends.
+    #[inline(always)]
+    pub fn max(self, rhs: Self) -> Self {
+        #[cfg(all(target_arch = "x86_64", target_feature = "avx"))]
+        // SAFETY: the `avx` target feature is statically enabled.
+        unsafe {
+            use core::arch::x86_64::*;
+            let a = _mm256_loadu_ps(self.lanes.as_ptr());
+            let b = _mm256_loadu_ps(rhs.lanes.as_ptr());
+            let mut out = f32x8::ZERO;
+            _mm256_storeu_ps(out.lanes.as_mut_ptr(), _mm256_max_ps(a, b));
+            out
+        }
+        #[cfg(not(all(target_arch = "x86_64", target_feature = "avx")))]
+        {
+            let mut out = self;
+            for (o, r) in out.lanes.iter_mut().zip(&rhs.lanes) {
+                *o = o.max(*r);
+            }
+            out
+        }
+    }
+
+    /// Lane-wise minimum (same caveats as [`f32x8::max`]).
+    #[inline(always)]
+    pub fn min(self, rhs: Self) -> Self {
+        let mut out = self;
+        for (o, r) in out.lanes.iter_mut().zip(&rhs.lanes) {
+            *o = o.min(*r);
+        }
+        out
+    }
+}
+
+impl From<[f32; LANES]> for f32x8 {
+    #[inline(always)]
+    fn from(lanes: [f32; LANES]) -> Self {
+        f32x8 { lanes }
+    }
+}
+
+impl From<f32x8> for [f32; LANES] {
+    #[inline(always)]
+    fn from(v: f32x8) -> Self {
+        v.lanes
+    }
+}
+
+macro_rules! lanewise_binop {
+    ($trait:ident, $method:ident, $op:tt, $intrinsic:ident) => {
+        impl $trait for f32x8 {
+            type Output = f32x8;
+            #[inline(always)]
+            fn $method(self, rhs: f32x8) -> f32x8 {
+                #[cfg(all(target_arch = "x86_64", target_feature = "avx"))]
+                // SAFETY: the `avx` target feature is statically enabled.
+                unsafe {
+                    use core::arch::x86_64::*;
+                    let a = _mm256_loadu_ps(self.lanes.as_ptr());
+                    let b = _mm256_loadu_ps(rhs.lanes.as_ptr());
+                    let mut out = f32x8::ZERO;
+                    _mm256_storeu_ps(out.lanes.as_mut_ptr(), $intrinsic(a, b));
+                    out
+                }
+                #[cfg(not(all(target_arch = "x86_64", target_feature = "avx")))]
+                {
+                    let mut out = self;
+                    for (o, r) in out.lanes.iter_mut().zip(&rhs.lanes) {
+                        *o = *o $op *r;
+                    }
+                    out
+                }
+            }
+        }
+    };
+}
+
+lanewise_binop!(Add, add, +, _mm256_add_ps);
+lanewise_binop!(Sub, sub, -, _mm256_sub_ps);
+lanewise_binop!(Mul, mul, *, _mm256_mul_ps);
+lanewise_binop!(Div, div, /, _mm256_div_ps);
+
+impl AddAssign for f32x8 {
+    #[inline(always)]
+    fn add_assign(&mut self, rhs: f32x8) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for f32x8 {
+    #[inline(always)]
+    fn sub_assign(&mut self, rhs: f32x8) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for f32x8 {
+    #[inline(always)]
+    fn mul_assign(&mut self, rhs: f32x8) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f32> for f32x8 {
+    type Output = f32x8;
+    #[inline(always)]
+    fn mul(self, rhs: f32) -> f32x8 {
+        self * f32x8::splat(rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splat_and_roundtrip() {
+        let v = f32x8::splat(2.5);
+        assert_eq!(v.to_array(), [2.5; 8]);
+        let arr = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        assert_eq!(f32x8::new(arr).to_array(), arr);
+        assert_eq!(f32x8::from(arr), f32x8::new(arr));
+    }
+
+    #[test]
+    fn arithmetic_is_lanewise() {
+        let a = f32x8::new([1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        let b = f32x8::splat(2.0);
+        assert_eq!((a + b).to_array()[0], 3.0);
+        assert_eq!((a - b).to_array()[7], 6.0);
+        assert_eq!((a * b).to_array()[2], 6.0);
+        assert_eq!((a / b).to_array()[3], 2.0);
+        let mut c = a;
+        c *= b;
+        assert_eq!(c, a * b);
+        c += b;
+        assert_eq!(c.to_array()[0], 4.0);
+        c -= b;
+        assert_eq!(c, a * b);
+    }
+
+    #[test]
+    fn lanewise_ops_match_scalar_bits() {
+        // The backend contract: every lane op produces exactly the scalar
+        // IEEE result, so SIMD and scalar kernels agree to the bit.
+        let a = f32x8::new([0.1, 1e-20, 3.7e8, 0.333, 9.99, 1e-7, 0.5, 2.0]);
+        let b = f32x8::new([0.9, 7.0, 1e-3, 3.0, 0.1, 1e7, 0.25, 0.125]);
+        let prod = (a * b).to_array();
+        let sum = (a + b).to_array();
+        for i in 0..LANES {
+            assert_eq!(prod[i].to_bits(), (a.to_array()[i] * b.to_array()[i]).to_bits());
+            assert_eq!(sum[i].to_bits(), (a.to_array()[i] + b.to_array()[i]).to_bits());
+        }
+    }
+
+    #[test]
+    fn max_and_min_are_lanewise() {
+        let a = f32x8::new([1.0, 5.0, 2.0, 8.0, 0.0, 3.0, 7.0, 4.0]);
+        let b = f32x8::splat(3.5);
+        assert_eq!(a.max(b).to_array(), [3.5, 5.0, 3.5, 8.0, 3.5, 3.5, 7.0, 4.0]);
+        assert_eq!(a.min(b).to_array(), [1.0, 3.5, 2.0, 3.5, 0.0, 3.0, 3.5, 3.5]);
+    }
+
+    #[test]
+    fn slice_io() {
+        let data: Vec<f32> = (0..10).map(|i| i as f32).collect();
+        let v = f32x8::from_slice(&data[1..]);
+        assert_eq!(v.to_array(), [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        let mut out = vec![0.0f32; 9];
+        v.write_to_slice(&mut out[1..]);
+        assert_eq!(&out[1..9], v.to_array());
+        assert_eq!(out[0], 0.0);
+    }
+}

@@ -21,6 +21,7 @@ mod convergence;
 mod engine;
 mod math;
 mod opts;
+mod plan;
 mod queue;
 mod stats;
 
@@ -30,6 +31,7 @@ pub mod seq;
 
 pub use convergence::ConvergenceTracker;
 pub use engine::{BpEngine, EngineError, Paradigm, Platform};
+pub use math::kernels;
 pub use math::{combine_incoming, node_update};
 pub use opts::BpOptions;
 pub use queue::WorkQueue;

@@ -1,0 +1,292 @@
+//! Message microkernels over cardinality-packed (plan-lowered) arrays.
+//!
+//! These are the [`crate::plan`] hot loops: the same arithmetic as
+//! [`credo_graph::JointMatrix::message`] and the [`credo_graph::Belief`]
+//! combine operations, restated over flat `&[f32]` slices so the compiled
+//! [`credo_graph::ExecGraph`] layout never rehydrates the 132-byte AoS
+//! records.
+//!
+//! # Bit-identity contract
+//!
+//! Every kernel reproduces its AoS counterpart **bit for bit**:
+//!
+//! * accumulation runs parent-state-outer / child-state-inner, exactly as
+//!   `JointMatrix::message` does, so the f32 addition order is unchanged;
+//! * max folds start from `0.0` and visit states in ascending order (the
+//!   `scale_max_to_one` order) — and since all inputs are non-negative and
+//!   NaN-free, the fold is also order-insensitive;
+//! * scaling multiplies by one precomputed reciprocal, never divides;
+//! * SIMD is used only for element-wise work (products, scaling), where
+//!   each lane is the exact scalar IEEE operation; reductions stay scalar.
+//!
+//! The monomorphized cardinality-2/4 paths unroll the loops completely
+//! (the paper's binary and virus-propagation use cases); cardinality ≥ 8
+//! streams the child states through [`f32x8`] lanes; everything else takes
+//! the generic scalar path.
+
+use wide::{f32x8, LANES};
+
+/// Computes the update message `out[c] = Σ_p src[p] · pot[p·C + c]`,
+/// scaled so its maximum entry is one — the packed counterpart of
+/// [`credo_graph::JointMatrix::message`]. `pot` is row-major
+/// `src.len() × out.len()`.
+///
+/// # Panics
+/// Debug-asserts the shape agreement.
+#[inline]
+pub fn message_packed(src: &[f32], pot: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(pot.len(), src.len() * out.len(), "potential shape");
+    match (src.len(), out.len()) {
+        (2, 2) => message_card2(src, pot, out),
+        (4, 4) => message_card4(src, pot, out),
+        _ if out.len() >= LANES => message_wide(src, pot, out),
+        _ => message_generic(src, pot, out),
+    }
+}
+
+/// Fully unrolled 2×2 kernel (the binary use case §2.3).
+#[inline(always)]
+pub fn message_card2(src: &[f32], pot: &[f32], out: &mut [f32]) {
+    // p-outer/c-inner accumulation, written out: (0 + b0·J) + b1·J.
+    // `0.0 + x == x` bitwise for the non-negative inputs BP feeds us.
+    let o0 = src[0] * pot[0] + src[1] * pot[2];
+    let o1 = src[0] * pot[1] + src[1] * pot[3];
+    let max = 0.0f32.max(o0).max(o1);
+    if max > 0.0 && max.is_finite() {
+        let inv = 1.0 / max;
+        out[0] = o0 * inv;
+        out[1] = o1 * inv;
+    } else {
+        out[0] = o0;
+        out[1] = o1;
+    }
+}
+
+/// Fully unrolled 4×4 kernel.
+#[inline(always)]
+pub fn message_card4(src: &[f32], pot: &[f32], out: &mut [f32]) {
+    let mut o = [0.0f32; 4];
+    for p in 0..4 {
+        let bp = src[p];
+        let row = &pot[p * 4..p * 4 + 4];
+        for c in 0..4 {
+            o[c] += bp * row[c];
+        }
+    }
+    let max = o.iter().fold(0.0f32, |a, &b| a.max(b));
+    if max > 0.0 && max.is_finite() {
+        let inv = 1.0 / max;
+        for c in 0..4 {
+            out[c] = o[c] * inv;
+        }
+    } else {
+        out.copy_from_slice(&o);
+    }
+}
+
+/// 8-lane kernel for child cardinality ≥ 8: each parent state broadcasts
+/// its belief across the row in [`f32x8`] blocks with a scalar tail. The
+/// per-lane accumulation order matches the scalar c-inner loop exactly.
+#[inline]
+pub fn message_wide(src: &[f32], pot: &[f32], out: &mut [f32]) {
+    let cols = out.len();
+    out.fill(0.0);
+    let blocks = cols / LANES;
+    for (p, &bp) in src.iter().enumerate() {
+        let row = &pot[p * cols..(p + 1) * cols];
+        let bpv = f32x8::splat(bp);
+        for blk in 0..blocks {
+            let lo = blk * LANES;
+            let acc = f32x8::from_slice(&out[lo..]) + f32x8::from_slice(&row[lo..]) * bpv;
+            acc.write_to_slice(&mut out[lo..]);
+        }
+        for c in blocks * LANES..cols {
+            out[c] += bp * row[c];
+        }
+    }
+    scale_max_to_one_packed(out);
+}
+
+/// Generic scalar kernel, any shape.
+#[inline]
+pub fn message_generic(src: &[f32], pot: &[f32], out: &mut [f32]) {
+    let cols = out.len();
+    out.fill(0.0);
+    for (p, &bp) in src.iter().enumerate() {
+        let row = &pot[p * cols..(p + 1) * cols];
+        for (c, &j) in row.iter().enumerate() {
+            out[c] += bp * j;
+        }
+    }
+    scale_max_to_one_packed(out);
+}
+
+/// Element-wise product accumulation `acc[i] *= msg[i]` — the packed
+/// [`credo_graph::Belief::mul_assign`]. SIMD blocks with a scalar tail;
+/// bit-identical either way.
+#[inline]
+pub fn mul_assign_packed(acc: &mut [f32], msg: &[f32]) {
+    debug_assert_eq!(acc.len(), msg.len(), "cardinality mismatch");
+    let blocks = acc.len() / LANES;
+    for blk in 0..blocks {
+        let lo = blk * LANES;
+        let prod = f32x8::from_slice(&acc[lo..]) * f32x8::from_slice(&msg[lo..]);
+        prod.write_to_slice(&mut acc[lo..]);
+    }
+    for i in blocks * LANES..acc.len() {
+        acc[i] *= msg[i];
+    }
+}
+
+/// Scales `v` so its maximum entry is one (packed
+/// [`credo_graph::Belief::scale_max_to_one`]): ascending scalar max fold
+/// from `0.0`, one reciprocal multiply.
+#[inline]
+pub fn scale_max_to_one_packed(v: &mut [f32]) {
+    let max = v.iter().fold(0.0f32, |a, &b| a.max(b));
+    if max > 0.0 && max.is_finite() {
+        let inv = 1.0 / max;
+        for x in v.iter_mut() {
+            *x *= inv;
+        }
+    }
+}
+
+/// Normalizes `v` to sum one, returning the pre-normalization sum `Z`;
+/// falls back to uniform on underflow — the packed
+/// [`credo_graph::Belief::normalize`]. The sum is the ascending scalar
+/// order `Iterator::sum` uses.
+#[inline]
+pub fn normalize_packed(v: &mut [f32]) -> f32 {
+    let sum: f32 = v.iter().sum();
+    if sum > 0.0 && sum.is_finite() {
+        let inv = 1.0 / sum;
+        for x in v.iter_mut() {
+            *x *= inv;
+        }
+    } else {
+        let p = 1.0 / v.len() as f32;
+        v.fill(p);
+    }
+    sum
+}
+
+/// L1 distance Σ|a−b| in ascending order — the packed
+/// [`credo_graph::Belief::l1_diff`].
+#[inline]
+pub fn l1_diff_packed(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len(), "cardinality mismatch");
+    let mut acc = 0.0f32;
+    for i in 0..a.len() {
+        acc += (a[i] - b[i]).abs();
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use credo_graph::{Belief, JointMatrix};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_belief(rng: &mut StdRng, n: usize) -> Belief {
+        let mut b = Belief::zeros(n);
+        for s in 0..n {
+            b.set(s, rng.gen_range(1e-8f32..1.0));
+        }
+        b
+    }
+
+    #[test]
+    fn packed_message_matches_jointmatrix_bitwise() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for &(r, c) in &[
+            (2, 2),
+            (3, 3),
+            (4, 4),
+            (2, 5),
+            (8, 8),
+            (5, 16),
+            (32, 32),
+            (17, 9),
+        ] {
+            for _ in 0..20 {
+                let m = JointMatrix::random(r, c, &mut rng);
+                let b = random_belief(&mut rng, r);
+                let aos = m.message(&b);
+                let mut out = vec![0.0f32; c];
+                message_packed(b.as_slice(), m.data(), &mut out);
+                for (s, &v) in out.iter().enumerate() {
+                    assert_eq!(
+                        v.to_bits(),
+                        aos.get(s).to_bits(),
+                        "state {s} of {r}x{c} kernel diverged"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn card2_handles_observed_sources() {
+        // A point-mass source exercises exact zeros through the unrolled path.
+        let m = JointMatrix::from_rows(2, 2, vec![0.9, 0.1, 0.2, 0.8]);
+        let b = Belief::observed(2, 1);
+        let aos = m.message(&b);
+        let mut out = [0.0f32; 2];
+        message_card2(b.as_slice(), m.data(), &mut out);
+        assert_eq!(out[0].to_bits(), aos.get(0).to_bits());
+        assert_eq!(out[1].to_bits(), aos.get(1).to_bits());
+    }
+
+    #[test]
+    fn all_zero_message_passes_through_unscaled() {
+        let m = JointMatrix::from_rows(2, 2, vec![0.0; 4]);
+        let b = Belief::from_slice(&[0.0, 0.0]);
+        let mut out = [7.0f32; 2];
+        message_card2(b.as_slice(), m.data(), &mut out);
+        assert_eq!(out, [0.0, 0.0]);
+        let mut out4 = [1.0f32; 4];
+        message_card4(&[0.0; 4], &[0.0; 16], &mut out4);
+        assert_eq!(out4, [0.0; 4]);
+    }
+
+    #[test]
+    fn combine_ops_match_belief_ops_bitwise() {
+        let mut rng = StdRng::seed_from_u64(23);
+        for &n in &[2usize, 3, 4, 7, 8, 11, 16, 32] {
+            let mut aos = random_belief(&mut rng, n);
+            let mut packed = aos.as_slice().to_vec();
+            for _ in 0..12 {
+                let m = random_belief(&mut rng, n);
+                aos.mul_assign(&m);
+                mul_assign_packed(&mut packed, m.as_slice());
+            }
+            aos.scale_max_to_one();
+            scale_max_to_one_packed(&mut packed);
+            let mut aos_n = aos;
+            let z_aos = aos_n.normalize();
+            let z_packed = normalize_packed(&mut packed);
+            assert_eq!(z_aos.to_bits(), z_packed.to_bits(), "Z diverged at n={n}");
+            for (s, &v) in packed.iter().enumerate() {
+                assert_eq!(v.to_bits(), aos_n.get(s).to_bits(), "n={n} s={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn normalize_underflow_falls_back_to_uniform() {
+        let mut v = vec![0.0f32; 4];
+        normalize_packed(&mut v);
+        assert_eq!(v, vec![0.25; 4]);
+    }
+
+    #[test]
+    fn l1_diff_matches_belief() {
+        let a = Belief::from_slice(&[0.1, 0.9, 0.3]);
+        let b = Belief::from_slice(&[0.4, 0.6, 0.2]);
+        let packed = l1_diff_packed(a.as_slice(), b.as_slice());
+        assert_eq!(packed.to_bits(), a.l1_diff(&b).to_bits());
+    }
+}

@@ -1,5 +1,8 @@
 //! The BP mathematics shared by every loopy engine (Algorithm 1, lines
-//! 6–11).
+//! 6–11), plus the packed-array microkernels ([`kernels`]) the compiled
+//! execution plan runs on.
+
+pub mod kernels;
 
 use credo_graph::{Belief, BeliefGraph, NodeId};
 

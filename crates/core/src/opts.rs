@@ -31,6 +31,13 @@ pub struct BpOptions {
     /// Updates stay double-buffered (Jacobi), so results are unchanged —
     /// this reorders memory traffic, not math. Other engines ignore it.
     pub residual_priority: bool,
+    /// Lower the graph into a compiled [`credo_graph::ExecGraph`] before
+    /// iterating (default **on**): beliefs and messages live in
+    /// cardinality-packed flat arrays, potentials are deduplicated into
+    /// one pool, and updates run through the SIMD message microkernels.
+    /// Results are bit-identical to the direct path; turning this off
+    /// keeps the original AoS traversal for layout ablations.
+    pub exec_plan: bool,
 }
 
 impl Default for BpOptions {
@@ -43,6 +50,7 @@ impl Default for BpOptions {
             wake_neighbors: true,
             threads: 0,
             residual_priority: false,
+            exec_plan: true,
         }
     }
 }
@@ -83,6 +91,19 @@ impl BpOptions {
         self.residual_priority = true;
         self
     }
+
+    /// Enables the compiled execution plan (the default).
+    pub fn with_exec_plan(mut self) -> Self {
+        self.exec_plan = true;
+        self
+    }
+
+    /// Disables the compiled execution plan, restoring the direct AoS
+    /// traversal — kept for layout ablations and as a reference path.
+    pub fn without_exec_plan(mut self) -> Self {
+        self.exec_plan = false;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -96,6 +117,14 @@ mod tests {
         assert_eq!(o.max_iterations, 200);
         assert!(!o.work_queue);
         assert!(o.wake_neighbors);
+        assert!(o.exec_plan, "the compiled plan is the default hot path");
+    }
+
+    #[test]
+    fn exec_plan_toggles() {
+        let off = BpOptions::default().without_exec_plan();
+        assert!(!off.exec_plan);
+        assert!(off.with_exec_plan().exec_plan);
     }
 
     #[test]

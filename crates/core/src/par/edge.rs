@@ -55,6 +55,15 @@ impl BpEngine for ParEdgeEngine {
         opts: &BpOptions,
         trace: &Dispatch,
     ) -> Result<BpStats, EngineError> {
+        if opts.exec_plan {
+            return crate::plan::run_edge_plan(
+                self.name(),
+                graph,
+                opts,
+                trace,
+                pool_threads(opts.threads),
+            );
+        }
         let card = graph
             .uniform_cardinality()
             .ok_or(EngineError::NonUniformCardinality)?;

@@ -29,11 +29,13 @@ mod edge;
 mod node;
 mod pool;
 mod queue;
+mod tile;
 
 pub use edge::ParEdgeEngine;
 pub use node::ParNodeEngine;
 pub use pool::WorkerPool;
 pub use queue::{ParQueueWorker, ParWorkQueue};
+pub use tile::degree_tiles;
 
 use crate::openmp::{thread_count, SharedSlice};
 use credo_graph::{Belief, BeliefGraph};

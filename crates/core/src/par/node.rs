@@ -1,10 +1,10 @@
 //! Persistent-pool per-node engine ("Par Node").
 
-use super::{emit_pool_metrics, pool_threads, MsgCache, ParWorkQueue, WorkerPool};
+use super::{degree_tiles, emit_pool_metrics, pool_threads, MsgCache, ParWorkQueue, WorkerPool};
 use crate::convergence::ConvergenceTracker;
 use crate::engine::{BpEngine, EngineError, Paradigm, Platform};
 use crate::math::combine_incoming;
-use crate::openmp::{chunks_for, SharedSlice};
+use crate::openmp::SharedSlice;
 use crate::opts::BpOptions;
 use crate::stats::{BpStats, IterationStats};
 use credo_graph::{Belief, BeliefGraph};
@@ -42,6 +42,15 @@ impl BpEngine for ParNodeEngine {
         opts: &BpOptions,
         trace: &Dispatch,
     ) -> Result<BpStats, EngineError> {
+        if opts.exec_plan {
+            return crate::plan::run_node_plan(
+                self.name(),
+                graph,
+                opts,
+                trace,
+                pool_threads(opts.threads),
+            );
+        }
         let start = Instant::now();
         let run_span = trace.span("run", &[("engine", self.name().into())]);
         let n = graph.num_nodes();
@@ -62,6 +71,10 @@ impl BpEngine for ParNodeEngine {
 
         let full_sweep: Vec<u32> = (0..n as u32)
             .filter(|&v| !graph.observed()[v as usize])
+            .collect();
+        // Per-node in-degrees for the degree-aware tiler; static for the run.
+        let in_degrees: Vec<u32> = (0..n as u32)
+            .map(|v| graph.in_arcs(v).len() as u32)
             .collect();
         let mut queue = opts
             .work_queue
@@ -97,7 +110,9 @@ impl BpEngine for ParNodeEngine {
                     }
                     None => (&full_sweep, Vec::new()),
                 };
-                let chunks: Vec<&[u32]> = chunks_for(active, threads).collect();
+                // Contiguous arc-balanced tiles: boundaries only affect who
+                // computes a node, never the (ascending) reduction order.
+                let chunks: Vec<&[u32]> = degree_tiles(active, &in_degrees, threads);
                 let use_queue = !qworkers.is_empty();
 
                 // One parallel region: compute updates into disjoint

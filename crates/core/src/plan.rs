@@ -1,0 +1,825 @@
+//! Plan-lowered engine runners.
+//!
+//! [`crate::seq::SeqNodeEngine`], [`crate::par::ParNodeEngine`] and
+//! [`crate::par::ParEdgeEngine`] dispatch here when
+//! [`BpOptions::exec_plan`] is on (the default): the graph is compiled
+//! once into a packed [`ExecGraph`] and the iteration loop runs on flat
+//! `f32` arrays through the [`crate::math::kernels`] microkernels, never
+//! touching the 132-byte AoS [`credo_graph::Belief`] records until the
+//! final store-back.
+//!
+//! # Bit-identity
+//!
+//! The node runner reproduces the direct engines' float arithmetic
+//! exactly — same message kernels (see the kernel module's bit-identity
+//! contract), same combine/rescale cadence, same ascending-order
+//! convergence reduction — so beliefs, deltas, iteration counts and
+//! update counts are bit-identical to the direct Seq/Par Node path, for
+//! any thread count. The sequential engine runs the same code with one
+//! (inline) worker, which is what makes the Seq/Par bit-equality contract
+//! structural rather than coincidental.
+//!
+//! The edge runner mirrors [`crate::par::ParEdgeEngine`]'s log-space
+//! partial-product design with identical chunk boundaries, so it is
+//! bit-identical to the direct Par Edge path at equal thread counts.
+
+use crate::convergence::ConvergenceTracker;
+use crate::engine::EngineError;
+use crate::math::kernels;
+use crate::openmp::SharedSlice;
+use crate::opts::BpOptions;
+use crate::par::{degree_tiles, emit_pool_metrics, range_chunks, ParWorkQueue, WorkerPool};
+use crate::stats::{BpStats, IterationStats};
+use credo_graph::{BeliefGraph, ExecGraph, PackedArc, MAX_BELIEFS};
+use std::time::Instant;
+use tracing::Dispatch;
+
+/// Packed per-source message cache for shared-potential plans.
+///
+/// The shared store lowers to at most two pool matrices, so every arc
+/// leaving a node carries one of (at most) two messages; one mat-vec per
+/// source per orientation covers the whole arc set. Cached values come
+/// from the same [`kernels::message_packed`] call the per-arc path makes,
+/// so results are bit-identical whether or not the cache is fresh.
+struct PackedMsgCache {
+    fwd: Vec<f32>,
+    rev: Vec<f32>,
+    enabled: bool,
+    /// Pool offset of the reverse-orientation matrix, when distinct from
+    /// the forward one (asymmetric shared potentials).
+    rev_off: Option<u32>,
+    fresh: bool,
+}
+
+impl PackedMsgCache {
+    fn new(plan: &ExecGraph) -> Self {
+        let enabled = plan.is_shared();
+        let rev_off = if enabled && plan.pool_matrices() == 2 {
+            let card = plan
+                .uniform_card()
+                .expect("shared stores imply uniform cardinality");
+            Some((card * card) as u32)
+        } else {
+            None
+        };
+        PackedMsgCache {
+            fwd: Vec::new(),
+            rev: Vec::new(),
+            enabled,
+            rev_off,
+            fresh: false,
+        }
+    }
+
+    /// Recomputes both orientations from the packed `prev` beliefs, in
+    /// parallel on `pool`. Skipped for per-edge potentials and for small
+    /// active sets (same heuristic as the direct engines' cache).
+    fn refresh(&mut self, plan: &ExecGraph, pool: &WorkerPool, prev: &[f32], active_len: usize) {
+        let n = plan.num_nodes();
+        self.fresh = false;
+        if !self.enabled || active_len * 4 < n {
+            return;
+        }
+        let card = plan
+            .uniform_card()
+            .expect("shared stores imply uniform cardinality");
+        let len = plan.packed_len();
+        if self.fwd.len() != len {
+            self.fwd = vec![0.0; len];
+            if self.rev_off.is_some() {
+                self.rev = vec![0.0; len];
+            }
+        }
+        let pot_fwd = &plan.pot_pool()[..card * card];
+        let pot_rev = self
+            .rev_off
+            .map(|o| &plan.pot_pool()[o as usize..o as usize + card * card]);
+        let chunks = range_chunks(n, pool.threads());
+        let fwd_shared = SharedSlice::new(&mut self.fwd);
+        let rev_shared = SharedSlice::new(&mut self.rev);
+        let chunks_ref = &chunks;
+        pool.broadcast(&|i| {
+            let Some(&(lo, hi)) = chunks_ref.get(i) else {
+                return;
+            };
+            for v in lo..hi {
+                let off = v * card;
+                let src = &prev[off..off + card];
+                // SAFETY: node ranges are disjoint; one writer per slot.
+                let fwd = unsafe { std::slice::from_raw_parts_mut(fwd_shared.ptr_at(off), card) };
+                kernels::message_packed(src, pot_fwd, fwd);
+                if let Some(pot) = pot_rev {
+                    let rev =
+                        unsafe { std::slice::from_raw_parts_mut(rev_shared.ptr_at(off), card) };
+                    kernels::message_packed(src, pot, rev);
+                }
+            }
+        });
+        self.fresh = true;
+    }
+
+    /// The message along `arc` given the packed `prev` beliefs: a cache
+    /// read when fresh, otherwise one kernel call into `buf`.
+    #[inline]
+    fn arc_message<'a>(
+        &'a self,
+        plan: &ExecGraph,
+        arc: &PackedArc,
+        prev: &[f32],
+        buf: &'a mut [f32; MAX_BELIEFS],
+    ) -> &'a [f32] {
+        let c = arc.dst_card as usize;
+        if self.fresh {
+            let lo = arc.src_off as usize;
+            if arc.pot_off == 0 {
+                &self.fwd[lo..lo + c]
+            } else {
+                &self.rev[lo..lo + c]
+            }
+        } else {
+            let s = arc.src_off as usize;
+            let src = &prev[s..s + arc.src_card as usize];
+            kernels::message_packed(src, plan.potential(arc), &mut buf[..c]);
+            &buf[..c]
+        }
+    }
+}
+
+/// Runs plan-lowered node-paradigm BP: `threads == 1` is the sequential
+/// engine (the pool runs inline), anything larger the parallel one.
+pub(crate) fn run_node_plan(
+    name: &'static str,
+    graph: &mut BeliefGraph,
+    opts: &BpOptions,
+    trace: &Dispatch,
+    threads: usize,
+) -> Result<BpStats, EngineError> {
+    let start = Instant::now();
+    let run_span = trace.span("run", &[("engine", name.into())]);
+    let plan = ExecGraph::compile(graph);
+    let n = plan.num_nodes();
+    let pool = WorkerPool::new(threads);
+    let mut tracker = ConvergenceTracker::new(opts);
+    let mut node_updates = 0u64;
+    let mut message_updates = 0u64;
+    let mut per_iteration: Vec<IterationStats> = Vec::new();
+
+    // Double-buffered packed beliefs: `prev` is the live state, `next` the
+    // per-iteration scratch published back after each sweep.
+    let mut prev: Vec<f32> = Vec::new();
+    plan.load_beliefs(graph, &mut prev);
+    let mut next: Vec<f32> = prev.clone();
+    let mut diffs: Vec<f32> = vec![0.0; n];
+    let mut cache = PackedMsgCache::new(&plan);
+
+    let full_sweep: Vec<u32> = (0..n as u32)
+        .filter(|&v| !plan.observed()[v as usize])
+        .collect();
+    let in_degrees: Vec<u32> = (0..n as u32).map(|v| plan.in_degree(v) as u32).collect();
+    let mut queue = opts
+        .work_queue
+        .then(|| ParWorkQueue::new(n, threads, |v| !plan.observed()[v]));
+
+    loop {
+        let iter_start = Instant::now();
+        let active_len = match &queue {
+            Some(q) => q.len(),
+            None => full_sweep.len(),
+        };
+        if active_len == 0 {
+            tracker.mark_converged();
+            break;
+        }
+        let queue_depth = active_len as u64;
+        let iter_span = trace.span(
+            "iteration",
+            &[
+                ("iter", (per_iteration.len() as u64).into()),
+                ("queue_depth", queue_depth.into()),
+                ("threads", threads.into()),
+            ],
+        );
+        let msgs_before = message_updates;
+        cache.refresh(&plan, &pool, &prev, active_len);
+
+        let sum: f32 = {
+            let (active, mut qworkers): (&[u32], Vec<_>) = match &mut queue {
+                Some(q) => {
+                    let (a, w) = q.begin_iteration();
+                    (a, w)
+                }
+                None => (&full_sweep, Vec::new()),
+            };
+            // Arc-balanced contiguous tiles; boundaries never affect the
+            // (ascending) reduction order, only who computes what.
+            let tiles = degree_tiles(active, &in_degrees, threads);
+            let use_queue = !qworkers.is_empty();
+
+            {
+                let prev_ref = &prev;
+                let plan_ref = &plan;
+                let cache_ref = &cache;
+                let next_shared = SharedSlice::new(&mut next);
+                let diffs_shared = SharedSlice::new(&mut diffs);
+                let mut tile_msgs = vec![0u64; tiles.len()];
+                let msgs_shared = SharedSlice::new(&mut tile_msgs);
+                let qw_shared = SharedSlice::new(&mut qworkers);
+                let (qt, wake) = (opts.queue_threshold, opts.wake_neighbors);
+                let tiles_ref = &tiles;
+                pool.broadcast(&|i| {
+                    let Some(tile) = tiles_ref.get(i) else {
+                        return;
+                    };
+                    let mut msg_buf = [0.0f32; MAX_BELIEFS];
+                    let mut acc = [0.0f32; MAX_BELIEFS];
+                    let mut local_msgs = 0u64;
+                    for &v in *tile {
+                        let off = plan_ref.node_off(v);
+                        let c = plan_ref.card(v);
+                        acc[..c].copy_from_slice(&plan_ref.priors()[off..off + c]);
+                        let arcs = plan_ref.in_arcs(v);
+                        // `combine_incoming`, restated on packed slices:
+                        // same product order, same every-8th rescale.
+                        for (k, arc) in arcs.iter().enumerate() {
+                            let msg = cache_ref.arc_message(plan_ref, arc, prev_ref, &mut msg_buf);
+                            kernels::mul_assign_packed(&mut acc[..c], msg);
+                            if k % 8 == 7 {
+                                kernels::scale_max_to_one_packed(&mut acc[..c]);
+                            }
+                        }
+                        kernels::normalize_packed(&mut acc[..c]);
+                        let diff = kernels::l1_diff_packed(&acc[..c], &prev_ref[off..off + c]);
+                        local_msgs += arcs.len() as u64;
+                        // SAFETY: active node ids are unique, so each node's
+                        // packed range and diff slot has exactly one writer.
+                        unsafe {
+                            std::slice::from_raw_parts_mut(next_shared.ptr_at(off), c)
+                                .copy_from_slice(&acc[..c]);
+                            diffs_shared.write(v as usize, diff);
+                        }
+                        if use_queue && diff >= qt {
+                            // SAFETY: worker handle `i` is owned by this
+                            // region index for the whole broadcast.
+                            let qw = unsafe { &mut *qw_shared.ptr_at(i) };
+                            qw.push(v);
+                            if wake {
+                                for &d in plan_ref.out_neighbors(v) {
+                                    qw.push(d);
+                                }
+                            }
+                        }
+                    }
+                    // SAFETY: one slot per region index.
+                    unsafe { msgs_shared.write(i, local_msgs) };
+                });
+                message_updates += tile_msgs.iter().sum::<u64>();
+            }
+            node_updates += active.len() as u64;
+
+            // Publish: copy each active node's packed range into `prev`.
+            {
+                let prev_shared = SharedSlice::new(&mut prev);
+                let next_ref = &next;
+                let plan_ref = &plan;
+                let tiles_ref = &tiles;
+                pool.broadcast(&|i| {
+                    let Some(tile) = tiles_ref.get(i) else {
+                        return;
+                    };
+                    for &v in *tile {
+                        let off = plan_ref.node_off(v);
+                        let c = plan_ref.card(v);
+                        // SAFETY: unique node ids per tile.
+                        unsafe {
+                            std::slice::from_raw_parts_mut(prev_shared.ptr_at(off), c)
+                                .copy_from_slice(&next_ref[off..off + c]);
+                        }
+                    }
+                });
+            }
+
+            // Deterministic ascending-order reduction, exactly the float
+            // grouping of the sequential sweep (re-sort under residual
+            // mode, which permutes `active`).
+            if opts.residual_priority {
+                let mut ascending = active.to_vec();
+                ascending.sort_unstable();
+                ascending.iter().map(|&v| diffs[v as usize]).sum()
+            } else {
+                active.iter().map(|&v| diffs[v as usize]).sum()
+            }
+        };
+
+        if let Some(q) = &mut queue {
+            if opts.residual_priority {
+                q.advance_by_residual(&diffs);
+            } else {
+                q.advance();
+            }
+        }
+
+        if trace.enabled() {
+            iter_span.record(&[("delta", sum.into())]);
+            trace.counter("queue_depth", queue_depth as f64);
+            if let Some(q) = &queue {
+                trace.counter("queue_repopulated", q.len() as f64);
+            }
+        }
+        drop(iter_span);
+        per_iteration.push(IterationStats {
+            delta: sum,
+            node_updates: queue_depth,
+            message_updates: message_updates - msgs_before,
+            queue_depth,
+            elapsed: iter_start.elapsed(),
+        });
+
+        if !tracker.record(sum) {
+            break;
+        }
+    }
+
+    plan.store_beliefs(&prev, graph);
+    let elapsed = start.elapsed();
+    if trace.enabled() {
+        emit_pool_metrics(trace, &pool, queue.as_ref(), elapsed);
+        run_span.record(&[
+            ("iterations", tracker.iterations().into()),
+            ("converged", tracker.converged().into()),
+        ]);
+    }
+    Ok(BpStats {
+        engine: name,
+        iterations: tracker.iterations(),
+        converged: tracker.converged(),
+        final_delta: if tracker.last_sum().is_finite() {
+            tracker.last_sum()
+        } else {
+            0.0
+        },
+        node_updates,
+        message_updates,
+        atomic_retries: 0,
+        reported_time: elapsed,
+        host_time: elapsed,
+        per_iteration,
+    })
+}
+
+/// One worker's log-space output for an iteration (see
+/// [`crate::par::ParEdgeEngine`]): active-list positions it touched plus
+/// per-state log-message sums, grouped per position.
+#[derive(Debug, Default)]
+struct RunBuf {
+    pos: Vec<u32>,
+    sums: Vec<f32>,
+}
+
+/// Runs plan-lowered edge-paradigm BP, mirroring the direct
+/// [`crate::par::ParEdgeEngine`] structure (same chunk boundaries, same
+/// worker-order merge) on packed arrays — bit-identical to it at equal
+/// thread counts.
+pub(crate) fn run_edge_plan(
+    name: &'static str,
+    graph: &mut BeliefGraph,
+    opts: &BpOptions,
+    trace: &Dispatch,
+    threads: usize,
+) -> Result<BpStats, EngineError> {
+    let card = graph
+        .uniform_cardinality()
+        .ok_or(EngineError::NonUniformCardinality)?;
+    let start = Instant::now();
+    let run_span = trace.span("run", &[("engine", name.into())]);
+    let plan = ExecGraph::compile(graph);
+    let n = plan.num_nodes();
+    let pool = WorkerPool::new(threads);
+    let mut tracker = ConvergenceTracker::new(opts);
+    let mut node_updates = 0u64;
+    let mut message_updates = 0u64;
+    let mut per_iteration: Vec<IterationStats> = Vec::new();
+
+    let mut prev: Vec<f32> = Vec::new();
+    plan.load_beliefs(graph, &mut prev);
+    let mut next: Vec<f32> = prev.clone();
+    let mut diffs: Vec<f32> = vec![0.0; n];
+    let mut cache = PackedMsgCache::new(&plan);
+    let mut runs: Vec<RunBuf> = (0..threads).map(|_| RunBuf::default()).collect();
+
+    let full_nodes: Vec<u32> = (0..n as u32)
+        .filter(|&v| !plan.observed()[v as usize])
+        .collect();
+    // The arc stream: every pre-resolved in-arc of every active node,
+    // grouped by destination in active-list order.
+    let mut stream_arcs: Vec<PackedArc> = Vec::new();
+    let mut stream_pos: Vec<u32> = Vec::new();
+    fn build_stream(
+        plan: &ExecGraph,
+        active: &[u32],
+        arcs: &mut Vec<PackedArc>,
+        pos: &mut Vec<u32>,
+    ) {
+        arcs.clear();
+        pos.clear();
+        for (p, &v) in active.iter().enumerate() {
+            let ins = plan.in_arcs(v);
+            arcs.extend_from_slice(ins);
+            pos.resize(pos.len() + ins.len(), p as u32);
+        }
+    }
+    build_stream(&plan, &full_nodes, &mut stream_arcs, &mut stream_pos);
+
+    let mut queue = opts
+        .work_queue
+        .then(|| ParWorkQueue::new(n, threads, |v| !plan.observed()[v]));
+
+    loop {
+        let iter_start = Instant::now();
+        let active_len = match &queue {
+            Some(q) => q.len(),
+            None => full_nodes.len(),
+        };
+        if active_len == 0 {
+            tracker.mark_converged();
+            break;
+        }
+        let queue_depth = active_len as u64;
+        let iter_span = trace.span(
+            "iteration",
+            &[
+                ("iter", (per_iteration.len() as u64).into()),
+                ("queue_depth", queue_depth.into()),
+                ("threads", threads.into()),
+            ],
+        );
+        let msgs_before = message_updates;
+        cache.refresh(&plan, &pool, &prev, active_len);
+
+        let sum: f32 = {
+            let (active, mut qworkers): (&[u32], Vec<_>) = match &mut queue {
+                Some(q) => {
+                    let (a, w) = q.begin_iteration();
+                    (a, w)
+                }
+                None => (&full_nodes, Vec::new()),
+            };
+            let use_queue = !qworkers.is_empty();
+            if use_queue {
+                build_stream(&plan, active, &mut stream_arcs, &mut stream_pos);
+            }
+
+            // Region 1: stream arcs into per-worker log-sum runs.
+            {
+                let prev_ref = &prev;
+                let plan_ref = &plan;
+                let cache_ref = &cache;
+                let arc_chunks = range_chunks(stream_arcs.len(), threads);
+                let (arcs_ref, pos_ref) = (&stream_arcs, &stream_pos);
+                let runs_shared = SharedSlice::new(&mut runs);
+                let chunks_ref = &arc_chunks;
+                pool.broadcast(&|i| {
+                    // SAFETY: one run buffer per region index.
+                    let run = unsafe { &mut *runs_shared.ptr_at(i) };
+                    run.pos.clear();
+                    run.sums.clear();
+                    let Some(&(lo, hi)) = chunks_ref.get(i) else {
+                        return;
+                    };
+                    let mut msg_buf = [0.0f32; MAX_BELIEFS];
+                    let mut cur = u32::MAX;
+                    for k in lo..hi {
+                        let p = pos_ref[k];
+                        if p != cur {
+                            run.pos.push(p);
+                            run.sums.resize(run.sums.len() + card, 0.0);
+                            cur = p;
+                        }
+                        let msg =
+                            cache_ref.arc_message(plan_ref, &arcs_ref[k], prev_ref, &mut msg_buf);
+                        let base = run.sums.len() - card;
+                        for (slot, &m) in run.sums[base..].iter_mut().zip(msg) {
+                            *slot += m.ln();
+                        }
+                    }
+                });
+            }
+            message_updates += stream_arcs.len() as u64;
+
+            // Region 2: marginalize — cursor-merge the per-worker runs in
+            // worker order (a fixed, deterministic reduction tree).
+            {
+                let prev_ref = &prev;
+                let plan_ref = &plan;
+                let runs_ref = &runs;
+                let node_chunks = range_chunks(active.len(), threads);
+                let next_shared = SharedSlice::new(&mut next);
+                let diffs_shared = SharedSlice::new(&mut diffs);
+                let qw_shared = SharedSlice::new(&mut qworkers);
+                let (qt, wake) = (opts.queue_threshold, opts.wake_neighbors);
+                let (active_ref, chunks_ref) = (active, &node_chunks);
+                pool.broadcast(&|i| {
+                    let Some(&(lo, hi)) = chunks_ref.get(i) else {
+                        return;
+                    };
+                    let mut cursors: Vec<usize> = runs_ref
+                        .iter()
+                        .map(|r| r.pos.partition_point(|&p| (p as usize) < lo))
+                        .collect();
+                    let mut acc = vec![0.0f32; card];
+                    let mut new = vec![0.0f32; card];
+                    for (p, &v) in active_ref.iter().enumerate().take(hi).skip(lo) {
+                        acc.fill(0.0);
+                        for (r, run) in runs_ref.iter().enumerate() {
+                            let c = cursors[r];
+                            if run.pos.get(c) == Some(&(p as u32)) {
+                                let base = c * card;
+                                for (st, a) in acc.iter_mut().enumerate() {
+                                    *a += run.sums[base + st];
+                                }
+                                cursors[r] = c + 1;
+                            }
+                        }
+                        // Log-sum-exp against the max for stability, exactly
+                        // as the direct engine does.
+                        let mut max = f32::NEG_INFINITY;
+                        for &a in &acc {
+                            max = max.max(a);
+                        }
+                        if !max.is_finite() {
+                            max = 0.0;
+                        }
+                        let off = plan_ref.node_off(v);
+                        let prior = &plan_ref.priors()[off..off + card];
+                        for (st, &a) in acc.iter().enumerate() {
+                            new[st] = prior[st] * (a - max).exp();
+                        }
+                        kernels::normalize_packed(&mut new);
+                        let diff = kernels::l1_diff_packed(&new, &prev_ref[off..off + card]);
+                        // SAFETY: active node ids are unique; one writer per
+                        // packed range and diff slot.
+                        unsafe {
+                            std::slice::from_raw_parts_mut(next_shared.ptr_at(off), card)
+                                .copy_from_slice(&new);
+                            diffs_shared.write(v as usize, diff);
+                        }
+                        if use_queue && diff >= qt {
+                            // SAFETY: handle `i` is owned by this index.
+                            let qw = unsafe { &mut *qw_shared.ptr_at(i) };
+                            qw.push(v);
+                            if wake {
+                                for &d in plan_ref.out_neighbors(v) {
+                                    qw.push(d);
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+            node_updates += active.len() as u64;
+
+            // Region 3: publish.
+            {
+                let prev_shared = SharedSlice::new(&mut prev);
+                let next_ref = &next;
+                let plan_ref = &plan;
+                let node_chunks = range_chunks(active.len(), threads);
+                let (active_ref, chunks_ref) = (active, &node_chunks);
+                pool.broadcast(&|i| {
+                    let Some(&(lo, hi)) = chunks_ref.get(i) else {
+                        return;
+                    };
+                    for &v in &active_ref[lo..hi] {
+                        let off = plan_ref.node_off(v);
+                        // SAFETY: unique node ids per chunk.
+                        unsafe {
+                            std::slice::from_raw_parts_mut(prev_shared.ptr_at(off), card)
+                                .copy_from_slice(&next_ref[off..off + card]);
+                        }
+                    }
+                });
+            }
+
+            if opts.residual_priority {
+                let mut ascending = active.to_vec();
+                ascending.sort_unstable();
+                ascending.iter().map(|&v| diffs[v as usize]).sum()
+            } else {
+                active.iter().map(|&v| diffs[v as usize]).sum()
+            }
+        };
+
+        if let Some(q) = &mut queue {
+            if opts.residual_priority {
+                q.advance_by_residual(&diffs);
+            } else {
+                q.advance();
+            }
+        }
+
+        if trace.enabled() {
+            iter_span.record(&[("delta", sum.into())]);
+            trace.counter("queue_depth", queue_depth as f64);
+            if let Some(q) = &queue {
+                trace.counter("queue_repopulated", q.len() as f64);
+            }
+        }
+        drop(iter_span);
+        per_iteration.push(IterationStats {
+            delta: sum,
+            node_updates: queue_depth,
+            message_updates: message_updates - msgs_before,
+            queue_depth,
+            elapsed: iter_start.elapsed(),
+        });
+
+        if !tracker.record(sum) {
+            break;
+        }
+    }
+
+    plan.store_beliefs(&prev, graph);
+    let elapsed = start.elapsed();
+    if trace.enabled() {
+        emit_pool_metrics(trace, &pool, queue.as_ref(), elapsed);
+        run_span.record(&[
+            ("iterations", tracker.iterations().into()),
+            ("converged", tracker.converged().into()),
+        ]);
+    }
+    Ok(BpStats {
+        engine: name,
+        iterations: tracker.iterations(),
+        converged: tracker.converged(),
+        final_delta: if tracker.last_sum().is_finite() {
+            tracker.last_sum()
+        } else {
+            0.0
+        },
+        node_updates,
+        message_updates,
+        atomic_retries: 0,
+        reported_time: elapsed,
+        host_time: elapsed,
+        per_iteration,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::par::{ParEdgeEngine, ParNodeEngine};
+    use crate::seq::SeqNodeEngine;
+    use crate::BpEngine;
+    use credo_graph::generators::{kronecker, synthetic, GenOptions, PotentialKind};
+
+    fn beliefs_bitwise_equal(a: &BeliefGraph, b: &BeliefGraph) -> bool {
+        a.beliefs().iter().zip(b.beliefs()).all(|(x, y)| {
+            x.as_slice()
+                .iter()
+                .zip(y.as_slice())
+                .all(|(p, q)| p.to_bits() == q.to_bits())
+        })
+    }
+
+    fn plan_vs_direct_node(opts_plan: BpOptions, seed: u64, card: usize) {
+        let mut g_plan = synthetic(180, 720, &GenOptions::new(card).with_seed(seed));
+        let mut g_direct = g_plan.clone();
+        let opts_direct = BpOptions {
+            exec_plan: false,
+            ..opts_plan
+        };
+        let s_plan = SeqNodeEngine.run(&mut g_plan, &opts_plan).unwrap();
+        let s_direct = SeqNodeEngine.run(&mut g_direct, &opts_direct).unwrap();
+        assert_eq!(s_plan.iterations, s_direct.iterations);
+        assert_eq!(s_plan.node_updates, s_direct.node_updates);
+        assert_eq!(s_plan.message_updates, s_direct.message_updates);
+        for (a, b) in s_plan.per_iteration.iter().zip(&s_direct.per_iteration) {
+            assert_eq!(
+                a.delta.to_bits(),
+                b.delta.to_bits(),
+                "delta trajectory diverged"
+            );
+        }
+        assert!(beliefs_bitwise_equal(&g_plan, &g_direct));
+    }
+
+    #[test]
+    fn plan_seq_node_is_bitwise_identical_to_direct() {
+        plan_vs_direct_node(BpOptions::default(), 17, 3);
+        plan_vs_direct_node(BpOptions::with_work_queue(), 8, 2);
+        plan_vs_direct_node(BpOptions::default().with_residual_priority(), 9, 2);
+    }
+
+    #[test]
+    fn plan_par_node_matches_plan_seq_node_for_any_thread_count() {
+        for threads in [1usize, 2, 4] {
+            let mut g1 = synthetic(200, 800, &GenOptions::new(3).with_seed(17));
+            let mut g2 = g1.clone();
+            let s1 = SeqNodeEngine.run(&mut g1, &BpOptions::default()).unwrap();
+            let s2 = ParNodeEngine
+                .run(&mut g2, &BpOptions::default().with_threads(threads))
+                .unwrap();
+            assert_eq!(s1.iterations, s2.iterations, "threads={threads}");
+            assert!(beliefs_bitwise_equal(&g1, &g2), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn plan_handles_mixed_cardinalities() {
+        use credo_graph::{Belief, GraphBuilder, JointMatrix};
+        let mut b = GraphBuilder::new();
+        let n0 = b.add_node(Belief::from_slice(&[0.7, 0.3]));
+        let n1 = b.add_node(Belief::uniform(5));
+        let n2 = b.add_node(Belief::uniform(3));
+        b.add_undirected_edge_with(n0, n1, JointMatrix::uniform(2, 5));
+        b.add_undirected_edge_with(n1, n2, JointMatrix::uniform(5, 3));
+        let mut g_plan = b.build().unwrap();
+        let mut g_direct = g_plan.clone();
+        SeqNodeEngine
+            .run(&mut g_plan, &BpOptions::default())
+            .unwrap();
+        SeqNodeEngine
+            .run(&mut g_direct, &BpOptions::default().without_exec_plan())
+            .unwrap();
+        assert!(beliefs_bitwise_equal(&g_plan, &g_direct));
+    }
+
+    #[test]
+    fn plan_edge_matches_direct_edge_bitwise() {
+        for threads in [1usize, 2, 4] {
+            let mut g_plan = synthetic(150, 600, &GenOptions::new(3).with_seed(41));
+            let mut g_direct = g_plan.clone();
+            let opts = BpOptions::default().with_threads(threads);
+            let s_plan = ParEdgeEngine.run(&mut g_plan, &opts).unwrap();
+            let s_direct = ParEdgeEngine
+                .run(
+                    &mut g_direct,
+                    &BpOptions {
+                        exec_plan: false,
+                        ..opts
+                    },
+                )
+                .unwrap();
+            assert_eq!(s_plan.iterations, s_direct.iterations, "threads={threads}");
+            assert!(
+                beliefs_bitwise_equal(&g_plan, &g_direct),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn plan_edge_rejects_non_uniform_cardinality() {
+        use credo_graph::{Belief, GraphBuilder, JointMatrix};
+        let mut b = GraphBuilder::new();
+        let n0 = b.add_node(Belief::uniform(2));
+        let n1 = b.add_node(Belief::uniform(3));
+        b.add_directed_edge_with(n0, n1, JointMatrix::uniform(2, 3));
+        let mut g = b.build().unwrap();
+        let err = ParEdgeEngine
+            .run(&mut g, &BpOptions::default())
+            .unwrap_err();
+        assert_eq!(err, EngineError::NonUniformCardinality);
+    }
+
+    #[test]
+    fn plan_per_edge_potentials_match_direct() {
+        let opts = GenOptions::new(2)
+            .with_seed(31)
+            .with_potentials(PotentialKind::PerEdgeRandom);
+        let mut g_plan = synthetic(60, 180, &opts);
+        let mut g_direct = g_plan.clone();
+        SeqNodeEngine
+            .run(&mut g_plan, &BpOptions::default())
+            .unwrap();
+        SeqNodeEngine
+            .run(&mut g_direct, &BpOptions::default().without_exec_plan())
+            .unwrap();
+        assert!(beliefs_bitwise_equal(&g_plan, &g_direct));
+    }
+
+    #[test]
+    fn plan_hub_graphs_match_direct() {
+        let mut g_plan = kronecker(7, 8, &GenOptions::new(2).with_seed(9));
+        let mut g_direct = g_plan.clone();
+        ParNodeEngine
+            .run(&mut g_plan, &BpOptions::default().with_threads(4))
+            .unwrap();
+        ParNodeEngine
+            .run(
+                &mut g_direct,
+                &BpOptions::default().with_threads(4).without_exec_plan(),
+            )
+            .unwrap();
+        assert!(beliefs_bitwise_equal(&g_plan, &g_direct));
+    }
+
+    #[test]
+    fn plan_observed_nodes_never_change() {
+        let mut g = synthetic(50, 150, &GenOptions::new(2).with_seed(4));
+        g.observe(7, 1);
+        let before = g.beliefs()[7];
+        SeqNodeEngine.run(&mut g, &BpOptions::default()).unwrap();
+        assert_eq!(g.beliefs()[7], before);
+    }
+}

@@ -39,6 +39,11 @@ impl BpEngine for SeqNodeEngine {
         opts: &BpOptions,
         trace: &Dispatch,
     ) -> Result<BpStats, EngineError> {
+        if opts.exec_plan {
+            // One inline worker: the same code path as the parallel plan,
+            // which is what makes Seq/Par bit-equality structural.
+            return crate::plan::run_node_plan(self.name(), graph, opts, trace, 1);
+        }
         let start = Instant::now();
         let run_span = trace.span("run", &[("engine", self.name().into())]);
         let n = graph.num_nodes();

@@ -8,6 +8,7 @@
 //! `Vec<Belief>` ("arrays holding structs").
 
 use std::fmt;
+use wide::{f32x8, LANES};
 
 /// Maximum number of discrete states a node may take.
 ///
@@ -149,9 +150,21 @@ impl Belief {
     #[inline]
     pub fn mul_assign(&mut self, other: &Belief) {
         debug_assert_eq!(self.len, other.len, "belief cardinality mismatch");
-        let n = self.len as usize;
-        for i in 0..n {
-            self.data[i] *= other.data[i];
+        // Every constructor zero-fills the padding lanes and `as_mut_slice`
+        // never exposes them, so multiplying whole 8-lane blocks (0·0 == 0
+        // in the pad) is branch-free and exact; each lane is the scalar
+        // IEEE product, so results are bit-identical to the scalar loop.
+        if self.len as usize <= LANES {
+            let a = f32x8::from_slice(&self.data[..LANES]);
+            let b = f32x8::from_slice(&other.data[..LANES]);
+            (a * b).write_to_slice(&mut self.data[..LANES]);
+        } else {
+            for i in 0..MAX_BELIEFS / LANES {
+                let lo = i * LANES;
+                let a = f32x8::from_slice(&self.data[lo..]);
+                let b = f32x8::from_slice(&other.data[lo..]);
+                (a * b).write_to_slice(&mut self.data[lo..]);
+            }
         }
     }
 

@@ -8,6 +8,9 @@
 //!   array-of-structs record (the layout the paper selects in §3.4).
 //! * [`SoaBeliefs`] — the flattened struct-of-arrays alternative, kept for
 //!   the layout ablation experiment.
+//! * [`ExecGraph`] — the compiled execution plan: cardinality-packed
+//!   belief arrays, pre-resolved [`PackedArc`] in-arc tuples and a
+//!   deduplicated potential pool, lowered once before engines run.
 //! * [`JointMatrix`] / [`PotentialStore`] — per-edge or shared joint
 //!   probability matrices (§2.2's memory refinement).
 //! * [`Csr`] — compressed adjacency lists indexing directed arcs (§3.4).
@@ -22,6 +25,7 @@
 mod beliefs;
 mod builder;
 mod csr;
+mod exec;
 mod graph;
 mod metadata;
 mod potentials;
@@ -32,6 +36,7 @@ pub mod generators;
 pub use beliefs::{Belief, MAX_BELIEFS};
 pub use builder::GraphBuilder;
 pub use csr::Csr;
+pub use exec::{ExecGraph, OutArc, PackedArc};
 pub use graph::{Arc, BeliefGraph, EdgeId, GraphError, NodeId};
 pub use metadata::{FeatureVector, GraphMetadata, FEATURE_NAMES, NUM_FEATURES};
 pub use potentials::{JointMatrix, PotentialStore};

@@ -137,17 +137,36 @@ impl JointMatrix {
     pub fn message(&self, parent: &Belief) -> Belief {
         debug_assert_eq!(parent.len(), self.rows(), "parent cardinality mismatch");
         let cols = self.cols as usize;
+        let rows = self.rows as usize;
         let mut out = Belief::zeros(cols);
         {
             let o = out.as_mut_slice();
-            for (p, &bp) in parent.as_slice().iter().enumerate() {
-                let row = &self.data[p * cols..(p + 1) * cols];
-                for (c, &j) in row.iter().enumerate() {
-                    o[c] += bp * j;
+            let b = parent.as_slice();
+            // Accumulate row-by-row, folding the max into the last row's
+            // pass so scaling needs no extra sweep. The fold visits states
+            // in ascending order starting from 0.0, exactly as
+            // `scale_max_to_one` does, and one reciprocal multiply replaces
+            // the per-element division — values stay bit-identical.
+            let mut max = 0.0f32;
+            for (p, (&bp, row)) in b.iter().zip(self.data.chunks_exact(cols)).enumerate() {
+                if p + 1 == rows {
+                    for (c, &j) in row.iter().enumerate() {
+                        o[c] += bp * j;
+                        max = max.max(o[c]);
+                    }
+                } else {
+                    for (c, &j) in row.iter().enumerate() {
+                        o[c] += bp * j;
+                    }
+                }
+            }
+            if max > 0.0 && max.is_finite() {
+                let inv = 1.0 / max;
+                for v in o.iter_mut() {
+                    *v *= inv;
                 }
             }
         }
-        out.scale_max_to_one();
         out
     }
 
@@ -166,6 +185,10 @@ impl JointMatrix {
         {
             let o = out.as_mut_slice();
             let c = child.as_slice();
+            // Fold the max as each dot product finalizes (ascending parent
+            // states, from 0.0 — the `scale_max_to_one` order) and scale by
+            // one precomputed reciprocal; values stay bit-identical.
+            let mut max = 0.0f32;
             for (p, slot) in o.iter_mut().enumerate() {
                 let row = &self.data[p * cols..(p + 1) * cols];
                 let mut acc = 0.0f32;
@@ -173,9 +196,15 @@ impl JointMatrix {
                     acc += j * cv;
                 }
                 *slot = acc;
+                max = max.max(acc);
+            }
+            if max > 0.0 && max.is_finite() {
+                let inv = 1.0 / max;
+                for v in o.iter_mut() {
+                    *v *= inv;
+                }
             }
         }
-        out.scale_max_to_one();
         out
     }
 
