@@ -15,6 +15,10 @@
 //! Jacobi sweep per iteration (default), the §3.5 work queue, or the
 //! queue ordered by descending last-update residual (Par engines only —
 //! the Seq/OpenMP columns use the plain queue for comparison).
+//!
+//! `--stream-only` skips the engine table and runs just the
+//! streamed-vs-resident section, for exercising the large `--scale full`
+//! sizes without paying for the sequential baselines first.
 
 use credo::engines::{
     OpenMpEdgeEngine, OpenMpNodeEngine, ParEdgeEngine, ParNodeEngine, SeqEdgeEngine, SeqNodeEngine,
@@ -150,6 +154,165 @@ fn plan_smoke() {
     println!("OK: plan lowering does not slow the sequential baseline");
 }
 
+#[derive(Serialize)]
+struct StreamRow {
+    graph: String,
+    nodes: usize,
+    edges: usize,
+    engine: String,
+    shards: usize,
+    threads: usize,
+    /// Wall-clock of the two-pass streaming lowering (None for the
+    /// resident baseline, whose graph is already in memory).
+    lower_seconds: Option<f64>,
+    seconds: f64,
+    iterations: u32,
+    converged: bool,
+    /// Largest single shard's resident footprint in spill mode — the
+    /// peak arc/potential memory of the streamed run.
+    max_shard_bytes: Option<usize>,
+    /// L∞ distance of the final beliefs from the resident Par Node run.
+    max_abs_diff_vs_resident: f64,
+}
+
+/// Streamed-vs-resident comparison: the resident Par Node plan runner
+/// against the same graph streamed from its MTX pair into shards —
+/// resident shards and disk-spilled shards — writing `BENCH_stream.json`.
+fn stream_section(sizes: &[(usize, usize)], threads: usize, opts: &BpOptions) {
+    use credo_core::run_sharded;
+
+    const SHARDS: usize = 8;
+    let dir = std::env::temp_dir().join(format!("credo-bench-stream-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create stream scratch dir");
+
+    let mut table = Table::new(&[
+        "Graph",
+        "Par plan",
+        "Stream resident",
+        "Stream spill",
+        "lower",
+        "peak shard",
+        "max|Δ|",
+    ]);
+    let mut rows: Vec<StreamRow> = Vec::new();
+    let opts = opts.with_threads(threads);
+    for &(n, e) in sizes {
+        let name = format!("{n}x{e}");
+        let g = synthetic(n, e, &GenOptions::new(2).with_seed(42));
+        let nodes_path = dir.join(format!("{name}_nodes.mtx"));
+        let edges_path = dir.join(format!("{name}_edges.mtx"));
+        credo_io::mtx::write_files(&g, &nodes_path, &edges_path).expect("write MTX pair");
+
+        let mut resident = g.clone();
+        let s_par = run_clean(&ParNodeEngine, &mut resident, &opts).unwrap();
+        let reference: Vec<f32> = resident
+            .beliefs()
+            .iter()
+            .flat_map(|b| b.as_slice().iter().copied())
+            .collect();
+        let linf = |beliefs: &[f32]| {
+            beliefs
+                .iter()
+                .zip(&reference)
+                .map(|(a, b)| (a - b).abs() as f64)
+                .fold(0.0f64, f64::max)
+        };
+
+        let t0 = std::time::Instant::now();
+        let mut sx =
+            credo_stream::lower_files(&nodes_path, &edges_path, SHARDS).expect("stream lowering");
+        let lower_res = t0.elapsed().as_secs_f64();
+        let (s_res, b_res) = run_sharded(
+            "Stream Node",
+            &mut sx,
+            &opts,
+            &credo::Dispatch::none(),
+            threads,
+            None,
+        )
+        .unwrap();
+        drop(sx);
+
+        let t0 = std::time::Instant::now();
+        let mut spilled = credo_stream::lower_files_spill(
+            &nodes_path,
+            &edges_path,
+            SHARDS,
+            &dir.join(format!("{name}_shards")),
+        )
+        .expect("spill lowering");
+        let lower_spill = t0.elapsed().as_secs_f64();
+        let peak = spilled.max_shard_bytes();
+        let (s_spill, b_spill) = run_sharded(
+            "Stream Node",
+            &mut spilled,
+            &opts,
+            &credo::Dispatch::none(),
+            threads,
+            None,
+        )
+        .unwrap();
+
+        let (d_res, d_spill) = (linf(&b_res), linf(&b_spill));
+        let max_diff = d_res.max(d_spill);
+        assert!(
+            max_diff <= 1e-4,
+            "{name}: streamed beliefs drifted {max_diff:e} from resident Par Node"
+        );
+        table.row(&[
+            name.clone(),
+            fmt_secs(s_par.reported_time.as_secs_f64()),
+            fmt_secs(s_res.reported_time.as_secs_f64()),
+            fmt_secs(s_spill.reported_time.as_secs_f64()),
+            fmt_secs(lower_spill),
+            format!("{} KiB", peak / 1024),
+            format!("{max_diff:.1e}"),
+        ]);
+        for (stats, engine, lower, shard_bytes, diff) in [
+            (&s_par, "Par Node".to_string(), None, None, 0.0),
+            (
+                &s_res,
+                "Stream Node (resident shards)".to_string(),
+                Some(lower_res),
+                None,
+                d_res,
+            ),
+            (
+                &s_spill,
+                "Stream Node (spill)".to_string(),
+                Some(lower_spill),
+                Some(peak),
+                d_spill,
+            ),
+        ] {
+            rows.push(StreamRow {
+                graph: name.clone(),
+                nodes: n,
+                edges: e,
+                engine,
+                shards: SHARDS,
+                threads,
+                lower_seconds: lower,
+                seconds: stats.reported_time.as_secs_f64(),
+                iterations: stats.iterations,
+                converged: stats.converged,
+                max_shard_bytes: shard_bytes,
+                max_abs_diff_vs_resident: diff,
+            });
+        }
+    }
+    println!();
+    println!("streamed vs resident ({SHARDS} shards):");
+    table.print();
+    if let Ok(p) = save_json("stream", &rows) {
+        println!("JSON: {}", p.display());
+    }
+    if let Ok(p) = save_bench_json("stream", &rows) {
+        println!("JSON: {}", p.display());
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 fn main() {
     if credo_bench::flag_present("--overhead-check") {
         return overhead_check();
@@ -181,6 +344,9 @@ fn main() {
     } else {
         opts
     };
+    if credo_bench::flag_present("--stream-only") {
+        return stream_section(&sizes, threads, &opts);
+    }
     let prog = credo_bench::progress_from_args();
     credo_bench::progress(
         &prog,
@@ -328,6 +494,13 @@ fn main() {
     }
     if let Ok(p) = save_bench_json(&json_name, &rows) {
         println!("JSON: {}", p.display());
+    }
+
+    // The streamed-vs-resident comparison ignores the scheduling mode
+    // (sharded sweeps are always plain Jacobi), so run it once, from the
+    // headline plain-mode invocation.
+    if mode == "plain" {
+        stream_section(&sizes, threads, &opts);
     }
 
     // `--trace`: capture a full telemetry trace of the headline engines on

@@ -59,6 +59,7 @@ pub fn engine_for(which: Implementation, profile: ArchProfile) -> Box<dyn BpEngi
         Implementation::CudaNode => Box::new(CudaNodeEngine::new(Device::new(profile))),
         Implementation::ParEdge => Box::new(ParEdgeEngine),
         Implementation::ParNode => Box::new(ParNodeEngine),
+        Implementation::StreamNode => Box::new(credo_core::ShardedEngine::default()),
     }
 }
 

@@ -234,7 +234,12 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(Some(&self.name), id.into_benchmark_id(), self.sample_size, f);
+        run_one(
+            Some(&self.name),
+            id.into_benchmark_id(),
+            self.sample_size,
+            f,
+        );
         self
     }
 
@@ -247,9 +252,12 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        run_one(Some(&self.name), id.into_benchmark_id(), self.sample_size, |b| {
-            f(b, input)
-        });
+        run_one(
+            Some(&self.name),
+            id.into_benchmark_id(),
+            self.sample_size,
+            |b| f(b, input),
+        );
         self
     }
 

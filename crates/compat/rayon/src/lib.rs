@@ -145,7 +145,10 @@ mod tests {
     #[test]
     fn captures_by_reference() {
         let data: Vec<f32> = (0..256).map(|i| i as f32).collect();
-        let out: Vec<f32> = (0..256usize).into_par_iter().map(|i| data[i] + 1.0).collect();
+        let out: Vec<f32> = (0..256usize)
+            .into_par_iter()
+            .map(|i| data[i] + 1.0)
+            .collect();
         assert_eq!(out[255], 256.0);
     }
 

@@ -53,19 +53,27 @@ fn write_value(out: &mut String, value: &Value, indent: Option<usize>, level: us
         Value::UInt(u) => out.push_str(&u.to_string()),
         Value::Float(f) => write_float(out, *f),
         Value::Str(s) => write_escaped(out, s),
-        Value::Array(items) => write_seq(out, items.iter(), indent, level, '[', ']', |out, v, l| {
-            write_value(out, v, indent, l)
-        }),
-        Value::Object(entries) => {
-            write_seq(out, entries.iter(), indent, level, '{', '}', |out, (k, v), l| {
+        Value::Array(items) => {
+            write_seq(out, items.iter(), indent, level, '[', ']', |out, v, l| {
+                write_value(out, v, indent, l)
+            })
+        }
+        Value::Object(entries) => write_seq(
+            out,
+            entries.iter(),
+            indent,
+            level,
+            '{',
+            '}',
+            |out, (k, v), l| {
                 write_escaped(out, k);
                 out.push(':');
                 if indent.is_some() {
                     out.push(' ');
                 }
                 write_value(out, v, indent, l);
-            })
-        }
+            },
+        ),
     }
 }
 
@@ -375,11 +383,10 @@ mod tests {
     fn parses_nested_objects() {
         let input = r#"{"a": [1, 2.5, -3], "b": {"c": "x\ny", "d": null, "e": true}}"#;
         let v = parse_value(input).unwrap();
-        assert_eq!(v.get("a").unwrap(), &Value::Array(vec![
-            Value::Int(1),
-            Value::Float(2.5),
-            Value::Int(-3)
-        ]));
+        assert_eq!(
+            v.get("a").unwrap(),
+            &Value::Array(vec![Value::Int(1), Value::Float(2.5), Value::Int(-3)])
+        );
         assert_eq!(
             v.get("b").unwrap().get("c").unwrap(),
             &Value::Str("x\ny".to_string())

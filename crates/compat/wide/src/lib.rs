@@ -224,8 +224,14 @@ mod tests {
         let prod = (a * b).to_array();
         let sum = (a + b).to_array();
         for i in 0..LANES {
-            assert_eq!(prod[i].to_bits(), (a.to_array()[i] * b.to_array()[i]).to_bits());
-            assert_eq!(sum[i].to_bits(), (a.to_array()[i] + b.to_array()[i]).to_bits());
+            assert_eq!(
+                prod[i].to_bits(),
+                (a.to_array()[i] * b.to_array()[i]).to_bits()
+            );
+            assert_eq!(
+                sum[i].to_bits(),
+                (a.to_array()[i] + b.to_array()[i]).to_bits()
+            );
         }
     }
 
@@ -233,8 +239,14 @@ mod tests {
     fn max_and_min_are_lanewise() {
         let a = f32x8::new([1.0, 5.0, 2.0, 8.0, 0.0, 3.0, 7.0, 4.0]);
         let b = f32x8::splat(3.5);
-        assert_eq!(a.max(b).to_array(), [3.5, 5.0, 3.5, 8.0, 3.5, 3.5, 7.0, 4.0]);
-        assert_eq!(a.min(b).to_array(), [1.0, 3.5, 2.0, 3.5, 0.0, 3.0, 3.5, 3.5]);
+        assert_eq!(
+            a.max(b).to_array(),
+            [3.5, 5.0, 3.5, 8.0, 3.5, 3.5, 7.0, 4.0]
+        );
+        assert_eq!(
+            a.min(b).to_array(),
+            [1.0, 3.5, 2.0, 3.5, 0.0, 3.0, 3.5, 3.5]
+        );
     }
 
     #[test]

@@ -23,6 +23,7 @@ mod math;
 mod opts;
 mod plan;
 mod queue;
+mod shard;
 mod stats;
 
 pub mod openmp;
@@ -35,6 +36,7 @@ pub use math::kernels;
 pub use math::{combine_incoming, node_update};
 pub use opts::BpOptions;
 pub use queue::WorkQueue;
+pub use shard::{run_sharded, ShardSource, ShardedEngine};
 pub use stats::{BpStats, IterationStats};
 // The telemetry handle engines emit into (`BpEngine::run_traced`);
 // re-exported so downstream crates need no direct `tracing` dependency.

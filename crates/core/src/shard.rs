@@ -1,0 +1,537 @@
+//! Sharded node-paradigm execution ("Stream Node").
+//!
+//! [`run_sharded`] sweeps a [`ShardedExec`]-shaped plan one shard at a
+//! time on the persistent [`WorkerPool`], exchanging boundary beliefs
+//! between shards through a double-buffered frontier array. Because every
+//! read — local (the shard's own `prev` buffer) or remote (the previous
+//! sweep's frontier, copied into halo slots before computing) — observes
+//! sweep `t-1` state, the schedule is exactly the Jacobi schedule of
+//! [`crate::plan::run_node_plan`], and the per-node arithmetic uses the
+//! same [`kernels`] calls in the same order: beliefs, deltas and
+//! iteration counts are bit-identical to the resident Par Node plan
+//! runner for any shard count and any thread count.
+//!
+//! Shards arrive through the [`ShardSource`] trait so the runner never
+//! assumes they are all resident: the in-memory [`ShardedExec`] hands out
+//! borrows, while `credo-stream`'s spill store loads one shard's arrays
+//! from disk per visit — peak arc/potential memory is then one shard plus
+//! the frontier, not the graph. (Per-*node* state — packed beliefs and
+//! the convergence diffs — stays resident; it is the O(arcs) data that
+//! dominates and gets bounded.)
+//!
+//! Work-queue and residual scheduling options are ignored here: sharded
+//! sweeps are always full sweeps, matching the plain Jacobi resident run.
+
+use crate::convergence::ConvergenceTracker;
+use crate::engine::{BpEngine, EngineError, Paradigm, Platform};
+use crate::math::kernels;
+use crate::openmp::SharedSlice;
+use crate::opts::BpOptions;
+use crate::par::{degree_tiles, emit_pool_metrics, pool_threads, WorkerPool};
+use crate::stats::{BpStats, IterationStats};
+use credo_graph::{BeliefGraph, ExecShard, ShardedExec, ShardedMeta, MAX_BELIEFS};
+use std::time::Instant;
+use tracing::Dispatch;
+
+/// Hands shards to the runner one at a time.
+///
+/// `with_shard` materializes shard `k` (a borrow for resident stores, a
+/// disk load for spill stores) and passes it to `f`; the shard may be
+/// dropped as soon as `f` returns.
+pub trait ShardSource {
+    /// Partition, frontier and boundary-copy metadata.
+    fn meta(&self) -> &ShardedMeta;
+
+    /// Materializes shard `k` for the duration of `f`.
+    fn with_shard(&mut self, k: usize, f: &mut dyn FnMut(&ExecShard)) -> Result<(), EngineError>;
+}
+
+impl ShardSource for ShardedExec {
+    fn meta(&self) -> &ShardedMeta {
+        &self.meta
+    }
+
+    fn with_shard(&mut self, k: usize, f: &mut dyn FnMut(&ExecShard)) -> Result<(), EngineError> {
+        f(&self.shards[k]);
+        Ok(())
+    }
+}
+
+/// Persistent per-shard sweep state (beliefs, not arcs — this stays
+/// resident across shard loads).
+struct ShardState {
+    /// Packed beliefs: local region then halo slots.
+    prev: Vec<f32>,
+    /// Per-sweep scratch for the local region.
+    next: Vec<f32>,
+    /// Unobserved local node ids, ascending.
+    active: Vec<u32>,
+    /// Per-local-node in-degrees for the tiler.
+    in_degrees: Vec<u32>,
+}
+
+/// Runs sharded node-paradigm BP over `source` and returns the stats plus
+/// the final packed beliefs (global prefix-offset layout, all nodes).
+///
+/// `init` optionally overrides the starting beliefs (global packed
+/// layout); otherwise each shard starts from its priors. The frontier
+/// starts from [`ShardedMeta::frontier_init`] either way. `threads` is
+/// the requested worker count, 0 meaning all cores (the same resolution
+/// as [`BpOptions::threads`]).
+pub fn run_sharded(
+    name: &'static str,
+    source: &mut dyn ShardSource,
+    opts: &BpOptions,
+    trace: &Dispatch,
+    threads: usize,
+    init: Option<&[f32]>,
+) -> Result<(BpStats, Vec<f32>), EngineError> {
+    let threads = pool_threads(threads);
+    let start = Instant::now();
+    let run_span = trace.span(
+        "run",
+        &[
+            ("engine", name.into()),
+            ("shards", (source.meta().num_shards() as u64).into()),
+        ],
+    );
+    let meta = source.meta().clone();
+    let num_shards = meta.num_shards();
+    let n = meta.num_nodes;
+    // Global packed offsets, for `init` slicing and the final assembly.
+    let mut global_off = Vec::with_capacity(n + 1);
+    let mut off = 0usize;
+    for &c in &meta.cards {
+        global_off.push(off);
+        off += c as usize;
+    }
+    global_off.push(off);
+    if let Some(b) = init {
+        if b.len() != off {
+            return Err(EngineError::InvalidGraph(format!(
+                "init beliefs hold {} floats, plan packs {}",
+                b.len(),
+                off
+            )));
+        }
+    }
+
+    let pool = WorkerPool::new(threads);
+    let mut tracker = ConvergenceTracker::new(opts);
+    let mut node_updates = 0u64;
+    let mut message_updates = 0u64;
+    let mut per_iteration: Vec<IterationStats> = Vec::new();
+
+    // Init pass: one visit per shard to size the persistent belief state.
+    let mut states: Vec<ShardState> = Vec::with_capacity(num_shards);
+    for k in 0..num_shards {
+        let load_span = trace.span("shard_load", &[("shard", (k as u64).into())]);
+        let mut st = None;
+        source.with_shard(k, &mut |shard| {
+            let (lo, _) = shard.range;
+            let local_len = shard.local_len();
+            let mut prev = vec![0.0f32; shard.packed_len()];
+            match init {
+                Some(b) => {
+                    let g = global_off[lo as usize];
+                    prev[..local_len].copy_from_slice(&b[g..g + local_len]);
+                }
+                None => prev[..local_len].copy_from_slice(&shard.priors),
+            }
+            st = Some(ShardState {
+                next: prev[..local_len].to_vec(),
+                prev,
+                active: (0..shard.local_nodes() as u32)
+                    .filter(|&v| !shard.observed[v as usize])
+                    .collect(),
+                in_degrees: (0..shard.local_nodes())
+                    .map(|v| shard.in_degree(v))
+                    .collect(),
+            });
+        })?;
+        drop(load_span);
+        states.push(st.expect("with_shard must invoke its callback"));
+    }
+    // The global active list, ascending — the convergence sum folds diffs
+    // in exactly this order, matching the resident runner's full sweep.
+    let global_active: Vec<u32> = meta
+        .ranges
+        .iter()
+        .zip(&states)
+        .flat_map(|(&(lo, _), st)| st.active.iter().map(move |&v| lo + v))
+        .collect();
+
+    let mut frontier_prev = meta.frontier_init.clone();
+    let mut frontier_next = vec![0.0f32; frontier_prev.len()];
+    let mut diffs: Vec<f32> = vec![0.0; n];
+
+    loop {
+        let iter_start = Instant::now();
+        let active_len = global_active.len();
+        if active_len == 0 {
+            tracker.mark_converged();
+            break;
+        }
+        let iter_span = trace.span(
+            "iteration",
+            &[
+                ("iter", (per_iteration.len() as u64).into()),
+                ("queue_depth", (active_len as u64).into()),
+                ("threads", threads.into()),
+            ],
+        );
+        let msgs_before = message_updates;
+
+        // `k` also indexes `meta.imports`/`meta.exports` and names the
+        // shard for `with_shard`, so a plain range loop reads best.
+        #[allow(clippy::needless_range_loop)]
+        for k in 0..num_shards {
+            // A shard with nothing to update must still republish its
+            // (static) exports: the frontier is double-buffered, so a
+            // skipped export would leave stale values after the swap.
+            if states[k].active.is_empty() && meta.exports[k].is_empty() {
+                continue;
+            }
+            let shard_span = trace.span(
+                "shard_sweep",
+                &[
+                    ("shard", (k as u64).into()),
+                    ("nodes", (states[k].active.len() as u64).into()),
+                ],
+            );
+            let st = &mut states[k];
+            let imports = &meta.imports[k];
+            let exports = &meta.exports[k];
+            let frontier_prev_ref = &frontier_prev;
+            let frontier_next_ref = &mut frontier_next;
+            let diffs_vec = &mut diffs;
+            let mut shard_msgs = 0u64;
+            source.with_shard(k, &mut |shard| {
+                let (lo, _) = shard.range;
+                // Boundary import: halo slots take the previous sweep's
+                // frontier, so every remote read is a t-1 value.
+                let exch_span = trace.span(
+                    "boundary_exchange",
+                    &[
+                        ("shard", (k as u64).into()),
+                        ("imports", (imports.len() as u64).into()),
+                        ("exports", (exports.len() as u64).into()),
+                    ],
+                );
+                for c in imports {
+                    let (l, f, w) = (
+                        c.local_off as usize,
+                        c.frontier_off as usize,
+                        c.card as usize,
+                    );
+                    st.prev[l..l + w].copy_from_slice(&frontier_prev_ref[f..f + w]);
+                }
+                drop(exch_span);
+
+                let tiles = degree_tiles(&st.active, &st.in_degrees, threads);
+                {
+                    let prev_ref = &st.prev;
+                    let next_shared = SharedSlice::new(&mut st.next);
+                    let diffs_shared = SharedSlice::new(diffs_vec);
+                    let mut tile_msgs = vec![0u64; tiles.len()];
+                    let msgs_shared = SharedSlice::new(&mut tile_msgs);
+                    let tiles_ref = &tiles;
+                    pool.broadcast(&|i| {
+                        let Some(tile) = tiles_ref.get(i) else {
+                            return;
+                        };
+                        let mut msg_buf = [0.0f32; MAX_BELIEFS];
+                        let mut acc = [0.0f32; MAX_BELIEFS];
+                        let mut local_msgs = 0u64;
+                        for &v in *tile {
+                            let off = shard.slot_off(v as usize);
+                            let c = shard.slot_card(v as usize);
+                            acc[..c].copy_from_slice(&shard.priors[off..off + c]);
+                            let arcs = shard.in_arcs_of(v as usize);
+                            // Same combine as the resident plan runner:
+                            // same product order, same every-8th rescale.
+                            for (j, arc) in arcs.iter().enumerate() {
+                                let s = arc.src_off as usize;
+                                let src = &prev_ref[s..s + arc.src_card as usize];
+                                kernels::message_packed(
+                                    src,
+                                    shard.potential(arc),
+                                    &mut msg_buf[..c],
+                                );
+                                kernels::mul_assign_packed(&mut acc[..c], &msg_buf[..c]);
+                                if j % 8 == 7 {
+                                    kernels::scale_max_to_one_packed(&mut acc[..c]);
+                                }
+                            }
+                            kernels::normalize_packed(&mut acc[..c]);
+                            let diff = kernels::l1_diff_packed(&acc[..c], &prev_ref[off..off + c]);
+                            local_msgs += arcs.len() as u64;
+                            // SAFETY: local node ids are unique within a
+                            // tile set, and shards own disjoint global id
+                            // ranges, so each packed range and diff slot
+                            // has exactly one writer.
+                            unsafe {
+                                std::slice::from_raw_parts_mut(next_shared.ptr_at(off), c)
+                                    .copy_from_slice(&acc[..c]);
+                                diffs_shared.write((lo + v) as usize, diff);
+                            }
+                        }
+                        // SAFETY: one slot per region index.
+                        unsafe { msgs_shared.write(i, local_msgs) };
+                    });
+                    shard_msgs += tile_msgs.iter().sum::<u64>();
+                }
+
+                // Publish next -> prev for the active local nodes.
+                {
+                    let prev_shared = SharedSlice::new(&mut st.prev);
+                    let next_ref = &st.next;
+                    let tiles_ref = &tiles;
+                    pool.broadcast(&|i| {
+                        let Some(tile) = tiles_ref.get(i) else {
+                            return;
+                        };
+                        for &v in *tile {
+                            let off = shard.slot_off(v as usize);
+                            let c = shard.slot_card(v as usize);
+                            // SAFETY: unique node ids per tile.
+                            unsafe {
+                                std::slice::from_raw_parts_mut(prev_shared.ptr_at(off), c)
+                                    .copy_from_slice(&next_ref[off..off + c]);
+                            }
+                        }
+                    });
+                }
+
+                // Boundary export: publish this sweep's boundary beliefs
+                // into the *next* frontier buffer.
+                for c in exports {
+                    let (l, f, w) = (
+                        c.local_off as usize,
+                        c.frontier_off as usize,
+                        c.card as usize,
+                    );
+                    frontier_next_ref[f..f + w].copy_from_slice(&st.prev[l..l + w]);
+                }
+            })?;
+            message_updates += shard_msgs;
+            drop(shard_span);
+        }
+        node_updates += active_len as u64;
+        std::mem::swap(&mut frontier_prev, &mut frontier_next);
+
+        // Deterministic ascending-order reduction over all shards — the
+        // same single fold the resident runner computes.
+        let sum: f32 = global_active.iter().map(|&v| diffs[v as usize]).sum();
+
+        if trace.enabled() {
+            iter_span.record(&[("delta", sum.into())]);
+            trace.counter("queue_depth", active_len as f64);
+        }
+        drop(iter_span);
+        per_iteration.push(IterationStats {
+            delta: sum,
+            node_updates: active_len as u64,
+            message_updates: message_updates - msgs_before,
+            queue_depth: active_len as u64,
+            elapsed: iter_start.elapsed(),
+        });
+
+        if !tracker.record(sum) {
+            break;
+        }
+    }
+
+    // Assemble the global packed beliefs: shard-local regions concatenate
+    // in range order.
+    let mut beliefs = vec![0.0f32; *global_off.last().unwrap()];
+    for (&(lo, _), st) in meta.ranges.iter().zip(&states) {
+        let g = global_off[lo as usize];
+        let local_len = st.next.len();
+        beliefs[g..g + local_len].copy_from_slice(&st.prev[..local_len]);
+    }
+
+    let elapsed = start.elapsed();
+    if trace.enabled() {
+        emit_pool_metrics(trace, &pool, None, elapsed);
+        run_span.record(&[
+            ("iterations", tracker.iterations().into()),
+            ("converged", tracker.converged().into()),
+        ]);
+    }
+    Ok((
+        BpStats {
+            engine: name,
+            iterations: tracker.iterations(),
+            converged: tracker.converged(),
+            final_delta: if tracker.last_sum().is_finite() {
+                tracker.last_sum()
+            } else {
+                0.0
+            },
+            node_updates,
+            message_updates,
+            atomic_retries: 0,
+            reported_time: elapsed,
+            host_time: elapsed,
+            per_iteration,
+        },
+        beliefs,
+    ))
+}
+
+/// Sharded node-paradigm BP over a resident graph ("Stream Node").
+///
+/// Compiles the graph into a [`ShardedExec`] with `shards` contiguous
+/// ranges and runs [`run_sharded`]. Beliefs are bit-identical to the
+/// resident Par Node plan runner; the point of the resident adapter is
+/// selector/CLI wiring and equivalence testing — the bounded-memory win
+/// comes from feeding [`run_sharded`] a `credo-stream` spill source
+/// instead.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardedEngine {
+    /// Number of contiguous shards to split the node space into.
+    pub shards: usize,
+}
+
+impl ShardedEngine {
+    /// Default shard count for the resident adapter.
+    pub const DEFAULT_SHARDS: usize = 4;
+
+    /// An engine splitting the graph into `shards` ranges.
+    pub fn new(shards: usize) -> Self {
+        ShardedEngine {
+            shards: shards.max(1),
+        }
+    }
+}
+
+impl Default for ShardedEngine {
+    fn default() -> Self {
+        ShardedEngine::new(Self::DEFAULT_SHARDS)
+    }
+}
+
+impl BpEngine for ShardedEngine {
+    fn name(&self) -> &'static str {
+        "Stream Node"
+    }
+
+    fn paradigm(&self) -> Paradigm {
+        Paradigm::Node
+    }
+
+    fn platform(&self) -> Platform {
+        Platform::CpuParallel
+    }
+
+    fn run_traced(
+        &self,
+        graph: &mut BeliefGraph,
+        opts: &BpOptions,
+        trace: &Dispatch,
+    ) -> Result<BpStats, EngineError> {
+        let mut sx = ShardedExec::compile(graph, self.shards);
+        // Start from the graph's current beliefs (covers observed one-hots
+        // and warm starts), exactly like the resident runners.
+        let init: Vec<f32> = graph
+            .beliefs()
+            .iter()
+            .flat_map(|b| b.as_slice().iter().copied())
+            .collect();
+        let (stats, beliefs) =
+            run_sharded(self.name(), &mut sx, opts, trace, opts.threads, Some(&init))?;
+        let mut off = 0usize;
+        for b in graph.beliefs_mut().iter_mut() {
+            let c = b.len();
+            *b = credo_graph::Belief::from_slice(&beliefs[off..off + c]);
+            off += c;
+        }
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::par::ParNodeEngine;
+    use credo_graph::generators::{grid, kronecker, synthetic, GenOptions, PotentialKind};
+
+    fn beliefs_bitwise_equal(a: &BeliefGraph, b: &BeliefGraph) -> bool {
+        a.beliefs().iter().zip(b.beliefs()).all(|(x, y)| {
+            x.as_slice()
+                .iter()
+                .zip(y.as_slice())
+                .all(|(p, q)| p.to_bits() == q.to_bits())
+        })
+    }
+
+    #[test]
+    fn sharded_is_bitwise_identical_to_resident_par_node() {
+        for shards in [1usize, 2, 8] {
+            for threads in [1usize, 3] {
+                let mut g1 = synthetic(120, 480, &GenOptions::new(3).with_seed(21));
+                let mut g2 = g1.clone();
+                let opts = BpOptions::default().with_threads(threads);
+                let s1 = ParNodeEngine.run(&mut g1, &opts).unwrap();
+                let s2 = ShardedEngine::new(shards).run(&mut g2, &opts).unwrap();
+                assert_eq!(s1.iterations, s2.iterations, "shards={shards}");
+                assert_eq!(s1.node_updates, s2.node_updates);
+                assert_eq!(s1.message_updates, s2.message_updates);
+                for (a, b) in s1.per_iteration.iter().zip(&s2.per_iteration) {
+                    assert_eq!(a.delta.to_bits(), b.delta.to_bits(), "shards={shards}");
+                }
+                assert!(beliefs_bitwise_equal(&g1, &g2), "shards={shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_handles_per_edge_potentials_and_grids() {
+        let opts_gen = GenOptions::new(2)
+            .with_seed(5)
+            .with_potentials(PotentialKind::PerEdgeRandom);
+        let mut g1 = synthetic(90, 270, &opts_gen);
+        let mut g2 = g1.clone();
+        ParNodeEngine.run(&mut g1, &BpOptions::default()).unwrap();
+        ShardedEngine::new(3)
+            .run(&mut g2, &BpOptions::default())
+            .unwrap();
+        assert!(beliefs_bitwise_equal(&g1, &g2));
+
+        let mut g1 = grid(12, 12, &GenOptions::new(2).with_seed(8));
+        let mut g2 = g1.clone();
+        ParNodeEngine.run(&mut g1, &BpOptions::default()).unwrap();
+        ShardedEngine::new(5)
+            .run(&mut g2, &BpOptions::default())
+            .unwrap();
+        assert!(beliefs_bitwise_equal(&g1, &g2));
+    }
+
+    #[test]
+    fn sharded_respects_observed_nodes() {
+        let mut g = kronecker(6, 7, &GenOptions::new(2).with_seed(3));
+        g.observe(5, 1);
+        let before = g.beliefs()[5];
+        let mut reference = g.clone();
+        ShardedEngine::new(4)
+            .run(&mut g, &BpOptions::default())
+            .unwrap();
+        ParNodeEngine
+            .run(&mut reference, &BpOptions::default())
+            .unwrap();
+        assert_eq!(g.beliefs()[5], before);
+        assert!(beliefs_bitwise_equal(&g, &reference));
+    }
+
+    #[test]
+    fn more_shards_than_nodes_is_fine() {
+        let mut g1 = synthetic(5, 10, &GenOptions::new(2).with_seed(2));
+        let mut g2 = g1.clone();
+        ParNodeEngine.run(&mut g1, &BpOptions::default()).unwrap();
+        ShardedEngine::new(16)
+            .run(&mut g2, &BpOptions::default())
+            .unwrap();
+        assert!(beliefs_bitwise_equal(&g1, &g2));
+    }
+}

@@ -29,16 +29,23 @@ credo — optimized belief propagation (ICPP Workshops 2020)
 
 USAGE:
     credo prof <graph> [options]
+    credo prof --stream <nodes.mtx> <edges.mtx> [options]
 
 ARGS:
     <graph>    synthetic spec `NxE` or `NxExK` (nodes x edges x cardinality,
-               e.g. `10000x40000`), or a path to a .bif / .xml network
+               e.g. `10000x40000`), or a path to a .bif / .xml network;
+               with --stream, the Credo-MTX node and edge files instead
 
 OPTIONS:
     --cpu <engine>     CPU engine: seq-node, seq-edge, par-node (default),
                        par-edge, openmp-node, openmp-edge
     --gpu <engine>     simulated GPU engine: cuda-node (default), cuda-edge,
                        openacc, none
+    --stream           stream the MTX pair into shards and run the sharded
+                       engine, never materializing the whole graph
+    --shards <k>       shard count for --stream (default: 4)
+    --spill            with --stream, spill shards to disk and reload one at
+                       a time (peak arc memory = largest shard + frontier)
     --out <dir>        output directory (default: target/prof)
     --threads <n>      worker threads for the parallel CPU engines (0 = all)
     --queue            enable the work-queue scheduler
@@ -72,8 +79,13 @@ fn main() -> ExitCode {
 /// Parsed `credo prof` arguments.
 struct ProfArgs {
     graph: String,
+    /// Second positional — the edge file of an MTX pair (stream mode).
+    edges: String,
     cpu: String,
     gpu: String,
+    stream: bool,
+    shards: usize,
+    spill: bool,
     out: PathBuf,
     threads: usize,
     queue: bool,
@@ -85,8 +97,12 @@ struct ProfArgs {
 fn parse_prof_args(args: &[String]) -> Result<ProfArgs, String> {
     let mut parsed = ProfArgs {
         graph: String::new(),
+        edges: String::new(),
         cpu: "par-node".into(),
         gpu: "cuda-node".into(),
+        stream: false,
+        shards: credo_core::ShardedEngine::DEFAULT_SHARDS,
+        spill: false,
         out: PathBuf::from("target/prof"),
         threads: 0,
         queue: false,
@@ -110,6 +126,16 @@ fn parse_prof_args(args: &[String]) -> Result<ProfArgs, String> {
                     .parse()
                     .map_err(|e| format!("--threads: {e}"))?;
             }
+            "--stream" => parsed.stream = true,
+            "--shards" => {
+                parsed.shards = value("--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?;
+                if parsed.shards == 0 {
+                    return Err("--shards must be at least 1".into());
+                }
+            }
+            "--spill" => parsed.spill = true,
             "--queue" => parsed.queue = true,
             "--seed" => {
                 parsed.seed = value("--seed")?
@@ -127,11 +153,22 @@ fn parse_prof_args(args: &[String]) -> Result<ProfArgs, String> {
             "-h" | "--help" => return Err(format!("help requested\n\n{USAGE}")),
             other if other.starts_with('-') => return Err(format!("unknown option `{other}`")),
             positional if parsed.graph.is_empty() => parsed.graph = positional.to_string(),
+            positional if parsed.edges.is_empty() => {
+                parsed.edges = positional.to_string();
+            }
             extra => return Err(format!("unexpected argument `{extra}`")),
         }
     }
     if parsed.graph.is_empty() {
         return Err(format!("missing <graph> argument\n\n{USAGE}"));
+    }
+    if parsed.stream && parsed.edges.is_empty() {
+        return Err(format!(
+            "--stream needs both <nodes.mtx> and <edges.mtx>\n\n{USAGE}"
+        ));
+    }
+    if !parsed.stream && (parsed.spill || !parsed.edges.is_empty()) {
+        return Err("--spill and a second positional require --stream".into());
     }
     Ok(parsed)
 }
@@ -201,6 +238,82 @@ fn report_line(stats: &BpStats) -> String {
     )
 }
 
+/// The `--stream` path: lower the MTX pair into shards (resident or
+/// spilled) and run the sharded engine, never building a whole-graph
+/// `BeliefGraph`.
+fn prof_stream(args: &ProfArgs, say: &dyn Fn(String)) -> Result<(), String> {
+    use credo_core::run_sharded;
+
+    let nodes = PathBuf::from(&args.graph);
+    let edges = PathBuf::from(&args.edges);
+    let mut opts = BpOptions {
+        threads: args.threads,
+        ..BpOptions::default()
+    };
+    if let Some(cap) = args.max_iters {
+        opts.max_iterations = cap;
+    }
+
+    std::fs::create_dir_all(&args.out).map_err(|e| format!("{}: {e}", args.out.display()))?;
+    let buffer = Arc::new(TraceBuffer::new());
+    let trace = Dispatch::new(buffer.clone());
+
+    let err_ctx = |e: credo::io::IoError| format!("{}: {e}", args.graph);
+    let (stats, source_desc) = if args.spill {
+        let spill_dir = args.out.join("shards");
+        let mut spilled = credo_stream::lower_files_spill(&nodes, &edges, args.shards, &spill_dir)
+            .map_err(err_ctx)?;
+        let desc = format!(
+            "{} spilled shards under {} (largest {} KiB resident)",
+            spilled.meta().num_shards(),
+            spill_dir.display(),
+            spilled.max_shard_bytes() / 1024,
+        );
+        let (stats, _beliefs) = run_sharded(
+            "Stream Node",
+            &mut spilled,
+            &opts,
+            &trace,
+            args.threads,
+            None,
+        )
+        .map_err(|e| format!("stream: {e}"))?;
+        (stats, desc)
+    } else {
+        let mut sx = credo_stream::lower_files(&nodes, &edges, args.shards).map_err(err_ctx)?;
+        let desc = format!("{} resident shards", sx.meta.num_shards());
+        let (stats, _beliefs) =
+            run_sharded("Stream Node", &mut sx, &opts, &trace, args.threads, None)
+                .map_err(|e| format!("stream: {e}"))?;
+        (stats, desc)
+    };
+    say(format!(
+        "streamed {} + {}: {source_desc}",
+        args.graph, args.edges
+    ));
+
+    let jsonl = args.out.join("prof.jsonl");
+    let chrome = args.out.join("prof.trace.json");
+    buffer
+        .write_json_lines(&jsonl)
+        .map_err(|e| format!("{}: {e}", jsonl.display()))?;
+    buffer
+        .write_chrome_trace(&chrome)
+        .map_err(|e| format!("{}: {e}", chrome.display()))?;
+
+    println!("== engines ==");
+    println!("{}", report_line(&stats));
+    println!();
+    print!("{}", buffer.summary().render());
+    println!();
+    println!("metrics:      {}", jsonl.display());
+    println!(
+        "chrome trace: {} (load in chrome://tracing or Perfetto)",
+        chrome.display()
+    );
+    Ok(())
+}
+
 fn prof(args: &[String]) -> Result<(), String> {
     let args = parse_prof_args(args)?;
     let progress = if args.quiet {
@@ -209,6 +322,10 @@ fn prof(args: &[String]) -> Result<(), String> {
         Dispatch::new(Arc::new(ConsoleRecorder::new()))
     };
     let say = |msg: String| progress.event("progress", &[("msg", msg.as_str().into())]);
+
+    if args.stream {
+        return prof_stream(&args, &say);
+    }
 
     let graph = load_graph(&args.graph, args.seed)?;
     say(format!(

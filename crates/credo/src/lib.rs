@@ -46,6 +46,7 @@ pub mod engines {
     pub use credo_core::openmp::{OpenMpEdgeEngine, OpenMpNodeEngine};
     pub use credo_core::par::{ParEdgeEngine, ParNodeEngine};
     pub use credo_core::seq::{NaiveTreeEngine, SeqEdgeEngine, SeqNodeEngine, TreeEngine};
+    pub use credo_core::ShardedEngine;
     pub use credo_cuda::{CudaEdgeEngine, CudaNodeEngine, OpenAccEngine};
 }
 
@@ -103,6 +104,7 @@ impl Credo {
             Implementation::CudaNode => Box::new(CudaNodeEngine::new(self.device.clone())),
             Implementation::ParEdge => Box::new(credo_core::par::ParEdgeEngine),
             Implementation::ParNode => Box::new(credo_core::par::ParNodeEngine),
+            Implementation::StreamNode => Box::new(credo_core::ShardedEngine::default()),
         }
     }
 
@@ -181,6 +183,19 @@ mod tests {
             assert_eq!(stats.engine, which.to_string());
             assert!(g.beliefs().iter().all(|b| b.is_normalized(1e-3)));
         }
+    }
+
+    #[test]
+    fn engine_instantiates_stream_node() {
+        let credo = Credo::new(PASCAL_GTX1070);
+        let mut g = synthetic(300, 1200, &GenOptions::new(2).with_seed(6));
+        let stats = credo
+            .engine(Implementation::StreamNode)
+            .run(&mut g, &BpOptions::default())
+            .unwrap();
+        assert!(stats.iterations > 0);
+        assert_eq!(stats.engine, Implementation::StreamNode.to_string());
+        assert!(g.beliefs().iter().all(|b| b.is_normalized(1e-3)));
     }
 
     #[test]

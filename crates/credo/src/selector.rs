@@ -20,6 +20,10 @@ pub enum Implementation {
     ParEdge,
     /// Native CPU-parallel per-node ("Par Node"), beyond the paper.
     ParNode,
+    /// Sharded streaming per-node ("Stream Node"): the Par Node sweep run
+    /// shard-by-shard over a [`credo_graph::ShardedExec`], beyond the
+    /// paper.
+    StreamNode,
 }
 
 /// The paper's four implementations, in label order (the classifier's
@@ -66,7 +70,10 @@ impl Implementation {
 
     /// True for the native persistent-pool parallel implementations.
     pub fn is_par(self) -> bool {
-        matches!(self, Implementation::ParEdge | Implementation::ParNode)
+        matches!(
+            self,
+            Implementation::ParEdge | Implementation::ParNode | Implementation::StreamNode
+        )
     }
 }
 
@@ -79,6 +86,7 @@ impl std::fmt::Display for Implementation {
             Implementation::CudaNode => "CUDA Node",
             Implementation::ParEdge => "Par Edge",
             Implementation::ParNode => "Par Node",
+            Implementation::StreamNode => "Stream Node",
         })
     }
 }
@@ -161,11 +169,18 @@ impl Selector {
                 let row: Vec<f64> = meta.features().to_vec();
                 Implementation::from_class_id(forest.predict(&row))
             }
-            Selector::NativeRule => match Selector::Rule.select(meta) {
-                Implementation::CEdge => Implementation::ParEdge,
-                Implementation::CNode => Implementation::ParNode,
-                other => other,
-            },
+            Selector::NativeRule => {
+                // Past ~1M nodes a resident ExecGraph's arc arrays dominate
+                // memory; switch to the sharded streaming sweep.
+                if meta.num_nodes >= 1_000_000 {
+                    return Implementation::StreamNode;
+                }
+                match Selector::Rule.select(meta) {
+                    Implementation::CEdge => Implementation::ParEdge,
+                    Implementation::CNode => Implementation::ParNode,
+                    other => other,
+                }
+            }
         }
     }
 }
@@ -289,12 +304,38 @@ mod tests {
     }
 
     #[test]
+    fn native_rule_streams_million_node_graphs() {
+        // metadata only — no need to materialize a 1M-node graph here.
+        let meta = GraphMetadata {
+            num_nodes: 1_000_000,
+            num_edges: 4_000_000,
+            num_arcs: 8_000_000,
+            num_beliefs: 2,
+            max_in_degree: 40,
+            max_out_degree: 40,
+            avg_in_degree: 8.0,
+            avg_out_degree: 8.0,
+        };
+        assert_eq!(
+            Selector::native_rule().select(&meta),
+            Implementation::StreamNode
+        );
+        // The plain rule (paper semantics) is unchanged.
+        assert_eq!(
+            Selector::rule_based().select(&meta),
+            Implementation::CudaNode
+        );
+    }
+
+    #[test]
     fn par_implementations_stay_out_of_the_label_table() {
         for imp in PAR_IMPLEMENTATIONS {
             assert!(imp.is_par());
             assert!(!imp.is_cuda());
             assert!(!ALL_IMPLEMENTATIONS.contains(&imp));
         }
+        assert!(Implementation::StreamNode.is_par());
+        assert!(!ALL_IMPLEMENTATIONS.contains(&Implementation::StreamNode));
         assert_eq!(ALL_IMPLEMENTATIONS.len(), 4);
     }
 

@@ -11,6 +11,9 @@
 //! * [`ExecGraph`] — the compiled execution plan: cardinality-packed
 //!   belief arrays, pre-resolved [`PackedArc`] in-arc tuples and a
 //!   deduplicated potential pool, lowered once before engines run.
+//! * [`ShardedExec`] — the same layout split into K contiguous
+//!   [`ExecShard`]s with halo slots and a boundary frontier, for
+//!   bounded-memory sharded execution.
 //! * [`JointMatrix`] / [`PotentialStore`] — per-edge or shared joint
 //!   probability matrices (§2.2's memory refinement).
 //! * [`Csr`] — compressed adjacency lists indexing directed arcs (§3.4).
@@ -29,6 +32,7 @@ mod exec;
 mod graph;
 mod metadata;
 mod potentials;
+mod shard;
 mod soa;
 
 pub mod generators;
@@ -40,4 +44,5 @@ pub use exec::{ExecGraph, OutArc, PackedArc};
 pub use graph::{Arc, BeliefGraph, EdgeId, GraphError, NodeId};
 pub use metadata::{FeatureVector, GraphMetadata, FEATURE_NAMES, NUM_FEATURES};
 pub use potentials::{JointMatrix, PotentialStore};
+pub use shard::{partition_ranges, ExecShard, ShardCopy, ShardedExec, ShardedMeta};
 pub use soa::{aos_trace_read, SoaBeliefs};

@@ -1,0 +1,596 @@
+//! Sharded execution plans: contiguous node ranges lowered into
+//! independent packed shards with an explicit boundary frontier.
+//!
+//! The resident [`crate::ExecGraph`] holds every arc of the graph at once;
+//! past the paper's thousands-of-nodes BIF ceiling that is exactly the
+//! memory wall the §3.2 streaming format was designed to avoid. A
+//! [`ShardedExec`] splits the node id space into K contiguous ranges and
+//! lowers each range into an [`ExecShard`] — the same `PackedArc` /
+//! prefix-offset / deduplicated-pool layout as `ExecGraph`, restricted to
+//! the arcs that *end* in the range. Each shard appends **halo slots**
+//! after its local nodes: one packed belief slot per out-of-range source
+//! feeding the shard, so a shard's sweep reads only shard-local arrays.
+//!
+//! Between sweeps the shards exchange boundary beliefs through a packed
+//! **frontier** array (one slot per node that any other shard imports,
+//! double-buffered by the engine): each shard copies its
+//! [`ShardedMeta::imports`] from the previous sweep's frontier into its
+//! halo slots before computing, and publishes its
+//! [`ShardedMeta::exports`] into the next sweep's frontier afterwards.
+//! Every read therefore observes sweep `t-1` state — the same Jacobi
+//! schedule as the resident plan runner, making the per-node arithmetic
+//! bit-identical to it.
+//!
+//! Shards can be built two ways that must (and do — see the tests and
+//! `credo-stream`) produce byte-identical layouts:
+//!
+//! * [`ExecShard::compile_range`] from a resident [`BeliefGraph`];
+//! * the `credo-stream` two-pass lowerer, straight from MTX files.
+//!
+//! Both intern potentials and assign halo slots while scanning arcs in
+//! **ascending arc id order** (edge-file order, forward arc before its
+//! reverse), which pins pool offsets and halo slot numbering to the same
+//! first-encounter sequence regardless of how the shard was produced.
+
+use crate::exec::PackedArc;
+use crate::graph::BeliefGraph;
+use std::collections::HashMap;
+
+/// One boundary-belief copy: `card` floats between a shard-local packed
+/// offset and a frontier packed offset.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardCopy {
+    /// Packed offset inside the shard's belief array (halo region for
+    /// imports, local region for exports).
+    pub local_off: u32,
+    /// Packed offset inside the frontier array.
+    pub frontier_off: u32,
+    /// Number of floats to copy (the node's cardinality).
+    pub card: u16,
+}
+
+/// One contiguous node range lowered into packed execution form.
+///
+/// Layout mirrors [`crate::ExecGraph`]: `node_off` prefix-offsets the
+/// packed belief array, whose first `local_nodes()` entries are the range
+/// `[range.0, range.1)` in order and whose tail is one slot per halo
+/// (out-of-range) source in first-encounter order; `in_arcs` is the
+/// in-CSR of the local nodes with `src_off` pre-resolved into that local
+/// array; `pot_pool` holds the distinct joint matrices reachable from
+/// this shard, content-deduplicated in ascending-arc-id encounter order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExecShard {
+    /// Global node id range `[lo, hi)` this shard owns.
+    pub range: (u32, u32),
+    /// `local + halo + 1` prefix offsets into the shard belief array.
+    pub node_off: Vec<u32>,
+    /// Packed priors of the local nodes (`node_off[local]` floats).
+    pub priors: Vec<f32>,
+    /// `local + 1` prefix offsets into `in_arcs`.
+    pub in_off: Vec<u32>,
+    /// Pre-resolved in-arcs of the local nodes, grouped by destination.
+    pub in_arcs: Vec<PackedArc>,
+    /// Distinct joint matrices, row-major, concatenated.
+    pub pot_pool: Vec<f32>,
+    /// Number of distinct matrices in `pot_pool`.
+    pub pool_matrices: u32,
+    /// Observed flags of the local nodes.
+    pub observed: Vec<bool>,
+    /// Global ids of the halo sources, in slot order.
+    pub halo: Vec<u32>,
+}
+
+impl ExecShard {
+    /// Number of nodes this shard owns.
+    #[inline]
+    pub fn local_nodes(&self) -> usize {
+        (self.range.1 - self.range.0) as usize
+    }
+
+    /// Packed floats for local + halo slots.
+    #[inline]
+    pub fn packed_len(&self) -> usize {
+        *self.node_off.last().unwrap() as usize
+    }
+
+    /// Packed floats for the local region only.
+    #[inline]
+    pub fn local_len(&self) -> usize {
+        self.node_off[self.local_nodes()] as usize
+    }
+
+    /// Packed offset of local or halo slot `slot`.
+    #[inline]
+    pub fn slot_off(&self, slot: usize) -> usize {
+        self.node_off[slot] as usize
+    }
+
+    /// Cardinality of local or halo slot `slot`.
+    #[inline]
+    pub fn slot_card(&self, slot: usize) -> usize {
+        (self.node_off[slot + 1] - self.node_off[slot]) as usize
+    }
+
+    /// The pre-resolved in-arcs of local node `v` (0-based within the
+    /// shard).
+    #[inline]
+    pub fn in_arcs_of(&self, v: usize) -> &[PackedArc] {
+        &self.in_arcs[self.in_off[v] as usize..self.in_off[v + 1] as usize]
+    }
+
+    /// In-degree of local node `v`.
+    #[inline]
+    pub fn in_degree(&self, v: usize) -> u32 {
+        self.in_off[v + 1] - self.in_off[v]
+    }
+
+    /// A potential's row-major data for one of this shard's arcs.
+    #[inline]
+    pub fn potential(&self, arc: &PackedArc) -> &[f32] {
+        let len = arc.src_card as usize * arc.dst_card as usize;
+        &self.pot_pool[arc.pot_off as usize..arc.pot_off as usize + len]
+    }
+
+    /// Bytes held by this shard's arrays.
+    pub fn memory_bytes(&self) -> usize {
+        self.node_off.len() * 4
+            + self.priors.len() * 4
+            + self.in_off.len() * 4
+            + self.in_arcs.len() * std::mem::size_of::<PackedArc>()
+            + self.pot_pool.len() * 4
+            + self.observed.len()
+            + self.halo.len() * 4
+    }
+
+    /// Lowers the node range `[lo, hi)` of a resident graph into a shard.
+    ///
+    /// Potentials are interned and halo slots assigned while scanning the
+    /// graph's arcs in ascending arc id order — the contract the streaming
+    /// lowerer reproduces, so both paths emit identical shards.
+    pub fn compile_range(graph: &BeliefGraph, lo: u32, hi: u32) -> ExecShard {
+        let local = (hi - lo) as usize;
+        let in_range = |v: u32| v >= lo && v < hi;
+
+        let mut pot_pool: Vec<f32> = Vec::new();
+        let mut pool_matrices = 0u32;
+        let mut dedup: HashMap<Vec<u32>, u32> = HashMap::new();
+        let mut arc_pot: HashMap<u32, u32> = HashMap::new();
+        let mut halo: Vec<u32> = Vec::new();
+        let mut halo_slot: HashMap<u32, u32> = HashMap::new();
+        for a in 0..graph.num_arcs() as u32 {
+            let arc = graph.arc(a);
+            if !in_range(arc.dst) {
+                continue;
+            }
+            let data = graph.potential(a).data();
+            let key: Vec<u32> = data.iter().map(|f| f.to_bits()).collect();
+            let off = *dedup.entry(key).or_insert_with(|| {
+                let at = pot_pool.len();
+                assert!(
+                    at + data.len() <= u32::MAX as usize,
+                    "shard potential pool exceeds u32 indexing"
+                );
+                pot_pool.extend_from_slice(data);
+                pool_matrices += 1;
+                at as u32
+            });
+            arc_pot.insert(a, off);
+            if !in_range(arc.src) {
+                halo_slot.entry(arc.src).or_insert_with(|| {
+                    halo.push(arc.src);
+                    (halo.len() - 1) as u32
+                });
+            }
+        }
+
+        let mut node_off = Vec::with_capacity(local + halo.len() + 1);
+        let mut off = 0u64;
+        for v in lo..hi {
+            node_off.push(off as u32);
+            off += graph.cardinality(v) as u64;
+        }
+        for &g in &halo {
+            node_off.push(off as u32);
+            off += graph.cardinality(g) as u64;
+        }
+        assert!(
+            off <= u32::MAX as u64,
+            "packed shard belief array exceeds u32 indexing"
+        );
+        node_off.push(off as u32);
+
+        let mut priors = Vec::with_capacity(node_off[local] as usize);
+        for v in lo..hi {
+            priors.extend_from_slice(graph.priors()[v as usize].as_slice());
+        }
+
+        let mut in_off = Vec::with_capacity(local + 1);
+        let mut in_arcs = Vec::new();
+        for v in lo..hi {
+            in_off.push(in_arcs.len() as u32);
+            for &a in graph.in_arcs(v) {
+                let arc = graph.arc(a);
+                let m = graph.potential(a);
+                let slot = if in_range(arc.src) {
+                    (arc.src - lo) as usize
+                } else {
+                    local + halo_slot[&arc.src] as usize
+                };
+                in_arcs.push(PackedArc {
+                    src_off: node_off[slot],
+                    pot_off: arc_pot[&a],
+                    src_card: m.rows() as u16,
+                    dst_card: m.cols() as u16,
+                });
+            }
+        }
+        in_off.push(in_arcs.len() as u32);
+
+        ExecShard {
+            range: (lo, hi),
+            node_off,
+            priors,
+            in_off,
+            in_arcs,
+            pot_pool,
+            pool_matrices,
+            observed: graph.observed()[lo as usize..hi as usize].to_vec(),
+            halo,
+        }
+    }
+}
+
+/// Everything the sharded engine needs besides the shard arrays
+/// themselves: the partition, the frontier layout, and the per-shard
+/// boundary copy lists.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardedMeta {
+    /// Total node count.
+    pub num_nodes: usize,
+    /// Per-node cardinalities (global).
+    pub cards: Vec<u8>,
+    /// The K contiguous `[lo, hi)` ranges, covering `0..num_nodes`.
+    pub ranges: Vec<(u32, u32)>,
+    /// Global ids of the boundary nodes (imported by some shard), sorted
+    /// ascending — the frontier slot order.
+    pub frontier: Vec<u32>,
+    /// `frontier.len() + 1` prefix offsets into the packed frontier array.
+    pub frontier_off: Vec<u32>,
+    /// Initial frontier contents: each boundary node's starting belief.
+    pub frontier_init: Vec<f32>,
+    /// Per shard: copies from the frontier into its halo slots, in halo
+    /// slot order.
+    pub imports: Vec<Vec<ShardCopy>>,
+    /// Per shard: copies from its local region into the frontier, in
+    /// ascending global id order.
+    pub exports: Vec<Vec<ShardCopy>>,
+    /// The uniform cardinality, when every node shares one.
+    pub uniform_card: Option<u8>,
+    /// Total arc count across shards.
+    pub total_arcs: usize,
+}
+
+impl ShardedMeta {
+    /// Packed length of the frontier array.
+    #[inline]
+    pub fn frontier_len(&self) -> usize {
+        self.frontier_off.last().copied().unwrap_or(0) as usize
+    }
+
+    /// Frontier slot index of global node `gid`, when it is a boundary
+    /// node.
+    #[inline]
+    pub fn frontier_slot(&self, gid: u32) -> Option<usize> {
+        self.frontier.binary_search(&gid).ok()
+    }
+
+    /// Number of shards.
+    #[inline]
+    pub fn num_shards(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Builds the meta for a set of compiled shards: the frontier is the
+    /// sorted union of the shards' halos, imports follow each shard's
+    /// halo slot order, exports each owner's ascending id order.
+    /// `frontier_init` is zeroed — the caller seeds it (e.g. from priors)
+    /// via [`ShardedMeta::frontier_slot`] / `frontier_off`.
+    pub fn assemble(cards: Vec<u8>, ranges: Vec<(u32, u32)>, shards: &[ExecShard]) -> ShardedMeta {
+        let num_nodes = cards.len();
+        let mut frontier: Vec<u32> = shards.iter().flat_map(|s| s.halo.iter().copied()).collect();
+        frontier.sort_unstable();
+        frontier.dedup();
+        let mut frontier_off = Vec::with_capacity(frontier.len() + 1);
+        let mut off = 0u32;
+        for &gid in &frontier {
+            frontier_off.push(off);
+            off += cards[gid as usize] as u32;
+        }
+        frontier_off.push(off);
+
+        let slot_of = |gid: u32| frontier.binary_search(&gid).unwrap();
+        let imports = shards
+            .iter()
+            .map(|s| {
+                let local = s.local_nodes();
+                s.halo
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &gid)| ShardCopy {
+                        local_off: s.node_off[local + i],
+                        frontier_off: frontier_off[slot_of(gid)],
+                        card: cards[gid as usize] as u16,
+                    })
+                    .collect()
+            })
+            .collect();
+        let exports = shards
+            .iter()
+            .map(|s| {
+                let (lo, hi) = s.range;
+                let from = frontier.partition_point(|&g| g < lo);
+                let to = frontier.partition_point(|&g| g < hi);
+                frontier[from..to]
+                    .iter()
+                    .map(|&gid| ShardCopy {
+                        local_off: s.node_off[(gid - lo) as usize],
+                        frontier_off: frontier_off[slot_of(gid)],
+                        card: cards[gid as usize] as u16,
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let uniform_card = cards
+            .first()
+            .copied()
+            .filter(|&c| cards.iter().all(|&x| x == c));
+        ShardedMeta {
+            num_nodes,
+            cards,
+            ranges,
+            frontier_init: vec![0.0; off as usize],
+            frontier,
+            frontier_off,
+            imports,
+            exports,
+            uniform_card,
+            total_arcs: shards.iter().map(|s| s.in_arcs.len()).sum(),
+        }
+    }
+}
+
+/// A fully resident sharded plan: the meta plus every shard in memory.
+/// (The `credo-stream` spill mode holds the same data with shards parked
+/// on disk instead.)
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardedExec {
+    /// Partition, frontier and boundary-exchange metadata.
+    pub meta: ShardedMeta,
+    /// The K shards, in range order.
+    pub shards: Vec<ExecShard>,
+}
+
+impl ShardedExec {
+    /// Compiles a resident graph into `k` contiguous shards balanced by
+    /// in-arc count, with the frontier seeded from the graph's current
+    /// beliefs (== priors on a freshly built graph, and the observed
+    /// one-hot for observed boundary nodes).
+    pub fn compile(graph: &BeliefGraph, k: usize) -> ShardedExec {
+        let n = graph.num_nodes();
+        let degrees: Vec<u32> = (0..n as u32)
+            .map(|v| graph.in_arcs(v).len() as u32)
+            .collect();
+        let ranges = partition_ranges(&degrees, k);
+        let shards: Vec<ExecShard> = ranges
+            .iter()
+            .map(|&(lo, hi)| ExecShard::compile_range(graph, lo, hi))
+            .collect();
+        let cards: Vec<u8> = (0..n as u32).map(|v| graph.cardinality(v) as u8).collect();
+        let mut meta = ShardedMeta::assemble(cards, ranges, &shards);
+        for (i, &gid) in meta.frontier.iter().enumerate() {
+            let lo = meta.frontier_off[i] as usize;
+            let b = graph.beliefs()[gid as usize].as_slice();
+            meta.frontier_init[lo..lo + b.len()].copy_from_slice(b);
+        }
+        ShardedExec { meta, shards }
+    }
+
+    /// Total bytes across all shard arrays (the frontier and meta are
+    /// negligible next to it).
+    pub fn memory_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.memory_bytes()).sum()
+    }
+}
+
+/// Splits `0..weights.len()` into `k` contiguous ranges with roughly equal
+/// weight sums (the last range absorbs any remainder). Deterministic; some
+/// trailing ranges may be empty when `k` exceeds the node count.
+pub fn partition_ranges(weights: &[u32], k: usize) -> Vec<(u32, u32)> {
+    let n = weights.len();
+    let k = k.max(1);
+    let total: u64 = weights.iter().map(|&w| w as u64).sum();
+    let mut ranges = Vec::with_capacity(k);
+    let mut lo = 0usize;
+    let mut cum = 0u64;
+    for i in 0..k {
+        let mut hi = lo;
+        if i == k - 1 {
+            hi = n;
+        } else {
+            let target = total * (i as u64 + 1) / k as u64;
+            // Force-take one node when the target is already met, so only
+            // trailing ranges can be empty.
+            while hi < n && (cum < target || hi == lo) {
+                cum += weights[hi] as u64;
+                hi += 1;
+            }
+        }
+        ranges.push((lo as u32, hi as u32));
+        lo = hi;
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{synthetic, GenOptions, PotentialKind};
+    use crate::ExecGraph;
+
+    fn sharded(n: usize, e: usize, k: usize, seed: u64) -> (BeliefGraph, ShardedExec) {
+        let g = synthetic(n, e, &GenOptions::new(2).with_seed(seed));
+        let sx = ShardedExec::compile(&g, k);
+        (g, sx)
+    }
+
+    #[test]
+    fn partition_covers_everything_in_order() {
+        let w = [5u32, 1, 1, 1, 5, 1, 1, 1, 5, 1];
+        for k in [1usize, 2, 3, 5, 10, 16] {
+            let r = partition_ranges(&w, k);
+            assert_eq!(r.len(), k);
+            assert_eq!(r[0].0, 0);
+            assert_eq!(r[k - 1].1, w.len() as u32);
+            for pair in r.windows(2) {
+                assert_eq!(pair[0].1, pair[1].0);
+            }
+        }
+    }
+
+    #[test]
+    fn partition_balances_by_weight() {
+        let w = vec![1u32; 1000];
+        let r = partition_ranges(&w, 4);
+        for &(lo, hi) in &r {
+            let len = (hi - lo) as usize;
+            assert!((200..=300).contains(&len), "unbalanced range {lo}..{hi}");
+        }
+    }
+
+    #[test]
+    fn single_shard_matches_exec_graph() {
+        let (g, sx) = sharded(50, 150, 1, 7);
+        let x = ExecGraph::compile(&g);
+        assert_eq!(sx.shards.len(), 1);
+        let s = &sx.shards[0];
+        assert!(s.halo.is_empty());
+        assert!(sx.meta.frontier.is_empty());
+        assert_eq!(s.pot_pool, x.pot_pool());
+        assert_eq!(s.packed_len(), x.packed_len());
+        assert_eq!(s.priors, x.priors());
+        for v in 0..g.num_nodes() as u32 {
+            assert_eq!(s.in_arcs_of(v as usize), x.in_arcs(v));
+        }
+    }
+
+    #[test]
+    fn shard_arcs_resolve_to_graph_data() {
+        let (g, sx) = sharded(80, 320, 4, 3);
+        for s in &sx.shards {
+            let (lo, _) = s.range;
+            // Inverse slot map: slot -> global id.
+            let slot_gid = |off: u32| -> u32 {
+                let slot = s.node_off.partition_point(|&o| o <= off) - 1;
+                if slot < s.local_nodes() {
+                    lo + slot as u32
+                } else {
+                    s.halo[slot - s.local_nodes()]
+                }
+            };
+            for v in 0..s.local_nodes() {
+                let gv = lo + v as u32;
+                let direct = g.in_arcs(gv);
+                let packed = s.in_arcs_of(v);
+                assert_eq!(direct.len(), packed.len());
+                for (&a, p) in direct.iter().zip(packed) {
+                    let arc = g.arc(a);
+                    assert_eq!(slot_gid(p.src_off), arc.src);
+                    assert_eq!(p.src_card as usize, g.cardinality(arc.src));
+                    assert_eq!(p.dst_card as usize, g.cardinality(arc.dst));
+                    assert_eq!(s.potential(p), g.potential(a).data());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_is_the_union_of_halos_with_consistent_copies() {
+        let (g, sx) = sharded(60, 240, 3, 11);
+        let meta = &sx.meta;
+        // Every halo node appears in the frontier; every import points at
+        // its halo slot, every export at the owner's local slot.
+        for (k, s) in sx.shards.iter().enumerate() {
+            assert_eq!(meta.imports[k].len(), s.halo.len());
+            for (i, (&gid, imp)) in s.halo.iter().zip(&meta.imports[k]).enumerate() {
+                let fslot = meta.frontier_slot(gid).expect("halo node in frontier");
+                assert_eq!(imp.frontier_off, meta.frontier_off[fslot]);
+                assert_eq!(imp.local_off, s.node_off[s.local_nodes() + i]);
+                assert_eq!(imp.card as usize, g.cardinality(gid));
+            }
+            for exp in &meta.exports[k] {
+                assert!(exp.local_off < s.local_len() as u32);
+            }
+        }
+        // Exports cover the whole frontier exactly once.
+        let mut covered: Vec<u32> = meta
+            .exports
+            .iter()
+            .flatten()
+            .map(|c| c.frontier_off)
+            .collect();
+        covered.sort_unstable();
+        let expected: Vec<u32> = meta.frontier_off[..meta.frontier.len()].to_vec();
+        assert_eq!(covered, expected);
+        // Frontier init carries the graph's beliefs.
+        for (i, &gid) in meta.frontier.iter().enumerate() {
+            let lo = meta.frontier_off[i] as usize;
+            let b = g.beliefs()[gid as usize].as_slice();
+            assert_eq!(&meta.frontier_init[lo..lo + b.len()], b);
+        }
+    }
+
+    #[test]
+    fn shards_cover_all_arcs_exactly_once() {
+        let (g, sx) = sharded(70, 280, 8, 5);
+        assert_eq!(sx.meta.total_arcs, g.num_arcs());
+        let sum: usize = sx.shards.iter().map(|s| s.in_arcs.len()).sum();
+        assert_eq!(sum, g.num_arcs());
+    }
+
+    #[test]
+    fn per_edge_potentials_intern_per_shard() {
+        let opts = GenOptions::new(2)
+            .with_seed(13)
+            .with_potentials(PotentialKind::PerEdgeRandom);
+        let g = synthetic(40, 120, &opts);
+        let sx = ShardedExec::compile(&g, 4);
+        for s in &sx.shards {
+            assert_eq!(s.pool_matrices as usize, s.in_arcs.len());
+        }
+    }
+
+    #[test]
+    fn empty_shards_are_tolerated() {
+        let (_, sx) = sharded(3, 6, 8, 2);
+        assert_eq!(sx.meta.num_shards(), 8);
+        let covered: usize = sx.shards.iter().map(|s| s.local_nodes()).sum();
+        assert_eq!(covered, 3);
+    }
+
+    #[test]
+    fn observed_flags_land_in_their_shard() {
+        let mut g = synthetic(30, 90, &GenOptions::new(2).with_seed(1));
+        g.observe(17, 0);
+        let sx = ShardedExec::compile(&g, 3);
+        let mut seen = false;
+        for s in &sx.shards {
+            let (lo, hi) = s.range;
+            if (lo..hi).contains(&17) {
+                assert!(s.observed[(17 - lo) as usize]);
+                seen = true;
+            }
+        }
+        assert!(seen);
+    }
+}

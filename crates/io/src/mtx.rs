@@ -25,10 +25,39 @@
 //! nothing beyond the two ids when a `% shared-potential` directive is
 //! present. Both files parse line by line — neither is ever resident in
 //! memory (unlike BIF, §3.2).
+//!
+//! # Validation contract
+//!
+//! The scanners reject malformed input with line-numbered
+//! [`IoError::Parse`] errors rather than corrupting the graph silently:
+//!
+//! * probabilities and matrix values must be finite and non-negative —
+//!   otherwise [`credo_graph::Belief::normalize`] would flip signs or fall
+//!   back to uniform without any diagnostic;
+//! * a node line whose probabilities sum to zero is rejected (it carries no
+//!   distribution at all);
+//! * self-loop edge lines (`u u`) are rejected: a node cannot send a
+//!   message to itself under pairwise BP;
+//! * **duplicate edge lines are permitted** and each contributes its own
+//!   undirected edge — the format describes multigraphs, matching the
+//!   random-multigraph synthetic family (§4's `NxE` graphs sample endpoint
+//!   pairs with replacement). Streamed and resident ingestion agree on
+//!   this: both materialize every line.
+//!
+//! Count-mismatch errors discovered at end of file ("declared N but held
+//! M") report the last data line of the file, not a line one past EOF.
+//!
+//! # Streaming scanners
+//!
+//! [`NodeScanner`] and [`EdgeScanner`] are the pull-based line scanners
+//! underneath [`read`]. They are public so multi-pass consumers — the
+//! `credo-stream` sharded lowerer streams each file twice — share one
+//! validation path with the resident reader: anything the resident path
+//! rejects, the streaming path rejects with the same line number.
 
 use crate::error::IoError;
 use credo_graph::{Belief, BeliefGraph, GraphBuilder, JointMatrix, MAX_BELIEFS};
-use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
 
 const FORMAT: &str = "Credo-MTX";
@@ -40,10 +69,33 @@ pub fn read_files(nodes: &Path, edges: &Path) -> Result<BeliefGraph, IoError> {
     read(BufReader::new(nf), BufReader::new(ef))
 }
 
-/// Reads a graph from any pair of readers (node data, edge data).
-pub fn read<R1: Read, R2: Read>(nodes: R1, edges: R2) -> Result<BeliefGraph, IoError> {
-    let (cards, mut builder) = read_nodes(BufReader::new(nodes))?;
-    read_edges(BufReader::new(edges), &cards, &mut builder)?;
+/// Reads a graph from any pair of buffered readers (node data, edge data).
+pub fn read<R1: BufRead, R2: BufRead>(nodes: R1, edges: R2) -> Result<BeliefGraph, IoError> {
+    let mut ns = NodeScanner::open(nodes)?;
+    let num_nodes = ns.num_nodes();
+    let mut builder = GraphBuilder::with_capacity(num_nodes, 0);
+    let mut cards = vec![0u8; num_nodes];
+    while let Some((id, probs)) = ns.next_node()? {
+        cards[id] = probs.len() as u8;
+        let mut b = Belief::from_slice(probs);
+        b.normalize();
+        builder.add_node(b);
+    }
+    let mut es = EdgeScanner::open(edges, &cards)?;
+    if let Some(m) = es.shared() {
+        builder.shared_potential(m.clone());
+    }
+    while let Some(edge) = es.next_edge()? {
+        match edge.matrix {
+            None => builder.add_undirected_edge(edge.src, edge.dst),
+            Some(values) => {
+                let rows = cards[edge.src as usize] as usize;
+                let cols = cards[edge.dst as usize] as usize;
+                let m = JointMatrix::from_rows(rows, cols, values.to_vec());
+                builder.add_undirected_edge_with(edge.src, edge.dst, m);
+            }
+        }
+    }
     Ok(builder.build()?)
 }
 
@@ -51,248 +103,379 @@ fn parse_err(line: usize, msg: impl Into<String>) -> IoError {
     IoError::parse(FORMAT, line, msg)
 }
 
-/// Streams the node file: returns per-node cardinalities and a builder
-/// pre-populated with priors.
-fn read_nodes<R: BufRead>(mut r: R) -> Result<(Vec<u8>, GraphBuilder), IoError> {
-    let mut line = String::new();
-    let mut lineno = 0usize;
-
-    // Banner.
-    lineno += 1;
-    r.read_line(&mut line)?;
-    if !line.starts_with("%%CredoMTX") || !line.contains("nodes") {
-        return Err(parse_err(lineno, "expected '%%CredoMTX nodes' banner"));
+/// Parses one probability token, rejecting non-finite and negative values
+/// at the source line instead of letting them corrupt beliefs downstream.
+fn parse_prob(tok: &str, lineno: usize, what: &str) -> Result<f32, IoError> {
+    let p: f32 = tok
+        .parse()
+        .map_err(|_| parse_err(lineno, format!("bad {what} '{tok}'")))?;
+    if !p.is_finite() {
+        return Err(parse_err(lineno, format!("non-finite {what} '{tok}'")));
     }
-
-    // Comments, then the size line.
-    let (num_nodes, declared) = loop {
-        line.clear();
-        lineno += 1;
-        if r.read_line(&mut line)? == 0 {
-            return Err(parse_err(lineno, "missing size line"));
-        }
-        let t = line.trim();
-        if t.is_empty() || t.starts_with('%') {
-            continue;
-        }
-        let mut it = t.split_ascii_whitespace();
-        let rows: usize = it
-            .next()
-            .and_then(|s| s.parse().ok())
-            .ok_or_else(|| parse_err(lineno, "bad size line"))?;
-        let _cols: usize = it
-            .next()
-            .and_then(|s| s.parse().ok())
-            .ok_or_else(|| parse_err(lineno, "bad size line"))?;
-        let nnz: usize = it
-            .next()
-            .and_then(|s| s.parse().ok())
-            .ok_or_else(|| parse_err(lineno, "bad size line"))?;
-        break (rows, nnz);
-    };
-    if declared != num_nodes {
-        return Err(parse_err(
-            lineno,
-            format!("node file declares {declared} entries for {num_nodes} nodes"),
-        ));
+    if p < 0.0 {
+        return Err(parse_err(lineno, format!("negative {what} '{tok}'")));
     }
-
-    let mut builder = GraphBuilder::with_capacity(num_nodes, 0);
-    let mut cards = vec![0u8; num_nodes];
-    let mut seen = 0usize;
-    let mut probs: Vec<f32> = Vec::with_capacity(MAX_BELIEFS);
-    loop {
-        line.clear();
-        lineno += 1;
-        if r.read_line(&mut line)? == 0 {
-            break;
-        }
-        let t = line.trim();
-        if t.is_empty() || t.starts_with('%') {
-            continue;
-        }
-        let mut it = t.split_ascii_whitespace();
-        let id1: usize = it
-            .next()
-            .and_then(|s| s.parse().ok())
-            .ok_or_else(|| parse_err(lineno, "bad node id"))?;
-        let id2: usize = it
-            .next()
-            .and_then(|s| s.parse().ok())
-            .ok_or_else(|| parse_err(lineno, "bad node id"))?;
-        if id1 != id2 {
-            return Err(parse_err(
-                lineno,
-                format!("node lines are self-cycles; got {id1} {id2}"),
-            ));
-        }
-        if id1 < 1 || id1 > num_nodes {
-            return Err(parse_err(lineno, format!("node id {id1} out of range")));
-        }
-        probs.clear();
-        for tok in it {
-            let p: f32 = tok
-                .parse()
-                .map_err(|_| parse_err(lineno, format!("bad probability '{tok}'")))?;
-            probs.push(p);
-        }
-        if probs.is_empty() || probs.len() > MAX_BELIEFS {
-            return Err(parse_err(
-                lineno,
-                format!("node {id1} has {} beliefs (1..={MAX_BELIEFS})", probs.len()),
-            ));
-        }
-        // Node ids must arrive in order so the builder's ids line up; the
-        // writer always emits them that way.
-        if id1 != seen + 1 {
-            return Err(parse_err(
-                lineno,
-                format!("node ids must be 1..=N in order; got {id1} after {seen}"),
-            ));
-        }
-        let mut b = Belief::from_slice(&probs);
-        b.normalize();
-        cards[id1 - 1] = probs.len() as u8;
-        builder.add_node(b);
-        seen += 1;
-    }
-    if seen != num_nodes {
-        return Err(parse_err(
-            lineno,
-            format!("node file declared {num_nodes} nodes but held {seen}"),
-        ));
-    }
-    Ok((cards, builder))
+    Ok(p)
 }
 
-/// Streams the edge file into the builder.
-fn read_edges<R: BufRead>(
-    mut r: R,
-    cards: &[u8],
-    builder: &mut GraphBuilder,
-) -> Result<(), IoError> {
-    let mut line = String::new();
-    let mut lineno = 0usize;
+/// Streams a `%%CredoMTX nodes` file line by line.
+///
+/// Construction parses the banner, comments and size line; each
+/// [`NodeScanner::next_node`] call yields one validated `(zero-based id,
+/// unnormalized probabilities)` record in id order. The declared-count
+/// check runs when the file ends.
+pub struct NodeScanner<R: BufRead> {
+    r: R,
+    line: String,
+    lineno: usize,
+    /// Line number of the last meaningful line seen, for EOF diagnostics.
+    last_data_line: usize,
+    num_nodes: usize,
+    seen: usize,
+    probs: Vec<f32>,
+    done: bool,
+}
 
-    lineno += 1;
-    r.read_line(&mut line)?;
-    if !line.starts_with("%%CredoMTX") || !line.contains("edges") {
-        return Err(parse_err(lineno, "expected '%%CredoMTX edges' banner"));
-    }
-
-    let mut shared: Option<JointMatrix> = None;
-    // Comments / directives, then the size line.
-    let declared_edges = loop {
-        line.clear();
-        lineno += 1;
-        if r.read_line(&mut line)? == 0 {
-            return Err(parse_err(lineno, "missing size line"));
+impl<R: BufRead> NodeScanner<R> {
+    /// Opens the scanner: parses the banner and the `rows cols nnz` size
+    /// line, validating that the declared entry count matches the node
+    /// count.
+    pub fn open(mut r: R) -> Result<Self, IoError> {
+        let mut line = String::new();
+        let mut lineno = 1usize;
+        r.read_line(&mut line)?;
+        if !line.starts_with("%%CredoMTX") || !line.contains("nodes") {
+            return Err(parse_err(lineno, "expected '%%CredoMTX nodes' banner"));
         }
-        let t = line.trim();
-        if t.is_empty() {
-            continue;
-        }
-        if let Some(rest) = t.strip_prefix('%') {
-            let rest = rest.trim();
-            if let Some(spec) = rest.strip_prefix("shared-potential") {
-                shared = Some(parse_shared(spec, lineno)?);
+        let (num_nodes, declared) = loop {
+            line.clear();
+            lineno += 1;
+            if r.read_line(&mut line)? == 0 {
+                return Err(parse_err(lineno - 1, "missing size line"));
             }
-            continue;
-        }
-        let mut it = t.split_ascii_whitespace();
-        let rows: usize = it
-            .next()
-            .and_then(|s| s.parse().ok())
-            .ok_or_else(|| parse_err(lineno, "bad size line"))?;
-        if rows != cards.len() {
+            let t = line.trim();
+            if t.is_empty() || t.starts_with('%') {
+                continue;
+            }
+            let mut it = t.split_ascii_whitespace();
+            let mut field = || -> Result<usize, IoError> {
+                it.next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse_err(lineno, "bad size line"))
+            };
+            let rows = field()?;
+            let _cols = field()?;
+            let nnz = field()?;
+            break (rows, nnz);
+        };
+        if declared != num_nodes {
             return Err(parse_err(
                 lineno,
-                format!(
-                    "edge file is over {rows} nodes, node file has {}",
-                    cards.len()
-                ),
+                format!("node file declares {declared} entries for {num_nodes} nodes"),
             ));
         }
-        let _cols: usize = it
-            .next()
-            .and_then(|s| s.parse().ok())
-            .ok_or_else(|| parse_err(lineno, "bad size line"))?;
-        let nnz: usize = it
-            .next()
-            .and_then(|s| s.parse().ok())
-            .ok_or_else(|| parse_err(lineno, "bad size line"))?;
-        break nnz;
-    };
-
-    if let Some(m) = &shared {
-        builder.shared_potential(m.clone());
+        Ok(NodeScanner {
+            r,
+            line,
+            lineno,
+            last_data_line: lineno,
+            num_nodes,
+            seen: 0,
+            probs: Vec::with_capacity(MAX_BELIEFS),
+            done: false,
+        })
     }
 
-    let mut seen = 0usize;
-    let mut values: Vec<f32> = Vec::new();
-    loop {
-        line.clear();
-        lineno += 1;
-        if r.read_line(&mut line)? == 0 {
-            break;
+    /// Number of nodes the size line declares.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// The next node record: `(zero-based id, raw probabilities)`. Returns
+    /// `Ok(None)` once the file ends with exactly the declared node count.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next_node(&mut self) -> Result<Option<(usize, &[f32])>, IoError> {
+        if self.done {
+            return Ok(None);
         }
-        let t = line.trim();
-        if t.is_empty() || t.starts_with('%') {
-            continue;
-        }
-        let mut it = t.split_ascii_whitespace();
-        let src: usize = it
-            .next()
-            .and_then(|s| s.parse().ok())
-            .ok_or_else(|| parse_err(lineno, "bad edge source id"))?;
-        let dst: usize = it
-            .next()
-            .and_then(|s| s.parse().ok())
-            .ok_or_else(|| parse_err(lineno, "bad edge destination id"))?;
-        for id in [src, dst] {
-            if id < 1 || id > cards.len() {
-                return Err(parse_err(lineno, format!("edge node id {id} out of range")));
+        loop {
+            self.line.clear();
+            self.lineno += 1;
+            if self.r.read_line(&mut self.line)? == 0 {
+                self.done = true;
+                if self.seen != self.num_nodes {
+                    return Err(parse_err(
+                        self.last_data_line,
+                        format!(
+                            "node file declared {} nodes but held {}",
+                            self.num_nodes, self.seen
+                        ),
+                    ));
+                }
+                return Ok(None);
             }
-        }
-        let (s, d) = ((src - 1) as u32, (dst - 1) as u32);
-        if shared.is_some() {
-            if it.next().is_some() {
+            let lineno = self.lineno;
+            let t = self.line.trim();
+            if t.is_empty() || t.starts_with('%') {
+                continue;
+            }
+            self.last_data_line = lineno;
+            let mut it = t.split_ascii_whitespace();
+            let mut id = || -> Result<usize, IoError> {
+                it.next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse_err(lineno, "bad node id"))
+            };
+            let id1 = id()?;
+            let id2 = id()?;
+            if id1 != id2 {
                 return Err(parse_err(
                     lineno,
-                    "edge carries a matrix but a shared potential is declared",
+                    format!("node lines are self-cycles; got {id1} {id2}"),
                 ));
             }
-            builder.add_undirected_edge(s, d);
-        } else {
-            values.clear();
-            for tok in it {
-                let v: f32 = tok
-                    .parse()
-                    .map_err(|_| parse_err(lineno, format!("bad matrix value '{tok}'")))?;
-                values.push(v);
+            if id1 < 1 || id1 > self.num_nodes {
+                return Err(parse_err(lineno, format!("node id {id1} out of range")));
             }
-            let (rows, cols) = (cards[src - 1] as usize, cards[dst - 1] as usize);
-            if values.len() != rows * cols {
+            self.probs.clear();
+            let mut sum = 0.0f32;
+            for tok in it {
+                let p = parse_prob(tok, lineno, "probability")?;
+                sum += p;
+                self.probs.push(p);
+            }
+            if self.probs.is_empty() || self.probs.len() > MAX_BELIEFS {
+                return Err(parse_err(
+                    lineno,
+                    format!(
+                        "node {id1} has {} beliefs (1..={MAX_BELIEFS})",
+                        self.probs.len()
+                    ),
+                ));
+            }
+            if !sum.is_finite() {
+                return Err(parse_err(
+                    lineno,
+                    format!("node {id1} has a non-finite total probability"),
+                ));
+            }
+            if sum <= 0.0 {
+                return Err(parse_err(
+                    lineno,
+                    format!("node {id1} has zero total probability"),
+                ));
+            }
+            // Node ids must arrive in order so downstream ids line up; the
+            // writer always emits them that way.
+            if id1 != self.seen + 1 {
+                return Err(parse_err(
+                    lineno,
+                    format!(
+                        "node ids must be 1..=N in order; got {id1} after {}",
+                        self.seen
+                    ),
+                ));
+            }
+            self.seen += 1;
+            return Ok(Some((id1 - 1, &self.probs)));
+        }
+    }
+}
+
+/// One validated edge line: zero-based endpoint ids and, in per-edge mode,
+/// the row-major joint matrix values (already shape-checked against the
+/// endpoint cardinalities).
+#[derive(Debug)]
+pub struct EdgeLine<'a> {
+    /// Zero-based source node id.
+    pub src: u32,
+    /// Zero-based destination node id.
+    pub dst: u32,
+    /// Row-major `card(src) × card(dst)` values; `None` in shared mode.
+    pub matrix: Option<&'a [f32]>,
+    /// 1-based line number the edge came from.
+    pub lineno: usize,
+}
+
+/// Streams a `%%CredoMTX edges` file line by line.
+///
+/// Construction parses the banner, the optional `% shared-potential`
+/// directive and the size line; each [`EdgeScanner::next_edge`] call
+/// yields one validated [`EdgeLine`]. The declared-count check runs when
+/// the file ends.
+pub struct EdgeScanner<'c, R: BufRead> {
+    r: R,
+    cards: &'c [u8],
+    line: String,
+    lineno: usize,
+    last_data_line: usize,
+    declared_edges: usize,
+    seen: usize,
+    shared: Option<JointMatrix>,
+    values: Vec<f32>,
+    done: bool,
+}
+
+impl<'c, R: BufRead> EdgeScanner<'c, R> {
+    /// Opens the scanner over an edge file for a graph whose per-node
+    /// cardinalities are `cards` (matrix shapes are validated against it).
+    pub fn open(mut r: R, cards: &'c [u8]) -> Result<Self, IoError> {
+        let mut line = String::new();
+        let mut lineno = 1usize;
+        r.read_line(&mut line)?;
+        if !line.starts_with("%%CredoMTX") || !line.contains("edges") {
+            return Err(parse_err(lineno, "expected '%%CredoMTX edges' banner"));
+        }
+        let mut shared: Option<JointMatrix> = None;
+        let declared_edges = loop {
+            line.clear();
+            lineno += 1;
+            if r.read_line(&mut line)? == 0 {
+                return Err(parse_err(lineno - 1, "missing size line"));
+            }
+            let t = line.trim();
+            if t.is_empty() {
+                continue;
+            }
+            if let Some(rest) = t.strip_prefix('%') {
+                let rest = rest.trim();
+                if let Some(spec) = rest.strip_prefix("shared-potential") {
+                    shared = Some(parse_shared(spec, lineno)?);
+                }
+                continue;
+            }
+            let mut it = t.split_ascii_whitespace();
+            let mut field = || -> Result<usize, IoError> {
+                it.next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse_err(lineno, "bad size line"))
+            };
+            let rows = field()?;
+            if rows != cards.len() {
+                return Err(parse_err(
+                    lineno,
+                    format!(
+                        "edge file is over {rows} nodes, node file has {}",
+                        cards.len()
+                    ),
+                ));
+            }
+            let _cols = field()?;
+            break field()?;
+        };
+        Ok(EdgeScanner {
+            r,
+            cards,
+            line,
+            lineno,
+            last_data_line: lineno,
+            declared_edges,
+            seen: 0,
+            shared,
+            values: Vec::new(),
+            done: false,
+        })
+    }
+
+    /// The shared joint matrix, when the file declares one.
+    #[inline]
+    pub fn shared(&self) -> Option<&JointMatrix> {
+        self.shared.as_ref()
+    }
+
+    /// Number of edges the size line declares.
+    #[inline]
+    pub fn declared_edges(&self) -> usize {
+        self.declared_edges
+    }
+
+    /// The next validated edge line, or `Ok(None)` once the file ends with
+    /// exactly the declared edge count.
+    pub fn next_edge(&mut self) -> Result<Option<EdgeLine<'_>>, IoError> {
+        if self.done {
+            return Ok(None);
+        }
+        loop {
+            self.line.clear();
+            self.lineno += 1;
+            if self.r.read_line(&mut self.line)? == 0 {
+                self.done = true;
+                if self.seen != self.declared_edges {
+                    return Err(parse_err(
+                        self.last_data_line,
+                        format!(
+                            "edge file declared {} edges but held {}",
+                            self.declared_edges, self.seen
+                        ),
+                    ));
+                }
+                return Ok(None);
+            }
+            let lineno = self.lineno;
+            let t = self.line.trim();
+            if t.is_empty() || t.starts_with('%') {
+                continue;
+            }
+            self.last_data_line = lineno;
+            let mut it = t.split_ascii_whitespace();
+            let mut id = |what: &str| -> Result<usize, IoError> {
+                it.next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse_err(lineno, format!("bad edge {what} id")))
+            };
+            let src = id("source")?;
+            let dst = id("destination")?;
+            for v in [src, dst] {
+                if v < 1 || v > self.cards.len() {
+                    return Err(parse_err(lineno, format!("edge node id {v} out of range")));
+                }
+            }
+            if src == dst {
+                return Err(parse_err(
+                    lineno,
+                    format!("self-loop edge {src} {dst}: a node cannot message itself"),
+                ));
+            }
+            let (s, d) = ((src - 1) as u32, (dst - 1) as u32);
+            if self.shared.is_some() {
+                if it.next().is_some() {
+                    return Err(parse_err(
+                        lineno,
+                        "edge carries a matrix but a shared potential is declared",
+                    ));
+                }
+                self.seen += 1;
+                return Ok(Some(EdgeLine {
+                    src: s,
+                    dst: d,
+                    matrix: None,
+                    lineno,
+                }));
+            }
+            self.values.clear();
+            for tok in it {
+                self.values.push(parse_prob(tok, lineno, "matrix value")?);
+            }
+            let (rows, cols) = (self.cards[src - 1] as usize, self.cards[dst - 1] as usize);
+            if self.values.len() != rows * cols {
                 return Err(parse_err(
                     lineno,
                     format!(
                         "edge {src}->{dst} needs a {rows}x{cols} matrix, got {} values",
-                        values.len()
+                        self.values.len()
                     ),
                 ));
             }
-            let m = JointMatrix::from_rows(rows, cols, values.clone());
-            builder.add_undirected_edge_with(s, d, m);
+            self.seen += 1;
+            return Ok(Some(EdgeLine {
+                src: s,
+                dst: d,
+                matrix: Some(&self.values),
+                lineno,
+            }));
         }
-        seen += 1;
     }
-    if seen != declared_edges {
-        return Err(parse_err(
-            lineno,
-            format!("edge file declared {declared_edges} edges but held {seen}"),
-        ));
-    }
-    Ok(())
 }
 
 fn parse_shared(spec: &str, lineno: usize) -> Result<JointMatrix, IoError> {
@@ -305,8 +488,9 @@ fn parse_shared(spec: &str, lineno: usize) -> Result<JointMatrix, IoError> {
         .next()
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| parse_err(lineno, "bad shared-potential cols"))?;
-    let values: Result<Vec<f32>, _> = it.map(str::parse).collect();
-    let values = values.map_err(|_| parse_err(lineno, "bad shared-potential values"))?;
+    let values: Vec<f32> = it
+        .map(|tok| parse_prob(tok, lineno, "shared-potential value"))
+        .collect::<Result<_, _>>()?;
     if values.len() != rows * cols {
         return Err(parse_err(
             lineno,
@@ -386,6 +570,13 @@ mod tests {
         read(&nbuf[..], &ebuf[..]).unwrap()
     }
 
+    fn parse_line(err: &IoError) -> usize {
+        match err {
+            IoError::Parse { line, .. } => *line,
+            other => panic!("expected a parse error, got {other}"),
+        }
+    }
+
     #[test]
     fn shared_mode_roundtrips() {
         let g = synthetic(40, 160, &GenOptions::new(3).with_seed(2));
@@ -427,11 +618,33 @@ mod tests {
     }
 
     #[test]
-    fn node_count_mismatch_is_rejected() {
+    fn node_count_mismatch_reports_last_data_line() {
         let nodes = b"%%CredoMTX nodes\n3 3 3\n1 1 0.5 0.5\n2 2 0.5 0.5\n";
         let edges = b"%%CredoMTX edges\n% shared-potential 2 2 1 0 0 1\n3 3 0\n";
         let err = read(&nodes[..], &edges[..]).unwrap_err();
         assert!(err.to_string().contains("held 2"), "{err}");
+        // Line 4 holds `2 2 0.5 0.5`, the last data line — not one past EOF.
+        assert_eq!(parse_line(&err), 4);
+    }
+
+    #[test]
+    fn edge_count_mismatch_reports_last_data_line() {
+        let nodes = b"%%CredoMTX nodes\n3 3 3\n1 1 0.5 0.5\n2 2 0.5 0.5\n3 3 0.5 0.5\n";
+        let edges =
+            b"%%CredoMTX edges\n% shared-potential 2 2 1 0 0 1\n3 3 3\n1 2\n2 3\n% trailing\n";
+        let err = read(&nodes[..], &edges[..]).unwrap_err();
+        assert!(err.to_string().contains("held 2"), "{err}");
+        // Line 5 holds `2 3`, the last edge line; the trailing comment and
+        // EOF come after but are never reported.
+        assert_eq!(parse_line(&err), 5);
+    }
+
+    #[test]
+    fn empty_node_body_reports_size_line() {
+        let nodes = b"%%CredoMTX nodes\n2 2 2\n";
+        let err = read(&nodes[..], &b""[..]).unwrap_err();
+        assert!(err.to_string().contains("held 0"), "{err}");
+        assert_eq!(parse_line(&err), 2);
     }
 
     #[test]
@@ -439,6 +652,77 @@ mod tests {
         let nodes = b"%%CredoMTX nodes\n2 2 2\n1 2 0.5 0.5\n2 2 0.5 0.5\n";
         let err = read(&nodes[..], &b""[..]).unwrap_err();
         assert!(err.to_string().contains("self-cycle"), "{err}");
+    }
+
+    #[test]
+    fn negative_probability_is_rejected_with_line_number() {
+        let nodes = b"%%CredoMTX nodes\n2 2 2\n1 1 0.5 0.5\n2 2 -0.5 1.5\n";
+        let err = read(&nodes[..], &b""[..]).unwrap_err();
+        assert!(err.to_string().contains("negative probability"), "{err}");
+        assert_eq!(parse_line(&err), 4);
+    }
+
+    #[test]
+    fn non_finite_probabilities_are_rejected() {
+        for bad in ["inf", "-inf", "NaN", "1e40"] {
+            let nodes = format!("%%CredoMTX nodes\n1 1 1\n1 1 {bad} 0.5\n");
+            let err = read(nodes.as_bytes(), &b""[..]).unwrap_err();
+            assert!(
+                err.to_string().contains("probability"),
+                "{bad} slipped through: {err}"
+            );
+            assert_eq!(parse_line(&err), 3, "{bad}");
+        }
+    }
+
+    #[test]
+    fn zero_probability_row_is_rejected() {
+        let nodes = b"%%CredoMTX nodes\n1 1 1\n1 1 0 0\n";
+        let err = read(&nodes[..], &b""[..]).unwrap_err();
+        assert!(err.to_string().contains("zero total"), "{err}");
+        assert_eq!(parse_line(&err), 3);
+    }
+
+    #[test]
+    fn negative_shared_potential_value_is_rejected() {
+        let nodes = b"%%CredoMTX nodes\n2 2 2\n1 1 0.5 0.5\n2 2 0.5 0.5\n";
+        let edges = b"%%CredoMTX edges\n% shared-potential 2 2 0.9 -0.1 0.1 0.9\n2 2 1\n1 2\n";
+        let err = read(&nodes[..], &edges[..]).unwrap_err();
+        assert!(
+            err.to_string().contains("negative shared-potential"),
+            "{err}"
+        );
+        assert_eq!(parse_line(&err), 2);
+    }
+
+    #[test]
+    fn non_finite_matrix_value_is_rejected() {
+        let nodes = b"%%CredoMTX nodes\n2 2 2\n1 1 0.5 0.5\n2 2 0.5 0.5\n";
+        let edges = b"%%CredoMTX edges\n2 2 1\n1 2 0.9 NaN 0.1 0.9\n";
+        let err = read(&nodes[..], &edges[..]).unwrap_err();
+        assert!(err.to_string().contains("non-finite matrix"), "{err}");
+        assert_eq!(parse_line(&err), 3);
+    }
+
+    #[test]
+    fn self_loop_edge_is_rejected() {
+        let nodes = b"%%CredoMTX nodes\n2 2 2\n1 1 0.5 0.5\n2 2 0.5 0.5\n";
+        let edges = b"%%CredoMTX edges\n% shared-potential 2 2 1 0 0 1\n2 2 1\n2 2\n";
+        let err = read(&nodes[..], &edges[..]).unwrap_err();
+        assert!(err.to_string().contains("self-loop"), "{err}");
+        assert_eq!(parse_line(&err), 4);
+    }
+
+    #[test]
+    fn duplicate_edges_are_multigraph_edges() {
+        // The synthetic family samples endpoints with replacement, so the
+        // format must carry parallel edges; each line is its own edge.
+        let nodes = b"%%CredoMTX nodes\n2 2 2\n1 1 0.5 0.5\n2 2 0.5 0.5\n";
+        let edges = b"%%CredoMTX edges\n% shared-potential 2 2 0.8 0.2 0.2 0.8\n2 2 2\n1 2\n1 2\n";
+        let g = read(&nodes[..], &edges[..]).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.num_arcs(), 4);
+        assert_eq!(g.in_arcs(1).len(), 2, "both parallel arcs reach node 1");
     }
 
     #[test]
@@ -486,5 +770,41 @@ mod tests {
         let edges = b"%%CredoMTX edges\n% shared-potential 2 2 1 0 0 1\n1 1 0\n";
         let g = read(&nodes[..], &edges[..]).unwrap();
         assert_eq!(g.priors()[0].as_slice(), &[0.25, 0.75]);
+    }
+
+    #[test]
+    fn scanners_are_restartable_for_multi_pass_streaming() {
+        // The credo-stream lowerer opens the same bytes twice; both passes
+        // must see identical records.
+        let g = synthetic(25, 80, &GenOptions::new(2).with_seed(9));
+        let mut nbuf = Vec::new();
+        let mut ebuf = Vec::new();
+        write(&g, &mut nbuf, &mut ebuf).unwrap();
+        let mut cards = Vec::new();
+        let mut first_pass = Vec::new();
+        let mut ns = NodeScanner::open(&nbuf[..]).unwrap();
+        while let Some((id, probs)) = ns.next_node().unwrap() {
+            cards.push(probs.len() as u8);
+            first_pass.push((id, probs.to_vec()));
+        }
+        let mut ns = NodeScanner::open(&nbuf[..]).unwrap();
+        let mut second_pass = Vec::new();
+        while let Some((id, probs)) = ns.next_node().unwrap() {
+            second_pass.push((id, probs.to_vec()));
+        }
+        assert_eq!(first_pass, second_pass);
+
+        let collect_edges = |bytes: &[u8], cards: &[u8]| {
+            let mut es = EdgeScanner::open(bytes, cards).unwrap();
+            let mut out = Vec::new();
+            while let Some(e) = es.next_edge().unwrap() {
+                out.push((e.src, e.dst));
+            }
+            out
+        };
+        let e1 = collect_edges(&ebuf, &cards);
+        let e2 = collect_edges(&ebuf, &cards);
+        assert_eq!(e1, e2);
+        assert_eq!(e1.len(), g.num_edges());
     }
 }

@@ -1,0 +1,43 @@
+//! # credo-stream
+//!
+//! Two-pass streaming lowerer: Credo-MTX node/edge files straight into a
+//! sharded, packed execution plan — without ever materializing a
+//! whole-graph [`credo_graph::BeliefGraph`].
+//!
+//! The §3.2 streaming format exists so BP can scale past the
+//! thousands-of-nodes ceiling of resident formats, but a parse that
+//! builds the full graph (and then compiles a full
+//! [`credo_graph::ExecGraph`] on top) forfeits that: peak memory is ~2×
+//! the graph. This crate keeps only O(nodes) bookkeeping plus **one
+//! shard's** arc/potential arrays in memory at a time:
+//!
+//! * **Pass 1** streams both files once: the node file yields per-node
+//!   cardinalities, the edge file per-node in-degrees. The node space is
+//!   then split into K contiguous ranges balanced by in-arc count
+//!   ([`credo_graph::partition_ranges`]), and one more edge scan marks
+//!   the boundary nodes (endpoints of shard-crossing edges) that make up
+//!   the frontier.
+//! * **Pass 2** streams the files again per shard, counting-sorting each
+//!   shard's arcs into CSR order through per-node cursors, interning
+//!   potentials and assigning halo slots in ascending arc id order — the
+//!   exact layout contract of [`credo_graph::ExecShard::compile_range`],
+//!   so a streamed shard is byte-identical to one compiled from the
+//!   resident graph.
+//!
+//! Emitted shards either stay resident ([`lower`] →
+//! [`credo_graph::ShardedExec`]) or spill to disk as they are built
+//! ([`lower_spill`] → [`SpilledShards`]), in which case
+//! [`credo_core::run_sharded`] reloads one shard per sweep visit and peak
+//! arc memory is O(largest shard + frontier).
+//!
+//! Both paths share the [`credo_io::mtx`] scanners with the resident
+//! reader, so streamed and resident ingestion accept and reject exactly
+//! the same inputs, with the same line-numbered errors.
+
+#![warn(missing_docs)]
+
+mod lower;
+mod spill;
+
+pub use lower::{lower, lower_files, lower_files_spill, lower_spill};
+pub use spill::SpilledShards;

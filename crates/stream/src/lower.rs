@@ -1,0 +1,441 @@
+//! The two-pass streaming lowerer (see the crate docs for the pass
+//! structure).
+
+use credo_graph::{
+    partition_ranges, Belief, ExecShard, JointMatrix, PackedArc, ShardCopy, ShardedExec,
+    ShardedMeta,
+};
+use credo_io::mtx::{EdgeScanner, NodeScanner};
+use credo_io::IoError;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader};
+use std::path::Path;
+
+/// Streams the MTX pair into a fully resident [`ShardedExec`] with
+/// `shards` contiguous, in-arc-balanced shards.
+pub fn lower<R1, R2, F1, F2>(
+    open_nodes: F1,
+    open_edges: F2,
+    shards: usize,
+) -> Result<ShardedExec, IoError>
+where
+    R1: BufRead,
+    R2: BufRead,
+    F1: Fn() -> std::io::Result<R1>,
+    F2: Fn() -> std::io::Result<R2>,
+{
+    let mut out = Vec::with_capacity(shards);
+    let meta = lower_impl(&open_nodes, &open_edges, shards, |s| {
+        out.push(s);
+        Ok(())
+    })?;
+    Ok(ShardedExec { meta, shards: out })
+}
+
+/// [`lower`] over on-disk files.
+pub fn lower_files(nodes: &Path, edges: &Path, shards: usize) -> Result<ShardedExec, IoError> {
+    lower(
+        || std::fs::File::open(nodes).map(BufReader::new),
+        || std::fs::File::open(edges).map(BufReader::new),
+        shards,
+    )
+}
+
+/// Streams the MTX pair into shards spilled to `dir` as they are built:
+/// only one shard's arc/potential arrays are ever resident, during its
+/// own pass-2 scan. The returned [`crate::SpilledShards`] reloads one
+/// shard at a time for [`credo_core::run_sharded`].
+pub fn lower_spill<R1, R2, F1, F2>(
+    open_nodes: F1,
+    open_edges: F2,
+    shards: usize,
+    dir: &Path,
+) -> Result<crate::SpilledShards, IoError>
+where
+    R1: BufRead,
+    R2: BufRead,
+    F1: Fn() -> std::io::Result<R1>,
+    F2: Fn() -> std::io::Result<R2>,
+{
+    std::fs::create_dir_all(dir)?;
+    let mut paths = Vec::with_capacity(shards);
+    let mut max_shard_bytes = 0usize;
+    let meta = lower_impl(&open_nodes, &open_edges, shards, |s| {
+        let path = dir.join(format!("shard_{}.bin", paths.len()));
+        max_shard_bytes = max_shard_bytes.max(s.memory_bytes());
+        crate::spill::write_shard(&path, &s)?;
+        paths.push(path);
+        Ok(())
+    })?;
+    Ok(crate::SpilledShards::new(meta, paths, max_shard_bytes))
+}
+
+/// [`lower_spill`] over on-disk files.
+pub fn lower_files_spill(
+    nodes: &Path,
+    edges: &Path,
+    shards: usize,
+    dir: &Path,
+) -> Result<crate::SpilledShards, IoError> {
+    lower_spill(
+        || std::fs::File::open(nodes).map(BufReader::new),
+        || std::fs::File::open(edges).map(BufReader::new),
+        shards,
+        dir,
+    )
+}
+
+/// Shard index owning global node `v` under contiguous `ranges`.
+#[inline]
+fn shard_of(ranges: &[(u32, u32)], v: u32) -> usize {
+    ranges.partition_point(|&(lo, _)| lo <= v) - 1
+}
+
+fn lower_impl<R1, R2>(
+    open_nodes: &dyn Fn() -> std::io::Result<R1>,
+    open_edges: &dyn Fn() -> std::io::Result<R2>,
+    shards: usize,
+    mut sink: impl FnMut(ExecShard) -> Result<(), IoError>,
+) -> Result<ShardedMeta, IoError>
+where
+    R1: BufRead,
+    R2: BufRead,
+{
+    let shards = shards.max(1);
+
+    // Pass 1a: cardinalities.
+    let mut ns = NodeScanner::open(open_nodes()?)?;
+    let n = ns.num_nodes();
+    let mut cards = vec![0u8; n];
+    while let Some((id, probs)) = ns.next_node()? {
+        cards[id] = probs.len() as u8;
+    }
+
+    // Pass 1b: per-node in-degrees (each undirected edge line contributes
+    // one in-arc at both endpoints), plus the shared potential if any.
+    let mut degrees = vec![0u32; n];
+    let shared_fwd: Option<JointMatrix>;
+    {
+        let mut es = EdgeScanner::open(open_edges()?, &cards)?;
+        shared_fwd = es.shared().cloned();
+        while let Some(e) = es.next_edge()? {
+            degrees[e.src as usize] += 1;
+            degrees[e.dst as usize] += 1;
+        }
+    }
+    let shared_rev = shared_fwd.as_ref().map(|m| m.transposed());
+    let ranges = partition_ranges(&degrees, shards);
+
+    // Pass 1c: mark boundary nodes — the endpoints of shard-crossing
+    // edges. Their sorted ids define the frontier layout up front, so
+    // every shard's import/export lists can be built as the shard is.
+    let mut boundary = vec![false; n];
+    {
+        let mut es = EdgeScanner::open(open_edges()?, &cards)?;
+        while let Some(e) = es.next_edge()? {
+            if shard_of(&ranges, e.src) != shard_of(&ranges, e.dst) {
+                boundary[e.src as usize] = true;
+                boundary[e.dst as usize] = true;
+            }
+        }
+    }
+    let frontier: Vec<u32> = (0..n as u32).filter(|&v| boundary[v as usize]).collect();
+    let mut frontier_off = Vec::with_capacity(frontier.len() + 1);
+    let mut off = 0u32;
+    for &gid in &frontier {
+        frontier_off.push(off);
+        off += cards[gid as usize] as u32;
+    }
+    frontier_off.push(off);
+    let mut frontier_init = vec![0.0f32; off as usize];
+    let frontier_slot =
+        |gid: u32, frontier: &[u32]| -> usize { frontier.binary_search(&gid).unwrap() };
+
+    // Pass 2, per shard: priors from the node file, then a counting-sort
+    // of the shard's in-arcs from the edge file.
+    let mut imports = Vec::with_capacity(shards);
+    let mut exports = Vec::with_capacity(shards);
+    let mut total_arcs = 0usize;
+    for &(lo, hi) in &ranges {
+        let local = (hi - lo) as usize;
+
+        // Priors for the local range; boundary nodes owned here also seed
+        // the initial frontier.
+        let mut priors = Vec::new();
+        {
+            let mut ns = NodeScanner::open(open_nodes()?)?;
+            while let Some((id, probs)) = ns.next_node()? {
+                let gid = id as u32;
+                if gid >= hi {
+                    break;
+                }
+                if gid < lo {
+                    continue;
+                }
+                let mut b = Belief::from_slice(probs);
+                b.normalize();
+                priors.extend_from_slice(b.as_slice());
+                if boundary[id] {
+                    let f = frontier_off[frontier_slot(gid, &frontier)] as usize;
+                    frontier_init[f..f + b.len()].copy_from_slice(b.as_slice());
+                }
+            }
+        }
+
+        // Local in-CSR skeleton from the pass-1 degrees.
+        let mut in_off = Vec::with_capacity(local + 1);
+        let mut arcs_total = 0u32;
+        for v in lo..hi {
+            in_off.push(arcs_total);
+            arcs_total += degrees[v as usize];
+        }
+        in_off.push(arcs_total);
+        let mut cursors: Vec<u32> = in_off[..local].to_vec();
+        // `src_off` temporarily holds the shard slot index; resolved to a
+        // packed offset once the halo is complete.
+        let mut in_arcs = vec![
+            PackedArc {
+                src_off: 0,
+                pot_off: 0,
+                src_card: 0,
+                dst_card: 0
+            };
+            arcs_total as usize
+        ];
+
+        let mut pot_pool: Vec<f32> = Vec::new();
+        let mut pool_matrices = 0u32;
+        let mut dedup: HashMap<Vec<u32>, u32> = HashMap::new();
+        let mut halo: Vec<u32> = Vec::new();
+        let mut halo_slot: HashMap<u32, u32> = HashMap::new();
+        {
+            let mut intern = |data: &[f32]| -> u32 {
+                let key: Vec<u32> = data.iter().map(|f| f.to_bits()).collect();
+                *dedup.entry(key).or_insert_with(|| {
+                    let at = pot_pool.len();
+                    assert!(
+                        at + data.len() <= u32::MAX as usize,
+                        "shard potential pool exceeds u32 indexing"
+                    );
+                    pot_pool.extend_from_slice(data);
+                    pool_matrices += 1;
+                    at as u32
+                })
+            };
+            let mut es = EdgeScanner::open(open_edges()?, &cards)?;
+            let mut rev_scratch: Vec<f32> = Vec::new();
+            while let Some(e) = es.next_edge()? {
+                let lineno = e.lineno;
+                let (u, v) = (e.src, e.dst);
+                let (cu, cv) = (cards[u as usize] as usize, cards[v as usize] as usize);
+                // Forward arc u -> v then reverse arc v -> u, matching the
+                // builder's arc id order — and therefore the ascending
+                // arc id scan `compile_range` interns in.
+                for (src, dst, rows, cols, fwd) in [(u, v, cu, cv, true), (v, u, cv, cu, false)] {
+                    if dst < lo || dst >= hi {
+                        continue;
+                    }
+                    let pot_off = match (&shared_fwd, &shared_rev) {
+                        (Some(f), Some(r)) => intern(if fwd { f.data() } else { r.data() }),
+                        _ => {
+                            let m = e.matrix.expect("per-edge mode carries a matrix");
+                            if fwd {
+                                intern(m)
+                            } else {
+                                rev_scratch.clear();
+                                rev_scratch.resize(rows * cols, 0.0);
+                                for i in 0..cols {
+                                    for j in 0..rows {
+                                        rev_scratch[j * cols + i] = m[i * rows + j];
+                                    }
+                                }
+                                intern(&rev_scratch)
+                            }
+                        }
+                    };
+                    let slot = if src >= lo && src < hi {
+                        src - lo
+                    } else {
+                        let next = halo.len() as u32;
+                        *halo_slot.entry(src).or_insert_with(|| {
+                            halo.push(src);
+                            next
+                        }) + local as u32
+                    };
+                    let dl = (dst - lo) as usize;
+                    let pos = cursors[dl];
+                    if pos >= in_off[dl + 1] {
+                        return Err(IoError::Parse {
+                            format: "Credo-MTX",
+                            line: lineno,
+                            message: format!(
+                                "edge file gained arcs into node {} between passes",
+                                dst + 1
+                            ),
+                        });
+                    }
+                    cursors[dl] = pos + 1;
+                    in_arcs[pos as usize] = PackedArc {
+                        src_off: slot,
+                        pot_off,
+                        src_card: rows as u16,
+                        dst_card: cols as u16,
+                    };
+                }
+            }
+        }
+
+        // Packed offsets over local nodes then halo slots; resolve the
+        // temporary slot indices.
+        let mut node_off = Vec::with_capacity(local + halo.len() + 1);
+        let mut poff = 0u64;
+        for v in lo..hi {
+            node_off.push(poff as u32);
+            poff += cards[v as usize] as u64;
+        }
+        for &g in &halo {
+            node_off.push(poff as u32);
+            poff += cards[g as usize] as u64;
+        }
+        assert!(
+            poff <= u32::MAX as u64,
+            "packed shard belief array exceeds u32 indexing"
+        );
+        node_off.push(poff as u32);
+        for arc in &mut in_arcs {
+            arc.src_off = node_off[arc.src_off as usize];
+        }
+
+        imports.push(
+            halo.iter()
+                .enumerate()
+                .map(|(i, &gid)| ShardCopy {
+                    local_off: node_off[local + i],
+                    frontier_off: frontier_off[frontier_slot(gid, &frontier)],
+                    card: cards[gid as usize] as u16,
+                })
+                .collect::<Vec<_>>(),
+        );
+        let from = frontier.partition_point(|&g| g < lo);
+        let to = frontier.partition_point(|&g| g < hi);
+        exports.push(
+            frontier[from..to]
+                .iter()
+                .map(|&gid| ShardCopy {
+                    local_off: node_off[(gid - lo) as usize],
+                    frontier_off: frontier_off[frontier_slot(gid, &frontier)],
+                    card: cards[gid as usize] as u16,
+                })
+                .collect::<Vec<_>>(),
+        );
+        total_arcs += in_arcs.len();
+
+        sink(ExecShard {
+            range: (lo, hi),
+            node_off,
+            priors,
+            in_off,
+            in_arcs,
+            pot_pool,
+            pool_matrices,
+            observed: vec![false; local],
+            halo,
+        })?;
+    }
+
+    let uniform_card = cards
+        .first()
+        .copied()
+        .filter(|&c| cards.iter().all(|&x| x == c));
+    Ok(ShardedMeta {
+        num_nodes: n,
+        cards,
+        ranges,
+        frontier,
+        frontier_off,
+        frontier_init,
+        imports,
+        exports,
+        uniform_card,
+        total_arcs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use credo_graph::generators::{
+        grid, kronecker, preferential_attachment, synthetic, GenOptions, PotentialKind,
+    };
+    use credo_graph::BeliefGraph;
+
+    fn to_mtx(g: &BeliefGraph) -> (Vec<u8>, Vec<u8>) {
+        let mut nbuf = Vec::new();
+        let mut ebuf = Vec::new();
+        credo_io::mtx::write(g, &mut nbuf, &mut ebuf).unwrap();
+        (nbuf, ebuf)
+    }
+
+    fn stream_lower(nbuf: &[u8], ebuf: &[u8], k: usize) -> ShardedExec {
+        lower(|| Ok(nbuf), || Ok(ebuf), k).unwrap()
+    }
+
+    #[test]
+    fn streamed_shards_equal_compiled_shards() {
+        for (g, label) in [
+            (
+                synthetic(60, 240, &GenOptions::new(3).with_seed(7)),
+                "synthetic",
+            ),
+            (grid(8, 9, &GenOptions::new(2).with_seed(1)), "grid"),
+            (
+                kronecker(6, 6, &GenOptions::new(2).with_seed(5)),
+                "kronecker",
+            ),
+            (
+                preferential_attachment(70, 3, &GenOptions::new(2).with_seed(9)),
+                "pa",
+            ),
+            (
+                synthetic(
+                    40,
+                    160,
+                    &GenOptions::new(2)
+                        .with_seed(3)
+                        .with_potentials(PotentialKind::PerEdgeRandom),
+                ),
+                "per-edge",
+            ),
+        ] {
+            let (nbuf, ebuf) = to_mtx(&g);
+            // The resident reference comes from the same bytes, so priors
+            // and potentials went through the same parse.
+            let resident = credo_io::mtx::read(&nbuf[..], &ebuf[..]).unwrap();
+            for k in [1usize, 2, 8] {
+                let streamed = stream_lower(&nbuf, &ebuf, k);
+                let compiled = ShardedExec::compile(&resident, k);
+                assert_eq!(streamed.meta, compiled.meta, "{label} k={k}");
+                assert_eq!(streamed.shards, compiled.shards, "{label} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_rejects_what_resident_rejects() {
+        let nodes = b"%%CredoMTX nodes\n2 2 2\n1 1 0.5 0.5\n2 2 -1 2\n";
+        let edges = b"%%CredoMTX edges\n% shared-potential 2 2 1 0 0 1\n2 2 1\n1 2\n";
+        let streamed = lower(|| Ok(&nodes[..]), || Ok(&edges[..]), 2).unwrap_err();
+        let resident = credo_io::mtx::read(&nodes[..], &edges[..]).unwrap_err();
+        assert_eq!(streamed.to_string(), resident.to_string());
+    }
+
+    #[test]
+    fn duplicate_edges_stream_as_multigraph_edges() {
+        let nodes = b"%%CredoMTX nodes\n2 2 2\n1 1 0.5 0.5\n2 2 0.5 0.5\n";
+        let edges = b"%%CredoMTX edges\n% shared-potential 2 2 0.8 0.2 0.2 0.8\n2 2 2\n1 2\n1 2\n";
+        let sx = lower(|| Ok(&nodes[..]), || Ok(&edges[..]), 2).unwrap();
+        assert_eq!(sx.meta.total_arcs, 4);
+        let resident = credo_io::mtx::read(&nodes[..], &edges[..]).unwrap();
+        assert_eq!(sx.shards, ShardedExec::compile(&resident, 2).shards);
+    }
+}

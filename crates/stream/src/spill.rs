@@ -1,0 +1,237 @@
+//! Disk-backed shard store: shards written as they stream off the
+//! lowerer, reloaded one at a time by [`credo_core::run_sharded`].
+//!
+//! Each shard is one little-endian binary file: a magic/version header,
+//! the `[lo, hi)` range and matrix count, then the six length-prefixed
+//! arrays of [`ExecShard`] (`PackedArc` serialized as three `u32`s, with
+//! both cardinalities packed into the third). The format is a private
+//! scratch format — files are only ever read back by the same build that
+//! wrote them — so there is no cross-version compatibility machinery,
+//! just a magic check to catch handing the loader the wrong file.
+
+use credo_core::{EngineError, ShardSource};
+use credo_graph::{ExecShard, PackedArc, ShardedMeta};
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::PathBuf;
+
+const MAGIC: u32 = 0x4352_5348; // "CRSH"
+
+/// A lowered plan whose shard arrays live on disk.
+///
+/// Holds the (O(nodes)) [`ShardedMeta`] resident and reloads one shard's
+/// arc/potential arrays per [`ShardSource::with_shard`] call, so a sweep
+/// over the whole graph keeps at most `max_shard_bytes()` of arc data in
+/// memory at once.
+pub struct SpilledShards {
+    meta: ShardedMeta,
+    paths: Vec<PathBuf>,
+    max_shard_bytes: usize,
+}
+
+impl SpilledShards {
+    pub(crate) fn new(meta: ShardedMeta, paths: Vec<PathBuf>, max_shard_bytes: usize) -> Self {
+        SpilledShards {
+            meta,
+            paths,
+            max_shard_bytes,
+        }
+    }
+
+    /// The resident partition/frontier metadata.
+    pub fn meta(&self) -> &ShardedMeta {
+        &self.meta
+    }
+
+    /// In-memory footprint of the largest single shard — the peak arc
+    /// memory a sharded sweep over this store needs.
+    pub fn max_shard_bytes(&self) -> usize {
+        self.max_shard_bytes
+    }
+
+    /// The on-disk shard files, in shard order.
+    pub fn paths(&self) -> &[PathBuf] {
+        &self.paths
+    }
+
+    /// Reloads shard `k` from disk.
+    pub fn load(&self, k: usize) -> io::Result<ExecShard> {
+        read_shard(&self.paths[k])
+    }
+}
+
+impl ShardSource for SpilledShards {
+    fn meta(&self) -> &ShardedMeta {
+        &self.meta
+    }
+
+    fn with_shard(&mut self, k: usize, f: &mut dyn FnMut(&ExecShard)) -> Result<(), EngineError> {
+        let shard = self
+            .load(k)
+            .map_err(|e| EngineError::InvalidGraph(format!("spilled shard {k}: {e}")))?;
+        f(&shard);
+        Ok(())
+    }
+}
+
+fn put_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn put_u32s(w: &mut impl Write, vs: &[u32]) -> io::Result<()> {
+    put_u32(w, vs.len() as u32)?;
+    for &v in vs {
+        put_u32(w, v)?;
+    }
+    Ok(())
+}
+
+fn put_f32s(w: &mut impl Write, vs: &[f32]) -> io::Result<()> {
+    put_u32(w, vs.len() as u32)?;
+    for &v in vs {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+pub(crate) fn write_shard(path: &std::path::Path, s: &ExecShard) -> io::Result<()> {
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    put_u32(&mut w, MAGIC)?;
+    put_u32(&mut w, s.range.0)?;
+    put_u32(&mut w, s.range.1)?;
+    put_u32(&mut w, s.pool_matrices)?;
+    put_u32s(&mut w, &s.node_off)?;
+    put_f32s(&mut w, &s.priors)?;
+    put_u32s(&mut w, &s.in_off)?;
+    put_u32(&mut w, s.in_arcs.len() as u32)?;
+    for a in &s.in_arcs {
+        put_u32(&mut w, a.src_off)?;
+        put_u32(&mut w, a.pot_off)?;
+        put_u32(&mut w, (a.src_card as u32) << 16 | a.dst_card as u32)?;
+    }
+    put_f32s(&mut w, &s.pot_pool)?;
+    put_u32(&mut w, s.observed.len() as u32)?;
+    let bits: Vec<u8> = s.observed.iter().map(|&b| b as u8).collect();
+    w.write_all(&bits)?;
+    put_u32s(&mut w, &s.halo)?;
+    w.flush()
+}
+
+fn get_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn get_u32s(r: &mut impl Read) -> io::Result<Vec<u32>> {
+    let n = get_u32(r)? as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(get_u32(r)?);
+    }
+    Ok(out)
+}
+
+fn get_f32s(r: &mut impl Read) -> io::Result<Vec<f32>> {
+    let n = get_u32(r)? as usize;
+    let mut out = Vec::with_capacity(n);
+    let mut b = [0u8; 4];
+    for _ in 0..n {
+        r.read_exact(&mut b)?;
+        out.push(f32::from_le_bytes(b));
+    }
+    Ok(out)
+}
+
+fn read_shard(path: &std::path::Path) -> io::Result<ExecShard> {
+    let mut r = BufReader::new(std::fs::File::open(path)?);
+    if get_u32(&mut r)? != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a credo shard file (bad magic)",
+        ));
+    }
+    let lo = get_u32(&mut r)?;
+    let hi = get_u32(&mut r)?;
+    let pool_matrices = get_u32(&mut r)?;
+    let node_off = get_u32s(&mut r)?;
+    let priors = get_f32s(&mut r)?;
+    let in_off = get_u32s(&mut r)?;
+    let num_arcs = get_u32(&mut r)? as usize;
+    let mut in_arcs = Vec::with_capacity(num_arcs);
+    for _ in 0..num_arcs {
+        let src_off = get_u32(&mut r)?;
+        let pot_off = get_u32(&mut r)?;
+        let cards = get_u32(&mut r)?;
+        in_arcs.push(PackedArc {
+            src_off,
+            pot_off,
+            src_card: (cards >> 16) as u16,
+            dst_card: (cards & 0xffff) as u16,
+        });
+    }
+    let pot_pool = get_f32s(&mut r)?;
+    let num_obs = get_u32(&mut r)? as usize;
+    let mut bits = vec![0u8; num_obs];
+    r.read_exact(&mut bits)?;
+    let observed = bits.into_iter().map(|b| b != 0).collect();
+    let halo = get_u32s(&mut r)?;
+    Ok(ExecShard {
+        range: (lo, hi),
+        node_off,
+        priors,
+        in_off,
+        in_arcs,
+        pot_pool,
+        pool_matrices,
+        observed,
+        halo,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use credo_graph::generators::{synthetic, GenOptions};
+    use credo_graph::ShardedExec;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("credo-spill-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn shard_roundtrips_through_disk() {
+        let g = synthetic(50, 200, &GenOptions::new(3).with_seed(11));
+        let sx = ShardedExec::compile(&g, 3);
+        let dir = tmpdir("roundtrip");
+        for (i, shard) in sx.shards.iter().enumerate() {
+            let path = dir.join(format!("s{i}.bin"));
+            write_shard(&path, shard).unwrap();
+            assert_eq!(&read_shard(&path).unwrap(), shard);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bad_magic_is_an_error_not_a_panic() {
+        let dir = tmpdir("magic");
+        let path = dir.join("junk.bin");
+        std::fs::write(&path, b"not a shard at all").unwrap();
+        assert!(read_shard(&path).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_shard_is_an_error_not_a_panic() {
+        let g = synthetic(20, 60, &GenOptions::new(2).with_seed(4));
+        let sx = ShardedExec::compile(&g, 1);
+        let dir = tmpdir("trunc");
+        let path = dir.join("s0.bin");
+        write_shard(&path, &sx.shards[0]).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(read_shard(&path).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -19,8 +19,10 @@ fn measure_best(g: &BeliefGraph, opts: &BpOptions) -> (FeatureVector, Implementa
             Implementation::CudaEdge => Box::new(CudaEdgeEngine::new(Device::new(PASCAL_GTX1070))),
             Implementation::CudaNode => Box::new(CudaNodeEngine::new(Device::new(PASCAL_GTX1070))),
             // ALL_IMPLEMENTATIONS is the classifier's four-label table; the
-            // native parallel engines never appear in it.
-            Implementation::ParEdge | Implementation::ParNode => unreachable!(),
+            // native parallel and streaming engines never appear in it.
+            Implementation::ParEdge | Implementation::ParNode | Implementation::StreamNode => {
+                unreachable!()
+            }
         };
         // Best-of-3: the min wall-clock is robust to scheduler noise, so
         // near-tied implementations get consistent labels across the sweep

@@ -1,0 +1,237 @@
+//! Malformed-input corpus: every parser must answer garbage with a
+//! structured [`credo::io::IoError`] — never a panic — and the MTX
+//! scanners must point at the exact offending line.
+
+use credo::graph::generators::{random_tree, synthetic, GenOptions, PotentialKind};
+use credo::io::IoError;
+
+const NODES_OK: &str = "%%CredoMTX nodes\n3 3 3\n1 1 0.5 0.5\n2 2 0.4 0.6\n3 3 0.2 0.8\n";
+const EDGES_OK: &str =
+    "%%CredoMTX edges\n% shared-potential 2 2 0.9 0.1 0.1 0.9\n3 3 2\n1 2\n2 3\n";
+
+/// Parses the pair and returns the error, asserting it is a structured
+/// MTX parse error at the expected line.
+fn mtx_line_of(nodes: &str, edges: &str) -> usize {
+    match credo::io::mtx::read(nodes.as_bytes(), edges.as_bytes()) {
+        Ok(_) => panic!("malformed input was accepted"),
+        Err(IoError::Parse { format, line, .. }) => {
+            assert_eq!(format, "Credo-MTX");
+            line
+        }
+        Err(other) => panic!("expected a Parse error, got: {other}"),
+    }
+}
+
+#[test]
+fn mtx_sanity_the_valid_corpus_base_parses() {
+    let g = credo::io::mtx::read(NODES_OK.as_bytes(), EDGES_OK.as_bytes()).unwrap();
+    assert_eq!(g.num_nodes(), 3);
+    assert_eq!(g.num_edges(), 2);
+}
+
+#[test]
+fn mtx_bad_banners_point_at_line_1() {
+    let bad_nodes = NODES_OK.replace("%%CredoMTX nodes", "%%MatrixMarket matrix");
+    assert_eq!(mtx_line_of(&bad_nodes, EDGES_OK), 1);
+    let bad_edges = EDGES_OK.replace("%%CredoMTX edges", "%%CredoMTX nodes");
+    assert_eq!(mtx_line_of(NODES_OK, &bad_edges), 1);
+}
+
+#[test]
+fn mtx_truncated_node_file_reports_last_data_line() {
+    // Declares 3 nodes, holds 2: lines are banner(1), size(2), data(3, 4).
+    let truncated = "%%CredoMTX nodes\n3 3 3\n1 1 0.5 0.5\n2 2 0.4 0.6\n";
+    assert_eq!(mtx_line_of(truncated, EDGES_OK), 4);
+}
+
+#[test]
+fn mtx_truncated_edge_file_reports_last_data_line() {
+    // Declares 2 edges, holds 1: banner(1), directive(2), size(3), data(4).
+    let truncated = "%%CredoMTX edges\n% shared-potential 2 2 0.9 0.1 0.1 0.9\n3 3 2\n1 2\n";
+    assert_eq!(mtx_line_of(NODES_OK, truncated), 4);
+}
+
+#[test]
+fn mtx_oversized_node_id_is_rejected_at_its_line() {
+    let bad = NODES_OK.replace("3 3 0.2 0.8", "7 7 0.2 0.8");
+    assert_eq!(mtx_line_of(&bad, EDGES_OK), 5);
+}
+
+#[test]
+fn mtx_oversized_edge_endpoint_is_rejected_at_its_line() {
+    let bad = EDGES_OK.replace("2 3", "2 9");
+    assert_eq!(mtx_line_of(NODES_OK, &bad), 5);
+}
+
+#[test]
+fn mtx_zero_probability_row_is_rejected_at_its_line() {
+    let bad = NODES_OK.replace("2 2 0.4 0.6", "2 2 0 0");
+    assert_eq!(mtx_line_of(&bad, EDGES_OK), 4);
+}
+
+#[test]
+fn mtx_negative_probability_is_rejected_at_its_line() {
+    let bad = NODES_OK.replace("2 2 0.4 0.6", "2 2 -0.4 0.6");
+    assert_eq!(mtx_line_of(&bad, EDGES_OK), 4);
+}
+
+#[test]
+fn mtx_non_finite_probabilities_are_rejected_at_their_line() {
+    for tok in ["nan", "inf", "-inf", "1e40"] {
+        let bad = NODES_OK.replace("2 2 0.4 0.6", &format!("2 2 {tok} 0.6"));
+        assert_eq!(mtx_line_of(&bad, EDGES_OK), 4, "token {tok}");
+    }
+}
+
+#[test]
+fn mtx_negative_shared_potential_value_is_rejected_at_the_directive() {
+    let bad = EDGES_OK.replace("0.9 0.1 0.1 0.9", "0.9 -0.1 0.1 0.9");
+    assert_eq!(mtx_line_of(NODES_OK, &bad), 2);
+}
+
+#[test]
+fn mtx_mismatched_cardinality_matrix_is_rejected_at_its_line() {
+    // Per-edge mode: a 2x2 pair needs 4 values, this row carries 3.
+    let edges = "%%CredoMTX edges\n3 3 1\n1 2 0.1 0.2 0.3\n";
+    assert_eq!(mtx_line_of(NODES_OK, edges), 3);
+}
+
+#[test]
+fn mtx_self_loop_edge_is_rejected_at_its_line() {
+    let bad = EDGES_OK.replace("2 3", "2 2");
+    assert_eq!(mtx_line_of(NODES_OK, &bad), 5);
+}
+
+#[test]
+fn mtx_size_line_cardinality_mismatch_is_rejected() {
+    // The edge size line must declare one row per node.
+    let bad = EDGES_OK.replace("3 3 2", "5 5 2");
+    assert_eq!(mtx_line_of(NODES_OK, &bad), 3);
+}
+
+/// The streaming lowerer shares the scanners, so it must reject the same
+/// corpus with the same line numbers.
+#[test]
+fn streamed_lowering_rejects_the_same_corpus() {
+    let cases: &[(String, String)] = &[
+        (
+            NODES_OK.replace("2 2 0.4 0.6", "2 2 -0.4 0.6"),
+            EDGES_OK.to_string(),
+        ),
+        (NODES_OK.to_string(), EDGES_OK.replace("2 3", "2 2")),
+        (
+            "%%CredoMTX nodes\n3 3 3\n1 1 0.5 0.5\n2 2 0.4 0.6\n".to_string(),
+            EDGES_OK.to_string(),
+        ),
+    ];
+    for (nodes, edges) in cases {
+        let resident = credo::io::mtx::read(nodes.as_bytes(), edges.as_bytes());
+        let streamed = credo_stream::lower(|| Ok(nodes.as_bytes()), || Ok(edges.as_bytes()), 2);
+        let (r, s) = (resident.unwrap_err(), streamed.unwrap_err());
+        assert_eq!(r.to_string(), s.to_string());
+    }
+}
+
+// ------------------------------------------------------------- BIF -----
+
+#[test]
+fn bif_structured_errors_for_broken_sources() {
+    let cases: &[&str] = &[
+        // Unclosed block at EOF.
+        "network x {",
+        // Probability over an undeclared variable.
+        "variable a { type discrete [ 2 ] { f, t }; }\nprobability ( b ) { table 0.5, 0.5; }",
+        // Lexer garbage.
+        "@#$%",
+        // Unterminated string literal.
+        "network x { property \"oops; }",
+        // Empty input declares nothing runnable.
+        "",
+    ];
+    for src in cases {
+        let res = credo::io::bif::read(src.as_bytes());
+        assert!(res.is_err(), "accepted: {src:?}");
+    }
+}
+
+#[test]
+fn bif_truncations_never_panic() {
+    let g = random_tree(
+        12,
+        &GenOptions::new(2)
+            .with_seed(31)
+            .with_potentials(PotentialKind::PerEdgeRandom),
+    );
+    let mut buf = Vec::new();
+    credo::io::bif::write(&g, &mut buf).unwrap();
+    for i in 1..16 {
+        let cut = buf.len() * i / 16;
+        // Any prefix must produce Ok or a structured error, never a panic.
+        let _ = credo::io::bif::read(&buf[..cut]);
+    }
+}
+
+// --------------------------------------------------------- XML-BIF -----
+
+#[test]
+fn xmlbif_structured_errors_for_broken_sources() {
+    let cases: &[&str] = &[
+        // Not XML at all.
+        "hello there",
+        // Mismatched closing tag.
+        "<BIF><NETWORK></BIF></NETWORK>",
+        // No NETWORK element.
+        "<BIF></BIF>",
+        // Unclosed element at EOF.
+        "<BIF><NETWORK><VARIABLE>",
+        "",
+    ];
+    for src in cases {
+        let res = credo::io::xmlbif::read(src.as_bytes());
+        assert!(res.is_err(), "accepted: {src:?}");
+    }
+}
+
+#[test]
+fn xmlbif_truncations_never_panic() {
+    let g = random_tree(
+        10,
+        &GenOptions::new(3)
+            .with_seed(7)
+            .with_potentials(PotentialKind::PerEdgeRandom),
+    );
+    let mut buf = Vec::new();
+    credo::io::xmlbif::write(&g, &mut buf).unwrap();
+    for i in 1..16 {
+        let cut = buf.len() * i / 16;
+        let _ = credo::io::xmlbif::read(&buf[..cut]);
+    }
+}
+
+/// Byte-level mutations of a valid MTX pair: flip one byte at a time and
+/// require a structured result (Ok or IoError), never a panic.
+#[test]
+fn mtx_single_byte_mutations_never_panic() {
+    let g = synthetic(12, 30, &GenOptions::new(2).with_seed(9));
+    let mut nodes = Vec::new();
+    let mut edges = Vec::new();
+    credo::io::mtx::write(&g, &mut nodes, &mut edges).unwrap();
+    for target in 0..2 {
+        let buf = if target == 0 { &nodes } else { &edges };
+        for (i, &orig) in buf.iter().enumerate() {
+            for replacement in [b'0', b'-', b'x', b' '] {
+                if orig == replacement {
+                    continue;
+                }
+                let mut mutated = buf.clone();
+                mutated[i] = replacement;
+                let (n, e) = if target == 0 {
+                    (&mutated, &edges)
+                } else {
+                    (&nodes, &mutated)
+                };
+                let _ = credo::io::mtx::read(&n[..], &e[..]);
+            }
+        }
+    }
+}

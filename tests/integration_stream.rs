@@ -1,0 +1,190 @@
+//! The streaming pipeline end to end: MTX pair → two-pass sharded
+//! lowering (resident and spilled) → sharded sweep, against the resident
+//! Par Node engine on the same graph.
+
+use credo::engines::{ParNodeEngine, ShardedEngine};
+use credo::graph::generators::{
+    grid, kronecker, preferential_attachment, synthetic, GenOptions, PotentialKind,
+};
+use credo::graph::{BeliefGraph, ShardedExec};
+use credo::{BpEngine, BpOptions};
+use credo_core::run_sharded;
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "credo-stream-it-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn mtx_pair(g: &BeliefGraph) -> (Vec<u8>, Vec<u8>) {
+    let mut nodes = Vec::new();
+    let mut edges = Vec::new();
+    credo::io::mtx::write(g, &mut nodes, &mut edges).unwrap();
+    (nodes, edges)
+}
+
+fn packed_beliefs(g: &BeliefGraph) -> Vec<f32> {
+    g.beliefs()
+        .iter()
+        .flat_map(|b| b.as_slice().iter().copied())
+        .collect()
+}
+
+fn linf(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs() as f64)
+        .fold(0.0, f64::max)
+}
+
+/// Streams `g`'s MTX serialization into `shards` shards and runs the
+/// sharded sweep; returns the final packed beliefs.
+fn run_streamed(g: &BeliefGraph, shards: usize, threads: usize) -> Vec<f32> {
+    let (nodes, edges) = mtx_pair(g);
+    let mut sx = credo_stream::lower(|| Ok(&nodes[..]), || Ok(&edges[..]), shards).unwrap();
+    let opts = BpOptions::default().with_threads(threads);
+    let (_, beliefs) = run_sharded(
+        "Stream Node",
+        &mut sx,
+        &opts,
+        &credo::Dispatch::none(),
+        threads,
+        None,
+    )
+    .unwrap();
+    beliefs
+}
+
+/// Every generator family: the streamed run must match the resident
+/// Par Node run within 1e-4 for shard counts 1, 2 and 8 and any thread
+/// count.
+#[test]
+fn streamed_matches_resident_on_every_family() {
+    let families: Vec<(&str, BeliefGraph)> = vec![
+        (
+            "synthetic",
+            synthetic(80, 320, &GenOptions::new(3).with_seed(17)),
+        ),
+        ("grid", grid(9, 8, &GenOptions::new(2).with_seed(2))),
+        (
+            "kronecker",
+            kronecker(6, 8, &GenOptions::new(2).with_seed(3)),
+        ),
+        (
+            "powerlaw",
+            preferential_attachment(90, 3, &GenOptions::new(2).with_seed(4)),
+        ),
+        (
+            "per-edge",
+            synthetic(
+                50,
+                200,
+                &GenOptions::new(2)
+                    .with_seed(5)
+                    .with_potentials(PotentialKind::PerEdgeRandom),
+            ),
+        ),
+    ];
+    for (label, g) in families {
+        let mut resident = g.clone();
+        ParNodeEngine
+            .run(&mut resident, &BpOptions::default().with_threads(2))
+            .unwrap();
+        let reference = packed_beliefs(&resident);
+        for shards in [1usize, 2, 8] {
+            for threads in [1usize, 4] {
+                let streamed = run_streamed(&g, shards, threads);
+                let d = linf(&streamed, &reference);
+                assert!(
+                    d <= 1e-4,
+                    "{label}: shards={shards} threads={threads} drifted {d:e}"
+                );
+            }
+        }
+    }
+}
+
+/// Spilled shards are byte-identical to resident lowering and produce
+/// identical runs.
+#[test]
+fn spill_roundtrips_and_runs_identically() {
+    let g = synthetic(70, 280, &GenOptions::new(3).with_seed(23));
+    let (nodes, edges) = mtx_pair(&g);
+    let dir = scratch_dir("spill");
+
+    let mut resident = credo_stream::lower(|| Ok(&nodes[..]), || Ok(&edges[..]), 4).unwrap();
+    let mut spilled =
+        credo_stream::lower_spill(|| Ok(&nodes[..]), || Ok(&edges[..]), 4, &dir).unwrap();
+    assert_eq!(spilled.meta(), &resident.meta);
+    for (k, shard) in resident.shards.iter().enumerate() {
+        assert_eq!(&spilled.load(k).unwrap(), shard, "shard {k}");
+    }
+
+    let opts = BpOptions::default().with_threads(3);
+    let none = credo::Dispatch::none();
+    let (s1, b1) = run_sharded("Stream Node", &mut resident, &opts, &none, 3, None).unwrap();
+    let (s2, b2) = run_sharded("Stream Node", &mut spilled, &opts, &none, 3, None).unwrap();
+    assert_eq!(s1.iterations, s2.iterations);
+    assert!(b1.iter().zip(&b2).all(|(x, y)| x.to_bits() == y.to_bits()));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The engine behind `Implementation::StreamNode` agrees bitwise with the
+/// resident Par Node engine (no MTX roundtrip in between).
+#[test]
+fn sharded_engine_is_bitwise_par_node() {
+    let mut g1 = synthetic(150, 600, &GenOptions::new(2).with_seed(8));
+    let mut g2 = g1.clone();
+    let opts = BpOptions::default().with_threads(2);
+    let s1 = ParNodeEngine.run(&mut g1, &opts).unwrap();
+    let s2 = ShardedEngine::new(8).run(&mut g2, &opts).unwrap();
+    assert_eq!(s1.iterations, s2.iterations);
+    for (a, b) in g1.beliefs().iter().zip(g2.beliefs()) {
+        assert!(a
+            .as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .all(|(x, y)| x.to_bits() == y.to_bits()));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random graphs, shard counts and thread counts: the streamed shards
+    /// equal the resident compilation of the same bytes, and the sharded
+    /// sweep stays within 1e-4 of the resident Par Node run.
+    #[test]
+    fn streamed_lowering_and_run_agree_with_resident(
+        n in 2usize..60,
+        e in 1usize..120,
+        k in 2usize..4,
+        seed in any::<u64>(),
+        shard_pick in 0usize..3,
+        threads in 1usize..4,
+    ) {
+        let shards = [1usize, 2, 8][shard_pick];
+        let g = synthetic(n.max(2), e, &GenOptions::new(k).with_seed(seed));
+        let (nodes, edges) = mtx_pair(&g);
+        let streamed =
+            credo_stream::lower(|| Ok(&nodes[..]), || Ok(&edges[..]), shards).unwrap();
+        let roundtripped = credo::io::mtx::read(&nodes[..], &edges[..]).unwrap();
+        let compiled = ShardedExec::compile(&roundtripped, shards);
+        prop_assert_eq!(&streamed.meta, &compiled.meta);
+        prop_assert_eq!(&streamed.shards, &compiled.shards);
+
+        let mut resident = g.clone();
+        ParNodeEngine
+            .run(&mut resident, &BpOptions::default().with_threads(threads))
+            .unwrap();
+        let beliefs = run_streamed(&g, shards, threads);
+        prop_assert!(linf(&beliefs, &packed_beliefs(&resident)) <= 1e-4);
+    }
+}
