@@ -1,0 +1,192 @@
+//! CI perf-regression gate: compares the key speedup ratios from a fresh
+//! `BENCH_par_speedup.json` against the committed baseline under
+//! `ci/baselines/`, failing when any ratio regressed by more than the
+//! tolerance (default 15%).
+//!
+//! The gated ratios are relative measurements (Par engine vs the
+//! OpenMP-analogue engine, plan-lowered vs direct) plus their geomeans —
+//! deliberately not absolute wall clocks, so the gate survives moving
+//! between runner machines of different speed.
+//!
+//! ```text
+//! # refresh the artifact, then check it
+//! cargo run --release -p credo-bench --bin exp_par_speedup -- --scale quick --max-iters 30
+//! cargo run --release -p credo-bench --bin bench_gate -- --check
+//!
+//! # bless a new baseline after an intentional perf change
+//! cargo run --release -p credo-bench --bin bench_gate -- --write-baseline
+//! ```
+
+use credo_bench::measure::{check_gates, Gate};
+use credo_bench::{flag_present, flag_value};
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+
+/// The committed baseline: a named list of speedup ratios and the
+/// tolerance they were blessed under.
+#[derive(Serialize, Deserialize)]
+struct Baseline {
+    /// Source artifact the ratios were extracted from.
+    source: String,
+    /// Worst acceptable relative regression, e.g. 0.15 for 15%.
+    tolerance: f64,
+    /// `(ratio name, blessed value)` pairs; higher is better for all.
+    ratios: Vec<(String, f64)>,
+}
+
+fn geomean(values: &[f64]) -> f64 {
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+/// Extracts the named key ratios from a `BENCH_par_speedup.json` row
+/// array, in row order, geomeans last.
+fn extract_ratios(rows: &[Value]) -> Result<Vec<(String, f64)>, String> {
+    let mut ratios = Vec::new();
+    let (mut par, mut plan) = (Vec::new(), Vec::new());
+    for row in rows {
+        let graph = row
+            .get("graph")
+            .and_then(Value::as_str)
+            .ok_or("row without a 'graph' field")?;
+        let engine = row
+            .get("engine")
+            .and_then(Value::as_str)
+            .ok_or("row without an 'engine' field")?;
+        if let Some(s) = row.get("speedup_vs_openmp").and_then(Value::as_f64) {
+            ratios.push((format!("{engine}/{graph}/vs_openmp"), s));
+            par.push(s);
+        }
+        if let Some(s) = row.get("speedup_plan_vs_direct").and_then(Value::as_f64) {
+            ratios.push((format!("{engine}/{graph}/plan_vs_direct"), s));
+            plan.push(s);
+        }
+    }
+    if par.is_empty() {
+        return Err("no rows carry speedup_vs_openmp — wrong or truncated artifact?".into());
+    }
+    ratios.push(("geomean/vs_openmp".into(), geomean(&par)));
+    if !plan.is_empty() {
+        ratios.push(("geomean/plan_vs_direct".into(), geomean(&plan)));
+    }
+    Ok(ratios)
+}
+
+fn load_fresh(path: &str) -> Result<Vec<(String, f64)>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read fresh artifact {path}: {e}"))?;
+    let value: Value =
+        serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e:?}"))?;
+    let rows = value
+        .as_array()
+        .ok_or_else(|| format!("{path} is not a JSON array of rows"))?;
+    extract_ratios(rows)
+}
+
+fn main() {
+    let fresh_path = flag_value("--fresh").unwrap_or_else(|| "BENCH_par_speedup.json".to_string());
+    let baseline_path =
+        flag_value("--baseline").unwrap_or_else(|| "ci/baselines/par_speedup.json".to_string());
+    let tolerance: f64 = flag_value("--tolerance")
+        .map(|v| v.parse().expect("--tolerance takes a float"))
+        .unwrap_or(0.15);
+
+    let fresh = match load_fresh(&fresh_path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    if flag_present("--write-baseline") {
+        let baseline = Baseline {
+            source: fresh_path.clone(),
+            tolerance,
+            ratios: fresh,
+        };
+        if let Some(dir) = std::path::Path::new(&baseline_path).parent() {
+            std::fs::create_dir_all(dir).expect("create baseline directory");
+        }
+        let json = serde_json::to_string_pretty(&baseline).expect("serialize baseline");
+        std::fs::write(&baseline_path, json + "\n").expect("write baseline");
+        println!(
+            "bench_gate: wrote {} ratios from {fresh_path} to {baseline_path}",
+            baseline.ratios.len()
+        );
+        return;
+    }
+
+    let text = match std::fs::read_to_string(&baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "bench_gate: cannot read baseline {baseline_path}: {e}\n\
+                 bless one with: bench_gate --fresh {fresh_path} --write-baseline"
+            );
+            std::process::exit(2);
+        }
+    };
+    let baseline: Baseline = match serde_json::from_str(&text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("bench_gate: cannot parse baseline {baseline_path}: {e:?}");
+            std::process::exit(2);
+        }
+    };
+    let tolerance = flag_value("--tolerance")
+        .map(|v| v.parse().expect("--tolerance takes a float"))
+        .unwrap_or(baseline.tolerance);
+
+    let mut gates = Vec::new();
+    let mut missing = Vec::new();
+    for (name, blessed) in &baseline.ratios {
+        match fresh.iter().find(|(n, _)| n == name) {
+            Some((_, value)) => gates.push(Gate {
+                name: name.clone(),
+                value: *value,
+                reference: *blessed,
+                tolerance,
+                higher_is_better: true,
+            }),
+            None => missing.push(name.clone()),
+        }
+    }
+    let new: Vec<&str> = fresh
+        .iter()
+        .map(|(n, _)| n.as_str())
+        .filter(|n| !baseline.ratios.iter().any(|(b, _)| b == n))
+        .collect();
+    if !new.is_empty() {
+        println!(
+            "note: {} ratio(s) not in the baseline (re-bless to gate them): {}",
+            new.len(),
+            new.join(", ")
+        );
+    }
+
+    println!(
+        "bench_gate: {} vs {} (tolerance {:.0}%)",
+        fresh_path,
+        baseline_path,
+        tolerance * 100.0
+    );
+    let verdict = check_gates(&gates);
+    if !missing.is_empty() {
+        eprintln!(
+            "FAIL: {} baseline ratio(s) missing from the fresh artifact: {}",
+            missing.len(),
+            missing.join(", ")
+        );
+    }
+    match verdict {
+        Err(diff) => {
+            eprintln!(
+                "FAIL: performance regressed more than {:.0}% vs {baseline_path}:\n{diff}",
+                tolerance * 100.0
+            );
+            std::process::exit(1);
+        }
+        Ok(()) if !missing.is_empty() => std::process::exit(1),
+        Ok(()) => println!("OK: all {} gated ratios within tolerance", gates.len()),
+    }
+}

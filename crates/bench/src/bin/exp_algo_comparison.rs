@@ -2,7 +2,7 @@
 //!
 //! Paper: on the synthetic graphs, single-threaded, "the non-loopy BP
 //! implementation is 1032x slower than the by-edge version and 44x slower
-//! than the by-node [at] 10kx40k", widening to 11427x / 379x at 2Mx8M,
+//! than the by-node \[at\] 10kx40k", widening to 11427x / 379x at 2Mx8M,
 //! averaging ~1014x / ~300x. The gap comes from the baseline's unindexed
 //! (edge-list-scanning) structure discovery; see
 //! `credo_core::seq::NaiveTreeEngine`.

@@ -2,8 +2,8 @@
 //!
 //! Paper: "the performance actually decreases for 131 of the 132 benchmark
 //! graphs with the average performance penalty for running with 2 core
-//! case [at] circa 1.17x, with 4 cores [at] 1.65x and with all 8 cores
-//! [at] 4.03x" — per-region fork/join overhead swamps sub-millisecond
+//! case \[at\] circa 1.17x, with 4 cores \[at\] 1.65x and with all 8 cores
+//! \[at\] 4.03x" — per-region fork/join overhead swamps sub-millisecond
 //! loops. The analogue engines spawn OS threads per parallel region, so
 //! the same effect shows up wherever per-iteration work is small.
 

@@ -24,6 +24,7 @@ use credo::engines::{
     OpenMpEdgeEngine, OpenMpNodeEngine, ParEdgeEngine, ParNodeEngine, SeqEdgeEngine, SeqNodeEngine,
 };
 use credo::{BpEngine, BpOptions, Paradigm};
+use credo_bench::measure::{check_gates, interleaved_medians, Gate};
 use credo_bench::report::{fmt_secs, fmt_speedup, save_bench_json, save_json, save_trace, Table};
 use credo_bench::runner::{run_clean, run_traced_clean};
 use credo_bench::suite::Scale;
@@ -55,10 +56,11 @@ struct Row {
 }
 
 /// CI guard for the zero-cost claim (`--overhead-check`): Seq Node on the
-/// 10k synthetic graph, best-of-N wall clock, comparing the untraced entry
-/// point against (a) a disabled dispatch and (b) an attached recorder
-/// whose methods discard everything. Exits non-zero when either traced
-/// variant is more than 2% slower than the untraced best.
+/// 10k synthetic graph, interleaved median-of-N wall clock, comparing the
+/// untraced entry point against (a) a disabled dispatch and (b) an
+/// attached recorder whose methods discard everything. Exits non-zero
+/// when either traced variant's median is more than 2% slower than the
+/// untraced median.
 fn overhead_check() {
     struct DiscardRecorder;
     impl credo_trace::Recorder for DiscardRecorder {
@@ -93,35 +95,46 @@ fn overhead_check() {
         };
         stats.unwrap().reported_time.as_secs_f64()
     };
-    // Warm up caches/allocator, then interleave the three variants so
-    // machine-load drift hits them all equally; compare best-of-N.
-    time(None);
-    let (mut untraced, mut disabled, mut discard) = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
-    for _ in 0..rounds {
-        untraced = untraced.min(time(None));
-        disabled = disabled.min(time(Some(&disabled_dispatch)));
-        discard = discard.min(time(Some(&discard_dispatch)));
-    }
+    // Interleaved median-of-N: drift hits all three variants equally and
+    // a single noisy sample on either side cannot decide the verdict.
+    let meds = interleaved_medians(
+        rounds,
+        &mut [
+            &mut || time(None),
+            &mut || time(Some(&disabled_dispatch)),
+            &mut || time(Some(&discard_dispatch)),
+        ],
+    );
+    let (untraced, disabled, discard) = (meds[0], meds[1], meds[2]);
     println!(
-        "Seq Node 10kx40k best-of-{rounds}: untraced {}, no-op dispatch {} ({:+.2}%), discarding recorder {} ({:+.2}%)",
+        "Seq Node 10kx40k median-of-{rounds}: untraced {}, no-op dispatch {} ({:+.2}%), discarding recorder {} ({:+.2}%)",
         fmt_secs(untraced),
         fmt_secs(disabled),
         (disabled / untraced - 1.0) * 100.0,
         fmt_secs(discard),
         (discard / untraced - 1.0) * 100.0,
     );
-    let limit = untraced * 1.02;
-    if disabled > limit || discard > limit {
-        eprintln!("FAIL: tracing overhead exceeds 2%");
+    let gate = |name: &str, value: f64| Gate {
+        name: name.to_string(),
+        value,
+        reference: untraced,
+        tolerance: 0.02,
+        higher_is_better: false,
+    };
+    if let Err(diff) = check_gates(&[
+        gate("no-op dispatch vs untraced", disabled),
+        gate("discarding recorder vs untraced", discard),
+    ]) {
+        eprintln!("FAIL: tracing overhead exceeds 2%\n{diff}");
         std::process::exit(1);
     }
     println!("OK: tracing overhead within 2%");
 }
 
 /// CI guard for the plan lowering (`--plan-smoke`): Seq Node on the 100k
-/// synthetic graph, best-of-5 wall clock, plan-lowered vs the direct
-/// path. Exits non-zero when the plan is more than 2% slower — lowering
-/// must never cost the sequential baseline anything.
+/// synthetic graph, interleaved median-of-5 wall clock, plan-lowered vs
+/// the direct path. Exits non-zero when the plan's median is more than 2%
+/// slower — lowering must never cost the sequential baseline anything.
 fn plan_smoke() {
     let opts = credo_bench::apply_max_iters(BpOptions::default());
     let g = synthetic(100_000, 400_000, &GenOptions::new(2).with_seed(42));
@@ -134,21 +147,28 @@ fn plan_smoke() {
             .as_secs_f64()
     };
     let direct_opts = opts.without_exec_plan();
-    // Warm up, then interleave so machine-load drift hits both equally.
-    time(&opts);
-    let (mut plan, mut direct) = (f64::INFINITY, f64::INFINITY);
-    for _ in 0..rounds {
-        plan = plan.min(time(&opts));
-        direct = direct.min(time(&direct_opts));
-    }
+    let meds = interleaved_medians(
+        rounds,
+        &mut [&mut || time(&opts), &mut || time(&direct_opts)],
+    );
+    let (plan, direct) = (meds[0], meds[1]);
     println!(
-        "Seq Node 100kx400k best-of-{rounds}: plan {} vs direct {} ({:+.2}%)",
+        "Seq Node 100kx400k median-of-{rounds}: plan {} vs direct {} ({:+.2}%)",
         fmt_secs(plan),
         fmt_secs(direct),
         (plan / direct - 1.0) * 100.0,
     );
-    if plan > direct * 1.02 {
-        eprintln!("FAIL: plan-lowered Seq Node is more than 2% slower than the direct path");
+    let gates = [Gate {
+        name: "plan-lowered vs direct Seq Node".into(),
+        value: plan,
+        reference: direct,
+        tolerance: 0.02,
+        higher_is_better: false,
+    }];
+    if let Err(diff) = check_gates(&gates) {
+        eprintln!(
+            "FAIL: plan-lowered Seq Node is more than 2% slower than the direct path\n{diff}"
+        );
         std::process::exit(1);
     }
     println!("OK: plan lowering does not slow the sequential baseline");

@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 
 pub mod dataset;
+pub mod measure;
 pub mod report;
 pub mod runner;
 pub mod suite;

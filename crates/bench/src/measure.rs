@@ -1,0 +1,193 @@
+//! Interleaved-median measurement and ratio gating, shared by the CI
+//! guards (`exp_par_speedup --overhead-check` / `--plan-smoke`) and the
+//! `bench_gate` regression binary.
+//!
+//! The guards used to compare best-of-N wall clocks. Best-of-N is robust
+//! to slow outliers but not to a single *fast* fluke on one side: one
+//! lucky sample for the reference variant fails the build even when the
+//! distributions are identical. The median is robust to a stray sample in
+//! either direction, and interleaving the variants (A, B, C, A, B, C, …)
+//! means machine-load drift hits every variant equally instead of
+//! penalising whichever ran last.
+
+/// Median of a sample set; averages the two middle elements for even
+/// counts. Panics on an empty slice.
+pub fn median(samples: &[f64]) -> f64 {
+    assert!(!samples.is_empty(), "median of no samples");
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    }
+}
+
+/// Runs every timer once (discarded warm-up for caches and the
+/// allocator), then `rounds` interleaved passes — variant 0, 1, …, K−1,
+/// then back to 0 — and returns the per-variant median wall clock.
+pub fn interleaved_medians(rounds: usize, timers: &mut [&mut dyn FnMut() -> f64]) -> Vec<f64> {
+    assert!(rounds > 0, "need at least one measurement round");
+    for t in timers.iter_mut() {
+        t();
+    }
+    let mut samples = vec![Vec::with_capacity(rounds); timers.len()];
+    for _ in 0..rounds {
+        for (t, bucket) in timers.iter_mut().zip(samples.iter_mut()) {
+            bucket.push(t());
+        }
+    }
+    samples.iter().map(|s| median(s)).collect()
+}
+
+/// One guarded ratio: a measured `value` against a `reference`, with the
+/// worst acceptable relative change. `higher_is_better` selects the
+/// failing direction — speedups fail when they shrink, overheads fail
+/// when they grow.
+#[derive(Debug, Clone)]
+pub struct Gate {
+    /// What this ratio measures, for the failure report.
+    pub name: String,
+    /// The freshly measured value.
+    pub value: f64,
+    /// The committed baseline or reference variant.
+    pub reference: f64,
+    /// Worst acceptable relative change, e.g. `0.15` for ±15%.
+    pub tolerance: f64,
+    /// Whether `value` is a speedup (fails low) or a cost (fails high).
+    pub higher_is_better: bool,
+}
+
+impl Gate {
+    /// Relative change of `value` vs `reference`, in percent.
+    pub fn delta_pct(&self) -> f64 {
+        (self.value / self.reference - 1.0) * 100.0
+    }
+
+    /// Whether the value stays within tolerance on the failing side.
+    /// Degenerate references (zero, NaN) fail closed.
+    pub fn pass(&self) -> bool {
+        if !(self.reference.is_finite() && self.reference > 0.0 && self.value.is_finite()) {
+            return false;
+        }
+        if self.higher_is_better {
+            self.value >= self.reference * (1.0 - self.tolerance)
+        } else {
+            self.value <= self.reference * (1.0 + self.tolerance)
+        }
+    }
+
+    /// One report line: name, both values, the delta and the verdict.
+    pub fn describe(&self) -> String {
+        format!(
+            "{} {}: {:.4} vs reference {:.4} ({:+.2}%, limit {}{:.0}%)",
+            if self.pass() { "ok  " } else { "FAIL" },
+            self.name,
+            self.value,
+            self.reference,
+            self.delta_pct(),
+            if self.higher_is_better { "-" } else { "+" },
+            self.tolerance * 100.0,
+        )
+    }
+}
+
+/// Prints every gate, then returns `Err` with the offending lines when
+/// any failed.
+pub fn check_gates(gates: &[Gate]) -> Result<(), String> {
+    for g in gates {
+        println!("{}", g.describe());
+    }
+    let failed: Vec<String> = gates
+        .iter()
+        .filter(|g| !g.pass())
+        .map(Gate::describe)
+        .collect();
+    if failed.is_empty() {
+        Ok(())
+    } else {
+        Err(failed.join("\n"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_handles_odd_even_and_outliers() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        // One wild sample in either direction cannot move the median far.
+        assert_eq!(median(&[1.0, 1.0, 1.0, 1.0, 1000.0]), 1.0);
+        assert_eq!(median(&[1.0, 1.0, 1.0, 1.0, 0.0001]), 1.0);
+    }
+
+    #[test]
+    fn interleaved_medians_runs_warmup_and_rounds() {
+        let (mut a_calls, mut b_calls) = (0usize, 0usize);
+        let mut a = || {
+            a_calls += 1;
+            2.0
+        };
+        let mut b = || {
+            b_calls += 1;
+            5.0
+        };
+        let meds = interleaved_medians(3, &mut [&mut a, &mut b]);
+        assert_eq!(meds, vec![2.0, 5.0]);
+        // 1 warm-up + 3 rounds each.
+        assert_eq!((a_calls, b_calls), (4, 4));
+    }
+
+    #[test]
+    fn gate_fails_in_the_right_direction() {
+        let speedup = |value| Gate {
+            name: "s".into(),
+            value,
+            reference: 10.0,
+            tolerance: 0.15,
+            higher_is_better: true,
+        };
+        assert!(speedup(9.0).pass());
+        assert!(speedup(11.0).pass()); // improvements never fail
+        assert!(!speedup(8.0).pass());
+
+        let cost = |value| Gate {
+            name: "c".into(),
+            value,
+            reference: 1.0,
+            tolerance: 0.02,
+            higher_is_better: false,
+        };
+        assert!(cost(1.019).pass());
+        assert!(cost(0.5).pass());
+        assert!(!cost(1.03).pass());
+        // Degenerate reference fails closed.
+        assert!(!cost(f64::NAN).pass());
+    }
+
+    #[test]
+    fn check_gates_reports_offenders() {
+        let gates = vec![
+            Gate {
+                name: "fine".into(),
+                value: 1.0,
+                reference: 1.0,
+                tolerance: 0.15,
+                higher_is_better: true,
+            },
+            Gate {
+                name: "regressed".into(),
+                value: 0.5,
+                reference: 1.0,
+                tolerance: 0.15,
+                higher_is_better: true,
+            },
+        ];
+        let err = check_gates(&gates).unwrap_err();
+        assert!(err.contains("regressed"));
+        assert!(!err.contains("fine"));
+    }
+}

@@ -1,6 +1,6 @@
 //! Message microkernels over cardinality-packed (plan-lowered) arrays.
 //!
-//! These are the [`crate::plan`] hot loops: the same arithmetic as
+//! These are the plan runner's hot loops: the same arithmetic as
 //! [`credo_graph::JointMatrix::message`] and the [`credo_graph::Belief`]
 //! combine operations, restated over flat `&[f32]` slices so the compiled
 //! [`credo_graph::ExecGraph`] layout never rehydrates the 132-byte AoS

@@ -73,6 +73,30 @@ impl ParWorkQueue {
         }
     }
 
+    /// Builds a queue whose first iteration processes only `initial`
+    /// (deduplicated, ascending, filtered by `eligible`) while later
+    /// wake-up pushes may still reach **any** eligible node — the
+    /// warm-start frontier schedule, where work radiates outward from
+    /// changed evidence instead of starting from a full sweep.
+    pub fn with_initial(
+        num_nodes: usize,
+        workers: usize,
+        eligible: impl Fn(usize) -> bool,
+        initial: &[u32],
+    ) -> Self {
+        let mut q = ParWorkQueue::new(num_nodes, workers, eligible);
+        q.active.clear();
+        q.active.extend(
+            initial
+                .iter()
+                .copied()
+                .filter(|&v| (v as usize) < num_nodes && q.eligible[v as usize]),
+        );
+        q.active.sort_unstable();
+        q.active.dedup();
+        q
+    }
+
     /// Repopulation passes performed so far.
     pub fn advances(&self) -> u64 {
         self.advances

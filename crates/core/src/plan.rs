@@ -145,6 +145,27 @@ impl PackedMsgCache {
     }
 }
 
+/// Extra controls for [`run_node_plan_on`] beyond [`BpOptions`] — the
+/// warm-start and serving knobs. The default value reproduces
+/// [`run_node_plan`]'s behaviour exactly.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct NodeRunCfg<'a> {
+    /// When set, the first iteration processes only these nodes (the
+    /// changed-evidence frontier) and the work queue is forced on; wake-up
+    /// pushes may still reach any unobserved node, so updates radiate
+    /// outward from the frontier instead of sweeping the whole graph.
+    pub frontier: Option<&'a [u32]>,
+    /// Belief damping factor in `[0, 1)`: each new belief is blended as
+    /// `(1 - damping) * new + damping * old` before the convergence diff
+    /// is taken. `0.0` (the default) is the bit-identical undamped path;
+    /// positive values trade convergence speed for stability on
+    /// oscillating graphs.
+    pub damping: f32,
+    /// Hard wall-clock cutoff: iteration stops (unconverged) at the first
+    /// iteration boundary past this instant.
+    pub deadline: Option<Instant>,
+}
+
 /// Runs plan-lowered node-paradigm BP: `threads == 1` is the sequential
 /// engine (the pool runs inline), anything larger the parallel one.
 pub(crate) fn run_node_plan(
@@ -154,11 +175,41 @@ pub(crate) fn run_node_plan(
     trace: &Dispatch,
     threads: usize,
 ) -> Result<BpStats, EngineError> {
+    let plan = ExecGraph::compile(graph);
+    let pool = WorkerPool::new(threads);
+    let mut prev: Vec<f32> = Vec::new();
+    plan.load_beliefs(graph, &mut prev);
+    let stats = run_node_plan_on(
+        name,
+        &plan,
+        &mut prev,
+        opts,
+        trace,
+        &pool,
+        NodeRunCfg::default(),
+    );
+    plan.store_beliefs(&prev, graph);
+    Ok(stats)
+}
+
+/// The node-paradigm iteration loop on an already-compiled plan and an
+/// externally owned packed belief array — the entry point the warm-start
+/// layer ([`crate::warm`]) and the serving layer reuse so neither
+/// recompiles the plan nor respawns the worker pool per request. `prev`
+/// holds the starting beliefs on entry and the posteriors on return.
+pub(crate) fn run_node_plan_on(
+    name: &'static str,
+    plan: &ExecGraph,
+    prev: &mut Vec<f32>,
+    opts: &BpOptions,
+    trace: &Dispatch,
+    pool: &WorkerPool,
+    cfg: NodeRunCfg<'_>,
+) -> BpStats {
+    let threads = pool.threads();
     let start = Instant::now();
     let run_span = trace.span("run", &[("engine", name.into())]);
-    let plan = ExecGraph::compile(graph);
     let n = plan.num_nodes();
-    let pool = WorkerPool::new(threads);
     let mut tracker = ConvergenceTracker::new(opts);
     let mut node_updates = 0u64;
     let mut message_updates = 0u64;
@@ -166,21 +217,32 @@ pub(crate) fn run_node_plan(
 
     // Double-buffered packed beliefs: `prev` is the live state, `next` the
     // per-iteration scratch published back after each sweep.
-    let mut prev: Vec<f32> = Vec::new();
-    plan.load_beliefs(graph, &mut prev);
+    debug_assert_eq!(prev.len(), plan.packed_len());
     let mut next: Vec<f32> = prev.clone();
     let mut diffs: Vec<f32> = vec![0.0; n];
-    let mut cache = PackedMsgCache::new(&plan);
+    let mut cache = PackedMsgCache::new(plan);
+    let damping = cfg.damping;
 
     let full_sweep: Vec<u32> = (0..n as u32)
         .filter(|&v| !plan.observed()[v as usize])
         .collect();
     let in_degrees: Vec<u32> = (0..n as u32).map(|v| plan.in_degree(v) as u32).collect();
-    let mut queue = opts
-        .work_queue
-        .then(|| ParWorkQueue::new(n, threads, |v| !plan.observed()[v]));
+    let mut queue = match cfg.frontier {
+        Some(frontier) => Some(ParWorkQueue::with_initial(
+            n,
+            threads,
+            |v| !plan.observed()[v],
+            frontier,
+        )),
+        None => opts
+            .work_queue
+            .then(|| ParWorkQueue::new(n, threads, |v| !plan.observed()[v])),
+    };
 
     loop {
+        if cfg.deadline.is_some_and(|d| Instant::now() >= d) {
+            break;
+        }
         let iter_start = Instant::now();
         let active_len = match &queue {
             Some(q) => q.len(),
@@ -200,7 +262,7 @@ pub(crate) fn run_node_plan(
             ],
         );
         let msgs_before = message_updates;
-        cache.refresh(&plan, &pool, &prev, active_len);
+        cache.refresh(plan, pool, prev, active_len);
 
         let sum: f32 = {
             let (active, mut qworkers): (&[u32], Vec<_>) = match &mut queue {
@@ -248,6 +310,14 @@ pub(crate) fn run_node_plan(
                             }
                         }
                         kernels::normalize_packed(&mut acc[..c]);
+                        if damping > 0.0 {
+                            // Damped blend (serving's degradation path);
+                            // both inputs sum to 1, so the convex
+                            // combination stays normalized.
+                            for (a, &p) in acc[..c].iter_mut().zip(&prev_ref[off..off + c]) {
+                                *a = (1.0 - damping) * *a + damping * p;
+                            }
+                        }
                         let diff = kernels::l1_diff_packed(&acc[..c], &prev_ref[off..off + c]);
                         local_msgs += arcs.len() as u64;
                         // SAFETY: active node ids are unique, so each node's
@@ -278,7 +348,7 @@ pub(crate) fn run_node_plan(
 
             // Publish: copy each active node's packed range into `prev`.
             {
-                let prev_shared = SharedSlice::new(&mut prev);
+                let prev_shared = SharedSlice::new(prev);
                 let next_ref = &next;
                 let plan_ref = &plan;
                 let tiles_ref = &tiles;
@@ -339,16 +409,15 @@ pub(crate) fn run_node_plan(
         }
     }
 
-    plan.store_beliefs(&prev, graph);
     let elapsed = start.elapsed();
     if trace.enabled() {
-        emit_pool_metrics(trace, &pool, queue.as_ref(), elapsed);
+        emit_pool_metrics(trace, pool, queue.as_ref(), elapsed);
         run_span.record(&[
             ("iterations", tracker.iterations().into()),
             ("converged", tracker.converged().into()),
         ]);
     }
-    Ok(BpStats {
+    BpStats {
         engine: name,
         iterations: tracker.iterations(),
         converged: tracker.converged(),
@@ -363,7 +432,7 @@ pub(crate) fn run_node_plan(
         reported_time: elapsed,
         host_time: elapsed,
         per_iteration,
-    })
+    }
 }
 
 /// One worker's log-space output for an iteration (see

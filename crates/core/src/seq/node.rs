@@ -33,6 +33,16 @@ impl BpEngine for SeqNodeEngine {
         Platform::CpuSequential
     }
 
+    fn run_from(
+        &self,
+        state: &mut crate::warm::WarmState,
+        delta: &crate::warm::EvidenceDelta,
+        opts: &BpOptions,
+    ) -> Result<crate::warm::WarmRun, EngineError> {
+        let policy = *state.policy();
+        state.run_from(self.name(), delta, opts, &policy, &Dispatch::none())
+    }
+
     fn run_traced(
         &self,
         graph: &mut BeliefGraph,

@@ -1,0 +1,675 @@
+//! Warm-start re-inference: reuse a converged run when evidence changes.
+//!
+//! Serving workloads rarely ask cold questions — the same graph is queried
+//! over and over with small evidence deltas (a handful of nodes observed
+//! or released between queries). Re-running BP from the priors repeats
+//! almost all of the converged run's work. [`WarmState`] keeps the
+//! compiled [`ExecGraph`], a persistent [`WorkerPool`] and the packed
+//! posterior array of the last run; [`WarmState::run_from`] applies an
+//! [`EvidenceDelta`], seeds the work queue with just the
+//! **changed-evidence frontier** (the re-bound nodes plus their
+//! out-neighbours) and lets updates radiate outward — nodes the evidence
+//! change never reaches are never recomputed. When the delta is too large
+//! a fraction of the graph (see [`WarmPolicy::max_frontier_frac`]) or the
+//! previous run did not converge, it falls back to a cold run.
+//!
+//! The warm schedule is the §3.5 work queue with a restricted initial
+//! population, so its fixed point is the same as a cold run's; posteriors
+//! agree within the convergence tolerance (the integration suite pins
+//! 1e-4 across generator families and delta sizes).
+
+use crate::engine::EngineError;
+use crate::opts::BpOptions;
+use crate::par::{pool_threads, WorkerPool};
+use crate::plan::{run_node_plan_on, NodeRunCfg};
+use crate::stats::BpStats;
+use credo_graph::{Belief, BeliefGraph, ExecGraph};
+use std::collections::BTreeMap;
+use std::time::Instant;
+use tracing::Dispatch;
+
+/// A change of evidence relative to the currently bound set: nodes to
+/// observe (pin to a state) and overlay observations to clear (restore
+/// the node's base prior).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EvidenceDelta {
+    /// `(node, state)` pairs to observe.
+    pub observe: Vec<(u32, u32)>,
+    /// Nodes whose overlay observation should be removed. Nodes that are
+    /// not currently overlay-observed are ignored.
+    pub clear: Vec<u32>,
+}
+
+impl EvidenceDelta {
+    /// The empty delta (re-query the current evidence).
+    pub fn none() -> Self {
+        EvidenceDelta::default()
+    }
+
+    /// A delta that observes the given `(node, state)` pairs.
+    pub fn observing(pairs: &[(u32, u32)]) -> Self {
+        EvidenceDelta {
+            observe: pairs.to_vec(),
+            clear: Vec::new(),
+        }
+    }
+
+    /// True when the delta changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.observe.is_empty() && self.clear.is_empty()
+    }
+
+    /// Number of nodes the delta touches.
+    pub fn len(&self) -> usize {
+        self.observe.len() + self.clear.len()
+    }
+}
+
+/// Policy knobs for [`WarmState::run_from`].
+#[derive(Clone, Copy, Debug)]
+pub struct WarmPolicy {
+    /// Fall back to a cold run when the changed-evidence frontier exceeds
+    /// this fraction of the node count — past that point a restricted
+    /// schedule saves nothing over a sweep.
+    pub max_frontier_frac: f32,
+    /// When a run exhausts its iteration budget without converging, retry
+    /// once with damped updates (belief blending), which converges on
+    /// graphs where undamped BP oscillates.
+    pub damped_retry: bool,
+    /// Damping factor for the retry (`(1 - d) * new + d * old`).
+    pub damping: f32,
+    /// Wall-clock cutoff: iteration stops (unconverged) at the first
+    /// iteration boundary past this instant, and no damped retry starts.
+    pub deadline: Option<Instant>,
+}
+
+impl Default for WarmPolicy {
+    fn default() -> Self {
+        WarmPolicy {
+            max_frontier_frac: 0.25,
+            damped_retry: true,
+            damping: 0.5,
+            deadline: None,
+        }
+    }
+}
+
+/// The result of a [`WarmState::run_from`] call.
+#[derive(Clone, Debug)]
+pub struct WarmRun {
+    /// Engine statistics (iterations accumulate across a damped retry).
+    pub stats: BpStats,
+    /// True when the warm frontier schedule ran; false for a cold run.
+    pub warm: bool,
+    /// True when the damped retry was taken.
+    pub damped: bool,
+    /// Size of the changed-evidence frontier (0 for an unchanged re-query).
+    pub frontier: usize,
+}
+
+/// Reusable inference state for one graph: the compiled plan, a
+/// persistent worker pool, the packed beliefs of the last run, and the
+/// currently bound evidence overlay.
+pub struct WarmState {
+    graph: BeliefGraph,
+    plan: ExecGraph,
+    pool: WorkerPool,
+    packed: Vec<f32>,
+    /// Priors and observed flags as compiled, before any overlay — what
+    /// a cleared node is restored to.
+    base_priors: Vec<Belief>,
+    base_observed: Vec<bool>,
+    /// Overlay evidence currently bound on top of the base graph.
+    overlay: BTreeMap<u32, u32>,
+    converged: bool,
+    policy: WarmPolicy,
+}
+
+impl WarmState {
+    /// Builds warm-start state for `graph` with a worker pool of
+    /// `threads` (0 = all cores). Beliefs start at the priors; the first
+    /// [`WarmState::run_from`] is therefore always a cold run.
+    pub fn new(graph: BeliefGraph, threads: usize) -> Self {
+        let plan = ExecGraph::compile(&graph);
+        let packed = plan.priors().to_vec();
+        let base_priors = graph.priors().to_vec();
+        let base_observed = graph.observed().to_vec();
+        WarmState {
+            graph,
+            plan,
+            pool: WorkerPool::new(pool_threads(threads)),
+            packed,
+            base_priors,
+            base_observed,
+            overlay: BTreeMap::new(),
+            converged: false,
+            policy: WarmPolicy::default(),
+        }
+    }
+
+    /// The policy [`crate::BpEngine::run_from`] consults.
+    pub fn policy(&self) -> &WarmPolicy {
+        &self.policy
+    }
+
+    /// Replaces the stored policy.
+    pub fn set_policy(&mut self, policy: WarmPolicy) {
+        self.policy = policy;
+    }
+
+    /// Number of nodes in the graph.
+    pub fn num_nodes(&self) -> usize {
+        self.plan.num_nodes()
+    }
+
+    /// The compiled execution plan.
+    pub fn plan(&self) -> &ExecGraph {
+        &self.plan
+    }
+
+    /// The source graph with the current evidence overlay applied. Its
+    /// belief records are only refreshed by [`WarmState::sync_graph`].
+    pub fn graph(&self) -> &BeliefGraph {
+        &self.graph
+    }
+
+    /// The packed posterior array of the last run (priors before any run).
+    pub fn beliefs(&self) -> &[f32] {
+        &self.packed
+    }
+
+    /// Node `v`'s posterior slice from the last run.
+    pub fn posterior(&self, v: u32) -> &[f32] {
+        self.plan.node_slice(&self.packed, v)
+    }
+
+    /// The evidence overlay currently bound (node → state).
+    pub fn evidence(&self) -> &BTreeMap<u32, u32> {
+        &self.overlay
+    }
+
+    /// Whether the last run converged (false before any run).
+    pub fn converged(&self) -> bool {
+        self.converged
+    }
+
+    /// Worker threads in the persistent pool.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Writes the packed posteriors back into the graph's AoS belief
+    /// records (so [`WarmState::graph`] reflects the last run).
+    pub fn sync_graph(&mut self) {
+        self.plan.store_beliefs(&self.packed, &mut self.graph);
+    }
+
+    /// Applies an evidence delta to the graph, the compiled plan and the
+    /// packed beliefs, returning the ids of nodes whose binding actually
+    /// changed (already-identical observations are skipped).
+    ///
+    /// Rejects out-of-range nodes or states with
+    /// [`EngineError::InvalidGraph`] without applying anything.
+    pub fn apply(&mut self, delta: &EvidenceDelta) -> Result<Vec<u32>, EngineError> {
+        let n = self.num_nodes() as u32;
+        for &(v, s) in &delta.observe {
+            if v >= n {
+                return Err(EngineError::InvalidGraph(format!(
+                    "evidence node {v} out of range (graph has {n} nodes)"
+                )));
+            }
+            if s as usize >= self.plan.card(v) {
+                return Err(EngineError::InvalidGraph(format!(
+                    "evidence state {s} out of range for node {v} (cardinality {})",
+                    self.plan.card(v)
+                )));
+            }
+        }
+        for &v in &delta.clear {
+            if v >= n {
+                return Err(EngineError::InvalidGraph(format!(
+                    "evidence node {v} out of range (graph has {n} nodes)"
+                )));
+            }
+        }
+
+        let mut changed = Vec::new();
+        for &(v, s) in &delta.observe {
+            if self.overlay.get(&v) == Some(&s) {
+                continue;
+            }
+            self.overlay.insert(v, s);
+            self.graph.observe(v, s as usize);
+            self.plan.bind_observed(v, s as usize);
+            let off = self.plan.node_off(v);
+            let c = self.plan.card(v);
+            self.packed[off..off + c].copy_from_slice(&self.plan.priors()[off..off + c]);
+            changed.push(v);
+        }
+        for &v in &delta.clear {
+            if self.overlay.remove(&v).is_none() {
+                continue;
+            }
+            let base = self.base_priors[v as usize];
+            if self.base_observed[v as usize] {
+                // The node was observed in the base graph: restore that
+                // observation rather than freeing the node.
+                self.graph.observe(v, base.argmax());
+                self.plan.bind_observed(v, base.argmax());
+            } else {
+                self.graph.unobserve(v, base);
+                self.plan.bind_prior(v, base.as_slice());
+            }
+            let off = self.plan.node_off(v);
+            let c = self.plan.card(v);
+            self.packed[off..off + c].copy_from_slice(base.as_slice());
+            changed.push(v);
+        }
+        changed.sort_unstable();
+        changed.dedup();
+        Ok(changed)
+    }
+
+    /// The warm frontier for a set of changed nodes: the nodes themselves
+    /// plus their out-neighbours, ascending and deduplicated. (Observed
+    /// members are filtered out by the queue's eligibility check.)
+    pub fn frontier_for(&self, changed: &[u32]) -> Vec<u32> {
+        let mut frontier: Vec<u32> = Vec::with_capacity(changed.len() * 4);
+        for &v in changed {
+            frontier.push(v);
+            frontier.extend_from_slice(self.plan.out_neighbors(v));
+        }
+        frontier.sort_unstable();
+        frontier.dedup();
+        frontier
+    }
+
+    /// Resets the packed beliefs to the (evidence-bound) priors.
+    pub fn reset(&mut self) {
+        self.packed.clear();
+        self.packed.extend_from_slice(self.plan.priors());
+        self.converged = false;
+    }
+
+    /// Runs a cold inference on the plan path: beliefs reset to priors,
+    /// full sweeps (or the work queue if `opts` asks for it).
+    pub fn run_cold(
+        &mut self,
+        name: &'static str,
+        opts: &BpOptions,
+        trace: &Dispatch,
+        deadline: Option<Instant>,
+    ) -> BpStats {
+        self.reset();
+        let stats = run_node_plan_on(
+            name,
+            &self.plan,
+            &mut self.packed,
+            opts,
+            trace,
+            &self.pool,
+            NodeRunCfg {
+                deadline,
+                ..NodeRunCfg::default()
+            },
+        );
+        self.converged = stats.converged;
+        stats
+    }
+
+    /// Applies `delta` and re-infers, reusing the converged state when
+    /// the change is small enough ([`WarmPolicy::max_frontier_frac`]):
+    /// the work queue starts at the changed-evidence frontier instead of
+    /// a full sweep, so untouched regions of the graph are never
+    /// recomputed. Falls back to a cold run otherwise, and retries once
+    /// with damped updates when the budget runs out unconverged
+    /// ([`WarmPolicy::damped_retry`]).
+    pub fn run_from(
+        &mut self,
+        name: &'static str,
+        delta: &EvidenceDelta,
+        opts: &BpOptions,
+        policy: &WarmPolicy,
+        trace: &Dispatch,
+    ) -> Result<WarmRun, EngineError> {
+        let changed = self.apply(delta)?;
+        let frontier = self.frontier_for(&changed);
+        let n = self.num_nodes();
+        let warm_ok =
+            self.converged && (frontier.len() as f64) <= policy.max_frontier_frac as f64 * n as f64;
+
+        let mut stats;
+        let warm;
+        if warm_ok {
+            warm = true;
+            if frontier.is_empty() {
+                // Unchanged evidence on a converged state: nothing to do.
+                return Ok(WarmRun {
+                    stats: BpStats {
+                        engine: name,
+                        converged: true,
+                        ..BpStats::default()
+                    },
+                    warm,
+                    damped: false,
+                    frontier: 0,
+                });
+            }
+            stats = run_node_plan_on(
+                name,
+                &self.plan,
+                &mut self.packed,
+                opts,
+                trace,
+                &self.pool,
+                NodeRunCfg {
+                    frontier: Some(&frontier),
+                    damping: 0.0,
+                    deadline: policy.deadline,
+                },
+            );
+            self.converged = stats.converged;
+        } else {
+            warm = false;
+            stats = self.run_cold(name, opts, trace, policy.deadline);
+        }
+
+        let mut damped = false;
+        let deadline_hit = policy.deadline.is_some_and(|d| Instant::now() >= d);
+        if !stats.converged && policy.damped_retry && !deadline_hit {
+            damped = true;
+            let retry = run_node_plan_on(
+                name,
+                &self.plan,
+                &mut self.packed,
+                opts,
+                trace,
+                &self.pool,
+                NodeRunCfg {
+                    frontier: None,
+                    damping: policy.damping,
+                    deadline: policy.deadline,
+                },
+            );
+            stats.iterations += retry.iterations;
+            stats.converged = retry.converged;
+            stats.final_delta = retry.final_delta;
+            stats.node_updates += retry.node_updates;
+            stats.message_updates += retry.message_updates;
+            stats.reported_time += retry.reported_time;
+            stats.host_time += retry.host_time;
+            stats.per_iteration.extend(retry.per_iteration);
+            self.converged = stats.converged;
+        }
+
+        if trace.enabled() {
+            trace.event(
+                "warm_run",
+                &[
+                    ("warm", warm.into()),
+                    ("damped", damped.into()),
+                    ("frontier", (frontier.len() as u64).into()),
+                    ("iterations", (stats.iterations as u64).into()),
+                    ("converged", stats.converged.into()),
+                ],
+            );
+        }
+        Ok(WarmRun {
+            stats,
+            warm,
+            damped,
+            frontier: frontier.len(),
+        })
+    }
+
+    /// First half of a cold run through an arbitrary [`crate::BpEngine`] (the
+    /// default [`crate::BpEngine::run_from`] path for engines without a warm
+    /// schedule): resets the evidence-bound graph's beliefs and hands it
+    /// out for the engine to run on.
+    pub fn begin_engine_run(&mut self) -> &mut BeliefGraph {
+        self.graph.reset_beliefs();
+        &mut self.graph
+    }
+
+    /// Second half of [`WarmState::begin_engine_run`]: reloads the packed
+    /// state from the graph the engine just wrote.
+    pub fn finish_engine_run(&mut self, converged: bool) {
+        self.plan.load_beliefs(&self.graph, &mut self.packed);
+        self.converged = converged;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::BpEngine;
+    use crate::par::ParNodeEngine;
+    use crate::seq::SeqNodeEngine;
+    use credo_graph::generators::{synthetic, GenOptions};
+
+    fn linf(a: &[f32], b: &[f32]) -> f32 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f32, f32::max)
+    }
+
+    #[test]
+    fn first_run_is_cold_then_requery_is_free() {
+        let g = synthetic(300, 1200, &GenOptions::new(2).with_seed(7));
+        let mut state = WarmState::new(g, 1);
+        let opts = BpOptions::default();
+        let run = state
+            .run_from(
+                "C Node",
+                &EvidenceDelta::none(),
+                &opts,
+                &WarmPolicy::default(),
+                &Dispatch::none(),
+            )
+            .unwrap();
+        assert!(!run.warm, "first run must be cold");
+        assert!(run.stats.converged);
+        let iters = run.stats.iterations;
+        assert!(iters > 0);
+        // Same evidence again: converged state answers with zero work.
+        let again = state
+            .run_from(
+                "C Node",
+                &EvidenceDelta::none(),
+                &opts,
+                &WarmPolicy::default(),
+                &Dispatch::none(),
+            )
+            .unwrap();
+        assert!(again.warm);
+        assert_eq!(again.stats.iterations, 0);
+        assert_eq!(again.frontier, 0);
+    }
+
+    #[test]
+    fn warm_matches_cold_posteriors_within_tolerance() {
+        let g = synthetic(500, 2000, &GenOptions::new(3).with_seed(11));
+        let opts = BpOptions::default();
+        let policy = WarmPolicy::default();
+
+        // Warm path: converge, then flip evidence on a few nodes.
+        let mut warm = WarmState::new(g.clone(), 1);
+        warm.run_from(
+            "C Node",
+            &EvidenceDelta::none(),
+            &opts,
+            &policy,
+            &Dispatch::none(),
+        )
+        .unwrap();
+        let delta = EvidenceDelta::observing(&[(3, 1), (99, 0), (250, 2)]);
+        let run = warm
+            .run_from("C Node", &delta, &opts, &policy, &Dispatch::none())
+            .unwrap();
+        assert!(run.warm, "small delta must take the warm path");
+        assert!(run.stats.converged);
+
+        // Cold reference: same evidence from scratch.
+        let mut cold = WarmState::new(g, 1);
+        let cold_run = cold
+            .run_from("C Node", &delta, &opts, &policy, &Dispatch::none())
+            .unwrap();
+        assert!(!cold_run.warm);
+        assert!(
+            linf(warm.beliefs(), cold.beliefs()) <= 1e-4,
+            "warm posteriors drifted from cold"
+        );
+        assert!(
+            run.stats.iterations <= cold_run.stats.iterations,
+            "warm ({}) should not need more iterations than cold ({})",
+            run.stats.iterations,
+            cold_run.stats.iterations
+        );
+    }
+
+    #[test]
+    fn clearing_evidence_restores_base_prior() {
+        let g = synthetic(100, 400, &GenOptions::new(2).with_seed(3));
+        let base = g.priors()[5];
+        let mut state = WarmState::new(g, 1);
+        let opts = BpOptions::default();
+        let policy = WarmPolicy::default();
+        state
+            .run_from(
+                "C Node",
+                &EvidenceDelta::observing(&[(5, 1)]),
+                &opts,
+                &policy,
+                &Dispatch::none(),
+            )
+            .unwrap();
+        assert_eq!(state.evidence().get(&5), Some(&1));
+        assert!(state.plan().observed()[5]);
+        let mut delta = EvidenceDelta::none();
+        delta.clear.push(5);
+        state
+            .run_from("C Node", &delta, &opts, &policy, &Dispatch::none())
+            .unwrap();
+        assert!(state.evidence().is_empty());
+        assert!(!state.plan().observed()[5]);
+        assert_eq!(state.graph().priors()[5], base);
+    }
+
+    #[test]
+    fn large_delta_falls_back_to_cold() {
+        let g = synthetic(200, 800, &GenOptions::new(2).with_seed(5));
+        let mut state = WarmState::new(g, 1);
+        let opts = BpOptions::default();
+        let policy = WarmPolicy::default();
+        state
+            .run_from(
+                "C Node",
+                &EvidenceDelta::none(),
+                &opts,
+                &policy,
+                &Dispatch::none(),
+            )
+            .unwrap();
+        // Observe half the graph: frontier blows past max_frontier_frac.
+        let pairs: Vec<(u32, u32)> = (0..100).map(|v| (v, 0)).collect();
+        let run = state
+            .run_from(
+                "C Node",
+                &EvidenceDelta::observing(&pairs),
+                &opts,
+                &policy,
+                &Dispatch::none(),
+            )
+            .unwrap();
+        assert!(!run.warm, "half-graph delta must run cold");
+    }
+
+    #[test]
+    fn invalid_evidence_is_rejected_without_partial_application() {
+        let g = synthetic(50, 150, &GenOptions::new(2).with_seed(2));
+        let mut state = WarmState::new(g, 1);
+        let bad_node = EvidenceDelta::observing(&[(1, 0), (5000, 1)]);
+        assert!(matches!(
+            state.apply(&bad_node),
+            Err(EngineError::InvalidGraph(_))
+        ));
+        assert!(state.evidence().is_empty(), "nothing may be applied");
+        let bad_state = EvidenceDelta::observing(&[(1, 9)]);
+        assert!(matches!(
+            state.apply(&bad_state),
+            Err(EngineError::InvalidGraph(_))
+        ));
+        assert!(state.evidence().is_empty());
+    }
+
+    #[test]
+    fn deadline_stops_iteration_early() {
+        let g = synthetic(2000, 8000, &GenOptions::new(2).with_seed(9));
+        let mut state = WarmState::new(g, 1);
+        let opts = BpOptions::default();
+        let policy = WarmPolicy {
+            deadline: Some(Instant::now()),
+            damped_retry: false,
+            ..WarmPolicy::default()
+        };
+        let run = state
+            .run_from(
+                "C Node",
+                &EvidenceDelta::none(),
+                &opts,
+                &policy,
+                &Dispatch::none(),
+            )
+            .unwrap();
+        assert_eq!(run.stats.iterations, 0, "expired deadline runs nothing");
+        assert!(!run.stats.converged);
+    }
+
+    #[test]
+    fn engine_run_from_default_and_override_agree() {
+        let g = synthetic(300, 1200, &GenOptions::new(2).with_seed(13));
+        let opts = BpOptions::default();
+        let delta = EvidenceDelta::observing(&[(7, 1)]);
+
+        // Override (warm-capable node engine).
+        let mut warm = WarmState::new(g.clone(), 1);
+        SeqNodeEngine
+            .run_from(&mut warm, &EvidenceDelta::none(), &opts)
+            .unwrap();
+        SeqNodeEngine.run_from(&mut warm, &delta, &opts).unwrap();
+
+        // Default (cold fallback through an edge engine).
+        let mut cold = WarmState::new(g, 1);
+        crate::seq::SeqEdgeEngine
+            .run_from(&mut cold, &EvidenceDelta::none(), &opts)
+            .unwrap();
+        crate::seq::SeqEdgeEngine
+            .run_from(&mut cold, &delta, &opts)
+            .unwrap();
+
+        assert!(
+            linf(warm.beliefs(), cold.beliefs()) <= 1e-3,
+            "engines disagree beyond the cross-engine tolerance"
+        );
+    }
+
+    #[test]
+    fn par_engine_warm_matches_seq_warm() {
+        let g = synthetic(400, 1600, &GenOptions::new(2).with_seed(21));
+        let opts = BpOptions::default();
+        let delta = EvidenceDelta::observing(&[(11, 0), (200, 1)]);
+        let mut a = WarmState::new(g.clone(), 1);
+        let mut b = WarmState::new(g, 4);
+        for (engine, state) in [
+            (&SeqNodeEngine as &dyn BpEngine, &mut a),
+            (&ParNodeEngine as &dyn BpEngine, &mut b),
+        ] {
+            engine
+                .run_from(state, &EvidenceDelta::none(), &opts)
+                .unwrap();
+            engine.run_from(state, &delta, &opts).unwrap();
+        }
+        assert!(linf(a.beliefs(), b.beliefs()) <= 1e-4);
+    }
+}

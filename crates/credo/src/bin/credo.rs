@@ -1,13 +1,20 @@
 //! The `credo` command-line tool.
 //!
 //! ```text
-//! credo prof <graph> [options]    profile BP engines on a graph
+//! credo prof <graph> [options]        profile BP engines on a graph
+//! credo serve <graph...> [options]    serve inference over TCP
+//! credo loadtest [options]            drive a serve endpoint and report latency
 //! ```
 //!
 //! The `prof` subcommand runs a CPU engine and a simulated-GPU engine on
 //! the same graph with a recording trace attached, writes the collected
 //! records as JSON lines and as a `chrome://tracing` / Perfetto file, and
 //! prints an nvprof-style summary of spans, counters and events.
+//!
+//! `serve` loads one or more graphs (ids `g0`, `g1`, …) into a
+//! `credo-serve` server and answers posterior queries until a `shutdown`
+//! request arrives; `loadtest` is the matching traffic generator, with
+//! `--expect-*` assertion flags for CI smoke tests.
 
 use std::fs::File;
 use std::path::PathBuf;
@@ -30,13 +37,15 @@ credo — optimized belief propagation (ICPP Workshops 2020)
 USAGE:
     credo prof <graph> [options]
     credo prof --stream <nodes.mtx> <edges.mtx> [options]
+    credo serve <graph...> [options]
+    credo loadtest [options]
 
 ARGS:
     <graph>    synthetic spec `NxE` or `NxExK` (nodes x edges x cardinality,
                e.g. `10000x40000`), or a path to a .bif / .xml network;
                with --stream, the Credo-MTX node and edge files instead
 
-OPTIONS:
+PROF OPTIONS:
     --cpu <engine>     CPU engine: seq-node, seq-edge, par-node (default),
                        par-edge, openmp-node, openmp-edge
     --gpu <engine>     simulated GPU engine: cuda-node (default), cuda-edge,
@@ -53,12 +62,54 @@ OPTIONS:
     --max-iters <n>    iteration cap (default: engine default)
     --quiet            suppress progress output
     -h, --help         print this help
+
+SERVE OPTIONS (graphs get ids g0, g1, … in argument order):
+    --addr <ip:port>    listen address (default: 127.0.0.1:7465; port 0
+                        picks a free port, printed on the ready line)
+    --threads <n>       engine worker threads per graph (default: 1; 0 = all)
+    --queue-cap <n>     per-graph queue bound before shedding (default: 256)
+    --batch-max <n>     max requests coalesced per batch (default: 32)
+    --cache-cap <n>     posterior cache entries per graph (default: 128)
+    --deadline-ms <n>   default per-request deadline (default: 10000)
+    --max-iters <n>     BP iteration cap per run (default: engine default)
+    --seed <n>          seed for synthetic graphs (default: 42)
+
+LOADTEST OPTIONS:
+    --addr <ip:port>      endpoint (default: 127.0.0.1:7465)
+    --graph <id>          graph id to query (default: g0)
+    --requests <n>        total requests (default: 500)
+    --concurrency <n>     client connections issuing them (default: 16)
+    --node-range <n>      evidence/query nodes drawn from [0, n) (default: 1000)
+    --evidence <n>        observations per query (default: 2)
+    --distinct <n>        distinct evidence sets cycled through (default: 8;
+                          repeats exercise the posterior cache)
+    --query-nodes <n>     posteriors requested per query (default: 4)
+    --deadline-ms <n>     per-request deadline (default: server default)
+    --seed <n>            evidence sampling seed (default: 7)
+    --shutdown            send a shutdown request when done
+    --expect-zero-errors  exit non-zero if any request failed
+    --expect-p99-ms <ms>  exit non-zero if p99 latency exceeds <ms>
+    --expect-cache-hits   exit non-zero if the server reports no cache hits
 ";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("prof") => match prof(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::FAILURE
+            }
+        },
+        Some("serve") => match serve(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::FAILURE
+            }
+        },
+        Some("loadtest") => match loadtest(&args[1..]) {
             Ok(()) => ExitCode::SUCCESS,
             Err(msg) => {
                 eprintln!("error: {msg}");
@@ -384,4 +435,302 @@ fn prof(args: &[String]) -> Result<(), String> {
         chrome.display()
     );
     Ok(())
+}
+
+fn serve(args: &[String]) -> Result<(), String> {
+    use credo::serve::{ServeConfig, Server};
+
+    let mut specs: Vec<String> = Vec::new();
+    let mut addr = "127.0.0.1:7465".to_string();
+    let mut cfg = ServeConfig::default();
+    let mut seed = 42u64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        let parse = |name: &str, v: String| -> Result<usize, String> {
+            v.parse().map_err(|e| format!("{name}: {e}"))
+        };
+        match arg.as_str() {
+            "--addr" => addr = value("--addr")?,
+            "--threads" => cfg.engine_threads = parse("--threads", value("--threads")?)?,
+            "--queue-cap" => cfg.queue_cap = parse("--queue-cap", value("--queue-cap")?)?,
+            "--batch-max" => cfg.batch_max = parse("--batch-max", value("--batch-max")?)?,
+            "--cache-cap" => cfg.cache_cap = parse("--cache-cap", value("--cache-cap")?)?,
+            "--deadline-ms" => {
+                cfg.default_deadline = std::time::Duration::from_millis(parse(
+                    "--deadline-ms",
+                    value("--deadline-ms")?,
+                )? as u64);
+            }
+            "--max-iters" => {
+                cfg.opts.max_iterations = parse("--max-iters", value("--max-iters")?)? as u32;
+            }
+            "--seed" => {
+                seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "-h" | "--help" => return Err(format!("help requested\n\n{USAGE}")),
+            other if other.starts_with('-') => return Err(format!("unknown option `{other}`")),
+            positional => specs.push(positional.to_string()),
+        }
+    }
+    if specs.is_empty() {
+        return Err(format!("serve needs at least one <graph>\n\n{USAGE}"));
+    }
+
+    let server = Server::new(cfg, Dispatch::none());
+    for (i, spec) in specs.iter().enumerate() {
+        let graph = load_graph(spec, seed)?;
+        println!(
+            "g{i}: {spec} ({} nodes, {} edges)",
+            graph.num_nodes(),
+            graph.num_edges()
+        );
+        server.add_graph(&format!("g{i}"), graph);
+    }
+    let listener = std::net::TcpListener::bind(&addr).map_err(|e| format!("bind {addr}: {e}"))?;
+    let local = listener.local_addr().map_err(|e| e.to_string())?;
+    // The ready line CI greps for; flush so a pipe reader sees it now.
+    println!("credo-serve listening on {local}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.serve_tcp(listener).map_err(|e| e.to_string())?;
+    server.shutdown();
+    let stats = serde_json::to_string_pretty(&server.metrics()).map_err(|e| e.to_string())?;
+    println!("{stats}");
+    Ok(())
+}
+
+/// Latency/error tallies from one loadtest worker.
+#[derive(Default)]
+struct LoadtestTally {
+    latencies_us: Vec<u64>,
+    errors: Vec<String>,
+}
+
+fn loadtest(args: &[String]) -> Result<(), String> {
+    use credo::serve::protocol::{Request, OP_SHUTDOWN, OP_STATS};
+    use credo::serve::Client;
+    use rand::{Rng, SeedableRng};
+
+    let mut addr = "127.0.0.1:7465".to_string();
+    let mut graph = "g0".to_string();
+    let mut requests = 500usize;
+    let mut concurrency = 16usize;
+    let mut node_range = 1000u32;
+    let mut evidence_n = 2usize;
+    let mut distinct = 8usize;
+    let mut query_nodes = 4usize;
+    let mut deadline_ms = 0u64;
+    let mut seed = 7u64;
+    let mut send_shutdown = false;
+    let mut expect_zero_errors = false;
+    let mut expect_p99_ms: Option<f64> = None;
+    let mut expect_cache_hits = false;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--addr" => addr = value("--addr")?,
+            "--graph" => graph = value("--graph")?,
+            "--requests" => {
+                requests = value("--requests")?
+                    .parse()
+                    .map_err(|e| format!("--requests: {e}"))?;
+            }
+            "--concurrency" => {
+                concurrency = value("--concurrency")?
+                    .parse()
+                    .map_err(|e| format!("--concurrency: {e}"))?;
+            }
+            "--node-range" => {
+                node_range = value("--node-range")?
+                    .parse()
+                    .map_err(|e| format!("--node-range: {e}"))?;
+            }
+            "--evidence" => {
+                evidence_n = value("--evidence")?
+                    .parse()
+                    .map_err(|e| format!("--evidence: {e}"))?;
+            }
+            "--distinct" => {
+                distinct = value("--distinct")?
+                    .parse()
+                    .map_err(|e| format!("--distinct: {e}"))?;
+            }
+            "--query-nodes" => {
+                query_nodes = value("--query-nodes")?
+                    .parse()
+                    .map_err(|e| format!("--query-nodes: {e}"))?;
+            }
+            "--deadline-ms" => {
+                deadline_ms = value("--deadline-ms")?
+                    .parse()
+                    .map_err(|e| format!("--deadline-ms: {e}"))?;
+            }
+            "--seed" => {
+                seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--shutdown" => send_shutdown = true,
+            "--expect-zero-errors" => expect_zero_errors = true,
+            "--expect-p99-ms" => {
+                expect_p99_ms = Some(
+                    value("--expect-p99-ms")?
+                        .parse()
+                        .map_err(|e| format!("--expect-p99-ms: {e}"))?,
+                );
+            }
+            "--expect-cache-hits" => expect_cache_hits = true,
+            "-h" | "--help" => return Err(format!("help requested\n\n{USAGE}")),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    if concurrency == 0 || node_range == 0 {
+        return Err("--concurrency and --node-range must be at least 1".into());
+    }
+
+    // A fixed pool of evidence sets; workers cycle through it, so every
+    // set past the first pass is a cache hit on a healthy server.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let pool: Vec<Vec<(u32, u32)>> = (0..distinct.max(1))
+        .map(|_| {
+            let mut ev: Vec<(u32, u32)> = (0..evidence_n)
+                .map(|_| (rng.gen_range(0..node_range), rng.gen_range(0..2u32)))
+                .collect();
+            ev.sort_unstable();
+            ev.dedup_by_key(|pair| pair.0);
+            ev
+        })
+        .collect();
+    let wanted: Vec<u32> = (0..query_nodes)
+        .map(|_| rng.gen_range(0..node_range))
+        .collect();
+
+    let started = std::time::Instant::now();
+    let tallies: Vec<LoadtestTally> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for worker in 0..concurrency {
+            let share = requests / concurrency + usize::from(worker < requests % concurrency);
+            let addr = addr.clone();
+            let graph = graph.clone();
+            let pool = &pool;
+            let wanted = &wanted;
+            handles.push(scope.spawn(move || {
+                let mut tally = LoadtestTally::default();
+                let mut client =
+                    match Client::connect_retry(&addr, std::time::Duration::from_secs(10)) {
+                        Ok(c) => c,
+                        Err(e) => {
+                            tally.errors.push(format!("connect: {e}"));
+                            return tally;
+                        }
+                    };
+                for i in 0..share {
+                    let mut req = Request::infer(&graph, &pool[(worker + i) % pool.len()]);
+                    req.nodes = wanted.clone();
+                    req.deadline_ms = deadline_ms;
+                    let sent = std::time::Instant::now();
+                    match client.request(&req) {
+                        Ok(resp) if resp.ok => {
+                            tally.latencies_us.push(sent.elapsed().as_micros() as u64);
+                        }
+                        Ok(resp) => tally.errors.push(resp.error),
+                        Err(e) => {
+                            tally.errors.push(format!("io: {e}"));
+                            return tally;
+                        }
+                    }
+                }
+                tally
+            }));
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall = started.elapsed();
+
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut errors: Vec<String> = Vec::new();
+    for mut tally in tallies {
+        latencies.append(&mut tally.latencies_us);
+        errors.append(&mut tally.errors);
+    }
+    latencies.sort_unstable();
+    let pct = |p: f64| -> f64 {
+        if latencies.is_empty() {
+            return 0.0;
+        }
+        let idx = ((latencies.len() as f64 * p).ceil() as usize).clamp(1, latencies.len());
+        latencies[idx - 1] as f64 / 1e3
+    };
+    let (p50, p95, p99) = (pct(0.50), pct(0.95), pct(0.99));
+
+    let mut stats_client = Client::connect_retry(&addr, std::time::Duration::from_secs(5))
+        .map_err(|e| format!("stats connect: {e}"))?;
+    let stats = stats_client
+        .request(&Request::control(OP_STATS))
+        .map_err(|e| format!("stats: {e}"))?;
+    let hit_count: u64 = stats
+        .stats_json
+        .split("\"cache_hits\":")
+        .nth(1)
+        .and_then(|rest| {
+            rest.trim_start()
+                .split(|c: char| !c.is_ascii_digit())
+                .next()?
+                .parse()
+                .ok()
+        })
+        .unwrap_or(0);
+    if send_shutdown {
+        let _ = stats_client.request(&Request::control(OP_SHUTDOWN));
+    }
+
+    println!(
+        "loadtest: {} ok, {} errors in {:.2}s ({:.0} req/s)",
+        latencies.len(),
+        errors.len(),
+        wall.as_secs_f64(),
+        latencies.len() as f64 / wall.as_secs_f64().max(1e-9),
+    );
+    println!("latency ms: p50={p50:.2} p95={p95:.2} p99={p99:.2}");
+    println!("server: {}", stats.stats_json);
+    if !errors.is_empty() {
+        let mut counts: std::collections::BTreeMap<&str, usize> = Default::default();
+        for e in &errors {
+            *counts.entry(e.as_str()).or_default() += 1;
+        }
+        for (code, n) in counts {
+            println!("error {code}: {n}");
+        }
+    }
+
+    let mut failures = Vec::new();
+    if expect_zero_errors && !errors.is_empty() {
+        failures.push(format!("{} requests failed", errors.len()));
+    }
+    if let Some(bound) = expect_p99_ms {
+        if p99 > bound {
+            failures.push(format!("p99 {p99:.2} ms exceeds bound {bound:.2} ms"));
+        }
+    }
+    if expect_cache_hits && hit_count == 0 {
+        failures.push("server reported zero cache hits".into());
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("; "))
+    }
 }

@@ -29,7 +29,8 @@ mod selector;
 pub use selector::{Implementation, Selector, ALL_IMPLEMENTATIONS, PAR_IMPLEMENTATIONS};
 
 pub use credo_core::{
-    BpEngine, BpOptions, BpStats, Dispatch, EngineError, IterationStats, Paradigm, Platform,
+    BpEngine, BpOptions, BpStats, Dispatch, EngineError, EvidenceDelta, IterationStats, Paradigm,
+    Platform, WarmPolicy, WarmRun, WarmState,
 };
 
 /// The simulated GPU.
@@ -40,6 +41,8 @@ pub use credo_graph as graph;
 pub use credo_io as io;
 /// The classifier library.
 pub use credo_ml as ml;
+/// The batched warm-start inference service.
+pub use credo_serve as serve;
 
 /// The BP engines.
 pub mod engines {

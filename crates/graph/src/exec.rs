@@ -272,6 +272,46 @@ impl ExecGraph {
         self.pool_matrices
     }
 
+    /// Re-binds node `v` as observed in `state` without recompiling the
+    /// plan: the packed prior becomes the one-hot indicator and the node
+    /// drops out of every subsequent sweep. Packed belief arrays held
+    /// outside the plan (e.g. a warm-start state) must be updated by the
+    /// caller — the plan only owns priors and observed flags.
+    ///
+    /// # Panics
+    /// Panics if `state` is out of range for `v`'s cardinality.
+    pub fn bind_observed(&mut self, v: u32, state: usize) {
+        let lo = self.node_off(v);
+        let c = self.card(v);
+        assert!(
+            state < c,
+            "evidence state {state} out of range for cardinality {c}"
+        );
+        let slot = &mut self.priors[lo..lo + c];
+        slot.fill(0.0);
+        slot[state] = 1.0;
+        self.observed[v as usize] = true;
+    }
+
+    /// Re-binds node `v` as unobserved with the given prior (its length
+    /// must match `v`'s cardinality), undoing a [`ExecGraph::bind_observed`]
+    /// without recompiling.
+    ///
+    /// # Panics
+    /// Panics if `prior.len()` differs from `v`'s cardinality.
+    pub fn bind_prior(&mut self, v: u32, prior: &[f32]) {
+        let lo = self.node_off(v);
+        let c = self.card(v);
+        assert_eq!(
+            prior.len(),
+            c,
+            "prior length {} does not match cardinality {c}",
+            prior.len()
+        );
+        self.priors[lo..lo + c].copy_from_slice(prior);
+        self.observed[v as usize] = false;
+    }
+
     /// Packs the graph's current beliefs into `out` (resized as needed).
     pub fn load_beliefs(&self, graph: &BeliefGraph, out: &mut Vec<f32>) {
         out.clear();
@@ -553,6 +593,35 @@ mod tests {
         t.clear();
         x.trace_belief_write(1, &mut t);
         assert_eq!(t, vec![8, 12]);
+    }
+
+    #[test]
+    fn evidence_rebinds_without_recompiling() {
+        let g = chain3();
+        let mut x = g.compile();
+        let base: Vec<f32> = x.node_slice(x.priors(), 1).to_vec();
+        x.bind_observed(1, 1);
+        assert!(x.observed()[1]);
+        assert_eq!(x.node_slice(x.priors(), 1), &[0.0, 1.0]);
+        // Other nodes untouched.
+        assert_eq!(x.node_slice(x.priors(), 0), &[0.7, 0.3]);
+        x.bind_prior(1, &base);
+        assert!(!x.observed()[1]);
+        assert_eq!(x.node_slice(x.priors(), 1), &base[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bind_observed_rejects_bad_state() {
+        let mut x = chain3().compile();
+        x.bind_observed(0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match cardinality")]
+    fn bind_prior_rejects_bad_length() {
+        let mut x = chain3().compile();
+        x.bind_prior(0, &[1.0, 0.0, 0.0]);
     }
 
     #[test]

@@ -1,0 +1,61 @@
+//! A blocking TCP client for the serve protocol.
+
+use crate::protocol::{read_frame, write_frame, Request, Response, OP_PING, OP_SHUTDOWN, OP_STATS};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// One connection to a serve endpoint. Requests are pipelined one at a
+/// time (send a frame, read a frame); open several clients for
+/// concurrency.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr` (e.g. `"127.0.0.1:7465"`).
+    pub fn connect(addr: &str) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Connects, retrying until `timeout` elapses — for racing a server
+    /// that is still binding (the CI smoke test starts both at once).
+    pub fn connect_retry(addr: &str, timeout: Duration) -> std::io::Result<Self> {
+        let start = Instant::now();
+        loop {
+            match Client::connect(addr) {
+                Ok(client) => return Ok(client),
+                Err(e) if start.elapsed() >= timeout => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(50)),
+            }
+        }
+    }
+
+    /// Sends one request and blocks for its response.
+    pub fn request(&mut self, req: &Request) -> std::io::Result<Response> {
+        write_frame(&mut self.stream, req)?;
+        read_frame(&mut self.stream)?.ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )
+        })
+    }
+
+    /// Liveness check.
+    pub fn ping(&mut self) -> std::io::Result<Response> {
+        self.request(&Request::control(OP_PING))
+    }
+
+    /// Fetches the server metrics snapshot (JSON in
+    /// [`Response::stats_json`]).
+    pub fn stats(&mut self) -> std::io::Result<Response> {
+        self.request(&Request::control(OP_STATS))
+    }
+
+    /// Asks the server to stop accepting and drain.
+    pub fn shutdown(&mut self) -> std::io::Result<Response> {
+        self.request(&Request::control(OP_SHUTDOWN))
+    }
+}

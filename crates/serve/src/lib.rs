@@ -1,0 +1,45 @@
+//! # credo-serve
+//!
+//! A multi-graph inference service over the Credo engines.
+//!
+//! The ROADMAP's north star serves "heavy traffic from millions of
+//! users"; this crate is that serving layer. Graphs are compiled once
+//! into [`credo_graph::ExecGraph`]s and queried many times: requests
+//! carry an **absolute evidence set**, the server derives the delta from
+//! the previous run and re-infers **warm** via
+//! [`credo_core::WarmState::run_from`] — only re-propagating from the
+//! changed-evidence frontier — with an LRU posterior cache in front and
+//! a cold fallback behind.
+//!
+//! Structure:
+//! - [`protocol`] — length-prefixed JSON frames, [`Request`]/[`Response`]
+//! - [`server`] — bounded queues, batching workers, the TCP accept loop
+//! - [`client`] — a blocking TCP [`Client`]
+//! - [`cache`] — the LRU [`PosteriorCache`]
+//! - [`metrics`] — service counters ([`MetricsSnapshot`])
+//!
+//! In-process use needs no socket:
+//!
+//! ```
+//! use credo_graph::generators::{synthetic, GenOptions};
+//! use credo_serve::{Request, ServeConfig, Server};
+//!
+//! let server = Server::new(ServeConfig::default(), credo_core::Dispatch::none());
+//! server.add_graph("g", synthetic(100, 300, &GenOptions::new(2).with_seed(1)));
+//! let resp = server.submit(&Request::infer("g", &[(3, 1)]));
+//! assert!(resp.ok && resp.converged);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+
+pub use cache::PosteriorCache;
+pub use client::Client;
+pub use metrics::{Metrics, MetricsSnapshot};
+pub use protocol::{Request, Response};
+pub use server::{ServeConfig, Server};

@@ -1,0 +1,151 @@
+//! Service counters, exported through the `stats` op and mirrored as
+//! `credo-trace` events on traced servers.
+
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lock-free counters shared by every connection handler and inference
+/// worker. All loads/stores are relaxed — these are statistics, not
+/// synchronization.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Requests accepted into a queue.
+    pub enqueued: AtomicU64,
+    /// Requests refused because the queue was full.
+    pub shed: AtomicU64,
+    /// Requests whose deadline expired (in queue or mid-run).
+    pub deadline_exceeded: AtomicU64,
+    /// Requests rejected as malformed.
+    pub bad_requests: AtomicU64,
+    /// Requests answered from the posterior cache.
+    pub cache_hits: AtomicU64,
+    /// Requests that had to run inference.
+    pub cache_misses: AtomicU64,
+    /// Inference runs that took the warm frontier path.
+    pub warm_runs: AtomicU64,
+    /// Inference runs that ran cold.
+    pub cold_runs: AtomicU64,
+    /// Inference runs that needed the damped retry.
+    pub damped_runs: AtomicU64,
+    /// BP iterations spent by warm runs.
+    pub warm_iterations: AtomicU64,
+    /// BP iterations spent by cold runs.
+    pub cold_iterations: AtomicU64,
+    /// Batches executed by inference workers.
+    pub batches: AtomicU64,
+    /// Requests summed over all batches (mean batch size =
+    /// `batched_requests / batches`).
+    pub batched_requests: AtomicU64,
+    /// Peak queue depth observed at drain time.
+    pub peak_queue_depth: AtomicU64,
+}
+
+/// A plain-value snapshot of [`Metrics`], serializable for the `stats`
+/// op and `credo loadtest --expect-*` assertions.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct MetricsSnapshot {
+    /// Requests accepted into a queue.
+    pub enqueued: u64,
+    /// Requests refused because the queue was full.
+    pub shed: u64,
+    /// Requests whose deadline expired.
+    pub deadline_exceeded: u64,
+    /// Requests rejected as malformed.
+    pub bad_requests: u64,
+    /// Requests answered from the posterior cache.
+    pub cache_hits: u64,
+    /// Requests that ran inference.
+    pub cache_misses: u64,
+    /// Warm-path inference runs.
+    pub warm_runs: u64,
+    /// Cold inference runs.
+    pub cold_runs: u64,
+    /// Damped-retry runs.
+    pub damped_runs: u64,
+    /// Iterations spent by warm runs.
+    pub warm_iterations: u64,
+    /// Iterations spent by cold runs.
+    pub cold_iterations: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Requests summed over all batches.
+    pub batched_requests: u64,
+    /// Peak queue depth observed.
+    pub peak_queue_depth: u64,
+}
+
+impl Metrics {
+    /// Bumps a counter by 1.
+    #[inline]
+    pub fn inc(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Bumps a counter by `n`.
+    #[inline]
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Raises a high-water-mark counter to at least `depth`.
+    pub fn observe_depth(&self, depth: u64) {
+        self.peak_queue_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            enqueued: self.enqueued.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            bad_requests: self.bad_requests.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            warm_runs: self.warm_runs.load(Ordering::Relaxed),
+            cold_runs: self.cold_runs.load(Ordering::Relaxed),
+            damped_runs: self.damped_runs.load(Ordering::Relaxed),
+            warm_iterations: self.warm_iterations.load(Ordering::Relaxed),
+            cold_iterations: self.cold_iterations.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_requests: self.batched_requests.load(Ordering::Relaxed),
+            peak_queue_depth: self.peak_queue_depth.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl MetricsSnapshot {
+    /// Cache hit rate over all infer requests that reached a worker
+    /// (0.0 when none have).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let m = Metrics::default();
+        Metrics::inc(&m.cache_hits);
+        Metrics::add(&m.cache_misses, 3);
+        m.observe_depth(7);
+        m.observe_depth(2);
+        let s = m.snapshot();
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.cache_misses, 3);
+        assert_eq!(s.peak_queue_depth, 7);
+        assert!((s.cache_hit_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hit_rate_is_zero_without_traffic() {
+        assert_eq!(Metrics::default().snapshot().cache_hit_rate(), 0.0);
+    }
+}

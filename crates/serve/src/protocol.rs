@@ -1,0 +1,284 @@
+//! Wire protocol: length-prefixed JSON-lines over TCP.
+//!
+//! Every frame is a 4-byte little-endian payload length followed by one
+//! JSON document terminated by `\n` (the newline is included in the
+//! length, so a tolerant client can also treat the stream as JSON-lines
+//! after skipping the prefix). Requests carry the **absolute** evidence
+//! set for the query — not a delta — so the same request always means the
+//! same posterior regardless of what was asked before it; the server
+//! derives the warm-start delta against its current state internally.
+
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+
+/// Maximum accepted frame payload (16 MiB) — guards the length prefix
+/// against garbage bytes from a confused client.
+pub const MAX_FRAME: u32 = 16 << 20;
+
+/// Request op: run inference and return posteriors.
+pub const OP_INFER: &str = "infer";
+/// Request op: return server metrics as JSON in [`Response::stats_json`].
+pub const OP_STATS: &str = "stats";
+/// Request op: liveness check, echoes an empty success.
+pub const OP_PING: &str = "ping";
+/// Request op: stop the server's accept loop and drain workers.
+pub const OP_SHUTDOWN: &str = "shutdown";
+
+/// Error code: the request queue was full (backpressure shed).
+pub const ERR_SHED: &str = "shed";
+/// Error code: the request's deadline expired before a result was ready.
+pub const ERR_DEADLINE: &str = "deadline";
+/// Error code: malformed request (bad op, conflicting evidence, …).
+pub const ERR_BAD_REQUEST: &str = "bad_request";
+/// Error code: the named graph is not loaded.
+pub const ERR_UNKNOWN_GRAPH: &str = "unknown_graph";
+
+/// One query. All fields are always present on the wire (the vendored
+/// serde errors on missing fields by design).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Request {
+    /// One of [`OP_INFER`], [`OP_STATS`], [`OP_PING`], [`OP_SHUTDOWN`].
+    pub op: String,
+    /// Graph id to query (ignored for non-infer ops; may be empty).
+    pub graph: String,
+    /// Absolute evidence: every `(node, state)` observation the query
+    /// wants bound. Nodes absent from the list are unobserved.
+    pub evidence: Vec<(u32, u32)>,
+    /// Node ids whose posteriors to return; empty means all nodes.
+    pub nodes: Vec<u32>,
+    /// Per-request deadline in milliseconds from arrival; 0 uses the
+    /// server default.
+    pub deadline_ms: u64,
+}
+
+impl Request {
+    /// An infer request for `graph` with the given absolute evidence.
+    pub fn infer(graph: &str, evidence: &[(u32, u32)]) -> Self {
+        Request {
+            op: OP_INFER.to_string(),
+            graph: graph.to_string(),
+            evidence: evidence.to_vec(),
+            nodes: Vec::new(),
+            deadline_ms: 0,
+        }
+    }
+
+    /// A control request (`ping`/`stats`/`shutdown`).
+    pub fn control(op: &str) -> Self {
+        Request {
+            op: op.to_string(),
+            graph: String::new(),
+            evidence: Vec::new(),
+            nodes: Vec::new(),
+            deadline_ms: 0,
+        }
+    }
+
+    /// The canonical form of the evidence list: sorted by node id,
+    /// exact duplicates removed. Returns an error description when the
+    /// same node is observed in two different states.
+    pub fn canonical_evidence(&self) -> Result<Vec<(u32, u32)>, String> {
+        let mut ev = self.evidence.clone();
+        ev.sort_unstable();
+        ev.dedup();
+        for w in ev.windows(2) {
+            if w[0].0 == w[1].0 {
+                return Err(format!(
+                    "conflicting evidence for node {}: states {} and {}",
+                    w[0].0, w[0].1, w[1].1
+                ));
+            }
+        }
+        Ok(ev)
+    }
+}
+
+/// Cache key for a canonicalized evidence set: `"v:s,v:s,…"`.
+pub fn evidence_key(canonical: &[(u32, u32)]) -> String {
+    let mut key = String::with_capacity(canonical.len() * 8);
+    for (i, (v, s)) in canonical.iter().enumerate() {
+        if i > 0 {
+            key.push(',');
+        }
+        key.push_str(&format!("{v}:{s}"));
+    }
+    key
+}
+
+/// The answer to one [`Request`]. `ok == false` means `error` holds one
+/// of the `ERR_*` codes and `message` a human-readable cause; the other
+/// fields are then zeroed/empty.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Response {
+    /// Whether the request succeeded.
+    pub ok: bool,
+    /// Error code (`ERR_*`), empty on success.
+    pub error: String,
+    /// Human-readable error cause, empty on success.
+    pub message: String,
+    /// Whether inference converged (true for cache hits, which only
+    /// store converged results).
+    pub converged: bool,
+    /// Whether the warm frontier schedule answered the query (false for
+    /// cold runs and cache hits).
+    pub warm: bool,
+    /// Whether the posterior cache answered without running inference.
+    pub cached: bool,
+    /// Whether the damped retry path ran.
+    pub damped: bool,
+    /// BP iterations spent on this request (0 for cache hits).
+    pub iterations: u32,
+    /// `(node, posterior)` pairs, in the order requested (ascending node
+    /// id when the request asked for all nodes).
+    pub posteriors: Vec<(u32, Vec<f32>)>,
+    /// Metrics snapshot JSON for [`OP_STATS`]; empty otherwise.
+    pub stats_json: String,
+}
+
+impl Response {
+    /// A success scaffold with everything zeroed.
+    pub fn ok() -> Self {
+        Response {
+            ok: true,
+            error: String::new(),
+            message: String::new(),
+            converged: false,
+            warm: false,
+            cached: false,
+            damped: false,
+            iterations: 0,
+            posteriors: Vec::new(),
+            stats_json: String::new(),
+        }
+    }
+
+    /// A structured error with the given code and cause.
+    pub fn err(code: &str, message: impl Into<String>) -> Self {
+        Response {
+            ok: false,
+            error: code.to_string(),
+            message: message.into(),
+            ..Response::ok()
+        }
+    }
+}
+
+/// Writes one length-prefixed JSON frame.
+pub fn write_frame<T: Serialize, W: Write>(w: &mut W, value: &T) -> std::io::Result<()> {
+    let mut body = serde_json::to_string(value)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    body.push('\n');
+    let len = body.len() as u32;
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "frame exceeds MAX_FRAME",
+        ));
+    }
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(body.as_bytes())?;
+    w.flush()
+}
+
+/// Reads one length-prefixed JSON frame. Returns `Ok(None)` on a clean
+/// EOF at a frame boundary (the peer hung up between requests).
+pub fn read_frame<T: Deserialize, R: Read>(r: &mut R) -> std::io::Result<Option<T>> {
+    let mut prefix = [0u8; 4];
+    match r.read_exact(&mut prefix) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(prefix);
+    if len == 0 || len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("bad frame length {len}"),
+        ));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    let text = std::str::from_utf8(&body)
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "frame is not UTF-8"))?;
+    let value = serde_json::from_str(text.trim_end())
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    Ok(Some(value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrips_through_frames() {
+        let req = Request {
+            op: OP_INFER.to_string(),
+            graph: "g0".to_string(),
+            evidence: vec![(5, 1), (2, 0)],
+            nodes: vec![7],
+            deadline_ms: 250,
+        };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &req).unwrap();
+        assert_eq!(
+            u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize,
+            buf.len() - 4
+        );
+        assert_eq!(*buf.last().unwrap(), b'\n');
+        let back: Request = read_frame(&mut &buf[..]).unwrap().unwrap();
+        assert_eq!(back.op, req.op);
+        assert_eq!(back.graph, req.graph);
+        assert_eq!(back.evidence, req.evidence);
+        assert_eq!(back.nodes, req.nodes);
+        assert_eq!(back.deadline_ms, req.deadline_ms);
+    }
+
+    #[test]
+    fn response_roundtrips_posteriors_exactly() {
+        let mut resp = Response::ok();
+        resp.converged = true;
+        resp.posteriors = vec![(0, vec![0.25f32, 0.75]), (3, vec![1.0, 0.0])];
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &resp).unwrap();
+        let back: Response = read_frame(&mut &buf[..]).unwrap().unwrap();
+        assert!(back.ok);
+        assert_eq!(back.posteriors, resp.posteriors);
+    }
+
+    #[test]
+    fn eof_between_frames_is_clean() {
+        let empty: &[u8] = &[];
+        let got: Option<Request> = read_frame(&mut &empty[..]).unwrap();
+        assert!(got.is_none());
+    }
+
+    #[test]
+    fn canonical_evidence_sorts_and_rejects_conflicts() {
+        let mut req = Request::infer("g", &[(9, 1), (2, 0), (9, 1)]);
+        assert_eq!(req.canonical_evidence().unwrap(), vec![(2, 0), (9, 1)]);
+        req.evidence.push((2, 1));
+        let err = req.canonical_evidence().unwrap_err();
+        assert!(err.contains("conflicting evidence for node 2"));
+    }
+
+    #[test]
+    fn evidence_keys_are_canonical() {
+        let a = Request::infer("g", &[(3, 1), (1, 0)]);
+        let b = Request::infer("g", &[(1, 0), (3, 1)]);
+        assert_eq!(
+            evidence_key(&a.canonical_evidence().unwrap()),
+            evidence_key(&b.canonical_evidence().unwrap())
+        );
+        assert_eq!(evidence_key(&[]), "");
+        assert_eq!(evidence_key(&[(1, 0), (3, 1)]), "1:0,3:1");
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        buf.extend_from_slice(b"xxxx");
+        let got: std::io::Result<Option<Request>> = read_frame(&mut &buf[..]);
+        assert!(got.is_err());
+    }
+}

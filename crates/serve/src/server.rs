@@ -1,0 +1,499 @@
+//! The inference server: bounded per-graph queues, batching workers and
+//! the TCP accept loop.
+//!
+//! One worker thread per loaded graph owns that graph's
+//! [`WarmState`] — inference is single-writer by construction, so no
+//! locks are held while BP runs. Connection handlers (and the in-process
+//! client, [`Server::submit`]) enqueue jobs onto the graph's bounded
+//! queue and block on a reply channel; the worker drains up to
+//! [`ServeConfig::batch_max`] jobs at a time, groups them by canonical
+//! evidence, and answers each group from the posterior cache or one
+//! warm-start run.
+//!
+//! Batching invariant: groups are processed in first-arrival order and
+//! every member of a group is answered from one shared posterior `Arc`,
+//! so a batched schedule performs exactly the computations a sequential
+//! one would, in the same order, on the same evolving warm state — which
+//! is what makes batched responses bitwise-equal to sequential ones.
+
+use crate::cache::PosteriorCache;
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::protocol::{
+    evidence_key, read_frame, write_frame, Request, Response, ERR_BAD_REQUEST, ERR_DEADLINE,
+    ERR_SHED, ERR_UNKNOWN_GRAPH, OP_INFER, OP_PING, OP_SHUTDOWN, OP_STATS,
+};
+use credo_core::{BpOptions, Dispatch, EvidenceDelta, WarmPolicy, WarmState};
+use credo_graph::BeliefGraph;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Bound on each graph's request queue; submissions beyond it are
+    /// shed with [`ERR_SHED`].
+    pub queue_cap: usize,
+    /// Maximum jobs drained into one batch.
+    pub batch_max: usize,
+    /// Deadline applied when a request carries `deadline_ms == 0`.
+    pub default_deadline: Duration,
+    /// Posterior cache entries per graph (0 disables caching).
+    pub cache_cap: usize,
+    /// Worker-pool threads for each graph's engine (0 = all cores).
+    pub engine_threads: usize,
+    /// BP options for every run (iteration cap, threshold, …).
+    pub opts: BpOptions,
+    /// Warm-start fallback threshold (see
+    /// [`WarmPolicy::max_frontier_frac`]).
+    pub max_frontier_frac: f32,
+    /// Whether non-converged runs retry once with damped updates.
+    pub damped_retry: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            queue_cap: 256,
+            batch_max: 32,
+            default_deadline: Duration::from_secs(10),
+            cache_cap: 128,
+            engine_threads: 1,
+            opts: BpOptions::default(),
+            max_frontier_frac: 0.25,
+            damped_retry: true,
+        }
+    }
+}
+
+/// One queued query awaiting its graph's worker.
+struct Job {
+    /// Canonical (sorted, deduplicated) evidence.
+    evidence: Vec<(u32, u32)>,
+    /// Cache key for `evidence`.
+    key: String,
+    /// Posterior node ids to return (empty = all).
+    nodes: Vec<u32>,
+    deadline: Instant,
+    reply: mpsc::Sender<Response>,
+}
+
+/// Per-graph shared state: the queue the handlers feed and the cache the
+/// worker consults. The [`WarmState`] itself lives on the worker's stack.
+struct GraphSlot {
+    num_nodes: usize,
+    queue: Mutex<VecDeque<Job>>,
+    cv: Condvar,
+    cache: Mutex<PosteriorCache>,
+}
+
+struct Inner {
+    cfg: ServeConfig,
+    graphs: RwLock<HashMap<String, Arc<GraphSlot>>>,
+    metrics: Metrics,
+    trace: Dispatch,
+    shutdown: AtomicBool,
+}
+
+/// A multi-graph inference service. See the module docs for the
+/// threading model.
+pub struct Server {
+    inner: Arc<Inner>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Server {
+    /// A server with no graphs loaded, emitting telemetry into `trace`
+    /// (use [`Dispatch::none`] for an untraced server).
+    pub fn new(cfg: ServeConfig, trace: Dispatch) -> Self {
+        Server {
+            inner: Arc::new(Inner {
+                cfg,
+                graphs: RwLock::new(HashMap::new()),
+                metrics: Metrics::default(),
+                trace,
+                shutdown: AtomicBool::new(false),
+            }),
+            workers: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Loads `graph` under `id` and starts its inference worker. The
+    /// compile happens here, once; queries reuse the compiled plan.
+    /// Replacing an existing id is not supported.
+    pub fn add_graph(&self, id: &str, graph: BeliefGraph) {
+        let slot = Arc::new(GraphSlot {
+            num_nodes: graph.num_nodes(),
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            cache: Mutex::new(PosteriorCache::new(self.inner.cfg.cache_cap)),
+        });
+        let state = WarmState::new(graph, self.inner.cfg.engine_threads);
+        let prev = self
+            .inner
+            .graphs
+            .write()
+            .unwrap()
+            .insert(id.to_string(), Arc::clone(&slot));
+        assert!(prev.is_none(), "graph id {id:?} already loaded");
+        let inner = Arc::clone(&self.inner);
+        let handle = std::thread::spawn(move || worker_loop(inner, slot, state));
+        self.workers.lock().unwrap().push(handle);
+    }
+
+    /// Ids of the loaded graphs, sorted.
+    pub fn graph_ids(&self) -> Vec<String> {
+        let mut ids: Vec<String> = self.inner.graphs.read().unwrap().keys().cloned().collect();
+        ids.sort();
+        ids
+    }
+
+    /// A point-in-time copy of the service counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.inner.metrics.snapshot()
+    }
+
+    /// True once [`OP_SHUTDOWN`] has been received (or
+    /// [`Server::shutdown`] called).
+    pub fn is_shutdown(&self) -> bool {
+        self.inner.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Stops the workers and the accept loop, then joins the workers.
+    /// Queued jobs are still drained before each worker exits.
+    /// Idempotent.
+    pub fn shutdown(&self) {
+        self.inner.request_shutdown();
+        let workers = std::mem::take(&mut *self.workers.lock().unwrap());
+        for handle in workers {
+            let _ = handle.join();
+        }
+    }
+
+    /// The in-process client: executes one request and blocks until its
+    /// response is ready. This is the exact path TCP connections take
+    /// after decoding a frame.
+    pub fn submit(&self, req: &Request) -> Response {
+        self.inner.submit(req)
+    }
+
+    /// Accepts connections on `listener` until shutdown, spawning one
+    /// handler thread per connection. Blocks the calling thread.
+    pub fn serve_tcp(&self, listener: TcpListener) -> std::io::Result<()> {
+        listener.set_nonblocking(true)?;
+        while !self.is_shutdown() {
+            match listener.accept() {
+                Ok((stream, _addr)) => {
+                    // Frames are small; Nagle + delayed ACK would add
+                    // ~40 ms to every response without this.
+                    let _ = stream.set_nodelay(true);
+                    let inner = Arc::clone(&self.inner);
+                    std::thread::spawn(move || handle_connection(inner, stream));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl Inner {
+    /// Raises the shutdown flag and wakes every worker. Does not join —
+    /// only [`Server::shutdown`] owns the handles.
+    fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        for slot in self.graphs.read().unwrap().values() {
+            // Grab the lock so a worker between its empty-check and its
+            // wait cannot miss the wake-up.
+            let _guard = slot.queue.lock().unwrap();
+            slot.cv.notify_all();
+        }
+    }
+
+    fn submit(&self, req: &Request) -> Response {
+        match req.op.as_str() {
+            OP_PING => Response::ok(),
+            OP_STATS => {
+                let mut resp = Response::ok();
+                resp.stats_json = serde_json::to_string(&self.metrics.snapshot())
+                    .unwrap_or_else(|e| e.to_string());
+                resp
+            }
+            OP_SHUTDOWN => {
+                self.request_shutdown();
+                Response::ok()
+            }
+            OP_INFER => self.submit_infer(req),
+            other => {
+                Metrics::inc(&self.metrics.bad_requests);
+                Response::err(ERR_BAD_REQUEST, format!("unknown op {other:?}"))
+            }
+        }
+    }
+
+    fn submit_infer(&self, req: &Request) -> Response {
+        let metrics = &self.metrics;
+        let slot = match self.graphs.read().unwrap().get(&req.graph) {
+            Some(slot) => Arc::clone(slot),
+            None => {
+                Metrics::inc(&metrics.bad_requests);
+                return Response::err(
+                    ERR_UNKNOWN_GRAPH,
+                    format!("graph {:?} is not loaded", req.graph),
+                );
+            }
+        };
+        let evidence = match req.canonical_evidence() {
+            Ok(ev) => ev,
+            Err(msg) => {
+                Metrics::inc(&metrics.bad_requests);
+                return Response::err(ERR_BAD_REQUEST, msg);
+            }
+        };
+        if let Some(&v) = req.nodes.iter().find(|&&v| v as usize >= slot.num_nodes) {
+            Metrics::inc(&metrics.bad_requests);
+            return Response::err(
+                ERR_BAD_REQUEST,
+                format!("node {v} out of range (graph has {} nodes)", slot.num_nodes),
+            );
+        }
+        let deadline = Instant::now()
+            + if req.deadline_ms == 0 {
+                self.cfg.default_deadline
+            } else {
+                Duration::from_millis(req.deadline_ms)
+            };
+        let key = evidence_key(&evidence);
+        let (reply, result) = mpsc::channel();
+        {
+            let mut queue = slot.queue.lock().unwrap();
+            if queue.len() >= self.cfg.queue_cap {
+                Metrics::inc(&metrics.shed);
+                return Response::err(ERR_SHED, format!("queue full ({} pending)", queue.len()));
+            }
+            queue.push_back(Job {
+                evidence,
+                key,
+                nodes: req.nodes.clone(),
+                deadline,
+                reply,
+            });
+            Metrics::inc(&metrics.enqueued);
+            self.metrics.observe_depth(queue.len() as u64);
+        }
+        slot.cv.notify_one();
+        result
+            .recv()
+            .unwrap_or_else(|_| Response::err(ERR_DEADLINE, "worker exited before answering"))
+    }
+}
+
+/// One TCP connection: frames in, frames out, until EOF (a read timeout
+/// would risk tearing a frame mid-`read_exact`, so handlers block; they
+/// exit when the peer hangs up, and the process exits on shutdown).
+fn handle_connection(inner: Arc<Inner>, stream: TcpStream) {
+    let mut reader = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut writer = stream;
+    loop {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let req: Request = match read_frame(&mut reader) {
+            Ok(Some(req)) => req,
+            Ok(None) => return,
+            Err(e) => {
+                // Malformed frame: answer structurally, then drop the
+                // connection (framing is unrecoverable).
+                let resp = Response::err(ERR_BAD_REQUEST, e.to_string());
+                let _ = write_frame(&mut writer, &resp);
+                return;
+            }
+        };
+        let resp = inner.submit(&req);
+        if write_frame(&mut writer, &resp).is_err() {
+            return;
+        }
+    }
+}
+
+/// The per-graph inference loop: drain a batch, group, answer.
+fn worker_loop(inner: Arc<Inner>, slot: Arc<GraphSlot>, mut state: WarmState) {
+    loop {
+        let batch = {
+            let mut queue = slot.queue.lock().unwrap();
+            while queue.is_empty() && !inner.shutdown.load(Ordering::SeqCst) {
+                queue = slot.cv.wait(queue).unwrap();
+            }
+            if queue.is_empty() {
+                return; // shutdown with nothing left to drain
+            }
+            let take = queue.len().min(inner.cfg.batch_max.max(1));
+            queue.drain(..take).collect::<Vec<Job>>()
+        };
+        process_batch(&inner, &slot, &mut state, batch);
+    }
+}
+
+fn process_batch(inner: &Inner, slot: &GraphSlot, state: &mut WarmState, batch: Vec<Job>) {
+    let metrics = &inner.metrics;
+    Metrics::inc(&metrics.batches);
+    Metrics::add(&metrics.batched_requests, batch.len() as u64);
+    if inner.trace.enabled() {
+        inner
+            .trace
+            .event("serve_batch", &[("size", batch.len().into())]);
+    }
+
+    // Group by canonical evidence, preserving first-arrival order.
+    let mut groups: Vec<(String, Vec<Job>)> = Vec::new();
+    let mut index: HashMap<String, usize> = HashMap::new();
+    for job in batch {
+        match index.get(&job.key) {
+            Some(&i) => groups[i].1.push(job),
+            None => {
+                index.insert(job.key.clone(), groups.len());
+                groups.push((job.key.clone(), vec![job]));
+            }
+        }
+    }
+
+    for (key, jobs) in groups {
+        process_group(inner, slot, state, &key, jobs);
+    }
+}
+
+fn process_group(
+    inner: &Inner,
+    slot: &GraphSlot,
+    state: &mut WarmState,
+    key: &str,
+    jobs: Vec<Job>,
+) {
+    let metrics = &inner.metrics;
+    let now = Instant::now();
+    let (jobs, expired): (Vec<Job>, Vec<Job>) = jobs.into_iter().partition(|j| j.deadline > now);
+    for job in expired {
+        Metrics::inc(&metrics.deadline_exceeded);
+        let _ = job
+            .reply
+            .send(Response::err(ERR_DEADLINE, "deadline expired in queue"));
+    }
+    let Some(first) = jobs.first() else { return };
+
+    // Cache first: a hit answers the whole group with the stored bytes.
+    if let Some(hit) = slot.cache.lock().unwrap().get(key) {
+        Metrics::add(&metrics.cache_hits, jobs.len() as u64);
+        for job in &jobs {
+            let mut resp = Response::ok();
+            resp.converged = true;
+            resp.cached = true;
+            resp.posteriors = extract(state, &hit, &job.nodes);
+            let _ = job.reply.send(resp);
+        }
+        return;
+    }
+    Metrics::add(&metrics.cache_misses, jobs.len() as u64);
+
+    // Miss: derive the delta from the state's current overlay to the
+    // group's absolute evidence and run warm.
+    let target: BTreeMap<u32, u32> = first.evidence.iter().copied().collect();
+    let delta = EvidenceDelta {
+        observe: target
+            .iter()
+            .filter(|(v, s)| state.evidence().get(v) != Some(s))
+            .map(|(&v, &s)| (v, s))
+            .collect(),
+        clear: state
+            .evidence()
+            .keys()
+            .filter(|v| !target.contains_key(v))
+            .copied()
+            .collect(),
+    };
+    // Run until the group's most patient deadline.
+    let run_deadline = jobs.iter().map(|j| j.deadline).max();
+    let policy = WarmPolicy {
+        max_frontier_frac: inner.cfg.max_frontier_frac,
+        damped_retry: inner.cfg.damped_retry,
+        deadline: run_deadline,
+        ..WarmPolicy::default()
+    };
+    let run = match state.run_from("serve", &delta, &inner.cfg.opts, &policy, &inner.trace) {
+        Ok(run) => run,
+        Err(e) => {
+            Metrics::add(&metrics.bad_requests, jobs.len() as u64);
+            for job in &jobs {
+                let _ = job
+                    .reply
+                    .send(Response::err(ERR_BAD_REQUEST, e.to_string()));
+            }
+            return;
+        }
+    };
+    if run.warm {
+        Metrics::inc(&metrics.warm_runs);
+        Metrics::add(&metrics.warm_iterations, run.stats.iterations as u64);
+    } else {
+        Metrics::inc(&metrics.cold_runs);
+        Metrics::add(&metrics.cold_iterations, run.stats.iterations as u64);
+    }
+    if run.damped {
+        Metrics::inc(&metrics.damped_runs);
+    }
+
+    let posteriors = Arc::new(state.beliefs().to_vec());
+    if run.stats.converged {
+        slot.cache
+            .lock()
+            .unwrap()
+            .put(key.to_string(), Arc::clone(&posteriors));
+    }
+    let now = Instant::now();
+    for job in &jobs {
+        if !run.stats.converged && job.deadline <= now {
+            Metrics::inc(&metrics.deadline_exceeded);
+            let _ = job
+                .reply
+                .send(Response::err(ERR_DEADLINE, "deadline expired mid-run"));
+            continue;
+        }
+        let mut resp = Response::ok();
+        resp.converged = run.stats.converged;
+        resp.warm = run.warm;
+        resp.damped = run.damped;
+        resp.iterations = run.stats.iterations;
+        resp.posteriors = extract(state, &posteriors, &job.nodes);
+        let _ = job.reply.send(resp);
+    }
+}
+
+/// Pulls the requested nodes' posterior slices out of a packed array.
+fn extract(state: &WarmState, packed: &[f32], nodes: &[u32]) -> Vec<(u32, Vec<f32>)> {
+    let plan = state.plan();
+    let all;
+    let wanted: &[u32] = if nodes.is_empty() {
+        all = (0..plan.num_nodes() as u32).collect::<Vec<u32>>();
+        &all
+    } else {
+        nodes
+    };
+    wanted
+        .iter()
+        .map(|&v| (v, plan.node_slice(packed, v).to_vec()))
+        .collect()
+}
