@@ -1,12 +1,50 @@
 //! Criterion benchmarks for the §3.5 work queue: repopulation cost and
 //! the queued-vs-full-sweep engine tradeoff on a straggler-heavy graph.
+//!
+//! The binary installs a counting global allocator so the parallel
+//! queue's no-allocation claim is an assertion, not a hope: after one
+//! warm-up cycle, a steady-state [`ParWorkQueue::advance`] must perform
+//! zero allocations (its merge cursors live in the queue).
 
 use credo::engines::SeqNodeEngine;
 use credo::{BpEngine, BpOptions};
+use credo_core::par::ParWorkQueue;
 use credo_core::WorkQueue;
 use credo_graph::generators::{preferential_attachment, GenOptions};
 use criterion::{criterion_group, criterion_main, Criterion};
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A [`System`] wrapper that counts allocations (`alloc` + `realloc`).
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: defers every operation to `System`; the counter is a plain
+// relaxed atomic increment.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
 
 fn bench_queue_cycle(c: &mut Criterion) {
     let n = 100_000usize;
@@ -17,6 +55,38 @@ fn bench_queue_cycle(c: &mut Criterion) {
             for v in (0..n as u32).step_by(17) {
                 q.push_next(v);
             }
+            q.advance();
+            black_box(q.len())
+        });
+    });
+}
+
+fn bench_par_queue_cycle(c: &mut Criterion) {
+    let n = 100_000usize;
+    let workers = 4usize;
+    let mut q = ParWorkQueue::new(n, workers, |_| true);
+    q.advance(); // drain the initial full active set
+    let push_phase = |q: &mut ParWorkQueue| {
+        let (_, mut handles) = q.begin_iteration();
+        for v in (0..n as u32).step_by(17) {
+            handles[(v as usize / 17) % workers].push(v);
+        }
+    };
+    // Warm-up grows the runs / active / cursor buffers to capacity; from
+    // then on `advance` must reuse them without touching the allocator.
+    push_phase(&mut q);
+    q.advance();
+    push_phase(&mut q);
+    let before = allocations();
+    q.advance();
+    let during = allocations() - before;
+    assert_eq!(
+        during, 0,
+        "steady-state ParWorkQueue::advance allocated {during} times"
+    );
+    c.bench_function("par_queue_push_advance_100k", |b| {
+        b.iter(|| {
+            push_phase(&mut q);
             q.advance();
             black_box(q.len())
         });
@@ -45,5 +115,10 @@ fn bench_queued_vs_plain(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_queue_cycle, bench_queued_vs_plain);
+criterion_group!(
+    benches,
+    bench_queue_cycle,
+    bench_par_queue_cycle,
+    bench_queued_vs_plain
+);
 criterion_main!(benches);

@@ -1,12 +1,18 @@
 //! CI perf-regression gate: compares the key speedup ratios from a fresh
-//! `BENCH_par_speedup.json` against the committed baseline under
-//! `ci/baselines/`, failing when any ratio regressed by more than the
-//! tolerance (default 15%).
+//! `BENCH_par_speedup.json` (or `BENCH_sched.json`) against the committed
+//! baseline under `ci/baselines/`, failing when any ratio regressed by
+//! more than the tolerance (default 15%).
 //!
 //! The gated ratios are relative measurements (Par engine vs the
-//! OpenMP-analogue engine, plan-lowered vs direct) plus their geomeans —
-//! deliberately not absolute wall clocks, so the gate survives moving
-//! between runner machines of different speed.
+//! OpenMP-analogue engine, plan-lowered vs direct; relaxed scheduler vs
+//! the barriered plan) plus their geomeans — deliberately not absolute
+//! wall clocks, so the gate survives moving between runner machines of
+//! different speed. The artifact kind is inferred from the row fields:
+//! rows carrying `speedup_vs_barriered` gate the scheduling sweep, where
+//! the headline ratios are **update efficiencies** (barriered node
+//! updates / variant node updates) — convergence work is immune to
+//! machine noise, unlike oversubscribed wall clocks — alongside a
+//! wall-clock geomean blessed with a wide tolerance.
 //!
 //! ```text
 //! # refresh the artifact, then check it
@@ -71,6 +77,71 @@ fn extract_ratios(rows: &[Value]) -> Result<Vec<(String, f64)>, String> {
     Ok(ratios)
 }
 
+/// Extracts the gated ratios from a `BENCH_sched.json` row array:
+/// per-row update efficiency for every relaxed-family scheduler, plus
+/// geomeans of update efficiency and wall-clock speedup over the relaxed
+/// rows.
+fn extract_sched_ratios(rows: &[Value]) -> Result<Vec<(String, f64)>, String> {
+    let get_str = |row: &Value, key: &str| -> Result<String, String> {
+        Ok(row
+            .get(key)
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("sched row without a '{key}' field"))?
+            .to_string())
+    };
+    let mut base_updates: std::collections::HashMap<(String, u64), f64> =
+        std::collections::HashMap::new();
+    for row in rows {
+        if get_str(row, "sched")? == "barriered" {
+            base_updates.insert(
+                (
+                    get_str(row, "graph")?,
+                    row.get("threads").and_then(Value::as_u64).unwrap_or(0),
+                ),
+                row.get("node_updates")
+                    .and_then(Value::as_f64)
+                    .unwrap_or(0.0),
+            );
+        }
+    }
+    let mut ratios = Vec::new();
+    let (mut eff, mut wall) = (Vec::new(), Vec::new());
+    for row in rows {
+        let sched = get_str(row, "sched")?;
+        if sched == "barriered" {
+            continue;
+        }
+        let graph = get_str(row, "graph")?;
+        let threads = row.get("threads").and_then(Value::as_u64).unwrap_or(0);
+        let updates = row
+            .get("node_updates")
+            .and_then(Value::as_f64)
+            .unwrap_or(0.0);
+        if let Some(&base) = base_updates.get(&(graph.clone(), threads)) {
+            if base > 0.0 && updates > 0.0 {
+                let e = base / updates;
+                ratios.push((format!("{sched}/{graph}/t{threads}/update_efficiency"), e));
+                if sched == "relaxed" {
+                    eff.push(e);
+                }
+            }
+        }
+        if sched == "relaxed" {
+            if let Some(s) = row.get("speedup_vs_barriered").and_then(Value::as_f64) {
+                wall.push(s);
+            }
+        }
+    }
+    if eff.is_empty() {
+        return Err("no relaxed rows with node_updates — wrong or truncated artifact?".into());
+    }
+    ratios.push(("geomean/relaxed_update_efficiency".into(), geomean(&eff)));
+    if !wall.is_empty() {
+        ratios.push(("geomean/relaxed_vs_barriered".into(), geomean(&wall)));
+    }
+    Ok(ratios)
+}
+
 fn load_fresh(path: &str) -> Result<Vec<(String, f64)>, String> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read fresh artifact {path}: {e}"))?;
@@ -79,7 +150,11 @@ fn load_fresh(path: &str) -> Result<Vec<(String, f64)>, String> {
     let rows = value
         .as_array()
         .ok_or_else(|| format!("{path} is not a JSON array of rows"))?;
-    extract_ratios(rows)
+    if rows.iter().any(|r| r.get("speedup_vs_barriered").is_some()) {
+        extract_sched_ratios(rows)
+    } else {
+        extract_ratios(rows)
+    }
 }
 
 fn main() {

@@ -1,7 +1,8 @@
 //! Engine construction and measured runs.
 
 use credo::engines::{
-    CudaEdgeEngine, CudaNodeEngine, ParEdgeEngine, ParNodeEngine, SeqEdgeEngine, SeqNodeEngine,
+    CudaEdgeEngine, CudaNodeEngine, ParEdgeEngine, ParNodeEngine, RelaxedNodeEngine, SeqEdgeEngine,
+    SeqNodeEngine,
 };
 use credo::{BpEngine, BpOptions, BpStats, EngineError, Implementation};
 use credo_gpusim::{ArchProfile, Device};
@@ -60,6 +61,7 @@ pub fn engine_for(which: Implementation, profile: ArchProfile) -> Box<dyn BpEngi
         Implementation::ParEdge => Box::new(ParEdgeEngine),
         Implementation::ParNode => Box::new(ParNodeEngine),
         Implementation::StreamNode => Box::new(credo_core::ShardedEngine::default()),
+        Implementation::RelaxedNode => Box::new(RelaxedNodeEngine),
     }
 }
 

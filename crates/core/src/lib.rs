@@ -29,6 +29,7 @@ mod warm;
 
 pub mod openmp;
 pub mod par;
+pub mod sched;
 pub mod seq;
 
 pub use convergence::ConvergenceTracker;

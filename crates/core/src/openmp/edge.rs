@@ -51,6 +51,7 @@ impl BpEngine for OpenMpEdgeEngine {
         opts: &BpOptions,
         trace: &Dispatch,
     ) -> Result<BpStats, EngineError> {
+        let opts = &opts.normalized();
         let card = graph
             .uniform_cardinality()
             .ok_or(EngineError::NonUniformCardinality)?;

@@ -5,6 +5,25 @@
 /// Defaults match the paper's evaluation setup (§4): "We execute each of
 /// the benchmarks until they achieve a convergence within 0.001 before
 /// cutting off at a maximum of 200 iterations."
+///
+/// # Scheduling-flag matrix
+///
+/// The three scheduling switches compose as follows (engines call
+/// [`BpOptions::normalized`] once on entry, so the *Effective* column is
+/// what actually runs regardless of how the struct was built):
+///
+/// | `work_queue` | `residual_priority` | Effective schedule |
+/// |--------------|---------------------|--------------------|
+/// | `false`      | `false`             | Full Jacobi sweep every iteration. |
+/// | `true`       | `false`             | §3.5 work queue, ascending node order. |
+/// | `true`       | `true`              | Work queue, descending-residual order. |
+/// | `false`      | `true`              | **Normalized to** `work_queue = true`: residual ordering needs the queue's per-node residuals, so the queue is switched on rather than silently ignoring the flag (this combination used to be a no-op on the exec-plan path). |
+///
+/// [`BpOptions::splash`] and [`BpOptions::decay`] select the relaxed
+/// engine's task-shape variants (`credo_core::sched`); every barriered
+/// engine ignores them. `exec_plan` is independent of all of the above,
+/// except that the relaxed engine is plan-only and ignores
+/// `exec_plan = false`.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct BpOptions {
     /// Global convergence threshold: iteration stops once the summed L1
@@ -38,6 +57,23 @@ pub struct BpOptions {
     /// Results are bit-identical to the direct path; turning this off
     /// keeps the original AoS traversal for layout ablations.
     pub exec_plan: bool,
+    /// Splash size for the relaxed scheduler (`credo_core::sched`): when
+    /// non-zero, each popped root expands into a bounded-BFS neighborhood
+    /// of at most this many nodes, updated forward then backward as one
+    /// task (Van der Merwe et al.'s splash schedule). `0` (the default)
+    /// processes single nodes. Barriered engines ignore this.
+    pub splash: u32,
+    /// Weighted-decay factor for the relaxed scheduler's residuals
+    /// (Aksenov et al.): each wake-up priority is scaled by
+    /// `decay^(times the node was already processed)`, biasing the
+    /// scheduler away from repeatedly reprocessing the same hot region.
+    /// `1.0` (the default) disables decay; values must be in `(0, 1]`.
+    /// The *drain* test stays on the undecayed residual, so the run still
+    /// terminates only at quiescence — but the reordered schedule settles
+    /// slightly farther from the residual-priority fixed point than the
+    /// undecayed variants (about 1e-3 where they hold 1e-4), the price of
+    /// converging in fewer updates. Barriered engines ignore this.
+    pub decay: f32,
 }
 
 impl Default for BpOptions {
@@ -51,6 +87,8 @@ impl Default for BpOptions {
             threads: 0,
             residual_priority: false,
             exec_plan: true,
+            splash: 0,
+            decay: 1.0,
         }
     }
 }
@@ -104,6 +142,48 @@ impl BpOptions {
         self.exec_plan = false;
         self
     }
+
+    /// Enables the relaxed engine's splash variant: each popped root
+    /// updates a bounded-BFS neighborhood of at most `size` nodes as one
+    /// task. `0` restores single-node tasks.
+    pub fn with_splash(mut self, size: u32) -> Self {
+        self.splash = size;
+        self
+    }
+
+    /// Enables the relaxed engine's weighted-decay residuals with factor
+    /// `rho` in `(0, 1]` (`1.0` disables decay).
+    ///
+    /// # Panics
+    /// Panics when `rho` is not in `(0, 1]`.
+    pub fn with_decay(mut self, rho: f32) -> Self {
+        assert!(
+            rho > 0.0 && rho <= 1.0,
+            "decay factor must be in (0, 1], got {rho}"
+        );
+        self.decay = rho;
+        self
+    }
+
+    /// Resolves the scheduling-flag combinations documented in the
+    /// [type-level matrix](BpOptions#scheduling-flag-matrix): residual
+    /// ordering implies the work queue (its per-node residuals come from
+    /// the queue's repopulation pass), and an out-of-range decay factor —
+    /// possible via struct-literal construction — falls back to `1.0`
+    /// (off). Every engine calls this exactly once on entry, so a
+    /// hand-built `BpOptions { residual_priority: true, .. }` behaves the
+    /// same as [`BpOptions::with_residual_priority`] instead of being
+    /// silently ignored on the exec-plan path.
+    #[must_use]
+    pub fn normalized(mut self) -> Self {
+        if self.residual_priority && !self.work_queue {
+            self.work_queue = true;
+        }
+        if !(self.decay > 0.0 && self.decay <= 1.0) {
+            self.decay = 1.0;
+        }
+        self
+    }
 }
 
 #[cfg(test)]
@@ -145,5 +225,61 @@ mod tests {
         let o = BpOptions::default().with_residual_priority();
         assert!(o.work_queue);
         assert!(o.residual_priority);
+    }
+
+    #[test]
+    fn normalized_enables_queue_for_literal_residual_priority() {
+        // Struct-literal construction used to leave this combination a
+        // silent no-op on the exec-plan path.
+        let o = BpOptions {
+            residual_priority: true,
+            ..Default::default()
+        };
+        assert!(!o.work_queue);
+        let n = o.normalized();
+        assert!(n.work_queue);
+        assert!(n.residual_priority);
+    }
+
+    #[test]
+    fn normalized_is_identity_for_consistent_options() {
+        for o in [
+            BpOptions::default(),
+            BpOptions::with_work_queue(),
+            BpOptions::default().with_residual_priority(),
+            BpOptions::default().with_splash(8).with_decay(0.5),
+        ] {
+            assert_eq!(o.normalized(), o);
+        }
+    }
+
+    #[test]
+    fn normalized_repairs_out_of_range_decay() {
+        let o = BpOptions {
+            decay: -0.5,
+            ..Default::default()
+        };
+        assert_eq!(o.normalized().decay, 1.0);
+        let nan = BpOptions {
+            decay: f32::NAN,
+            ..Default::default()
+        };
+        assert_eq!(nan.normalized().decay, 1.0);
+    }
+
+    #[test]
+    fn splash_and_decay_builders() {
+        let o = BpOptions::default().with_splash(16).with_decay(0.25);
+        assert_eq!(o.splash, 16);
+        assert_eq!(o.decay, 0.25);
+        let d = BpOptions::default();
+        assert_eq!(d.splash, 0);
+        assert_eq!(d.decay, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "decay factor")]
+    fn zero_decay_panics() {
+        let _ = BpOptions::default().with_decay(0.0);
     }
 }

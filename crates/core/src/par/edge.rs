@@ -55,6 +55,7 @@ impl BpEngine for ParEdgeEngine {
         opts: &BpOptions,
         trace: &Dispatch,
     ) -> Result<BpStats, EngineError> {
+        let opts = &opts.normalized();
         if opts.exec_plan {
             return crate::plan::run_edge_plan(
                 self.name(),

@@ -52,6 +52,7 @@ impl BpEngine for ParNodeEngine {
         opts: &BpOptions,
         trace: &Dispatch,
     ) -> Result<BpStats, EngineError> {
+        let opts = &opts.normalized();
         if opts.exec_plan {
             return crate::plan::run_node_plan(
                 self.name(),

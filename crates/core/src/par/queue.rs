@@ -30,6 +30,10 @@ pub struct ParWorkQueue {
     /// Cumulative deduplicated pushes per worker run — the merge-balance
     /// signal the trace layer reports.
     worker_pushes: Vec<u64>,
+    /// Scratch cursors for the k-way merge, held so `advance` performs no
+    /// per-iteration allocation (asserted by the `workqueue` microbench's
+    /// counting-allocator harness).
+    cursors: Vec<usize>,
 }
 
 /// A single worker's handle: push access to that worker's run plus the
@@ -70,6 +74,7 @@ impl ParWorkQueue {
             advances: 0,
             repopulated: 0,
             worker_pushes: vec![0; workers.max(1)],
+            cursors: vec![0; workers.max(1)],
         }
     }
 
@@ -168,11 +173,15 @@ impl ParWorkQueue {
         }
         self.clear_flags();
         self.active.clear();
-        let mut cursors = vec![0usize; self.runs.len()];
+        // Reuse the queue-held cursor scratch: `runs.len()` never changes
+        // after construction, so resizing here only writes zeros — the
+        // merge stays allocation-free across iterations.
+        self.cursors.clear();
+        self.cursors.resize(self.runs.len(), 0);
         loop {
             let mut best: Option<(u32, usize)> = None;
             for (i, run) in self.runs.iter().enumerate() {
-                if let Some(&v) = run.get(cursors[i]) {
+                if let Some(&v) = run.get(self.cursors[i]) {
                     if best.is_none_or(|(bv, _)| v < bv) {
                         best = Some((v, i));
                     }
@@ -181,7 +190,7 @@ impl ParWorkQueue {
             match best {
                 Some((v, i)) => {
                     self.active.push(v);
-                    cursors[i] += 1;
+                    self.cursors[i] += 1;
                 }
                 None => break,
             }

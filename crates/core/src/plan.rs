@@ -175,6 +175,7 @@ pub(crate) fn run_node_plan(
     trace: &Dispatch,
     threads: usize,
 ) -> Result<BpStats, EngineError> {
+    let opts = &opts.normalized();
     let plan = ExecGraph::compile(graph);
     let pool = WorkerPool::new(threads);
     let mut prev: Vec<f32> = Vec::new();
@@ -455,6 +456,7 @@ pub(crate) fn run_edge_plan(
     trace: &Dispatch,
     threads: usize,
 ) -> Result<BpStats, EngineError> {
+    let opts = &opts.normalized();
     let card = graph
         .uniform_cardinality()
         .ok_or(EngineError::NonUniformCardinality)?;

@@ -1,0 +1,659 @@
+//! The barrier-free relaxed residual engine.
+//!
+//! [`RelaxedNodeEngine`] runs asynchronous (Gauss–Seidel) residual BP:
+//! workers pop approximately-max-residual nodes from the [`MultiQueue`],
+//! recompute each popped node's belief in place through the same packed
+//! [`crate::math::kernels`] the barriered plan runners use, and wake the
+//! node's out-neighbors at the observed residual — no iteration barrier,
+//! no global sweep, no k-way merge.
+//!
+//! # Termination
+//!
+//! Two purely local conditions end the run:
+//!
+//! 1. **Exact drain** — the queue's pending counter (entries + in-flight
+//!    tasks) hits zero. A task only releases its slot *after* issuing its
+//!    wake-ups, so `pending == 0` proves no work exists or can appear.
+//! 2. **Residual-mass cutoff** — each worker batches its local mass delta
+//!    (activations add, claims subtract) into a shared f64-bits
+//!    accumulator; when the approximate global enqueued residual falls
+//!    below [`crate::BpOptions::threshold`], a stop flag ends the run as
+//!    converged. This mirrors Algorithm 1's `sum < threshold` exit
+//!    without ever computing a global sum at a barrier.
+//!
+//! A third, non-converged exit caps total node updates at
+//! `max_iterations × |active nodes|` — the async analogue of the
+//! iteration cap.
+//!
+//! # Single-thread anchor
+//!
+//! With one worker and neither variant enabled, relaxation degenerates to
+//! *exact* max-residual scheduling, which the barriered plan runner
+//! already implements deterministically — so `threads == 1` dispatches to
+//! [`crate::plan`]'s node runner with `work_queue + residual_priority`,
+//! making a 1-thread relaxed run bit-identical to residual-priority
+//! [`crate::seq::SeqNodeEngine`] (the same structural trick that pins the
+//! Seq/Par plan engines to each other).
+
+use super::multiqueue::{MultiQueue, StripeRng};
+use crate::engine::{BpEngine, EngineError, Paradigm, Platform};
+use crate::math::kernels;
+use crate::opts::BpOptions;
+use crate::par::{emit_pool_metrics, pool_threads, WorkerPool};
+use crate::stats::{BpStats, IterationStats};
+use credo_graph::{BeliefGraph, ExecGraph, MAX_BELIEFS};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+use tracing::Dispatch;
+
+/// Seed residual for every unobserved node: the maximum L1 distance
+/// between two distributions, so initial priorities dominate any later
+/// observed residual (finite, unlike the f32 infinity the literature
+/// sometimes uses, so mass accounting stays meaningful).
+const INITIAL_RESIDUAL: f32 = 2.0;
+
+/// Record one relaxation-quality rank sample every this many pops per
+/// worker (sampling keeps the full-top-scan off the hot path).
+const RANK_SAMPLE_EVERY: u64 = 64;
+
+/// Flush a worker's batched residual-mass delta at least every this many
+/// tasks, bounding how stale the shared mass estimate can get.
+const MASS_FLUSH_EVERY: u32 = 32;
+
+const STOP_NONE: u32 = 0;
+const STOP_MASS: u32 = 1;
+const STOP_CAP: u32 = 2;
+
+/// Barrier-free relaxed-priority node engine (`Implementation::RelaxedNode`).
+///
+/// Plan-only: the graph is always lowered to a packed
+/// [`credo_graph::ExecGraph`] ([`crate::BpOptions::exec_plan`] is ignored).
+/// [`crate::BpOptions::splash`] and [`crate::BpOptions::decay`] select the
+/// task-shape variants; see the [module docs](crate::sched).
+pub struct RelaxedNodeEngine;
+
+impl BpEngine for RelaxedNodeEngine {
+    fn name(&self) -> &'static str {
+        "Relaxed Node"
+    }
+
+    fn paradigm(&self) -> Paradigm {
+        Paradigm::Node
+    }
+
+    fn platform(&self) -> Platform {
+        Platform::CpuParallel
+    }
+
+    fn run_traced(
+        &self,
+        graph: &mut BeliefGraph,
+        opts: &BpOptions,
+        trace: &Dispatch,
+    ) -> Result<BpStats, EngineError> {
+        let opts = opts.normalized();
+        let threads = pool_threads(opts.threads);
+        if threads == 1 && opts.splash == 0 && opts.decay >= 1.0 {
+            // One worker + no variant = exact max-residual scheduling,
+            // which the deterministic barriered runner already provides.
+            let anchored = BpOptions {
+                work_queue: true,
+                residual_priority: true,
+                ..opts
+            };
+            return crate::plan::run_node_plan(self.name(), graph, &anchored, trace, 1);
+        }
+        Ok(run_relaxed(self.name(), graph, &opts, trace, threads))
+    }
+}
+
+/// One epoch-boundary telemetry sample (an "epoch" is `|active|` node
+/// updates — the async analogue of one sweep).
+struct EpochSample {
+    processed: u64,
+    messages: u64,
+    mass: f64,
+    at: Duration,
+}
+
+/// CAS-adds `delta` to an f64 stored as bits, clamping at zero (the
+/// batched deltas make tiny negative drift possible).
+fn mass_add(mass: &AtomicU64, delta: f64) {
+    if delta == 0.0 {
+        return;
+    }
+    let mut cur = mass.load(Ordering::Relaxed);
+    loop {
+        let new = (f64::from_bits(cur) + delta).max(0.0);
+        match mass.compare_exchange_weak(cur, new.to_bits(), Ordering::AcqRel, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(now) => cur = now,
+        }
+    }
+}
+
+#[inline]
+fn read_packed(beliefs: &[AtomicU32], off: usize, out: &mut [f32]) {
+    for (o, a) in out.iter_mut().zip(&beliefs[off..]) {
+        *o = f32::from_bits(a.load(Ordering::Relaxed));
+    }
+}
+
+/// Recomputes node `v`'s belief in place from the live shared beliefs.
+/// Returns `(L1 diff, messages computed)`.
+///
+/// Concurrent readers may observe a belief vector mid-store (per-element
+/// atomicity only) — a benign race: asynchronous BP tolerates arbitrarily
+/// stale or mixed inputs, and the fixed point is unchanged.
+fn update_node(plan: &ExecGraph, beliefs: &[AtomicU32], v: u32) -> (f32, u64) {
+    let off = plan.node_off(v);
+    let c = plan.card(v);
+    let mut acc = [0.0f32; MAX_BELIEFS];
+    let mut msg = [0.0f32; MAX_BELIEFS];
+    let mut src = [0.0f32; MAX_BELIEFS];
+    let mut old = [0.0f32; MAX_BELIEFS];
+    read_packed(beliefs, off, &mut old[..c]);
+    acc[..c].copy_from_slice(&plan.priors()[off..off + c]);
+    let arcs = plan.in_arcs(v);
+    // Same combine cadence as the barriered runners: product of incoming
+    // messages with an every-8th rescale, then normalize.
+    for (k, arc) in arcs.iter().enumerate() {
+        let sc = arc.src_card as usize;
+        let dc = arc.dst_card as usize;
+        read_packed(beliefs, arc.src_off as usize, &mut src[..sc]);
+        kernels::message_packed(&src[..sc], plan.potential(arc), &mut msg[..dc]);
+        kernels::mul_assign_packed(&mut acc[..c], &msg[..dc]);
+        if k % 8 == 7 {
+            kernels::scale_max_to_one_packed(&mut acc[..c]);
+        }
+    }
+    kernels::normalize_packed(&mut acc[..c]);
+    let diff = kernels::l1_diff_packed(&acc[..c], &old[..c]);
+    for (a, &x) in beliefs[off..off + c].iter().zip(&acc[..c]) {
+        a.store(x.to_bits(), Ordering::Relaxed);
+    }
+    (diff, arcs.len() as u64)
+}
+
+/// Collects the bounded-BFS splash neighborhood rooted at `root` (root
+/// first, then breadth-first over out-neighbors, unobserved only, at most
+/// `cap` members).
+fn splash_members(plan: &ExecGraph, root: u32, cap: usize, out: &mut Vec<u32>) {
+    out.clear();
+    out.push(root);
+    let mut head = 0;
+    while head < out.len() && out.len() < cap {
+        let v = out[head];
+        head += 1;
+        for &d in plan.out_neighbors(v) {
+            if out.len() >= cap {
+                break;
+            }
+            if !plan.observed()[d as usize] && !out.contains(&d) {
+                out.push(d);
+            }
+        }
+    }
+}
+
+fn run_relaxed(
+    name: &'static str,
+    graph: &mut BeliefGraph,
+    opts: &BpOptions,
+    trace: &Dispatch,
+    threads: usize,
+) -> BpStats {
+    let start = Instant::now();
+    let run_span = trace.span("run", &[("engine", name.into())]);
+    let plan = ExecGraph::compile(graph);
+    let n = plan.num_nodes();
+    let mut packed: Vec<f32> = Vec::new();
+    plan.load_beliefs(graph, &mut packed);
+    // Shared live beliefs as f32 bits: per-element atomic, so concurrent
+    // node updates are a benign race instead of UB.
+    let beliefs: Vec<AtomicU32> = packed.iter().map(|f| AtomicU32::new(f.to_bits())).collect();
+
+    let queue = MultiQueue::new(n, threads, |v| !plan.observed()[v]);
+    let active_n = plan.observed().iter().filter(|o| !**o).count() as u64;
+    let mass = AtomicU64::new(0f64.to_bits());
+    let processed = AtomicU64::new(0);
+    let messages = AtomicU64::new(0);
+    let stop = AtomicU32::new(STOP_NONE);
+    let decay_on = opts.decay < 1.0;
+    // Per-node decay multiplier (decay^times-processed), kept incrementally
+    // so a wake-up is one load + one multiply, never a powf.
+    let factors: Vec<AtomicU32> = if decay_on {
+        (0..n).map(|_| AtomicU32::new(1.0f32.to_bits())).collect()
+    } else {
+        Vec::new()
+    };
+    // Un-notified belief change per node (f32 bits). A single update whose
+    // diff sits below `queue_threshold` wakes nobody, and a node revisited
+    // many times — the weighted-decay schedule does exactly this to hot
+    // nodes — can compound arbitrary drift out of individually
+    // sub-threshold steps. Gating wake-ups on the accumulated total
+    // instead bounds what any node can leave unpropagated at one
+    // threshold, whatever the schedule.
+    let drift: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+
+    {
+        // Seed from the main thread; worker RNG ids are 0..threads.
+        let mut rng = StripeRng::new(threads);
+        let mut seeded = 0.0f64;
+        for v in 0..n as u32 {
+            seeded += queue.activate(v, INITIAL_RESIDUAL, &mut rng) as f64;
+        }
+        mass_add(&mass, seeded);
+    }
+
+    let epoch = active_n.max(1);
+    let task_cap = (opts.max_iterations as u64).saturating_mul(epoch);
+    let epochs: Mutex<Vec<EpochSample>> = Mutex::new(Vec::new());
+
+    let pool = WorkerPool::new(threads);
+    if active_n > 0 {
+        let plan_ref = &plan;
+        let beliefs_ref = &beliefs;
+        let queue_ref = &queue;
+        let factors_ref = &factors;
+        let drift_ref = &drift;
+        let (mass_ref, processed_ref, messages_ref, stop_ref, epochs_ref) =
+            (&mass, &processed, &messages, &stop, &epochs);
+        let splash_cap = opts.splash as usize;
+        let (qt, wake, decay, threshold) = (
+            opts.queue_threshold,
+            opts.wake_neighbors,
+            opts.decay,
+            opts.threshold as f64,
+        );
+        pool.broadcast(&|w| {
+            let mut rng = StripeRng::new(w);
+            let mut members: Vec<u32> = Vec::new();
+            let mut diff_buf: Vec<f32> = Vec::new();
+            let mut local_mass = 0.0f64;
+            let mut since_flush = 0u32;
+            let mut local_pops = 0u64;
+            // Wake `x` at residual `d`, decayed by how often `x` was
+            // already processed. The mass gain is published synchronously:
+            // an entry must be visible in the global mass before it is
+            // claimable, otherwise another worker's batched claim delta
+            // could flush first and collapse the estimate to zero, firing
+            // the convergence cutoff early. Losses (claims/absorbs) are
+            // safe to batch — they only make the estimate overestimate.
+            let activate_decayed = |x: u32, d: f32, rng: &mut StripeRng| {
+                let prio = if decay_on {
+                    d * f32::from_bits(factors_ref[x as usize].load(Ordering::Relaxed))
+                } else {
+                    d
+                };
+                mass_add(mass_ref, queue_ref.activate(x, prio, rng) as f64);
+            };
+            let bump_factor = |x: u32| {
+                if decay_on {
+                    let slot = &factors_ref[x as usize];
+                    let f = f32::from_bits(slot.load(Ordering::Relaxed)) * decay;
+                    slot.store(f.to_bits(), Ordering::Relaxed);
+                }
+            };
+            // Fold `x`'s latest belief diff into its drift accumulator;
+            // once the running total crosses the queue threshold, claim it
+            // and wake `x` plus its out-neighbors at the accumulated
+            // magnitude (see the `drift` comment above).
+            let settle = |x: u32, d: f32, rng: &mut StripeRng| {
+                let slot = &drift_ref[x as usize];
+                let mut cur = slot.load(Ordering::Relaxed);
+                let total = loop {
+                    let t = f32::from_bits(cur) + d;
+                    match slot.compare_exchange_weak(
+                        cur,
+                        t.to_bits(),
+                        Ordering::AcqRel,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => break t,
+                        Err(now) => cur = now,
+                    }
+                };
+                if total >= qt {
+                    // Whoever swaps first owns the whole total; a racing
+                    // settle on the same node claims 0 and stays quiet.
+                    let claimed = f32::from_bits(slot.swap(0, Ordering::AcqRel));
+                    if claimed > 0.0 {
+                        activate_decayed(x, claimed, rng);
+                        if wake {
+                            for &nb in plan_ref.out_neighbors(x) {
+                                activate_decayed(nb, claimed, rng);
+                            }
+                        }
+                    }
+                }
+            };
+            loop {
+                if stop_ref.load(Ordering::Relaxed) != STOP_NONE {
+                    break;
+                }
+                let Some((v, p)) = queue_ref.pop(&mut rng) else {
+                    mass_add(mass_ref, std::mem::take(&mut local_mass));
+                    if queue_ref.pending() == 0 {
+                        break;
+                    }
+                    std::thread::yield_now();
+                    continue;
+                };
+                local_pops += 1;
+                if local_pops.is_multiple_of(RANK_SAMPLE_EVERY) {
+                    queue_ref.record_rank_sample(p);
+                }
+                let Some(got) = queue_ref.claim(v) else {
+                    continue; // stale: orphaned by a splash absorb
+                };
+                local_mass -= got as f64;
+                let mut task_nodes = 1u64;
+                let mut task_msgs = 0u64;
+                if splash_cap > 1 {
+                    // Splash: update the whole neighborhood forward then
+                    // backward as one task (Van der Merwe et al.).
+                    splash_members(plan_ref, v, splash_cap, &mut members);
+                    for &m in &members[1..] {
+                        local_mass -= queue_ref.absorb(m) as f64;
+                    }
+                    // Per-member residual is the *sum* of both passes'
+                    // diffs (an L1 upper bound on the task's total change):
+                    // the backward-pass diff alone is usually tiny right
+                    // after the forward update, and using only it would
+                    // drop wake-ups for changes the forward pass made.
+                    diff_buf.clear();
+                    for &m in &members {
+                        let (d, mm) = update_node(plan_ref, beliefs_ref, m);
+                        diff_buf.push(d);
+                        task_msgs += mm;
+                        bump_factor(m);
+                    }
+                    for (i, &m) in members.iter().enumerate().rev() {
+                        let (d, mm) = update_node(plan_ref, beliefs_ref, m);
+                        diff_buf[i] += d;
+                        task_msgs += mm;
+                    }
+                    task_nodes = members.len() as u64 * 2;
+                    for (&m, &d) in members.iter().zip(&diff_buf) {
+                        settle(m, d, &mut rng);
+                    }
+                } else {
+                    let (d, mm) = update_node(plan_ref, beliefs_ref, v);
+                    task_msgs = mm;
+                    bump_factor(v);
+                    settle(v, d, &mut rng);
+                }
+                // Release the pending slot only now that wake-ups exist,
+                // so pending == 0 stays an exact quiescence proof.
+                queue_ref.entry_done();
+                messages_ref.fetch_add(task_msgs, Ordering::Relaxed);
+                let done = processed_ref.fetch_add(task_nodes, Ordering::Relaxed) + task_nodes;
+                if done >= task_cap {
+                    let _ = stop_ref.compare_exchange(
+                        STOP_NONE,
+                        STOP_CAP,
+                        Ordering::AcqRel,
+                        Ordering::Relaxed,
+                    );
+                }
+                since_flush += 1;
+                let crossed = done / epoch > (done - task_nodes) / epoch;
+                if crossed || since_flush >= MASS_FLUSH_EVERY {
+                    mass_add(mass_ref, std::mem::take(&mut local_mass));
+                    since_flush = 0;
+                }
+                if crossed {
+                    let m = f64::from_bits(mass_ref.load(Ordering::Relaxed));
+                    epochs_ref
+                        .lock()
+                        .expect("epoch log poisoned")
+                        .push(EpochSample {
+                            processed: done,
+                            messages: messages_ref.load(Ordering::Relaxed),
+                            mass: m,
+                            at: start.elapsed(),
+                        });
+                    // Under decay the enqueued mass sums *decayed*
+                    // priorities, which shrink far below the threshold
+                    // while true residuals are still large — so the decay
+                    // variant terminates by exact drain only.
+                    if m < threshold && !decay_on {
+                        let _ = stop_ref.compare_exchange(
+                            STOP_NONE,
+                            STOP_MASS,
+                            Ordering::AcqRel,
+                            Ordering::Relaxed,
+                        );
+                    }
+                }
+            }
+            mass_add(mass_ref, local_mass);
+        });
+    }
+
+    for (slot, a) in packed.iter_mut().zip(&beliefs) {
+        *slot = f32::from_bits(a.load(Ordering::Relaxed));
+    }
+    plan.store_beliefs(&packed, graph);
+
+    let elapsed = start.elapsed();
+    let node_updates = processed.load(Ordering::Relaxed);
+    let message_updates = messages.load(Ordering::Relaxed);
+    let final_mass = f64::from_bits(mass.load(Ordering::Relaxed)) as f32;
+    let converged = stop.load(Ordering::Relaxed) != STOP_CAP;
+
+    let mut samples = epochs.into_inner().expect("epoch log poisoned");
+    samples.sort_by_key(|s| s.processed);
+    let mut per_iteration: Vec<IterationStats> = Vec::new();
+    let (mut prev_p, mut prev_m, mut prev_t) = (0u64, 0u64, Duration::ZERO);
+    for s in &samples {
+        per_iteration.push(IterationStats {
+            delta: s.mass as f32,
+            node_updates: s.processed - prev_p,
+            message_updates: s.messages.saturating_sub(prev_m),
+            queue_depth: s.processed - prev_p,
+            elapsed: s.at.saturating_sub(prev_t),
+        });
+        (prev_p, prev_m, prev_t) = (s.processed, s.messages, s.at);
+    }
+    if node_updates > prev_p {
+        per_iteration.push(IterationStats {
+            delta: final_mass,
+            node_updates: node_updates - prev_p,
+            message_updates: message_updates.saturating_sub(prev_m),
+            queue_depth: node_updates - prev_p,
+            elapsed: elapsed.saturating_sub(prev_t),
+        });
+    }
+    let iterations = per_iteration.len() as u32;
+
+    if trace.enabled() {
+        emit_pool_metrics(trace, &pool, None, elapsed);
+        trace.event(
+            "sched_pop",
+            &[
+                ("pops", queue.pops().into()),
+                ("stale_skips", queue.stale_skips().into()),
+                ("fallback_scans", queue.fallback_scans().into()),
+                ("stripes", (queue.stripes() as u64).into()),
+            ],
+        );
+        trace.event(
+            "relaxation_quality",
+            &[
+                ("mean_rank_distance", queue.mean_rank_distance().into()),
+                ("rank_samples", queue.rank_samples().into()),
+            ],
+        );
+        run_span.record(&[
+            ("iterations", iterations.into()),
+            ("converged", converged.into()),
+        ]);
+    }
+
+    BpStats {
+        engine: name,
+        iterations,
+        converged,
+        final_delta: final_mass,
+        node_updates,
+        message_updates,
+        atomic_retries: 0,
+        reported_time: elapsed,
+        host_time: elapsed,
+        per_iteration,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::SeqNodeEngine;
+    use credo_graph::generators::{preferential_attachment, synthetic, GenOptions, PotentialKind};
+
+    /// Weakly coupled potentials (near-uniform smoothing rows) keep loopy
+    /// BP contractive, so its fixed point is unique and *schedule
+    /// independent* — the precondition for comparing an asynchronous
+    /// engine against the Jacobi sweep. Under strong coupling (the 0.2
+    /// default) the attractive Potts model has multiple near-delta fixed
+    /// points and different update orders legitimately pick different
+    /// basins.
+    fn weak(card: usize) -> GenOptions {
+        let eps = 0.6 * (card - 1) as f32 / card as f32;
+        GenOptions::new(card).with_potentials(PotentialKind::SharedSmoothing(eps))
+    }
+
+    fn linf(a: &BeliefGraph, b: &BeliefGraph) -> f32 {
+        a.beliefs()
+            .iter()
+            .zip(b.beliefs())
+            .flat_map(|(x, y)| {
+                x.as_slice()
+                    .iter()
+                    .zip(y.as_slice())
+                    .map(|(p, q)| (p - q).abs())
+            })
+            .fold(0.0f32, f32::max)
+    }
+
+    fn agree(opts: BpOptions, n: usize, e: usize, seed: u64) {
+        let tight = opts.with_threshold(2e-5).with_max_iterations(2000);
+        let mut g_rel = synthetic(n, e, &weak(3).with_seed(seed));
+        let mut g_seq = g_rel.clone();
+        let s = RelaxedNodeEngine.run(&mut g_rel, &tight).unwrap();
+        assert!(s.converged, "relaxed run failed to converge");
+        SeqNodeEngine
+            .run(
+                &mut g_seq,
+                &BpOptions {
+                    threads: 1,
+                    ..tight
+                },
+            )
+            .unwrap();
+        let d = linf(&g_rel, &g_seq);
+        assert!(d <= 1e-4, "posterior divergence {d}");
+    }
+
+    #[test]
+    fn relaxed_matches_seq_posteriors() {
+        agree(BpOptions::default().with_threads(2), 120, 480, 7);
+        agree(BpOptions::default().with_threads(4), 200, 800, 11);
+    }
+
+    #[test]
+    fn splash_and_decay_match_seq_posteriors() {
+        agree(
+            BpOptions::default().with_threads(2).with_splash(8),
+            150,
+            600,
+            3,
+        );
+        agree(
+            BpOptions::default().with_threads(2).with_decay(0.5),
+            150,
+            600,
+            5,
+        );
+    }
+
+    #[test]
+    fn one_thread_plain_is_bitwise_residual_priority_seq() {
+        let mut g_rel = synthetic(140, 560, &GenOptions::new(2).with_seed(21));
+        let mut g_seq = g_rel.clone();
+        let s_rel = RelaxedNodeEngine
+            .run(&mut g_rel, &BpOptions::default().with_threads(1))
+            .unwrap();
+        let s_seq = SeqNodeEngine
+            .run(
+                &mut g_seq,
+                &BpOptions::default()
+                    .with_residual_priority()
+                    .with_threads(1),
+            )
+            .unwrap();
+        assert_eq!(s_rel.iterations, s_seq.iterations);
+        assert_eq!(s_rel.node_updates, s_seq.node_updates);
+        let identical = g_rel.beliefs().iter().zip(g_seq.beliefs()).all(|(x, y)| {
+            x.as_slice()
+                .iter()
+                .zip(y.as_slice())
+                .all(|(p, q)| p.to_bits() == q.to_bits())
+        });
+        assert!(identical, "1-thread relaxed must anchor to residual Seq");
+    }
+
+    #[test]
+    fn heavy_tailed_graphs_converge() {
+        let opts = BpOptions::default()
+            .with_threads(4)
+            .with_threshold(1e-4)
+            .with_max_iterations(2000);
+        let mut g = preferential_attachment(300, 3, &weak(2).with_seed(2));
+        let mut g_seq = g.clone();
+        let s = RelaxedNodeEngine.run(&mut g, &opts).unwrap();
+        assert!(s.converged);
+        SeqNodeEngine.run(&mut g_seq, &opts).unwrap();
+        assert!(linf(&g, &g_seq) <= 1e-3);
+    }
+
+    #[test]
+    fn observed_nodes_never_change() {
+        let mut g = synthetic(80, 240, &GenOptions::new(2).with_seed(4));
+        g.observe(9, 0);
+        let before = g.beliefs()[9];
+        RelaxedNodeEngine
+            .run(&mut g, &BpOptions::default().with_threads(2))
+            .unwrap();
+        assert_eq!(g.beliefs()[9], before);
+    }
+
+    #[test]
+    fn iteration_cap_reports_unconverged() {
+        let opts = BpOptions::default()
+            .with_threads(2)
+            .with_threshold(0.0) // unreachable: mass can't go below zero… but drain can
+            .with_max_iterations(1);
+        let mut g = synthetic(100, 400, &GenOptions::new(3).with_seed(13));
+        let s = RelaxedNodeEngine.run(&mut g, &opts).unwrap();
+        assert!(!s.converged, "1-epoch cap must cut the run short");
+        assert!(s.node_updates >= 100, "cap applies after the first epoch");
+    }
+
+    #[test]
+    fn stats_shape_is_consistent() {
+        let mut g = synthetic(90, 360, &GenOptions::new(2).with_seed(6));
+        let s = RelaxedNodeEngine
+            .run(&mut g, &BpOptions::default().with_threads(2))
+            .unwrap();
+        assert_eq!(s.engine, "Relaxed Node");
+        assert_eq!(s.per_iteration.len(), s.iterations as usize);
+        assert_eq!(
+            s.per_iteration.iter().map(|i| i.node_updates).sum::<u64>(),
+            s.node_updates
+        );
+        assert_eq!(s.atomic_retries, 0);
+    }
+}

@@ -1,0 +1,32 @@
+//! Relaxed-priority scheduling (beyond the paper): a MultiQueue-style
+//! concurrent priority scheduler and the barrier-free residual engine
+//! built on it.
+//!
+//! The §3.5 work-queue engines — including the native
+//! [`crate::par::ParWorkQueue`] — are still *synchronous*: every iteration
+//! ends in a global barrier plus a k-way merge before the next residual
+//! ordering is known. Following *Relaxed Scheduling for Scalable Belief
+//! Propagation* (Aksenov et al.) and *Message Scheduling for Performant,
+//! Many-Core Belief Propagation* (Van der Merwe et al.), this module drops
+//! the barrier entirely:
+//!
+//! * [`MultiQueue`] — `c·k` lock-striped binary heaps for `k` workers.
+//!   A pop samples two random stripes and takes the higher top, so the
+//!   popped task is only *approximately* the global max-residual node;
+//!   per-node stale-priority dedup skips tasks whose residual changed
+//!   since enqueue.
+//! * [`RelaxedNodeEngine`] — asynchronous (Gauss–Seidel) residual BP over
+//!   the packed [`credo_graph::ExecGraph`] through the same
+//!   [`crate::math::kernels`] the barriered plan runners use, with purely
+//!   local termination detection: a distributed outstanding-work counter
+//!   plus approximate residual-mass accounting, never a global sweep.
+//! * Two scheduling variants behind [`crate::BpOptions`]:
+//!   [`crate::BpOptions::splash`] (pop a root, update a bounded-BFS
+//!   neighborhood forward then backward as one task) and
+//!   [`crate::BpOptions::decay`] (weighted-decay residual priorities).
+
+mod engine;
+mod multiqueue;
+
+pub use engine::RelaxedNodeEngine;
+pub use multiqueue::{MultiQueue, StripeRng};

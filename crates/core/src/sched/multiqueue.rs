@@ -1,0 +1,478 @@
+//! The MultiQueue: a relaxed concurrent priority queue over node
+//! residuals (Aksenov et al.).
+//!
+//! `c·k` lock-striped binary heaps back the queue for `k` workers
+//! (`c = 4`, the constant the MultiQueue paper recommends). An insert
+//! locks one uniformly random stripe; a pop samples **two** random stripe
+//! tops without locking (each stripe mirrors its top priority in an
+//! atomic) and pops from the higher one. The returned task is therefore
+//! only approximately the global maximum — rank `O(k)` from the true max
+//! in expectation — which is exactly the relaxation that removes the
+//! coordination bottleneck.
+//!
+//! Priorities are non-negative finite `f32` residuals stored as raw bits:
+//! for such floats the IEEE-754 bit pattern is monotone in the numeric
+//! value, so heaps and atomics compare plain `u32`s. Bit pattern `0`
+//! doubles as the "inactive" sentinel, and pushed priorities are clamped
+//! to at least bit pattern `1`.
+//!
+//! # Stale-priority dedup
+//!
+//! `prio[v]` holds node `v`'s *current* enqueued residual. A wake-up
+//! ([`MultiQueue::activate`]) raises it (monotone max) and pushes a fresh
+//! entry at the raised priority; the node's older entries remain in the
+//! stripes at their lower push-time priorities. Claiming
+//! ([`MultiQueue::claim`]) swaps the slot to `0` and consumes whatever
+//! residual accumulated there, so whichever of a node's entries pops
+//! first wins and the rest skip as stale (`claim` returns `None`). The
+//! duplicates cost cheap stale pops but keep the heap tops tracking the
+//! true residuals — the alternative (raising the slot in place without a
+//! re-push) leaves hot nodes buried at their stale enqueue priority and
+//! measurably degrades the schedule into extra node updates.
+//!
+//! # Termination accounting
+//!
+//! `pending` counts stripe entries plus claimed tasks still being
+//! processed. Every push increments it; a stale pop decrements
+//! immediately; a claimed task decrements only **after** its wake-up
+//! pushes are issued ([`MultiQueue::entry_done`]). `pending == 0` is
+//! therefore exact quiescence — no entry exists and none can appear —
+//! and each worker detects it locally, with no barrier and no global
+//! sweep over node states.
+
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Stripes per worker (the MultiQueue paper's `c`).
+const STRIPES_PER_WORKER: usize = 4;
+
+/// A heap entry: priority bits first so the derived ordering is
+/// by-priority with node id as the tiebreak.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Entry {
+    prio: u32,
+    node: u32,
+}
+
+/// One lock stripe, padded to a cache line so neighboring stripe locks
+/// never false-share.
+#[repr(align(64))]
+struct Stripe {
+    heap: Mutex<BinaryHeap<Entry>>,
+    /// Priority bits of the heap's current top (`0` when empty),
+    /// mirrored on every push/pop so two-choice sampling never locks.
+    top: AtomicU32,
+}
+
+impl Stripe {
+    fn new() -> Self {
+        Stripe {
+            heap: Mutex::new(BinaryHeap::new()),
+            top: AtomicU32::new(0),
+        }
+    }
+}
+
+/// A minimal worker-local xorshift64 generator for stripe sampling.
+///
+/// Scheduling randomness only needs decorrelated draws, not statistical
+/// quality; keeping it inline makes a one-worker run fully deterministic.
+#[derive(Clone, Debug)]
+pub struct StripeRng(u64);
+
+impl StripeRng {
+    /// A generator seeded for worker `worker` (distinct workers draw
+    /// decorrelated stripe sequences).
+    pub fn new(worker: usize) -> Self {
+        // Distinct odd seeds per worker; xorshift never leaves state 0.
+        StripeRng((worker as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    #[inline]
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    #[inline]
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next() % bound as u64) as usize
+    }
+}
+
+/// The relaxed concurrent priority queue over per-node residuals.
+///
+/// See the [module docs](crate::sched) for the queue's design and how
+/// the engine drives it.
+pub struct MultiQueue {
+    stripes: Vec<Stripe>,
+    /// Current enqueued residual bits per node; `0` = inactive.
+    prio: Vec<AtomicU32>,
+    /// Nodes the scheduler may ever enqueue (unobserved nodes).
+    eligible: Vec<bool>,
+    /// Stripe entries + claimed-but-unfinished tasks.
+    pending: AtomicU64,
+    pops: AtomicU64,
+    stale: AtomicU64,
+    scans: AtomicU64,
+    rank_sum: AtomicU64,
+    rank_samples: AtomicU64,
+}
+
+impl MultiQueue {
+    /// An empty queue over `num_nodes` nodes for `workers` workers
+    /// (`4·workers` stripes); `eligible` marks the nodes wake-ups may
+    /// enqueue.
+    pub fn new(num_nodes: usize, workers: usize, eligible: impl Fn(usize) -> bool) -> Self {
+        let stripes = (0..STRIPES_PER_WORKER * workers.max(1))
+            .map(|_| Stripe::new())
+            .collect();
+        MultiQueue {
+            stripes,
+            prio: (0..num_nodes).map(|_| AtomicU32::new(0)).collect(),
+            eligible: (0..num_nodes).map(eligible).collect(),
+            pending: AtomicU64::new(0),
+            pops: AtomicU64::new(0),
+            stale: AtomicU64::new(0),
+            scans: AtomicU64::new(0),
+            rank_sum: AtomicU64::new(0),
+            rank_samples: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of stripes (`4 × workers`).
+    pub fn stripes(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// Stripe entries plus in-flight claimed tasks. `0` means quiescent:
+    /// nothing queued and nothing that could still push.
+    #[inline]
+    pub fn pending(&self) -> u64 {
+        self.pending.load(Ordering::SeqCst)
+    }
+
+    /// Entries popped (valid and stale alike).
+    pub fn pops(&self) -> u64 {
+        self.pops.load(Ordering::Relaxed)
+    }
+
+    /// Popped entries skipped because their priority was stale.
+    pub fn stale_skips(&self) -> u64 {
+        self.stale.load(Ordering::Relaxed)
+    }
+
+    /// Full-stripe fallback scans after both sampled stripes looked empty
+    /// (the "steal" path that keeps workers fed near the drain).
+    pub fn fallback_scans(&self) -> u64 {
+        self.scans.load(Ordering::Relaxed)
+    }
+
+    /// Mean sampled rank distance of popped entries from the true max
+    /// stripe top (see [`MultiQueue::record_rank_sample`]); `0.0` before
+    /// any sample.
+    pub fn mean_rank_distance(&self) -> f64 {
+        let n = self.rank_samples.load(Ordering::Relaxed);
+        if n == 0 {
+            0.0
+        } else {
+            self.rank_sum.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+
+    /// Sampled rank observations recorded so far.
+    pub fn rank_samples(&self) -> u64 {
+        self.rank_samples.load(Ordering::Relaxed)
+    }
+
+    /// Node `v`'s current enqueued residual (0.0 when inactive).
+    pub fn residual(&self, v: u32) -> f32 {
+        f32::from_bits(self.prio[v as usize].load(Ordering::Relaxed))
+    }
+
+    /// Raises node `v`'s residual to at least `prio` and pushes a fresh
+    /// entry when that raised it (older entries go stale — see the module
+    /// docs). Returns the amount the residual grew (`0.0` when `v` is
+    /// ineligible or already queued at `>= prio`) — the caller's
+    /// residual-mass delta.
+    pub fn activate(&self, v: u32, prio: f32, rng: &mut StripeRng) -> f32 {
+        if !self.eligible[v as usize] {
+            return 0.0;
+        }
+        // Bit pattern 0 is the inactive sentinel; clamp so an enqueued
+        // node is always distinguishable from an inactive one.
+        let bits = prio.to_bits().max(1);
+        let slot = &self.prio[v as usize];
+        let mut cur = slot.load(Ordering::Relaxed);
+        loop {
+            if bits <= cur {
+                return 0.0;
+            }
+            match slot.compare_exchange_weak(cur, bits, Ordering::AcqRel, Ordering::Relaxed) {
+                Ok(_) => break,
+                Err(now) => cur = now,
+            }
+        }
+        let growth = f32::from_bits(bits) - f32::from_bits(cur);
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        let idx = rng.below(self.stripes.len());
+        let stripe = &self.stripes[idx];
+        let mut heap = stripe.heap.lock().expect("stripe lock poisoned");
+        heap.push(Entry {
+            prio: bits,
+            node: v,
+        });
+        let top = heap.peek().map_or(0, |e| e.prio);
+        stripe.top.store(top, Ordering::Release);
+        growth
+    }
+
+    /// Two-choice relaxed pop: sample two random stripe tops, pop the
+    /// higher. Falls back to one full top scan when both samples look
+    /// empty. `None` means every stripe looked empty — check
+    /// [`MultiQueue::pending`] before concluding the run is over.
+    pub fn pop(&self, rng: &mut StripeRng) -> Option<(u32, f32)> {
+        let m = self.stripes.len();
+        // Two attempts absorb the benign race where a sampled stripe
+        // drains between the top read and the lock.
+        for _ in 0..2 {
+            let a = rng.below(m);
+            let b = rng.below(m);
+            let ta = self.stripes[a].top.load(Ordering::Acquire);
+            let tb = self.stripes[b].top.load(Ordering::Acquire);
+            let (mut idx, best) = if ta >= tb { (a, ta) } else { (b, tb) };
+            if best == 0 {
+                // Both samples empty: scan every top once (the steal
+                // path); without it the drain tail would spin on luck.
+                self.scans.fetch_add(1, Ordering::Relaxed);
+                let mut found = None;
+                for (i, s) in self.stripes.iter().enumerate() {
+                    let t = s.top.load(Ordering::Acquire);
+                    if t > 0 && found.is_none_or(|(_, ft)| t > ft) {
+                        found = Some((i, t));
+                    }
+                }
+                match found {
+                    Some((i, _)) => idx = i,
+                    None => return None,
+                }
+            }
+            let stripe = &self.stripes[idx];
+            let mut heap = stripe.heap.lock().expect("stripe lock poisoned");
+            if let Some(e) = heap.pop() {
+                let top = heap.peek().map_or(0, |t| t.prio);
+                stripe.top.store(top, Ordering::Release);
+                drop(heap);
+                self.pops.fetch_add(1, Ordering::Relaxed);
+                return Some((e.node, f32::from_bits(e.prio)));
+            }
+        }
+        None
+    }
+
+    /// Claims a popped task, consuming node `v`'s **current** residual
+    /// (which may exceed the popped entry's priority after in-place
+    /// raises). `None` means the entry was stale — its node was already
+    /// absorbed or claimed through an orphaned entry — and the pending
+    /// count is released here; the caller must skip the task.
+    pub fn claim(&self, v: u32) -> Option<f32> {
+        let old = self.prio[v as usize].swap(0, Ordering::AcqRel);
+        if old == 0 {
+            self.stale.fetch_add(1, Ordering::Relaxed);
+            self.pending.fetch_sub(1, Ordering::SeqCst);
+            return None;
+        }
+        Some(f32::from_bits(old))
+    }
+
+    /// Unconditionally consumes node `v`'s current residual (a splash
+    /// absorbing a member node whose entry will later pop as stale).
+    /// Returns the consumed residual.
+    pub fn absorb(&self, v: u32) -> f32 {
+        f32::from_bits(self.prio[v as usize].swap(0, Ordering::AcqRel))
+    }
+
+    /// Releases a claimed task's pending slot. Call only **after** the
+    /// task's wake-up [`MultiQueue::activate`]s were issued, so `pending`
+    /// can never read `0` while work still exists.
+    #[inline]
+    pub fn entry_done(&self) {
+        self.pending.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Records one relaxation-quality sample for a popped priority: its
+    /// rank distance, i.e. how many stripe tops currently hold a strictly
+    /// higher priority (0 = it was the true max of the tops).
+    pub fn record_rank_sample(&self, prio: f32) -> u64 {
+        let bits = prio.to_bits().max(1);
+        let rank = self
+            .stripes
+            .iter()
+            .filter(|s| s.top.load(Ordering::Relaxed) > bits)
+            .count() as u64;
+        self.rank_sum.fetch_add(rank, Ordering::Relaxed);
+        self.rank_samples.fetch_add(1, Ordering::Relaxed);
+        rank
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> StripeRng {
+        StripeRng::new(0)
+    }
+
+    #[test]
+    fn activate_then_pop_roundtrips() {
+        let q = MultiQueue::new(8, 1, |_| true);
+        let mut r = rng();
+        assert!(q.activate(3, 0.5, &mut r) > 0.0);
+        assert_eq!(q.pending(), 1);
+        let (node, prio) = q.pop(&mut r).expect("entry present");
+        assert_eq!(node, 3);
+        assert_eq!(prio, 0.5);
+        assert_eq!(q.claim(node), Some(0.5));
+        q.entry_done();
+        assert_eq!(q.pending(), 0);
+    }
+
+    #[test]
+    fn pop_prefers_higher_priority() {
+        // With one worker there are 4 stripes; pushing many entries and
+        // popping them all must drain in a roughly descending order, and
+        // the first pop must be one of the larger priorities thanks to
+        // two-choice sampling. Exact order is relaxed by design, so only
+        // drain completeness is asserted strictly.
+        let q = MultiQueue::new(64, 1, |_| true);
+        let mut r = rng();
+        for v in 0..64u32 {
+            assert!(q.activate(v, (v + 1) as f32 / 64.0, &mut r) > 0.0);
+        }
+        let mut seen = Vec::new();
+        while let Some((v, _)) = q.pop(&mut r) {
+            assert!(q.claim(v).is_some());
+            q.entry_done();
+            seen.push(v);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..64u32).collect::<Vec<_>>());
+        assert_eq!(q.pending(), 0);
+    }
+
+    #[test]
+    fn raise_pushes_a_fresh_entry_and_supersedes_the_old() {
+        let q = MultiQueue::new(4, 1, |_| true);
+        let mut r = rng();
+        assert_eq!(q.activate(2, 0.1, &mut r), 0.1);
+        let growth = q.activate(2, 0.9, &mut r);
+        assert!((growth - 0.8).abs() < 1e-6);
+        assert_eq!(q.pending(), 2, "the raise enqueued a second entry");
+        let mut claimed = 0;
+        let mut stale = 0;
+        while let Some((v, _)) = q.pop(&mut r) {
+            assert_eq!(v, 2);
+            match q.claim(v) {
+                Some(got) => {
+                    assert_eq!(
+                        got, 0.9,
+                        "whichever entry pops first claims the full residual"
+                    );
+                    claimed += 1;
+                    q.entry_done();
+                }
+                None => stale += 1,
+            }
+        }
+        assert_eq!((claimed, stale), (1, 1));
+        assert_eq!(q.pending(), 0);
+        assert_eq!(q.stale_skips(), 1);
+    }
+
+    #[test]
+    fn lower_activation_does_not_downgrade() {
+        let q = MultiQueue::new(4, 1, |_| true);
+        let mut r = rng();
+        assert!(q.activate(1, 0.8, &mut r) > 0.0);
+        assert_eq!(q.activate(1, 0.3, &mut r), 0.0, "monotone max only");
+        assert_eq!(q.pending(), 1);
+        assert_eq!(q.residual(1), 0.8);
+    }
+
+    #[test]
+    fn ineligible_nodes_are_never_enqueued() {
+        let q = MultiQueue::new(4, 2, |v| v != 3);
+        let mut r = rng();
+        assert_eq!(q.activate(3, 1.0, &mut r), 0.0);
+        assert_eq!(q.pending(), 0);
+        assert!(q.pop(&mut r).is_none());
+    }
+
+    #[test]
+    fn absorb_consumes_residual() {
+        let q = MultiQueue::new(4, 1, |_| true);
+        let mut r = rng();
+        q.activate(0, 0.7, &mut r);
+        assert_eq!(q.absorb(0), 0.7);
+        assert_eq!(q.residual(0), 0.0);
+        // The orphaned entry pops as stale and releases its pending slot.
+        let (v, _) = q.pop(&mut r).unwrap();
+        assert_eq!(q.claim(v), None);
+        assert_eq!(q.pending(), 0);
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_drain_exactly() {
+        let workers = 4;
+        let q = MultiQueue::new(10_000, workers, |_| true);
+        std::thread::scope(|s| {
+            for w in 0..workers {
+                let q = &q;
+                s.spawn(move || {
+                    let mut r = StripeRng::new(w);
+                    for i in 0..2_500u32 {
+                        let v = w as u32 * 2_500 + i;
+                        q.activate(v, (v % 97 + 1) as f32, &mut r);
+                    }
+                    // Consume until globally quiescent.
+                    loop {
+                        match q.pop(&mut r) {
+                            Some((v, _)) => {
+                                if q.claim(v).is_some() {
+                                    q.entry_done();
+                                }
+                            }
+                            None => {
+                                if q.pending() == 0 {
+                                    break;
+                                }
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(q.pending(), 0);
+        assert_eq!(q.pops(), 10_000);
+    }
+
+    #[test]
+    fn rank_samples_accumulate() {
+        let q = MultiQueue::new(16, 1, |_| true);
+        let mut r = rng();
+        for v in 0..16u32 {
+            q.activate(v, (v + 1) as f32, &mut r);
+        }
+        let rank = q.record_rank_sample(1.0);
+        assert!(rank <= q.stripes() as u64);
+        assert_eq!(q.rank_samples(), 1);
+        assert!(q.mean_rank_distance() >= 0.0);
+    }
+}

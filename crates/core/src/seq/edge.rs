@@ -40,6 +40,7 @@ impl BpEngine for SeqEdgeEngine {
         opts: &BpOptions,
         trace: &Dispatch,
     ) -> Result<BpStats, EngineError> {
+        let opts = &opts.normalized();
         let start = Instant::now();
         let run_span = trace.span("run", &[("engine", self.name().into())]);
         let n = graph.num_nodes();

@@ -49,6 +49,7 @@ impl BpEngine for SeqNodeEngine {
         opts: &BpOptions,
         trace: &Dispatch,
     ) -> Result<BpStats, EngineError> {
+        let opts = &opts.normalized();
         if opts.exec_plan {
             // One inline worker: the same code path as the parallel plan,
             // which is what makes Seq/Par bit-equality structural.

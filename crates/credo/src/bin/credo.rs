@@ -23,7 +23,7 @@ use std::sync::Arc;
 
 use credo::engines::{
     CudaEdgeEngine, CudaNodeEngine, OpenAccEngine, OpenMpEdgeEngine, OpenMpNodeEngine,
-    ParEdgeEngine, ParNodeEngine, SeqEdgeEngine, SeqNodeEngine,
+    ParEdgeEngine, ParNodeEngine, RelaxedNodeEngine, SeqEdgeEngine, SeqNodeEngine,
 };
 use credo::graph::generators::{synthetic, GenOptions};
 use credo::graph::BeliefGraph;
@@ -47,7 +47,7 @@ ARGS:
 
 PROF OPTIONS:
     --cpu <engine>     CPU engine: seq-node, seq-edge, par-node (default),
-                       par-edge, openmp-node, openmp-edge
+                       par-edge, openmp-node, openmp-edge, relaxed-node
     --gpu <engine>     simulated GPU engine: cuda-node (default), cuda-edge,
                        openacc, none
     --stream           stream the MTX pair into shards and run the sharded
@@ -58,6 +58,10 @@ PROF OPTIONS:
     --out <dir>        output directory (default: target/prof)
     --threads <n>      worker threads for the parallel CPU engines (0 = all)
     --queue            enable the work-queue scheduler
+    --splash <n>       with relaxed-node: update a bounded-BFS neighborhood
+                       of up to n nodes per pop (0 = off, the default)
+    --decay <rho>      with relaxed-node: weighted-decay residual
+                       priorities, factor rho in (0, 1] (1 = off)
     --seed <n>         seed for synthetic graphs (default: 42)
     --max-iters <n>    iteration cap (default: engine default)
     --quiet            suppress progress output
@@ -142,6 +146,8 @@ struct ProfArgs {
     queue: bool,
     seed: u64,
     max_iters: Option<u32>,
+    splash: u32,
+    decay: f32,
     quiet: bool,
 }
 
@@ -159,6 +165,8 @@ fn parse_prof_args(args: &[String]) -> Result<ProfArgs, String> {
         queue: false,
         seed: 42,
         max_iters: None,
+        splash: 0,
+        decay: 1.0,
         quiet: false,
     };
     let mut it = args.iter();
@@ -188,6 +196,19 @@ fn parse_prof_args(args: &[String]) -> Result<ProfArgs, String> {
             }
             "--spill" => parsed.spill = true,
             "--queue" => parsed.queue = true,
+            "--splash" => {
+                parsed.splash = value("--splash")?
+                    .parse()
+                    .map_err(|e| format!("--splash: {e}"))?;
+            }
+            "--decay" => {
+                parsed.decay = value("--decay")?
+                    .parse()
+                    .map_err(|e| format!("--decay: {e}"))?;
+                if !(parsed.decay > 0.0 && parsed.decay <= 1.0) {
+                    return Err("--decay must be in (0, 1]".into());
+                }
+            }
             "--seed" => {
                 parsed.seed = value("--seed")?
                     .parse()
@@ -259,6 +280,7 @@ fn engine_by_name(name: &str, device: &Device) -> Result<Option<Box<dyn BpEngine
         "seq-node" => Box::new(SeqNodeEngine),
         "seq-edge" => Box::new(SeqEdgeEngine),
         "par-node" => Box::new(ParNodeEngine),
+        "relaxed-node" => Box::new(RelaxedNodeEngine),
         "par-edge" => Box::new(ParEdgeEngine),
         "openmp-node" => Box::new(OpenMpNodeEngine),
         "openmp-edge" => Box::new(OpenMpEdgeEngine),
@@ -389,8 +411,12 @@ fn prof(args: &[String]) -> Result<(), String> {
     let mut opts = BpOptions {
         threads: args.threads,
         work_queue: args.queue,
+        splash: args.splash,
         ..BpOptions::default()
     };
+    if args.decay < 1.0 {
+        opts = opts.with_decay(args.decay);
+    }
     if let Some(cap) = args.max_iters {
         opts.max_iterations = cap;
     }

@@ -48,6 +48,7 @@ pub use credo_serve as serve;
 pub mod engines {
     pub use credo_core::openmp::{OpenMpEdgeEngine, OpenMpNodeEngine};
     pub use credo_core::par::{ParEdgeEngine, ParNodeEngine};
+    pub use credo_core::sched::RelaxedNodeEngine;
     pub use credo_core::seq::{NaiveTreeEngine, SeqEdgeEngine, SeqNodeEngine, TreeEngine};
     pub use credo_core::ShardedEngine;
     pub use credo_cuda::{CudaEdgeEngine, CudaNodeEngine, OpenAccEngine};
@@ -108,6 +109,7 @@ impl Credo {
             Implementation::ParEdge => Box::new(credo_core::par::ParEdgeEngine),
             Implementation::ParNode => Box::new(credo_core::par::ParNodeEngine),
             Implementation::StreamNode => Box::new(credo_core::ShardedEngine::default()),
+            Implementation::RelaxedNode => Box::new(credo_core::sched::RelaxedNodeEngine),
         }
     }
 

@@ -24,6 +24,9 @@ pub enum Implementation {
     /// shard-by-shard over a [`credo_graph::ShardedExec`], beyond the
     /// paper.
     StreamNode,
+    /// Barrier-free relaxed-priority per-node ("Relaxed Node"): the
+    /// MultiQueue scheduler of `credo_core::sched`, beyond the paper.
+    RelaxedNode,
 }
 
 /// The paper's four implementations, in label order (the classifier's
@@ -39,8 +42,11 @@ pub const ALL_IMPLEMENTATIONS: [Implementation; 4] = [
 
 /// The native parallel implementations (the optimization track beyond the
 /// paper).
-pub const PAR_IMPLEMENTATIONS: [Implementation; 2] =
-    [Implementation::ParEdge, Implementation::ParNode];
+pub const PAR_IMPLEMENTATIONS: [Implementation; 3] = [
+    Implementation::ParEdge,
+    Implementation::ParNode,
+    Implementation::RelaxedNode,
+];
 
 impl Implementation {
     /// Class id used when training the classifier.
@@ -72,7 +78,10 @@ impl Implementation {
     pub fn is_par(self) -> bool {
         matches!(
             self,
-            Implementation::ParEdge | Implementation::ParNode | Implementation::StreamNode
+            Implementation::ParEdge
+                | Implementation::ParNode
+                | Implementation::StreamNode
+                | Implementation::RelaxedNode
         )
     }
 }
@@ -87,6 +96,7 @@ impl std::fmt::Display for Implementation {
             Implementation::ParEdge => "Par Edge",
             Implementation::ParNode => "Par Node",
             Implementation::StreamNode => "Stream Node",
+            Implementation::RelaxedNode => "Relaxed Node",
         })
     }
 }
@@ -177,6 +187,11 @@ impl Selector {
                 }
                 match Selector::Rule.select(meta) {
                     Implementation::CEdge => Implementation::ParEdge,
+                    // Hub-dominated middle ground (max in-degree more than
+                    // 8x the average): barriered sweeps stall on the hub
+                    // tiles while most nodes are already converged, so the
+                    // relaxed scheduler's prioritized updates win there.
+                    Implementation::CNode if meta.skew() < 0.125 => Implementation::RelaxedNode,
                     Implementation::CNode => Implementation::ParNode,
                     other => other,
                 }
@@ -324,6 +339,34 @@ mod tests {
         assert_eq!(
             Selector::rule_based().select(&meta),
             Implementation::CudaNode
+        );
+    }
+
+    #[test]
+    fn native_rule_picks_relaxed_for_hub_dominated_middle_ground() {
+        // Metadata literal: mid-size, sparse enough for the CPU pick, with
+        // a hub 100x the average in-degree.
+        let hub = GraphMetadata {
+            num_nodes: 20_000,
+            num_edges: 40_000,
+            num_arcs: 80_000,
+            num_beliefs: 2,
+            max_in_degree: 400,
+            max_out_degree: 400,
+            avg_in_degree: 4.0,
+            avg_out_degree: 4.0,
+        };
+        assert!(hub.skew() < 0.125);
+        assert_eq!(
+            Selector::native_rule().select(&hub),
+            Implementation::RelaxedNode
+        );
+        // A real heavy-tailed generator lands there too.
+        let pa = credo_graph::generators::preferential_attachment(5_000, 4, &GenOptions::new(2))
+            .metadata();
+        assert_eq!(
+            Selector::native_rule().select(&pa),
+            Implementation::RelaxedNode
         );
     }
 

@@ -20,7 +20,10 @@ fn measure_best(g: &BeliefGraph, opts: &BpOptions) -> (FeatureVector, Implementa
             Implementation::CudaNode => Box::new(CudaNodeEngine::new(Device::new(PASCAL_GTX1070))),
             // ALL_IMPLEMENTATIONS is the classifier's four-label table; the
             // native parallel and streaming engines never appear in it.
-            Implementation::ParEdge | Implementation::ParNode | Implementation::StreamNode => {
+            Implementation::ParEdge
+            | Implementation::ParNode
+            | Implementation::StreamNode
+            | Implementation::RelaxedNode => {
                 unreachable!()
             }
         };
