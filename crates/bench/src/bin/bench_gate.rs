@@ -8,7 +8,11 @@
 //! the barriered plan) plus their geomeans — deliberately not absolute
 //! wall clocks, so the gate survives moving between runner machines of
 //! different speed. The artifact kind is inferred from the row fields:
-//! rows carrying `speedup_vs_barriered` gate the scheduling sweep, where
+//! rows carrying `load_speedup` gate the plan-store artifact
+//! (`BENCH_store.json`, mmap-load vs recompile/relower/cold-restart
+//! ratios, blessed with a wide tolerance because the store path's tiny
+//! denominators are noisy); rows carrying `speedup_vs_barriered` gate
+//! the scheduling sweep, where
 //! the headline ratios are **update efficiencies** (barriered node
 //! updates / variant node updates) — convergence work is immune to
 //! machine noise, unlike oversubscribed wall clocks — alongside a
@@ -142,6 +146,33 @@ fn extract_sched_ratios(rows: &[Value]) -> Result<Vec<(String, f64)>, String> {
     Ok(ratios)
 }
 
+/// Extracts the gated ratios from a `BENCH_store.json` row array: each
+/// row's cold-vs-store `load_speedup` (compile/lower/first-request paid
+/// cold over the store-assisted path) plus their geomean. All relative,
+/// so the gate survives runner-speed changes; tolerance is blessed wide
+/// because tiny mmap denominators are noisy.
+fn extract_store_ratios(rows: &[Value]) -> Result<Vec<(String, f64)>, String> {
+    let mut ratios = Vec::new();
+    let mut all = Vec::new();
+    for row in rows {
+        let mode = row
+            .get("mode")
+            .and_then(Value::as_str)
+            .ok_or("store row without a 'mode' field")?;
+        let s = row
+            .get("load_speedup")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("store row '{mode}' without a 'load_speedup' field"))?;
+        ratios.push((format!("store/{mode}/load_speedup"), s));
+        all.push(s);
+    }
+    if all.is_empty() {
+        return Err("no rows carry load_speedup — wrong or truncated artifact?".into());
+    }
+    ratios.push(("geomean/store_load_speedup".into(), geomean(&all)));
+    Ok(ratios)
+}
+
 fn load_fresh(path: &str) -> Result<Vec<(String, f64)>, String> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read fresh artifact {path}: {e}"))?;
@@ -152,6 +183,8 @@ fn load_fresh(path: &str) -> Result<Vec<(String, f64)>, String> {
         .ok_or_else(|| format!("{path} is not a JSON array of rows"))?;
     if rows.iter().any(|r| r.get("speedup_vs_barriered").is_some()) {
         extract_sched_ratios(rows)
+    } else if rows.iter().any(|r| r.get("load_speedup").is_some()) {
+        extract_store_ratios(rows)
     } else {
         extract_ratios(rows)
     }

@@ -1,0 +1,452 @@
+//! Beyond the paper — what the content-addressed plan store buys a
+//! restart.
+//!
+//! Three cold-vs-store comparisons on the streamed synthetic graph
+//! (1M×4M at `--scale full`):
+//!
+//! * **resident**: `ExecGraph::compile` from the in-memory graph vs
+//!   mmap-loading the stored plan ([`credo_store::PlanStore::load_plan`]).
+//! * **sharded**: the two-pass MTX lowering (`credo_stream::lower_files`,
+//!   i.e. what a cold serve restart pays to rebuild its shards) vs
+//!   mmap-loading the stored shard set.
+//! * **first-request**: a cold process converging on the full evidence
+//!   from priors vs a restarted process (this binary re-exec'd with
+//!   `--resume-child`, so the measurement sees a genuinely fresh
+//!   allocator and page tables) that mmaps the plan, restores the latest
+//!   warm snapshot and answers a one-node evidence change.
+//!
+//! Every row carries `load_speedup = cold_seconds / store_seconds`, the
+//! ratio `bench_gate` gates against `ci/baselines/store.json`. The run
+//! itself is a guard: loaded-plan posteriors must be **bitwise equal** to
+//! fresh-compiled ones, the resumed first response must agree with the
+//! cold one to the run's stopping residual (1e-4 floor), and at
+//! `--scale full` the sharded mmap-load must be ≥10× faster than
+//! re-lowering with a first response under 1s.
+
+use credo::BpOptions;
+use credo_bench::report::{fmt_secs, save_bench_json, save_json, Table};
+use credo_bench::suite::Scale;
+use credo_bench::{flag_value, scale_from_args};
+use credo_core::{run_sharded, Dispatch, EvidenceDelta, WarmPolicy, WarmState};
+use credo_graph::generators::{synthetic, GenOptions, PotentialKind};
+use credo_graph::ExecGraph;
+use credo_store::{structural_hash, PlanStore, SourceKey};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct Row {
+    graph: String,
+    /// Which cold-vs-store pair this row measures.
+    mode: String,
+    nodes: usize,
+    edges: usize,
+    shards: usize,
+    /// Stored plan footprint on disk.
+    plan_bytes: u64,
+    /// The path a storeless restart pays.
+    cold_seconds: f64,
+    /// The same outcome through the store.
+    store_seconds: f64,
+    /// cold / store; higher is better.
+    load_speedup: f64,
+    /// L∞ posterior distance between the two paths (0 when bitwise).
+    max_abs_diff: f64,
+}
+
+fn linf(a: &[f32], b: &[f32]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs() as f64)
+        .fold(0.0, f64::max)
+}
+
+/// The restarted server: open the store, mmap the plan, restore the
+/// latest snapshot and answer one changed observation warm. Prints a
+/// machine-readable `resume:` line with the store-path wall time and
+/// dumps the posteriors (little-endian f32) for the parent's agreement
+/// check.
+fn resume_child(args: &[String]) {
+    let [store_dir, name, seed, flip, threads, threshold, max_iters, out_path] = args else {
+        panic!("--resume-child expects 8 positional arguments");
+    };
+    let seed: u64 = seed.parse().expect("seed");
+    let threads: usize = threads.parse().expect("threads");
+    let (fv, fs) = flip.split_once(':').expect("flip as node:state");
+    let flip: (u32, u32) = (
+        fv.parse().expect("flip node"),
+        fs.parse().expect("flip state"),
+    );
+    let opts = BpOptions {
+        threshold: threshold.parse().expect("threshold"),
+        queue_threshold: threshold.parse().expect("threshold"),
+        max_iterations: max_iters.parse().expect("max iterations"),
+        ..BpOptions::default()
+    };
+    let policy = WarmPolicy::default();
+    let trace = Dispatch::none();
+
+    let t0 = Instant::now();
+    let store = PlanStore::open(store_dir).expect("open store");
+    let key = SourceKey::from_spec(name, seed);
+    let (plan, m) = store
+        .load_plan(&key)
+        .expect("load plan")
+        .expect("plan stored");
+    let t_load = t0.elapsed();
+    let mut resumed = WarmState::from_plan(plan, threads);
+    let root = m.root_hash().expect("manifest root");
+    let snap = store
+        .load_warm_latest(root)
+        .expect("load snapshot")
+        .expect("snapshot stored");
+    resumed.restore(&snap).expect("restore snapshot");
+    let t_ready = t0.elapsed();
+    let run = resumed
+        .run_from(
+            "store",
+            &EvidenceDelta::observing(&[flip]),
+            &opts,
+            &policy,
+            &trace,
+        )
+        .expect("warm first request");
+    let total = t0.elapsed();
+    eprintln!(
+        "first-request store path: mmap-load {t_load:?}, state restored {t_ready:?}, \
+         answered {total:?} ({} warm iterations, frontier {})",
+        run.stats.iterations, run.frontier
+    );
+    println!(
+        "resume: seconds={} warm={} iterations={} frontier={}",
+        total.as_secs_f64(),
+        run.warm,
+        run.stats.iterations,
+        run.frontier
+    );
+    let bytes: Vec<u8> = resumed
+        .beliefs()
+        .iter()
+        .flat_map(|v| v.to_le_bytes())
+        .collect();
+    std::fs::write(out_path, bytes).expect("write resumed beliefs");
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    if argv.get(1).map(String::as_str) == Some("--resume-child") {
+        resume_child(&argv[2..]);
+        return;
+    }
+    let scale = scale_from_args();
+    let (nodes, edges, shards) = match scale {
+        Scale::Quick => (50_000, 200_000, 4),
+        Scale::Default => (250_000, 1_000_000, 8),
+        Scale::Full => (1_000_000, 4_000_000, 8),
+    };
+    let threads: usize = flag_value("--threads")
+        .map(|v| v.parse().expect("--threads takes an integer"))
+        .unwrap_or(1);
+    let seed: u64 = flag_value("--seed")
+        .map(|v| v.parse().expect("--seed takes an integer"))
+        .unwrap_or(42);
+    // The warm path only engages from a *converged* snapshot, and the
+    // global max-residual criterion gets harder with node count: the max
+    // over 4M messages plateaus above 1e-4 on the 1M-node graph (measured:
+    // still unconverged after 1000 iterations), which would leave the
+    // snapshot cold-only. Full scale therefore runs at the paper's own
+    // 1e-3 stopping residual — the regime `credo-serve` actually operates
+    // in — with a raised iteration cap as insurance, and the cold-vs-warm
+    // agreement guard below scales with the stopping residual.
+    let mut opts = credo_bench::apply_max_iters(BpOptions {
+        threshold: 1e-5,
+        queue_threshold: 1e-5,
+        ..BpOptions::default()
+    });
+    if matches!(scale, Scale::Full) {
+        opts.threshold = 1e-3;
+        opts.queue_threshold = 1e-3;
+        if flag_value("--max-iters").is_none() {
+            opts.max_iterations = opts.max_iterations.max(1000);
+        }
+    }
+    let agree_tol = f64::max(1e-4, opts.threshold as f64);
+    // The bitwise load-vs-compile guards compare fixed iteration counts,
+    // not fixed points — identical inputs and schedules give identical
+    // bits whether or not BP has converged, so cap them cheaply.
+    let probe_opts = BpOptions {
+        max_iterations: 40,
+        ..opts
+    };
+    let trace = Dispatch::none();
+    let graph_name = format!("synthetic-{}k", nodes / 1000);
+
+    let dir = std::env::temp_dir().join(format!("credo-exp-store-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    let store = PlanStore::open(dir.join("store")).expect("open store");
+
+    println!("{graph_name}: generating {nodes} nodes / {edges} edges");
+    let g = synthetic(
+        nodes,
+        edges,
+        &GenOptions::new(2)
+            .with_seed(seed)
+            .with_potentials(PotentialKind::SharedRandom),
+    );
+    let nodes_mtx = dir.join("g.nodes.mtx");
+    let edges_mtx = dir.join("g.edges.mtx");
+    credo_io::mtx::write_files(&g, &nodes_mtx, &edges_mtx).expect("write mtx pair");
+    let structural = structural_hash(&g);
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut failed = false;
+
+    // ---- resident: compile vs mmap-load --------------------------------
+    let t0 = Instant::now();
+    let fresh = ExecGraph::compile(&g);
+    let compile_s = t0.elapsed().as_secs_f64();
+    let key = SourceKey::from_spec(&graph_name, seed);
+    let m = store
+        .save_plan(key, &graph_name, structural, &fresh)
+        .expect("save resident plan");
+    let t0 = Instant::now();
+    let (loaded, _) = store
+        .load_plan(&key)
+        .expect("load resident plan")
+        .expect("resident plan stored");
+    let load_s = t0.elapsed().as_secs_f64();
+
+    // Bitwise guard: the mmap'd plan must run to the exact same bits.
+    let run_bits = |plan: ExecGraph| -> Vec<u32> {
+        let mut w = WarmState::from_plan(plan, threads);
+        w.run_cold("Plan Node", &probe_opts, &trace, None);
+        w.beliefs().iter().map(|v| v.to_bits()).collect()
+    };
+    if run_bits(loaded) != run_bits(fresh) {
+        eprintln!("FAIL: mmap-loaded plan posteriors are not bitwise equal to fresh compile");
+        failed = true;
+    }
+    rows.push(Row {
+        graph: graph_name.clone(),
+        mode: "resident".into(),
+        nodes,
+        edges,
+        shards: 1,
+        plan_bytes: m.bytes,
+        cold_seconds: compile_s,
+        store_seconds: load_s,
+        load_speedup: compile_s / load_s,
+        max_abs_diff: 0.0,
+    });
+
+    // ---- sharded: two-pass MTX lowering vs mmap-load -------------------
+    let t0 = Instant::now();
+    let mut lowered = credo_stream::lower_files(&nodes_mtx, &edges_mtx, shards).expect("lower");
+    let lower_s = t0.elapsed().as_secs_f64();
+    let skey = SourceKey::from_files(&[&nodes_mtx, &edges_mtx])
+        .expect("hash mtx pair")
+        .with(&format!("shards={shards}"));
+    let sm = store
+        .save_sharded(skey, &graph_name, structural, &lowered)
+        .expect("save sharded plan");
+    let t0 = Instant::now();
+    let (mut sloaded, _) = store
+        .load_sharded(&skey)
+        .expect("load sharded plan")
+        .expect("sharded plan stored");
+    let sload_s = t0.elapsed().as_secs_f64();
+
+    let (_, fresh_beliefs) = run_sharded(
+        "Stream Node",
+        &mut lowered,
+        &probe_opts,
+        &trace,
+        threads,
+        None,
+    )
+    .expect("run fresh");
+    let (_, loaded_beliefs) = run_sharded(
+        "Stream Node",
+        &mut sloaded,
+        &probe_opts,
+        &trace,
+        threads,
+        None,
+    )
+    .expect("run loaded");
+    let fresh_bits: Vec<u32> = fresh_beliefs.iter().map(|v| v.to_bits()).collect();
+    let loaded_bits: Vec<u32> = loaded_beliefs.iter().map(|v| v.to_bits()).collect();
+    if fresh_bits != loaded_bits {
+        eprintln!("FAIL: mmap-loaded shards' posteriors are not bitwise equal to fresh lowering");
+        failed = true;
+    }
+    rows.push(Row {
+        graph: graph_name.clone(),
+        mode: "sharded".into(),
+        nodes,
+        edges,
+        shards,
+        plan_bytes: sm.bytes,
+        cold_seconds: lower_s,
+        store_seconds: sload_s,
+        load_speedup: lower_s / sload_s,
+        max_abs_diff: 0.0,
+    });
+    drop(lowered);
+    drop(sloaded);
+
+    // ---- first request: cold converge vs snapshot resume ---------------
+    let policy = WarmPolicy::default();
+    let base: Vec<(u32, u32)> = (0..nodes as u32 / 200)
+        .map(|i| (i * 199 % nodes as u32, u32::from(i % 3 == 0)))
+        .collect();
+
+    // Life 1: converge on the base evidence and snapshot to the store.
+    let mut first = WarmState::new(g.clone(), threads);
+    first
+        .run_from(
+            "store",
+            &EvidenceDelta::observing(&base),
+            &opts,
+            &policy,
+            &trace,
+        )
+        .expect("base run");
+    let root = m.root_hash().expect("manifest root");
+    store
+        .save_warm(root, "base", &first.snapshot())
+        .expect("save snapshot");
+    drop(first);
+
+    // Cold restart: rebuild state from priors and answer the changed
+    // evidence in one run.
+    let mut absolute = base.clone();
+    absolute[0] = (base[0].0, 1 - base[0].1);
+    let mut cold_state = WarmState::new(g.clone(), threads);
+    let t0 = Instant::now();
+    cold_state
+        .run_from(
+            "store",
+            &EvidenceDelta::observing(&absolute),
+            &opts,
+            &policy,
+            &trace,
+        )
+        .expect("cold first request");
+    let cold_first_s = t0.elapsed().as_secs_f64();
+
+    // Store restart: a restarted server is a fresh *process*, so rerun
+    // this binary as one — the child mmaps the plan, restores the
+    // snapshot, answers the flipped evidence warm, and reports the
+    // store-path wall time (measured in a process whose allocator and
+    // page tables are as cold as a real restart's, not polluted by the
+    // benchmark stages above).
+    let beliefs_path = dir.join("resumed-beliefs.f32");
+    let child = std::process::Command::new(std::env::current_exe().expect("current exe"))
+        .arg("--resume-child")
+        .arg(store.root())
+        .arg(&graph_name)
+        .arg(seed.to_string())
+        .arg(format!("{}:{}", base[0].0, 1 - base[0].1))
+        .arg(threads.to_string())
+        .arg(format!("{:e}", opts.threshold))
+        .arg(opts.max_iterations.to_string())
+        .arg(&beliefs_path)
+        .output()
+        .expect("spawn resume child");
+    eprint!("{}", String::from_utf8_lossy(&child.stderr));
+    assert!(child.status.success(), "resume child failed");
+    let stdout = String::from_utf8_lossy(&child.stdout);
+    let line = stdout
+        .lines()
+        .find(|l| l.starts_with("resume:"))
+        .expect("resume line from child");
+    let mut warm_first_s = f64::NAN;
+    let mut child_warm = false;
+    for kv in line.trim_start_matches("resume:").split_whitespace() {
+        match kv.split_once('=') {
+            Some(("seconds", v)) => warm_first_s = v.parse().expect("child seconds"),
+            Some(("warm", v)) => child_warm = v == "true",
+            _ => {}
+        }
+    }
+    assert!(warm_first_s.is_finite(), "child reported no timing");
+    let raw = std::fs::read(&beliefs_path).expect("read resumed beliefs");
+    let resumed_beliefs: Vec<f32> = raw
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+
+    let diff = linf(cold_state.beliefs(), &resumed_beliefs);
+    if diff > agree_tol {
+        eprintln!(
+            "FAIL: resumed first response diverges from cold by {diff:.2e} (> {agree_tol:.0e})"
+        );
+        failed = true;
+    }
+    if !child_warm {
+        eprintln!("FAIL: restored snapshot fell back to a cold run");
+        failed = true;
+    }
+    rows.push(Row {
+        graph: graph_name.clone(),
+        mode: "first-request".into(),
+        nodes,
+        edges,
+        shards: 1,
+        plan_bytes: m.bytes,
+        cold_seconds: cold_first_s,
+        store_seconds: warm_first_s,
+        load_speedup: cold_first_s / warm_first_s,
+        max_abs_diff: diff,
+    });
+
+    let mut table = Table::new(&[
+        "mode", "shards", "bytes", "cold", "store", "speedup", "L_inf",
+    ]);
+    for r in &rows {
+        table.row(&[
+            r.mode.clone(),
+            format!("{}", r.shards),
+            format!("{}", r.plan_bytes),
+            fmt_secs(r.cold_seconds),
+            fmt_secs(r.store_seconds),
+            format!("{:.1}x", r.load_speedup),
+            format!("{:.2e}", r.max_abs_diff),
+        ]);
+    }
+    table.print();
+    let json = save_json("store", &rows).expect("write json");
+    let bench = save_bench_json("store", &rows).expect("write bench json");
+    println!("wrote {} and {}", json.display(), bench.display());
+
+    // Acceptance at the paper's scale: a restart mmaps the shard set an
+    // order of magnitude faster than re-lowering, and the first response
+    // of a resumed server lands under a second.
+    if matches!(scale, Scale::Full) {
+        let sharded = &rows[1];
+        if sharded.load_speedup < 10.0 {
+            eprintln!(
+                "FAIL: sharded mmap-load only {:.1}x faster than re-lowering (< 10x)",
+                sharded.load_speedup
+            );
+            failed = true;
+        }
+        if warm_first_s >= 1.0 {
+            eprintln!("FAIL: resumed first response took {warm_first_s:.3}s (>= 1s)");
+            failed = true;
+        }
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "OK: loaded plans bitwise-equal, resumed first response {} ({:.1}x vs cold {})",
+        fmt_secs(warm_first_s),
+        cold_first_s / warm_first_s,
+        fmt_secs(cold_first_s),
+    );
+}

@@ -1,0 +1,5 @@
+/root/repo/crates/compat/murmur3/target/debug/deps/murmur3-4c94019cf5324d5b.d: src/lib.rs
+
+/root/repo/crates/compat/murmur3/target/debug/deps/murmur3-4c94019cf5324d5b: src/lib.rs
+
+src/lib.rs:

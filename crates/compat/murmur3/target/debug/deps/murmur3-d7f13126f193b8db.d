@@ -1,0 +1,7 @@
+/root/repo/crates/compat/murmur3/target/debug/deps/murmur3-d7f13126f193b8db.d: src/lib.rs
+
+/root/repo/crates/compat/murmur3/target/debug/deps/libmurmur3-d7f13126f193b8db.rlib: src/lib.rs
+
+/root/repo/crates/compat/murmur3/target/debug/deps/libmurmur3-d7f13126f193b8db.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/crates/compat/murmur3/target/debug/examples/m3print-9887ebf487395449.d: examples/m3print.rs
+
+/root/repo/crates/compat/murmur3/target/debug/examples/m3print-9887ebf487395449: examples/m3print.rs
+
+examples/m3print.rs:

@@ -1,0 +1,1 @@
+/root/repo/crates/compat/murmur3/target/debug/examples/m3print: /root/repo/crates/compat/murmur3/examples/m3print.rs /root/repo/crates/compat/murmur3/src/lib.rs

@@ -137,7 +137,7 @@ pub trait BpEngine {
     ) -> Result<WarmRun, EngineError> {
         let changed = state.apply(delta)?;
         let frontier = state.frontier_for(&changed).len();
-        let stats = self.run(state.begin_engine_run(), opts)?;
+        let stats = self.run(state.begin_engine_run()?, opts)?;
         state.finish_engine_run(stats.converged);
         Ok(WarmRun {
             stats,

@@ -40,7 +40,7 @@ pub use opts::BpOptions;
 pub use queue::WorkQueue;
 pub use shard::{run_sharded, ShardSource, ShardedEngine};
 pub use stats::{BpStats, IterationStats};
-pub use warm::{EvidenceDelta, WarmPolicy, WarmRun, WarmState};
+pub use warm::{EvidenceDelta, WarmPolicy, WarmRun, WarmSnapshot, WarmState};
 // The telemetry handle engines emit into (`BpEngine::run_traced`);
 // re-exported so downstream crates need no direct `tracing` dependency.
 pub use tracing::Dispatch;

@@ -107,18 +107,41 @@ pub struct WarmRun {
     pub frontier: usize,
 }
 
+/// A serializable snapshot of a [`WarmState`]'s inference progress: the
+/// packed posterior array, the bound evidence overlay, and whether the
+/// last run converged. Restoring it onto a fresh state built from the
+/// same plan resumes serving warm — the store persists these across
+/// `credo serve` restarts.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WarmSnapshot {
+    /// Packed posterior beliefs of the last run.
+    pub packed: Vec<f32>,
+    /// Overlay evidence `(node, state)` pairs, ascending by node.
+    pub overlay: Vec<(u32, u32)>,
+    /// Whether the snapshotted state had converged.
+    pub converged: bool,
+}
+
 /// Reusable inference state for one graph: the compiled plan, a
 /// persistent worker pool, the packed beliefs of the last run, and the
 /// currently bound evidence overlay.
 pub struct WarmState {
-    graph: BeliefGraph,
+    /// The source graph, when this state was built from one.
+    /// Plan-only states (loaded from the blob store) have `None` and
+    /// support every plan-path operation; only the engine-run fallback
+    /// ([`WarmState::begin_engine_run`]) requires the graph.
+    graph: Option<BeliefGraph>,
     plan: ExecGraph,
     pool: WorkerPool,
     packed: Vec<f32>,
-    /// Priors and observed flags as compiled, before any overlay — what
-    /// a cleared node is restored to.
-    base_priors: Vec<Belief>,
-    base_observed: Vec<bool>,
+    /// Pre-overlay bindings (prior and base observed flag), captured
+    /// lazily when an overlay observation first touches a node — what a
+    /// cleared node is restored to. Keeping this per-touched-node rather
+    /// than materializing every node's base up front keeps state
+    /// construction O(1) in graph size: a 132-byte [`Belief`] per node
+    /// is 132 MB of first-touch allocation on a 1M-node graph, which
+    /// dominated restart latency on the plan-store resume path.
+    saved: BTreeMap<u32, (Belief, bool)>,
     /// Overlay evidence currently bound on top of the base graph.
     overlay: BTreeMap<u32, u32>,
     converged: bool,
@@ -132,19 +155,69 @@ impl WarmState {
     pub fn new(graph: BeliefGraph, threads: usize) -> Self {
         let plan = ExecGraph::compile(&graph);
         let packed = plan.priors().to_vec();
-        let base_priors = graph.priors().to_vec();
-        let base_observed = graph.observed().to_vec();
         WarmState {
-            graph,
+            graph: Some(graph),
             plan,
             pool: WorkerPool::new(pool_threads(threads)),
             packed,
-            base_priors,
-            base_observed,
+            saved: BTreeMap::new(),
             overlay: BTreeMap::new(),
             converged: false,
             policy: WarmPolicy::default(),
         }
+    }
+
+    /// Builds warm-start state directly from a compiled plan (typically
+    /// one mmap'd back from the blob store) without a source graph. The
+    /// plan's priors and observed flags are taken as the base evidence
+    /// state, so the plan must not have overlay evidence bound. Every
+    /// plan-path operation works; [`WarmState::begin_engine_run`] (the
+    /// cold fallback for engines without a plan schedule) errors.
+    pub fn from_plan(plan: ExecGraph, threads: usize) -> Self {
+        let packed = plan.priors().to_vec();
+        WarmState {
+            graph: None,
+            plan,
+            pool: WorkerPool::new(pool_threads(threads)),
+            packed,
+            saved: BTreeMap::new(),
+            overlay: BTreeMap::new(),
+            converged: false,
+            policy: WarmPolicy::default(),
+        }
+    }
+
+    /// Captures the resumable inference state: packed posteriors, bound
+    /// overlay evidence and convergence flag.
+    pub fn snapshot(&self) -> WarmSnapshot {
+        WarmSnapshot {
+            packed: self.packed.clone(),
+            overlay: self.overlay.iter().map(|(&v, &s)| (v, s)).collect(),
+            converged: self.converged,
+        }
+    }
+
+    /// Restores a [`WarmSnapshot`] taken from a state built over the same
+    /// plan. Must be called on a fresh state (no overlay bound, no runs);
+    /// validates the snapshot against the plan and rejects mismatches
+    /// with [`EngineError::InvalidGraph`] without applying anything.
+    pub fn restore(&mut self, snap: &WarmSnapshot) -> Result<(), EngineError> {
+        if !self.overlay.is_empty() {
+            return Err(EngineError::InvalidGraph(
+                "warm snapshot restore requires a fresh state".into(),
+            ));
+        }
+        if snap.packed.len() != self.plan.packed_len() {
+            return Err(EngineError::InvalidGraph(format!(
+                "warm snapshot holds {} packed floats, plan expects {}",
+                snap.packed.len(),
+                self.plan.packed_len()
+            )));
+        }
+        self.apply(&EvidenceDelta::observing(&snap.overlay))?;
+        self.packed.copy_from_slice(&snap.packed);
+        self.converged = snap.converged;
+        Ok(())
     }
 
     /// The policy [`crate::BpEngine::run_from`] consults.
@@ -167,10 +240,12 @@ impl WarmState {
         &self.plan
     }
 
-    /// The source graph with the current evidence overlay applied. Its
-    /// belief records are only refreshed by [`WarmState::sync_graph`].
-    pub fn graph(&self) -> &BeliefGraph {
-        &self.graph
+    /// The source graph with the current evidence overlay applied, when
+    /// this state was built from one (`None` for plan-only states loaded
+    /// from the store). Its belief records are only refreshed by
+    /// [`WarmState::sync_graph`].
+    pub fn graph(&self) -> Option<&BeliefGraph> {
+        self.graph.as_ref()
     }
 
     /// The packed posterior array of the last run (priors before any run).
@@ -199,9 +274,12 @@ impl WarmState {
     }
 
     /// Writes the packed posteriors back into the graph's AoS belief
-    /// records (so [`WarmState::graph`] reflects the last run).
+    /// records (so [`WarmState::graph`] reflects the last run). No-op for
+    /// plan-only states.
     pub fn sync_graph(&mut self) {
-        self.plan.store_beliefs(&self.packed, &mut self.graph);
+        if let Some(g) = self.graph.as_mut() {
+            self.plan.store_beliefs(&self.packed, g);
+        }
     }
 
     /// Applies an evidence delta to the graph, the compiled plan and the
@@ -238,8 +316,22 @@ impl WarmState {
             if self.overlay.get(&v) == Some(&s) {
                 continue;
             }
+            if !self.overlay.contains_key(&v) {
+                // First overlay touch: capture the node's base binding
+                // before the observation clobbers it.
+                let base = match self.graph.as_ref() {
+                    Some(g) => (g.priors()[v as usize], g.observed()[v as usize]),
+                    None => (
+                        Belief::from_slice(self.plan.node_slice(self.plan.priors(), v)),
+                        self.plan.observed()[v as usize],
+                    ),
+                };
+                self.saved.insert(v, base);
+            }
             self.overlay.insert(v, s);
-            self.graph.observe(v, s as usize);
+            if let Some(g) = self.graph.as_mut() {
+                g.observe(v, s as usize);
+            }
             self.plan.bind_observed(v, s as usize);
             let off = self.plan.node_off(v);
             let c = self.plan.card(v);
@@ -250,14 +342,21 @@ impl WarmState {
             if self.overlay.remove(&v).is_none() {
                 continue;
             }
-            let base = self.base_priors[v as usize];
-            if self.base_observed[v as usize] {
+            let (base, base_observed) = self
+                .saved
+                .remove(&v)
+                .expect("overlaid node always has a saved base binding");
+            if base_observed {
                 // The node was observed in the base graph: restore that
                 // observation rather than freeing the node.
-                self.graph.observe(v, base.argmax());
+                if let Some(g) = self.graph.as_mut() {
+                    g.observe(v, base.argmax());
+                }
                 self.plan.bind_observed(v, base.argmax());
             } else {
-                self.graph.unobserve(v, base);
+                if let Some(g) = self.graph.as_mut() {
+                    g.unobserve(v, base);
+                }
                 self.plan.bind_prior(v, base.as_slice());
             }
             let off = self.plan.node_off(v);
@@ -425,16 +524,26 @@ impl WarmState {
     /// First half of a cold run through an arbitrary [`crate::BpEngine`] (the
     /// default [`crate::BpEngine::run_from`] path for engines without a warm
     /// schedule): resets the evidence-bound graph's beliefs and hands it
-    /// out for the engine to run on.
-    pub fn begin_engine_run(&mut self) -> &mut BeliefGraph {
-        self.graph.reset_beliefs();
-        &mut self.graph
+    /// out for the engine to run on. Errors for plan-only states — those
+    /// can only run engines with a plan schedule.
+    pub fn begin_engine_run(&mut self) -> Result<&mut BeliefGraph, EngineError> {
+        let g = self.graph.as_mut().ok_or_else(|| {
+            EngineError::InvalidGraph(
+                "plan-only warm state (loaded from a store) has no source graph to run a \
+                 graph-path engine on"
+                    .into(),
+            )
+        })?;
+        g.reset_beliefs();
+        Ok(g)
     }
 
     /// Second half of [`WarmState::begin_engine_run`]: reloads the packed
     /// state from the graph the engine just wrote.
     pub fn finish_engine_run(&mut self, converged: bool) {
-        self.plan.load_beliefs(&self.graph, &mut self.packed);
+        if let Some(g) = self.graph.as_ref() {
+            self.plan.load_beliefs(g, &mut self.packed);
+        }
         self.converged = converged;
     }
 }
@@ -553,7 +662,35 @@ mod tests {
             .unwrap();
         assert!(state.evidence().is_empty());
         assert!(!state.plan().observed()[5]);
-        assert_eq!(state.graph().priors()[5], base);
+        assert_eq!(state.graph().unwrap().priors()[5], base);
+    }
+
+    #[test]
+    fn plan_only_clear_restores_base_prior() {
+        let g = synthetic(100, 400, &GenOptions::new(2).with_seed(3));
+        let plan = credo_graph::ExecGraph::compile(&g);
+        let base: Vec<f32> = plan.node_slice(plan.priors(), 5).to_vec();
+        let mut state = WarmState::from_plan(plan, 1);
+        let opts = BpOptions::default();
+        let policy = WarmPolicy::default();
+        state
+            .run_from(
+                "C Node",
+                &EvidenceDelta::observing(&[(5, 1)]),
+                &opts,
+                &policy,
+                &Dispatch::none(),
+            )
+            .unwrap();
+        assert!(state.plan().observed()[5]);
+        let mut delta = EvidenceDelta::none();
+        delta.clear.push(5);
+        state
+            .run_from("C Node", &delta, &opts, &policy, &Dispatch::none())
+            .unwrap();
+        assert!(!state.plan().observed()[5]);
+        assert_eq!(state.plan().node_slice(state.plan().priors(), 5), &base[..]);
+        assert!(state.evidence().is_empty());
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! ```text
 //! credo prof <graph> [options]        profile BP engines on a graph
 //! credo serve <graph...> [options]    serve inference over TCP
+//! credo store <ls|verify|gc>          inspect / maintain a plan store
 //! credo loadtest [options]            drive a serve endpoint and report latency
 //! ```
 //!
@@ -15,6 +16,11 @@
 //! `credo-serve` server and answers posterior queries until a `shutdown`
 //! request arrives; `loadtest` is the matching traffic generator, with
 //! `--expect-*` assertion flags for CI smoke tests.
+//!
+//! `--store <dir>` on `prof` and `serve` attaches a content-addressed
+//! plan store (`credo-store`): compiled plans are mmap'd back instead of
+//! recompiled, and a restarted server resumes from its latest warm
+//! snapshot. `credo store ls|verify|gc` inspects and maintains the store.
 
 use std::fs::File;
 use std::path::PathBuf;
@@ -27,7 +33,8 @@ use credo::engines::{
 };
 use credo::graph::generators::{synthetic, GenOptions};
 use credo::graph::BeliefGraph;
-use credo::{BpEngine, BpOptions, BpStats, Dispatch};
+use credo::store::{structural_hash, PlanStore, SourceKey};
+use credo::{BpEngine, BpOptions, BpStats, Dispatch, WarmState};
 use credo_gpusim::{Device, PASCAL_GTX1070};
 use credo_trace::{ConsoleRecorder, TraceBuffer};
 
@@ -38,6 +45,7 @@ USAGE:
     credo prof <graph> [options]
     credo prof --stream <nodes.mtx> <edges.mtx> [options]
     credo serve <graph...> [options]
+    credo store <ls|verify|gc> --store <dir> [--budget <bytes>]
     credo loadtest [options]
 
 ARGS:
@@ -55,6 +63,10 @@ PROF OPTIONS:
     --shards <k>       shard count for --stream (default: 4)
     --spill            with --stream, spill shards to disk and reload one at
                        a time (peak arc memory = largest shard + frontier)
+    --store <dir>      content-addressed plan cache: mmap a stored compiled
+                       plan instead of recompiling, save on first compile,
+                       and report a Plan Node run from the cached plan
+                       (resident and --stream; not combinable with --spill)
     --out <dir>        output directory (default: target/prof)
     --threads <n>      worker threads for the parallel CPU engines (0 = all)
     --queue            enable the work-queue scheduler
@@ -77,6 +89,13 @@ SERVE OPTIONS (graphs get ids g0, g1, … in argument order):
     --deadline-ms <n>   default per-request deadline (default: 10000)
     --max-iters <n>     BP iteration cap per run (default: engine default)
     --seed <n>          seed for synthetic graphs (default: 42)
+    --store <dir>       plan store: mmap cached plans at startup, resume each
+                        graph's latest warm snapshot, snapshot on shutdown
+
+STORE OPTIONS (ls lists stored plans, verify re-checksums every blob,
+gc evicts least-recently-used plans down to a byte budget):
+    --store <dir>       store root directory (required)
+    --budget <bytes>    gc only: total byte budget to shrink the store to
 
 LOADTEST OPTIONS:
     --addr <ip:port>      endpoint (default: 127.0.0.1:7465)
@@ -113,6 +132,13 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
+        Some("store") => match store_cmd(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::FAILURE
+            }
+        },
         Some("loadtest") => match loadtest(&args[1..]) {
             Ok(()) => ExitCode::SUCCESS,
             Err(msg) => {
@@ -141,6 +167,7 @@ struct ProfArgs {
     stream: bool,
     shards: usize,
     spill: bool,
+    store: Option<PathBuf>,
     out: PathBuf,
     threads: usize,
     queue: bool,
@@ -160,6 +187,7 @@ fn parse_prof_args(args: &[String]) -> Result<ProfArgs, String> {
         stream: false,
         shards: credo_core::ShardedEngine::DEFAULT_SHARDS,
         spill: false,
+        store: None,
         out: PathBuf::from("target/prof"),
         threads: 0,
         queue: false,
@@ -195,6 +223,7 @@ fn parse_prof_args(args: &[String]) -> Result<ProfArgs, String> {
                 }
             }
             "--spill" => parsed.spill = true,
+            "--store" => parsed.store = Some(PathBuf::from(value("--store")?)),
             "--queue" => parsed.queue = true,
             "--splash" => {
                 parsed.splash = value("--splash")?
@@ -242,6 +271,9 @@ fn parse_prof_args(args: &[String]) -> Result<ProfArgs, String> {
     if !parsed.stream && (parsed.spill || !parsed.edges.is_empty()) {
         return Err("--spill and a second positional require --stream".into());
     }
+    if parsed.spill && parsed.store.is_some() {
+        return Err("--store caches resident plans; --spill manages its own on-disk shards".into());
+    }
     Ok(parsed)
 }
 
@@ -272,6 +304,17 @@ fn load_graph(spec: &str, seed: u64) -> Result<BeliefGraph, String> {
         edges,
         &GenOptions::new(beliefs).with_seed(seed),
     ))
+}
+
+/// Content-derived plan-store key for a graph spec: file **bytes** for
+/// network files, spec string + seed for synthetic graphs. Never a path
+/// or mtime — touching or moving a file must not re-key, editing it must.
+fn source_key_for(spec: &str, seed: u64) -> Result<SourceKey, String> {
+    if spec.ends_with(".bif") || spec.ends_with(".xml") || spec.ends_with(".xmlbif") {
+        SourceKey::from_files(&[spec]).map_err(|e| format!("{spec}: {e}"))
+    } else {
+        Ok(SourceKey::from_spec(spec, seed))
+    }
 }
 
 /// Instantiates an engine by CLI name; `None` when the name is `none`.
@@ -353,8 +396,52 @@ fn prof_stream(args: &ProfArgs, say: &dyn Fn(String)) -> Result<(), String> {
         .map_err(|e| format!("stream: {e}"))?;
         (stats, desc)
     } else {
-        let mut sx = credo_stream::lower_files(&nodes, &edges, args.shards).map_err(err_ctx)?;
-        let desc = format!("{} resident shards", sx.meta.num_shards());
+        let (mut sx, desc) = if let Some(dir) = &args.store {
+            let store = PlanStore::open(dir).map_err(|e| format!("--store: {e}"))?;
+            // The MTX pair's content hash is both the source key (plus the
+            // shard-count discriminator — a different K is a different
+            // artifact) and the structural stand-in: any edit re-keys,
+            // touching or moving the files does not.
+            let files_key =
+                SourceKey::from_files(&[&nodes, &edges]).map_err(|e| format!("--store: {e}"))?;
+            let key = files_key.with(&format!("shards={}", args.shards));
+            let loaded = std::time::Instant::now();
+            match store.load_sharded(&key) {
+                Ok(Some((sx, m))) => {
+                    let desc = format!(
+                        "{} shards mmap-loaded from store ({} bytes) in {:.3} ms",
+                        sx.meta.num_shards(),
+                        m.bytes,
+                        loaded.elapsed().as_secs_f64() * 1e3,
+                    );
+                    (sx, desc)
+                }
+                other => {
+                    let why = match other {
+                        Err(e) => e.to_string(),
+                        _ => "store miss".to_string(),
+                    };
+                    let lowered = std::time::Instant::now();
+                    let sx =
+                        credo_stream::lower_files(&nodes, &edges, args.shards).map_err(err_ctx)?;
+                    let lower_ms = lowered.elapsed().as_secs_f64() * 1e3;
+                    let source = format!("{} + {}", args.graph, args.edges);
+                    let m = store
+                        .save_sharded(key, &source, files_key.0, &sx)
+                        .map_err(|e| format!("--store: {e}"))?;
+                    let desc = format!(
+                        "{} resident shards ({why}; lowered in {lower_ms:.1} ms, saved {} bytes)",
+                        sx.meta.num_shards(),
+                        m.bytes,
+                    );
+                    (sx, desc)
+                }
+            }
+        } else {
+            let sx = credo_stream::lower_files(&nodes, &edges, args.shards).map_err(err_ctx)?;
+            let desc = format!("{} resident shards", sx.meta.num_shards());
+            (sx, desc)
+        };
         let (stats, _beliefs) =
             run_sharded("Stream Node", &mut sx, &opts, &trace, args.threads, None)
                 .map_err(|e| format!("stream: {e}"))?;
@@ -438,6 +525,55 @@ fn prof(args: &[String]) -> Result<(), String> {
         reports.push(report_line(&stats));
     }
 
+    // With a plan store attached, load (or compile-and-save) the packed
+    // execution plan and run it too — the "Plan Node" line shows what a
+    // restart pays instead of a full compile.
+    let mut store_note = None;
+    if let Some(dir) = &args.store {
+        let store = PlanStore::open(dir).map_err(|e| format!("--store: {e}"))?;
+        let key = source_key_for(&args.graph, args.seed)?;
+        let loaded = std::time::Instant::now();
+        let (plan, note) = match store.load_plan(&key) {
+            Ok(Some((plan, m))) => {
+                let note = format!(
+                    "store: hit — plan {} ({} bytes) {} in {:.3} ms",
+                    &m.root[..12],
+                    m.bytes,
+                    if plan.is_mapped() {
+                        "mmap-loaded"
+                    } else {
+                        "loaded"
+                    },
+                    loaded.elapsed().as_secs_f64() * 1e3,
+                );
+                (plan, note)
+            }
+            other => {
+                let why = match other {
+                    Err(e) => e.to_string(),
+                    _ => "miss".to_string(),
+                };
+                let compiled = std::time::Instant::now();
+                let plan = credo::graph::ExecGraph::compile(&graph);
+                let compile_ms = compiled.elapsed().as_secs_f64() * 1e3;
+                let m = store
+                    .save_plan(key, &args.graph, structural_hash(&graph), &plan)
+                    .map_err(|e| format!("--store: {e}"))?;
+                let note = format!(
+                    "store: {why} — compiled in {compile_ms:.3} ms, saved plan {} ({} bytes)",
+                    &m.root[..12],
+                    m.bytes,
+                );
+                (plan, note)
+            }
+        };
+        say(note.clone());
+        store_note = Some(note);
+        let mut warm = WarmState::from_plan(plan, args.threads);
+        let stats = warm.run_cold("Plan Node", &opts, &trace, None);
+        reports.push(report_line(&stats));
+    }
+
     std::fs::create_dir_all(&args.out).map_err(|e| format!("{}: {e}", args.out.display()))?;
     let jsonl = args.out.join("prof.jsonl");
     let chrome = args.out.join("prof.trace.json");
@@ -451,6 +587,9 @@ fn prof(args: &[String]) -> Result<(), String> {
     println!("== engines ==");
     for line in &reports {
         println!("{line}");
+    }
+    if let Some(note) = &store_note {
+        println!("{note}");
     }
     println!();
     print!("{}", buffer.summary().render());
@@ -470,6 +609,7 @@ fn serve(args: &[String]) -> Result<(), String> {
     let mut addr = "127.0.0.1:7465".to_string();
     let mut cfg = ServeConfig::default();
     let mut seed = 42u64;
+    let mut store_dir: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |name: &str| {
@@ -500,6 +640,7 @@ fn serve(args: &[String]) -> Result<(), String> {
                     .parse()
                     .map_err(|e| format!("--seed: {e}"))?;
             }
+            "--store" => store_dir = Some(PathBuf::from(value("--store")?)),
             "-h" | "--help" => return Err(format!("help requested\n\n{USAGE}")),
             other if other.starts_with('-') => return Err(format!("unknown option `{other}`")),
             positional => specs.push(positional.to_string()),
@@ -510,14 +651,30 @@ fn serve(args: &[String]) -> Result<(), String> {
     }
 
     let server = Server::new(cfg, Dispatch::none());
+    if let Some(dir) = &store_dir {
+        server.set_store(dir).map_err(|e| format!("--store: {e}"))?;
+    }
     for (i, spec) in specs.iter().enumerate() {
-        let graph = load_graph(spec, seed)?;
-        println!(
-            "g{i}: {spec} ({} nodes, {} edges)",
-            graph.num_nodes(),
-            graph.num_edges()
-        );
-        server.add_graph(&format!("g{i}"), graph);
+        let id = format!("g{i}");
+        if store_dir.is_some() {
+            let key = source_key_for(spec, seed)?;
+            let before = server.metrics().store_hits;
+            server.add_graph_cached(&id, key, spec, || load_graph(spec, seed))?;
+            let how = if server.metrics().store_hits > before {
+                "plan mmap-loaded from store"
+            } else {
+                "compiled and stored"
+            };
+            println!("{id}: {spec} ({how})");
+        } else {
+            let graph = load_graph(spec, seed)?;
+            println!(
+                "{id}: {spec} ({} nodes, {} edges)",
+                graph.num_nodes(),
+                graph.num_edges()
+            );
+            server.add_graph(&id, graph);
+        }
     }
     let listener = std::net::TcpListener::bind(&addr).map_err(|e| format!("bind {addr}: {e}"))?;
     let local = listener.local_addr().map_err(|e| e.to_string())?;
@@ -530,6 +687,103 @@ fn serve(args: &[String]) -> Result<(), String> {
     let stats = serde_json::to_string_pretty(&server.metrics()).map_err(|e| e.to_string())?;
     println!("{stats}");
     Ok(())
+}
+
+/// The `credo store <ls|verify|gc>` maintenance subcommand.
+fn store_cmd(args: &[String]) -> Result<(), String> {
+    let mut action = String::new();
+    let mut dir: Option<PathBuf> = None;
+    let mut budget: Option<u64> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--store" => dir = Some(PathBuf::from(value("--store")?)),
+            "--budget" => {
+                budget = Some(
+                    value("--budget")?
+                        .parse()
+                        .map_err(|e| format!("--budget: {e}"))?,
+                );
+            }
+            "-h" | "--help" => return Err(format!("help requested\n\n{USAGE}")),
+            other if other.starts_with('-') => return Err(format!("unknown option `{other}`")),
+            positional if action.is_empty() => action = positional.to_string(),
+            extra => return Err(format!("unexpected argument `{extra}`")),
+        }
+    }
+    if action.is_empty() {
+        return Err(format!(
+            "store needs an action: ls, verify or gc\n\n{USAGE}"
+        ));
+    }
+    let dir = dir.ok_or("store needs --store <dir>")?;
+    let store = PlanStore::open(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    match action.as_str() {
+        "ls" => {
+            let mut plans = store.manifests().map_err(|e| e.to_string())?;
+            plans.sort_by(|a, b| a.source.cmp(&b.source).then(a.root.cmp(&b.root)));
+            println!(
+                "{:<9} {:>11} {:>11} {:>6} {:>12}  {:<12}  source",
+                "kind", "nodes", "arcs", "shards", "bytes", "root"
+            );
+            for m in &plans {
+                println!(
+                    "{:<9} {:>11} {:>11} {:>6} {:>12}  {:<12}  {}",
+                    m.kind,
+                    m.num_nodes,
+                    m.num_arcs,
+                    m.shards,
+                    m.bytes,
+                    &m.root[..12.min(m.root.len())],
+                    m.source,
+                );
+            }
+            println!("{} plan(s) in {}", plans.len(), dir.display());
+            Ok(())
+        }
+        "verify" => {
+            let report = store.verify().map_err(|e| e.to_string())?;
+            for (path, why) in &report.corrupt {
+                println!("corrupt blob {path}: {why}");
+            }
+            for (key, why) in &report.manifests_broken {
+                println!("broken manifest {key}: {why}");
+            }
+            println!(
+                "{} blob(s) clean, {} manifest(s) complete",
+                report.blobs_ok, report.manifests_ok
+            );
+            if report.clean() {
+                Ok(())
+            } else {
+                Err(format!(
+                    "{} corrupt blob(s), {} broken manifest(s)",
+                    report.corrupt.len(),
+                    report.manifests_broken.len()
+                ))
+            }
+        }
+        "gc" => {
+            let budget = budget.ok_or("gc needs --budget <bytes>")?;
+            let report = store.gc(budget).map_err(|e| e.to_string())?;
+            println!(
+                "evicted {} plan(s): deleted {} blob(s) and {} snapshot(s), \
+                 freed {} bytes, {} bytes kept",
+                report.evicted_plans,
+                report.deleted_blobs,
+                report.deleted_snapshots,
+                report.freed_bytes,
+                report.kept_bytes,
+            );
+            Ok(())
+        }
+        other => Err(format!("unknown store action `{other}` (ls, verify, gc)")),
+    }
 }
 
 /// Latency/error tallies from one loadtest worker.

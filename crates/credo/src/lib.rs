@@ -43,6 +43,8 @@ pub use credo_io as io;
 pub use credo_ml as ml;
 /// The batched warm-start inference service.
 pub use credo_serve as serve;
+/// The content-addressed plan store.
+pub use credo_store as store;
 
 /// The BP engines.
 pub mod engines {
@@ -97,6 +99,24 @@ impl Credo {
     /// (no BP executed).
     pub fn select(&self, graph: &BeliefGraph) -> Implementation {
         self.selector.select(&graph.metadata())
+    }
+
+    /// [`Credo::select`], consulting a plan store: when a compiled plan
+    /// for this graph's *structure* already exists (keyed on
+    /// [`store::structural_hash`] — cards, arcs and potentials, never
+    /// evidence, file paths or mtimes), the native rule's build-heavy
+    /// picks ([`Implementation::StreamNode`],
+    /// [`Implementation::RelaxedNode`]) are pinned down to the
+    /// plan-running [`Implementation::ParNode`], so a graph that changed
+    /// only in evidence never pays a fresh lowering the cache has
+    /// already amortized.
+    pub fn select_cached(&self, graph: &BeliefGraph, store: &store::PlanStore) -> Implementation {
+        let cached = store
+            .find_structural(store::structural_hash(graph))
+            .ok()
+            .flatten()
+            .is_some();
+        self.selector.select_with_cache(&graph.metadata(), cached)
     }
 
     /// Instantiates the engine for an implementation.

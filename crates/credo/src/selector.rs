@@ -162,6 +162,36 @@ impl Selector {
         }
     }
 
+    /// Chooses an implementation from metadata, knowing whether a
+    /// compiled plan for the graph's **structural hash** is already in a
+    /// plan store.
+    ///
+    /// `cached_plan` must be derived from content — e.g.
+    /// `store.find_structural(credo_store::structural_hash(&g))` — never
+    /// from a file path or mtime: touching or moving the graph file must
+    /// not change the answer, and an evidence-only edit keeps the
+    /// structural hash (so the cached plan stays usable and this method
+    /// keeps honoring it).
+    ///
+    /// With a cached plan, [`Selector::NativeRule`] never answers
+    /// [`Implementation::StreamNode`] or [`Implementation::RelaxedNode`]:
+    /// both would throw the mmap-loadable plan away and recompile their
+    /// own structures (a fresh sharded lowering, a fresh scheduler
+    /// state), while [`Implementation::ParNode`] runs straight off the
+    /// stored plan. Every other selector — and every call with
+    /// `cached_plan == false` — behaves exactly like
+    /// [`Selector::select`].
+    pub fn select_with_cache(&self, meta: &GraphMetadata, cached_plan: bool) -> Implementation {
+        let chosen = self.select(meta);
+        if !cached_plan || !matches!(self, Selector::NativeRule) {
+            return chosen;
+        }
+        match chosen {
+            Implementation::StreamNode | Implementation::RelaxedNode => Implementation::ParNode,
+            other => other,
+        }
+    }
+
     /// Chooses an implementation from metadata.
     pub fn select(&self, meta: &GraphMetadata) -> Implementation {
         match self {
@@ -368,6 +398,111 @@ mod tests {
             Selector::native_rule().select(&pa),
             Implementation::RelaxedNode
         );
+    }
+
+    #[test]
+    fn cached_plan_pins_native_rule_to_the_plan_running_engine() {
+        let million = GraphMetadata {
+            num_nodes: 1_000_000,
+            num_edges: 4_000_000,
+            num_arcs: 8_000_000,
+            num_beliefs: 2,
+            max_in_degree: 40,
+            max_out_degree: 40,
+            avg_in_degree: 8.0,
+            avg_out_degree: 8.0,
+        };
+        let hub = GraphMetadata {
+            num_nodes: 20_000,
+            num_edges: 40_000,
+            num_arcs: 80_000,
+            num_beliefs: 2,
+            max_in_degree: 400,
+            max_out_degree: 400,
+            avg_in_degree: 4.0,
+            avg_out_degree: 4.0,
+        };
+        let s = Selector::native_rule();
+        // Without a cached plan, the rule is unchanged.
+        assert_eq!(
+            s.select_with_cache(&million, false),
+            Implementation::StreamNode
+        );
+        assert_eq!(
+            s.select_with_cache(&hub, false),
+            Implementation::RelaxedNode
+        );
+        // With one, both recompiling engines give way to Par Node.
+        assert_eq!(s.select_with_cache(&million, true), Implementation::ParNode);
+        assert_eq!(s.select_with_cache(&hub, true), Implementation::ParNode);
+        // Picks that already reuse the plan (or never touch it) stand.
+        assert_eq!(
+            s.select_with_cache(&meta_of(120_000, 480_000), true),
+            Implementation::CudaNode
+        );
+        assert_eq!(
+            s.select_with_cache(&meta_of(500, 2000), true),
+            Implementation::ParEdge
+        );
+        // Non-native selectors ignore the cache flag entirely.
+        assert_eq!(
+            Selector::rule_based().select_with_cache(&million, true),
+            Implementation::CudaNode
+        );
+        assert_eq!(
+            Selector::fixed(Implementation::RelaxedNode).select_with_cache(&hub, true),
+            Implementation::RelaxedNode
+        );
+    }
+
+    #[test]
+    fn cache_awareness_is_keyed_on_structural_hash_not_source() {
+        use credo_store::{structural_hash, PlanStore, SourceKey};
+        let dir = std::env::temp_dir().join(format!("credo-selector-cache-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let store = PlanStore::open(&dir).unwrap();
+
+        let g = credo_graph::generators::preferential_attachment(5_000, 4, &GenOptions::new(2));
+        let s = Selector::native_rule();
+        assert_eq!(s.select(&g.metadata()), Implementation::RelaxedNode);
+
+        let plan = credo_graph::ExecGraph::compile(&g);
+        store
+            .save_plan(
+                SourceKey::from_spec("pa", 0),
+                "pa",
+                structural_hash(&g),
+                &plan,
+            )
+            .unwrap();
+
+        // The "same graph, new evidence" restart: a different source key,
+        // observed nodes, rebound priors — the structural hash still
+        // matches the stored plan, so the selector keeps it.
+        let mut g2 = g.clone();
+        g2.observe(7, 1);
+        let cached = store
+            .find_structural(structural_hash(&g2))
+            .unwrap()
+            .is_some();
+        assert!(cached, "evidence-only change must still find the plan");
+        assert_eq!(
+            s.select_with_cache(&g2.metadata(), cached),
+            Implementation::ParNode
+        );
+
+        // A structural change (one more node) genuinely misses.
+        let g3 = credo_graph::generators::preferential_attachment(5_001, 4, &GenOptions::new(2));
+        let cached3 = store
+            .find_structural(structural_hash(&g3))
+            .unwrap()
+            .is_some();
+        assert!(!cached3);
+        assert_eq!(
+            s.select_with_cache(&g3.metadata(), cached3),
+            Implementation::RelaxedNode
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -25,11 +25,14 @@
 
 use crate::beliefs::Belief;
 use crate::graph::BeliefGraph;
+use crate::slab::{Slab, SlabItem};
 use std::collections::HashMap;
 
 /// A fully resolved incoming arc: everything one message computation needs,
-/// in 12 bytes.
+/// in 12 bytes. `repr(C)` pins the field order so the tuple can be viewed
+/// directly from an mmap'd plan blob.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(C)]
 pub struct PackedArc {
     /// Offset of the source node's belief in the packed belief array.
     pub src_off: u32,
@@ -41,6 +44,14 @@ pub struct PackedArc {
     pub dst_card: u16,
 }
 
+// Safety: repr(C) with fields (u32, u32, u16, u16) — 12 bytes, align 4,
+// no padding, and every bit pattern is a valid value.
+unsafe impl SlabItem for PackedArc {}
+const _: () = assert!(
+    std::mem::size_of::<PackedArc>() == 12 && std::mem::align_of::<PackedArc>() == 4,
+    "PackedArc layout is part of the on-disk blob format"
+);
+
 /// An outgoing arc reference for queue wake-ups: the destination node id.
 pub type OutArc = u32;
 
@@ -48,20 +59,21 @@ pub type OutArc = u32;
 #[derive(Clone, Debug)]
 pub struct ExecGraph {
     /// `n + 1` prefix offsets into the packed belief arrays.
-    node_off: Vec<u32>,
-    /// Packed priors, `node_off[n]` floats.
+    node_off: Slab<u32>,
+    /// Packed priors, `node_off[n]` floats. Owned (not a view) because
+    /// evidence rebinding mutates it in place.
     priors: Vec<f32>,
     /// `n + 1` prefix offsets into `in_arcs` (the in-CSR, re-based).
-    in_off: Vec<u32>,
+    in_off: Slab<u32>,
     /// Pre-resolved in-arcs, grouped by destination in CSR order.
-    in_arcs: Vec<PackedArc>,
+    in_arcs: Slab<PackedArc>,
     /// `n + 1` prefix offsets into `out_dst`.
-    out_off: Vec<u32>,
+    out_off: Slab<u32>,
     /// Out-neighbour node ids, grouped by source in CSR order (queue
     /// wake-ups only touch destinations, so the arc itself is not needed).
-    out_dst: Vec<OutArc>,
+    out_dst: Slab<OutArc>,
     /// All distinct joint matrices, row-major, concatenated.
-    pot_pool: Vec<f32>,
+    pot_pool: Slab<f32>,
     /// Per-node observed flags (§2.1), copied for locality.
     observed: Vec<bool>,
     /// The uniform cardinality when every node shares one.
@@ -156,6 +168,26 @@ impl ExecGraph {
         out_off.push(out_dst.len() as u32);
 
         ExecGraph {
+            node_off: node_off.into(),
+            priors,
+            in_off: in_off.into(),
+            in_arcs: in_arcs.into(),
+            out_off: out_off.into(),
+            out_dst: out_dst.into(),
+            pot_pool: pot_pool.into(),
+            observed: graph.observed().to_vec(),
+            uniform_card: graph.uniform_cardinality().map(|c| c as u32),
+            shared,
+            pool_matrices,
+        }
+    }
+
+    /// Reassembles a plan from its constituent arrays (typically views
+    /// into an mmap'd blob), validating every structural invariant the
+    /// engines rely on. Returns a description of the first violation —
+    /// a corrupted or truncated blob must never panic a loader.
+    pub fn from_parts(parts: ExecGraphParts) -> Result<ExecGraph, String> {
+        let ExecGraphParts {
             node_off,
             priors,
             in_off,
@@ -163,11 +195,113 @@ impl ExecGraph {
             out_off,
             out_dst,
             pot_pool,
-            observed: graph.observed().to_vec(),
-            uniform_card: graph.uniform_cardinality().map(|c| c as u32),
+            observed,
+            uniform_card,
             shared,
             pool_matrices,
+        } = parts;
+        check_prefix_offsets("node_off", &node_off, priors.len())?;
+        let n = node_off.len() - 1;
+        if in_off.len() != n + 1 {
+            return Err(format!(
+                "in_off has {} entries, expected {}",
+                in_off.len(),
+                n + 1
+            ));
         }
+        if out_off.len() != n + 1 {
+            return Err(format!(
+                "out_off has {} entries, expected {}",
+                out_off.len(),
+                n + 1
+            ));
+        }
+        check_prefix_offsets("in_off", &in_off, in_arcs.len())?;
+        check_prefix_offsets("out_off", &out_off, out_dst.len())?;
+        if observed.len() != n {
+            return Err(format!(
+                "observed has {} flags, expected {n}",
+                observed.len()
+            ));
+        }
+        if let Some(d) = out_dst.iter().find(|&&d| d as usize >= n) {
+            return Err(format!("out_dst {d} out of range for {n} nodes"));
+        }
+        let packed_len = *node_off.last().unwrap() as usize;
+        check_arcs(&in_arcs, packed_len, pot_pool.len())?;
+        if let Some(c) = uniform_card {
+            let uniform = node_off.windows(2).all(|w| w[1] - w[0] == c);
+            if c == 0 || !uniform {
+                return Err(format!("uniform_card {c} contradicts node offsets"));
+            }
+        }
+        Ok(ExecGraph {
+            node_off,
+            priors,
+            in_off,
+            in_arcs,
+            out_off,
+            out_dst,
+            pot_pool,
+            observed,
+            uniform_card,
+            shared,
+            pool_matrices: pool_matrices as usize,
+        })
+    }
+
+    /// Disassembles the plan into its constituent arrays (cheap for
+    /// mmap-backed slabs; clones owned arrays).
+    pub fn to_parts(&self) -> ExecGraphParts {
+        ExecGraphParts {
+            node_off: self.node_off.clone(),
+            priors: self.priors.clone(),
+            in_off: self.in_off.clone(),
+            in_arcs: self.in_arcs.clone(),
+            out_off: self.out_off.clone(),
+            out_dst: self.out_dst.clone(),
+            pot_pool: self.pot_pool.clone(),
+            observed: self.observed.clone(),
+            uniform_card: self.uniform_card,
+            shared: self.shared,
+            pool_matrices: self.pool_matrices as u32,
+        }
+    }
+
+    /// The full `n + 1` prefix-offset array (for serialization).
+    #[inline]
+    pub fn node_offsets(&self) -> &[u32] {
+        &self.node_off
+    }
+
+    /// The full in-CSR prefix-offset array (for serialization).
+    #[inline]
+    pub fn in_offsets(&self) -> &[u32] {
+        &self.in_off
+    }
+
+    /// Every pre-resolved in-arc, in CSR order (for serialization).
+    #[inline]
+    pub fn in_arc_array(&self) -> &[PackedArc] {
+        &self.in_arcs
+    }
+
+    /// The full out-CSR prefix-offset array (for serialization).
+    #[inline]
+    pub fn out_offsets(&self) -> &[u32] {
+        &self.out_off
+    }
+
+    /// Every out-neighbour destination, in CSR order (for serialization).
+    #[inline]
+    pub fn out_dst_array(&self) -> &[OutArc] {
+        &self.out_dst
+    }
+
+    /// True when any of the plan's arrays are zero-copy views into a
+    /// shared buffer (an mmap'd store blob).
+    pub fn is_mapped(&self) -> bool {
+        self.node_off.is_view() || self.in_arcs.is_view() || self.pot_pool.is_view()
     }
 
     /// Number of nodes.
@@ -405,6 +539,85 @@ impl ExecGraph {
     pub fn in_arc_range(&self, v: u32) -> std::ops::Range<usize> {
         self.in_off[v as usize] as usize..self.in_off[v as usize + 1] as usize
     }
+}
+
+/// The constituent arrays of an [`ExecGraph`], exposed for (de)serializers.
+/// Offset and arc arrays are [`Slab`]s so a loader can hand over zero-copy
+/// views; `priors` and `observed` are always owned because evidence
+/// rebinding mutates them.
+#[derive(Clone, Debug)]
+pub struct ExecGraphParts {
+    /// `n + 1` prefix offsets into the packed belief arrays.
+    pub node_off: Slab<u32>,
+    /// Packed priors, `node_off[n]` floats.
+    pub priors: Vec<f32>,
+    /// `n + 1` prefix offsets into `in_arcs`.
+    pub in_off: Slab<u32>,
+    /// Pre-resolved in-arcs in CSR order.
+    pub in_arcs: Slab<PackedArc>,
+    /// `n + 1` prefix offsets into `out_dst`.
+    pub out_off: Slab<u32>,
+    /// Out-neighbour destinations in CSR order.
+    pub out_dst: Slab<u32>,
+    /// Deduplicated potential pool.
+    pub pot_pool: Slab<f32>,
+    /// Per-node observed flags.
+    pub observed: Vec<bool>,
+    /// Uniform cardinality, when every node shares one.
+    pub uniform_card: Option<u32>,
+    /// Whether the source graph used a shared potential store.
+    pub shared: bool,
+    /// Distinct matrices in the pool.
+    pub pool_matrices: u32,
+}
+
+/// Checks a prefix-offset array: non-empty, starts at 0, non-decreasing,
+/// and its final entry equals `total`.
+pub(crate) fn check_prefix_offsets(name: &str, off: &[u32], total: usize) -> Result<(), String> {
+    if off.is_empty() {
+        return Err(format!("{name} is empty"));
+    }
+    if off[0] != 0 {
+        return Err(format!("{name}[0] is {}, expected 0", off[0]));
+    }
+    if let Some(w) = off.windows(2).position(|w| w[1] < w[0]) {
+        return Err(format!("{name} decreases at index {w}"));
+    }
+    let last = *off.last().unwrap() as usize;
+    if last != total {
+        return Err(format!("{name} ends at {last}, expected {total}"));
+    }
+    Ok(())
+}
+
+/// Checks every arc's offsets and shapes against the packed belief length
+/// and the potential pool.
+pub(crate) fn check_arcs(
+    arcs: &[PackedArc],
+    packed_len: usize,
+    pool_len: usize,
+) -> Result<(), String> {
+    for (i, a) in arcs.iter().enumerate() {
+        if a.src_card == 0 || a.dst_card == 0 {
+            return Err(format!("arc {i} has zero cardinality"));
+        }
+        if a.src_off as usize + a.src_card as usize > packed_len {
+            return Err(format!(
+                "arc {i} source slice {}..{} exceeds packed length {packed_len}",
+                a.src_off,
+                a.src_off as usize + a.src_card as usize
+            ));
+        }
+        let m = a.src_card as usize * a.dst_card as usize;
+        if a.pot_off as usize + m > pool_len {
+            return Err(format!(
+                "arc {i} potential {}..{} exceeds pool length {pool_len}",
+                a.pot_off,
+                a.pot_off as usize + m
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// Convenience: compile this graph's execution plan.

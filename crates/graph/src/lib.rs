@@ -33,6 +33,7 @@ mod graph;
 mod metadata;
 mod potentials;
 mod shard;
+mod slab;
 mod soa;
 
 pub mod generators;
@@ -40,9 +41,10 @@ pub mod generators;
 pub use beliefs::{Belief, MAX_BELIEFS};
 pub use builder::GraphBuilder;
 pub use csr::Csr;
-pub use exec::{ExecGraph, OutArc, PackedArc};
+pub use exec::{ExecGraph, ExecGraphParts, OutArc, PackedArc};
 pub use graph::{Arc, BeliefGraph, EdgeId, GraphError, NodeId};
 pub use metadata::{FeatureVector, GraphMetadata, FEATURE_NAMES, NUM_FEATURES};
 pub use potentials::{JointMatrix, PotentialStore};
 pub use shard::{partition_ranges, ExecShard, ShardCopy, ShardedExec, ShardedMeta};
+pub use slab::{slab_bytes, PlanBytes, Slab, SlabItem};
 pub use soa::{aos_trace_read, SoaBeliefs};

@@ -32,8 +32,9 @@
 //! reverse), which pins pool offsets and halo slot numbering to the same
 //! first-encounter sequence regardless of how the shard was produced.
 
-use crate::exec::PackedArc;
+use crate::exec::{check_arcs, check_prefix_offsets, PackedArc};
 use crate::graph::BeliefGraph;
+use crate::slab::Slab;
 use std::collections::HashMap;
 
 /// One boundary-belief copy: `card` floats between a shard-local packed
@@ -63,15 +64,15 @@ pub struct ExecShard {
     /// Global node id range `[lo, hi)` this shard owns.
     pub range: (u32, u32),
     /// `local + halo + 1` prefix offsets into the shard belief array.
-    pub node_off: Vec<u32>,
+    pub node_off: Slab<u32>,
     /// Packed priors of the local nodes (`node_off[local]` floats).
-    pub priors: Vec<f32>,
+    pub priors: Slab<f32>,
     /// `local + 1` prefix offsets into `in_arcs`.
-    pub in_off: Vec<u32>,
+    pub in_off: Slab<u32>,
     /// Pre-resolved in-arcs of the local nodes, grouped by destination.
-    pub in_arcs: Vec<PackedArc>,
+    pub in_arcs: Slab<PackedArc>,
     /// Distinct joint matrices, row-major, concatenated.
-    pub pot_pool: Vec<f32>,
+    pub pot_pool: Slab<f32>,
     /// Number of distinct matrices in `pot_pool`.
     pub pool_matrices: u32,
     /// Observed flags of the local nodes.
@@ -228,15 +229,57 @@ impl ExecShard {
 
         ExecShard {
             range: (lo, hi),
-            node_off,
-            priors,
-            in_off,
-            in_arcs,
-            pot_pool,
+            node_off: node_off.into(),
+            priors: priors.into(),
+            in_off: in_off.into(),
+            in_arcs: in_arcs.into(),
+            pot_pool: pot_pool.into(),
             pool_matrices,
             observed: graph.observed()[lo as usize..hi as usize].to_vec(),
             halo,
         }
+    }
+
+    /// Validates every structural invariant the sharded engine relies on.
+    /// Deserializers call this so a corrupted blob or spill file surfaces
+    /// as an error instead of an out-of-bounds panic mid-sweep.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.range.1 < self.range.0 {
+            return Err(format!("shard range {:?} is inverted", self.range));
+        }
+        let local = self.local_nodes();
+        let slots = local + self.halo.len();
+        if self.node_off.len() != slots + 1 {
+            return Err(format!(
+                "node_off has {} entries, expected {} (local {local} + halo {})",
+                self.node_off.len(),
+                slots + 1,
+                self.halo.len()
+            ));
+        }
+        check_prefix_offsets("shard node_off", &self.node_off, self.packed_len())?;
+        if self.in_off.len() != local + 1 {
+            return Err(format!(
+                "in_off has {} entries, expected {}",
+                self.in_off.len(),
+                local + 1
+            ));
+        }
+        check_prefix_offsets("shard in_off", &self.in_off, self.in_arcs.len())?;
+        if self.priors.len() != self.local_len() {
+            return Err(format!(
+                "priors hold {} floats, expected {}",
+                self.priors.len(),
+                self.local_len()
+            ));
+        }
+        if self.observed.len() != local {
+            return Err(format!(
+                "observed has {} flags, expected {local}",
+                self.observed.len()
+            ));
+        }
+        check_arcs(&self.in_arcs, self.packed_len(), self.pot_pool.len())
     }
 }
 

@@ -1,0 +1,244 @@
+//! [`Slab`]: plan arrays that are either owned or zero-copy views into a
+//! shared byte buffer (an mmap'd blob file, in practice).
+//!
+//! The compiled plans ([`crate::ExecGraph`], [`crate::ExecShard`]) hold a
+//! handful of large immutable arrays. Compiling builds them as `Vec`s;
+//! loading from the `credo-store` blob cache wants to point them straight
+//! into the mapped file instead of copying hundreds of megabytes. `Slab<T>`
+//! abstracts over the two: it derefs to `&[T]` either way, so every engine
+//! and accessor is oblivious to where the bytes live.
+//!
+//! A view keeps its backing buffer alive through an `Arc<dyn PlanBytes>`;
+//! the store's mmap wrapper implements [`PlanBytes`]. Views are validated
+//! at construction (bounds + alignment), never at access time.
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable byte buffer that can back [`Slab`] views — typically a
+/// memory-mapped file. Implementations must return the same bytes at the
+/// same address for the lifetime of the value.
+pub trait PlanBytes: Send + Sync + 'static {
+    /// The backing bytes.
+    fn bytes(&self) -> &[u8];
+}
+
+impl PlanBytes for Vec<u8> {
+    fn bytes(&self) -> &[u8] {
+        self
+    }
+}
+
+/// Marker for element types a [`Slab`] may view from raw bytes: plain-old
+/// data with no padding and no invalid bit patterns.
+///
+/// # Safety
+/// Implementors guarantee every bit pattern of `size_of::<Self>()` bytes
+/// is a valid `Self` and that the type has no interior mutability or drop
+/// glue (enforced structurally by `Copy`).
+pub unsafe trait SlabItem: Copy + Send + Sync + 'static {}
+
+unsafe impl SlabItem for u8 {}
+unsafe impl SlabItem for u16 {}
+unsafe impl SlabItem for u32 {}
+unsafe impl SlabItem for u64 {}
+unsafe impl SlabItem for f32 {}
+unsafe impl SlabItem for f64 {}
+
+enum Repr<T: SlabItem> {
+    Owned(Vec<T>),
+    View {
+        owner: Arc<dyn PlanBytes>,
+        off: usize,
+        len: usize,
+        _marker: PhantomData<T>,
+    },
+}
+
+/// An immutable array that is either owned (`Vec<T>`) or a zero-copy view
+/// into a shared [`PlanBytes`] buffer. Derefs to `&[T]`.
+pub struct Slab<T: SlabItem>(Repr<T>);
+
+impl<T: SlabItem> Slab<T> {
+    /// An empty owned slab.
+    pub fn empty() -> Self {
+        Slab(Repr::Owned(Vec::new()))
+    }
+
+    /// A zero-copy view of `len` elements starting `off` bytes into
+    /// `owner`'s buffer. Fails (with a description) when the range is out
+    /// of bounds or the start address is misaligned for `T`.
+    pub fn view(owner: Arc<dyn PlanBytes>, off: usize, len: usize) -> Result<Self, String> {
+        let bytes = owner.bytes();
+        let need = len
+            .checked_mul(std::mem::size_of::<T>())
+            .ok_or_else(|| "slab view length overflows".to_string())?;
+        let end = off
+            .checked_add(need)
+            .ok_or_else(|| "slab view range overflows".to_string())?;
+        if end > bytes.len() {
+            return Err(format!(
+                "slab view {off}..{end} exceeds buffer of {} bytes",
+                bytes.len()
+            ));
+        }
+        let addr = bytes.as_ptr() as usize + off;
+        if !addr.is_multiple_of(std::mem::align_of::<T>()) {
+            return Err(format!(
+                "slab view at byte {off} is misaligned for {}-byte alignment",
+                std::mem::align_of::<T>()
+            ));
+        }
+        Ok(Slab(Repr::View {
+            owner,
+            off,
+            len,
+            _marker: PhantomData,
+        }))
+    }
+
+    /// True when this slab borrows a shared buffer instead of owning its
+    /// elements.
+    pub fn is_view(&self) -> bool {
+        matches!(self.0, Repr::View { .. })
+    }
+
+    /// Copies the elements into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<T> {
+        self.as_slice().to_vec()
+    }
+
+    /// The elements as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        match &self.0 {
+            Repr::Owned(v) => v,
+            Repr::View {
+                owner, off, len, ..
+            } => {
+                let bytes = owner.bytes();
+                // Bounds and alignment were validated in `view`; the owner
+                // contract pins the buffer for its lifetime.
+                unsafe { std::slice::from_raw_parts(bytes.as_ptr().add(*off) as *const T, *len) }
+            }
+        }
+    }
+}
+
+/// Reinterprets a POD slice as its raw little-endian bytes (on the
+/// little-endian targets this project supports; blob writers assert this).
+pub fn slab_bytes<T: SlabItem>(s: &[T]) -> &[u8] {
+    // Sound: SlabItem guarantees no padding or invalid patterns.
+    unsafe { std::slice::from_raw_parts(s.as_ptr() as *const u8, std::mem::size_of_val(s)) }
+}
+
+impl<T: SlabItem> Deref for Slab<T> {
+    type Target = [T];
+    #[inline]
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: SlabItem> From<Vec<T>> for Slab<T> {
+    fn from(v: Vec<T>) -> Self {
+        Slab(Repr::Owned(v))
+    }
+}
+
+impl<T: SlabItem> Clone for Slab<T> {
+    fn clone(&self) -> Self {
+        match &self.0 {
+            Repr::Owned(v) => Slab(Repr::Owned(v.clone())),
+            Repr::View {
+                owner, off, len, ..
+            } => Slab(Repr::View {
+                owner: Arc::clone(owner),
+                off: *off,
+                len: *len,
+                _marker: PhantomData,
+            }),
+        }
+    }
+}
+
+impl<T: SlabItem + fmt::Debug> fmt::Debug for Slab<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl<T: SlabItem + PartialEq> PartialEq for Slab<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: SlabItem + PartialEq> PartialEq<[T]> for Slab<T> {
+    fn eq(&self, other: &[T]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl<T: SlabItem + PartialEq> PartialEq<&[T]> for Slab<T> {
+    fn eq(&self, other: &&[T]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl<T: SlabItem + PartialEq> PartialEq<Vec<T>> for Slab<T> {
+    fn eq(&self, other: &Vec<T>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owned_slab_derefs_to_its_elements() {
+        let s: Slab<u32> = vec![1u32, 2, 3].into();
+        assert_eq!(&s[..], &[1, 2, 3]);
+        assert!(!s.is_view());
+        assert_eq!(s, vec![1u32, 2, 3]);
+    }
+
+    #[test]
+    fn view_reads_little_endian_elements_in_place() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&[0u8; 4]); // padding to offset 4
+        for v in [7u32, 8, 9] {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        let owner: Arc<dyn PlanBytes> = Arc::new(buf);
+        let s: Slab<u32> = Slab::view(Arc::clone(&owner), 4, 3).unwrap();
+        assert!(s.is_view());
+        assert_eq!(&s[..], &[7, 8, 9]);
+        assert_eq!(s.clone(), s);
+    }
+
+    #[test]
+    fn view_rejects_out_of_bounds_and_misalignment() {
+        let owner: Arc<dyn PlanBytes> = Arc::new(vec![0u8; 16]);
+        assert!(Slab::<u32>::view(Arc::clone(&owner), 0, 5).is_err());
+        assert!(Slab::<u32>::view(Arc::clone(&owner), 13, 1).is_err());
+        assert!(Slab::<u64>::view(Arc::clone(&owner), usize::MAX, 1).is_err());
+        // Alignment depends on the allocation's base address; offset 1 is
+        // misaligned for u32 whenever the base is 4-aligned.
+        let base = owner.bytes().as_ptr() as usize;
+        if base.is_multiple_of(4) {
+            assert!(Slab::<u32>::view(owner, 1, 2).is_err());
+        }
+    }
+
+    #[test]
+    fn slab_bytes_roundtrips() {
+        let v = [1u32, 0xdead_beef];
+        let b = slab_bytes(&v);
+        assert_eq!(b.len(), 8);
+        assert_eq!(&b[..4], &1u32.to_le_bytes());
+    }
+}

@@ -1,0 +1,181 @@
+//! [`ByteReader`]: a bounds-checked little-endian cursor for Credo's
+//! binary formats (stream spill files, store blobs).
+//!
+//! Every length that arrives from disk is untrusted: a bit-flipped count
+//! must produce a located [`IoError`], not a multi-gigabyte allocation or
+//! an out-of-bounds panic. The reader therefore validates each
+//! length-prefixed array against the bytes actually remaining *before*
+//! allocating, and stamps every error with the exact byte offset at which
+//! decoding failed.
+
+use crate::error::IoError;
+
+/// A checked cursor over an in-memory little-endian buffer.
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    format: &'static str,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Wraps `buf`; `format` names the containing format in error messages
+    /// (e.g. `"Credo-spill"`, `"Credo-blob"`).
+    pub fn new(buf: &'a [u8], format: &'static str) -> Self {
+        ByteReader {
+            buf,
+            pos: 0,
+            format,
+        }
+    }
+
+    /// Current byte offset from the start of the buffer.
+    #[inline]
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes left to read.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// A located decode error at the current offset.
+    pub fn error(&self, message: impl Into<String>) -> IoError {
+        IoError::blob(self.format, self.pos, message)
+    }
+
+    /// Takes the next `n` raw bytes.
+    pub fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], IoError> {
+        if n > self.remaining() {
+            return Err(self.error(format!(
+                "{what}: need {n} bytes, only {} remain",
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a `u32`.
+    pub fn u32(&mut self, what: &str) -> Result<u32, IoError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    /// Reads a `u64`.
+    pub fn u64(&mut self, what: &str) -> Result<u64, IoError> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    /// Reads an `f32`.
+    pub fn f32(&mut self, what: &str) -> Result<f32, IoError> {
+        let b = self.take(4, what)?;
+        Ok(f32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    /// Reads a `u32` element count and validates that `count * elem_size`
+    /// bytes actually remain, so a corrupt count can never trigger an
+    /// oversized allocation.
+    pub fn array_len(&mut self, elem_size: usize, what: &str) -> Result<usize, IoError> {
+        let at = self.pos;
+        let n = self.u32(what)? as usize;
+        let need = n.checked_mul(elem_size).ok_or_else(|| {
+            IoError::blob(self.format, at, format!("{what}: count {n} overflows"))
+        })?;
+        if need > self.remaining() {
+            return Err(IoError::blob(
+                self.format,
+                at,
+                format!(
+                    "{what}: count {n} needs {need} bytes, only {} remain",
+                    self.remaining()
+                ),
+            ));
+        }
+        Ok(n)
+    }
+
+    /// Reads a length-prefixed `u32` array.
+    pub fn u32s(&mut self, what: &str) -> Result<Vec<u32>, IoError> {
+        let n = self.array_len(4, what)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.u32(what)?);
+        }
+        Ok(out)
+    }
+
+    /// Reads a length-prefixed `f32` array.
+    pub fn f32s(&mut self, what: &str) -> Result<Vec<f32>, IoError> {
+        let n = self.array_len(4, what)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.f32(what)?);
+        }
+        Ok(out)
+    }
+
+    /// Errors unless the buffer was consumed exactly.
+    pub fn expect_end(&self) -> Result<(), IoError> {
+        if self.remaining() != 0 {
+            return Err(self.error(format!("{} trailing bytes after payload", self.remaining())));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn buf() -> Vec<u8> {
+        let mut b = Vec::new();
+        b.extend_from_slice(&3u32.to_le_bytes());
+        for v in [10u32, 20, 30] {
+            b.extend_from_slice(&v.to_le_bytes());
+        }
+        b
+    }
+
+    #[test]
+    fn reads_length_prefixed_arrays() {
+        let b = buf();
+        let mut r = ByteReader::new(&b, "T");
+        assert_eq!(r.u32s("xs").unwrap(), vec![10, 20, 30]);
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn oversized_count_is_rejected_before_allocating() {
+        let mut b = buf();
+        b[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut r = ByteReader::new(&b, "T");
+        let err = r.u32s("xs").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("byte 0"), "missing offset: {msg}");
+        assert!(msg.contains("only 12 remain"), "missing bound: {msg}");
+    }
+
+    #[test]
+    fn truncation_reports_exact_offset() {
+        let b = buf();
+        let mut r = ByteReader::new(&b[..10], "T");
+        // Count claims 3 elements (12 bytes) but only 6 remain.
+        assert!(r.u32s("xs").is_err());
+        let mut r = ByteReader::new(&b[..6], "T");
+        r.u32("head").unwrap();
+        let err = r.u32("tail").unwrap_err();
+        assert!(err.to_string().contains("byte 4"));
+    }
+
+    #[test]
+    fn trailing_bytes_are_an_error() {
+        let b = buf();
+        let mut r = ByteReader::new(&b, "T");
+        r.u32("head").unwrap();
+        assert!(r.expect_end().is_err());
+    }
+}

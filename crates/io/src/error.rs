@@ -18,6 +18,16 @@ pub enum IoError {
     },
     /// The parsed structure failed graph validation.
     Graph(GraphError),
+    /// Binary decode failure with an exact byte offset (spill files, store
+    /// blobs).
+    Blob {
+        /// Format being decoded ("Credo-spill", "Credo-blob").
+        format: &'static str,
+        /// Byte offset at which decoding failed.
+        offset: usize,
+        /// What went wrong.
+        message: String,
+    },
 }
 
 impl IoError {
@@ -25,6 +35,15 @@ impl IoError {
         IoError::Parse {
             format,
             line,
+            message: message.into(),
+        }
+    }
+
+    /// A located binary decode error (see [`crate::ByteReader`]).
+    pub fn blob(format: &'static str, offset: usize, message: impl Into<String>) -> Self {
+        IoError::Blob {
+            format,
+            offset,
             message: message.into(),
         }
     }
@@ -40,6 +59,11 @@ impl std::fmt::Display for IoError {
                 message,
             } => write!(f, "{format} parse error at line {line}: {message}"),
             IoError::Graph(e) => write!(f, "invalid network: {e}"),
+            IoError::Blob {
+                format,
+                offset,
+                message,
+            } => write!(f, "{format} decode error at byte {offset}: {message}"),
         }
     }
 }
@@ -49,7 +73,7 @@ impl std::error::Error for IoError {
         match self {
             IoError::Io(e) => Some(e),
             IoError::Graph(e) => Some(e),
-            IoError::Parse { .. } => None,
+            IoError::Parse { .. } | IoError::Blob { .. } => None,
         }
     }
 }

@@ -24,6 +24,8 @@ pub mod bif;
 pub mod mtx;
 pub mod xmlbif;
 
+mod bytes;
 mod error;
 
+pub use bytes::ByteReader;
 pub use error::IoError;

@@ -38,6 +38,14 @@ pub struct Metrics {
     pub batched_requests: AtomicU64,
     /// Peak queue depth observed at drain time.
     pub peak_queue_depth: AtomicU64,
+    /// Graphs whose compiled plan was mmap'd back from the plan store.
+    pub store_hits: AtomicU64,
+    /// Graphs compiled fresh because the store had no (usable) entry.
+    pub store_misses: AtomicU64,
+    /// Graphs that resumed from a persisted warm-start snapshot.
+    pub warm_resumes: AtomicU64,
+    /// Warm-start snapshots persisted at shutdown.
+    pub snapshots_saved: AtomicU64,
 }
 
 /// A plain-value snapshot of [`Metrics`], serializable for the `stats`
@@ -72,6 +80,14 @@ pub struct MetricsSnapshot {
     pub batched_requests: u64,
     /// Peak queue depth observed.
     pub peak_queue_depth: u64,
+    /// Plans loaded from the plan store.
+    pub store_hits: u64,
+    /// Plans compiled fresh (store miss or no store).
+    pub store_misses: u64,
+    /// Graphs resumed from a persisted warm snapshot.
+    pub warm_resumes: u64,
+    /// Warm snapshots persisted at shutdown.
+    pub snapshots_saved: u64,
 }
 
 impl Metrics {
@@ -109,6 +125,10 @@ impl Metrics {
             batches: self.batches.load(Ordering::Relaxed),
             batched_requests: self.batched_requests.load(Ordering::Relaxed),
             peak_queue_depth: self.peak_queue_depth.load(Ordering::Relaxed),
+            store_hits: self.store_hits.load(Ordering::Relaxed),
+            store_misses: self.store_misses.load(Ordering::Relaxed),
+            warm_resumes: self.warm_resumes.load(Ordering::Relaxed),
+            snapshots_saved: self.snapshots_saved.load(Ordering::Relaxed),
         }
     }
 }

@@ -24,6 +24,7 @@ use crate::protocol::{
 };
 use credo_core::{BpOptions, Dispatch, EvidenceDelta, WarmPolicy, WarmState};
 use credo_graph::BeliefGraph;
+use credo_store::{structural_hash, PlanStore, SourceKey, StoreError};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -85,6 +86,9 @@ struct Job {
 /// worker consults. The [`WarmState`] itself lives on the worker's stack.
 struct GraphSlot {
     num_nodes: usize,
+    /// Merkle root of the stored plan, when the graph came through (or
+    /// was saved to) a plan store — the key warm snapshots file under.
+    plan_root: Option<u128>,
     queue: Mutex<VecDeque<Job>>,
     cv: Condvar,
     cache: Mutex<PosteriorCache>,
@@ -93,6 +97,7 @@ struct GraphSlot {
 struct Inner {
     cfg: ServeConfig,
     graphs: RwLock<HashMap<String, Arc<GraphSlot>>>,
+    store: RwLock<Option<Arc<PlanStore>>>,
     metrics: Metrics,
     trace: Dispatch,
     shutdown: AtomicBool,
@@ -113,6 +118,7 @@ impl Server {
             inner: Arc::new(Inner {
                 cfg,
                 graphs: RwLock::new(HashMap::new()),
+                store: RwLock::new(None),
                 metrics: Metrics::default(),
                 trace,
                 shutdown: AtomicBool::new(false),
@@ -121,17 +127,111 @@ impl Server {
         }
     }
 
+    /// Attaches a content-addressed plan store rooted at `dir`. Graphs
+    /// added afterwards through [`Server::add_graph_cached`] load their
+    /// compiled plan (and latest warm snapshot) from it when present, and
+    /// every store-tracked graph persists a warm snapshot at shutdown.
+    pub fn set_store(&self, dir: impl Into<std::path::PathBuf>) -> Result<(), StoreError> {
+        let store = PlanStore::open(dir)?;
+        *self.inner.store.write().unwrap() = Some(Arc::new(store));
+        Ok(())
+    }
+
     /// Loads `graph` under `id` and starts its inference worker. The
     /// compile happens here, once; queries reuse the compiled plan.
     /// Replacing an existing id is not supported.
     pub fn add_graph(&self, id: &str, graph: BeliefGraph) {
+        let state = WarmState::new(graph, self.inner.cfg.engine_threads);
+        self.install(id, state, None);
+    }
+
+    /// Like [`Server::add_graph`], but routed through the attached plan
+    /// store: a stored plan for `key` is mmap'd back (`store_hits`) and
+    /// the latest warm snapshot restored (`warm_resumes`) — the graph is
+    /// never built and never compiled, so `build` (which may fail, e.g.
+    /// on a parse error) is only consulted on a miss. On a miss, or when
+    /// the stored entry is damaged, `build` runs, the plan is compiled
+    /// once and saved for the next restart (`store_misses`). Without a
+    /// store attached this is exactly [`Server::add_graph`].
+    pub fn add_graph_cached<E>(
+        &self,
+        id: &str,
+        key: SourceKey,
+        source: &str,
+        build: impl FnOnce() -> Result<BeliefGraph, E>,
+    ) -> Result<(), E> {
+        let store = self.inner.store.read().unwrap().clone();
+        let Some(store) = store else {
+            self.add_graph(id, build()?);
+            return Ok(());
+        };
+        let metrics = &self.inner.metrics;
+        let threads = self.inner.cfg.engine_threads;
+        match store.load_plan(&key) {
+            Ok(Some((plan, manifest))) => {
+                Metrics::inc(&metrics.store_hits);
+                if self.inner.trace.enabled() {
+                    self.inner.trace.event(
+                        "store_hit",
+                        &[("graph", id.into()), ("mapped", plan.is_mapped().into())],
+                    );
+                }
+                let root = manifest.root_hash();
+                let mut state = WarmState::from_plan(plan, threads);
+                if let Some(root) = root {
+                    if let Ok(Some(snap)) = store.load_warm_latest(root) {
+                        if state.restore(&snap).is_ok() {
+                            Metrics::inc(&metrics.warm_resumes);
+                            if self.inner.trace.enabled() {
+                                self.inner.trace.event(
+                                    "warm_resume",
+                                    &[
+                                        ("graph", id.into()),
+                                        ("converged", snap.converged.into()),
+                                        ("evidence", snap.overlay.len().into()),
+                                    ],
+                                );
+                            }
+                        }
+                    }
+                }
+                self.install(id, state, root);
+            }
+            miss => {
+                Metrics::inc(&metrics.store_misses);
+                if self.inner.trace.enabled() {
+                    let why = match &miss {
+                        Err(e) => e.to_string(),
+                        _ => "not stored".to_string(),
+                    };
+                    self.inner.trace.event(
+                        "store_miss",
+                        &[("graph", id.into()), ("why", why.as_str().into())],
+                    );
+                }
+                let graph = build()?;
+                let structural = structural_hash(&graph);
+                let state = WarmState::new(graph, threads);
+                // Persisting is best-effort: a read-only or full store
+                // must not stop the server from answering queries.
+                let root = store
+                    .save_plan(key, source, structural, state.plan())
+                    .ok()
+                    .and_then(|m| m.root_hash());
+                self.install(id, state, root);
+            }
+        }
+        Ok(())
+    }
+
+    fn install(&self, id: &str, state: WarmState, plan_root: Option<u128>) {
         let slot = Arc::new(GraphSlot {
-            num_nodes: graph.num_nodes(),
+            num_nodes: state.num_nodes(),
+            plan_root,
             queue: Mutex::new(VecDeque::new()),
             cv: Condvar::new(),
             cache: Mutex::new(PosteriorCache::new(self.inner.cfg.cache_cap)),
         });
-        let state = WarmState::new(graph, self.inner.cfg.engine_threads);
         let prev = self
             .inner
             .graphs
@@ -340,12 +440,40 @@ fn worker_loop(inner: Arc<Inner>, slot: Arc<GraphSlot>, mut state: WarmState) {
                 queue = slot.cv.wait(queue).unwrap();
             }
             if queue.is_empty() {
-                return; // shutdown with nothing left to drain
+                // Shutdown with nothing left to drain: persist this
+                // graph's inference state so the next serve process
+                // resumes warm instead of re-inferring from priors.
+                drop(queue);
+                snapshot_on_shutdown(&inner, &slot, &state);
+                return;
             }
             let take = queue.len().min(inner.cfg.batch_max.max(1));
             queue.drain(..take).collect::<Vec<Job>>()
         };
         process_batch(&inner, &slot, &mut state, batch);
+    }
+}
+
+/// Persists the worker's warm state into the attached store (best-effort;
+/// requires the graph to have come through the store so its plan root is
+/// known).
+fn snapshot_on_shutdown(inner: &Inner, slot: &GraphSlot, state: &WarmState) {
+    let Some(root) = slot.plan_root else { return };
+    let store = inner.store.read().unwrap().clone();
+    let Some(store) = store else { return };
+    let overlay: Vec<(u32, u32)> = state.evidence().iter().map(|(&v, &s)| (v, s)).collect();
+    let key = evidence_key(&overlay);
+    if store.save_warm(root, &key, &state.snapshot()).is_ok() {
+        Metrics::inc(&inner.metrics.snapshots_saved);
+        if inner.trace.enabled() {
+            inner.trace.event(
+                "store_snapshot",
+                &[
+                    ("evidence", overlay.len().into()),
+                    ("converged", state.converged().into()),
+                ],
+            );
+        }
     }
 }
 

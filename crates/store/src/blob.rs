@@ -1,0 +1,510 @@
+//! The mmap-able blob container: little-endian, offset-based, validated
+//! on open.
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  "CRDOBLB1"
+//! 8       4     format version (u32, currently 1)
+//! 12      4     blob kind (u32; plan body/state, shard, meta, warm)
+//! 16      8     layout hash (u64 — hash of the layout description)
+//! 24      8     total length (u64, must equal the file size)
+//! 32      4     section count (u32)
+//! 36      4     reserved (0)
+//! 40      16    checksum (u128 murmur3 of bytes [0,40) ++ [56,total))
+//! 56      8     reserved (0)
+//! 64      24×N  section table: id u32, dtype u32, count u64, offset u64
+//! ...           payload sections, each 8-byte aligned
+//! ```
+//!
+//! The checksum doubles as the blob's **content address**: the file is
+//! named `<checksum-hex>.blob`, so identical content dedups to one file
+//! and a bit flip anywhere (header included) is caught on open. Opening
+//! validates magic/version/layout, the declared length against the real
+//! file size, every section's dtype, alignment and bounds, and finally
+//! the checksum — all before a single payload byte is interpreted.
+
+use crate::error::StoreError;
+use crate::mmap::Mapping;
+use credo_graph::{PlanBytes, Slab, SlabItem};
+use murmur3::Hasher128;
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Magic bytes opening every credo blob file.
+pub const MAGIC: [u8; 8] = *b"CRDOBLB1";
+/// Current format version.
+pub const VERSION: u32 = 1;
+/// Fixed header size.
+pub const HEADER_LEN: usize = 64;
+/// Section table entry size.
+pub const SECTION_ENTRY_LEN: usize = 24;
+/// Upper bound on sections per blob (sanity check on corrupt counts).
+pub const MAX_SECTIONS: u32 = 64;
+
+/// Blob kinds.
+pub mod kind {
+    /// Resident plan structure (offsets, arcs, potential pool).
+    pub const PLAN_BODY: u32 = 1;
+    /// Resident plan evidence state (priors, observed flags).
+    pub const PLAN_STATE: u32 = 2;
+    /// One execution shard.
+    pub const SHARD: u32 = 3;
+    /// Sharded-plan partition/frontier metadata.
+    pub const SHARDED_META: u32 = 4;
+    /// Warm-start snapshot (packed posteriors + evidence overlay).
+    pub const WARM: u32 = 5;
+}
+
+/// Section element dtypes.
+pub mod dtype {
+    /// `u8`.
+    pub const U8: u32 = 1;
+    /// `u16`.
+    pub const U16: u32 = 2;
+    /// `u32`.
+    pub const U32: u32 = 3;
+    /// `u64`.
+    pub const U64: u32 = 4;
+    /// `f32`.
+    pub const F32: u32 = 5;
+    /// 12-byte `PackedArc`.
+    pub const ARC: u32 = 6;
+
+    /// Element size of a dtype, `None` for unknown codes.
+    pub fn size(dt: u32) -> Option<usize> {
+        match dt {
+            U8 => Some(1),
+            U16 => Some(2),
+            U32 => Some(4),
+            U64 => Some(8),
+            F32 => Some(4),
+            ARC => Some(12),
+            _ => None,
+        }
+    }
+}
+
+const LAYOUT_DESC: &str = "credo-blob-v1: header64(magic8,ver4,kind4,layout8,total8,nsec4,r4,\
+                           ck16,r8) table(id4,dtype4,count8,off8)*; little-endian; sections \
+                           8-aligned; dtypes u8,u16,u32,u64,f32,arc12";
+
+/// Hash of the layout description — changes whenever the format does, so
+/// stale caches from older builds are rejected as [`StoreError::Mismatch`]
+/// instead of being misparsed.
+pub fn layout_hash() -> u64 {
+    murmur3::murmur3_x64_128(LAYOUT_DESC.as_bytes(), 0) as u64
+}
+
+/// One section to serialize: `bytes` must hold exactly
+/// `count * dtype::size(dtype)` bytes.
+pub struct Section<'a> {
+    /// Section id (unique within the blob).
+    pub id: u32,
+    /// Element dtype (see [`dtype`]).
+    pub dtype: u32,
+    /// Element count.
+    pub count: u64,
+    /// Raw little-endian element bytes.
+    pub bytes: &'a [u8],
+}
+
+/// Result of [`write_blob`]: where the blob landed and its identity.
+pub struct WrittenBlob {
+    /// Content hash == checksum == file stem.
+    pub hash: u128,
+    /// Final path (`<dir>/<hash-hex>.blob`).
+    pub path: PathBuf,
+    /// Total file size.
+    pub bytes: u64,
+}
+
+/// The object-file path for a content hash.
+pub fn blob_path(dir: &Path, hash: u128) -> PathBuf {
+    dir.join(format!("{hash:032x}.blob"))
+}
+
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Serializes `sections` into a content-addressed blob file under `dir`.
+/// The write is atomic (temp file + rename) and deduplicating: when a
+/// blob with identical content already exists, it is reused untouched.
+pub fn write_blob(
+    dir: &Path,
+    blob_kind: u32,
+    sections: &[Section],
+) -> Result<WrittenBlob, StoreError> {
+    let mut offset = HEADER_LEN as u64 + sections.len() as u64 * SECTION_ENTRY_LEN as u64;
+    let mut table = Vec::with_capacity(sections.len() * SECTION_ENTRY_LEN);
+    let mut placed = Vec::with_capacity(sections.len());
+    for s in sections {
+        let elem = dtype::size(s.dtype)
+            .unwrap_or_else(|| panic!("unknown dtype {} in section {}", s.dtype, s.id));
+        assert_eq!(
+            s.bytes.len() as u64,
+            s.count * elem as u64,
+            "section {} byte length disagrees with count",
+            s.id
+        );
+        offset = offset.div_ceil(8) * 8;
+        table.extend_from_slice(&s.id.to_le_bytes());
+        table.extend_from_slice(&s.dtype.to_le_bytes());
+        table.extend_from_slice(&s.count.to_le_bytes());
+        table.extend_from_slice(&offset.to_le_bytes());
+        placed.push(offset);
+        offset += s.bytes.len() as u64;
+    }
+    let total_len = offset;
+
+    let mut head = [0u8; HEADER_LEN];
+    head[0..8].copy_from_slice(&MAGIC);
+    head[8..12].copy_from_slice(&VERSION.to_le_bytes());
+    head[12..16].copy_from_slice(&blob_kind.to_le_bytes());
+    head[16..24].copy_from_slice(&layout_hash().to_le_bytes());
+    head[24..32].copy_from_slice(&total_len.to_le_bytes());
+    head[32..36].copy_from_slice(&(sections.len() as u32).to_le_bytes());
+    // 36..40 reserved, 40..56 checksum (patched below), 56..64 reserved.
+
+    let mut hasher = Hasher128::new();
+    hasher.update(&head[0..40]);
+    hasher.update(&head[56..64]);
+    hasher.update(&table);
+
+    std::fs::create_dir_all(dir)?;
+    let tmp = dir.join(format!(
+        ".tmp-{}-{}",
+        std::process::id(),
+        TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let result = (|| -> Result<WrittenBlob, StoreError> {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&head)?;
+        f.write_all(&table)?;
+        let mut pos = HEADER_LEN as u64 + table.len() as u64;
+        const PAD: [u8; 8] = [0; 8];
+        for (s, &at) in sections.iter().zip(&placed) {
+            let pad = (at - pos) as usize;
+            f.write_all(&PAD[..pad])?;
+            hasher.update(&PAD[..pad]);
+            f.write_all(s.bytes)?;
+            hasher.update(s.bytes);
+            pos = at + s.bytes.len() as u64;
+        }
+        let hash = hasher.finish_u128();
+        f.seek(SeekFrom::Start(40))?;
+        f.write_all(&hash.to_le_bytes())?;
+        f.sync_all()?;
+        drop(f);
+
+        let path = blob_path(dir, hash);
+        // Dedup only trusts an existing file that still validates: a
+        // blob corrupted in place keeps its content-derived *name*, and
+        // the whole point of a re-save is to repair exactly that.
+        if path.exists() && Blob::open(&path).is_ok() {
+            std::fs::remove_file(&tmp).ok(); // identical content already stored
+        } else {
+            std::fs::rename(&tmp, &path)?;
+        }
+        Ok(WrittenBlob {
+            hash,
+            path,
+            bytes: total_len,
+        })
+    })();
+    if result.is_err() {
+        std::fs::remove_file(&tmp).ok();
+    }
+    result
+}
+
+#[derive(Clone, Copy, Debug)]
+struct SectionMeta {
+    id: u32,
+    dtype: u32,
+    count: u64,
+    offset: u64,
+}
+
+/// A validated, opened blob. Section accessors hand out zero-copy
+/// [`Slab`] views pinned by the shared mapping.
+pub struct Blob {
+    map: Arc<Mapping>,
+    path: PathBuf,
+    kind: u32,
+    checksum: u128,
+    sections: Vec<SectionMeta>,
+}
+
+impl Blob {
+    /// Opens and fully validates `path`: identity fields, declared vs
+    /// real size, section table bounds and alignment, then the content
+    /// checksum. Every failure is a structured [`StoreError`]; nothing in
+    /// here panics on hostile bytes.
+    pub fn open(path: &Path) -> Result<Blob, StoreError> {
+        let map = Arc::new(Mapping::open(path)?);
+        let b = map.bytes();
+        let corrupt = |d: String| StoreError::corrupt(path, d);
+        if b.len() < HEADER_LEN {
+            return Err(corrupt(format!(
+                "{} bytes is shorter than the header",
+                b.len()
+            )));
+        }
+        if b[0..8] != MAGIC {
+            return Err(StoreError::mismatch(path, "bad magic (not a credo blob)"));
+        }
+        let u32_at = |at: usize| u32::from_le_bytes(b[at..at + 4].try_into().unwrap());
+        let u64_at = |at: usize| u64::from_le_bytes(b[at..at + 8].try_into().unwrap());
+        let version = u32_at(8);
+        if version != VERSION {
+            return Err(StoreError::mismatch(
+                path,
+                format!("format version {version}, this build reads {VERSION}"),
+            ));
+        }
+        let blob_kind = u32_at(12);
+        let layout = u64_at(16);
+        if layout != layout_hash() {
+            return Err(StoreError::mismatch(
+                path,
+                format!("layout hash {layout:#x} differs from this build's"),
+            ));
+        }
+        let total_len = u64_at(24);
+        if total_len != b.len() as u64 {
+            return Err(corrupt(format!(
+                "declared length {total_len} but the file holds {} bytes",
+                b.len()
+            )));
+        }
+        let nsec = u32_at(32);
+        if nsec > MAX_SECTIONS {
+            return Err(corrupt(format!("implausible section count {nsec}")));
+        }
+        let table_end = HEADER_LEN as u64 + nsec as u64 * SECTION_ENTRY_LEN as u64;
+        if table_end > total_len {
+            return Err(corrupt(format!(
+                "section table needs {table_end} bytes, file holds {total_len}"
+            )));
+        }
+
+        let mut sections = Vec::with_capacity(nsec as usize);
+        for i in 0..nsec as usize {
+            let at = HEADER_LEN + i * SECTION_ENTRY_LEN;
+            let s = SectionMeta {
+                id: u32_at(at),
+                dtype: u32_at(at + 4),
+                count: u64_at(at + 8),
+                offset: u64_at(at + 16),
+            };
+            let elem = dtype::size(s.dtype)
+                .ok_or_else(|| corrupt(format!("section {} has unknown dtype {}", s.id, s.dtype)))?
+                as u64;
+            let bytes = s
+                .count
+                .checked_mul(elem)
+                .ok_or_else(|| corrupt(format!("section {} count {} overflows", s.id, s.count)))?;
+            let end = s
+                .offset
+                .checked_add(bytes)
+                .ok_or_else(|| corrupt(format!("section {} range overflows", s.id)))?;
+            if s.offset < table_end || end > total_len {
+                return Err(corrupt(format!(
+                    "section {} spans {}..{end}, outside payload {}..{total_len}",
+                    s.id, s.offset, table_end
+                )));
+            }
+            if !s.offset.is_multiple_of(8) {
+                return Err(corrupt(format!(
+                    "section {} offset {} is not 8-aligned",
+                    s.id, s.offset
+                )));
+            }
+            sections.push(s);
+        }
+
+        let mut hasher = Hasher128::new();
+        hasher.update(&b[0..40]);
+        hasher.update(&b[56..]);
+        let computed = hasher.finish_u128();
+        let stored = u128::from_le_bytes(b[40..56].try_into().unwrap());
+        if computed != stored {
+            return Err(corrupt(format!(
+                "checksum mismatch: stored {stored:032x}, computed {computed:032x}"
+            )));
+        }
+
+        Ok(Blob {
+            map,
+            path: path.to_path_buf(),
+            kind: blob_kind,
+            checksum: stored,
+            sections,
+        })
+    }
+
+    /// The blob kind (see [`kind`]).
+    pub fn kind(&self) -> u32 {
+        self.kind
+    }
+
+    /// The content hash (== checksum == file stem).
+    pub fn content_hash(&self) -> u128 {
+        self.checksum
+    }
+
+    /// Whether the backing storage is a real mmap.
+    pub fn is_mmap(&self) -> bool {
+        self.map.is_mmap()
+    }
+
+    /// Total size in bytes.
+    pub fn bytes_len(&self) -> usize {
+        self.map.bytes().len()
+    }
+
+    fn section(&self, id: u32) -> Option<&SectionMeta> {
+        self.sections.iter().find(|s| s.id == id)
+    }
+
+    /// A zero-copy [`Slab`] view of section `id`, which must exist and
+    /// carry `expect_dtype`.
+    pub fn slab<T: SlabItem>(&self, id: u32, expect_dtype: u32) -> Result<Slab<T>, StoreError> {
+        let s = *self
+            .section(id)
+            .ok_or_else(|| StoreError::corrupt(&self.path, format!("missing section {id}")))?;
+        if s.dtype != expect_dtype {
+            return Err(StoreError::corrupt(
+                &self.path,
+                format!(
+                    "section {id} has dtype {}, expected {expect_dtype}",
+                    s.dtype
+                ),
+            ));
+        }
+        let owner: Arc<dyn PlanBytes> = Arc::<Mapping>::clone(&self.map);
+        Slab::view(owner, s.offset as usize, s.count as usize)
+            .map_err(|m| StoreError::corrupt(&self.path, format!("section {id}: {m}")))
+    }
+
+    /// Section `id` copied into an owned `u32` vector.
+    pub fn vec_u32(&self, id: u32) -> Result<Vec<u32>, StoreError> {
+        Ok(self.slab::<u32>(id, dtype::U32)?.to_vec())
+    }
+
+    /// Section `id` copied into an owned `f32` vector.
+    pub fn vec_f32(&self, id: u32) -> Result<Vec<f32>, StoreError> {
+        Ok(self.slab::<f32>(id, dtype::F32)?.to_vec())
+    }
+
+    /// A `u8` section decoded as boolean flags (strictly 0 or 1 — any
+    /// other byte is corruption).
+    pub fn bools(&self, id: u32) -> Result<Vec<bool>, StoreError> {
+        let raw = self.slab::<u8>(id, dtype::U8)?;
+        if let Some(i) = raw.iter().position(|&v| v > 1) {
+            return Err(StoreError::corrupt(
+                &self.path,
+                format!("section {id} flag {i} holds {}, expected 0/1", raw[i]),
+            ));
+        }
+        Ok(raw.iter().map(|&v| v != 0).collect())
+    }
+
+    /// The file this blob was opened from.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("credo-blob-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn sample(dir: &Path) -> WrittenBlob {
+        let xs = [1u32, 2, 3, 4, 5];
+        let fs = [0.5f32, 0.25];
+        let flags = [1u8, 0, 1];
+        let xb: Vec<u8> = xs.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let fb: Vec<u8> = fs.iter().flat_map(|v| v.to_le_bytes()).collect();
+        write_blob(
+            dir,
+            kind::PLAN_BODY,
+            &[
+                Section {
+                    id: 1,
+                    dtype: dtype::U32,
+                    count: 5,
+                    bytes: &xb,
+                },
+                Section {
+                    id: 8,
+                    dtype: dtype::U8,
+                    count: 3,
+                    bytes: &flags,
+                },
+                Section {
+                    id: 7,
+                    dtype: dtype::F32,
+                    count: 2,
+                    bytes: &fb,
+                },
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_and_dedup() {
+        let dir = tmpdir("rt");
+        let w = sample(&dir);
+        let again = sample(&dir);
+        assert_eq!(w.hash, again.hash, "identical content must dedup");
+        let b = Blob::open(&w.path).unwrap();
+        assert_eq!(b.kind(), kind::PLAN_BODY);
+        assert_eq!(b.content_hash(), w.hash);
+        assert_eq!(b.vec_u32(1).unwrap(), vec![1, 2, 3, 4, 5]);
+        assert_eq!(b.vec_f32(7).unwrap(), vec![0.5, 0.25]);
+        assert_eq!(b.bools(8).unwrap(), vec![true, false, true]);
+        assert!(b.slab::<u32>(99, dtype::U32).is_err(), "missing section");
+        assert!(b.slab::<f32>(1, dtype::F32).is_err(), "dtype mismatch");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_caught() {
+        let dir = tmpdir("flip");
+        let w = sample(&dir);
+        let clean = std::fs::read(&w.path).unwrap();
+        let victim = dir.join("victim.blob");
+        for i in 0..clean.len() {
+            let mut bad = clean.clone();
+            bad[i] ^= 0x40;
+            std::fs::write(&victim, &bad).unwrap();
+            assert!(
+                Blob::open(&victim).is_err(),
+                "flip at byte {i} went undetected"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn every_truncation_is_caught() {
+        let dir = tmpdir("trunc");
+        let w = sample(&dir);
+        let clean = std::fs::read(&w.path).unwrap();
+        let victim = dir.join("victim.blob");
+        for cut in 0..clean.len() {
+            std::fs::write(&victim, &clean[..cut]).unwrap();
+            assert!(Blob::open(&victim).is_err(), "truncation to {cut} accepted");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,87 @@
+//! Structured store errors: a corrupted or truncated cache entry must
+//! surface as a value the caller can fall back on, never as a panic.
+
+use std::path::PathBuf;
+
+/// Anything that can go wrong talking to the plan store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+    /// A blob or manifest exists but its contents are damaged: checksum
+    /// mismatch, out-of-bounds section, or a structural invariant the
+    /// plans rely on does not hold.
+    Corrupt {
+        /// File the damage was found in.
+        path: PathBuf,
+        /// What exactly failed, with a byte offset where available.
+        detail: String,
+    },
+    /// The file is not a compatible credo blob: wrong magic, format
+    /// version, layout hash or blob kind. Distinct from
+    /// [`StoreError::Corrupt`] because it usually means a stale cache
+    /// from another build, not damage.
+    Mismatch {
+        /// File that was rejected.
+        path: PathBuf,
+        /// Which identity field disagreed.
+        detail: String,
+    },
+}
+
+impl StoreError {
+    pub(crate) fn corrupt(path: impl Into<PathBuf>, detail: impl Into<String>) -> Self {
+        StoreError::Corrupt {
+            path: path.into(),
+            detail: detail.into(),
+        }
+    }
+
+    pub(crate) fn mismatch(path: impl Into<PathBuf>, detail: impl Into<String>) -> Self {
+        StoreError::Mismatch {
+            path: path.into(),
+            detail: detail.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            StoreError::Corrupt { path, detail } => {
+                write!(f, "corrupt store entry {}: {detail}", path.display())
+            }
+            StoreError::Mismatch { path, detail } => {
+                write!(f, "incompatible store entry {}: {detail}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_file() {
+        let e = StoreError::corrupt("/tmp/x.blob", "checksum mismatch");
+        let s = e.to_string();
+        assert!(s.contains("x.blob") && s.contains("checksum"));
+    }
+}

@@ -1,0 +1,131 @@
+//! Content hashing for cache keys.
+//!
+//! The **structural hash** covers everything that determines a compiled
+//! plan's *structure* — node cardinalities, the arc list, and the joint
+//! probability matrices — and deliberately excludes priors and observed
+//! flags. Evidence lives in a separate state blob, so observing a node or
+//! re-binding priors leaves the (usually much larger) structural blob's
+//! address unchanged and the cache reuses it byte-for-byte.
+//!
+//! Composite artifacts (a sharded plan's meta + K shard blobs, a plan's
+//! body + state pair) are identified by a **Merkle root**: the hash of the
+//! concatenated constituent hashes. Changing one shard re-derives one leaf
+//! and the root; the other K-1 blobs keep their addresses and are reused.
+
+use credo_graph::{BeliefGraph, PotentialStore};
+use murmur3::Hasher128;
+
+const STRUCTURAL_SEED: u32 = 0xC11ED0;
+
+/// Hashes the structure of `g`: cardinalities, arcs and potentials, but
+/// **not** priors or observed flags (those are evidence, stored
+/// separately).
+pub fn structural_hash(g: &BeliefGraph) -> u128 {
+    let mut h = Hasher128::with_seed(STRUCTURAL_SEED);
+    h.update(b"credo-structural-v1");
+    h.update(&(g.num_nodes() as u64).to_le_bytes());
+    for v in 0..g.num_nodes() {
+        h.update(&(g.cardinality(v as u32) as u32).to_le_bytes());
+    }
+    h.update(&(g.num_arcs() as u64).to_le_bytes());
+    for a in g.arcs() {
+        h.update(&a.src.to_le_bytes());
+        h.update(&a.dst.to_le_bytes());
+        h.update(&[a.reverse as u8]);
+    }
+    match g.potentials() {
+        PotentialStore::Shared { forward, .. } => {
+            h.update(b"shared");
+            hash_matrix(&mut h, forward);
+        }
+        PotentialStore::PerEdge(ms) => {
+            h.update(b"per-edge");
+            for m in ms {
+                hash_matrix(&mut h, m);
+            }
+        }
+    }
+    h.finish_u128()
+}
+
+fn hash_matrix(h: &mut Hasher128, m: &credo_graph::JointMatrix) {
+    h.update(&(m.rows() as u32).to_le_bytes());
+    h.update(&(m.cols() as u32).to_le_bytes());
+    for &v in m.data() {
+        h.update(&v.to_bits().to_le_bytes());
+    }
+}
+
+/// The Merkle root over an ordered list of constituent content hashes.
+pub fn merkle_root(leaves: &[u128]) -> u128 {
+    let mut h = Hasher128::with_seed(STRUCTURAL_SEED);
+    h.update(b"credo-merkle-v1");
+    h.update(&(leaves.len() as u64).to_le_bytes());
+    for leaf in leaves {
+        h.update(&leaf.to_le_bytes());
+    }
+    h.finish_u128()
+}
+
+/// `u128` → 32 lowercase hex digits (the on-disk spelling of every hash).
+pub fn hex_u128(v: u128) -> String {
+    format!("{v:032x}")
+}
+
+/// Parses the 32-hex-digit spelling back; `None` on anything else.
+pub fn parse_hex_u128(s: &str) -> Option<u128> {
+    if s.len() != 32 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return None;
+    }
+    u128::from_str_radix(s, 16).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use credo_graph::generators::{self, GenOptions};
+
+    fn grid() -> BeliefGraph {
+        generators::grid(4, 4, &GenOptions::new(2).with_seed(7))
+    }
+
+    #[test]
+    fn evidence_does_not_change_the_structural_hash() {
+        let mut g = grid();
+        let before = structural_hash(&g);
+        g.observe(3, 1);
+        assert_eq!(structural_hash(&g), before, "observe must not re-key");
+        g.priors_mut()[0] = credo_graph::Belief::from_slice(&[0.9, 0.1]);
+        assert_eq!(structural_hash(&g), before, "priors must not re-key");
+    }
+
+    #[test]
+    fn structure_changes_do_re_key() {
+        use credo_graph::generators::PotentialKind;
+        let a = structural_hash(&grid());
+        let opts = GenOptions::new(2)
+            .with_seed(7)
+            .with_potentials(PotentialKind::SharedSmoothing(0.3));
+        let b = structural_hash(&generators::grid(4, 4, &opts));
+        let c = structural_hash(&generators::grid(4, 5, &GenOptions::new(2).with_seed(7)));
+        assert_ne!(a, b, "different potentials");
+        assert_ne!(a, c, "different topology");
+    }
+
+    #[test]
+    fn merkle_root_is_order_and_content_sensitive() {
+        let r = merkle_root(&[1, 2, 3]);
+        assert_ne!(r, merkle_root(&[3, 2, 1]));
+        assert_ne!(r, merkle_root(&[1, 2]));
+        assert_eq!(r, merkle_root(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        for v in [0u128, 1, u128::MAX, 0xDEAD_BEEF] {
+            assert_eq!(parse_hex_u128(&hex_u128(v)), Some(v));
+        }
+        assert_eq!(parse_hex_u128("xyz"), None);
+        assert_eq!(parse_hex_u128(&"0".repeat(33)), None);
+    }
+}

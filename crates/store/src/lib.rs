@@ -1,0 +1,47 @@
+//! # credo-store
+//!
+//! Content-addressed persistence for compiled execution plans and
+//! warm-start state, built for one number: restart latency. Compiling a
+//! million-node plan takes seconds; `mmap`-ing its stored blob back takes
+//! microseconds and pages in lazily, so a restarted `credo serve` answers
+//! its first query in well under a second.
+//!
+//! The pieces:
+//!
+//! * [`Blob`] — the validated, mmap-able container format (fixed header,
+//!   section table, 8-aligned payload, whole-file checksum that doubles
+//!   as the content address).
+//! * [`PlanStore`] — the on-disk store: deduplicated `objects/`,
+//!   manifests keyed by content-derived [`SourceKey`]s, warm snapshots
+//!   keyed by plan root + evidence fingerprint, plus `gc` (LRU byte
+//!   budget) and `verify` (full re-checksum).
+//! * [`structural_hash`] / [`merkle_root`] — the hashing scheme that
+//!   makes invalidation precise: evidence changes re-key only the small
+//!   state blob, single-shard changes reuse every other shard blob.
+//! * [`Mapping`] — read-only mmap (raw syscalls, no libc dependency)
+//!   with an aligned heap fallback.
+//!
+//! Every load path validates before it trusts: container checks (magic,
+//! version, layout hash, bounds, alignment, checksum) and then the plan
+//! types' own semantic validators. A truncated or bit-flipped file is a
+//! structured [`StoreError`], never a panic — callers recompile and
+//! overwrite.
+
+#![warn(missing_docs)]
+
+mod blob;
+mod error;
+mod hash;
+mod mmap;
+mod plan_io;
+mod store;
+
+pub use blob::{blob_path, dtype, kind, layout_hash, write_blob, Blob, Section, WrittenBlob};
+pub use error::StoreError;
+pub use hash::{hex_u128, merkle_root, parse_hex_u128, structural_hash};
+pub use mmap::Mapping;
+pub use plan_io::{
+    load_exec_graph, load_shard, load_sharded_meta, load_warm, save_exec_graph, save_shard,
+    save_sharded_meta, save_warm, sec, PlanBlobs,
+};
+pub use store::{GcReport, PlanManifest, PlanStore, SourceKey, VerifyReport};

@@ -1,0 +1,203 @@
+//! Read-only file mappings backing zero-copy plan loads.
+//!
+//! On unix the blob file is `mmap`'d privately (raw syscalls — the build
+//! environment vendors no `libc` crate) so a multi-hundred-megabyte plan
+//! "loads" in microseconds and pages in lazily as engines touch it. On
+//! other targets, or when the mapping fails, the file is read into an
+//! 8-byte-aligned heap buffer instead — same [`PlanBytes`] interface,
+//! just eager.
+
+use credo_graph::PlanBytes;
+use std::fs::File;
+use std::io::{self, Read};
+use std::path::Path;
+
+#[cfg(unix)]
+mod sys {
+    use std::os::raw::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_PRIVATE: c_int = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+}
+
+enum MapInner {
+    #[cfg(unix)]
+    Mapped {
+        ptr: *const u8,
+        len: usize,
+    },
+    Heap {
+        buf: Vec<u64>,
+        len: usize,
+    },
+}
+
+/// An immutable byte buffer holding one blob file: an `mmap` when
+/// available, an aligned heap copy otherwise. The start address is always
+/// at least 8-byte aligned, which the blob layout relies on for its
+/// section alignment guarantees.
+pub struct Mapping {
+    inner: MapInner,
+}
+
+// Safety: the mapping is private and read-only for its whole lifetime.
+unsafe impl Send for Mapping {}
+unsafe impl Sync for Mapping {}
+
+impl Mapping {
+    /// Maps (or reads) `path`. `mmap` is attempted on unix for non-empty
+    /// files; any failure falls back to an aligned heap read.
+    pub fn open(path: &Path) -> io::Result<Mapping> {
+        #[cfg(unix)]
+        {
+            if let Some(m) = Self::try_mmap(path)? {
+                return Ok(m);
+            }
+        }
+        Self::read_aligned(path)
+    }
+
+    #[cfg(unix)]
+    fn try_mmap(path: &Path) -> io::Result<Option<Mapping>> {
+        use std::os::unix::io::AsRawFd;
+        let file = File::open(path)?;
+        let len = file.metadata()?.len();
+        if len == 0 || len > usize::MAX as u64 {
+            return Ok(None); // zero-length mmap is an error; fall back
+        }
+        let len = len as usize;
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == -1 || ptr.is_null() {
+            return Ok(None);
+        }
+        Ok(Some(Mapping {
+            inner: MapInner::Mapped {
+                ptr: ptr as *const u8,
+                len,
+            },
+        }))
+    }
+
+    /// Reads `path` into an 8-byte-aligned heap buffer.
+    pub fn read_aligned(path: &Path) -> io::Result<Mapping> {
+        let mut file = File::open(path)?;
+        let len = file.metadata()?.len() as usize;
+        let mut buf = vec![0u64; len.div_ceil(8)];
+        // Sound: u64 -> u8 reinterpretation of an initialized buffer.
+        let bytes =
+            unsafe { std::slice::from_raw_parts_mut(buf.as_mut_ptr() as *mut u8, buf.len() * 8) };
+        file.read_exact(&mut bytes[..len])?;
+        Ok(Mapping {
+            inner: MapInner::Heap { buf, len },
+        })
+    }
+
+    /// True when this mapping is a real `mmap` (zero-copy, lazily paged).
+    pub fn is_mmap(&self) -> bool {
+        match &self.inner {
+            #[cfg(unix)]
+            MapInner::Mapped { .. } => true,
+            MapInner::Heap { .. } => false,
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        match &self.inner {
+            #[cfg(unix)]
+            MapInner::Mapped { len, .. } => *len,
+            MapInner::Heap { len, .. } => *len,
+        }
+    }
+
+    /// True when the file was empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl PlanBytes for Mapping {
+    fn bytes(&self) -> &[u8] {
+        match &self.inner {
+            #[cfg(unix)]
+            MapInner::Mapped { ptr, len } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+            MapInner::Heap { buf, len } => unsafe {
+                std::slice::from_raw_parts(buf.as_ptr() as *const u8, *len)
+            },
+        }
+    }
+}
+
+impl Drop for Mapping {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let MapInner::Mapped { ptr, len } = &self.inner {
+            unsafe {
+                sys::munmap(*ptr as *mut std::os::raw::c_void, *len);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpfile(tag: &str, bytes: &[u8]) -> std::path::PathBuf {
+        let p = std::env::temp_dir().join(format!("credo-map-{tag}-{}", std::process::id()));
+        std::fs::write(&p, bytes).unwrap();
+        p
+    }
+
+    #[test]
+    fn mmap_and_heap_agree() {
+        let data: Vec<u8> = (0..=255u8).collect();
+        let p = tmpfile("agree", &data);
+        let m = Mapping::open(&p).unwrap();
+        let h = Mapping::read_aligned(&p).unwrap();
+        assert_eq!(m.bytes(), &data[..]);
+        assert_eq!(h.bytes(), &data[..]);
+        assert!(!h.is_mmap());
+        assert_eq!(m.len(), 256);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn heap_buffer_is_8_aligned() {
+        let p = tmpfile("align", &[1, 2, 3]);
+        let h = Mapping::read_aligned(&p).unwrap();
+        assert_eq!(h.bytes().as_ptr() as usize % 8, 0);
+        assert_eq!(h.bytes(), &[1, 2, 3]);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_bytes() {
+        let p = tmpfile("empty", &[]);
+        let m = Mapping::open(&p).unwrap();
+        assert!(m.is_empty());
+        assert_eq!(m.bytes().len(), 0);
+        std::fs::remove_file(&p).ok();
+    }
+}

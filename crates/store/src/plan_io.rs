@@ -1,0 +1,592 @@
+//! (De)serialization between compiled plan types and blob files.
+//!
+//! A resident [`ExecGraph`] is split across **two** blobs: the *body*
+//! (offsets, arcs, potential pool — the expensive, structure-determined
+//! part) and the *state* (priors + observed flags — the evidence). The
+//! split is what makes evidence-only changes cheap: re-binding evidence
+//! rewrites a small state blob while the body blob keeps its content
+//! address and is reused, typically straight out of the page cache.
+//!
+//! Sharded plans serialize as one [`ShardedMeta`] blob plus one blob per
+//! [`ExecShard`]; warm-start snapshots serialize packed posteriors plus
+//! the evidence overlay. Every load route runs the plan types' own
+//! semantic validators (`ExecGraph::from_parts`, `ExecShard::validate`)
+//! after the container-level checks, so damaged bytes surface as
+//! [`StoreError::Corrupt`] — never as an engine panic.
+
+use crate::blob::{self, dtype, kind, Blob, Section, WrittenBlob};
+use crate::error::StoreError;
+use credo_core::WarmSnapshot;
+use credo_graph::{
+    slab_bytes, ExecGraph, ExecGraphParts, ExecShard, PackedArc, ShardCopy, ShardedMeta,
+};
+use std::path::Path;
+
+/// Section ids shared by every blob kind.
+pub mod sec {
+    /// `n+1` node prefix offsets.
+    pub const NODE_OFF: u32 = 1;
+    /// Packed priors (plan state) / packed posteriors (warm snapshots).
+    pub const PACKED_F32: u32 = 2;
+    /// `n+1` in-arc prefix offsets.
+    pub const IN_OFF: u32 = 3;
+    /// Pre-resolved in-arcs.
+    pub const IN_ARCS: u32 = 4;
+    /// `n+1` out-neighbour prefix offsets.
+    pub const OUT_OFF: u32 = 5;
+    /// Out-neighbour destinations.
+    pub const OUT_DST: u32 = 6;
+    /// Deduplicated potential pool.
+    pub const POT_POOL: u32 = 7;
+    /// Observed flags (0/1 bytes).
+    pub const OBSERVED: u32 = 8;
+    /// Small fixed-size scalar block (meaning depends on blob kind).
+    pub const META: u32 = 9;
+    /// Shard halo global ids.
+    pub const HALO: u32 = 10;
+    /// Per-node cardinalities.
+    pub const CARDS: u32 = 11;
+    /// Flattened shard `[lo, hi)` ranges.
+    pub const RANGES: u32 = 12;
+    /// Frontier global ids.
+    pub const FRONTIER: u32 = 13;
+    /// Frontier belief prefix offsets.
+    pub const FRONTIER_OFF: u32 = 14;
+    /// Initial frontier beliefs.
+    pub const FRONTIER_INIT: u32 = 15;
+    /// Per-shard prefix offsets into the flattened import list.
+    pub const IMPORT_OFF: u32 = 16;
+    /// Flattened import `ShardCopy` triples.
+    pub const IMPORTS: u32 = 17;
+    /// Per-shard prefix offsets into the flattened export list.
+    pub const EXPORT_OFF: u32 = 18;
+    /// Flattened export `ShardCopy` triples.
+    pub const EXPORTS: u32 = 19;
+    /// Warm-snapshot evidence overlay `(node, state)` pairs.
+    pub const OVERLAY: u32 = 21;
+}
+
+fn u32_section(id: u32, data: &[u32]) -> Section<'_> {
+    Section {
+        id,
+        dtype: dtype::U32,
+        count: data.len() as u64,
+        bytes: slab_bytes(data),
+    }
+}
+
+fn f32_section(id: u32, data: &[f32]) -> Section<'_> {
+    Section {
+        id,
+        dtype: dtype::F32,
+        count: data.len() as u64,
+        bytes: slab_bytes(data),
+    }
+}
+
+fn u8_section(id: u32, data: &[u8]) -> Section<'_> {
+    Section {
+        id,
+        dtype: dtype::U8,
+        count: data.len() as u64,
+        bytes: data,
+    }
+}
+
+fn bool_bytes(flags: &[bool]) -> Vec<u8> {
+    flags.iter().map(|&b| b as u8).collect()
+}
+
+fn expect_kind(b: &Blob, want: u32, what: &str) -> Result<(), StoreError> {
+    if b.kind() != want {
+        return Err(StoreError::mismatch(
+            b.path(),
+            format!(
+                "blob kind {} where a {what} blob (kind {want}) was expected",
+                b.kind()
+            ),
+        ));
+    }
+    Ok(())
+}
+
+/// The two blobs a resident plan serializes into.
+pub struct PlanBlobs {
+    /// Structure: offsets, arcs, potential pool.
+    pub body: WrittenBlob,
+    /// Evidence: priors and observed flags.
+    pub state: WrittenBlob,
+}
+
+/// Serializes a resident plan into a body blob + state blob under `dir`.
+pub fn save_exec_graph(dir: &Path, plan: &ExecGraph) -> Result<PlanBlobs, StoreError> {
+    let meta = [
+        plan.uniform_card().is_some() as u32,
+        plan.uniform_card().unwrap_or(0) as u32,
+        plan.is_shared() as u32,
+        plan.pool_matrices() as u32,
+    ];
+    let body = blob::write_blob(
+        dir,
+        kind::PLAN_BODY,
+        &[
+            u32_section(sec::NODE_OFF, plan.node_offsets()),
+            u32_section(sec::IN_OFF, plan.in_offsets()),
+            Section {
+                id: sec::IN_ARCS,
+                dtype: dtype::ARC,
+                count: plan.in_arc_array().len() as u64,
+                bytes: slab_bytes(plan.in_arc_array()),
+            },
+            u32_section(sec::OUT_OFF, plan.out_offsets()),
+            u32_section(sec::OUT_DST, plan.out_dst_array()),
+            f32_section(sec::POT_POOL, plan.pot_pool()),
+            u32_section(sec::META, &meta),
+        ],
+    )?;
+    let observed = bool_bytes(plan.observed());
+    let state = blob::write_blob(
+        dir,
+        kind::PLAN_STATE,
+        &[
+            f32_section(sec::PACKED_F32, plan.priors()),
+            u8_section(sec::OBSERVED, &observed),
+        ],
+    )?;
+    Ok(PlanBlobs { body, state })
+}
+
+/// Reassembles a resident plan from its body + state blob files. The body
+/// arrays stay zero-copy views into the mapping; priors and observed
+/// flags (the mutable evidence) are copied out as owned arrays.
+pub fn load_exec_graph(body_path: &Path, state_path: &Path) -> Result<ExecGraph, StoreError> {
+    let body = Blob::open(body_path)?;
+    expect_kind(&body, kind::PLAN_BODY, "plan body")?;
+    let state = Blob::open(state_path)?;
+    expect_kind(&state, kind::PLAN_STATE, "plan state")?;
+
+    let meta = body.vec_u32(sec::META)?;
+    if meta.len() != 4 {
+        return Err(StoreError::corrupt(
+            body_path,
+            format!("plan meta has {} scalars, expected 4", meta.len()),
+        ));
+    }
+    let parts = ExecGraphParts {
+        node_off: body.slab(sec::NODE_OFF, dtype::U32)?,
+        priors: state.vec_f32(sec::PACKED_F32)?,
+        in_off: body.slab(sec::IN_OFF, dtype::U32)?,
+        in_arcs: body.slab::<PackedArc>(sec::IN_ARCS, dtype::ARC)?,
+        out_off: body.slab(sec::OUT_OFF, dtype::U32)?,
+        out_dst: body.slab(sec::OUT_DST, dtype::U32)?,
+        pot_pool: body.slab(sec::POT_POOL, dtype::F32)?,
+        observed: state.bools(sec::OBSERVED)?,
+        uniform_card: (meta[0] != 0).then_some(meta[1]),
+        shared: meta[2] != 0,
+        pool_matrices: meta[3],
+    };
+    ExecGraph::from_parts(parts).map_err(|m| StoreError::corrupt(body_path, m))
+}
+
+/// Serializes one execution shard into a blob under `dir`.
+pub fn save_shard(dir: &Path, shard: &ExecShard) -> Result<WrittenBlob, StoreError> {
+    let observed = bool_bytes(&shard.observed);
+    let meta = [shard.range.0, shard.range.1, shard.pool_matrices];
+    blob::write_blob(
+        dir,
+        kind::SHARD,
+        &[
+            u32_section(sec::NODE_OFF, &shard.node_off),
+            f32_section(sec::PACKED_F32, &shard.priors),
+            u32_section(sec::IN_OFF, &shard.in_off),
+            Section {
+                id: sec::IN_ARCS,
+                dtype: dtype::ARC,
+                count: shard.in_arcs.len() as u64,
+                bytes: slab_bytes(&shard.in_arcs),
+            },
+            f32_section(sec::POT_POOL, &shard.pot_pool),
+            u8_section(sec::OBSERVED, &observed),
+            u32_section(sec::HALO, &shard.halo),
+            u32_section(sec::META, &meta),
+        ],
+    )
+}
+
+/// Loads one execution shard, zero-copy for every large array, and runs
+/// [`ExecShard::validate`] before handing it to an engine.
+pub fn load_shard(path: &Path) -> Result<ExecShard, StoreError> {
+    let b = Blob::open(path)?;
+    expect_kind(&b, kind::SHARD, "shard")?;
+    let meta = b.vec_u32(sec::META)?;
+    if meta.len() != 3 {
+        return Err(StoreError::corrupt(
+            path,
+            format!("shard meta has {} scalars, expected 3", meta.len()),
+        ));
+    }
+    let shard = ExecShard {
+        range: (meta[0], meta[1]),
+        node_off: b.slab(sec::NODE_OFF, dtype::U32)?,
+        priors: b.slab(sec::PACKED_F32, dtype::F32)?,
+        in_off: b.slab(sec::IN_OFF, dtype::U32)?,
+        in_arcs: b.slab::<PackedArc>(sec::IN_ARCS, dtype::ARC)?,
+        pot_pool: b.slab(sec::POT_POOL, dtype::F32)?,
+        pool_matrices: meta[2],
+        observed: b.bools(sec::OBSERVED)?,
+        halo: b.vec_u32(sec::HALO)?,
+    };
+    shard
+        .validate()
+        .map_err(|m| StoreError::corrupt(path, format!("invalid shard: {m}")))?;
+    Ok(shard)
+}
+
+fn flatten_copies(lists: &[Vec<ShardCopy>]) -> (Vec<u32>, Vec<u32>) {
+    let mut off = Vec::with_capacity(lists.len() + 1);
+    let mut flat = Vec::new();
+    off.push(0u32);
+    for l in lists {
+        for c in l {
+            flat.extend_from_slice(&[c.local_off, c.frontier_off, c.card as u32]);
+        }
+        off.push((flat.len() / 3) as u32);
+    }
+    (off, flat)
+}
+
+fn unflatten_copies(
+    path: &Path,
+    off: &[u32],
+    flat: &[u32],
+    shards: usize,
+    what: &str,
+) -> Result<Vec<Vec<ShardCopy>>, StoreError> {
+    let corrupt = |d: String| StoreError::corrupt(path, d);
+    if off.len() != shards + 1 {
+        return Err(corrupt(format!(
+            "{what} offsets hold {} entries for {shards} shards",
+            off.len()
+        )));
+    }
+    if !flat.len().is_multiple_of(3) {
+        return Err(corrupt(format!(
+            "{what} list length {} is not a triple",
+            flat.len()
+        )));
+    }
+    let entries = (flat.len() / 3) as u32;
+    if off[0] != 0 || off.windows(2).any(|w| w[1] < w[0]) || *off.last().unwrap() != entries {
+        return Err(corrupt(format!(
+            "{what} offsets are not a prefix sum over {entries}"
+        )));
+    }
+    let mut lists = Vec::with_capacity(shards);
+    for s in 0..shards {
+        let mut l = Vec::with_capacity((off[s + 1] - off[s]) as usize);
+        for e in off[s]..off[s + 1] {
+            let at = e as usize * 3;
+            let card = flat[at + 2];
+            if card == 0 || card > u16::MAX as u32 {
+                return Err(corrupt(format!("{what} entry {e} has cardinality {card}")));
+            }
+            l.push(ShardCopy {
+                local_off: flat[at],
+                frontier_off: flat[at + 1],
+                card: card as u16,
+            });
+        }
+        lists.push(l);
+    }
+    Ok(lists)
+}
+
+/// Serializes sharded-plan metadata (partition ranges, frontier tables,
+/// import/export copy lists) into a blob under `dir`.
+pub fn save_sharded_meta(dir: &Path, meta: &ShardedMeta) -> Result<WrittenBlob, StoreError> {
+    let ranges: Vec<u32> = meta.ranges.iter().flat_map(|&(lo, hi)| [lo, hi]).collect();
+    let (import_off, imports) = flatten_copies(&meta.imports);
+    let (export_off, exports) = flatten_copies(&meta.exports);
+    let scalars = [
+        meta.num_nodes as u64,
+        meta.uniform_card.is_some() as u64,
+        meta.uniform_card.unwrap_or(0) as u64,
+        meta.num_shards() as u64,
+        meta.total_arcs as u64,
+    ];
+    let scalar_bytes: Vec<u8> = scalars.iter().flat_map(|v| v.to_le_bytes()).collect();
+    blob::write_blob(
+        dir,
+        kind::SHARDED_META,
+        &[
+            u8_section(sec::CARDS, &meta.cards),
+            u32_section(sec::RANGES, &ranges),
+            u32_section(sec::FRONTIER, &meta.frontier),
+            u32_section(sec::FRONTIER_OFF, &meta.frontier_off),
+            f32_section(sec::FRONTIER_INIT, &meta.frontier_init),
+            u32_section(sec::IMPORT_OFF, &import_off),
+            u32_section(sec::IMPORTS, &imports),
+            u32_section(sec::EXPORT_OFF, &export_off),
+            u32_section(sec::EXPORTS, &exports),
+            Section {
+                id: sec::META,
+                dtype: dtype::U64,
+                count: scalars.len() as u64,
+                bytes: &scalar_bytes,
+            },
+        ],
+    )
+}
+
+/// Loads sharded-plan metadata, validating ranges, frontier tables and
+/// copy lists against each other.
+pub fn load_sharded_meta(path: &Path) -> Result<ShardedMeta, StoreError> {
+    let b = Blob::open(path)?;
+    expect_kind(&b, kind::SHARDED_META, "sharded meta")?;
+    let corrupt = |d: String| StoreError::corrupt(path, d);
+
+    let scalars = b.slab::<u64>(sec::META, dtype::U64)?.to_vec();
+    if scalars.len() != 5 {
+        return Err(corrupt(format!(
+            "meta has {} scalars, expected 5",
+            scalars.len()
+        )));
+    }
+    let num_nodes = scalars[0] as usize;
+    let uniform_card = (scalars[1] != 0).then_some(scalars[2] as u8);
+    let num_shards = scalars[3] as usize;
+    let total_arcs = scalars[4] as usize;
+
+    let cards = b.slab::<u8>(sec::CARDS, dtype::U8)?.to_vec();
+    if cards.len() != num_nodes {
+        return Err(corrupt(format!(
+            "{} cardinalities for {num_nodes} nodes",
+            cards.len()
+        )));
+    }
+    if cards.contains(&0) {
+        return Err(corrupt("zero cardinality in card table".into()));
+    }
+
+    let flat_ranges = b.vec_u32(sec::RANGES)?;
+    if flat_ranges.len() != num_shards * 2 {
+        return Err(corrupt(format!(
+            "{} range bounds for {num_shards} shards",
+            flat_ranges.len()
+        )));
+    }
+    let ranges: Vec<(u32, u32)> = flat_ranges.chunks_exact(2).map(|c| (c[0], c[1])).collect();
+    let mut expect = 0u32;
+    for &(lo, hi) in &ranges {
+        if lo != expect || hi < lo {
+            return Err(corrupt(format!(
+                "ranges are not contiguous at [{lo}, {hi})"
+            )));
+        }
+        expect = hi;
+    }
+    if expect as usize != num_nodes {
+        return Err(corrupt(format!(
+            "ranges end at {expect}, expected {num_nodes}"
+        )));
+    }
+
+    let frontier = b.vec_u32(sec::FRONTIER)?;
+    if let Some(&bad) = frontier.iter().find(|&&g| g as usize >= num_nodes) {
+        return Err(corrupt(format!(
+            "frontier references node {bad} of {num_nodes}"
+        )));
+    }
+    let frontier_off = b.vec_u32(sec::FRONTIER_OFF)?;
+    if frontier_off.len() != frontier.len() + 1 {
+        return Err(corrupt(format!(
+            "{} frontier offsets for {} frontier nodes",
+            frontier_off.len(),
+            frontier.len()
+        )));
+    }
+    let frontier_init = b.vec_f32(sec::FRONTIER_INIT)?;
+    if frontier_off[0] != 0
+        || frontier_off.windows(2).any(|w| w[1] < w[0])
+        || *frontier_off.last().unwrap() as usize != frontier_init.len()
+    {
+        return Err(corrupt(format!(
+            "frontier offsets are not a prefix sum over {} floats",
+            frontier_init.len()
+        )));
+    }
+
+    let imports = unflatten_copies(
+        path,
+        &b.vec_u32(sec::IMPORT_OFF)?,
+        &b.vec_u32(sec::IMPORTS)?,
+        num_shards,
+        "import",
+    )?;
+    let exports = unflatten_copies(
+        path,
+        &b.vec_u32(sec::EXPORT_OFF)?,
+        &b.vec_u32(sec::EXPORTS)?,
+        num_shards,
+        "export",
+    )?;
+
+    Ok(ShardedMeta {
+        num_nodes,
+        cards,
+        ranges,
+        frontier,
+        frontier_off,
+        frontier_init,
+        imports,
+        exports,
+        uniform_card,
+        total_arcs,
+    })
+}
+
+/// Serializes a warm-start snapshot (packed posteriors + evidence
+/// overlay) into a blob under `dir`.
+pub fn save_warm(dir: &Path, snap: &WarmSnapshot) -> Result<WrittenBlob, StoreError> {
+    let overlay: Vec<u32> = snap.overlay.iter().flat_map(|&(n, s)| [n, s]).collect();
+    let meta = [snap.converged as u32];
+    blob::write_blob(
+        dir,
+        kind::WARM,
+        &[
+            f32_section(sec::PACKED_F32, &snap.packed),
+            u32_section(sec::OVERLAY, &overlay),
+            u32_section(sec::META, &meta),
+        ],
+    )
+}
+
+/// Loads a warm-start snapshot back.
+pub fn load_warm(path: &Path) -> Result<WarmSnapshot, StoreError> {
+    let b = Blob::open(path)?;
+    expect_kind(&b, kind::WARM, "warm snapshot")?;
+    let corrupt = |d: String| StoreError::corrupt(path, d);
+    let meta = b.vec_u32(sec::META)?;
+    if meta.len() != 1 {
+        return Err(corrupt(format!(
+            "warm meta has {} scalars, expected 1",
+            meta.len()
+        )));
+    }
+    let flat = b.vec_u32(sec::OVERLAY)?;
+    if !flat.len().is_multiple_of(2) {
+        return Err(corrupt(format!(
+            "overlay length {} is not pairs",
+            flat.len()
+        )));
+    }
+    let overlay: Vec<(u32, u32)> = flat.chunks_exact(2).map(|c| (c[0], c[1])).collect();
+    if overlay.windows(2).any(|w| w[1].0 <= w[0].0) {
+        return Err(corrupt("overlay nodes are not strictly ascending".into()));
+    }
+    Ok(WarmSnapshot {
+        packed: b.vec_f32(sec::PACKED_F32)?,
+        overlay,
+        converged: meta[0] != 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use credo_graph::generators::{self, GenOptions};
+    use credo_graph::ShardedExec;
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("credo-planio-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn exec_graph_roundtrips_bitwise() {
+        let dir = tmpdir("plan");
+        let mut g = generators::grid(6, 5, &GenOptions::new(3).with_seed(11));
+        g.observe(4, 2);
+        let plan = ExecGraph::compile(&g);
+        let w = save_exec_graph(&dir, &plan).unwrap();
+        let back = load_exec_graph(&w.body.path, &w.state.path).unwrap();
+        assert!(back.is_mapped(), "loaded plan should be zero-copy");
+        assert_eq!(back.node_offsets(), plan.node_offsets());
+        assert_eq!(back.in_arc_array(), plan.in_arc_array());
+        assert_eq!(back.out_offsets(), plan.out_offsets());
+        assert_eq!(back.out_dst_array(), plan.out_dst_array());
+        assert_eq!(
+            slab_bytes(back.pot_pool()),
+            slab_bytes(plan.pot_pool()),
+            "potential pool must be bitwise identical"
+        );
+        assert_eq!(slab_bytes(back.priors()), slab_bytes(plan.priors()));
+        assert_eq!(back.observed(), plan.observed());
+        assert_eq!(back.uniform_card(), plan.uniform_card());
+        assert_eq!(back.is_shared(), plan.is_shared());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn evidence_change_keeps_the_body_blob() {
+        let dir = tmpdir("split");
+        let g = generators::grid(5, 5, &GenOptions::new(2).with_seed(3));
+        let plan_a = ExecGraph::compile(&g);
+        let mut g2 = g.clone();
+        g2.observe(7, 1);
+        let plan_b = ExecGraph::compile(&g2);
+        let wa = save_exec_graph(&dir, &plan_a).unwrap();
+        let wb = save_exec_graph(&dir, &plan_b).unwrap();
+        assert_eq!(
+            wa.body.hash, wb.body.hash,
+            "body must be evidence-independent"
+        );
+        assert_ne!(
+            wa.state.hash, wb.state.hash,
+            "state must re-key on evidence"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sharded_plan_roundtrips() {
+        let dir = tmpdir("shard");
+        let g = generators::synthetic(60, 150, &GenOptions::new(2).with_seed(5));
+        let sharded = ShardedExec::compile(&g, 4);
+        let mw = save_sharded_meta(&dir, &sharded.meta).unwrap();
+        let meta = load_sharded_meta(&mw.path).unwrap();
+        assert_eq!(meta.num_nodes, sharded.meta.num_nodes);
+        assert_eq!(meta.ranges, sharded.meta.ranges);
+        assert_eq!(meta.frontier, sharded.meta.frontier);
+        assert_eq!(meta.frontier_init, sharded.meta.frontier_init);
+        assert_eq!(meta.uniform_card, sharded.meta.uniform_card);
+        for (a, b) in meta.imports.iter().zip(&sharded.meta.imports) {
+            assert_eq!(a, b);
+        }
+        for s in &sharded.shards {
+            let sw = save_shard(&dir, s).unwrap();
+            let back = load_shard(&sw.path).unwrap();
+            assert_eq!(back.range, s.range);
+            assert_eq!(&*back.node_off, &*s.node_off);
+            assert_eq!(&*back.in_arcs, &*s.in_arcs);
+            assert_eq!(slab_bytes(&back.priors), slab_bytes(&s.priors));
+            assert_eq!(back.halo, s.halo);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn warm_snapshot_roundtrips() {
+        let dir = tmpdir("warm");
+        let snap = WarmSnapshot {
+            packed: vec![0.25, 0.75, 0.5, 0.5],
+            overlay: vec![(1, 0), (3, 1)],
+            converged: true,
+        };
+        let w = save_warm(&dir, &snap).unwrap();
+        assert_eq!(load_warm(&w.path).unwrap(), snap);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

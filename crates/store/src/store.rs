@@ -1,0 +1,816 @@
+//! The content-addressed plan store.
+//!
+//! ```text
+//! <root>/objects/<content-hash>.blob     deduplicated blob files
+//! <root>/manifests/<source-key>.json     plan manifests (the index)
+//! <root>/warm/<plan-root>/<ev-key>.blob  warm-start snapshots
+//! <root>/warm/<plan-root>/LATEST        evidence key of the newest snapshot
+//! ```
+//!
+//! Blobs are immutable and named by their content hash, so any two plans
+//! sharing structure share bytes on disk: recompiling after an
+//! evidence-only change reuses the body blob untouched, and re-lowering a
+//! sharded plan after one shard's subgraph changed rewrites one shard
+//! blob while the other K-1 keep their addresses. Manifests map a
+//! **source key** (content-derived — generator spec + seed, or input file
+//! bytes; never a path or mtime) to the blob set, the structural hash and
+//! the Merkle root identifying the composite artifact.
+
+use crate::error::StoreError;
+use crate::hash::{hex_u128, merkle_root, parse_hex_u128};
+use crate::plan_io;
+use credo_core::WarmSnapshot;
+use credo_graph::{ExecGraph, ShardedExec};
+use murmur3::Hasher128;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+const SOURCE_SEED: u32 = 0x50C4CE;
+const MANIFEST_VERSION: u32 = 1;
+
+/// A content-derived cache key for a plan's *source*: what graph was
+/// compiled, independent of where it lived or when. Two invocations that
+/// build the same graph derive the same key and hit the same manifest.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SourceKey(pub u128);
+
+impl SourceKey {
+    /// Key for a generated graph: the generator spec string plus its seed.
+    pub fn from_spec(spec: &str, seed: u64) -> SourceKey {
+        let mut h = Hasher128::with_seed(SOURCE_SEED);
+        h.update(b"spec:");
+        h.update(spec.as_bytes());
+        h.update(&seed.to_le_bytes());
+        SourceKey(h.finish_u128())
+    }
+
+    /// Key for graphs read from files, derived from the file **contents**
+    /// (never path or mtime — touching or moving a file must not re-key,
+    /// editing it must).
+    pub fn from_files<P: AsRef<Path>>(paths: &[P]) -> std::io::Result<SourceKey> {
+        let mut h = Hasher128::with_seed(SOURCE_SEED);
+        h.update(b"files:");
+        for p in paths {
+            let bytes = std::fs::read(p)?;
+            h.update(&(bytes.len() as u64).to_le_bytes());
+            h.update(&bytes);
+        }
+        Ok(SourceKey(h.finish_u128()))
+    }
+
+    /// Folds an extra discriminator into the key (e.g. shard count or a
+    /// lowering mode that changes the compiled artifact).
+    pub fn with(self, extra: &str) -> SourceKey {
+        let mut h = Hasher128::with_seed(SOURCE_SEED);
+        h.update(&self.0.to_le_bytes());
+        h.update(extra.as_bytes());
+        SourceKey(h.finish_u128())
+    }
+
+    /// The 32-hex-digit spelling used on disk.
+    pub fn hex(&self) -> String {
+        hex_u128(self.0)
+    }
+}
+
+/// The index entry mapping one source key to its stored blobs.
+///
+/// Hashes are spelled as 32-digit hex strings (JSON has no u128).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PlanManifest {
+    /// Manifest schema version.
+    pub version: u32,
+    /// `"resident"` or `"sharded"`.
+    pub kind: String,
+    /// Human-readable description of the source (spec string or file names).
+    pub source: String,
+    /// The source key (hex), also the manifest's file stem.
+    pub source_key: String,
+    /// Structural hash (hex) of the compiled graph — evidence-independent.
+    pub structural: String,
+    /// Merkle root (hex) over `blobs`, identifying the composite artifact.
+    pub root: String,
+    /// Constituent blob hashes (hex): `[body, state]` for resident plans,
+    /// `[meta, shard0, shard1, ...]` for sharded ones.
+    pub blobs: Vec<String>,
+    /// Node count, for `store ls`.
+    pub num_nodes: u64,
+    /// Arc count, for `store ls`.
+    pub num_arcs: u64,
+    /// Shard count (0 for resident plans).
+    pub shards: u32,
+    /// Total bytes across this manifest's blobs.
+    pub bytes: u64,
+    /// Unix seconds when first stored.
+    pub created_unix: u64,
+    /// Unix seconds of the last load (the LRU clock for `store gc`).
+    pub last_used_unix: u64,
+}
+
+impl PlanManifest {
+    /// The Merkle root as a number.
+    pub fn root_hash(&self) -> Option<u128> {
+        parse_hex_u128(&self.root)
+    }
+
+    /// The structural hash as a number.
+    pub fn structural_hash(&self) -> Option<u128> {
+        parse_hex_u128(&self.structural)
+    }
+}
+
+/// What `store gc` did.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct GcReport {
+    /// Manifests evicted (LRU order) to fit the byte budget.
+    pub evicted_plans: usize,
+    /// Blob files deleted (orphans plus blobs of evicted plans).
+    pub deleted_blobs: usize,
+    /// Warm snapshot files deleted.
+    pub deleted_snapshots: usize,
+    /// Bytes reclaimed.
+    pub freed_bytes: u64,
+    /// Bytes still stored after the sweep.
+    pub kept_bytes: u64,
+}
+
+/// What `store verify` found.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct VerifyReport {
+    /// Blob files that opened and re-checksummed clean.
+    pub blobs_ok: usize,
+    /// Damaged blob files, with what failed.
+    pub corrupt: Vec<(String, String)>,
+    /// Manifests whose blob sets are all present and clean.
+    pub manifests_ok: usize,
+    /// Manifests referencing missing or damaged blobs.
+    pub manifests_broken: Vec<(String, String)>,
+}
+
+impl VerifyReport {
+    /// True when nothing is damaged.
+    pub fn clean(&self) -> bool {
+        self.corrupt.is_empty() && self.manifests_broken.is_empty()
+    }
+}
+
+fn now_unix() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// A content-addressed store of compiled plans and warm-start snapshots
+/// rooted at one directory.
+pub struct PlanStore {
+    root: PathBuf,
+}
+
+impl PlanStore {
+    /// Opens (creating if needed) a store rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> Result<PlanStore, StoreError> {
+        let root = root.into();
+        std::fs::create_dir_all(root.join("objects"))?;
+        std::fs::create_dir_all(root.join("manifests"))?;
+        std::fs::create_dir_all(root.join("warm"))?;
+        Ok(PlanStore { root })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn objects(&self) -> PathBuf {
+        self.root.join("objects")
+    }
+
+    fn manifest_path(&self, key: &SourceKey) -> PathBuf {
+        self.root
+            .join("manifests")
+            .join(format!("{}.json", key.hex()))
+    }
+
+    fn blob_file(&self, hex: &str) -> PathBuf {
+        self.objects().join(format!("{hex}.blob"))
+    }
+
+    fn warm_dir(&self, plan_root: u128) -> PathBuf {
+        self.root.join("warm").join(hex_u128(plan_root))
+    }
+
+    fn write_manifest(&self, m: &PlanManifest) -> Result<(), StoreError> {
+        let path = self
+            .root
+            .join("manifests")
+            .join(format!("{}.json", m.source_key));
+        let tmp = path.with_extension("json.tmp");
+        let json = serde_json::to_string_pretty(m)
+            .map_err(|e| StoreError::corrupt(&path, format!("manifest encode: {e}")))?;
+        std::fs::write(&tmp, json)?;
+        std::fs::rename(&tmp, &path)?;
+        Ok(())
+    }
+
+    fn read_manifest(&self, path: &Path) -> Result<PlanManifest, StoreError> {
+        let text = std::fs::read_to_string(path)?;
+        let m: PlanManifest = serde_json::from_str(&text)
+            .map_err(|e| StoreError::corrupt(path, format!("manifest parse: {e}")))?;
+        if m.version != MANIFEST_VERSION {
+            return Err(StoreError::mismatch(
+                path,
+                format!(
+                    "manifest version {}, this build reads {MANIFEST_VERSION}",
+                    m.version
+                ),
+            ));
+        }
+        Ok(m)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn finish_manifest(
+        &self,
+        key: SourceKey,
+        source: &str,
+        structural: u128,
+        kind: &str,
+        blob_hashes: Vec<u128>,
+        num_nodes: u64,
+        num_arcs: u64,
+        shards: u32,
+        bytes: u64,
+    ) -> Result<PlanManifest, StoreError> {
+        let now = now_unix();
+        let m = PlanManifest {
+            version: MANIFEST_VERSION,
+            kind: kind.to_string(),
+            source: source.to_string(),
+            source_key: key.hex(),
+            structural: hex_u128(structural),
+            root: hex_u128(merkle_root(&blob_hashes)),
+            blobs: blob_hashes.iter().map(|&h| hex_u128(h)).collect(),
+            num_nodes,
+            num_arcs,
+            shards,
+            bytes,
+            created_unix: now,
+            last_used_unix: now,
+        };
+        self.write_manifest(&m)?;
+        Ok(m)
+    }
+
+    /// Stores a resident plan under `key`, returning its manifest. Blobs
+    /// already present (same content) are reused, not rewritten.
+    pub fn save_plan(
+        &self,
+        key: SourceKey,
+        source: &str,
+        structural: u128,
+        plan: &ExecGraph,
+    ) -> Result<PlanManifest, StoreError> {
+        let blobs = plan_io::save_exec_graph(&self.objects(), plan)?;
+        self.finish_manifest(
+            key,
+            source,
+            structural,
+            "resident",
+            vec![blobs.body.hash, blobs.state.hash],
+            plan.num_nodes() as u64,
+            plan.num_arcs() as u64,
+            0,
+            blobs.body.bytes + blobs.state.bytes,
+        )
+    }
+
+    /// Loads the resident plan stored under `key`. `Ok(None)` is a clean
+    /// miss (no manifest); a manifest pointing at missing or damaged
+    /// blobs is an `Err` the caller should treat as "recompile and
+    /// re-save". A successful load bumps the manifest's LRU clock.
+    pub fn load_plan(
+        &self,
+        key: &SourceKey,
+    ) -> Result<Option<(ExecGraph, PlanManifest)>, StoreError> {
+        let mpath = self.manifest_path(key);
+        if !mpath.exists() {
+            return Ok(None);
+        }
+        let mut m = self.read_manifest(&mpath)?;
+        if m.kind != "resident" || m.blobs.len() != 2 {
+            return Err(StoreError::mismatch(
+                &mpath,
+                format!(
+                    "manifest is {} with {} blobs, expected resident/2",
+                    m.kind,
+                    m.blobs.len()
+                ),
+            ));
+        }
+        let plan =
+            plan_io::load_exec_graph(&self.blob_file(&m.blobs[0]), &self.blob_file(&m.blobs[1]))?;
+        m.last_used_unix = now_unix();
+        self.write_manifest(&m).ok(); // LRU bump is best-effort
+        Ok(Some((plan, m)))
+    }
+
+    /// Stores a sharded plan under `key`: one meta blob plus one blob per
+    /// shard, all deduplicated by content.
+    pub fn save_sharded(
+        &self,
+        key: SourceKey,
+        source: &str,
+        structural: u128,
+        plan: &ShardedExec,
+    ) -> Result<PlanManifest, StoreError> {
+        let dir = self.objects();
+        let meta = plan_io::save_sharded_meta(&dir, &plan.meta)?;
+        let mut hashes = vec![meta.hash];
+        let mut bytes = meta.bytes;
+        for s in &plan.shards {
+            let w = plan_io::save_shard(&dir, s)?;
+            hashes.push(w.hash);
+            bytes += w.bytes;
+        }
+        self.finish_manifest(
+            key,
+            source,
+            structural,
+            "sharded",
+            hashes,
+            plan.meta.num_nodes as u64,
+            plan.meta.total_arcs as u64,
+            plan.shards.len() as u32,
+            bytes,
+        )
+    }
+
+    /// Loads the sharded plan stored under `key`; semantics mirror
+    /// [`PlanStore::load_plan`].
+    pub fn load_sharded(
+        &self,
+        key: &SourceKey,
+    ) -> Result<Option<(ShardedExec, PlanManifest)>, StoreError> {
+        let mpath = self.manifest_path(key);
+        if !mpath.exists() {
+            return Ok(None);
+        }
+        let mut m = self.read_manifest(&mpath)?;
+        if m.kind != "sharded" || m.blobs.len() != m.shards as usize + 1 {
+            return Err(StoreError::mismatch(
+                &mpath,
+                format!(
+                    "manifest is {} with {} blobs for {} shards",
+                    m.kind,
+                    m.blobs.len(),
+                    m.shards
+                ),
+            ));
+        }
+        let meta = plan_io::load_sharded_meta(&self.blob_file(&m.blobs[0]))?;
+        let mut shards = Vec::with_capacity(m.shards as usize);
+        for hex in &m.blobs[1..] {
+            shards.push(plan_io::load_shard(&self.blob_file(hex))?);
+        }
+        if shards.len() != meta.num_shards() {
+            return Err(StoreError::corrupt(
+                &mpath,
+                format!(
+                    "{} shard blobs for {} ranges",
+                    shards.len(),
+                    meta.num_shards()
+                ),
+            ));
+        }
+        for (s, &(lo, hi)) in shards.iter().zip(&meta.ranges) {
+            if s.range != (lo, hi) {
+                return Err(StoreError::corrupt(
+                    &mpath,
+                    format!("shard covers {:?}, meta expects [{lo}, {hi})", s.range),
+                ));
+            }
+        }
+        m.last_used_unix = now_unix();
+        self.write_manifest(&m).ok();
+        Ok(Some((ShardedExec { meta, shards }, m)))
+    }
+
+    /// Stores a warm-start snapshot for the plan identified by Merkle
+    /// root `plan_root`, keyed by the evidence fingerprint, and marks it
+    /// as the latest snapshot for that plan.
+    pub fn save_warm(
+        &self,
+        plan_root: u128,
+        evidence_key: &str,
+        snap: &WarmSnapshot,
+    ) -> Result<PathBuf, StoreError> {
+        let dir = self.warm_dir(plan_root);
+        let ev = hex_u128(murmur3::murmur3_x64_128(
+            evidence_key.as_bytes(),
+            SOURCE_SEED,
+        ));
+        let w = plan_io::save_warm(&dir, snap)?;
+        let path = dir.join(format!("{ev}.blob"));
+        if w.path != path {
+            std::fs::rename(&w.path, &path)?;
+        }
+        std::fs::write(dir.join("LATEST"), &ev)?;
+        Ok(path)
+    }
+
+    /// Loads the warm snapshot for `(plan_root, evidence_key)`, if stored.
+    pub fn load_warm(
+        &self,
+        plan_root: u128,
+        evidence_key: &str,
+    ) -> Result<Option<WarmSnapshot>, StoreError> {
+        let ev = hex_u128(murmur3::murmur3_x64_128(
+            evidence_key.as_bytes(),
+            SOURCE_SEED,
+        ));
+        let path = self.warm_dir(plan_root).join(format!("{ev}.blob"));
+        if !path.exists() {
+            return Ok(None);
+        }
+        plan_io::load_warm(&path).map(Some)
+    }
+
+    /// Loads the most recently saved snapshot for `plan_root`, whatever
+    /// evidence it carries — the restart path, where the overlay in the
+    /// snapshot itself re-binds the evidence.
+    pub fn load_warm_latest(&self, plan_root: u128) -> Result<Option<WarmSnapshot>, StoreError> {
+        let dir = self.warm_dir(plan_root);
+        let latest = dir.join("LATEST");
+        if !latest.exists() {
+            return Ok(None);
+        }
+        let ev = std::fs::read_to_string(&latest)?;
+        let path = dir.join(format!("{}.blob", ev.trim()));
+        if !path.exists() {
+            return Ok(None); // stale pointer after gc — a miss, not damage
+        }
+        plan_io::load_warm(&path).map(Some)
+    }
+
+    /// Every manifest in the store, unordered. Unreadable manifests are
+    /// skipped (they are `verify`'s and `gc`'s concern, not `ls`'s).
+    pub fn manifests(&self) -> Result<Vec<PlanManifest>, StoreError> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(self.root.join("manifests"))? {
+            let path = entry?.path();
+            if path.extension().is_some_and(|e| e == "json") {
+                if let Ok(m) = self.read_manifest(&path) {
+                    out.push(m);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Finds any stored manifest whose **structural** hash matches —
+    /// evidence differences do not matter. This is what lets a selector
+    /// know "this structure is already compiled" even when the source key
+    /// differs (e.g. same graph, new evidence baked into the spec).
+    pub fn find_structural(&self, structural: u128) -> Result<Option<PlanManifest>, StoreError> {
+        let hex = hex_u128(structural);
+        Ok(self.manifests()?.into_iter().find(|m| m.structural == hex))
+    }
+
+    fn dir_files(dir: &Path, ext: &str) -> Vec<PathBuf> {
+        let mut out = Vec::new();
+        if let Ok(rd) = std::fs::read_dir(dir) {
+            for entry in rd.flatten() {
+                let p = entry.path();
+                if p.extension().is_some_and(|e| e == ext) {
+                    out.push(p);
+                }
+            }
+        }
+        out
+    }
+
+    fn warm_roots(&self) -> Vec<PathBuf> {
+        let mut out = Vec::new();
+        if let Ok(rd) = std::fs::read_dir(self.root.join("warm")) {
+            for entry in rd.flatten() {
+                if entry.path().is_dir() {
+                    out.push(entry.path());
+                }
+            }
+        }
+        out
+    }
+
+    /// Evicts least-recently-used plans until the store's blob + snapshot
+    /// bytes fit `byte_budget`, and deletes orphan blobs unreferenced by
+    /// any manifest. Warm snapshots of an evicted plan go with it.
+    pub fn gc(&self, byte_budget: u64) -> Result<GcReport, StoreError> {
+        let mut report = GcReport::default();
+        let mut manifests = self.manifests()?;
+        manifests.sort_by_key(|m| m.last_used_unix);
+
+        let file_size = |p: &Path| std::fs::metadata(p).map(|m| m.len()).unwrap_or(0);
+        let warm_bytes = |dir: &Path| {
+            Self::dir_files(dir, "blob")
+                .iter()
+                .map(|p| file_size(p))
+                .sum::<u64>()
+        };
+
+        // Pass 1: delete blobs no manifest references (crash leftovers,
+        // superseded evidence states).
+        let referenced: std::collections::HashSet<String> = manifests
+            .iter()
+            .flat_map(|m| m.blobs.iter().cloned())
+            .collect();
+        for p in Self::dir_files(&self.objects(), "blob") {
+            let stem = p.file_stem().and_then(|s| s.to_str()).unwrap_or("");
+            if !referenced.contains(stem) {
+                report.freed_bytes += file_size(&p);
+                report.deleted_blobs += 1;
+                std::fs::remove_file(&p).ok();
+            }
+        }
+
+        // Pass 2: LRU-evict whole plans until under budget. A blob is
+        // only deleted once no surviving manifest references it.
+        let mut total: u64 = Self::dir_files(&self.objects(), "blob")
+            .iter()
+            .map(|p| file_size(p))
+            .sum();
+        for d in self.warm_roots() {
+            total += warm_bytes(&d);
+        }
+        let mut evict_at = 0usize;
+        while total > byte_budget && evict_at < manifests.len() {
+            let victim = &manifests[evict_at];
+            evict_at += 1;
+            let still_referenced: std::collections::HashSet<&String> = manifests[evict_at..]
+                .iter()
+                .flat_map(|m| m.blobs.iter())
+                .collect();
+            for hex in &victim.blobs {
+                if !still_referenced.contains(hex) {
+                    let p = self.blob_file(hex);
+                    let sz = file_size(&p);
+                    if std::fs::remove_file(&p).is_ok() {
+                        report.deleted_blobs += 1;
+                        report.freed_bytes += sz;
+                        total = total.saturating_sub(sz);
+                    }
+                }
+            }
+            if let Some(root) = victim.root_hash() {
+                let wdir = self.warm_dir(root);
+                let wb = warm_bytes(&wdir);
+                report.deleted_snapshots += Self::dir_files(&wdir, "blob").len();
+                report.freed_bytes += wb;
+                total = total.saturating_sub(wb);
+                std::fs::remove_dir_all(&wdir).ok();
+            }
+            std::fs::remove_file(
+                self.manifest_path(&SourceKey(parse_hex_u128(&victim.source_key).unwrap_or(0))),
+            )
+            .ok();
+            report.evicted_plans += 1;
+        }
+        report.kept_bytes = total;
+        Ok(report)
+    }
+
+    /// Re-opens and re-checksums every blob (objects and warm snapshots)
+    /// and checks that every manifest's blob set is present and clean.
+    pub fn verify(&self) -> Result<VerifyReport, StoreError> {
+        let mut report = VerifyReport::default();
+        let mut bad: std::collections::HashSet<PathBuf> = std::collections::HashSet::new();
+        let mut all = Self::dir_files(&self.objects(), "blob");
+        for d in self.warm_roots() {
+            all.extend(Self::dir_files(&d, "blob"));
+        }
+        for p in all {
+            match crate::blob::Blob::open(&p) {
+                Ok(_) => report.blobs_ok += 1,
+                Err(e) => {
+                    bad.insert(p.clone());
+                    report
+                        .corrupt
+                        .push((p.display().to_string(), e.to_string()));
+                }
+            }
+        }
+        for m in self.manifests()? {
+            let missing: Vec<String> = m
+                .blobs
+                .iter()
+                .filter(|h| {
+                    let p = self.blob_file(h);
+                    !p.exists() || bad.contains(&p)
+                })
+                .cloned()
+                .collect();
+            if missing.is_empty() {
+                report.manifests_ok += 1;
+            } else {
+                report.manifests_broken.push((
+                    m.source_key.clone(),
+                    format!("missing or corrupt blobs: {}", missing.join(", ")),
+                ));
+            }
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use credo_graph::generators::{self, GenOptions};
+
+    fn tmpstore(tag: &str) -> PlanStore {
+        let d = std::env::temp_dir().join(format!("credo-store-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&d).ok();
+        PlanStore::open(d).unwrap()
+    }
+
+    fn grid(seed: u64) -> credo_graph::BeliefGraph {
+        generators::grid(6, 6, &GenOptions::new(2).with_seed(seed))
+    }
+
+    #[test]
+    fn resident_save_load_hits_and_misses() {
+        let store = tmpstore("res");
+        let g = grid(1);
+        let plan = ExecGraph::compile(&g);
+        let key = SourceKey::from_spec("grid:6x6", 1);
+        assert!(
+            store.load_plan(&key).unwrap().is_none(),
+            "cold store must miss"
+        );
+        let m = store
+            .save_plan(key, "grid:6x6", crate::hash::structural_hash(&g), &plan)
+            .unwrap();
+        assert_eq!(m.kind, "resident");
+        let (back, m2) = store.load_plan(&key).unwrap().expect("hit");
+        assert_eq!(m2.root, m.root);
+        assert_eq!(back.node_offsets(), plan.node_offsets());
+        assert!(store
+            .load_plan(&SourceKey::from_spec("grid:6x6", 2))
+            .unwrap()
+            .is_none());
+        std::fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn structural_lookup_ignores_evidence() {
+        let store = tmpstore("structural");
+        let g = grid(2);
+        let structural = crate::hash::structural_hash(&g);
+        let plan = ExecGraph::compile(&g);
+        store
+            .save_plan(SourceKey::from_spec("a", 0), "a", structural, &plan)
+            .unwrap();
+        let mut g2 = g.clone();
+        g2.observe(5, 1);
+        assert_eq!(
+            crate::hash::structural_hash(&g2),
+            structural,
+            "evidence must not re-key"
+        );
+        let hit = store.find_structural(structural).unwrap().expect("match");
+        assert_eq!(hit.source, "a");
+        assert!(store.find_structural(structural ^ 1).unwrap().is_none());
+        std::fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn sharded_single_shard_change_reuses_other_blobs() {
+        let store = tmpstore("dedup");
+        let g = grid(3);
+        let sharded = ShardedExec::compile(&g, 4);
+        let structural = crate::hash::structural_hash(&g);
+        let m1 = store
+            .save_sharded(SourceKey::from_spec("s", 0), "s", structural, &sharded)
+            .unwrap();
+        // Evidence change within shard 0's range only.
+        let mut g2 = g.clone();
+        g2.observe(0, 1);
+        let sharded2 = ShardedExec::compile(&g2, 4);
+        let m2 = store
+            .save_sharded(SourceKey::from_spec("s", 1), "s2", structural, &sharded2)
+            .unwrap();
+        let shared: usize = m2.blobs[1..]
+            .iter()
+            .filter(|h| m1.blobs[1..].contains(h))
+            .count();
+        assert_eq!(shared, 3, "3 of 4 shard blobs must be reused");
+        assert_ne!(m1.root, m2.root);
+        let (back, _) = store
+            .load_sharded(&SourceKey::from_spec("s", 1))
+            .unwrap()
+            .unwrap();
+        assert_eq!(back.shards.len(), 4);
+        std::fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn warm_snapshots_roundtrip_and_latest_points_right() {
+        let store = tmpstore("warm");
+        let root = 0xABCD_u128;
+        let a = WarmSnapshot {
+            packed: vec![0.5; 8],
+            overlay: vec![(1, 0)],
+            converged: true,
+        };
+        let b = WarmSnapshot {
+            packed: vec![0.25; 8],
+            overlay: vec![(2, 1)],
+            converged: false,
+        };
+        store.save_warm(root, "ev-a", &a).unwrap();
+        store.save_warm(root, "ev-b", &b).unwrap();
+        assert_eq!(store.load_warm(root, "ev-a").unwrap().unwrap(), a);
+        assert_eq!(store.load_warm_latest(root).unwrap().unwrap(), b);
+        assert!(store.load_warm(root, "ev-c").unwrap().is_none());
+        assert!(store.load_warm_latest(root ^ 1).unwrap().is_none());
+        std::fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn gc_evicts_lru_and_verify_sees_clean_store() {
+        let store = tmpstore("gc");
+        for seed in 0..3u64 {
+            // Distinct heights → distinct topologies → no blob sharing,
+            // so the byte budget genuinely forces evictions.
+            let g = generators::grid(6, 6 + seed as usize, &GenOptions::new(2).with_seed(seed));
+            let plan = ExecGraph::compile(&g);
+            let mut m = store
+                .save_plan(
+                    SourceKey::from_spec("g", seed),
+                    "g",
+                    crate::hash::structural_hash(&g),
+                    &plan,
+                )
+                .unwrap();
+            m.last_used_unix = 1000 + seed; // deterministic LRU order
+            store.write_manifest(&m).unwrap();
+        }
+        assert!(store.verify().unwrap().clean());
+        let before = store.manifests().unwrap().len();
+        assert_eq!(before, 3);
+        let keep = store
+            .manifests()
+            .unwrap()
+            .iter()
+            .map(|m| m.bytes)
+            .max()
+            .unwrap();
+        let report = store.gc(keep * 2).unwrap();
+        assert!(
+            report.evicted_plans >= 1,
+            "budget forces at least one eviction"
+        );
+        let left = store.manifests().unwrap();
+        assert!(
+            left.iter().all(|m| m.last_used_unix > 1000),
+            "LRU victim first"
+        );
+        assert!(
+            store.verify().unwrap().clean(),
+            "gc must not damage survivors"
+        );
+        for m in &left {
+            let key = SourceKey(parse_hex_u128(&m.source_key).unwrap());
+            assert!(
+                store.load_plan(&key).unwrap().is_some(),
+                "survivors still load"
+            );
+        }
+        std::fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn verify_reports_corruption_and_load_falls_back_cleanly() {
+        let store = tmpstore("verify");
+        let g = grid(42);
+        let plan = ExecGraph::compile(&g);
+        let key = SourceKey::from_spec("v", 0);
+        let m = store
+            .save_plan(key, "v", crate::hash::structural_hash(&g), &plan)
+            .unwrap();
+        // Flip one byte in the body blob.
+        let body = store.blob_file(&m.blobs[0]);
+        let mut bytes = std::fs::read(&body).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&body, &bytes).unwrap();
+        let report = store.verify().unwrap();
+        assert_eq!(report.corrupt.len(), 1);
+        assert_eq!(report.manifests_broken.len(), 1);
+        match store.load_plan(&key) {
+            Err(StoreError::Corrupt { .. }) => {}
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        std::fs::remove_dir_all(store.root()).ok();
+    }
+}

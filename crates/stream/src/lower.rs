@@ -332,11 +332,11 @@ where
 
         sink(ExecShard {
             range: (lo, hi),
-            node_off,
-            priors,
-            in_off,
-            in_arcs,
-            pot_pool,
+            node_off: node_off.into(),
+            priors: priors.into(),
+            in_off: in_off.into(),
+            in_arcs: in_arcs.into(),
+            pot_pool: pot_pool.into(),
             pool_matrices,
             observed: vec![false; local],
             halo,

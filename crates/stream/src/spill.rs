@@ -8,11 +8,21 @@
 //! scratch format — files are only ever read back by the same build that
 //! wrote them — so there is no cross-version compatibility machinery,
 //! just a magic check to catch handing the loader the wrong file.
+//!
+//! Reads are defensive regardless: every on-disk length is validated by
+//! [`credo_io::ByteReader`] against the bytes actually present, and the
+//! decoded shard passes [`ExecShard::validate`] before the engine may
+//! touch it — a truncated or bit-flipped spill file surfaces as a located
+//! [`IoError`], never as an oversized allocation or an indexing panic.
 
 use credo_core::{EngineError, ShardSource};
 use credo_graph::{ExecShard, PackedArc, ShardedMeta};
-use std::io::{self, BufReader, BufWriter, Read, Write};
+use credo_io::{ByteReader, IoError};
+use std::io::{self, BufWriter, Write};
 use std::path::PathBuf;
+
+/// Error-message format tag for spill files.
+const FORMAT: &str = "Credo-spill";
 
 const MAGIC: u32 = 0x4352_5348; // "CRSH"
 
@@ -53,8 +63,8 @@ impl SpilledShards {
         &self.paths
     }
 
-    /// Reloads shard `k` from disk.
-    pub fn load(&self, k: usize) -> io::Result<ExecShard> {
+    /// Reloads shard `k` from disk, validating sizes and structure.
+    pub fn load(&self, k: usize) -> Result<ExecShard, IoError> {
         read_shard(&self.paths[k])
     }
 }
@@ -103,7 +113,7 @@ pub(crate) fn write_shard(path: &std::path::Path, s: &ExecShard) -> io::Result<(
     put_f32s(&mut w, &s.priors)?;
     put_u32s(&mut w, &s.in_off)?;
     put_u32(&mut w, s.in_arcs.len() as u32)?;
-    for a in &s.in_arcs {
+    for a in s.in_arcs.iter() {
         put_u32(&mut w, a.src_off)?;
         put_u32(&mut w, a.pot_off)?;
         put_u32(&mut w, (a.src_card as u32) << 16 | a.dst_card as u32)?;
@@ -116,52 +126,28 @@ pub(crate) fn write_shard(path: &std::path::Path, s: &ExecShard) -> io::Result<(
     w.flush()
 }
 
-fn get_u32(r: &mut impl Read) -> io::Result<u32> {
-    let mut b = [0u8; 4];
-    r.read_exact(&mut b)?;
-    Ok(u32::from_le_bytes(b))
-}
-
-fn get_u32s(r: &mut impl Read) -> io::Result<Vec<u32>> {
-    let n = get_u32(r)? as usize;
-    let mut out = Vec::with_capacity(n);
-    for _ in 0..n {
-        out.push(get_u32(r)?);
-    }
-    Ok(out)
-}
-
-fn get_f32s(r: &mut impl Read) -> io::Result<Vec<f32>> {
-    let n = get_u32(r)? as usize;
-    let mut out = Vec::with_capacity(n);
-    let mut b = [0u8; 4];
-    for _ in 0..n {
-        r.read_exact(&mut b)?;
-        out.push(f32::from_le_bytes(b));
-    }
-    Ok(out)
-}
-
-fn read_shard(path: &std::path::Path) -> io::Result<ExecShard> {
-    let mut r = BufReader::new(std::fs::File::open(path)?);
-    if get_u32(&mut r)? != MAGIC {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
+fn read_shard(path: &std::path::Path) -> Result<ExecShard, IoError> {
+    let bytes = std::fs::read(path)?;
+    let mut r = ByteReader::new(&bytes, FORMAT);
+    if r.u32("magic")? != MAGIC {
+        return Err(IoError::blob(
+            FORMAT,
+            0,
             "not a credo shard file (bad magic)",
         ));
     }
-    let lo = get_u32(&mut r)?;
-    let hi = get_u32(&mut r)?;
-    let pool_matrices = get_u32(&mut r)?;
-    let node_off = get_u32s(&mut r)?;
-    let priors = get_f32s(&mut r)?;
-    let in_off = get_u32s(&mut r)?;
-    let num_arcs = get_u32(&mut r)? as usize;
+    let lo = r.u32("range.lo")?;
+    let hi = r.u32("range.hi")?;
+    let pool_matrices = r.u32("pool_matrices")?;
+    let node_off = r.u32s("node_off")?;
+    let priors = r.f32s("priors")?;
+    let in_off = r.u32s("in_off")?;
+    let num_arcs = r.array_len(12, "in_arcs")?;
     let mut in_arcs = Vec::with_capacity(num_arcs);
     for _ in 0..num_arcs {
-        let src_off = get_u32(&mut r)?;
-        let pot_off = get_u32(&mut r)?;
-        let cards = get_u32(&mut r)?;
+        let src_off = r.u32("arc.src_off")?;
+        let pot_off = r.u32("arc.pot_off")?;
+        let cards = r.u32("arc.cards")?;
         in_arcs.push(PackedArc {
             src_off,
             pot_off,
@@ -169,23 +155,30 @@ fn read_shard(path: &std::path::Path) -> io::Result<ExecShard> {
             dst_card: (cards & 0xffff) as u16,
         });
     }
-    let pot_pool = get_f32s(&mut r)?;
-    let num_obs = get_u32(&mut r)? as usize;
-    let mut bits = vec![0u8; num_obs];
-    r.read_exact(&mut bits)?;
-    let observed = bits.into_iter().map(|b| b != 0).collect();
-    let halo = get_u32s(&mut r)?;
-    Ok(ExecShard {
+    let pot_pool = r.f32s("pot_pool")?;
+    let num_obs = r.array_len(1, "observed")?;
+    let observed = r
+        .take(num_obs, "observed")?
+        .iter()
+        .map(|&b| b != 0)
+        .collect();
+    let halo = r.u32s("halo")?;
+    r.expect_end()?;
+    let shard = ExecShard {
         range: (lo, hi),
-        node_off,
-        priors,
-        in_off,
-        in_arcs,
-        pot_pool,
+        node_off: node_off.into(),
+        priors: priors.into(),
+        in_off: in_off.into(),
+        in_arcs: in_arcs.into(),
+        pot_pool: pot_pool.into(),
         pool_matrices,
         observed,
         halo,
-    })
+    };
+    shard
+        .validate()
+        .map_err(|m| IoError::blob(FORMAT, bytes.len(), format!("invalid shard: {m}")))?;
+    Ok(shard)
 }
 
 #[cfg(test)]

@@ -1,0 +1,456 @@
+//! End-to-end tests of the content-addressed plan store: roundtrips are
+//! bitwise-equal to a fresh compile across every generator family and
+//! shard count, a corruption corpus (truncation, byte flips, bad
+//! magic/version) comes back as structured errors with a clean
+//! recompile-and-repair fallback, persisted warm snapshots resume within
+//! 1e-4 of a continuous run, a restarted server answers from the store
+//! without rebuilding, and the `credo store` CLI maintains the cache.
+
+use credo::graph::generators::{
+    family_out, grid, kronecker, preferential_attachment, random_dag, random_tree, synthetic,
+    GenOptions, PotentialKind,
+};
+use credo::graph::{slab_bytes, BeliefGraph, ExecGraph, ShardedExec};
+use credo::serve::{Client, Request, ServeConfig, Server};
+use credo::store::{structural_hash, PlanStore, SourceKey, StoreError};
+use credo::{BpOptions, Dispatch, EvidenceDelta, WarmPolicy, WarmState};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn tmp(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("credo-itest-store-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn opts() -> BpOptions {
+    BpOptions {
+        max_iterations: 60,
+        ..BpOptions::default()
+    }
+}
+
+/// One graph per generator family, shared and per-edge potentials both
+/// represented (the blob format stores them differently).
+fn families() -> Vec<(&'static str, BeliefGraph)> {
+    let o = |seed| GenOptions::new(2).with_seed(seed);
+    vec![
+        ("synthetic", synthetic(600, 2400, &o(1))),
+        ("grid", grid(20, 20, &o(2))),
+        ("kronecker", kronecker(8, 8, &o(3))),
+        ("powerlaw", preferential_attachment(600, 3, &o(4))),
+        ("tree", random_tree(600, &o(5))),
+        ("dag", random_dag(600, 600, &o(6))),
+        (
+            "per-edge",
+            synthetic(
+                300,
+                1200,
+                &o(7).with_potentials(PotentialKind::PerEdgeRandom),
+            ),
+        ),
+        ("family-out", family_out()),
+    ]
+}
+
+/// Bitwise equality of every array a resident plan owns.
+fn assert_plans_bitwise_equal(family: &str, fresh: &ExecGraph, loaded: &ExecGraph) {
+    assert_eq!(loaded.node_offsets(), fresh.node_offsets(), "{family}");
+    assert_eq!(loaded.in_offsets(), fresh.in_offsets(), "{family}");
+    assert_eq!(loaded.in_arc_array(), fresh.in_arc_array(), "{family}");
+    assert_eq!(loaded.out_offsets(), fresh.out_offsets(), "{family}");
+    assert_eq!(loaded.out_dst_array(), fresh.out_dst_array(), "{family}");
+    assert_eq!(loaded.observed(), fresh.observed(), "{family}");
+    assert_eq!(
+        slab_bytes(loaded.pot_pool()),
+        slab_bytes(fresh.pot_pool()),
+        "{family}: potential pool must be bit-identical"
+    );
+    assert_eq!(
+        slab_bytes(loaded.priors()),
+        slab_bytes(fresh.priors()),
+        "{family}: priors must be bit-identical"
+    );
+}
+
+fn run_plan(plan: ExecGraph) -> Vec<u32> {
+    let mut warm = WarmState::from_plan(plan, 1);
+    warm.run_cold("Plan Node", &opts(), &Dispatch::none(), None);
+    warm.beliefs().iter().map(|v| v.to_bits()).collect()
+}
+
+#[test]
+fn resident_roundtrip_is_bitwise_across_families() {
+    let store = PlanStore::open(tmp("resident")).unwrap();
+    for (i, (family, mut g)) in families().into_iter().enumerate() {
+        // Evidence travels in the state blob; make sure it roundtrips too.
+        g.observe(3, 1);
+        let key = SourceKey::from_spec(family, i as u64);
+        let fresh = ExecGraph::compile(&g);
+        store
+            .save_plan(key, family, structural_hash(&g), &fresh)
+            .unwrap();
+        let (loaded, _) = store.load_plan(&key).unwrap().expect("stored plan loads");
+        assert_plans_bitwise_equal(family, &fresh, &loaded);
+        assert_eq!(
+            run_plan(loaded),
+            run_plan(fresh),
+            "{family}: loaded-plan posteriors must be bitwise equal"
+        );
+    }
+    std::fs::remove_dir_all(store.root()).ok();
+}
+
+#[test]
+fn sharded_roundtrip_is_bitwise_across_families_and_shard_counts() {
+    use credo_core::run_sharded;
+    let store = PlanStore::open(tmp("sharded")).unwrap();
+    for (i, (family, g)) in families().into_iter().enumerate() {
+        let structural = structural_hash(&g);
+        for shards in [1usize, 2, 8] {
+            let key = SourceKey::from_spec(family, i as u64).with(&format!("shards={shards}"));
+            let mut fresh = ShardedExec::compile(&g, shards);
+            store.save_sharded(key, family, structural, &fresh).unwrap();
+            let (mut loaded, m) = store
+                .load_sharded(&key)
+                .unwrap()
+                .expect("stored plan loads");
+            assert_eq!(m.shards as usize, fresh.shards.len());
+            for (a, b) in loaded.shards.iter().zip(&fresh.shards) {
+                assert_eq!(a.range, b.range, "{family}/{shards}");
+                assert_eq!(
+                    slab_bytes(&a.pot_pool),
+                    slab_bytes(&b.pot_pool),
+                    "{family}/{shards}: shard pools bit-identical"
+                );
+            }
+            let (_, fresh_beliefs) = run_sharded(
+                "Stream Node",
+                &mut fresh,
+                &opts(),
+                &Dispatch::none(),
+                1,
+                None,
+            )
+            .unwrap();
+            let (_, loaded_beliefs) = run_sharded(
+                "Stream Node",
+                &mut loaded,
+                &opts(),
+                &Dispatch::none(),
+                1,
+                None,
+            )
+            .unwrap();
+            let fresh_bits: Vec<u32> = fresh_beliefs.iter().map(|v| v.to_bits()).collect();
+            let loaded_bits: Vec<u32> = loaded_beliefs.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(
+                loaded_bits, fresh_bits,
+                "{family}/{shards}: sharded posteriors must be bitwise equal"
+            );
+        }
+    }
+    std::fs::remove_dir_all(store.root()).ok();
+}
+
+#[test]
+fn corruption_corpus_is_structured_errors_and_recompile_repairs() {
+    let store = PlanStore::open(tmp("corrupt")).unwrap();
+    let g = grid(8, 8, &GenOptions::new(2).with_seed(9));
+    let key = SourceKey::from_spec("corpus", 0);
+    let plan = ExecGraph::compile(&g);
+    let m = store
+        .save_plan(key, "corpus", structural_hash(&g), &plan)
+        .unwrap();
+    let body = store
+        .root()
+        .join("objects")
+        .join(format!("{}.blob", m.blobs[0]));
+    let pristine = std::fs::read(&body).unwrap();
+
+    let expect_structured = |what: &str| match store.load_plan(&key) {
+        Err(StoreError::Corrupt { .. }) | Err(StoreError::Mismatch { .. }) => {}
+        Err(StoreError::Io(_)) => {} // e.g. header shorter than a read
+        Ok(_) => panic!("{what}: corrupted store must not load"),
+    };
+
+    // Truncation: every prefix boundary region plus a coarse sweep.
+    let mut cuts: Vec<usize> = vec![0, 1, 7, 39, 40, 55, 56, 63, 64, 65, pristine.len() - 1];
+    cuts.extend((0..pristine.len()).step_by(97));
+    for cut in cuts {
+        std::fs::write(&body, &pristine[..cut]).unwrap();
+        expect_structured(&format!("truncate at {cut}"));
+    }
+
+    // Single-byte mutation sweep over the whole file.
+    for at in 0..pristine.len() {
+        let mut bytes = pristine.clone();
+        bytes[at] ^= 0x5A;
+        std::fs::write(&body, &bytes).unwrap();
+        expect_structured(&format!("flip byte {at}"));
+    }
+
+    // Version and magic mismatches specifically report Mismatch.
+    let mut bad_version = pristine.clone();
+    bad_version[8..12].copy_from_slice(&99u32.to_le_bytes());
+    std::fs::write(&body, &bad_version).unwrap();
+    assert!(
+        matches!(store.load_plan(&key), Err(StoreError::Mismatch { .. })),
+        "future version must be a Mismatch"
+    );
+    let mut bad_magic = pristine.clone();
+    bad_magic[0] ^= 0xFF;
+    std::fs::write(&body, &bad_magic).unwrap();
+    assert!(
+        matches!(store.load_plan(&key), Err(StoreError::Mismatch { .. })),
+        "wrong magic must be a Mismatch"
+    );
+
+    // The fallback path: recompile and re-save repairs the store in
+    // place (dedup must not trust the damaged same-named file).
+    let repaired = store
+        .save_plan(key, "corpus", structural_hash(&g), &plan)
+        .unwrap();
+    assert_eq!(repaired.blobs, m.blobs);
+    let (loaded, _) = store
+        .load_plan(&key)
+        .unwrap()
+        .expect("repaired store loads");
+    assert_plans_bitwise_equal("repaired", &plan, &loaded);
+    assert!(store.verify().unwrap().clean());
+    std::fs::remove_dir_all(store.root()).ok();
+}
+
+#[test]
+fn warm_snapshot_resume_matches_continuous_run() {
+    let store = PlanStore::open(tmp("warm-resume")).unwrap();
+    let g = synthetic(
+        1500,
+        6000,
+        &GenOptions::new(2)
+            .with_seed(17)
+            .with_potentials(PotentialKind::SharedRandom),
+    );
+    let opts = BpOptions {
+        threshold: 1e-6,
+        queue_threshold: 1e-6,
+        max_iterations: 2000,
+        ..BpOptions::default()
+    };
+    let policy = WarmPolicy::default();
+    let trace = Dispatch::none();
+    let base = EvidenceDelta::observing(&[(5, 1), (400, 0), (900, 1), (1300, 0)]);
+    let flip = EvidenceDelta::observing(&[(5, 0)]);
+
+    // Continuous: base evidence, then a one-node flip, never restarted.
+    let mut continuous = WarmState::new(g.clone(), 1);
+    continuous
+        .run_from("itest", &base, &opts, &policy, &trace)
+        .unwrap();
+    continuous
+        .run_from("itest", &flip, &opts, &policy, &trace)
+        .unwrap();
+
+    // Persisted: same base run, snapshotted to the store, then "restart"
+    // — a plan-only state mmap-loaded back, snapshot restored — and the
+    // same flip applied.
+    let key = SourceKey::from_spec("warm", 17);
+    let mut first = WarmState::new(g.clone(), 1);
+    first
+        .run_from("itest", &base, &opts, &policy, &trace)
+        .unwrap();
+    let manifest = store
+        .save_plan(key, "warm", structural_hash(&g), first.plan())
+        .unwrap();
+    let root = manifest.root_hash().unwrap();
+    store.save_warm(root, "base", &first.snapshot()).unwrap();
+    drop(first);
+
+    let (plan, _) = store.load_plan(&key).unwrap().expect("plan stored");
+    let mut resumed = WarmState::from_plan(plan, 1);
+    let snap = store
+        .load_warm_latest(root)
+        .unwrap()
+        .expect("snapshot stored");
+    resumed.restore(&snap).unwrap();
+    assert_eq!(resumed.evidence().len(), 4, "overlay restored");
+    let run = resumed
+        .run_from("itest", &flip, &opts, &policy, &trace)
+        .unwrap();
+    assert!(run.warm, "restored snapshot must take the warm path");
+
+    let worst = continuous
+        .beliefs()
+        .iter()
+        .zip(resumed.beliefs())
+        .map(|(a, b)| (a - b).abs() as f64)
+        .fold(0.0f64, f64::max);
+    assert!(
+        worst <= 1e-4,
+        "resumed posteriors diverge from continuous run: {worst}"
+    );
+    std::fs::remove_dir_all(store.root()).ok();
+}
+
+#[test]
+fn serve_restart_resumes_from_store_without_rebuilding() {
+    let dir = tmp("serve-restart");
+    let build = || {
+        Ok::<BeliefGraph, String>(synthetic(
+            800,
+            3200,
+            &GenOptions::new(2)
+                .with_seed(21)
+                .with_potentials(PotentialKind::SharedRandom),
+        ))
+    };
+    let key = SourceKey::from_spec("itest-restart", 21);
+    let evidence = [(5u32, 1u32), (100, 0), (321, 1)];
+    let cfg = ServeConfig::default();
+
+    let ask = |server: &Server| -> Vec<(u32, Vec<f32>)> {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::scope(|scope| {
+            let acceptor = scope.spawn(move || server.serve_tcp(listener));
+            let mut client = Client::connect_retry(&addr, Duration::from_secs(10)).unwrap();
+            let mut req = Request::infer("g0", &evidence);
+            req.nodes = vec![1, 2, 3, 700];
+            let resp = client.request(&req).unwrap();
+            assert!(resp.ok, "{}", resp.error);
+            assert!(client.shutdown().unwrap().ok);
+            acceptor.join().unwrap().unwrap();
+            resp.posteriors
+        })
+    };
+
+    // First life: store miss, compile, serve one query, snapshot at
+    // shutdown.
+    let server = Server::new(cfg, Dispatch::none());
+    server.set_store(&dir).unwrap();
+    server
+        .add_graph_cached("g0", key, "itest-restart", build)
+        .unwrap();
+    let first = ask(&server);
+    server.shutdown();
+    let m = server.metrics();
+    assert_eq!(m.store_misses, 1);
+    assert_eq!(m.store_hits, 0);
+    assert_eq!(m.snapshots_saved, 1, "shutdown must persist a snapshot");
+
+    // Second life: the plan comes back mmap'd, the snapshot resumes, the
+    // build closure must never run.
+    let server2 = Server::new(cfg, Dispatch::none());
+    server2.set_store(&dir).unwrap();
+    server2
+        .add_graph_cached("g0", key, "itest-restart", || {
+            Err::<BeliefGraph, String>("restart must not rebuild".into())
+        })
+        .unwrap();
+    let m2 = server2.metrics();
+    assert_eq!(m2.store_hits, 1);
+    assert_eq!(m2.store_misses, 0);
+    assert_eq!(m2.warm_resumes, 1, "latest snapshot must be restored");
+    let second = ask(&server2);
+    server2.shutdown();
+
+    assert_eq!(first.len(), second.len());
+    for ((v1, p1), (v2, p2)) in first.iter().zip(&second) {
+        assert_eq!(v1, v2);
+        for (a, b) in p1.iter().zip(p2) {
+            assert!(
+                (a - b).abs() <= 1e-4,
+                "restarted posteriors diverge at node {v1}: {a} vs {b}"
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_store_roundtrip_gc_and_verify() {
+    let exe = env!("CARGO_BIN_EXE_credo");
+    let dir = tmp("cli");
+    let dir_s = dir.to_str().unwrap().to_string();
+    let run = |args: &[&str]| {
+        let out = std::process::Command::new(exe)
+            .args(args)
+            .output()
+            .expect("spawn credo");
+        (
+            out.status.success(),
+            String::from_utf8_lossy(&out.stdout).to_string()
+                + &String::from_utf8_lossy(&out.stderr),
+        )
+    };
+    let out_dir = dir.join("prof-out");
+    let out_s = out_dir.to_str().unwrap().to_string();
+    let prof = [
+        "prof",
+        "300x1200",
+        "--store",
+        &dir_s,
+        "--out",
+        &out_s,
+        "--quiet",
+        "--gpu",
+        "none",
+        "--cpu",
+        "seq-node",
+        "--max-iters",
+        "30",
+    ];
+
+    let (ok, out) = run(&prof);
+    assert!(ok, "first prof run failed:\n{out}");
+    assert!(out.contains("store: miss"), "first run is a miss:\n{out}");
+    assert!(out.contains("Plan Node"), "plan line reported:\n{out}");
+
+    let (ok, out) = run(&prof);
+    assert!(ok, "second prof run failed:\n{out}");
+    assert!(out.contains("store: hit"), "second run is a hit:\n{out}");
+
+    let (ok, out) = run(&["store", "ls", "--store", &dir_s]);
+    assert!(ok, "ls failed:\n{out}");
+    assert!(
+        out.contains("300x1200") && out.contains("1 plan(s)"),
+        "{out}"
+    );
+
+    let (ok, out) = run(&["store", "verify", "--store", &dir_s]);
+    assert!(ok, "verify on a clean store must pass:\n{out}");
+
+    // Flip a byte in some blob; verify must fail and say which file.
+    let objects = dir.join("objects");
+    let blob = std::fs::read_dir(&objects)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|e| e == "blob"))
+        .expect("a stored blob");
+    let mut bytes = std::fs::read(&blob).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&blob, &bytes).unwrap();
+    let (ok, out) = run(&["store", "verify", "--store", &dir_s]);
+    assert!(!ok, "verify must fail on a corrupt store:\n{out}");
+    assert!(out.contains("corrupt blob"), "{out}");
+
+    // prof falls back to recompile, repairs the blob, and verify is
+    // clean again.
+    let (ok, out) = run(&prof);
+    assert!(ok, "prof must recover from a corrupt store:\n{out}");
+    assert!(out.contains("compiled"), "fallback recompiles:\n{out}");
+    let (ok, out) = run(&["store", "verify", "--store", &dir_s]);
+    assert!(ok, "re-save must repair the store:\n{out}");
+
+    // gc without a budget is an error; with budget 0 it evicts the plan.
+    let (ok, _) = run(&["store", "gc", "--store", &dir_s]);
+    assert!(!ok, "gc requires --budget");
+    let (ok, out) = run(&["store", "gc", "--store", &dir_s, "--budget", "0"]);
+    assert!(ok, "gc failed:\n{out}");
+    assert!(out.contains("evicted 1 plan(s)"), "{out}");
+    let (ok, out) = run(&["store", "ls", "--store", &dir_s]);
+    assert!(ok && out.contains("0 plan(s)"), "{out}");
+    std::fs::remove_dir_all(&dir).ok();
+}
